@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Ablations of the SHMT design choices DESIGN.md calls out:
+ *
+ *  1. HLOP granularity (partitions per VOP): coarse partitions starve
+ *     the work-stealing balance; page-multiple tiles are the paper's
+ *     §3.4 choice.
+ *  2. Double buffering: the paper's Table-3 overhead hinges on
+ *     overlapping transfers with compute.
+ *  3. QAWS steal-direction constraint: letting the TPU steal critical
+ *     HLOPs back (unconstrained stealing) recovers a little speed but
+ *     costs quality.
+ *  4. Criticality metric: range-only vs range+stddev.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/math_utils.hh"
+#include "metrics/report.hh"
+
+namespace {
+
+using namespace shmt;
+
+void
+granularityAblation(size_t n)
+{
+    metrics::Table table({"HLOPs/VOP", "fft speedup", "sobel speedup",
+                          "blackscholes speedup"});
+    for (size_t target : {1ul, 4ul, 16ul, 64ul, 256ul}) {
+        core::RuntimeConfig cfg;
+        cfg.targetHlops = target;
+        auto rt = apps::makePrototypeRuntime(cfg);
+        std::vector<std::string> row = {std::to_string(target)};
+        for (const char *name : {"fft", "sobel", "blackscholes"}) {
+            auto bench = apps::makeBenchmark(name, n, n);
+            row.push_back(metrics::Table::num(
+                apps::evaluatePolicy(rt, *bench, "work-stealing", {},
+                                     false)
+                    .speedup));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print("Ablation 1: HLOP granularity (work stealing)");
+}
+
+void
+doubleBufferingAblation(size_t n)
+{
+    metrics::Table table(
+        {"Benchmark", "Speedup (DB on)", "Speedup (DB off)",
+         "Comm (DB on)", "Comm (DB off)"});
+    core::RuntimeConfig on;
+    on.doubleBuffering = true;
+    core::RuntimeConfig off;
+    off.doubleBuffering = false;
+    auto rt_on = apps::makePrototypeRuntime(on);
+    auto rt_off = apps::makePrototypeRuntime(off);
+    for (const char *name : {"dct8x8", "fft", "srad"}) {
+        auto bench = apps::makeBenchmark(name, n, n);
+        const auto a =
+            apps::evaluatePolicy(rt_on, *bench, "qaws-ts", {}, false);
+        const auto b =
+            apps::evaluatePolicy(rt_off, *bench, "qaws-ts", {}, false);
+        table.addRow(
+            {name, metrics::Table::num(a.speedup),
+             metrics::Table::num(b.speedup),
+             metrics::Table::num(a.run.commOverhead() * 100.0) + "%",
+             metrics::Table::num(b.run.commOverhead() * 100.0) + "%"});
+    }
+    table.print("Ablation 2: double buffering");
+}
+
+void
+stealConstraintAblation(size_t n)
+{
+    // QAWS-TS (constrained stealing) vs plain work stealing on the
+    // same benchmark: the constraint's cost in speed and gain in
+    // quality.
+    auto rt = apps::makePrototypeRuntime();
+    metrics::Table table({"Benchmark", "WS speedup", "WS MAPE",
+                          "QAWS-TS speedup", "QAWS-TS MAPE"});
+    for (const char *name : {"sobel", "laplacian", "srad"}) {
+        auto bench = apps::makeBenchmark(name, n, n);
+        const auto ws =
+            apps::evaluatePolicy(rt, *bench, "work-stealing");
+        const auto qaws = apps::evaluatePolicy(rt, *bench, "qaws-ts");
+        table.addRow({name, metrics::Table::num(ws.speedup),
+                      metrics::Table::num(ws.mapePct) + "%",
+                      metrics::Table::num(qaws.speedup),
+                      metrics::Table::num(qaws.mapePct) + "%"});
+    }
+    table.print(
+        "Ablation 3: quality-aware constraints vs plain stealing");
+}
+
+void
+topKFractionAblation(size_t n)
+{
+    auto rt = apps::makePrototypeRuntime();
+    metrics::Table table(
+        {"top-K", "sobel speedup", "sobel MAPE", "mf speedup",
+         "mf MAPE"});
+    for (double k : {0.0, 0.125, 0.25, 0.5, 0.75}) {
+        core::QawsParams params;
+        params.topK = k;
+        std::vector<std::string> row = {metrics::Table::num(k, 3)};
+        for (const char *name : {"sobel", "mf"}) {
+            auto bench = apps::makeBenchmark(name, n, n);
+            const auto r =
+                apps::evaluatePolicy(rt, *bench, "qaws-ts", params);
+            row.push_back(metrics::Table::num(r.speedup));
+            row.push_back(metrics::Table::num(r.mapePct) + "%");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print("Ablation 4: top-K fraction (quality/speed trade)");
+}
+
+void
+thirdDeviceAblation(size_t n)
+{
+    // The paper sketches DSP support as a natural extension (§2.1);
+    // adding the FP16 image DSP as a third compute resource.
+    metrics::Table table({"Benchmark", "GPU+TPU", "GPU+TPU+DSP"});
+    auto make_rt = [](bool dsp) {
+        auto backends = devices::makePrototypeBackends(
+            kernels::KernelRegistry::instance(),
+            sim::defaultCalibration(), false, dsp);
+        return core::Runtime(std::move(backends));
+    };
+    auto rt2 = make_rt(false);
+    auto rt3 = make_rt(true);
+    for (const char *name : {"sobel", "laplacian", "mf", "srad"}) {
+        auto bench = apps::makeBenchmark(name, n, n);
+        const auto two =
+            apps::evaluatePolicy(rt2, *bench, "work-stealing", {},
+                                 false);
+        const auto three =
+            apps::evaluatePolicy(rt3, *bench, "work-stealing", {},
+                                 false);
+        table.addRow({name, metrics::Table::num(two.speedup),
+                      metrics::Table::num(three.speedup)});
+    }
+    table.print("Ablation 5: third device (FP16 image DSP)");
+}
+
+void
+stealSplittingAblation(size_t n)
+{
+    metrics::Table table({"HLOPs/VOP", "Speedup (no split)",
+                          "Speedup (split)"});
+    for (size_t target : {3ul, 5ul, 9ul, 65ul}) {
+        core::RuntimeConfig plain;
+        plain.targetHlops = target;
+        core::RuntimeConfig split = plain;
+        split.stealSplitting = true;
+        auto rt_plain = apps::makePrototypeRuntime(plain);
+        auto rt_split = apps::makePrototypeRuntime(split);
+        auto bench_a = apps::makeBenchmark("hotspot", n, n);
+        auto bench_b = apps::makeBenchmark("hotspot", n, n);
+        table.addRow(
+            {std::to_string(target),
+             metrics::Table::num(
+                 apps::evaluatePolicy(rt_plain, *bench_a,
+                                      "work-stealing", {}, false)
+                     .speedup),
+             metrics::Table::num(
+                 apps::evaluatePolicy(rt_split, *bench_b,
+                                      "work-stealing", {}, false)
+                     .speedup)});
+    }
+    table.print("Ablation 6: HLOP splitting on steal (paper §3.4)");
+}
+
+void
+staticPlanningAblation(size_t n)
+{
+    // Fig. 2's theoretical gain assumes a perfect static split; this
+    // ablation shows what static planning achieves in the presence of
+    // per-HLOP overheads, and what work stealing's adaptivity adds.
+    auto rt = apps::makePrototypeRuntime();
+    metrics::Table table({"Benchmark", "static-optimal",
+                          "work-stealing", "even"});
+    for (const char *name : {"dct8x8", "fft", "dwt", "sobel"}) {
+        auto bench = apps::makeBenchmark(name, n, n);
+        table.addRow(
+            {name,
+             metrics::Table::num(
+                 apps::evaluatePolicy(rt, *bench, "static-optimal", {},
+                                      false)
+                     .speedup),
+             metrics::Table::num(
+                 apps::evaluatePolicy(rt, *bench, "work-stealing", {},
+                                      false)
+                     .speedup),
+             metrics::Table::num(
+                 apps::evaluatePolicy(rt, *bench, "even", {}, false)
+                     .speedup)});
+    }
+    table.print("Ablation 7: static optimal planning vs adaptive "
+                "stealing");
+}
+
+} // namespace
+
+int
+main()
+{
+    const size_t n = shmt::apps::benchEdge(1024);
+    granularityAblation(n);
+    doubleBufferingAblation(n);
+    stealConstraintAblation(n);
+    topKFractionAblation(n);
+    thirdDeviceAblation(n);
+    stealSplittingAblation(n);
+    staticPlanningAblation(n);
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Reproduces paper Figure 1's motivation: a program with five
+ * functions (A..E) on a heterogeneous machine, executed three ways —
+ *
+ *  (a) conventional: each function runs exclusively on its most
+ *      efficient device, one after another (other devices idle);
+ *  (b) software pipelining: consecutive functions overlap across
+ *      devices on partial results;
+ *  (c) SHMT: every function is partitioned into HLOPs and co-executed
+ *      on all devices simultaneously (work stealing).
+ *
+ * The five functions are drawn from the benchmark kernels with
+ * deliberately mixed device affinities (some TPU-friendly, some
+ * GPU-friendly), like the paper's A..E.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "apps/harness.hh"
+#include "kernels/kernel_registry.hh"
+#include "kernels/workload.hh"
+#include "metrics/report.hh"
+
+namespace {
+
+using namespace shmt;
+
+struct Function
+{
+    const char *label;
+    const char *opcode;
+};
+
+} // namespace
+
+int
+main()
+{
+    const size_t n = apps::benchEdge(2048);
+    auto rt = apps::makePrototypeRuntime();
+    const auto &registry = kernels::KernelRegistry::instance();
+    const sim::CostModel &cm = rt.costModel();
+
+    // A..E with mixed affinities (TPU ratios 1.99, 0.31, 3.22, 0.58,
+    // 2.30).
+    const std::vector<Function> functions = {
+        {"A", "dct8x8"}, {"B", "dwt"},  {"C", "fft"},
+        {"D", "laplacian"}, {"E", "srad"},
+    };
+
+    // Build the chained program (each function consumes the previous
+    // output; SRAD needs positive input, so feed it |.| via the chain
+    // values staying in image range is fine for a timing demo).
+    std::deque<Tensor> tensors;
+    tensors.push_back(kernels::makeImage(n, n, 1));
+    core::VopProgram program;
+    program.name = "fig1";
+    for (const auto &f : functions) {
+        const Tensor *in = &tensors.back();
+        tensors.emplace_back(n, n);
+        core::VOp vop;
+        vop.opcode = f.opcode;
+        vop.inputs = {in};
+        vop.output = &tensors.back();
+        if (std::string_view(f.opcode) == "srad")
+            vop.scalars = {0.05f, 0.5f};
+        program.ops.push_back(std::move(vop));
+    }
+
+    // (a) conventional: per-function best single device, serial.
+    double conventional = 0.0;
+    std::vector<std::string> chosen;
+    for (const auto &f : functions) {
+        const auto &info = registry.get(f.opcode);
+        double best = cm.baselineSeconds(info.costKey, n * n);
+        std::string dev = "gpu(baseline)";
+        for (auto kind : {sim::DeviceKind::Gpu, sim::DeviceKind::EdgeTpu}) {
+            if (cm.deviceRatio(kind, info.costKey) <= 0.0)
+                continue;
+            const double t = cm.hlopSeconds(kind, info.costKey, n * n);
+            if (t < best) {
+                best = t;
+                dev = std::string(sim::deviceKindName(kind));
+            }
+        }
+        conventional += best;
+        chosen.push_back(dev);
+    }
+
+    // (b) software pipelining across functions: stage i of batch b
+    // starts when both its device finished batch b-1 and the previous
+    // stage finished batch b. Each function pinned to its best device.
+    const size_t batches = 16;
+    std::vector<double> device_free(functions.size(), 0.0);
+    std::vector<double> stage_done(functions.size(), 0.0);
+    for (size_t b = 0; b < batches; ++b) {
+        double upstream = 0.0;
+        for (size_t i = 0; i < functions.size(); ++i) {
+            const auto &info = registry.get(functions[i].opcode);
+            double best = 1e30;
+            for (auto kind :
+                 {sim::DeviceKind::Gpu, sim::DeviceKind::EdgeTpu}) {
+                if (cm.deviceRatio(kind, info.costKey) <= 0.0)
+                    continue;
+                best = std::min(
+                    best, cm.hlopSeconds(kind, info.costKey,
+                                         n * n / batches));
+            }
+            const double start = std::max(device_free[i], upstream);
+            stage_done[i] = start + best;
+            device_free[i] = stage_done[i];
+            upstream = stage_done[i];
+        }
+    }
+    const double pipelined = stage_done.back();
+
+    // (c) SHMT: all devices co-execute every function.
+    auto policy = core::makePolicy("work-stealing");
+    const double shmt =
+        rt.run(program, *policy, /*functional=*/false).makespanSec;
+
+    // (d) SHMT + pipelining: the two are orthogonal (paper §6) — the
+    // pipeline's stages are themselves SHMT-accelerated. Stage times
+    // come from per-function SHMT runs under the same idealized
+    // streaming assumption as (b).
+    std::vector<double> shmt_stage(functions.size());
+    for (size_t i = 0; i < functions.size(); ++i) {
+        core::VopProgram single;
+        single.name = functions[i].label;
+        single.ops.push_back(program.ops[i]);
+        auto p = core::makePolicy("work-stealing");
+        shmt_stage[i] = rt.run(single, *p, false).makespanSec;
+    }
+    std::fill(device_free.begin(), device_free.end(), 0.0);
+    for (size_t b = 0; b < batches; ++b) {
+        double upstream = 0.0;
+        for (size_t i = 0; i < functions.size(); ++i) {
+            const double start = std::max(device_free[i], upstream);
+            device_free[i] =
+                start + shmt_stage[i] / static_cast<double>(batches);
+            upstream = device_free[i];
+        }
+    }
+    const double combined = device_free.back();
+
+    metrics::Table table({"Execution model", "Latency (s)",
+                          "Speedup vs conventional"});
+    table.addRow({"(a) conventional (best device per function)",
+                  metrics::Table::num(conventional, 4), "1.00"});
+    table.addRow({"(b) software pipelining",
+                  metrics::Table::num(pipelined, 4),
+                  metrics::Table::num(conventional / pipelined)});
+    table.addRow({"(c) SHMT (work stealing)",
+                  metrics::Table::num(shmt, 4),
+                  metrics::Table::num(conventional / shmt)});
+    table.addRow({"(d) SHMT + pipelining (orthogonal)",
+                  metrics::Table::num(combined, 4),
+                  metrics::Table::num(conventional / combined)});
+    table.print("Figure 1: execution models on a 5-function program "
+                "(A=dct8x8 B=dwt C=fft D=laplacian E=srad, " +
+                std::to_string(n) + "x" + std::to_string(n) + ")");
+
+    std::printf("\nConventional device choices:");
+    for (size_t i = 0; i < functions.size(); ++i)
+        std::printf(" %s->%s", functions[i].label, chosen[i].c_str());
+    std::printf("\nPaper reference: SHMT improves utilization over both "
+                "(a) and (b) by co-executing each function on all "
+                "devices\n");
+    return 0;
+}

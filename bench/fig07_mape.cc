@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: Mean Absolute Percentage Error of every
+ * policy against the exact FP32 result, across the ten benchmarks.
+ *
+ * Policies: edgeTPU-only, IRA-sampling, work stealing, the six QAWS
+ * variants, and the oracle assignment.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/math_utils.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace shmt;
+    const size_t n = apps::benchEdge(1024);
+    const std::vector<std::string> policies = {
+        "tpu-only", "ira",     "work-stealing", "qaws-ts", "qaws-tu",
+        "qaws-tr",  "qaws-ls", "qaws-lu",       "qaws-lr", "oracle"};
+
+    auto rt = apps::makePrototypeRuntime();
+
+    std::vector<std::string> headers = {"Benchmark"};
+    for (const auto &p : policies)
+        headers.push_back(p);
+    metrics::Table table(std::move(headers));
+
+    std::map<std::string, std::vector<double>> mapes;
+    for (const auto &bench_name : apps::benchmarkNames()) {
+        auto bench = apps::makeBenchmark(bench_name, n, n);
+        std::vector<std::string> row = {bench_name};
+        for (const auto &policy : policies) {
+            const auto r = apps::evaluatePolicy(rt, *bench, policy);
+            mapes[policy].push_back(r.mapePct);
+            row.push_back(metrics::Table::num(r.mapePct) + "%");
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> mean_row = {"MEAN"};
+    for (const auto &policy : policies)
+        mean_row.push_back(metrics::Table::num(mean(mapes[policy])) + "%");
+    table.addRow(std::move(mean_row));
+
+    table.print("Figure 7: MAPE vs exact FP32 result (input " +
+                std::to_string(n) + "x" + std::to_string(n) + ")");
+    std::printf("\nPaper reference means: edgeTPU 5.15%%, IRA 1.85%%, WS "
+                "2.85%%, QAWS all < 2%%, oracle 1.77%%\n");
+    return 0;
+}

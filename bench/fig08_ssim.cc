@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: SSIM of the six image-related benchmarks
+ * (DCT8x8, DWT, Laplacian, MF, Sobel, SRAD) for every policy.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/math_utils.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace shmt;
+    const size_t n = apps::benchEdge(1024);
+    const std::vector<std::string> policies = {
+        "tpu-only", "ira",     "work-stealing", "qaws-ts", "qaws-tu",
+        "qaws-tr",  "qaws-ls", "qaws-lu",       "qaws-lr", "oracle"};
+    const std::vector<std::string> image_benchmarks = {
+        "dct8x8", "dwt", "laplacian", "mf", "sobel", "srad"};
+
+    auto rt = apps::makePrototypeRuntime();
+
+    std::vector<std::string> headers = {"Benchmark"};
+    for (const auto &p : policies)
+        headers.push_back(p);
+    metrics::Table table(std::move(headers));
+
+    std::map<std::string, std::vector<double>> ssims;
+    for (const auto &bench_name : image_benchmarks) {
+        auto bench = apps::makeBenchmark(bench_name, n, n);
+        std::vector<std::string> row = {bench_name};
+        for (const auto &policy : policies) {
+            const auto r = apps::evaluatePolicy(rt, *bench, policy);
+            ssims[policy].push_back(r.ssim);
+            row.push_back(metrics::Table::num(r.ssim, 4));
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> gmean_row = {"GMEAN"};
+    for (const auto &policy : policies)
+        gmean_row.push_back(metrics::Table::num(geomean(ssims[policy]), 4));
+    table.addRow(std::move(gmean_row));
+
+    table.print("Figure 8: SSIM for image-related benchmarks (input " +
+                std::to_string(n) + "x" + std::to_string(n) + ")");
+    std::printf("\nPaper reference GMEANs: edgeTPU 0.9537, WS 0.9753, "
+                "QAWS-TS 0.9916 .. QAWS-LR 0.9798, oracle 0.9957\n");
+    return 0;
+}

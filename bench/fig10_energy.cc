@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: energy consumption (active/idle
+ * breakdown) and energy-delay product of SHMT with QAWS-TS, all
+ * normalized to the GPU baseline.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/math_utils.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace shmt;
+    const size_t n = apps::benchEdge(4096);
+    auto rt = apps::makePrototypeRuntime();
+
+    metrics::Table table({"Benchmark", "SHMT active", "SHMT idle",
+                          "SHMT total", "SHMT EDP", "Peak power (W)"});
+    std::vector<double> totals, edps;
+    for (const auto &bench_name : apps::benchmarkNames()) {
+        auto bench = apps::makeBenchmark(bench_name, n, n);
+        const auto r =
+            apps::evaluatePolicy(rt, *bench, "qaws-ts", {}, false);
+        const auto &base = r.baseline.energy;
+        const auto &shmt = r.run.energy;
+        const double norm = base.totalEnergyJ;
+        totals.push_back(shmt.totalEnergyJ / norm);
+        edps.push_back(shmt.edp / base.edp);
+        // Peak power while both devices are busy.
+        const auto &cal = rt.costModel().calibration();
+        const double peak = cal.idlePowerW + cal.gpuActivePowerW +
+                            cal.tpuActivePowerW;
+        table.addRow({bench_name,
+                      metrics::Table::num(shmt.activeEnergyJ / norm, 3),
+                      metrics::Table::num(shmt.idleEnergyJ / norm, 3),
+                      metrics::Table::num(shmt.totalEnergyJ / norm, 3),
+                      metrics::Table::num(shmt.edp / base.edp, 3),
+                      metrics::Table::num(peak, 2)});
+    }
+    table.addRow({"GMEAN", "", "",
+                  metrics::Table::num(geomean(totals), 3),
+                  metrics::Table::num(geomean(edps), 3), ""});
+    table.print(
+        "Figure 10: energy and EDP normalized to GPU baseline (input " +
+        std::to_string(n) + "x" + std::to_string(n) + ", QAWS-TS)");
+    std::printf("\nPaper reference: total energy 0.490 (51.0%% "
+                "reduction), EDP 0.220 (78.0%% reduction);\n  peak power "
+                "idle 3.02 W, GPU baseline 4.67 W, SHMT 5.23 W\n");
+    return 0;
+}

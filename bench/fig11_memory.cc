@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: SHMT's memory footprint normalized to
+ * the GPU baseline. The Edge TPU share of each run is measured from
+ * the QAWS-TS execution and fed to the footprint model (INT8 staging
+ * + compiled model vs the GPU's FP32 scratch planes).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/math_utils.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace shmt;
+    const size_t n = apps::benchEdge(4096);
+    auto rt = apps::makePrototypeRuntime();
+
+    metrics::Table table({"Benchmark", "TPU share", "Baseline (MiB)",
+                          "SHMT (MiB)", "Ratio"});
+    std::vector<double> ratios;
+    for (const auto &bench_name : apps::benchmarkNames()) {
+        auto bench = apps::makeBenchmark(bench_name, n, n);
+        const auto r =
+            apps::evaluatePolicy(rt, *bench, "qaws-ts", {}, false);
+        const auto base = rt.memoryReport(bench->program(), 0.0);
+        const auto shmt = rt.memoryReport(bench->program(), r.tpuShare);
+        const double ratio = static_cast<double>(shmt.totalBytes()) /
+                             static_cast<double>(base.totalBytes());
+        ratios.push_back(ratio);
+        table.addRow(
+            {bench_name, metrics::Table::num(r.tpuShare, 2),
+             metrics::Table::num(
+                 static_cast<double>(base.totalBytes()) / (1 << 20), 1),
+             metrics::Table::num(
+                 static_cast<double>(shmt.totalBytes()) / (1 << 20), 1),
+             metrics::Table::num(ratio, 3)});
+    }
+    table.addRow({"GMEAN", "", "", "",
+                  metrics::Table::num(geomean(ratios), 3)});
+    table.print("Figure 11: memory footprint ratio over GPU baseline "
+                "(input " + std::to_string(n) + "x" + std::to_string(n) +
+                ")");
+    std::printf("\nPaper reference: most benchmarks 1.00-1.12; Sobel "
+                "0.714 and SRAD 0.750 shrink; GMEAN 0.986\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: SHMT (QAWS-TS) speedup as the problem
+ * size sweeps 4K .. 64M elements (edges 64 .. 8192). The default
+ * sweep stops at 4M elements (2048^2) so the binary finishes in
+ * seconds; set SHMT_BENCH_MAX_N=8192 for the paper's full range.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/math_utils.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace shmt;
+    size_t max_edge = 8192;
+    if (const char *env = std::getenv("SHMT_BENCH_MAX_N")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            max_edge = static_cast<size_t>(v);
+    }
+
+    std::vector<size_t> edges;
+    for (size_t e = 64; e <= max_edge; e *= 2)
+        edges.push_back(e);
+
+    auto rt = apps::makePrototypeRuntime();
+
+    std::vector<std::string> headers = {"Benchmark"};
+    for (size_t e : edges) {
+        const size_t elems = e * e;
+        headers.push_back(elems >= (1u << 20)
+                              ? std::to_string(elems >> 20) + "M"
+                              : std::to_string(elems >> 10) + "K");
+    }
+    metrics::Table table(std::move(headers));
+
+    std::vector<std::vector<double>> per_size(edges.size());
+    for (const auto &bench_name : apps::benchmarkNames()) {
+        std::vector<std::string> row = {bench_name};
+        for (size_t i = 0; i < edges.size(); ++i) {
+            auto bench = apps::makeBenchmark(bench_name, edges[i],
+                                             edges[i]);
+            const auto r =
+                apps::evaluatePolicy(rt, *bench, "qaws-ts", {}, false);
+            per_size[i].push_back(r.speedup);
+            row.push_back(metrics::Table::num(r.speedup));
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> gmean_row = {"GMEAN"};
+    for (const auto &col : per_size)
+        gmean_row.push_back(metrics::Table::num(geomean(col)));
+    table.addRow(std::move(gmean_row));
+
+    table.print("Figure 12: QAWS-TS speedup vs problem size (elements)");
+    std::printf("\nPaper reference: speedup increases with problem size "
+                "across the 4K..64M range\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the SHMT runtime primitives:
+ * partition geometry, the three QAWS sampling mechanisms, INT8
+ * quantization, 2-D staging copies, and representative kernel bodies.
+ * These are the building blocks whose (real, host-side) costs justify
+ * the cost-model constants in sim/calibration.cc.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/sampling.hh"
+#include "kernels/kernel_registry.hh"
+#include "kernels/workload.hh"
+#include "tensor/quantize.hh"
+#include "tensor/tiling.hh"
+
+namespace {
+
+using namespace shmt;
+
+void
+BM_VectorPartitions(benchmark::State &state)
+{
+    const size_t rows = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        auto parts = vectorPartitions(rows, 1024, 64);
+        benchmark::DoNotOptimize(parts);
+    }
+}
+BENCHMARK(BM_VectorPartitions)->Arg(1024)->Arg(8192);
+
+void
+BM_TilePartitions(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        auto parts = tilePartitions(n, n, 256, 256);
+        benchmark::DoNotOptimize(parts);
+    }
+}
+BENCHMARK(BM_TilePartitions)->Arg(1024)->Arg(8192);
+
+void
+BM_Sampling(benchmark::State &state)
+{
+    const auto method =
+        static_cast<core::SamplingMethod>(state.range(0));
+    const Tensor data = kernels::makeImage(1024, 1024, 1);
+    core::SamplingSpec spec;
+    spec.method = method;
+    for (auto _ : state) {
+        auto stats = core::samplePartition(data.view(), spec, 1);
+        benchmark::DoNotOptimize(stats);
+    }
+    state.SetLabel(std::string(core::samplingMethodName(method)));
+}
+BENCHMARK(BM_Sampling)
+    ->Arg(static_cast<int>(core::SamplingMethod::Striding))
+    ->Arg(static_cast<int>(core::SamplingMethod::Uniform))
+    ->Arg(static_cast<int>(core::SamplingMethod::Reduction));
+
+void
+BM_QuantizeRoundTrip(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const Tensor data = kernels::makeImage(n, n, 2);
+    Tensor out(n, n);
+    const QuantParams qp = chooseQuantParams(data.view());
+    for (auto _ : state)
+        fakeQuantize(data.view(), out.view(), qp);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_QuantizeRoundTrip)->Arg(256)->Arg(1024);
+
+void
+BM_RobustRange(benchmark::State &state)
+{
+    const Tensor data = kernels::makeImage(1024, 1024, 3);
+    for (auto _ : state) {
+        auto range = robustRange(data.view());
+        benchmark::DoNotOptimize(range);
+    }
+}
+BENCHMARK(BM_RobustRange);
+
+void
+BM_Memcpy2dStrided(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Tensor src(2 * n, 2 * n, 1.0f);
+    Tensor dst(n, n);
+    for (auto _ : state)
+        memcpy2d(dst.view(), src.slice(n / 2, n / 2, n, n));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n * n * 4));
+}
+BENCHMARK(BM_Memcpy2dStrided)->Arg(256)->Arg(1024);
+
+void
+BM_KernelBody(benchmark::State &state, const char *opcode)
+{
+    const auto &info = kernels::KernelRegistry::instance().get(opcode);
+    const Tensor in = kernels::makeImage(512, 512, 4);
+    Tensor out(512, 512);
+    kernels::KernelArgs args;
+    args.inputs = {in.view()};
+    if (std::string_view(opcode) == "srad")
+        args.scalars = {0.05f, 0.5f};
+    const Rect whole{0, 0, 512, 512};
+    for (auto _ : state)
+        info.func(args, whole, out.view());
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            (512 * 512));
+}
+BENCHMARK_CAPTURE(BM_KernelBody, sobel, "sobel");
+BENCHMARK_CAPTURE(BM_KernelBody, mf, "mf");
+BENCHMARK_CAPTURE(BM_KernelBody, dct8x8, "dct8x8");
+BENCHMARK_CAPTURE(BM_KernelBody, dwt, "dwt");
+BENCHMARK_CAPTURE(BM_KernelBody, fft, "fft");
+BENCHMARK_CAPTURE(BM_KernelBody, srad, "srad");
+
+} // namespace
+
+BENCHMARK_MAIN();

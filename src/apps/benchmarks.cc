@@ -1,0 +1,234 @@
+#include "benchmarks.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kernels/workload.hh"
+
+namespace shmt::apps {
+
+using core::VOp;
+
+namespace {
+
+using kernels::makeField;
+using kernels::makeImage;
+using kernels::makePower;
+using kernels::makeSpeckleImage;
+using kernels::makeSpotPrices;
+using kernels::makeStrikes;
+using kernels::makeTemperature;
+
+/** Single-VOP benchmark over an image-like input. */
+class SingleVopBenchmark : public Benchmark
+{
+  public:
+    SingleVopBenchmark(std::string name, std::string opcode, Tensor input,
+                       bool image_like, std::vector<float> scalars = {})
+        : Benchmark(std::move(name), image_like)
+    {
+        Tensor &in = store(std::move(input));
+        Tensor &out = store(Tensor(in.rows(), in.cols()));
+        VOp vop;
+        vop.opcode = std::move(opcode);
+        vop.inputs = {&in};
+        vop.output = &out;
+        vop.scalars = std::move(scalars);
+        program_.name = name_;
+        program_.ops.push_back(std::move(vop));
+        output_ = &out;
+    }
+};
+
+/** Blackscholes as a chain of primitive vector VOPs (see header). */
+class BlackscholesBenchmark : public Benchmark
+{
+  public:
+    BlackscholesBenchmark(size_t rows, size_t cols, uint64_t seed)
+        : Benchmark("blackscholes", false)
+    {
+        constexpr float r = 0.02f;
+        constexpr float sigma = 0.30f;
+        constexpr float t = 1.0f;
+        const float vol_sqrt_t = sigma * std::sqrt(t);
+        const float drift = (r + 0.5f * sigma * sigma) * t;
+        const float discount = std::exp(-r * t);
+
+        Tensor &spot = store(makeSpotPrices(rows, cols, seed));
+        Tensor &strike = store(makeStrikes(spot, seed));
+        Tensor &ratio = store(Tensor(rows, cols));
+        Tensor &log_ratio = store(Tensor(rows, cols));
+        Tensor &d1 = store(Tensor(rows, cols));
+        Tensor &d2 = store(Tensor(rows, cols));
+        Tensor &n1 = store(Tensor(rows, cols));
+        Tensor &n2 = store(Tensor(rows, cols));
+        Tensor &s_term = store(Tensor(rows, cols));
+        Tensor &k_term = store(Tensor(rows, cols));
+        Tensor &k_disc = store(Tensor(rows, cols));
+        Tensor &call = store(Tensor(rows, cols));
+
+        program_.name = name_;
+        auto link = [this](std::string opcode,
+                           std::vector<const Tensor *> inputs, Tensor *out,
+                           double weight, std::vector<float> scalars = {}) {
+            VOp vop;
+            vop.opcode = std::move(opcode);
+            vop.inputs = std::move(inputs);
+            vop.output = out;
+            vop.scalars = std::move(scalars);
+            vop.weight = weight;
+            vop.costKeyOverride = "blackscholes";
+            program_.ops.push_back(std::move(vop));
+        };
+
+        link("divide", {&spot, &strike}, &ratio, 0.10);
+        link("log", {&ratio}, &log_ratio, 0.15);
+        link("axpb", {&log_ratio}, &d1, 0.10,
+             {1.0f / vol_sqrt_t, drift / vol_sqrt_t});
+        link("axpb", {&d1}, &d2, 0.05, {1.0f, -vol_sqrt_t});
+        link("ncdf", {&d1}, &n1, 0.15);
+        link("ncdf", {&d2}, &n2, 0.15);
+        link("multiply", {&spot, &n1}, &s_term, 0.10);
+        link("multiply", {&strike, &n2}, &k_term, 0.10);
+        link("axpb", {&k_term}, &k_disc, 0.05, {discount, 0.0f});
+        link("sub", {&s_term, &k_disc}, &call, 0.05);
+        output_ = &call;
+    }
+};
+
+/** Histogram via the reduce_hist256 body, billed to "histogram". */
+class HistogramBenchmark : public Benchmark
+{
+  public:
+    HistogramBenchmark(size_t rows, size_t cols, uint64_t seed)
+        : Benchmark("histogram", false)
+    {
+        Tensor &in = store(makeField(rows, cols, seed));
+        Tensor &bins = store(Tensor(1, 256));
+        auto [lo, hi] = ConstTensorView(in.view()).minmax();
+        VOp vop;
+        vop.opcode = "histogram";
+        vop.inputs = {&in};
+        vop.output = &bins;
+        vop.scalars = {lo, std::nextafter(hi, hi + 1.0f)};
+        program_.name = name_;
+        program_.ops.push_back(std::move(vop));
+        output_ = &bins;
+    }
+};
+
+/** Hotspot: four chained thermal-simulation steps. */
+class HotspotBenchmark : public Benchmark
+{
+  public:
+    HotspotBenchmark(size_t rows, size_t cols, uint64_t seed)
+        : Benchmark("hotspot", false)
+    {
+        constexpr size_t kSteps = 4;
+        Tensor &power = store(makePower(rows, cols, seed));
+        const Tensor *temp = &store(makeTemperature(rows, cols, seed));
+        // Rodinia-flavoured coefficients scaled to our field.
+        const std::vector<float> scalars = {0.002f, 0.5f, 0.5f, 0.02f,
+                                            293.0f};
+
+        program_.name = name_;
+        for (size_t s = 0; s < kSteps; ++s) {
+            Tensor &next = store(Tensor(rows, cols));
+            VOp vop;
+            vop.opcode = "hotspot";
+            vop.inputs = {temp, &power};
+            vop.output = &next;
+            vop.scalars = scalars;
+            vop.weight = 1.0 / static_cast<double>(kSteps);
+            program_.ops.push_back(std::move(vop));
+            temp = &next;
+            output_ = &next;
+        }
+    }
+};
+
+/** SRAD: two diffusion updates with the ROI statistic from the input. */
+class SradBenchmark : public Benchmark
+{
+  public:
+    SradBenchmark(size_t rows, size_t cols, uint64_t seed)
+        : Benchmark("srad", true)
+    {
+        constexpr size_t kSteps = 2;
+        const Tensor *j = &store(makeSpeckleImage(rows, cols, seed));
+
+        // q0sqr over the whole image, as Rodinia derives it per
+        // iteration from the ROI.
+        double sum = 0.0, sum2 = 0.0;
+        for (size_t i = 0; i < j->size(); ++i) {
+            sum += j->data()[i];
+            sum2 += static_cast<double>(j->data()[i]) * j->data()[i];
+        }
+        const double n = static_cast<double>(j->size());
+        const double mean = sum / n;
+        const double var = sum2 / n - mean * mean;
+        const float q0sqr = static_cast<float>(var / (mean * mean));
+
+        program_.name = name_;
+        for (size_t s = 0; s < kSteps; ++s) {
+            Tensor &next = store(Tensor(rows, cols));
+            VOp vop;
+            vop.opcode = "srad";
+            vop.inputs = {j};
+            vop.output = &next;
+            vop.scalars = {q0sqr, 0.5f};
+            vop.weight = 1.0 / static_cast<double>(kSteps);
+            program_.ops.push_back(std::move(vop));
+            j = &next;
+            output_ = &next;
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "blackscholes", "dct8x8", "dwt",  "fft",   "histogram",
+        "hotspot",      "laplacian", "mf", "sobel", "srad",
+    };
+    return names;
+}
+
+std::unique_ptr<Benchmark>
+makeBenchmark(std::string_view name, size_t rows, size_t cols,
+              uint64_t seed)
+{
+    if (name == "blackscholes")
+        return std::make_unique<BlackscholesBenchmark>(rows, cols, seed);
+    if (name == "dct8x8")
+        return std::make_unique<SingleVopBenchmark>(
+            "dct8x8", "dct8x8", makeImage(rows, cols, seed), true);
+    if (name == "dwt")
+        return std::make_unique<SingleVopBenchmark>(
+            "dwt", "dwt", makeImage(rows, cols, seed ^ 2), true);
+    if (name == "fft")
+        return std::make_unique<SingleVopBenchmark>(
+            "fft", "fft", makeImage(rows, cols, seed ^ 3), false);
+    if (name == "histogram")
+        return std::make_unique<HistogramBenchmark>(rows, cols, seed ^ 4);
+    if (name == "hotspot")
+        return std::make_unique<HotspotBenchmark>(rows, cols, seed ^ 5);
+    if (name == "laplacian")
+        return std::make_unique<SingleVopBenchmark>(
+            "laplacian", "laplacian", makeImage(rows, cols, seed ^ 6),
+            true);
+    if (name == "mf")
+        return std::make_unique<SingleVopBenchmark>(
+            "mf", "mf", makeImage(rows, cols, seed ^ 7), true);
+    if (name == "sobel")
+        return std::make_unique<SingleVopBenchmark>(
+            "sobel", "sobel", makeImage(rows, cols, seed ^ 8), true);
+    if (name == "srad")
+        return std::make_unique<SradBenchmark>(rows, cols, seed ^ 9);
+    SHMT_FATAL("unknown benchmark '", name, "'");
+}
+
+} // namespace shmt::apps

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The paper's ten benchmark applications (Table 2) as VOP programs.
+ *
+ * Each benchmark owns its input tensors, intermediates, and output,
+ * and exposes the VopProgram the SHMT runtime executes. Blackscholes
+ * is deliberately built as a *chain* of primitive vector VOPs — the
+ * way the paper's programming model composes library calls — which is
+ * what limits its SHMT speedup (every link re-partitions, re-schedules
+ * and re-synchronizes); the others are single- or few-VOP programs.
+ */
+
+#ifndef SHMT_APPS_BENCHMARKS_HH
+#define SHMT_APPS_BENCHMARKS_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vop.hh"
+#include "tensor/tensor.hh"
+
+namespace shmt::apps {
+
+/** One instantiated benchmark: inputs, program, and output storage. */
+class Benchmark
+{
+  public:
+    virtual ~Benchmark() = default;
+
+    /** Calibration-table name ("blackscholes", "dct8x8", ...). */
+    const std::string &name() const { return name_; }
+
+    /** Program to execute (writes into output()). */
+    const core::VopProgram &program() const { return program_; }
+
+    /** The benchmark's final output tensor. */
+    const Tensor &output() const { return *output_; }
+    Tensor &output() { return *output_; }
+
+    /** Whether Fig. 8 reports SSIM for this benchmark (image data). */
+    bool imageLike() const { return imageLike_; }
+
+  protected:
+    Benchmark(std::string name, bool image_like)
+        : name_(std::move(name)), imageLike_(image_like)
+    {}
+
+    /** Allocate a stable-addressed tensor owned by this benchmark. */
+    Tensor &
+    store(Tensor t)
+    {
+        tensors_.push_back(std::move(t));
+        return tensors_.back();
+    }
+
+    std::string name_;
+    bool imageLike_;
+    std::deque<Tensor> tensors_;  //!< deque: stable element addresses
+    core::VopProgram program_;
+    Tensor *output_ = nullptr;
+};
+
+/** Names of the ten paper benchmarks, in Table-2 order. */
+const std::vector<std::string> &benchmarkNames();
+
+/**
+ * Instantiate benchmark @p name on a rows x cols dataset (the paper's
+ * default is 8192x8192; benches default to a scaled-down size).
+ */
+std::unique_ptr<Benchmark> makeBenchmark(std::string_view name,
+                                         size_t rows, size_t cols,
+                                         uint64_t seed = 1);
+
+} // namespace shmt::apps
+
+#endif // SHMT_APPS_BENCHMARKS_HH

@@ -1,0 +1,81 @@
+#include "harness.hh"
+
+#include <cstdlib>
+
+#include "core/pipeline.hh"
+#include "devices/backend.hh"
+#include "kernels/kernel_registry.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::apps {
+
+core::Runtime
+makePrototypeRuntime(core::RuntimeConfig config,
+                     const sim::PlatformCalibration &cal)
+{
+    auto backends = devices::makePrototypeBackends(
+        kernels::KernelRegistry::instance(), cal);
+    return core::Runtime(std::move(backends), cal, config);
+}
+
+EvalResult
+evaluatePolicy(core::Runtime &runtime, Benchmark &bench,
+               std::string_view policy_name,
+               const core::QawsParams &params, bool want_quality)
+{
+    EvalResult result;
+    result.benchmark = bench.name();
+    result.policy = std::string(policy_name);
+
+    // Baseline timing (+ the exact FP32 reference when quality is
+    // wanted; otherwise timing-only so paper-scale inputs stay cheap).
+    result.baseline =
+        runtime.runGpuBaseline(bench.program(), want_quality);
+    result.baselineSec = result.baseline.makespanSec;
+    const Tensor reference = want_quality ? bench.output() : Tensor();
+
+    if (policy_name == "sw-pipelining") {
+        result.run =
+            core::runSwPipelined(runtime, bench.program(), {},
+                                 want_quality);
+    } else {
+        auto policy = core::makePolicy(policy_name, params);
+        result.run =
+            runtime.run(bench.program(), *policy, want_quality);
+    }
+    result.shmtSec = result.run.makespanSec;
+    result.speedup = result.baselineSec / result.shmtSec;
+
+    size_t hlops = 0;
+    size_t tpu_hlops = 0;
+    for (const auto &d : result.run.devices) {
+        hlops += d.hlops;
+        if (d.kind == sim::DeviceKind::EdgeTpu)
+            tpu_hlops += d.hlops;
+    }
+    result.tpuShare =
+        hlops > 0 ? static_cast<double>(tpu_hlops) /
+                        static_cast<double>(hlops)
+                  : 0.0;
+
+    if (want_quality) {
+        result.mapePct =
+            metrics::mape(reference.view(), bench.output().view());
+        result.ssim =
+            metrics::ssim(reference.view(), bench.output().view());
+    }
+    return result;
+}
+
+size_t
+benchEdge(size_t fallback)
+{
+    if (const char *env = std::getenv("SHMT_BENCH_N")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<size_t>(v);
+    }
+    return fallback;
+}
+
+} // namespace shmt::apps

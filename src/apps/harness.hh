@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared evaluation harness for the figure/table benches.
+ *
+ * Runs a benchmark under a named policy against the GPU baseline and
+ * reports speedup plus result quality (MAPE/SSIM vs the exact FP32
+ * reference). Every bench binary in bench/ builds on this.
+ */
+
+#ifndef SHMT_APPS_HARNESS_HH
+#define SHMT_APPS_HARNESS_HH
+
+#include <string>
+
+#include "apps/benchmarks.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+
+namespace shmt::apps {
+
+/** Outcome of one (benchmark, policy) evaluation. */
+struct EvalResult
+{
+    std::string benchmark;
+    std::string policy;
+    double baselineSec = 0.0;
+    double shmtSec = 0.0;
+    double speedup = 0.0;
+    double mapePct = 0.0;   //!< vs exact FP32 reference
+    double ssim = 1.0;      //!< vs exact FP32 reference
+    double tpuShare = 0.0;  //!< fraction of HLOPs run on the Edge TPU
+    core::RunResult run;
+    core::RunResult baseline;
+};
+
+/** Build the default two-device (GPU + Edge TPU) runtime. */
+core::Runtime makePrototypeRuntime(
+    core::RuntimeConfig config = {},
+    const sim::PlatformCalibration &cal = sim::defaultCalibration());
+
+/**
+ * Evaluate @p policy_name ("even", "work-stealing", "qaws-ts", ...,
+ * "ira", "oracle", "tpu-only", or the special "sw-pipelining") on
+ * @p bench. @p want_quality controls whether MAPE/SSIM are computed
+ * (requires an extra exact reference run).
+ */
+EvalResult evaluatePolicy(core::Runtime &runtime, Benchmark &bench,
+                          std::string_view policy_name,
+                          const core::QawsParams &params = {},
+                          bool want_quality = true);
+
+/**
+ * Benchmark dataset edge length: `SHMT_BENCH_N` env var, else
+ * @p fallback. The paper's full size is 8192; benches default to a
+ * smaller edge so the whole suite reruns in minutes.
+ */
+size_t benchEdge(size_t fallback = 1024);
+
+} // namespace shmt::apps
+
+#endif // SHMT_APPS_HARNESS_HH

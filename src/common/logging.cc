@@ -1,0 +1,62 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace shmt {
+
+namespace {
+
+std::atomic<LogLevel> global_level{LogLevel::Warn};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace shmt

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Status-message and error-handling helpers in the gem5 spirit.
+ *
+ * panic()  -- an internal invariant of SHMT itself was violated; aborts.
+ * fatal()  -- the user asked for something impossible; exits with code 1.
+ * warn()   -- something works, but not as well as it should.
+ * inform() -- plain status output.
+ */
+
+#ifndef SHMT_COMMON_LOGGING_HH
+#define SHMT_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace shmt {
+
+/** Verbosity levels for runtime status messages. */
+enum class LogLevel {
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Get the global log level (default Warn; see setLogLevel()). */
+LogLevel logLevel();
+
+/** Set the global log level for inform()/warn()/debugLog(). */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    ((os << std::forward<Args>(args)), ...);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort with a message: something that should never happen happened.
+ * Use for SHMT bugs, not user errors.
+ */
+#define SHMT_PANIC(...)                                                       \
+    ::shmt::detail::panicImpl(__FILE__, __LINE__,                             \
+                              ::shmt::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit with a message: the simulation cannot continue due to a condition
+ * that is the user's fault (bad configuration, invalid arguments).
+ */
+#define SHMT_FATAL(...)                                                       \
+    ::shmt::detail::fatalImpl(__FILE__, __LINE__,                             \
+                              ::shmt::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; panics with the condition text on failure. */
+#define SHMT_ASSERT(cond, ...)                                                \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::shmt::detail::panicImpl(                                        \
+                __FILE__, __LINE__,                                           \
+                ::shmt::detail::concat("assertion failed: " #cond " ",        \
+                                       ##__VA_ARGS__));                       \
+        }                                                                     \
+    } while (0)
+
+/** Warn the user that some behaviour may be off. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informative status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Debug-level trace message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::debugImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace shmt
+
+#endif // SHMT_COMMON_LOGGING_HH

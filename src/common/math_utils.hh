@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small numeric helpers shared across SHMT modules.
+ */
+
+#ifndef SHMT_COMMON_MATH_UTILS_HH
+#define SHMT_COMMON_MATH_UTILS_HH
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shmt {
+
+/** Integer ceiling division. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p v up to the next multiple of @p m (m > 0). */
+template <typename T>
+constexpr T
+roundUp(T v, T m)
+{
+    return ceilDiv(v, m) * m;
+}
+
+/** True if @p v is a power of two (v > 0). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Clamp @p v into [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Geometric mean of a vector of positive values; 0 if empty. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean; 0 if empty. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** Population standard deviation; 0 if fewer than 2 elements. */
+inline double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+} // namespace shmt
+
+#endif // SHMT_COMMON_MATH_UTILS_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for SHMT.
+ *
+ * All stochastic behaviour in the simulator (workload generation, uniform
+ * random sampling, NPU noise injection) flows through SplitMix64/
+ * Xoshiro256** generators seeded explicitly, so every experiment is
+ * bit-reproducible across runs and platforms.
+ */
+
+#ifndef SHMT_COMMON_RANDOM_HH
+#define SHMT_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace shmt {
+
+/** SplitMix64: used to seed Xoshiro and as a cheap stateless hash. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of a single value (for per-partition noise seeds). */
+inline uint64_t
+hashMix(uint64_t x)
+{
+    uint64_t s = x;
+    return splitmix64(s);
+}
+
+/**
+ * Xoshiro256** deterministic PRNG.
+ *
+ * Satisfies UniformRandomBitGenerator so it can drive <random>
+ * distributions, but SHMT mostly uses the uniform helpers below to stay
+ * bit-identical regardless of libstdc++ internals.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed expanded through SplitMix64. */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eedULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<uint64_t>::max();
+    }
+
+    /** Next 64 raw bits. */
+    uint64_t
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /** Uniform integer in [0, n) without modulo bias for n << 2^64. */
+    uint64_t
+    uniformInt(uint64_t n)
+    {
+        return n == 0 ? 0 : operator()() % n;
+    }
+
+    /** Standard normal via Box-Muller (deterministic, no <random>). */
+    double
+    normal()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-12)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+        const double theta = 2.0 * 3.14159265358979323846 * u2;
+        spare_ = r * __builtin_sin(theta);
+        have_spare_ = true;
+        return r * __builtin_cos(theta);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4] = {};
+    double spare_ = 0.0;
+    bool have_spare_ = false;
+};
+
+} // namespace shmt
+
+#endif // SHMT_COMMON_RANDOM_HH

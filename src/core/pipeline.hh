@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Software-pipelining reference executor (paper Fig. 1(b), Fig. 6's
+ * "SW pipelining" bars).
+ *
+ * Conventional heterogeneous programs can overlap the CPU-side stage
+ * of one batch (data preparation/layout) with the GPU compute of the
+ * previous batch. This executor simulates that two-stage pipeline over
+ * B batches; the per-kernel stage split comes from the calibration
+ * table (fitted to the paper's measured pipelining speedups, since
+ * the stage structure of the authors' implementations is not
+ * reconstructible from our simulator — see DESIGN.md).
+ */
+
+#ifndef SHMT_CORE_PIPELINE_HH
+#define SHMT_CORE_PIPELINE_HH
+
+#include "core/runtime.hh"
+#include "core/vop.hh"
+
+namespace shmt::core {
+
+/** Pipelined-execution configuration. */
+struct PipelineConfig
+{
+    size_t batches = 16;   //!< pipeline depth (batches per VOp)
+};
+
+/**
+ * Execute @p program on the GPU with two-stage software pipelining.
+ * Functionally identical to the GPU baseline (outputs are exact);
+ * only the timing differs. @p functional as in Runtime::run.
+ */
+RunResult runSwPipelined(Runtime &runtime, const VopProgram &program,
+                         const PipelineConfig &config = {},
+                         bool functional = true);
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_PIPELINE_HH

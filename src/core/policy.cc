@@ -1,0 +1,512 @@
+#include "policy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace shmt::core {
+
+namespace {
+
+/** Indices of @p devices sorted most-accurate-first. */
+std::vector<size_t>
+byAccuracyDesc(const std::vector<DeviceInfo> &devices)
+{
+    std::vector<size_t> order(devices.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return devices[a].accuracyRank() > devices[b].accuracyRank();
+    });
+    return order;
+}
+
+/** Round-robin distribution over all devices. */
+std::vector<size_t>
+roundRobin(size_t n, size_t n_devices)
+{
+    std::vector<size_t> q(n);
+    for (size_t i = 0; i < n; ++i)
+        q[i] = i % n_devices;
+    return q;
+}
+
+class EvenDistributionPolicy : public Policy
+{
+  public:
+    std::string_view name() const override { return "even"; }
+    bool stealingEnabled() const override { return false; }
+
+    std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices) const override
+    {
+        return roundRobin(partitions.size(), devices.size());
+    }
+};
+
+class WorkStealingPolicy : public Policy
+{
+  public:
+    std::string_view name() const override { return "work-stealing"; }
+
+    std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices) const override
+    {
+        // §3.4: the initial plan partitions the dataset evenly; the
+        // consumption-rate imbalance is then fixed by stealing.
+        return roundRobin(partitions.size(), devices.size());
+    }
+};
+
+/**
+ * Algorithm 2: rank criticality within windows of W partitions; the
+ * top K fraction goes to the most accurate device, the remainder is
+ * spread over the rest.
+ */
+std::vector<size_t>
+topKAssign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices, double top_k,
+           size_t window)
+{
+    SHMT_ASSERT(!devices.empty(), "no devices");
+    const auto order = byAccuracyDesc(devices);
+    const size_t n = partitions.size();
+    std::vector<size_t> q(n);
+    window = std::max<size_t>(window, 1);
+
+    size_t fallback_rr = 0;
+    for (size_t w0 = 0; w0 < n; w0 += window) {
+        const size_t w = std::min(window, n - w0);
+        std::vector<size_t> idx(w);
+        std::iota(idx.begin(), idx.end(), w0);
+        std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+            return partitions[a].criticality > partitions[b].criticality;
+        });
+        const size_t k =
+            std::min(w, static_cast<size_t>(
+                            std::ceil(top_k * static_cast<double>(w))));
+        for (size_t j = 0; j < w; ++j) {
+            if (j < k || devices.size() == 1) {
+                q[idx[j]] = devices[order[0]].index;
+            } else {
+                // Spread the non-critical remainder over the less
+                // accurate devices.
+                const size_t slot = 1 + (fallback_rr++ %
+                                         (devices.size() - 1));
+                q[idx[j]] = devices[order[slot]].index;
+            }
+        }
+    }
+    return q;
+}
+
+/** Shared accuracy-ordered stealing rule (paper §3.5): only a device
+ *  with accuracy >= the victim's may steal. */
+bool
+accuracySteal(const DeviceInfo &thief, const DeviceInfo &victim)
+{
+    return thief.accuracyRank() >= victim.accuracyRank();
+}
+
+class QawsTopKPolicy : public Policy
+{
+  public:
+    QawsTopKPolicy(SamplingMethod method, const QawsParams &params)
+        : params_(params)
+    {
+        params_.samplingSpec.method = method;
+        name_ = std::string("QAWS-T") +
+                (method == SamplingMethod::Striding   ? "S"
+                 : method == SamplingMethod::Uniform  ? "U"
+                                                      : "R");
+    }
+
+    std::string_view name() const override { return name_; }
+
+    std::optional<SamplingSpec>
+    sampling() const override
+    {
+        return params_.samplingSpec;
+    }
+
+    std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices) const override
+    {
+        return topKAssign(partitions, devices, params_.topK,
+                          params_.window);
+    }
+
+    bool
+    canSteal(const DeviceInfo &thief, const DeviceInfo &victim,
+             double) const override
+    {
+        return accuracySteal(thief, victim);
+    }
+
+  private:
+    QawsParams params_;
+    std::string name_;
+};
+
+class QawsLimitPolicy : public Policy
+{
+  public:
+    QawsLimitPolicy(SamplingMethod method, const QawsParams &params)
+        : params_(params)
+    {
+        params_.samplingSpec.method = method;
+        name_ = std::string("QAWS-L") +
+                (method == SamplingMethod::Striding   ? "S"
+                 : method == SamplingMethod::Uniform  ? "U"
+                                                      : "R");
+    }
+
+    std::string_view name() const override { return name_; }
+
+    std::optional<SamplingSpec>
+    sampling() const override
+    {
+        return params_.samplingSpec;
+    }
+
+    /** Criticality limit of @p dev given the VOP's largest score. */
+    double
+    deviceLimit(const DeviceInfo &dev, double max_score) const
+    {
+        // FP32 devices compute exactly: no limit. Reduced-precision
+        // devices only accept criticalities below a fraction of the
+        // VOP's largest observed score (Algorithm 1's limits array,
+        // derived from the supported precision).
+        if (dev.dtype == DType::Float32)
+            return std::numeric_limits<double>::infinity();
+        return params_.limitFraction * max_score;
+    }
+
+    std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices) const override
+    {
+        double max_score = 0.0;
+        for (const auto &p : partitions)
+            max_score = std::max(max_score, p.criticality);
+        maxScore_ = max_score;
+
+        // Least-accurate-first device order: assign each partition to
+        // the cheapest device whose limit tolerates it (Algorithm 1,
+        // with the limits array sorted so the default choice is the
+        // most accurate device).
+        auto order = byAccuracyDesc(devices);
+        std::reverse(order.begin(), order.end());
+
+        std::vector<size_t> q(partitions.size());
+        // Keep cheap partitions spread over tolerant devices via
+        // round-robin among devices that tolerate the score.
+        std::vector<size_t> rr(devices.size(), 0);
+        for (size_t i = 0; i < partitions.size(); ++i) {
+            const double s = partitions[i].criticality;
+            std::vector<size_t> ok;
+            for (size_t oi : order)
+                if (s < deviceLimit(devices[oi], max_score))
+                    ok.push_back(oi);
+            if (ok.empty()) {
+                q[i] = devices[order.back()].index;  // most accurate
+            } else {
+                q[i] = devices[ok[i % ok.size()]].index;
+            }
+        }
+        return q;
+    }
+
+    bool
+    canSteal(const DeviceInfo &thief, const DeviceInfo &victim,
+             double criticality) const override
+    {
+        // §3.5 (1): a device may only steal from a device with the
+        // same or lower hardware limit, and the stolen HLOP must fit
+        // the thief's own limit.
+        if (!accuracySteal(thief, victim))
+            return false;
+        return criticality < deviceLimit(thief, maxScore_);
+    }
+
+  private:
+    QawsParams params_;
+    std::string name_;
+    mutable double maxScore_ = 0.0;
+};
+
+class IraSamplingPolicy : public Policy
+{
+  public:
+    explicit IraSamplingPolicy(const QawsParams &params) : params_(params)
+    {
+        params_.samplingSpec.method = SamplingMethod::Exact;
+    }
+
+    std::string_view name() const override { return "IRA-sampling"; }
+    bool runsCanary() const override { return true; }
+
+    std::optional<SamplingSpec>
+    sampling() const override
+    {
+        return params_.samplingSpec;
+    }
+
+    std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices) const override
+    {
+        return topKAssign(partitions, devices, params_.topK,
+                          params_.window);
+    }
+
+    bool
+    canSteal(const DeviceInfo &thief, const DeviceInfo &victim,
+             double) const override
+    {
+        return accuracySteal(thief, victim);
+    }
+
+  private:
+    QawsParams params_;
+};
+
+class OraclePolicy : public Policy
+{
+  public:
+    explicit OraclePolicy(const QawsParams &params) : params_(params)
+    {
+        params_.samplingSpec.method = SamplingMethod::Exact;
+    }
+
+    std::string_view name() const override { return "oracle"; }
+    bool chargesSamplingCost() const override { return false; }
+
+    std::optional<SamplingSpec>
+    sampling() const override
+    {
+        return params_.samplingSpec;
+    }
+
+    std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices) const override
+    {
+        return topKAssign(partitions, devices, params_.topK,
+                          params_.window);
+    }
+
+    bool
+    canSteal(const DeviceInfo &thief, const DeviceInfo &victim,
+             double) const override
+    {
+        return accuracySteal(thief, victim);
+    }
+
+  private:
+    QawsParams params_;
+};
+
+class StaticOptimalPolicy : public Policy
+{
+  public:
+    std::string_view name() const override { return "static-optimal"; }
+    bool stealingEnabled() const override { return false; }
+
+    void
+    beginVop(const VopContext &context) override
+    {
+        context_ = context;
+    }
+
+    std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices) const override
+    {
+        SHMT_ASSERT(!devices.empty(), "no devices");
+        // Effective partitions/second of each device for this kernel,
+        // including the per-HLOP launch overhead (ignoring it would
+        // flood a high-throughput but high-latency accelerator with
+        // small HLOPs). Falls back to an even split when no cost
+        // model was provided.
+        std::vector<double> rate(devices.size(), 1.0);
+        if (context_.costModel && !partitions.empty()) {
+            size_t total_elems = 0;
+            for (const auto &p : partitions)
+                total_elems += p.region.size();
+            const size_t avg_elems =
+                std::max<size_t>(1, total_elems / partitions.size());
+            for (size_t d = 0; d < devices.size(); ++d) {
+                const double t = context_.costModel->hlopSeconds(
+                    devices[d].kind, context_.costKey, avg_elems,
+                    context_.weight);
+                rate[d] = t > 0.0 ? 1.0 / t : 0.0;
+            }
+        }
+        double total = 0.0;
+        for (double r : rate)
+            total += r;
+        SHMT_ASSERT(total > 0.0, "all devices have zero throughput");
+
+        // Largest-remainder apportionment of the partition count.
+        const size_t n = partitions.size();
+        std::vector<size_t> quota(devices.size());
+        std::vector<std::pair<double, size_t>> remainders;
+        size_t assigned = 0;
+        for (size_t d = 0; d < devices.size(); ++d) {
+            const double share =
+                static_cast<double>(n) * rate[d] / total;
+            quota[d] = static_cast<size_t>(share);
+            assigned += quota[d];
+            remainders.push_back({share - std::floor(share), d});
+        }
+        std::stable_sort(remainders.begin(), remainders.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first > b.first;
+                         });
+        for (size_t i = 0; assigned < n; ++i, ++assigned)
+            quota[remainders[i % remainders.size()].second] += 1;
+
+        std::vector<size_t> q(n);
+        size_t device = 0;
+        size_t used = 0;
+        for (size_t i = 0; i < n; ++i) {
+            while (device + 1 < devices.size() && used >= quota[device]) {
+                ++device;
+                used = 0;
+            }
+            q[i] = devices[device].index;
+            ++used;
+        }
+        return q;
+    }
+
+  private:
+    VopContext context_;
+};
+
+class SingleDevicePolicy : public Policy
+{
+  public:
+    explicit SingleDevicePolicy(sim::DeviceKind kind) : kind_(kind)
+    {
+        name_ = std::string(sim::deviceKindName(kind)) + "-only";
+    }
+
+    std::string_view name() const override { return name_; }
+    bool stealingEnabled() const override { return false; }
+
+    std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices) const override
+    {
+        size_t target = 0;
+        bool found = false;
+        for (const auto &d : devices) {
+            if (d.kind == kind_) {
+                target = d.index;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            SHMT_FATAL("no device of kind '", sim::deviceKindName(kind_),
+                       "' in the platform");
+        return std::vector<size_t>(partitions.size(), target);
+    }
+
+  private:
+    sim::DeviceKind kind_;
+    std::string name_;
+};
+
+} // namespace
+
+std::unique_ptr<Policy>
+makeEvenDistributionPolicy()
+{
+    return std::make_unique<EvenDistributionPolicy>();
+}
+
+std::unique_ptr<Policy>
+makeWorkStealingPolicy()
+{
+    return std::make_unique<WorkStealingPolicy>();
+}
+
+std::unique_ptr<Policy>
+makeQawsTopKPolicy(SamplingMethod method, const QawsParams &params)
+{
+    return std::make_unique<QawsTopKPolicy>(method, params);
+}
+
+std::unique_ptr<Policy>
+makeQawsLimitPolicy(SamplingMethod method, const QawsParams &params)
+{
+    return std::make_unique<QawsLimitPolicy>(method, params);
+}
+
+std::unique_ptr<Policy>
+makeIraSamplingPolicy(const QawsParams &params)
+{
+    return std::make_unique<IraSamplingPolicy>(params);
+}
+
+std::unique_ptr<Policy>
+makeOraclePolicy(const QawsParams &params)
+{
+    return std::make_unique<OraclePolicy>(params);
+}
+
+std::unique_ptr<Policy>
+makeSingleDevicePolicy(sim::DeviceKind kind)
+{
+    return std::make_unique<SingleDevicePolicy>(kind);
+}
+
+std::unique_ptr<Policy>
+makeStaticOptimalPolicy()
+{
+    return std::make_unique<StaticOptimalPolicy>();
+}
+
+std::unique_ptr<Policy>
+makePolicy(std::string_view name, const QawsParams &params)
+{
+    if (name == "even")
+        return makeEvenDistributionPolicy();
+    if (name == "work-stealing" || name == "ws")
+        return makeWorkStealingPolicy();
+    if (name == "qaws-ts")
+        return makeQawsTopKPolicy(SamplingMethod::Striding, params);
+    if (name == "qaws-tu")
+        return makeQawsTopKPolicy(SamplingMethod::Uniform, params);
+    if (name == "qaws-tr")
+        return makeQawsTopKPolicy(SamplingMethod::Reduction, params);
+    if (name == "qaws-ls")
+        return makeQawsLimitPolicy(SamplingMethod::Striding, params);
+    if (name == "qaws-lu")
+        return makeQawsLimitPolicy(SamplingMethod::Uniform, params);
+    if (name == "qaws-lr")
+        return makeQawsLimitPolicy(SamplingMethod::Reduction, params);
+    if (name == "ira" || name == "ira-sampling")
+        return makeIraSamplingPolicy(params);
+    if (name == "oracle")
+        return makeOraclePolicy(params);
+    if (name == "static-optimal")
+        return makeStaticOptimalPolicy();
+    if (name == "gpu-only")
+        return makeSingleDevicePolicy(sim::DeviceKind::Gpu);
+    if (name == "tpu-only")
+        return makeSingleDevicePolicy(sim::DeviceKind::EdgeTpu);
+    if (name == "cpu-only")
+        return makeSingleDevicePolicy(sim::DeviceKind::Cpu);
+    SHMT_FATAL("unknown policy '", name, "'");
+}
+
+} // namespace shmt::core

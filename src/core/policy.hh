@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Scheduling policies (paper §3.4-§3.5).
+ *
+ * The runtime consults a Policy for (1) whether/how to sample input
+ * partitions, (2) the initial HLOP-to-queue assignment, and (3) which
+ * work-stealing moves are legal. Provided policies:
+ *
+ *  - even:           static even distribution (no stealing)
+ *  - work-stealing:  plain work stealing, quality-oblivious
+ *  - qaws-l{s,u,r}:  QAWS with device-dependent limits (Algorithm 1)
+ *  - qaws-t{s,u,r}:  QAWS with top-K criticality windows (Algorithm 2)
+ *  - ira:            full IRA canary baseline (§5.2: ~45% slowdown)
+ *  - oracle:         exact criticality, no overhead charged (Fig. 7)
+ *  - gpu-only / tpu-only: single-device references
+ */
+
+#ifndef SHMT_CORE_POLICY_HH
+#define SHMT_CORE_POLICY_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sampling.hh"
+#include "sim/calibration.hh"
+#include "sim/cost_model.hh"
+#include "tensor/dtype.hh"
+#include "tensor/tiling.hh"
+
+namespace shmt::core {
+
+/** What a policy knows about each device. */
+struct DeviceInfo
+{
+    size_t index = 0;            //!< queue index
+    sim::DeviceKind kind = sim::DeviceKind::Gpu;
+    DType dtype = DType::Float32;
+
+    /** Higher = more accurate (derived from the native dtype). */
+    double
+    accuracyRank() const
+    {
+        return dtypeLevels(dtype);
+    }
+};
+
+/** What a policy knows about each input partition. */
+struct PartitionInfo
+{
+    Rect region;
+    double criticality = 0.0;  //!< 0 when the policy does not sample
+};
+
+/** Per-VOP context handed to policies that want cost information. */
+struct VopContext
+{
+    std::string_view costKey;              //!< calibration record key
+    const sim::CostModel *costModel = nullptr;
+    double weight = 1.0;                   //!< VOP cost weight
+};
+
+/** Abstract scheduling policy. */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    /** Policy name as used in the paper's figures (e.g. "QAWS-TS"). */
+    virtual std::string_view name() const = 0;
+
+    /** Called by the runtime before sampling/assigning each VOP. */
+    virtual void
+    beginVop(const VopContext &context)
+    {
+        (void)context;
+    }
+
+    /** Sampling configuration; nullopt = no criticality sampling. */
+    virtual std::optional<SamplingSpec>
+    sampling() const
+    {
+        return std::nullopt;
+    }
+
+    /** Whether the policy runs IRA-style canary computations. */
+    virtual bool runsCanary() const { return false; }
+
+    /** Whether sampling overhead should be charged (oracle: no). */
+    virtual bool chargesSamplingCost() const { return true; }
+
+    /**
+     * Initial queue index per partition. @p partitions carry the
+     * sampled criticality when sampling() is engaged.
+     */
+    virtual std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &devices) const = 0;
+
+    /** Whether idle devices may steal pending HLOPs at all. */
+    virtual bool stealingEnabled() const { return true; }
+
+    /**
+     * Whether @p thief may steal an HLOP of criticality
+     * @p criticality currently queued on @p victim.
+     */
+    virtual bool
+    canSteal(const DeviceInfo &thief, const DeviceInfo &victim,
+             double criticality) const
+    {
+        (void)thief;
+        (void)victim;
+        (void)criticality;
+        return true;
+    }
+};
+
+/** Parameters of the QAWS policies. */
+struct QawsParams
+{
+    SamplingSpec samplingSpec;
+    /**
+     * Top-K policy (Algorithm 2): fraction of each window sent to the
+     * most accurate device, and the window size W.
+     */
+    double topK = 0.25;
+    size_t window = 8;
+    /**
+     * Device-limit policy (Algorithm 1): a device with fewer than
+     * this many representable levels (native dtype) only receives
+     * partitions whose criticality is below limitFraction times the
+     * largest observed criticality of the VOP.
+     */
+    double limitFraction = 0.65;
+};
+
+/** @{ Policy factories. */
+std::unique_ptr<Policy> makeEvenDistributionPolicy();
+std::unique_ptr<Policy> makeWorkStealingPolicy();
+std::unique_ptr<Policy> makeQawsTopKPolicy(SamplingMethod method,
+                                           const QawsParams &params = {});
+std::unique_ptr<Policy> makeQawsLimitPolicy(SamplingMethod method,
+                                            const QawsParams &params = {});
+std::unique_ptr<Policy> makeIraSamplingPolicy(const QawsParams &params = {});
+std::unique_ptr<Policy> makeOraclePolicy(const QawsParams &params = {});
+std::unique_ptr<Policy> makeSingleDevicePolicy(sim::DeviceKind kind);
+
+/**
+ * Static-optimal planning (the idealized split behind Fig. 2's
+ * theoretical SHMT gain): partitions are assigned proportionally to
+ * each device's calibrated throughput for the kernel, no sampling and
+ * no stealing. Optimal when the cost model is exact and partitions
+ * are uniform; a reference point for how much work stealing's
+ * adaptivity is worth.
+ */
+std::unique_ptr<Policy> makeStaticOptimalPolicy();
+/** @} */
+
+/**
+ * Factory from figure labels: "even", "work-stealing", "qaws-ts",
+ * "qaws-tu", "qaws-tr", "qaws-ls", "qaws-lu", "qaws-lr", "ira",
+ * "oracle", "gpu-only", "tpu-only".
+ */
+std::unique_ptr<Policy> makePolicy(std::string_view name,
+                                   const QawsParams &params = {});
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_POLICY_HH

@@ -1,0 +1,680 @@
+#include "runtime.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <set>
+
+#include "common/math_utils.hh"
+#include "common/random.hh"
+
+namespace shmt::core {
+
+using kernels::KernelArgs;
+using kernels::KernelInfo;
+using kernels::KernelRegistry;
+using kernels::ReduceKind;
+
+double
+RunResult::commOverhead() const
+{
+    double busy = 0.0;
+    double stall = 0.0;
+    for (const auto &d : devices) {
+        busy += d.busySec;
+        stall += d.stallSec;
+    }
+    return busy > 0.0 ? stall / busy : 0.0;
+}
+
+Runtime::Runtime(std::vector<std::unique_ptr<devices::Backend>> backends,
+                 const sim::PlatformCalibration &cal, RuntimeConfig config)
+    : backends_(std::move(backends)), cal_(cal), costModel_(cal),
+      config_(config)
+{
+    SHMT_ASSERT(!backends_.empty(), "runtime needs at least one device");
+}
+
+namespace {
+
+/** Basis (rows, cols) of a VOP's partitioning space. */
+std::pair<size_t, size_t>
+vopBasis(const VOp &vop, const KernelInfo &info)
+{
+    if (info.reduce != ReduceKind::None) {
+        SHMT_ASSERT(!vop.inputs.empty(), "reduction without input");
+        return {vop.inputs[0]->rows(), vop.inputs[0]->cols()};
+    }
+    SHMT_ASSERT(vop.output, "VOp '", vop.opcode, "' has no output");
+    return {vop.output->rows(), vop.output->cols()};
+}
+
+/** Validate the output tensor shape of @p vop. */
+void
+checkVop(const VOp &vop, const KernelInfo &info)
+{
+    SHMT_ASSERT(vop.output, "VOp '", vop.opcode, "' has no output");
+    SHMT_ASSERT(!vop.inputs.empty(), "VOp '", vop.opcode, "' has no input");
+    for (const Tensor *t : vop.inputs)
+        SHMT_ASSERT(t && !t->empty(), "VOp '", vop.opcode,
+                    "' has an empty input");
+    if (info.reduce != ReduceKind::None) {
+        SHMT_ASSERT(vop.output->rows() == info.reduceRows &&
+                        vop.output->cols() == info.reduceCols,
+                    "VOp '", vop.opcode, "' output must be ",
+                    info.reduceRows, "x", info.reduceCols);
+    }
+}
+
+/** Initial value of a reduction output. */
+float
+reduceInit(ReduceKind kind)
+{
+    switch (kind) {
+      case ReduceKind::Sum: return 0.0f;
+      case ReduceKind::Max:
+        return -std::numeric_limits<float>::infinity();
+      case ReduceKind::Min:
+        return std::numeric_limits<float>::infinity();
+      case ReduceKind::None: break;
+    }
+    return 0.0f;
+}
+
+/** Fold one accumulator into the reduction output. */
+void
+combineInto(TensorView out, ConstTensorView acc, ReduceKind kind)
+{
+    SHMT_ASSERT(out.rows() == acc.rows() && out.cols() == acc.cols(),
+                "combine shape mismatch");
+    for (size_t r = 0; r < out.rows(); ++r) {
+        float *d = out.row(r);
+        const float *s = acc.row(r);
+        for (size_t c = 0; c < out.cols(); ++c) {
+            switch (kind) {
+              case ReduceKind::Sum: d[c] += s[c]; break;
+              case ReduceKind::Max: d[c] = std::max(d[c], s[c]); break;
+              case ReduceKind::Min: d[c] = std::min(d[c], s[c]); break;
+              case ReduceKind::None: break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Rect>
+Runtime::partitionVop(const KernelInfo &info, size_t rows,
+                      size_t cols) const
+{
+    const size_t target = std::max<size_t>(1, config_.targetHlops);
+    if (info.model == ParallelModel::Vector) {
+        const size_t count =
+            choosePartitionCount(rows, cols, target, target);
+        return vectorPartitions(rows, cols, count);
+    }
+
+    // Tile model: a k x k grid targeting `target` tiles, with tile
+    // edges rounded up to the kernel's block alignment (paper §3.4
+    // additionally keeps tiles page-multiple; blockAlign covers that
+    // for the block transforms, and the grid keeps tiles big).
+    const size_t k = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(target))));
+    const size_t align = std::max<size_t>(1, info.blockAlign);
+    size_t tile_r = roundUp(ceilDiv(rows, k), align);
+    size_t tile_c = roundUp(ceilDiv(cols, k), align);
+    tile_r = std::max(tile_r, align);
+    tile_c = std::max(tile_c, align);
+    return tilePartitions(rows, cols, tile_r, tile_c);
+}
+
+namespace {
+
+/** Stable key for a partition rectangle. */
+uint64_t
+rectKey(const Rect &r)
+{
+    return (static_cast<uint64_t>(r.row0) << 32) ^ r.col0 ^
+           (static_cast<uint64_t>(r.rows) << 48) ^
+           (static_cast<uint64_t>(r.cols) << 16);
+}
+
+} // namespace
+
+double
+Runtime::executeVop(const VOp &vop, Policy &policy, double start,
+                    RunResult &result, size_t vop_index, bool functional)
+{
+    const KernelRegistry &registry = KernelRegistry::instance();
+    const KernelInfo &info = registry.get(vop.opcode);
+    checkVop(vop, info);
+
+    const auto [rows, cols] = vopBasis(vop, info);
+    const std::string_view cost_key = vop.costKeyOverride.empty()
+                                          ? std::string_view(info.costKey)
+                                          : vop.costKeyOverride;
+    std::vector<Rect> partitions = partitionVop(info, rows, cols);
+    const size_t n = partitions.size();
+    const size_t n_dev = backends_.size();
+    const uint64_t vop_seed = config_.seed ^ hashMix(vop_index + 1);
+
+    // --- Device metadata for the policy. --------------------------------
+    // Only devices whose driver registered an implementation of this
+    // opcode participate (paper §3.3: drivers report their HLOP lists
+    // at initialization). The policy sees queue slots 0..E-1; the
+    // eligible[] table maps slots back to physical devices.
+    std::vector<size_t> eligible;
+    for (size_t d = 0; d < n_dev; ++d)
+        if (backends_[d]->supports(info))
+            eligible.push_back(d);
+    if (eligible.empty())
+        SHMT_FATAL("no device supports opcode '", vop.opcode, "'");
+    const size_t n_slots = eligible.size();
+    std::vector<DeviceInfo> dev_infos(n_slots);
+    for (size_t sl = 0; sl < n_slots; ++sl) {
+        dev_infos[sl].index = sl;
+        dev_infos[sl].kind = backends_[eligible[sl]]->kind();
+        dev_infos[sl].dtype = backends_[eligible[sl]]->nativeDtype();
+    }
+
+    policy.beginVop(VopContext{cost_key, &costModel_,
+                               info.costWeight * vop.weight});
+
+    // --- Sampling phase (QAWS, paper §3.5). ------------------------------
+    double cpu_clock = start;
+    std::vector<PartitionInfo> pinfos(n);
+    const bool can_sample =
+        !vop.inputs.empty() && vop.inputs[0]->rows() == rows &&
+        vop.inputs[0]->cols() == cols;
+    if (auto spec = policy.sampling(); spec && can_sample) {
+        for (size_t i = 0; i < n; ++i) {
+            const auto view = regionView(*vop.inputs[0], partitions[i]);
+            const SampleStats stats =
+                samplePartition(view, *spec, vop_seed ^ hashMix(i));
+            pinfos[i].criticality = criticalityScore(stats);
+            if (policy.chargesSamplingCost()) {
+                switch (spec->method) {
+                  case SamplingMethod::Reduction:
+                    cpu_clock += costModel_.reductionSampleSeconds(
+                        stats.visited);
+                    break;
+                  case SamplingMethod::Exact:
+                    cpu_clock +=
+                        costModel_.fullScanSeconds(stats.visited);
+                    break;
+                  default:
+                    cpu_clock +=
+                        costModel_.sampleSeconds(stats.visited);
+                }
+            }
+            if (policy.runsCanary())
+                cpu_clock += costModel_.canarySeconds(
+                    cost_key, partitions[i].size());
+        }
+    }
+    for (size_t i = 0; i < n; ++i)
+        pinfos[i].region = partitions[i];
+    cpu_clock += static_cast<double>(n) * costModel_.scheduleSeconds();
+    result.schedulingSec += cpu_clock - start;
+
+    // --- Initial HLOP distribution (paper §3.3.1). -----------------------
+    const std::vector<size_t> assignment = policy.assign(pinfos, dev_infos);
+    SHMT_ASSERT(assignment.size() == n, "policy returned ",
+                assignment.size(), " assignments for ", n, " partitions");
+    std::vector<std::deque<size_t>> queues(n_slots);
+    for (size_t i = 0; i < n; ++i) {
+        SHMT_ASSERT(assignment[i] < n_slots, "assignment out of range");
+        queues[assignment[i]].push_back(i);
+    }
+
+    // --- Reduction accumulators. -----------------------------------------
+    std::vector<Tensor> accumulators;
+    if (info.reduce != ReduceKind::None) {
+        accumulators.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            accumulators.emplace_back(info.reduceRows, info.reduceCols);
+    }
+
+    // --- Kernel arguments shared by all HLOPs. ---------------------------
+    KernelArgs args;
+    for (const Tensor *t : vop.inputs)
+        args.inputs.push_back(t->view());
+    args.scalars = vop.scalars;
+    if (const sim::KernelCalibration *rec = cal_.find(cost_key))
+        args.npuNoiseOverride = rec->npuNoise;
+
+    // The pre-trained NPU models' fixed input scales, set at
+    // model-compile time (hence no runtime cost) to the full data
+    // range — lossless for 8-bit image data. Partitions far below the
+    // model range use only a sliver of the INT8 codes, and the model
+    // noise grows for partitions near/above it (off-distribution).
+    for (const Tensor *t : vop.inputs)
+        args.npuInputQuant.push_back(chooseQuantParams(t->view()));
+
+    // --- Event-driven execution with work stealing (paper §3.4). ---------
+    const double release = cpu_clock;
+    std::vector<bool> active(n_slots, true);
+    std::vector<bool> was_stolen(n, false);
+    size_t remaining = n;
+
+    auto try_steal = [&](size_t thief) -> bool {
+        if (!policy.stealingEnabled())
+            return false;
+        // Victims ordered by queue depth ("the hardware with the most
+        // pending items").
+        std::vector<size_t> victims;
+        for (size_t v = 0; v < n_slots; ++v)
+            if (v != thief && !queues[v].empty())
+                victims.push_back(v);
+        std::stable_sort(victims.begin(), victims.end(),
+                         [&](size_t a, size_t b) {
+                             return queues[a].size() > queues[b].size();
+                         });
+        for (size_t v : victims) {
+            const size_t want = (queues[v].size() + 1) / 2;
+            size_t moved = 0;
+            // Withdraw unprocessed HLOPs from the back of the victim's
+            // queue, respecting the policy's stealing constraints.
+            std::deque<size_t> keep;
+            while (!queues[v].empty() && moved < want) {
+                const size_t h = queues[v].back();
+                queues[v].pop_back();
+                if (policy.canSteal(dev_infos[thief], dev_infos[v],
+                                    pinfos[h].criticality)) {
+                    queues[thief].push_back(h);
+                    was_stolen[h] = true;
+                    ++moved;
+                } else {
+                    keep.push_front(h);
+                }
+            }
+            for (auto it = keep.rbegin(); it != keep.rend(); ++it)
+                queues[v].push_front(*it);
+            if (moved > 0) {
+                result.devices[eligible[thief]].stolen += moved;
+                return true;
+            }
+        }
+
+        return false;
+    };
+
+    // §3.4 granularity adjustment: when the VOP is down to its final
+    // pending HLOP, partition it with an idle peer — but only when
+    // the equalized two-device finish time actually beats executing
+    // the whole HLOP serially (launch and transfer overheads can make
+    // sharing a small tail a loss).
+    auto share_tail = [&](size_t owner, size_t h) {
+        if (!config_.stealSplitting || remaining != 1)
+            return;
+        const size_t align = std::max<size_t>(1, info.blockAlign);
+        const Rect whole = partitions[h];
+        if (whole.rows < 2 * align)
+            return;
+
+        const double owner_avail =
+            std::max((*timelines_)[eligible[owner]].now(), release);
+        const double t_whole = costModel_.hlopSeconds(
+            dev_infos[owner].kind, cost_key, whole.size(),
+            info.costWeight * vop.weight);
+        const double finish_whole = owner_avail + t_whole;
+
+        for (size_t s2 = 0; s2 < n_slots; ++s2) {
+            if (s2 == owner || !queues[s2].empty())
+                continue;
+            if (!policy.canSteal(dev_infos[s2], dev_infos[owner],
+                                 pinfos[h].criticality))
+                continue;
+
+            const double peer_avail =
+                std::max((*timelines_)[eligible[s2]].now(), release);
+            // Per-row costs and fixed overheads on both sides.
+            auto row_cost = [&](size_t slot) {
+                return costModel_.hlopSeconds(dev_infos[slot].kind,
+                                              cost_key, whole.cols,
+                                              info.costWeight *
+                                                  vop.weight) -
+                       costModel_.launchSeconds(dev_infos[slot].kind);
+            };
+            const double c_o = row_cost(owner);
+            const double c_p = row_cost(s2);
+            const double l_o =
+                costModel_.launchSeconds(dev_infos[owner].kind);
+            const double l_p =
+                costModel_.launchSeconds(dev_infos[s2].kind);
+
+            // Equalize finish times, then round to the alignment.
+            const double ideal =
+                (peer_avail + l_p - owner_avail - l_o +
+                 static_cast<double>(whole.rows) * c_p) /
+                (c_o + c_p);
+            const size_t keep_rows = clamp<size_t>(
+                roundUp(static_cast<size_t>(std::max(ideal, 1.0)),
+                        align),
+                align, whole.rows - align);
+            const double finish_split = std::max(
+                owner_avail + l_o +
+                    static_cast<double>(keep_rows) * c_o,
+                peer_avail + l_p +
+                    static_cast<double>(whole.rows - keep_rows) * c_p);
+            if (finish_split >= finish_whole)
+                continue;  // sharing this tail would not help
+
+            partitions[h] =
+                Rect{whole.row0, whole.col0, keep_rows, whole.cols};
+            partitions.push_back(Rect{whole.row0 + keep_rows,
+                                      whole.col0,
+                                      whole.rows - keep_rows,
+                                      whole.cols});
+            pinfos.push_back(pinfos[h]);
+            pinfos.back().region = partitions.back();
+            was_stolen.push_back(true);
+            if (info.reduce != ReduceKind::None)
+                accumulators.emplace_back(info.reduceRows,
+                                          info.reduceCols);
+            queues[s2].push_back(partitions.size() - 1);
+            active[s2] = true;
+            ++remaining;
+            result.devices[eligible[s2]].stolen += 1;
+            return;  // share with one peer per dispatch
+        }
+    };
+
+    while (remaining > 0) {
+        // The earliest-available active device acts next.
+        size_t sl = n_slots;
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < n_slots; ++i) {
+            if (!active[i])
+                continue;
+            const double t =
+                std::max((*timelines_)[eligible[i]].now(), release);
+            if (t < best) {
+                best = t;
+                sl = i;
+            }
+        }
+        SHMT_ASSERT(sl < n_slots, "work remains but no active device");
+
+        if (queues[sl].empty()) {
+            if (!try_steal(sl)) {
+                active[sl] = false;
+                continue;
+            }
+        }
+
+        const size_t d = eligible[sl];
+        const size_t h = queues[sl].front();
+        queues[sl].pop_front();
+        share_tail(sl, h);
+        const Rect region = partitions[h];
+        const size_t elems = region.size();
+        const devices::Backend &bk = *backends_[d];
+
+        // Data distribution (paper §3.3.2): full-duplex staging
+        // transfer plus, for the Edge TPU, host-side quantization of
+        // the partition. Intermediates this device produced itself in
+        // an earlier VOP of the chain are still device-resident and
+        // need no fresh input transfer.
+        const size_t out_elems = info.reduce == ReduceKind::None
+                                     ? elems
+                                     : info.reduceRows * info.reduceCols;
+        const size_t stage = bk.stagingBytesPerElement();
+        size_t staged_inputs = 0;
+        const uint64_t rkey = rectKey(region);
+        for (const Tensor *t : vop.inputs) {
+            auto it = producers_.find(t);
+            if (it != producers_.end()) {
+                auto rit = it->second.find(rkey);
+                if (rit != it->second.end() && rit->second == d)
+                    continue;  // already resident on this device
+            }
+            ++staged_inputs;
+            // The staged copy stays cached in device memory for the
+            // rest of the chain (until another device overwrites it).
+            producers_[t][rkey] = d;
+        }
+        double prep = 0.0;
+        if (stage > 0 && staged_inputs > 0) {
+            const size_t in_bytes = elems * staged_inputs * stage;
+            const size_t out_bytes = out_elems * stage;
+            prep = costModel_.transferSecondsDuplex(bk.kind(), in_bytes,
+                                                    out_bytes);
+        }
+        if (bk.kind() == sim::DeviceKind::EdgeTpu) {
+            prep += costModel_.quantizeSeconds(
+                elems * staged_inputs + out_elems);
+        }
+        const double compute = costModel_.hlopSeconds(
+            bk.kind(), cost_key, elems,
+            info.costWeight * vop.weight);
+        const double before = (*timelines_)[d].now();
+        const double end =
+            (*timelines_)[d].charge(prep, compute, release);
+
+        if (trace_) {
+            sim::TraceEvent ev;
+            ev.vopIndex = vop_index;
+            ev.opcode = vop.opcode;
+            ev.hlopIndex = h;
+            ev.device = bk.kind();
+            ev.deviceName = std::string(bk.name());
+            ev.releaseSec = release;
+            ev.startSec = std::max(before, release);
+            ev.transferSec = prep;
+            ev.computeSec = compute;
+            ev.endSec = end;
+            ev.criticality = pinfos[h].criticality;
+            ev.stolen = was_stolen[h];
+            trace_->record(std::move(ev));
+        }
+
+        // Functional execution at the device's native precision.
+        if (functional) {
+            TensorView out_view =
+                info.reduce != ReduceKind::None
+                    ? accumulators[h].view()
+                    : regionView(*vop.output, region);
+            bk.execute(info, args, region, out_view, vop_seed);
+        }
+        if (info.reduce == ReduceKind::None)
+            producers_[vop.output][rkey] = d;
+
+        result.devices[d].hlops += 1;
+        --remaining;
+    }
+
+    double completion = release;
+    for (size_t i = 0; i < n_dev; ++i)
+        completion = std::max(completion, (*timelines_)[i].now());
+
+    // --- Aggregation and synchronization (paper §3.3.1). -----------------
+    double agg = 0.0;
+    if (info.reduce != ReduceKind::None) {
+        if (functional) {
+            vop.output->view().fill(reduceInit(info.reduce));
+            for (const Tensor &acc : accumulators)
+                combineInto(vop.output->view(), acc.view(),
+                            info.reduce);
+            if (info.finalize)
+                info.finalize(args, vop.output->view());
+        }
+        agg += static_cast<double>(n * info.reduceRows * info.reduceCols) *
+               cal_.aggregateCostSec;
+    }
+    // Completion-queue processing for every HLOP (splits included).
+    agg += static_cast<double>(partitions.size()) *
+           costModel_.scheduleSeconds();
+    result.aggregationSec += agg;
+    result.hlopsTotal += partitions.size();
+
+    return completion + agg;
+}
+
+RunResult
+Runtime::run(const VopProgram &program, Policy &policy, bool functional)
+{
+    RunResult result;
+    result.devices.resize(backends_.size());
+    for (size_t d = 0; d < backends_.size(); ++d) {
+        result.devices[d].name = std::string(backends_[d]->name());
+        result.devices[d].kind = backends_[d]->kind();
+    }
+
+    std::vector<sim::DeviceTimeline> timelines;
+    timelines.reserve(backends_.size());
+    for (const auto &bk : backends_)
+        timelines.emplace_back(bk->kind(), config_.doubleBuffering);
+    timelines_ = &timelines;
+    producers_.clear();
+
+    double clock = 0.0;
+    for (size_t i = 0; i < program.ops.size(); ++i)
+        clock = executeVop(program.ops[i], policy, clock, result, i,
+                           functional);
+    timelines_ = nullptr;
+
+    result.makespanSec = clock;
+    for (size_t d = 0; d < backends_.size(); ++d) {
+        result.devices[d].busySec = timelines[d].busySeconds();
+        result.devices[d].computeSec = timelines[d].computeSeconds();
+        result.devices[d].stallSec = timelines[d].stallSeconds();
+        result.devices[d].transferSec = timelines[d].transferSeconds();
+    }
+
+    sim::EnergyMeter meter(cal_);
+    for (size_t d = 0; d < backends_.size(); ++d)
+        meter.addBusy(backends_[d]->kind(), timelines[d].busySeconds());
+    meter.addBusy(sim::DeviceKind::Cpu,
+                  result.schedulingSec + result.aggregationSec);
+    result.energy = meter.finalize(result.makespanSec);
+    return result;
+}
+
+RunResult
+Runtime::runGpuBaseline(const VopProgram &program, bool functional)
+{
+    const KernelRegistry &registry = KernelRegistry::instance();
+
+    size_t gpu_index = backends_.size();
+    for (size_t d = 0; d < backends_.size(); ++d)
+        if (backends_[d]->kind() == sim::DeviceKind::Gpu)
+            gpu_index = d;
+    SHMT_ASSERT(gpu_index < backends_.size(), "no GPU in the platform");
+    const devices::Backend &gpu = *backends_[gpu_index];
+
+    RunResult result;
+    result.devices.resize(1);
+    result.devices[0].name = std::string(gpu.name());
+    result.devices[0].kind = gpu.kind();
+
+    sim::DeviceTimeline tl(sim::DeviceKind::Gpu, config_.doubleBuffering);
+    for (size_t i = 0; i < program.ops.size(); ++i) {
+        const VOp &vop = program.ops[i];
+        const KernelInfo &info = registry.get(vop.opcode);
+        checkVop(vop, info);
+        const auto [rows, cols] = vopBasis(vop, info);
+        const Rect whole{0, 0, rows, cols};
+
+        const size_t stage = gpu.stagingBytesPerElement();
+        const size_t out_elems =
+            info.reduce == ReduceKind::None
+                ? whole.size()
+                : info.reduceRows * info.reduceCols;
+        const double prep = costModel_.transferSecondsDuplex(
+            gpu.kind(), whole.size() * vop.inputs.size() * stage,
+            out_elems * stage);
+        const std::string_view cost_key =
+            vop.costKeyOverride.empty() ? std::string_view(info.costKey)
+                                        : vop.costKeyOverride;
+        const double compute = costModel_.baselineSeconds(
+            cost_key, whole.size(), info.costWeight * vop.weight);
+        tl.charge(prep, compute);
+
+        if (functional) {
+            KernelArgs args;
+            for (const Tensor *t : vop.inputs)
+                args.inputs.push_back(t->view());
+            args.scalars = vop.scalars;
+            if (info.reduce != ReduceKind::None) {
+                Tensor acc(info.reduceRows, info.reduceCols);
+                gpu.execute(info, args, whole, acc.view(),
+                            config_.seed);
+                vop.output->view().fill(reduceInit(info.reduce));
+                combineInto(vop.output->view(), acc.view(),
+                            info.reduce);
+                if (info.finalize)
+                    info.finalize(args, vop.output->view());
+            } else {
+                gpu.execute(info, args, whole, vop.output->view(),
+                            config_.seed);
+            }
+        }
+        result.hlopsTotal += 1;
+    }
+
+    result.makespanSec = tl.now();
+    result.devices[0].busySec = tl.busySeconds();
+    result.devices[0].computeSec = tl.computeSeconds();
+    result.devices[0].stallSec = tl.stallSeconds();
+    result.devices[0].transferSec = tl.transferSeconds();
+
+    sim::EnergyMeter meter(cal_);
+    meter.addBusy(sim::DeviceKind::Gpu, tl.busySeconds());
+    result.energy = meter.finalize(result.makespanSec);
+    return result;
+}
+
+MemoryReport
+Runtime::memoryReport(const VopProgram &program, double tpu_share) const
+{
+    const KernelRegistry &registry = KernelRegistry::instance();
+    MemoryReport report;
+
+    // Unique host tensors across the program.
+    std::set<const Tensor *> seen;
+    auto add_host = [&](const Tensor *t) {
+        if (t && seen.insert(t).second)
+            report.hostBytes += t->bytes();
+    };
+
+    size_t max_in_bytes = 0;
+    size_t max_io_elems = 0;
+    double max_scratch = 0.0;
+    for (const VOp &vop : program.ops) {
+        const KernelInfo &info = registry.get(vop.opcode);
+        size_t in_bytes = 0;
+        size_t in_elems = 0;
+        for (const Tensor *t : vop.inputs) {
+            add_host(t);
+            in_bytes += t->bytes();
+            in_elems += t->size();
+        }
+        add_host(vop.output);
+        max_in_bytes = std::max(max_in_bytes, in_bytes);
+        max_io_elems =
+            std::max(max_io_elems, in_elems + vop.output->size());
+        const sim::KernelCalibration *rec = cal_.find(info.costKey);
+        if (rec)
+            max_scratch = std::max(
+                max_scratch, rec->gpuScratchFactor *
+                                 static_cast<double>(in_bytes));
+    }
+
+    // GPU working buffers shrink with the share of elements offloaded.
+    report.gpuScratchBytes =
+        static_cast<size_t>(max_scratch * (1.0 - tpu_share));
+
+    // Edge TPU INT8 staging of its share plus the compiled model.
+    if (tpu_share > 0.0) {
+        report.tpuStageBytes =
+            static_cast<size_t>(static_cast<double>(max_io_elems) *
+                                tpu_share) *
+                dtypeSize(DType::Int8) +
+            cal_.tpuModelBytes;
+    }
+    return report;
+}
+
+} // namespace shmt::core

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The SHMT runtime system (paper §3.3): the "driver" of the virtual
+ * hardware device.
+ *
+ * For each VOp it (1) partitions the dataset into HLOPs per the VOP's
+ * parallelization model, (2) optionally samples partitions for the
+ * scheduling policy, (3) enqueues HLOPs onto per-device incoming
+ * queues, (4) plays the execution forward on the simulated device
+ * timelines — executing every HLOP *functionally* on its backend so
+ * result quality is real — with work stealing when a device's queue
+ * runs dry, and (5) aggregates partition outputs (including reduction
+ * combines) back into shared memory.
+ *
+ * Timing is fully deterministic: device clocks come from the
+ * calibrated CostModel, data movement from the Interconnect model
+ * with double buffering, and energy from the PowerModel.
+ */
+
+#ifndef SHMT_CORE_RUNTIME_HH
+#define SHMT_CORE_RUNTIME_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/policy.hh"
+#include "core/vop.hh"
+#include "devices/backend.hh"
+#include "sim/cost_model.hh"
+#include "sim/memory_tracker.hh"
+#include "sim/power.hh"
+#include "sim/timeline.hh"
+#include "sim/trace.hh"
+
+namespace shmt::core {
+
+/** Runtime tuning knobs. */
+struct RuntimeConfig
+{
+    /** Target number of HLOPs per VOp (queue depth for stealing). */
+    size_t targetHlops = 64;
+    /** Overlap transfers with the previous HLOP's compute. */
+    bool doubleBuffering = true;
+    /** Seed for deterministic sampling / NPU noise. */
+    uint64_t seed = 42;
+    /**
+     * Allow a thief to *split* the victim's last pending HLOP instead
+     * of leaving one device with all of the tail work (paper §3.4:
+     * "the runtime system may need to further fuse or partition
+     * HLOPs" when granularities mismatch). Off by default; the
+     * ablation bench quantifies its tail-latency benefit.
+     */
+    bool stealSplitting = false;
+};
+
+/** Per-device execution statistics of one run. */
+struct DeviceStats
+{
+    std::string name;
+    sim::DeviceKind kind = sim::DeviceKind::Gpu;
+    size_t hlops = 0;        //!< HLOPs executed
+    size_t stolen = 0;       //!< HLOPs obtained by stealing
+    double busySec = 0.0;    //!< compute + transfer stalls
+    double computeSec = 0.0;
+    double stallSec = 0.0;   //!< non-overlapped transfer time
+    double transferSec = 0.0; //!< total wire time (incl. overlapped)
+};
+
+/** Result of executing a program. */
+struct RunResult
+{
+    double makespanSec = 0.0;     //!< end-to-end simulated latency
+    double schedulingSec = 0.0;   //!< CPU-side sampling + decisions
+    double aggregationSec = 0.0;  //!< CPU-side combines / sync
+    size_t hlopsTotal = 0;
+    std::vector<DeviceStats> devices;
+    sim::EnergyReport energy;
+
+    /** Fraction of busy time spent stalled on data exchange
+     *  (paper Table 3). */
+    double commOverhead() const;
+};
+
+/** Memory-footprint estimate of one program (paper Fig. 11). */
+struct MemoryReport
+{
+    size_t hostBytes = 0;        //!< shared-memory tensors
+    size_t gpuScratchBytes = 0;  //!< GPU working buffers
+    size_t tpuStageBytes = 0;    //!< INT8 staging + model buffers
+    size_t
+    totalBytes() const
+    {
+        return hostBytes + gpuScratchBytes + tpuStageBytes;
+    }
+};
+
+/** The virtual-device driver. */
+class Runtime
+{
+  public:
+    /**
+     * Build a runtime over @p backends (device drivers register their
+     * HLOP implementations here, paper §3.3).
+     */
+    Runtime(std::vector<std::unique_ptr<devices::Backend>> backends,
+            const sim::PlatformCalibration &cal = sim::defaultCalibration(),
+            RuntimeConfig config = {});
+
+    /**
+     * Execute @p program under @p policy. Outputs are written into
+     * the program's output tensors. With @p functional = false the
+     * run is timing-only: scheduling, sampling, queueing, stealing
+     * and the simulated clocks all behave identically, but the HLOP
+     * bodies are not evaluated (outputs are left untouched) — used by
+     * the speedup benches to reach the paper's 8192^2 problem sizes.
+     */
+    RunResult run(const VopProgram &program, Policy &policy,
+                  bool functional = true);
+
+    /**
+     * Execute @p program unpartitioned on the GPU only: the paper's
+     * baseline (one optimized kernel invocation per VOp, no SHMT
+     * runtime involvement).
+     */
+    RunResult runGpuBaseline(const VopProgram &program,
+                             bool functional = true);
+
+    /**
+     * Memory footprint of running @p program: @p tpu_share is the
+     * fraction of elements executed on the Edge TPU (0 for the GPU
+     * baseline).
+     */
+    MemoryReport memoryReport(const VopProgram &program,
+                              double tpu_share) const;
+
+    /**
+     * Attach an execution trace: subsequent runs record every HLOP
+     * (see sim::ExecutionTrace). Pass nullptr to detach.
+     */
+    void attachTrace(sim::ExecutionTrace *trace) { trace_ = trace; }
+
+    const sim::CostModel &costModel() const { return costModel_; }
+    const RuntimeConfig &config() const { return config_; }
+    size_t deviceCount() const { return backends_.size(); }
+    const devices::Backend &backend(size_t i) const { return *backends_[i]; }
+
+  private:
+    /** Partition the VOP's basis (rows x cols) into HLOP regions. */
+    std::vector<Rect> partitionVop(const kernels::KernelInfo &info,
+                                   size_t rows, size_t cols) const;
+
+    /** Execute one VOp starting at @p start seconds; returns its
+     *  completion time and accumulates stats. */
+    double executeVop(const VOp &vop, Policy &policy, double start,
+                      RunResult &result, size_t vop_index,
+                      bool functional);
+
+    std::vector<std::unique_ptr<devices::Backend>> backends_;
+    const sim::PlatformCalibration &cal_;
+    sim::CostModel costModel_;
+    RuntimeConfig config_;
+    /** Per-device timelines of the run in progress (set by run()). */
+    std::vector<sim::DeviceTimeline> *timelines_ = nullptr;
+
+    /** Optional trace sink (not owned). */
+    sim::ExecutionTrace *trace_ = nullptr;
+
+    /**
+     * Which device produced each partition of each intermediate
+     * tensor during the current run (tensor -> partition key ->
+     * device index): inputs still resident on their producer skip the
+     * staging transfer.
+     */
+    std::map<const Tensor *, std::map<uint64_t, size_t>> producers_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_RUNTIME_HH

@@ -1,0 +1,140 @@
+#include "sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace shmt::core {
+
+SamplingMethod
+samplingMethodFromName(std::string_view name)
+{
+    if (name == "striding" || name == "s")
+        return SamplingMethod::Striding;
+    if (name == "uniform" || name == "u")
+        return SamplingMethod::Uniform;
+    if (name == "reduction" || name == "r")
+        return SamplingMethod::Reduction;
+    if (name == "exact")
+        return SamplingMethod::Exact;
+    SHMT_FATAL("unknown sampling method '", name, "'");
+}
+
+std::string_view
+samplingMethodName(SamplingMethod m)
+{
+    switch (m) {
+      case SamplingMethod::Striding:  return "striding";
+      case SamplingMethod::Uniform:   return "uniform";
+      case SamplingMethod::Reduction: return "reduction";
+      case SamplingMethod::Exact:     return "exact";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Online min/max/variance accumulator (Welford). */
+struct Accum
+{
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    double mean = 0.0;
+    double m2 = 0.0;
+    size_t n = 0;
+
+    void
+    push(float v)
+    {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        ++n;
+        const double delta = v - mean;
+        mean += delta / static_cast<double>(n);
+        m2 += delta * (v - mean);
+    }
+
+    SampleStats
+    stats(size_t visited) const
+    {
+        SampleStats s;
+        if (n == 0)
+            return s;
+        s.min = lo;
+        s.max = hi;
+        s.stddev = n > 1 ? std::sqrt(m2 / static_cast<double>(n)) : 0.0;
+        s.samples = n;
+        s.visited = visited;
+        return s;
+    }
+};
+
+} // namespace
+
+SampleStats
+samplePartition(ConstTensorView data, const SamplingSpec &spec,
+                uint64_t seed)
+{
+    const size_t total = data.size();
+    SHMT_ASSERT(total > 0, "sampling an empty partition");
+    Accum acc;
+
+    switch (spec.method) {
+      case SamplingMethod::Striding: {
+        // Algorithm 3: S_i = D[i * s] over the flattened partition.
+        const size_t want = std::max<size_t>(
+            std::max<size_t>(1, spec.minSamples),
+            static_cast<size_t>(spec.rate * static_cast<double>(total)));
+        const size_t step = std::max<size_t>(1, total / want);
+        size_t visited = 0;
+        for (size_t i = 0; i < total; i += step) {
+            acc.push(data.at(i / data.cols(), i % data.cols()));
+            ++visited;
+        }
+        return acc.stats(visited);
+      }
+      case SamplingMethod::Uniform: {
+        // Algorithm 4: S_i = D[random()].
+        const size_t want = std::max<size_t>(
+            std::max<size_t>(1, spec.minSamples),
+            static_cast<size_t>(spec.rate * static_cast<double>(total)));
+        Rng rng(seed);
+        for (size_t i = 0; i < want; ++i) {
+            const size_t idx = rng.uniformInt(total);
+            acc.push(data.at(idx / data.cols(), idx % data.cols()));
+        }
+        return acc.stats(want);
+      }
+      case SamplingMethod::Reduction: {
+        // Algorithm 5: nested fixed-step walk over each dimension;
+        // visits rows/s * cols/s elements regardless of the sampling
+        // rate, which is why it has the highest overhead (paper §5.2).
+        const size_t step = std::max<size_t>(1, spec.reductionStep);
+        size_t visited = 0;
+        for (size_t r = 0; r < data.rows(); r += step) {
+            for (size_t c = 0; c < data.cols(); c += step) {
+                acc.push(data.at(r, c));
+                ++visited;
+            }
+        }
+        return acc.stats(visited);
+      }
+      case SamplingMethod::Exact: {
+        for (size_t r = 0; r < data.rows(); ++r)
+            for (size_t c = 0; c < data.cols(); ++c)
+                acc.push(data.at(r, c));
+        return acc.stats(total);
+      }
+    }
+    SHMT_PANIC("unreachable sampling method");
+}
+
+double
+criticalityScore(const SampleStats &stats)
+{
+    return static_cast<double>(stats.range()) + stats.stddev;
+}
+
+} // namespace shmt::core

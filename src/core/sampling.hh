@@ -1,0 +1,83 @@
+/**
+ * @file
+ * QAWS input-partition sampling (paper §3.5, Algorithms 3-5).
+ *
+ * SHMT adopts only the *input evaluation* half of IRA [Laurenzano et
+ * al., PLDI'16]: instead of running canary computations, it samples
+ * each input partition and derives a criticality score from the value
+ * range and standard deviation of the samples.
+ */
+
+#ifndef SHMT_CORE_SAMPLING_HH
+#define SHMT_CORE_SAMPLING_HH
+
+#include <cstdint>
+
+#include "tensor/tensor.hh"
+
+namespace shmt::core {
+
+/** The three sampling mechanisms of paper Algorithms 3-5. */
+enum class SamplingMethod : uint8_t {
+    Striding,   //!< Algorithm 3: every s-th element
+    Uniform,    //!< Algorithm 4: uniform random positions
+    Reduction,  //!< Algorithm 5: fixed-step grid walk over all dims
+    Exact,      //!< full scan (oracle / IRA reference, not a QAWS mode)
+};
+
+/** Parse "striding" / "uniform" / "reduction" / "exact". */
+SamplingMethod samplingMethodFromName(std::string_view name);
+
+/** Short name of @p m ("S", "U", "R" in the paper's QAWS-XY naming). */
+std::string_view samplingMethodName(SamplingMethod m);
+
+/** Summary statistics of a sampled partition. */
+struct SampleStats
+{
+    float min = 0.0f;
+    float max = 0.0f;
+    double stddev = 0.0;
+    size_t samples = 0;   //!< values included in the statistics
+    size_t visited = 0;   //!< elements touched (= cost driver)
+
+    /** Value range of the samples. */
+    float range() const { return max - min; }
+};
+
+/** Sampler configuration. */
+struct SamplingSpec
+{
+    SamplingMethod method = SamplingMethod::Striding;
+    /**
+     * Portion of the partition used as samples for Striding/Uniform
+     * (paper §5.4 sweeps 2^-21..2^-14; default 2^-15).
+     */
+    double rate = 1.0 / (1 << 15);
+    /**
+     * Floor on the samples drawn per partition: a rate that rounds to
+     * zero samples would leave the criticality score degenerate.
+     */
+    size_t minSamples = 4;
+    /** Grid step for Reduction sampling (visits n/step^2 elements —
+     *  far more than the rate-driven samplers, which is Fig. 6's
+     *  "reduction performs the worst" overhead). */
+    size_t reductionStep = 4;
+};
+
+/**
+ * Sample @p data with @p spec; @p seed drives the uniform random
+ * method deterministically. At least one element is always sampled.
+ */
+SampleStats samplePartition(ConstTensorView data, const SamplingSpec &spec,
+                            uint64_t seed);
+
+/**
+ * Criticality score of a partition from its sample statistics:
+ * value range plus one standard deviation (prior work treats the
+ * widest value distributions as most critical; see paper §3.5).
+ */
+double criticalityScore(const SampleStats &stats);
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_SAMPLING_HH

@@ -1,0 +1,180 @@
+#include "shmt_api.hh"
+
+#include "devices/backend.hh"
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::core {
+
+Context::Context() : Context(Options{}) {}
+
+Context::Context(Options options) : options_(std::move(options))
+{
+    auto backends = devices::makePrototypeBackends(
+        kernels::KernelRegistry::instance(), sim::defaultCalibration(),
+        options_.includeCpu, options_.includeDsp);
+    runtime_ = std::make_unique<Runtime>(std::move(backends),
+                                         sim::defaultCalibration(),
+                                         options_.runtime);
+    policy_ = makePolicy(options_.policy, options_.qaws);
+}
+
+void
+Context::setPolicy(std::string_view name)
+{
+    policy_ = makePolicy(name, options_.qaws);
+}
+
+RunResult
+Context::runSingle(VOp vop)
+{
+    VopProgram program;
+    program.name = vop.opcode;
+    program.ops.push_back(std::move(vop));
+    return runtime_->run(program, *policy_);
+}
+
+RunResult
+Context::matmul(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    SHMT_ASSERT(c.rows() == a.rows() && c.cols() == b.cols(),
+                "matmul output must be ", a.rows(), "x", b.cols());
+    VOp vop;
+    vop.opcode = "gemm";
+    vop.inputs = {&a, &b};
+    vop.output = &c;
+    // The gemm calibration record is normalized to a 1024-deep inner
+    // dimension; scale the work with the actual K.
+    vop.weight = static_cast<double>(a.cols()) / 1024.0;
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::sobel(const Tensor &in, Tensor &out)
+{
+    VOp vop;
+    vop.opcode = "sobel";
+    vop.inputs = {&in};
+    vop.output = &out;
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::laplacian(const Tensor &in, Tensor &out)
+{
+    VOp vop;
+    vop.opcode = "laplacian";
+    vop.inputs = {&in};
+    vop.output = &out;
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::meanFilter(const Tensor &in, Tensor &out)
+{
+    VOp vop;
+    vop.opcode = "mf";
+    vop.inputs = {&in};
+    vop.output = &out;
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::dct8x8(const Tensor &in, Tensor &out)
+{
+    VOp vop;
+    vop.opcode = "dct8x8";
+    vop.inputs = {&in};
+    vop.output = &out;
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::dwt97(const Tensor &in, Tensor &out)
+{
+    VOp vop;
+    vop.opcode = "dwt";
+    vop.inputs = {&in};
+    vop.output = &out;
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::fftMagnitude(const Tensor &in, Tensor &out)
+{
+    VOp vop;
+    vop.opcode = "fft";
+    vop.inputs = {&in};
+    vop.output = &out;
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::conv3x3(const Tensor &in, const float taps[9], Tensor &out)
+{
+    VOp vop;
+    vop.opcode = "conv";
+    vop.inputs = {&in};
+    vop.output = &out;
+    vop.scalars.assign(taps, taps + 9);
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::histogram256(const Tensor &in, float lo, float hi, Tensor &bins)
+{
+    VOp vop;
+    vop.opcode = "reduce_hist256";
+    vop.inputs = {&in};
+    vop.output = &bins;
+    vop.scalars = {lo, hi};
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::map(std::string_view opcode, const Tensor &in, Tensor &out,
+             std::vector<float> scalars)
+{
+    VOp vop;
+    vop.opcode = std::string(opcode);
+    vop.inputs = {&in};
+    vop.output = &out;
+    vop.scalars = std::move(scalars);
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::combine(std::string_view opcode, const Tensor &a, const Tensor &b,
+                 Tensor &out)
+{
+    VOp vop;
+    vop.opcode = std::string(opcode);
+    vop.inputs = {&a, &b};
+    vop.output = &out;
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::reduce(std::string_view opcode, const Tensor &in, Tensor &out,
+                std::vector<float> scalars)
+{
+    VOp vop;
+    vop.opcode = std::string(opcode);
+    vop.inputs = {&in};
+    vop.output = &out;
+    vop.scalars = std::move(scalars);
+    return runSingle(std::move(vop));
+}
+
+RunResult
+Context::run(const VopProgram &program)
+{
+    return runtime_->run(program, *policy_);
+}
+
+RunResult
+Context::runBaseline(const VopProgram &program)
+{
+    return runtime_->runGpuBaseline(program);
+}
+
+} // namespace shmt::core

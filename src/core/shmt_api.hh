@@ -1,0 +1,94 @@
+/**
+ * @file
+ * High-level SHMT library interface (paper Fig. 4).
+ *
+ * Application programmers keep calling domain-level functions
+ * (tf.matmul and friends); at the language-runtime level those map to
+ * shmt:: library calls that submit VOPs to the SHMT virtual device.
+ * Context is that library: it owns the virtual device (backends +
+ * runtime) and a scheduling policy, and exposes one call per VOP.
+ *
+ *     shmt::core::Context ctx;                 // GPU + Edge TPU, QAWS-TS
+ *     Tensor c(m, n);
+ *     ctx.matmul(a, b, c);                     // co-executes on both
+ */
+
+#ifndef SHMT_CORE_SHMT_API_HH
+#define SHMT_CORE_SHMT_API_HH
+
+#include <memory>
+#include <string>
+
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "core/vop.hh"
+
+namespace shmt::core {
+
+/** The SHMT virtual device from the programmer's perspective. */
+class Context
+{
+  public:
+    /** Construction options. */
+    struct Options
+    {
+        std::string policy = "qaws-ts";  //!< scheduling policy name
+        QawsParams qaws;                 //!< QAWS tuning
+        RuntimeConfig runtime;           //!< runtime tuning
+        bool includeCpu = false;         //!< add the host CPU as a
+                                         //!< third compute resource
+        bool includeDsp = false;         //!< add the FP16 image DSP
+                                         //!< (paper §2.1's extension)
+    };
+
+    /** Default device set (GPU + Edge TPU) under QAWS-TS. */
+    Context();
+
+    explicit Context(Options options);
+
+    /** Swap the scheduling policy (paper: policies are pluggable). */
+    void setPolicy(std::string_view name);
+
+    /** @{ VOP library calls. Each returns the run's statistics. */
+    RunResult matmul(const Tensor &a, const Tensor &b, Tensor &c);
+    RunResult sobel(const Tensor &in, Tensor &out);
+    RunResult laplacian(const Tensor &in, Tensor &out);
+    RunResult meanFilter(const Tensor &in, Tensor &out);
+    RunResult dct8x8(const Tensor &in, Tensor &out);
+    RunResult dwt97(const Tensor &in, Tensor &out);
+    RunResult fftMagnitude(const Tensor &in, Tensor &out);
+    RunResult conv3x3(const Tensor &in, const float taps[9], Tensor &out);
+    RunResult histogram256(const Tensor &in, float lo, float hi,
+                           Tensor &bins);
+
+    /** Unary elementwise map (opcode from the Table-1 vector set). */
+    RunResult map(std::string_view opcode, const Tensor &in, Tensor &out,
+                  std::vector<float> scalars = {});
+    /** Binary elementwise op. */
+    RunResult combine(std::string_view opcode, const Tensor &a,
+                      const Tensor &b, Tensor &out);
+    /** Reduction (reduce_sum / reduce_average / reduce_max / ...). */
+    RunResult reduce(std::string_view opcode, const Tensor &in,
+                     Tensor &out, std::vector<float> scalars = {});
+    /** @} */
+
+    /** Execute a whole VOP program under the current policy. */
+    RunResult run(const VopProgram &program);
+
+    /** Execute @p program on the GPU only (baseline semantics). */
+    RunResult runBaseline(const VopProgram &program);
+
+    Runtime &runtime() { return *runtime_; }
+    Policy &policy() { return *policy_; }
+
+  private:
+    RunResult runSingle(VOp vop);
+
+    Options options_;
+    std::unique_ptr<Runtime> runtime_;
+    std::unique_ptr<Policy> policy_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_SHMT_API_HH

@@ -1,0 +1,253 @@
+#include "threaded_executor.hh"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/math_utils.hh"
+#include "common/random.hh"
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::core {
+
+using kernels::KernelArgs;
+using kernels::KernelInfo;
+using kernels::KernelRegistry;
+using kernels::ReduceKind;
+
+namespace {
+
+/** Shared scheduling state of one VOp's execution. */
+struct VopState
+{
+    std::mutex lock;
+    std::vector<std::deque<size_t>> queues;
+    const std::vector<PartitionInfo> *partitions = nullptr;
+    const std::vector<DeviceInfo> *devices = nullptr;
+    Policy *policy = nullptr;
+
+    /**
+     * Pop work for @p self: own queue first, then steal from the
+     * deepest other queue the policy allows. Returns true with the
+     * HLOP index in @p out, or false when no work remains for self.
+     */
+    bool
+    popWork(size_t self, size_t &out)
+    {
+        std::scoped_lock guard(lock);
+        if (!queues[self].empty()) {
+            out = queues[self].front();
+            queues[self].pop_front();
+            return true;
+        }
+        if (!policy->stealingEnabled())
+            return false;
+
+        size_t victim = queues.size();
+        size_t depth = 0;
+        for (size_t v = 0; v < queues.size(); ++v) {
+            if (v == self || queues[v].empty())
+                continue;
+            if (queues[v].size() > depth) {
+                depth = queues[v].size();
+                victim = v;
+            }
+        }
+        if (victim == queues.size())
+            return false;
+
+        // Withdraw from the back of the victim's queue.
+        for (size_t scanned = queues[victim].size(); scanned > 0;
+             --scanned) {
+            const size_t h = queues[victim].back();
+            if (policy->canSteal((*devices)[self], (*devices)[victim],
+                                 (*partitions)[h].criticality)) {
+                queues[victim].pop_back();
+                out = h;
+                return true;
+            }
+            break;  // constraint failed for the most recent HLOP
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+ThreadedResult
+runThreaded(const Runtime &runtime, const VopProgram &program,
+            Policy &policy)
+{
+    const KernelRegistry &registry = KernelRegistry::instance();
+    const size_t n_dev = runtime.deviceCount();
+
+    ThreadedResult result;
+    result.hlopsPerDevice.assign(n_dev, 0);
+
+    std::vector<DeviceInfo> dev_infos(n_dev);
+    for (size_t d = 0; d < n_dev; ++d) {
+        dev_infos[d].index = d;
+        dev_infos[d].kind = runtime.backend(d).kind();
+        dev_infos[d].dtype = runtime.backend(d).nativeDtype();
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t vi = 0; vi < program.ops.size(); ++vi) {
+        const VOp &vop = program.ops[vi];
+        const KernelInfo &info = registry.get(vop.opcode);
+
+        // Devices whose driver registered this opcode (paper §3.3).
+        std::vector<size_t> eligible;
+        for (size_t d = 0; d < n_dev; ++d)
+            if (runtime.backend(d).supports(info))
+                eligible.push_back(d);
+        if (eligible.empty())
+            SHMT_FATAL("no device supports opcode '", vop.opcode, "'");
+        const size_t n_slots = eligible.size();
+        std::vector<DeviceInfo> slot_infos(n_slots);
+        for (size_t sl = 0; sl < n_slots; ++sl) {
+            slot_infos[sl].index = sl;
+            slot_infos[sl].kind = dev_infos[eligible[sl]].kind;
+            slot_infos[sl].dtype = dev_infos[eligible[sl]].dtype;
+        }
+        const size_t rows = info.reduce != ReduceKind::None
+                                ? vop.inputs[0]->rows()
+                                : vop.output->rows();
+        const size_t cols = info.reduce != ReduceKind::None
+                                ? vop.inputs[0]->cols()
+                                : vop.output->cols();
+
+        // Partition (same geometry as the discrete-event runtime).
+        std::vector<Rect> regions;
+        if (info.model == ParallelModel::Vector) {
+            const size_t count = choosePartitionCount(
+                rows, cols, runtime.config().targetHlops,
+                runtime.config().targetHlops);
+            regions = vectorPartitions(rows, cols, count);
+        } else {
+            const size_t k = std::max<size_t>(
+                1, static_cast<size_t>(std::sqrt(static_cast<double>(
+                       runtime.config().targetHlops))));
+            const size_t align = std::max<size_t>(1, info.blockAlign);
+            const size_t tr =
+                std::max(roundUp(ceilDiv(rows, k), align), align);
+            const size_t tc =
+                std::max(roundUp(ceilDiv(cols, k), align), align);
+            regions = tilePartitions(rows, cols, tr, tc);
+        }
+
+        // Sampling + assignment.
+        std::vector<PartitionInfo> pinfos(regions.size());
+        const bool can_sample = vop.inputs[0]->rows() == rows &&
+                                vop.inputs[0]->cols() == cols;
+        if (auto spec = policy.sampling(); spec && can_sample) {
+            for (size_t i = 0; i < regions.size(); ++i) {
+                const auto stats = samplePartition(
+                    regionView(*vop.inputs[0], regions[i]), *spec,
+                    runtime.config().seed ^ hashMix(i));
+                pinfos[i].criticality = criticalityScore(stats);
+            }
+        }
+        for (size_t i = 0; i < regions.size(); ++i)
+            pinfos[i].region = regions[i];
+
+        const std::string_view cost_key =
+            vop.costKeyOverride.empty() ? std::string_view(info.costKey)
+                                        : vop.costKeyOverride;
+        policy.beginVop(VopContext{cost_key, &runtime.costModel(),
+                                   info.costWeight * vop.weight});
+        const auto assignment = policy.assign(pinfos, slot_infos);
+
+        VopState state;
+        state.queues.resize(n_slots);
+        state.partitions = &pinfos;
+        state.devices = &slot_infos;
+        state.policy = &policy;
+        for (size_t i = 0; i < assignment.size(); ++i)
+            state.queues[assignment[i]].push_back(i);
+
+        std::vector<Tensor> accumulators;
+        if (info.reduce != ReduceKind::None) {
+            accumulators.reserve(regions.size());
+            for (size_t i = 0; i < regions.size(); ++i)
+                accumulators.emplace_back(info.reduceRows,
+                                          info.reduceCols);
+        }
+
+        KernelArgs args;
+        for (const Tensor *t : vop.inputs)
+            args.inputs.push_back(t->view());
+        args.scalars = vop.scalars;
+        if (const auto *rec =
+                runtime.costModel().calibration().find(cost_key))
+            args.npuNoiseOverride = rec->npuNoise;
+        for (const Tensor *t : vop.inputs)
+            args.npuInputQuant.push_back(chooseQuantParams(t->view()));
+
+        // One worker per eligible device drains queues concurrently.
+        std::vector<std::atomic<size_t>> counts(n_slots);
+        std::vector<std::thread> workers;
+        workers.reserve(n_slots);
+        for (size_t sl = 0; sl < n_slots; ++sl) {
+            workers.emplace_back([&, sl] {
+                size_t h = 0;
+                while (state.popWork(sl, h)) {
+                    TensorView out =
+                        info.reduce != ReduceKind::None
+                            ? accumulators[h].view()
+                            : regionView(*vop.output, regions[h]);
+                    runtime.backend(eligible[sl]).execute(
+                        info, args, regions[h], out,
+                        runtime.config().seed ^ hashMix(vi + 1));
+                    counts[sl].fetch_add(1, std::memory_order_relaxed);
+                }
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+
+        // Aggregation.
+        if (info.reduce != ReduceKind::None) {
+            TensorView out = vop.output->view();
+            out.fill(info.reduce == ReduceKind::Sum ? 0.0f
+                     : info.reduce == ReduceKind::Max
+                         ? -std::numeric_limits<float>::infinity()
+                         : std::numeric_limits<float>::infinity());
+            for (const Tensor &acc : accumulators) {
+                for (size_t r = 0; r < out.rows(); ++r) {
+                    float *dst = out.row(r);
+                    const float *src = acc.view().row(r);
+                    for (size_t c = 0; c < out.cols(); ++c) {
+                        switch (info.reduce) {
+                          case ReduceKind::Sum: dst[c] += src[c]; break;
+                          case ReduceKind::Max:
+                            dst[c] = std::max(dst[c], src[c]);
+                            break;
+                          case ReduceKind::Min:
+                            dst[c] = std::min(dst[c], src[c]);
+                            break;
+                          case ReduceKind::None: break;
+                        }
+                    }
+                }
+            }
+            if (info.finalize)
+                info.finalize(args, out);
+        }
+
+        for (size_t sl = 0; sl < n_slots; ++sl)
+            result.hlopsPerDevice[eligible[sl]] +=
+                counts[sl].load(std::memory_order_relaxed);
+        result.hlopsTotal += regions.size();
+    }
+
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return result;
+}
+
+} // namespace shmt::core

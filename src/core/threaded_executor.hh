@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Real-thread execution engine.
+ *
+ * The discrete-event Runtime reproduces the paper's *timing* on the
+ * simulated platform; this executor reproduces its *mechanics* with
+ * actual concurrency: one worker thread per device monitors that
+ * device's incoming queue (paper §3.3.1), executes HLOPs through the
+ * same backends, steals from the deepest queue when idle (subject to
+ * the policy's constraints), and pushes completions for the
+ * aggregation step. Used by the examples and the concurrency tests;
+ * outputs land in the same tensors as Runtime::run.
+ */
+
+#ifndef SHMT_CORE_THREADED_EXECUTOR_HH
+#define SHMT_CORE_THREADED_EXECUTOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "core/vop.hh"
+
+namespace shmt::core {
+
+/** Outcome of a threaded run. */
+struct ThreadedResult
+{
+    double wallSeconds = 0.0;           //!< host wall-clock time
+    size_t hlopsTotal = 0;
+    std::vector<size_t> hlopsPerDevice; //!< executed per worker
+};
+
+/**
+ * Execute @p program with one worker thread per device of
+ * @p runtime, under @p policy's assignment and stealing rules.
+ */
+ThreadedResult runThreaded(const Runtime &runtime,
+                           const VopProgram &program, Policy &policy);
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_THREADED_EXECUTOR_HH

@@ -1,0 +1,76 @@
+#include "virtual_device.hh"
+
+#include "devices/backend.hh"
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::core {
+
+VirtualDevice::VirtualDevice() : VirtualDevice("qaws-ts") {}
+
+VirtualDevice::VirtualDevice(std::string_view policy_name,
+                             bool include_cpu, bool include_dsp)
+{
+    auto backends = devices::makePrototypeBackends(
+        kernels::KernelRegistry::instance(), sim::defaultCalibration(),
+        include_cpu, include_dsp);
+    runtime_ = std::make_unique<Runtime>(std::move(backends));
+    policy_ = makePolicy(policy_name);
+}
+
+CommandTicket
+VirtualDevice::submit(VOp vop)
+{
+    const CommandTicket ticket = nextTicket_++;
+    incoming_.push_back(PendingCommand{ticket, std::move(vop), clock_});
+    return ticket;
+}
+
+void
+VirtualDevice::flush()
+{
+    while (!incoming_.empty()) {
+        PendingCommand cmd = std::move(incoming_.front());
+        incoming_.pop_front();
+
+        VopProgram program;
+        program.name = cmd.vop.opcode;
+        program.ops.push_back(std::move(cmd.vop));
+        RunResult result = runtime_->run(program, *policy_);
+
+        CompletionRecord record;
+        record.ticket = cmd.ticket;
+        record.opcode = program.ops.front().opcode;
+        record.submittedAtSec = cmd.submittedAt;
+        clock_ += result.makespanSec;
+        record.completedAtSec = clock_;
+        record.result = std::move(result);
+        completions_.push_back(std::move(record));
+    }
+}
+
+const CompletionRecord &
+VirtualDevice::wait(CommandTicket ticket)
+{
+    flush();
+    while (!completions_.empty()) {
+        reaped_.push_back(std::move(completions_.front()));
+        completions_.pop_front();
+    }
+    for (const CompletionRecord &r : reaped_)
+        if (r.ticket == ticket)
+            return r;
+    SHMT_FATAL("unknown command ticket ", ticket);
+}
+
+std::optional<CompletionRecord>
+VirtualDevice::pollCompletion()
+{
+    if (completions_.empty())
+        return std::nullopt;
+    CompletionRecord r = std::move(completions_.front());
+    completions_.pop_front();
+    reaped_.push_back(r);
+    return r;
+}
+
+} // namespace shmt::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The SHMT virtual hardware device (paper §3.1, §3.3).
+ *
+ * On the paper's prototype, SHMT is a loadable kernel module: user
+ * code opens the virtual device, submits VOP commands to its incoming
+ * queue, and reaps completion records from its completion queue. This
+ * facade reproduces that driver-style interface on top of the
+ * Runtime: commands are queued by submit(), executed on flush() (or
+ * lazily by wait()), and each yields a CompletionRecord carrying the
+ * run statistics.
+ *
+ *     VirtualDevice dev;                    // GPU + Edge TPU, QAWS-TS
+ *     auto t1 = dev.submit(vopA);
+ *     auto t2 = dev.submit(vopB);           // queued, not yet run
+ *     dev.flush();                          // drains the queue
+ *     const CompletionRecord &r = dev.wait(t2);
+ */
+
+#ifndef SHMT_CORE_VIRTUAL_DEVICE_HH
+#define SHMT_CORE_VIRTUAL_DEVICE_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "core/vop.hh"
+
+namespace shmt::core {
+
+/** Ticket identifying a submitted command. */
+using CommandTicket = uint64_t;
+
+/** Completion-queue record of one executed VOP command. */
+struct CompletionRecord
+{
+    CommandTicket ticket = 0;
+    std::string opcode;
+    double submittedAtSec = 0.0;  //!< virtual time at submission
+    double completedAtSec = 0.0;  //!< virtual time at completion
+    RunResult result;             //!< per-command run statistics
+};
+
+/** Driver-style command/completion interface to the SHMT subsystem. */
+class VirtualDevice
+{
+  public:
+    /** Open the default virtual device (GPU + Edge TPU, QAWS-TS). */
+    VirtualDevice();
+
+    /** Open with an explicit policy name and optional extra devices. */
+    explicit VirtualDevice(std::string_view policy_name,
+                           bool include_cpu = false,
+                           bool include_dsp = false);
+
+    /** Enqueue a VOP command; returns its ticket. The VOP's tensors
+     *  must stay alive until the command completes. */
+    CommandTicket submit(VOp vop);
+
+    /** Execute every pending command in submission order. */
+    void flush();
+
+    /**
+     * Completion record for @p ticket, flushing first if the command
+     * is still pending. Fatal for unknown tickets (user error).
+     */
+    const CompletionRecord &wait(CommandTicket ticket);
+
+    /** Pop the oldest unreaped completion, if any. */
+    std::optional<CompletionRecord> pollCompletion();
+
+    /** Number of commands submitted but not yet executed. */
+    size_t pending() const { return incoming_.size(); }
+
+    /** Virtual clock: total simulated seconds executed so far. */
+    double nowSec() const { return clock_; }
+
+    Runtime &runtime() { return *runtime_; }
+
+  private:
+    std::unique_ptr<Runtime> runtime_;
+    std::unique_ptr<Policy> policy_;
+
+    struct PendingCommand
+    {
+        CommandTicket ticket;
+        VOp vop;
+        double submittedAt;
+    };
+
+    std::deque<PendingCommand> incoming_;
+    std::deque<CompletionRecord> completions_;
+    std::deque<CompletionRecord> reaped_;  //!< kept for wait() lookups
+    CommandTicket nextTicket_ = 1;
+    double clock_ = 0.0;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_VIRTUAL_DEVICE_HH

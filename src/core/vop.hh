@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Virtual operations (paper §3.2).
+ *
+ * A VOp describes a computation against the SHMT virtual device with
+ * no assumptions about data sizes or the executing hardware. The
+ * runtime partitions each VOp into HLOPs (device-sized sub-ops) and
+ * distributes them over the device queues. A VopProgram is a sequence
+ * of VOps with data dependencies through their tensors (e.g. the
+ * Blackscholes benchmark is a chain of primitive vector VOPs).
+ */
+
+#ifndef SHMT_CORE_VOP_HH
+#define SHMT_CORE_VOP_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace shmt::core {
+
+/** One virtual operation. */
+struct VOp
+{
+    std::string opcode;               //!< registered kernel opcode
+    std::vector<const Tensor *> inputs;
+    Tensor *output = nullptr;
+    std::vector<float> scalars;
+
+    /**
+     * Cost-weight multiplier. Composite benchmarks decompose one
+     * kernel invocation into several chained VOPs whose weights sum
+     * to ~1 so they bill the same total work to the calibration
+     * record; GEMM uses it to scale with the inner dimension.
+     */
+    double weight = 1.0;
+
+    /**
+     * When non-empty, bill this VOp to this calibration record
+     * instead of the opcode's default. Composite benchmarks (e.g.
+     * Blackscholes as a chain of primitive vector VOPs) use this so
+     * the chain's total compute time matches the measured kernel.
+     */
+    std::string costKeyOverride;
+};
+
+/** A dependence-ordered sequence of VOps. */
+struct VopProgram
+{
+    std::string name;       //!< benchmark name for reports
+    std::vector<VOp> ops;
+
+    /** Total output elements across ops (for throughput reports). */
+    size_t
+    totalElements() const
+    {
+        size_t n = 0;
+        for (const auto &op : ops)
+            if (!op.inputs.empty())
+                n += op.inputs[0]->size();
+        return n;
+    }
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_VOP_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Device backends.
+ *
+ * A Backend is what a hardware driver registers with the SHMT runtime
+ * at initialization (paper §3.3: "each hardware resource's driver is
+ * responsible for providing SHMT with its list of available HLOP
+ * operations and their implementations"). A backend knows:
+ *
+ *  - which HLOPs it supports,
+ *  - how to execute one HLOP functionally (producing real numbers,
+ *    at the device's native precision),
+ *  - how many bytes an HLOP moves across the interconnect,
+ *  - its native data type (which bounds the accuracy QAWS can expect).
+ */
+
+#ifndef SHMT_DEVICES_BACKEND_HH
+#define SHMT_DEVICES_BACKEND_HH
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "kernels/kernel_registry.hh"
+#include "npu/npu_model.hh"
+#include "sim/calibration.hh"
+#include "tensor/dtype.hh"
+
+namespace shmt::devices {
+
+/** One processing unit visible to the SHMT runtime. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Which physical device kind this is (for the cost/power model). */
+    virtual sim::DeviceKind kind() const = 0;
+
+    /** Human-readable device name. */
+    virtual std::string_view name() const = 0;
+
+    /** Native computation precision. */
+    virtual DType nativeDtype() const = 0;
+
+    /** Whether this device has an implementation of @p info. */
+    virtual bool supports(const kernels::KernelInfo &info) const = 0;
+
+    /**
+     * Execute one HLOP: compute @p region of @p info's kernel from
+     * @p args into @p out, at this device's precision. @p seed makes
+     * stochastic approximation (NPU models) deterministic.
+     */
+    virtual void execute(const kernels::KernelInfo &info,
+                         const kernels::KernelArgs &args,
+                         const Rect &region, TensorView out,
+                         uint64_t seed) const = 0;
+
+    /**
+     * Bytes per element this device stages across the interconnect
+     * (FP32 for the GPU, INT8 for the Edge TPU, 0 for the CPU which
+     * computes in place on shared memory). The runtime derives the
+     * per-HLOP in/out transfer volumes from this.
+     */
+    virtual size_t stagingBytesPerElement() const = 0;
+};
+
+/**
+ * Construct the paper's prototype device set: a Maxwell-class GPU
+ * backend and an Edge TPU backend, plus optionally the host CPU and
+ * the image-DSP extension.
+ */
+std::vector<std::unique_ptr<Backend>>
+makePrototypeBackends(const kernels::KernelRegistry &registry,
+                      const sim::PlatformCalibration &cal,
+                      bool include_cpu = false,
+                      bool include_dsp = false);
+
+/** FP32 backend running kernel bodies exactly (simulated GPU). */
+std::unique_ptr<Backend>
+makeGpuBackend(const kernels::KernelRegistry &registry);
+
+/** INT8 NPU backend (simulated Edge TPU). */
+std::unique_ptr<Backend>
+makeTpuBackend(const kernels::KernelRegistry &registry,
+               const sim::PlatformCalibration &cal,
+               double qat_factor = 1.0);
+
+/** Host CPU backend (exact FP32, slow). */
+std::unique_ptr<Backend>
+makeCpuBackend(const kernels::KernelRegistry &registry);
+
+/**
+ * FP16 image-DSP backend (paper §2.1's DSP extension): supports only
+ * tile-model image kernels with a DSP calibration ratio.
+ */
+std::unique_ptr<Backend>
+makeDspBackend(const sim::PlatformCalibration &cal);
+
+} // namespace shmt::devices
+
+#endif // SHMT_DEVICES_BACKEND_HH

@@ -1,0 +1,209 @@
+#include "backend.hh"
+
+#include "tensor/quantize.hh"
+
+namespace shmt::devices {
+
+using kernels::KernelArgs;
+using kernels::KernelInfo;
+
+namespace {
+
+/** Exact-FP32 backend shared by the simulated GPU and the host CPU. */
+class ExactBackend : public Backend
+{
+  public:
+    ExactBackend(sim::DeviceKind kind, std::string name)
+        : kind_(kind), name_(std::move(name))
+    {}
+
+    sim::DeviceKind kind() const override { return kind_; }
+    std::string_view name() const override { return name_; }
+    DType nativeDtype() const override { return DType::Float32; }
+
+    bool
+    supports(const KernelInfo &) const override
+    {
+        // The GPU/CPU HLOP library covers every registered opcode
+        // (paper: GPU implementations exist for all ten workloads).
+        return true;
+    }
+
+    void
+    execute(const KernelInfo &info, const KernelArgs &args,
+            const Rect &region, TensorView out, uint64_t) const override
+    {
+        info.func(args, region, out);
+    }
+
+    size_t
+    stagingBytesPerElement() const override
+    {
+        // The CPU computes in place on shared memory; the GPU stages
+        // FP32 working copies.
+        return kind_ == sim::DeviceKind::Cpu
+                   ? 0
+                   : dtypeSize(DType::Float32);
+    }
+
+  private:
+    sim::DeviceKind kind_;
+    std::string name_;
+};
+
+/** INT8 NPU backend standing in for the Edge TPU. */
+class TpuBackend : public Backend
+{
+  public:
+    TpuBackend(const kernels::KernelRegistry &registry,
+               const sim::PlatformCalibration &cal, double qat_factor)
+        : executor_(registry, cal, qat_factor)
+    {}
+
+    sim::DeviceKind kind() const override { return sim::DeviceKind::EdgeTpu; }
+    std::string_view name() const override { return "edgetpu0"; }
+    DType nativeDtype() const override { return DType::Int8; }
+
+    bool
+    supports(const KernelInfo &info) const override
+    {
+        // Every opcode with an NPU model; accumulating reductions with
+        // Max/Min combine run fine too (counts stay in FP on the host).
+        (void)info;
+        return true;
+    }
+
+    void
+    execute(const KernelInfo &info, const KernelArgs &args,
+            const Rect &region, TensorView out, uint64_t seed) const override
+    {
+        executor_.run(info, args, region, out, seed);
+    }
+
+    size_t
+    stagingBytesPerElement() const override
+    {
+        // INT8 staging both ways (quantization happens host-side).
+        return dtypeSize(DType::Int8);
+    }
+
+  private:
+    npu::NpuExecutor executor_;
+};
+
+/**
+ * Image-DSP backend (paper §2.1's extension sketch): a 16-bit
+ * fixed/half-precision stencil engine in the style of the Pixel
+ * Visual Core. It only implements tile-model image operations that
+ * have a DSP calibration ratio; everything else is unsupported and
+ * the runtime must not queue it here.
+ */
+class DspBackend : public Backend
+{
+  public:
+    explicit DspBackend(const sim::PlatformCalibration &cal) : cal_(cal)
+    {}
+
+    sim::DeviceKind kind() const override { return sim::DeviceKind::Dsp; }
+    std::string_view name() const override { return "dsp0"; }
+    DType nativeDtype() const override { return DType::Float16; }
+
+    bool
+    supports(const KernelInfo &info) const override
+    {
+        if (info.model != ParallelModel::Tile ||
+            info.reduce != kernels::ReduceKind::None)
+            return false;
+        const sim::KernelCalibration *rec = cal_.find(info.costKey);
+        return rec && rec->dspRatio > 0.0;
+    }
+
+    void
+    execute(const KernelInfo &info, const KernelArgs &args,
+            const Rect &region, TensorView out, uint64_t) const override
+    {
+        SHMT_ASSERT(supports(info), "DSP cannot execute '", info.opcode,
+                    "'");
+        // Stage FP16 copies of the input region (plus halo) and run
+        // the kernel on them; round the output to FP16 as well.
+        const auto &first = args.input(0);
+        const size_t halo = info.halo;
+        const size_t er0 = region.row0 >= halo ? region.row0 - halo : 0;
+        const size_t ec0 = region.col0 >= halo ? region.col0 - halo : 0;
+        const size_t er1 =
+            std::min(first.rows(), region.row0 + region.rows + halo);
+        const size_t ec1 =
+            std::min(first.cols(), region.col0 + region.cols + halo);
+
+        std::vector<Tensor> scratch;
+        scratch.reserve(args.inputs.size());
+        KernelArgs staged;
+        staged.scalars = args.scalars;
+        for (const auto &in : args.inputs) {
+            Tensor s(er1 - er0, ec1 - ec0);
+            fakeQuantizeFp16(in.slice(er0, ec0, er1 - er0, ec1 - ec0),
+                             s.view());
+            scratch.push_back(std::move(s));
+        }
+        for (const auto &s : scratch)
+            staged.inputs.push_back(s.view());
+
+        const Rect adj{region.row0 - er0, region.col0 - ec0, region.rows,
+                       region.cols};
+        info.func(staged, adj, out);
+        fakeQuantizeFp16(ConstTensorView(out), out);
+    }
+
+    size_t
+    stagingBytesPerElement() const override
+    {
+        return dtypeSize(DType::Float16);
+    }
+
+  private:
+    const sim::PlatformCalibration &cal_;
+};
+
+} // namespace
+
+std::unique_ptr<Backend>
+makeDspBackend(const sim::PlatformCalibration &cal)
+{
+    return std::make_unique<DspBackend>(cal);
+}
+
+std::unique_ptr<Backend>
+makeGpuBackend(const kernels::KernelRegistry &)
+{
+    return std::make_unique<ExactBackend>(sim::DeviceKind::Gpu, "gpu0");
+}
+
+std::unique_ptr<Backend>
+makeCpuBackend(const kernels::KernelRegistry &)
+{
+    return std::make_unique<ExactBackend>(sim::DeviceKind::Cpu, "cpu0");
+}
+
+std::unique_ptr<Backend>
+makeTpuBackend(const kernels::KernelRegistry &registry,
+               const sim::PlatformCalibration &cal, double qat_factor)
+{
+    return std::make_unique<TpuBackend>(registry, cal, qat_factor);
+}
+
+std::vector<std::unique_ptr<Backend>>
+makePrototypeBackends(const kernels::KernelRegistry &registry,
+                      const sim::PlatformCalibration &cal,
+                      bool include_cpu, bool include_dsp)
+{
+    std::vector<std::unique_ptr<Backend>> out;
+    out.push_back(makeGpuBackend(registry));
+    out.push_back(makeTpuBackend(registry, cal));
+    if (include_cpu)
+        out.push_back(makeCpuBackend(registry));
+    if (include_dsp)
+        out.push_back(makeDspBackend(cal));
+    return out;
+}
+
+} // namespace shmt::devices

@@ -1,0 +1,79 @@
+#include "blackscholes.hh"
+
+#include <cmath>
+
+#include "kernels/elementwise.hh"
+
+namespace shmt::kernels {
+
+namespace {
+
+template <bool Call>
+void
+priceRegion(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &spot = args.input(0);
+    const ConstTensorView &strike = args.input(1);
+    const float r = args.scalar(0);
+    const float sigma = args.scalar(1);
+    const float t = args.scalar(2);
+
+    const float vol_sqrt_t = sigma * std::sqrt(t);
+    const float drift = (r + 0.5f * sigma * sigma) * t;
+    const float discount = std::exp(-r * t);
+
+    for (size_t rr = 0; rr < region.rows; ++rr) {
+        const float *s = spot.row(region.row0 + rr) + region.col0;
+        const float *k = strike.row(region.row0 + rr) + region.col0;
+        float *d = out.row(rr);
+        for (size_t cc = 0; cc < region.cols; ++cc) {
+            const float d1 =
+                (std::log(s[cc] / k[cc]) + drift) / vol_sqrt_t;
+            const float d2 = d1 - vol_sqrt_t;
+            if (Call) {
+                d[cc] = s[cc] * normalCdf(d1) -
+                        k[cc] * discount * normalCdf(d2);
+            } else {
+                d[cc] = k[cc] * discount * normalCdf(-d2) -
+                        s[cc] * normalCdf(-d1);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+blackscholesCall(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    priceRegion<true>(args, region, out);
+}
+
+void
+blackscholesPut(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    priceRegion<false>(args, region, out);
+}
+
+void
+registerBlackscholesKernels(KernelRegistry &reg)
+{
+    {
+        KernelInfo info;
+        info.opcode = "blackscholes";
+        info.func = blackscholesCall;
+        info.model = ParallelModel::Vector;
+        info.costKey = "blackscholes";
+        reg.add(std::move(info));
+    }
+    {
+        KernelInfo info;
+        info.opcode = "blackscholes_put";
+        info.func = blackscholesPut;
+        info.model = ParallelModel::Vector;
+        info.costKey = "blackscholes";
+        reg.add(std::move(info));
+    }
+}
+
+} // namespace shmt::kernels

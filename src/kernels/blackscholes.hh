@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Black-Scholes European option pricing (the CUDA SDK workload).
+ *
+ * inputs = {spot price S, strike K}; scalars = {risk-free rate r,
+ * volatility sigma, time to expiry T}; output = call price.
+ *
+ * Besides the fused "blackscholes" opcode, the benchmark suite also
+ * runs Blackscholes as the paper's programming model intends: a chain
+ * of primitive vector VOPs (divide, log, axpb, ncdf, multiply, sub)
+ * each scheduled independently by the SHMT runtime (see
+ * apps/benchmarks.cc), which is what limits its SHMT speedup in
+ * Fig. 6.
+ */
+
+#ifndef SHMT_KERNELS_BLACKSCHOLES_HH
+#define SHMT_KERNELS_BLACKSCHOLES_HH
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+
+/** Fused call-price kernel. */
+void blackscholesCall(const KernelArgs &, const Rect &, TensorView out);
+
+/** Fused put-price kernel (put-call parity; used in tests). */
+void blackscholesPut(const KernelArgs &, const Rect &, TensorView out);
+
+/** Register "blackscholes" / "blackscholes_put". */
+void registerBlackscholesKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_BLACKSCHOLES_HH

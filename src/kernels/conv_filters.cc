@@ -1,0 +1,119 @@
+#include "conv_filters.hh"
+
+#include <cmath>
+
+#include "common/math_utils.hh"
+
+namespace shmt::kernels {
+
+namespace {
+
+/** Clamped (replicate-border) element fetch from the full tensor. */
+inline float
+fetch(const ConstTensorView &in, long r, long c)
+{
+    const long rr = clamp<long>(r, 0, static_cast<long>(in.rows()) - 1);
+    const long cc = clamp<long>(c, 0, static_cast<long>(in.cols()) - 1);
+    return in.at(static_cast<size_t>(rr), static_cast<size_t>(cc));
+}
+
+/** Run @p f(r, c) -> float for every element of the region. */
+template <typename F>
+void
+stencilMap(const Rect &region, TensorView out, F f)
+{
+    SHMT_ASSERT(out.rows() == region.rows && out.cols() == region.cols,
+                "stencil output shape mismatch");
+    for (size_t r = 0; r < region.rows; ++r) {
+        float *d = out.row(r);
+        const long gr = static_cast<long>(region.row0 + r);
+        for (size_t c = 0; c < region.cols; ++c)
+            d[c] = f(gr, static_cast<long>(region.col0 + c));
+    }
+}
+
+} // namespace
+
+void
+sobel(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    stencilMap(region, out, [&](long r, long c) {
+        const float tl = fetch(in, r - 1, c - 1);
+        const float tc = fetch(in, r - 1, c);
+        const float tr = fetch(in, r - 1, c + 1);
+        const float ml = fetch(in, r, c - 1);
+        const float mr = fetch(in, r, c + 1);
+        const float bl = fetch(in, r + 1, c - 1);
+        const float bc = fetch(in, r + 1, c);
+        const float br = fetch(in, r + 1, c + 1);
+        const float gx = (tr + 2.0f * mr + br) - (tl + 2.0f * ml + bl);
+        const float gy = (bl + 2.0f * bc + br) - (tl + 2.0f * tc + tr);
+        return std::sqrt(gx * gx + gy * gy);
+    });
+}
+
+void
+laplacian(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    stencilMap(region, out, [&](long r, long c) {
+        const float center = fetch(in, r, c);
+        const float lap = fetch(in, r - 1, c) + fetch(in, r + 1, c) +
+                          fetch(in, r, c - 1) + fetch(in, r, c + 1) -
+                          4.0f * center;
+        return std::fabs(lap);
+    });
+}
+
+void
+meanFilter(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    stencilMap(region, out, [&](long r, long c) {
+        float acc = 0.0f;
+        for (long dr = -1; dr <= 1; ++dr)
+            for (long dc = -1; dc <= 1; ++dc)
+                acc += fetch(in, r + dr, c + dc);
+        return acc * (1.0f / 9.0f);
+    });
+}
+
+void
+conv3x3(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(args.scalars.size() >= 9, "conv3x3 needs 9 filter taps");
+    const float *k = args.scalars.data();
+    stencilMap(region, out, [&](long r, long c) {
+        float acc = 0.0f;
+        for (long dr = -1; dr <= 1; ++dr)
+            for (long dc = -1; dc <= 1; ++dc)
+                acc += k[(dr + 1) * 3 + (dc + 1)] *
+                       fetch(in, r + dr, c + dc);
+        return acc;
+    });
+}
+
+void
+registerConvFilterKernels(KernelRegistry &reg)
+{
+    auto add_filter = [&reg](std::string opcode, KernelFunc f,
+                             const char *cost_key) {
+        KernelInfo info;
+        info.opcode = std::move(opcode);
+        info.func = std::move(f);
+        info.model = ParallelModel::Tile;
+        info.halo = 1;
+        info.costKey = cost_key;
+        reg.add(std::move(info));
+    };
+
+    add_filter("sobel", sobel, "sobel");
+    add_filter("laplacian", laplacian, "laplacian");
+    add_filter("mf", meanFilter, "mf");
+    add_filter("conv", conv3x3, "vop.conv3x3");
+    add_filter("mean_filter", meanFilter, "vop.conv3x3");
+}
+
+} // namespace shmt::kernels

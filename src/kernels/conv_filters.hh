@@ -1,0 +1,36 @@
+/**
+ * @file
+ * 3x3 convolution-style image kernels: Sobel, Laplacian, Mean Filter,
+ * and a generic user-supplied 3x3 convolution VOP.
+ *
+ * All use replicate border handling (OpenCV BORDER_REPLICATE). The
+ * border is defined by the *full* input tensor, not the partition, so
+ * partitioned execution is seam-free: partitions read true neighbor
+ * rows via their halo.
+ */
+
+#ifndef SHMT_KERNELS_CONV_FILTERS_HH
+#define SHMT_KERNELS_CONV_FILTERS_HH
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+
+/** Sobel gradient magnitude: sqrt(Gx^2 + Gy^2). */
+void sobel(const KernelArgs &, const Rect &, TensorView out);
+
+/** 4-neighbor Laplacian: |N + S + E + W - 4C|. */
+void laplacian(const KernelArgs &, const Rect &, TensorView out);
+
+/** 3x3 box (mean) filter. */
+void meanFilter(const KernelArgs &, const Rect &, TensorView out);
+
+/** Generic 3x3 convolution; scalars = 9 row-major filter taps. */
+void conv3x3(const KernelArgs &, const Rect &, TensorView out);
+
+/** Register the filter opcodes. */
+void registerConvFilterKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_CONV_FILTERS_HH

@@ -1,0 +1,204 @@
+#include "dct.hh"
+
+#include <array>
+#include <cmath>
+
+namespace shmt::kernels {
+
+namespace {
+
+constexpr size_t kBlock = 8;
+constexpr double kPi = 3.14159265358979323846;
+
+/** cos((2x+1) u pi / 16) table and DCT scale factors. */
+struct DctTables
+{
+    std::array<std::array<float, kBlock>, kBlock> cosTab;
+    std::array<float, kBlock> scale;
+
+    DctTables()
+    {
+        for (size_t u = 0; u < kBlock; ++u) {
+            scale[u] = u == 0 ? std::sqrt(1.0f / kBlock)
+                              : std::sqrt(2.0f / kBlock);
+            for (size_t x = 0; x < kBlock; ++x) {
+                cosTab[u][x] = static_cast<float>(
+                    std::cos((2.0 * x + 1.0) * u * kPi / (2.0 * kBlock)));
+            }
+        }
+    }
+};
+
+const DctTables &
+tables()
+{
+    static const DctTables t;
+    return t;
+}
+
+/**
+ * Forward DCT-II of a (possibly cropped) block of size br x bc located
+ * at (r0, c0) of the input, written to the matching place in @p out
+ * whose origin is the region origin.
+ */
+void
+forwardBlock(const ConstTensorView &in, size_t r0, size_t c0, size_t br,
+             size_t bc, const Rect &region, TensorView out)
+{
+    const auto &t = tables();
+    float tmp[kBlock][kBlock];
+
+    // Rows pass: tmp[r][v] = sum_c in[r][c] cos(c, v) (generic length
+    // bc with per-length scaling).
+    for (size_t r = 0; r < br; ++r) {
+        const float *src = in.row(r0 + r) + c0;
+        for (size_t v = 0; v < bc; ++v) {
+            float acc = 0.0f;
+            if (bc == kBlock) {
+                for (size_t c = 0; c < kBlock; ++c)
+                    acc += src[c] * t.cosTab[v][c];
+                acc *= t.scale[v];
+            } else {
+                for (size_t c = 0; c < bc; ++c)
+                    acc += src[c] * static_cast<float>(std::cos(
+                               (2.0 * c + 1.0) * v * kPi / (2.0 * bc)));
+                acc *= (v == 0 ? std::sqrt(1.0f / bc)
+                               : std::sqrt(2.0f / bc));
+            }
+            tmp[r][v] = acc;
+        }
+    }
+
+    // Columns pass.
+    for (size_t u = 0; u < br; ++u) {
+        float *dst = out.row(r0 + u - region.row0) + (c0 - region.col0);
+        for (size_t v = 0; v < bc; ++v) {
+            float acc = 0.0f;
+            if (br == kBlock) {
+                for (size_t r = 0; r < kBlock; ++r)
+                    acc += tmp[r][v] * t.cosTab[u][r];
+                acc *= t.scale[u];
+            } else {
+                for (size_t r = 0; r < br; ++r)
+                    acc += tmp[r][v] * static_cast<float>(std::cos(
+                               (2.0 * r + 1.0) * u * kPi / (2.0 * br)));
+                acc *= (u == 0 ? std::sqrt(1.0f / br)
+                               : std::sqrt(2.0f / br));
+            }
+            dst[v] = acc;
+        }
+    }
+}
+
+/** Inverse DCT of one full 8x8 block (tests only use full blocks). */
+void
+inverseBlock(const ConstTensorView &in, size_t r0, size_t c0, size_t br,
+             size_t bc, const Rect &region, TensorView out)
+{
+    const auto &t = tables();
+    float tmp[kBlock][kBlock];
+
+    for (size_t u = 0; u < br; ++u) {
+        const float *src = in.row(r0 + u) + c0;
+        for (size_t c = 0; c < bc; ++c) {
+            float acc = 0.0f;
+            for (size_t v = 0; v < bc; ++v) {
+                const float cosv =
+                    bc == kBlock
+                        ? t.cosTab[v][c]
+                        : static_cast<float>(std::cos(
+                              (2.0 * c + 1.0) * v * kPi / (2.0 * bc)));
+                const float sv = bc == kBlock
+                                     ? t.scale[v]
+                                     : (v == 0 ? std::sqrt(1.0f / bc)
+                                               : std::sqrt(2.0f / bc));
+                acc += sv * src[v] * cosv;
+            }
+            tmp[u][c] = acc;
+        }
+    }
+
+    for (size_t r = 0; r < br; ++r) {
+        float *dst = out.row(r0 + r - region.row0) + (c0 - region.col0);
+        for (size_t c = 0; c < bc; ++c) {
+            float acc = 0.0f;
+            for (size_t u = 0; u < br; ++u) {
+                const float cosu =
+                    br == kBlock
+                        ? t.cosTab[u][r]
+                        : static_cast<float>(std::cos(
+                              (2.0 * r + 1.0) * u * kPi / (2.0 * br)));
+                const float su = br == kBlock
+                                     ? t.scale[u]
+                                     : (u == 0 ? std::sqrt(1.0f / br)
+                                               : std::sqrt(2.0f / br));
+                acc += su * tmp[u][c] * cosu;
+            }
+            dst[c] = acc;
+        }
+    }
+}
+
+template <void (*BlockFn)(const ConstTensorView &, size_t, size_t, size_t,
+                          size_t, const Rect &, TensorView)>
+void
+blockedTransform(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(region.row0 % kBlock == 0 && region.col0 % kBlock == 0,
+                "DCT region must be 8-aligned");
+    for (size_t r0 = region.row0; r0 < region.row0 + region.rows;
+         r0 += kBlock) {
+        const size_t br = std::min(kBlock, region.row0 + region.rows - r0);
+        for (size_t c0 = region.col0; c0 < region.col0 + region.cols;
+             c0 += kBlock) {
+            const size_t bc =
+                std::min(kBlock, region.col0 + region.cols - c0);
+            BlockFn(in, r0, c0, br, bc, region, out);
+        }
+    }
+}
+
+} // namespace
+
+void
+dct8x8(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    blockedTransform<forwardBlock>(args, region, out);
+}
+
+void
+idct8x8(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    blockedTransform<inverseBlock>(args, region, out);
+}
+
+void
+registerDctKernels(KernelRegistry &reg)
+{
+    {
+        KernelInfo info;
+        info.opcode = "dct8x8";
+        info.func = dct8x8;
+        info.model = ParallelModel::Tile;
+        info.blockAlign = kBlock;
+        info.costKey = "dct8x8";
+        // Spectral output: most coefficients are near zero while the
+        // DC terms are huge, so the NPU model keeps its output head
+        // dequantized (per-channel scales in the real compiler).
+        info.quantizeOutput = false;
+        reg.add(std::move(info));
+    }
+    {
+        KernelInfo info;
+        info.opcode = "idct8x8";
+        info.func = idct8x8;
+        info.model = ParallelModel::Tile;
+        info.blockAlign = kBlock;
+        info.costKey = "dct8x8";
+        info.quantizeOutput = false;
+        reg.add(std::move(info));
+    }
+}
+
+} // namespace shmt::kernels

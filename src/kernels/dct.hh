@@ -1,0 +1,29 @@
+/**
+ * @file
+ * 8x8 blocked 2-D DCT-II (the CUDA SDK "DCT8x8" workload).
+ *
+ * The image is processed on an absolute 8x8 block grid; each block is
+ * transformed independently with orthonormal DCT-II. Partitions must
+ * be 8-aligned (KernelInfo::blockAlign = 8), which makes partitioned
+ * execution bit-identical to the whole-image reference.
+ */
+
+#ifndef SHMT_KERNELS_DCT_HH
+#define SHMT_KERNELS_DCT_HH
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+
+/** Blocked 8x8 forward DCT-II over the region. */
+void dct8x8(const KernelArgs &, const Rect &, TensorView out);
+
+/** Inverse of dct8x8 (used by tests for round-trip checks). */
+void idct8x8(const KernelArgs &, const Rect &, TensorView out);
+
+/** Register DCT opcodes ("dct8x8", "idct8x8"). */
+void registerDctKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_DCT_HH

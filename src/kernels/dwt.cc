@@ -1,0 +1,196 @@
+#include "dwt.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace shmt::kernels {
+
+namespace {
+
+// CDF 9/7 lifting coefficients (JPEG2000 irreversible filter).
+constexpr float kA1 = -1.58613434205992f;
+constexpr float kA2 = -0.05298011857296f;
+constexpr float kA3 = 0.88291107553093f;
+constexpr float kA4 = 0.44350685204397f;
+constexpr float kK = 1.14960439886024f;
+
+/** Symmetric (mirror, non-repeating edge) index extension. */
+inline size_t
+mirror(long i, long n)
+{
+    if (n == 1)
+        return 0;
+    const long period = 2 * (n - 1);
+    long j = i % period;
+    if (j < 0)
+        j += period;
+    if (j >= n)
+        j = period - j;
+    return static_cast<size_t>(j);
+}
+
+/** x[i] += a * (x[i-1] + x[i+1]) for all odd (predict) indices. */
+inline void
+liftOdd(float *x, size_t n, float a)
+{
+    const long ln = static_cast<long>(n);
+    for (long i = 1; i < ln; i += 2)
+        x[i] += a * (x[mirror(i - 1, ln)] + x[mirror(i + 1, ln)]);
+}
+
+/** x[i] += a * (x[i-1] + x[i+1]) for all even (update) indices. */
+inline void
+liftEven(float *x, size_t n, float a)
+{
+    const long ln = static_cast<long>(n);
+    for (long i = 0; i < ln; i += 2)
+        x[i] += a * (x[mirror(i - 1, ln)] + x[mirror(i + 1, ln)]);
+}
+
+/** Deinterleave even/odd samples into low/high halves. */
+void
+deinterleave(float *x, size_t n, std::vector<float> &scratch)
+{
+    scratch.resize(n);
+    const size_t half = (n + 1) / 2;
+    for (size_t i = 0; i < n; ++i) {
+        if (i % 2 == 0)
+            scratch[i / 2] = x[i];
+        else
+            scratch[half + i / 2] = x[i];
+    }
+    std::copy(scratch.begin(), scratch.end(), x);
+}
+
+/** Inverse of deinterleave. */
+void
+interleave(float *x, size_t n, std::vector<float> &scratch)
+{
+    scratch.resize(n);
+    const size_t half = (n + 1) / 2;
+    for (size_t i = 0; i < n; ++i) {
+        if (i % 2 == 0)
+            scratch[i] = x[i / 2];
+        else
+            scratch[i] = x[half + i / 2];
+    }
+    std::copy(scratch.begin(), scratch.end(), x);
+}
+
+thread_local std::vector<float> tls_scratch;
+
+} // namespace
+
+void
+fdwt97(float *x, size_t n)
+{
+    if (n < 2)
+        return;
+    liftOdd(x, n, kA1);
+    liftEven(x, n, kA2);
+    liftOdd(x, n, kA3);
+    liftEven(x, n, kA4);
+    for (size_t i = 0; i < n; ++i)
+        x[i] *= (i % 2 == 0) ? 1.0f / kK : kK;
+    deinterleave(x, n, tls_scratch);
+}
+
+void
+idwt97(float *x, size_t n)
+{
+    if (n < 2)
+        return;
+    interleave(x, n, tls_scratch);
+    for (size_t i = 0; i < n; ++i)
+        x[i] *= (i % 2 == 0) ? kK : 1.0f / kK;
+    liftEven(x, n, -kA4);
+    liftOdd(x, n, -kA3);
+    liftEven(x, n, -kA2);
+    liftOdd(x, n, -kA1);
+}
+
+namespace {
+
+template <void (*Line)(float *, size_t)>
+void
+transformBlock(const ConstTensorView &in, size_t r0, size_t c0, size_t br,
+               size_t bc, const Rect &region, TensorView out)
+{
+    // Copy block into the output region first, then lift in place.
+    for (size_t r = 0; r < br; ++r) {
+        const float *s = in.row(r0 + r) + c0;
+        float *d = out.row(r0 + r - region.row0) + (c0 - region.col0);
+        std::copy(s, s + bc, d);
+    }
+
+    // Rows.
+    for (size_t r = 0; r < br; ++r)
+        Line(out.row(r0 + r - region.row0) + (c0 - region.col0), bc);
+
+    // Columns (gather/scatter through a scratch line).
+    std::vector<float> col(br);
+    for (size_t c = 0; c < bc; ++c) {
+        for (size_t r = 0; r < br; ++r)
+            col[r] = out.at(r0 + r - region.row0, c0 - region.col0 + c);
+        Line(col.data(), br);
+        for (size_t r = 0; r < br; ++r)
+            out.at(r0 + r - region.row0, c0 - region.col0 + c) = col[r];
+    }
+}
+
+template <void (*Line)(float *, size_t)>
+void
+blockedDwt(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(region.row0 % kDwtBlock == 0 &&
+                    region.col0 % kDwtBlock == 0,
+                "DWT region must be block-aligned");
+    for (size_t r0 = region.row0; r0 < region.row0 + region.rows;
+         r0 += kDwtBlock) {
+        const size_t br =
+            std::min(kDwtBlock, region.row0 + region.rows - r0);
+        for (size_t c0 = region.col0; c0 < region.col0 + region.cols;
+             c0 += kDwtBlock) {
+            const size_t bc =
+                std::min(kDwtBlock, region.col0 + region.cols - c0);
+            transformBlock<Line>(in, r0, c0, br, bc, region, out);
+        }
+    }
+}
+
+} // namespace
+
+void
+dwt2d(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    blockedDwt<fdwt97>(args, region, out);
+}
+
+void
+idwt2d(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    blockedDwt<idwt97>(args, region, out);
+}
+
+void
+registerDwtKernels(KernelRegistry &reg)
+{
+    auto add_dwt = [&reg](std::string opcode, KernelFunc f) {
+        KernelInfo info;
+        info.opcode = std::move(opcode);
+        info.func = std::move(f);
+        info.model = ParallelModel::Tile;
+        info.blockAlign = kDwtBlock;
+        info.costKey = "dwt";
+        // Wavelet coefficients are sparse around zero; the NPU model
+        // keeps a dequantized output head (see dct.cc).
+        info.quantizeOutput = false;
+        reg.add(std::move(info));
+    };
+    add_dwt("dwt", dwt2d);
+    add_dwt("FDWT97", dwt2d);
+    add_dwt("idwt", idwt2d);
+}
+
+} // namespace shmt::kernels

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Blocked 2-D CDF 9/7 discrete wavelet transform (the Rodinia "DWT"
+ * workload, FDWT97 in paper Table 1).
+ *
+ * One lifting level per 256x256 absolute-aligned block: rows then
+ * columns, with symmetric boundary extension inside the block; the
+ * output keeps the interleaved-in-place layout deinterleaved into
+ * [LL LH; HL HH] quadrants per block.
+ */
+
+#ifndef SHMT_KERNELS_DWT_HH
+#define SHMT_KERNELS_DWT_HH
+
+#include <cstddef>
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+
+/** Block edge of the DWT grid (partitions align to this). */
+constexpr size_t kDwtBlock = 256;
+
+/** One forward CDF 9/7 lifting pass over @p x (length n, stride 1). */
+void fdwt97(float *x, size_t n);
+
+/** Inverse of fdwt97. */
+void idwt97(float *x, size_t n);
+
+/** Blocked forward 2-D transform over the region. */
+void dwt2d(const KernelArgs &, const Rect &, TensorView out);
+
+/** Blocked inverse 2-D transform (tests: round-trip). */
+void idwt2d(const KernelArgs &, const Rect &, TensorView out);
+
+/** Register DWT opcodes ("dwt", "idwt", "FDWT97"). */
+void registerDwtKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_DWT_HH

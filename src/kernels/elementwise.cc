@@ -1,0 +1,173 @@
+#include "elementwise.hh"
+
+#include <cmath>
+
+namespace shmt::kernels {
+
+namespace {
+
+/** Apply @p f elementwise over the region of input 0. */
+template <typename F>
+void
+unaryMap(const KernelArgs &args, const Rect &region, TensorView out, F f)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(out.rows() == region.rows && out.cols() == region.cols,
+                "unary map output shape mismatch");
+    for (size_t r = 0; r < region.rows; ++r) {
+        const float *s = in.row(region.row0 + r) + region.col0;
+        float *d = out.row(r);
+        for (size_t c = 0; c < region.cols; ++c)
+            d[c] = f(s[c]);
+    }
+}
+
+/** Apply @p f elementwise over the regions of inputs 0 and 1. */
+template <typename F>
+void
+binaryMap(const KernelArgs &args, const Rect &region, TensorView out, F f)
+{
+    const ConstTensorView &a = args.input(0);
+    const ConstTensorView &b = args.input(1);
+    SHMT_ASSERT(out.rows() == region.rows && out.cols() == region.cols,
+                "binary map output shape mismatch");
+    for (size_t r = 0; r < region.rows; ++r) {
+        const float *pa = a.row(region.row0 + r) + region.col0;
+        const float *pb = b.row(region.row0 + r) + region.col0;
+        float *d = out.row(r);
+        for (size_t c = 0; c < region.cols; ++c)
+            d[c] = f(pa[c], pb[c]);
+    }
+}
+
+} // namespace
+
+float
+normalCdf(float x)
+{
+    return 0.5f * std::erfc(-x * 0.70710678118654752440f);
+}
+
+void
+ewLog(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMap(a, r, out, [](float v) { return std::log(v); });
+}
+
+void
+ewExp(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMap(a, r, out, [](float v) { return std::exp(v); });
+}
+
+void
+ewSqrt(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMap(a, r, out, [](float v) { return std::sqrt(v); });
+}
+
+void
+ewRsqrt(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMap(a, r, out, [](float v) { return 1.0f / std::sqrt(v); });
+}
+
+void
+ewTanh(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMap(a, r, out, [](float v) { return std::tanh(v); });
+}
+
+void
+ewRelu(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMap(a, r, out, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+void
+ewNcdf(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMap(a, r, out, [](float v) { return normalCdf(v); });
+}
+
+void
+ewAbs(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMap(a, r, out, [](float v) { return std::fabs(v); });
+}
+
+void
+ewAxpb(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    const float alpha = a.scalar(0);
+    const float beta = a.scalar(1);
+    unaryMap(a, r, out, [=](float v) { return alpha * v + beta; });
+}
+
+void
+ewAdd(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMap(a, r, out, [](float x, float y) { return x + y; });
+}
+
+void
+ewSub(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMap(a, r, out, [](float x, float y) { return x - y; });
+}
+
+void
+ewMul(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMap(a, r, out, [](float x, float y) { return x * y; });
+}
+
+void
+ewDiv(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMap(a, r, out, [](float x, float y) { return x / y; });
+}
+
+void
+ewMax(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMap(a, r, out, [](float x, float y) { return x > y ? x : y; });
+}
+
+void
+ewMin(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMap(a, r, out, [](float x, float y) { return x < y ? x : y; });
+}
+
+void
+registerElementwiseKernels(KernelRegistry &reg)
+{
+    auto add_ew = [&reg](std::string opcode, KernelFunc f,
+                         const char *cost_key) {
+        KernelInfo info;
+        info.opcode = std::move(opcode);
+        info.func = std::move(f);
+        info.model = ParallelModel::Vector;
+        info.costKey = cost_key;
+        reg.add(std::move(info));
+    };
+
+    add_ew("add", ewAdd, "vop.ew");
+    add_ew("sub", ewSub, "vop.ew");
+    add_ew("multiply", ewMul, "vop.ew");
+    add_ew("divide", ewDiv, "vop.ew");
+    add_ew("max", ewMax, "vop.ew");
+    add_ew("min", ewMin, "vop.ew");
+    add_ew("relu", ewRelu, "vop.ew");
+    add_ew("abs", ewAbs, "vop.ew");
+    add_ew("axpb", ewAxpb, "vop.ew");
+    add_ew("log", ewLog, "vop.ew_transcend");
+    add_ew("exp", ewExp, "vop.ew_transcend");
+    add_ew("sqrt", ewSqrt, "vop.ew_transcend");
+    add_ew("rsqrt", ewRsqrt, "vop.ew_transcend");
+    add_ew("tanh", ewTanh, "vop.ew_transcend");
+    add_ew("ncdf", ewNcdf, "vop.ew_transcend");
+}
+
+} // namespace shmt::kernels

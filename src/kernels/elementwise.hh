@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Element-wise vector kernels (paper Table 1, vector column).
+ *
+ * These are the primitive VOP bodies for the vector processing model:
+ * unary transcendental/arithmetic maps, binary maps, and affine maps.
+ * Composite applications (e.g. Blackscholes) chain them.
+ */
+
+#ifndef SHMT_KERNELS_ELEMENTWISE_HH
+#define SHMT_KERNELS_ELEMENTWISE_HH
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+
+/** Standard normal CDF (used by Blackscholes). */
+float normalCdf(float x);
+
+/** @{ Unary elementwise bodies: out = f(in0) over the region. */
+void ewLog(const KernelArgs &, const Rect &, TensorView out);
+void ewExp(const KernelArgs &, const Rect &, TensorView out);
+void ewSqrt(const KernelArgs &, const Rect &, TensorView out);
+void ewRsqrt(const KernelArgs &, const Rect &, TensorView out);
+void ewTanh(const KernelArgs &, const Rect &, TensorView out);
+void ewRelu(const KernelArgs &, const Rect &, TensorView out);
+void ewNcdf(const KernelArgs &, const Rect &, TensorView out);
+void ewAbs(const KernelArgs &, const Rect &, TensorView out);
+/** @} */
+
+/** out = scalar0 * in0 + scalar1 (affine map). */
+void ewAxpb(const KernelArgs &, const Rect &, TensorView out);
+
+/** @{ Binary elementwise bodies: out = in0 (op) in1 over the region. */
+void ewAdd(const KernelArgs &, const Rect &, TensorView out);
+void ewSub(const KernelArgs &, const Rect &, TensorView out);
+void ewMul(const KernelArgs &, const Rect &, TensorView out);
+void ewDiv(const KernelArgs &, const Rect &, TensorView out);
+void ewMax(const KernelArgs &, const Rect &, TensorView out);
+void ewMin(const KernelArgs &, const Rect &, TensorView out);
+/** @} */
+
+/** Register all elementwise opcodes. */
+void registerElementwiseKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_ELEMENTWISE_HH

@@ -1,0 +1,150 @@
+#include "fft.hh"
+
+#include <cmath>
+
+#include "common/math_utils.hh"
+
+namespace shmt::kernels {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void
+fftRadix2(std::complex<float> *x, size_t n, bool inverse)
+{
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(x[i], x[j]);
+    }
+
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const double ang = 2.0 * kPi / static_cast<double>(len) *
+                           (inverse ? 1.0 : -1.0);
+        const std::complex<float> wl(static_cast<float>(std::cos(ang)),
+                                     static_cast<float>(std::sin(ang)));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<float> w(1.0f, 0.0f);
+            for (size_t k = 0; k < len / 2; ++k) {
+                const auto u = x[i + k];
+                const auto v = x[i + k + len / 2] * w;
+                x[i + k] = u + v;
+                x[i + k + len / 2] = u - v;
+                w *= wl;
+            }
+        }
+    }
+
+    if (inverse) {
+        const float inv_n = 1.0f / static_cast<float>(n);
+        for (size_t i = 0; i < n; ++i)
+            x[i] *= inv_n;
+    }
+}
+
+void
+dftNaive(std::complex<float> *x, size_t n, bool inverse)
+{
+    std::vector<std::complex<float>> out(n);
+    const double sign = inverse ? 1.0 : -1.0;
+    for (size_t k = 0; k < n; ++k) {
+        std::complex<double> acc(0.0, 0.0);
+        for (size_t t = 0; t < n; ++t) {
+            const double ang = sign * 2.0 * kPi *
+                               static_cast<double>(k * t) /
+                               static_cast<double>(n);
+            acc += std::complex<double>(x[t]) *
+                   std::complex<double>(std::cos(ang), std::sin(ang));
+        }
+        if (inverse)
+            acc /= static_cast<double>(n);
+        out[k] = std::complex<float>(acc);
+    }
+    std::copy(out.begin(), out.end(), x);
+}
+
+void
+fftBlock(const ConstTensorView &in, size_t r0, size_t c0, size_t br,
+         size_t bc, const Rect &region, TensorView out)
+{
+    std::vector<std::complex<float>> block(br * bc);
+    for (size_t r = 0; r < br; ++r) {
+        const float *s = in.row(r0 + r) + c0;
+        for (size_t c = 0; c < bc; ++c)
+            block[r * bc + c] = std::complex<float>(s[c], 0.0f);
+    }
+
+    // Rows.
+    for (size_t r = 0; r < br; ++r)
+        fft1d(block.data() + r * bc, bc, false);
+
+    // Columns.
+    std::vector<std::complex<float>> col(br);
+    for (size_t c = 0; c < bc; ++c) {
+        for (size_t r = 0; r < br; ++r)
+            col[r] = block[r * bc + c];
+        fft1d(col.data(), br, false);
+        for (size_t r = 0; r < br; ++r)
+            block[r * bc + c] = col[r];
+    }
+
+    const float norm =
+        1.0f / std::sqrt(static_cast<float>(br) * static_cast<float>(bc));
+    for (size_t r = 0; r < br; ++r) {
+        float *d = out.row(r0 + r - region.row0) + (c0 - region.col0);
+        for (size_t c = 0; c < bc; ++c)
+            d[c] = std::abs(block[r * bc + c]) * norm;
+    }
+}
+
+} // namespace
+
+void
+fft1d(std::complex<float> *x, size_t n, bool inverse)
+{
+    if (n <= 1)
+        return;
+    if (isPow2(n))
+        fftRadix2(x, n, inverse);
+    else
+        dftNaive(x, n, inverse);
+}
+
+void
+fftMag2d(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(region.row0 % kFftBlock == 0 &&
+                    region.col0 % kFftBlock == 0,
+                "FFT region must be block-aligned");
+    for (size_t r0 = region.row0; r0 < region.row0 + region.rows;
+         r0 += kFftBlock) {
+        const size_t br =
+            std::min(kFftBlock, region.row0 + region.rows - r0);
+        for (size_t c0 = region.col0; c0 < region.col0 + region.cols;
+             c0 += kFftBlock) {
+            const size_t bc =
+                std::min(kFftBlock, region.col0 + region.cols - c0);
+            fftBlock(in, r0, c0, br, bc, region, out);
+        }
+    }
+}
+
+void
+registerFftKernels(KernelRegistry &reg)
+{
+    KernelInfo info;
+    info.opcode = "fft";
+    info.func = fftMag2d;
+    info.model = ParallelModel::Tile;
+    info.blockAlign = kFftBlock;
+    info.costKey = "fft";
+    reg.add(std::move(info));
+}
+
+} // namespace shmt::kernels

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Blocked 2-D FFT magnitude spectrum (the CUDA SDK "FFT" workload).
+ *
+ * Each 256x256 absolute-aligned block is transformed with a 2-D
+ * complex FFT of its real samples; the output is the magnitude
+ * spectrum normalized by 1/sqrt(rows*cols) of the block. Power-of-two
+ * block edges use iterative radix-2 Cooley-Tukey; cropped edge blocks
+ * fall back to a naive DFT.
+ */
+
+#ifndef SHMT_KERNELS_FFT_HH
+#define SHMT_KERNELS_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+
+/** Block edge of the FFT grid (partitions align to this). */
+constexpr size_t kFftBlock = 256;
+
+/** In-place complex FFT of length n (radix-2 when n is a power of 2,
+ *  naive DFT otherwise). @p inverse selects the inverse transform
+ *  (scaled by 1/n). */
+void fft1d(std::complex<float> *x, size_t n, bool inverse);
+
+/** Blocked 2-D FFT magnitude over the region. */
+void fftMag2d(const KernelArgs &, const Rect &, TensorView out);
+
+/** Register the "fft" opcode. */
+void registerFftKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_FFT_HH

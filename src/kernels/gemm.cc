@@ -1,0 +1,40 @@
+#include "gemm.hh"
+
+namespace shmt::kernels {
+
+void
+gemm(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &a = args.input(0);
+    const ConstTensorView &b = args.input(1);
+    SHMT_ASSERT(a.cols() == b.rows(), "GEMM inner dimensions differ: ",
+                a.cols(), " vs ", b.rows());
+    const size_t k_dim = a.cols();
+
+    for (size_t r = 0; r < region.rows; ++r) {
+        const float *arow = a.row(region.row0 + r);
+        float *d = out.row(r);
+        for (size_t c = 0; c < region.cols; ++c)
+            d[c] = 0.0f;
+        for (size_t k = 0; k < k_dim; ++k) {
+            const float av = arow[k];
+            const float *brow = b.row(k) + region.col0;
+            for (size_t c = 0; c < region.cols; ++c)
+                d[c] += av * brow[c];
+        }
+    }
+}
+
+void
+registerGemmKernels(KernelRegistry &reg)
+{
+    KernelInfo info;
+    info.opcode = "gemm";
+    info.func = gemm;
+    info.model = ParallelModel::Tile;
+    info.wholeInputs = true;
+    info.costKey = "vop.gemm";
+    reg.add(std::move(info));
+}
+
+} // namespace shmt::kernels

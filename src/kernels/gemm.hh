@@ -1,0 +1,25 @@
+/**
+ * @file
+ * GEMM VOP (paper Table 1, Fig. 4's running example).
+ *
+ * inputs = {A (MxK), B (KxN)}; output C is MxN; the region tiles C.
+ * Each output tile reads A's row panel and B's column panel, so the
+ * NPU harness quantizes the whole inputs (KernelInfo::wholeInputs).
+ */
+
+#ifndef SHMT_KERNELS_GEMM_HH
+#define SHMT_KERNELS_GEMM_HH
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+
+/** C-tile GEMM body. */
+void gemm(const KernelArgs &, const Rect &, TensorView out);
+
+/** Register the "gemm" opcode. */
+void registerGemmKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_GEMM_HH

@@ -1,0 +1,78 @@
+#include "kernel_registry.hh"
+
+#include "kernels/blackscholes.hh"
+#include "kernels/conv_filters.hh"
+#include "kernels/dct.hh"
+#include "kernels/dwt.hh"
+#include "kernels/elementwise.hh"
+#include "kernels/fft.hh"
+#include "kernels/gemm.hh"
+#include "kernels/reductions.hh"
+#include "kernels/stencil.hh"
+
+namespace shmt::kernels {
+
+const KernelRegistry &
+KernelRegistry::instance()
+{
+    static const KernelRegistry reg = [] {
+        KernelRegistry r;
+        registerBuiltinKernels(r);
+        return r;
+    }();
+    return reg;
+}
+
+const KernelInfo &
+KernelRegistry::get(std::string_view opcode) const
+{
+    const KernelInfo *info = find(opcode);
+    if (!info)
+        SHMT_PANIC("unknown opcode '", opcode, "'");
+    return *info;
+}
+
+const KernelInfo *
+KernelRegistry::find(std::string_view opcode) const
+{
+    auto it = table_.find(opcode);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+void
+KernelRegistry::add(KernelInfo info)
+{
+    SHMT_ASSERT(!info.opcode.empty(), "opcode must be non-empty");
+    SHMT_ASSERT(info.func, "opcode '", info.opcode, "' has no body");
+    SHMT_ASSERT(!info.costKey.empty(), "opcode '", info.opcode,
+                "' has no cost key");
+    auto [it, inserted] = table_.emplace(info.opcode, std::move(info));
+    if (!inserted)
+        SHMT_PANIC("duplicate opcode '", it->first, "'");
+}
+
+std::vector<std::string>
+KernelRegistry::opcodes() const
+{
+    std::vector<std::string> out;
+    out.reserve(table_.size());
+    for (const auto &[op, info] : table_)
+        out.push_back(op);
+    return out;
+}
+
+void
+registerBuiltinKernels(KernelRegistry &reg)
+{
+    registerElementwiseKernels(reg);
+    registerReductionKernels(reg);
+    registerConvFilterKernels(reg);
+    registerStencilKernels(reg);
+    registerDctKernels(reg);
+    registerDwtKernels(reg);
+    registerFftKernels(reg);
+    registerBlackscholesKernels(reg);
+    registerGemmKernels(reg);
+}
+
+} // namespace shmt::kernels

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Registry of kernel (HLOP body) implementations.
+ *
+ * Every opcode SHMT can schedule maps to a host function that computes
+ * one rectangular region of the output from the full input tensors.
+ * Device backends wrap these bodies: the simulated GPU/CPU call them
+ * directly in FP32; the simulated Edge TPU calls them through the NPU
+ * quantization harness (INT8 in, INT8 out, plus model noise).
+ *
+ * The same body computes both the partitioned execution and the exact
+ * reference result (region = whole tensor), so partitioning can never
+ * change the FP32 semantics.
+ */
+
+#ifndef SHMT_KERNELS_KERNEL_REGISTRY_HH
+#define SHMT_KERNELS_KERNEL_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/quantize.hh"
+#include "tensor/tensor.hh"
+#include "tensor/tiling.hh"
+
+namespace shmt::kernels {
+
+/** Inputs to a kernel body: full tensors plus scalar parameters. */
+struct KernelArgs
+{
+    std::vector<ConstTensorView> inputs;
+    std::vector<float> scalars;
+
+    /**
+     * NPU model-approximation noise level for this invocation, set by
+     * the runtime from the VOP's calibration record (so a composite
+     * benchmark's chain links share the benchmark's NPU fidelity).
+     * Negative = use the opcode's default model.
+     */
+    double npuNoiseOverride = -1.0;
+
+    /**
+     * Fixed input quantization parameters of the pre-trained NPU
+     * model, one per input (compiled Edge TPU models bake their
+     * scales in at compile time; they are calibrated on typical data,
+     * so partitions with atypically wide value ranges *saturate* —
+     * the very data QAWS keeps on exact hardware). Filled by the
+     * runtime once per VOP; when empty, the NPU harness falls back to
+     * per-partition dynamic ranges.
+     */
+    std::vector<QuantParams> npuInputQuant;
+
+    const ConstTensorView &
+    input(size_t i) const
+    {
+        SHMT_ASSERT(i < inputs.size(), "missing kernel input ", i);
+        return inputs[i];
+    }
+
+    float
+    scalar(size_t i) const
+    {
+        SHMT_ASSERT(i < scalars.size(), "missing kernel scalar ", i);
+        return scalars[i];
+    }
+};
+
+/**
+ * A kernel body. Computes output values for @p region. For map-style
+ * kernels @p out is a view of the output restricted to @p region; for
+ * reduction kernels @p out is the partition's private accumulator
+ * (e.g. a 1x256 histogram).
+ */
+using KernelFunc =
+    std::function<void(const KernelArgs &, const Rect &, TensorView)>;
+
+/**
+ * Optional post-aggregation step for reductions (e.g. reduce_average
+ * divides the combined sum by the input element count).
+ */
+using FinalizeFunc = std::function<void(const KernelArgs &, TensorView)>;
+
+/** How partition outputs combine into the VOP output. */
+enum class ReduceKind : uint8_t {
+    None,     //!< partition writes its own region of the output
+    Sum,      //!< partition accumulators are summed elementwise
+    Max,      //!< elementwise max of accumulators
+    Min,      //!< elementwise min of accumulators
+};
+
+/** Static metadata of one opcode. */
+struct KernelInfo
+{
+    std::string opcode;
+    KernelFunc func;
+    ParallelModel model = ParallelModel::Vector;
+    size_t halo = 0;            //!< stencil reach outside the region
+    ReduceKind reduce = ReduceKind::None;
+    size_t reduceRows = 0;      //!< accumulator shape for reductions
+    size_t reduceCols = 0;
+    FinalizeFunc finalize;      //!< optional post-aggregation step
+    std::string costKey;        //!< calibration record this op bills to
+    double costWeight = 1.0;    //!< fraction of that record's work
+
+    /**
+     * Block-transform kernels (DCT8x8, blocked FFT/DWT) operate on an
+     * absolute-aligned block grid; partitions must align to multiples
+     * of this so that partitioned execution is bit-identical to the
+     * unpartitioned reference.
+     */
+    size_t blockAlign = 1;
+
+    /**
+     * Kernels whose output region reads non-local input (e.g. GEMM
+     * reads a whole row/column panel per output tile): the NPU harness
+     * quantizes the full input tensors instead of the output-aligned
+     * region.
+     */
+    bool wholeInputs = false;
+
+    /**
+     * Whether the NPU harness also quantizes the kernel *output* to
+     * INT8 (true for map-style image kernels; false for reductions
+     * whose accumulators exceed INT8 range, where the model instead
+     * emits scaled values with approximation noise).
+     */
+    bool quantizeOutput = true;
+};
+
+/** Opcode -> implementation table. */
+class KernelRegistry
+{
+  public:
+    /** The process-wide registry with all built-in kernels installed. */
+    static const KernelRegistry &instance();
+
+    /** Look up @p opcode; panics if absent (an SHMT configuration bug). */
+    const KernelInfo &get(std::string_view opcode) const;
+
+    /** Look up @p opcode; nullptr if absent. */
+    const KernelInfo *find(std::string_view opcode) const;
+
+    /** Register @p info; panics on duplicate opcodes. */
+    void add(KernelInfo info);
+
+    /** All registered opcodes, sorted. */
+    std::vector<std::string> opcodes() const;
+
+  private:
+    std::map<std::string, KernelInfo, std::less<>> table_;
+};
+
+/** Register the built-in kernel set into @p reg (used by instance()). */
+void registerBuiltinKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_KERNEL_REGISTRY_HH

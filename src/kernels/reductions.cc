@@ -1,0 +1,130 @@
+#include "reductions.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.hh"
+
+namespace shmt::kernels {
+
+namespace {
+
+template <typename F>
+void
+regionFold(const KernelArgs &args, const Rect &region, float init,
+           TensorView out, F f)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(out.size() == 1, "fold accumulator must be 1x1");
+    float acc = init;
+    for (size_t r = 0; r < region.rows; ++r) {
+        const float *s = in.row(region.row0 + r) + region.col0;
+        for (size_t c = 0; c < region.cols; ++c)
+            acc = f(acc, s[c]);
+    }
+    out.at(0, 0) = acc;
+}
+
+} // namespace
+
+void
+reduceSum(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    // Row-wise partial sums in double to keep the FP32 reference stable
+    // regardless of the partition layout.
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(out.size() == 1, "fold accumulator must be 1x1");
+    double acc = 0.0;
+    for (size_t r = 0; r < region.rows; ++r) {
+        const float *s = in.row(region.row0 + r) + region.col0;
+        double row_acc = 0.0;
+        for (size_t c = 0; c < region.cols; ++c)
+            row_acc += s[c];
+        acc += row_acc;
+    }
+    out.at(0, 0) = static_cast<float>(acc);
+}
+
+void
+reduceMax(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    regionFold(args, region, -std::numeric_limits<float>::infinity(), out,
+               [](float a, float v) { return a > v ? a : v; });
+}
+
+void
+reduceMin(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    regionFold(args, region, std::numeric_limits<float>::infinity(), out,
+               [](float a, float v) { return a < v ? a : v; });
+}
+
+void
+reduceHist256(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(out.size() == 256, "hist256 accumulator must hold 256 bins");
+    const float lo = args.scalar(0);
+    const float hi = args.scalar(1);
+    SHMT_ASSERT(hi > lo, "empty histogram range");
+    const float inv_width = 256.0f / (hi - lo);
+
+    out.fill(0.0f);
+    float *bins = out.row(0);
+    for (size_t r = 0; r < region.rows; ++r) {
+        const float *s = in.row(region.row0 + r) + region.col0;
+        for (size_t c = 0; c < region.cols; ++c) {
+            const int bin = clamp<int>(
+                static_cast<int>((s[c] - lo) * inv_width), 0, 255);
+            bins[bin] += 1.0f;
+        }
+    }
+}
+
+void
+registerReductionKernels(KernelRegistry &reg)
+{
+    auto add_reduce = [&reg](std::string opcode, KernelFunc f,
+                             ReduceKind kind, size_t cols,
+                             const char *cost_key) {
+        KernelInfo info;
+        info.opcode = std::move(opcode);
+        info.func = std::move(f);
+        info.model = ParallelModel::Vector;
+        info.reduce = kind;
+        info.reduceRows = 1;
+        info.reduceCols = cols;
+        info.costKey = cost_key;
+        reg.add(std::move(info));
+    };
+
+    add_reduce("reduce_sum", reduceSum, ReduceKind::Sum, 1, "vop.reduce");
+
+    {
+        KernelInfo info;
+        info.opcode = "reduce_average";
+        info.func = reduceSum;
+        info.model = ParallelModel::Vector;
+        info.reduce = ReduceKind::Sum;
+        info.reduceRows = 1;
+        info.reduceCols = 1;
+        info.costKey = "vop.reduce";
+        info.finalize = [](const KernelArgs &args, TensorView out) {
+            const size_t n = args.input(0).size();
+            SHMT_ASSERT(n > 0, "reduce_average over empty input");
+            out.at(0, 0) /= static_cast<float>(n);
+        };
+        reg.add(std::move(info));
+    }
+
+    add_reduce("reduce_max", reduceMax, ReduceKind::Max, 1, "vop.reduce");
+    add_reduce("reduce_min", reduceMin, ReduceKind::Min, 1, "vop.reduce");
+    add_reduce("reduce_hist256", reduceHist256, ReduceKind::Sum, 256,
+               "vop.reduce");
+    // The Histogram benchmark is the same body billed to its own
+    // calibration record (paper Table 2, OpenCV baseline).
+    add_reduce("histogram", reduceHist256, ReduceKind::Sum, 256,
+               "histogram");
+}
+
+} // namespace shmt::kernels

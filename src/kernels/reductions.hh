@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reduction kernels (paper Table 1): reduce_sum, reduce_average,
+ * reduce_max, reduce_min, reduce_hist256.
+ *
+ * Each partition computes a private accumulator; the runtime combines
+ * accumulators with the opcode's ReduceKind and then applies the
+ * optional finalize step (e.g. dividing a sum by the element count for
+ * reduce_average).
+ */
+
+#ifndef SHMT_KERNELS_REDUCTIONS_HH
+#define SHMT_KERNELS_REDUCTIONS_HH
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+
+/** Partial sum of the region into a 1x1 accumulator. */
+void reduceSum(const KernelArgs &, const Rect &, TensorView out);
+
+/** Partial max / min of the region into a 1x1 accumulator. */
+void reduceMax(const KernelArgs &, const Rect &, TensorView out);
+void reduceMin(const KernelArgs &, const Rect &, TensorView out);
+
+/**
+ * Partial 256-bin histogram of the region into a 1x256 accumulator.
+ * scalars = {lo, hi}: values are binned over [lo, hi); out-of-range
+ * values clamp into the first/last bin (OpenCV calcHist convention
+ * truncates; clamping keeps counts conserved, which the tests check).
+ */
+void reduceHist256(const KernelArgs &, const Rect &, TensorView out);
+
+/** Register all reduction opcodes. */
+void registerReductionKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_REDUCTIONS_HH

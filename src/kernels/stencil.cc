@@ -1,0 +1,184 @@
+#include "stencil.hh"
+
+#include <cmath>
+
+#include "common/math_utils.hh"
+
+namespace shmt::kernels {
+
+namespace {
+
+inline float
+fetch(const ConstTensorView &in, long r, long c)
+{
+    const long rr = clamp<long>(r, 0, static_cast<long>(in.rows()) - 1);
+    const long cc = clamp<long>(c, 0, static_cast<long>(in.cols()) - 1);
+    return in.at(static_cast<size_t>(rr), static_cast<size_t>(cc));
+}
+
+/** SRAD diffusion coefficient at (r, c). */
+inline float
+sradCoeff(const ConstTensorView &j, long r, long c, float q0sqr)
+{
+    const float jc = fetch(j, r, c);
+    const float dn = fetch(j, r - 1, c) - jc;
+    const float ds = fetch(j, r + 1, c) - jc;
+    const float dw = fetch(j, r, c - 1) - jc;
+    const float de = fetch(j, r, c + 1) - jc;
+
+    const float jc2 = jc * jc + 1e-12f;
+    const float g2 = (dn * dn + ds * ds + dw * dw + de * de) / jc2;
+    const float l = (dn + ds + dw + de) / (jc + 1e-12f);
+    const float num = 0.5f * g2 - 0.0625f * l * l;
+    const float den = (1.0f + 0.25f * l) * (1.0f + 0.25f * l);
+    const float qsqr = num / (den + 1e-12f);
+
+    const float cval =
+        1.0f / (1.0f + (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr) + 1e-12f));
+    return clamp(cval, 0.0f, 1.0f);
+}
+
+} // namespace
+
+void
+hotspotStep(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &temp = args.input(0);
+    const ConstTensorView &power = args.input(1);
+    const float sdc = args.scalar(0);
+    const float rx_inv = args.scalar(1);
+    const float ry_inv = args.scalar(2);
+    const float rz_inv = args.scalar(3);
+    const float amb = args.scalar(4);
+
+    for (size_t r = 0; r < region.rows; ++r) {
+        float *d = out.row(r);
+        const long gr = static_cast<long>(region.row0 + r);
+        for (size_t c = 0; c < region.cols; ++c) {
+            const long gc = static_cast<long>(region.col0 + c);
+            const float t = fetch(temp, gr, gc);
+            const float delta =
+                sdc * (power.at(gr, gc) +
+                       (fetch(temp, gr + 1, gc) + fetch(temp, gr - 1, gc) -
+                        2.0f * t) * ry_inv +
+                       (fetch(temp, gr, gc + 1) + fetch(temp, gr, gc - 1) -
+                        2.0f * t) * rx_inv +
+                       (amb - t) * rz_inv);
+            d[c] = t + delta;
+        }
+    }
+}
+
+void
+sradStep(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &j = args.input(0);
+    const float q0sqr = args.scalar(0);
+    const float lambda = args.scalar(1);
+
+    for (size_t r = 0; r < region.rows; ++r) {
+        float *d = out.row(r);
+        const long gr = static_cast<long>(region.row0 + r);
+        for (size_t c = 0; c < region.cols; ++c) {
+            const long gc = static_cast<long>(region.col0 + c);
+            const float jc = fetch(j, gr, gc);
+            const float dn = fetch(j, gr - 1, gc) - jc;
+            const float ds = fetch(j, gr + 1, gc) - jc;
+            const float dw = fetch(j, gr, gc - 1) - jc;
+            const float de = fetch(j, gr, gc + 1) - jc;
+
+            // Rodinia: cN = c(r,c), cS = c(r+1,c), cW = c(r,c), cE =
+            // c(r,c+1).
+            const float cc = sradCoeff(j, gr, gc, q0sqr);
+            const float cs = sradCoeff(j, gr + 1, gc, q0sqr);
+            const float ce = sradCoeff(j, gr, gc + 1, q0sqr);
+
+            const float div =
+                cc * dn + cs * ds + cc * dw + ce * de;
+            d[c] = jc + 0.25f * lambda * div;
+        }
+    }
+}
+
+void
+stencil5(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    const float wc = args.scalar(0);
+    const float wn = args.scalar(1);
+    const float ws = args.scalar(2);
+    const float ww = args.scalar(3);
+    const float we = args.scalar(4);
+
+    for (size_t r = 0; r < region.rows; ++r) {
+        float *d = out.row(r);
+        const long gr = static_cast<long>(region.row0 + r);
+        for (size_t c = 0; c < region.cols; ++c) {
+            const long gc = static_cast<long>(region.col0 + c);
+            d[c] = wc * fetch(in, gr, gc) + wn * fetch(in, gr - 1, gc) +
+                   ws * fetch(in, gr + 1, gc) + ww * fetch(in, gr, gc - 1) +
+                   we * fetch(in, gr, gc + 1);
+        }
+    }
+}
+
+void
+parabolicPde(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    const float alpha = args.scalar(0);
+
+    for (size_t r = 0; r < region.rows; ++r) {
+        float *d = out.row(r);
+        const long gr = static_cast<long>(region.row0 + r);
+        for (size_t c = 0; c < region.cols; ++c) {
+            const long gc = static_cast<long>(region.col0 + c);
+            const float u = fetch(in, gr, gc);
+            d[c] = u + alpha * (fetch(in, gr, gc - 1) - 2.0f * u +
+                                fetch(in, gr, gc + 1));
+        }
+    }
+}
+
+void
+registerStencilKernels(KernelRegistry &reg)
+{
+    {
+        KernelInfo info;
+        info.opcode = "hotspot";
+        info.func = hotspotStep;
+        info.model = ParallelModel::Vector;
+        info.halo = 1;
+        info.costKey = "hotspot";
+        reg.add(std::move(info));
+    }
+    {
+        KernelInfo info;
+        info.opcode = "srad";
+        info.func = sradStep;
+        info.model = ParallelModel::Tile;
+        info.halo = 2;
+        info.costKey = "srad";
+        reg.add(std::move(info));
+    }
+    {
+        KernelInfo info;
+        info.opcode = "stencil";
+        info.func = stencil5;
+        info.model = ParallelModel::Tile;
+        info.halo = 1;
+        info.costKey = "vop.stencil";
+        reg.add(std::move(info));
+    }
+    {
+        KernelInfo info;
+        info.opcode = "parabolic_PDE";
+        info.func = parabolicPde;
+        info.model = ParallelModel::Vector;
+        info.halo = 0;
+        info.costKey = "vop.stencil";
+        reg.add(std::move(info));
+    }
+}
+
+} // namespace shmt::kernels

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Stencil and physics-simulation kernels: Hotspot (Rodinia thermal
+ * simulation), SRAD (speckle-reducing anisotropic diffusion, one
+ * update), a generic weighted 5-point stencil VOP, and the
+ * parabolic_PDE row-wise heat step from Table 1.
+ */
+
+#ifndef SHMT_KERNELS_STENCIL_HH
+#define SHMT_KERNELS_STENCIL_HH
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+
+/**
+ * Hotspot single simulation step.
+ * inputs = {temperature, power};
+ * scalars = {step/Cap, 1/Rx, 1/Ry, 1/Rz, ambient temperature}.
+ */
+void hotspotStep(const KernelArgs &, const Rect &, TensorView out);
+
+/**
+ * SRAD single diffusion update (Rodinia formulation).
+ * inputs = {J}; scalars = {q0sqr, lambda}. The ROI statistic q0sqr is
+ * computed once per iteration from the whole image by the caller, as
+ * Rodinia does, so partitions stay independent.
+ */
+void sradStep(const KernelArgs &, const Rect &, TensorView out);
+
+/**
+ * Generic weighted 5-point stencil.
+ * scalars = {wC, wN, wS, wW, wE}.
+ */
+void stencil5(const KernelArgs &, const Rect &, TensorView out);
+
+/**
+ * Row-wise parabolic PDE (1-D heat equation) step: each row is an
+ * independent rod; scalars = {alpha}.
+ */
+void parabolicPde(const KernelArgs &, const Rect &, TensorView out);
+
+/** Register the stencil opcodes. */
+void registerStencilKernels(KernelRegistry &reg);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_STENCIL_HH

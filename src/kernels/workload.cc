@@ -1,0 +1,164 @@
+#include "workload.hh"
+
+#include <cmath>
+
+#include "common/math_utils.hh"
+#include "common/random.hh"
+
+namespace shmt::kernels {
+
+Tensor
+makeField(size_t rows, size_t cols, uint64_t seed, const FieldParams &p)
+{
+    SHMT_ASSERT(rows > 0 && cols > 0, "empty field");
+    Tensor out(rows, cols);
+    Rng rng(seed);
+
+    const size_t brows = ceilDiv(rows, p.blockRows);
+    const size_t bcols = ceilDiv(cols, p.blockCols);
+
+    // Per-macro-block texture amplitude with a bimodal distribution:
+    // ~8% of blocks are "hot" (near-full texture swing, the critical
+    // regions QAWS must keep on exact hardware), the rest are cool.
+    // Real data looks like this — images are mostly smooth with a few
+    // busy regions, price grids have a few volatile pockets.
+    std::vector<float> amp(brows * bcols);
+    std::vector<float> bias(brows * bcols);
+    for (size_t i = 0; i < amp.size(); ++i) {
+        const float u = static_cast<float>(rng.uniform());
+        const float v = static_cast<float>(rng.uniform());
+        const bool hot = u > 0.92f;
+        amp[i] = hot ? 0.7f + 0.3f * v : 0.05f + 0.25f * v;
+        bias[i] = static_cast<float>(rng.uniform());
+    }
+
+    const float range = p.hi - p.lo;
+    const float tex_max = p.textureScale * range;
+    const double kx = 2.0 * 3.14159265358979 / static_cast<double>(cols);
+    const double ky = 2.0 * 3.14159265358979 / static_cast<double>(rows);
+
+    for (size_t r = 0; r < rows; ++r) {
+        float *d = out.data() + r * cols;
+        const size_t br = r / p.blockRows;
+        const double sy = std::sin(ky * static_cast<double>(r));
+        for (size_t c = 0; c < cols; ++c) {
+            const size_t bi = br * bcols + c / p.blockCols;
+            // Smooth base in [lo, hi] scaled to leave room for texture.
+            const double sx = std::cos(kx * static_cast<double>(c) * 3.0);
+            const float base =
+                p.lo + 0.5f * range *
+                           (1.0f + 0.5f * static_cast<float>(sx * sy) +
+                            0.5f * (bias[bi] * 2.0f - 1.0f) * 0.5f);
+            const float noise =
+                (static_cast<float>(rng.uniform()) * 2.0f - 1.0f) *
+                amp[bi] * tex_max;
+            d[c] = base + noise;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Scale the macro-block size with the dataset so a runtime partition
+ * (~1/8 of each dimension) spans only a few amplitude blocks — that
+ * is what gives partitions *distinct* criticalities at every problem
+ * size (QAWS is pointless on inputs whose partitions all look alike).
+ */
+void
+scaleBlocks(FieldParams &p, size_t rows, size_t cols)
+{
+    p.blockRows = std::max<size_t>(64, rows / 16);
+    p.blockCols = std::max<size_t>(64, cols / 16);
+}
+
+} // namespace
+
+Tensor
+makeImage(size_t rows, size_t cols, uint64_t seed)
+{
+    FieldParams p;
+    p.lo = 0.0f;
+    p.hi = 255.0f;
+    p.textureScale = 0.6f;
+    scaleBlocks(p, rows, cols);
+    Tensor out = makeField(rows, cols, seed, p);
+    // Images are 8-bit: integer pixel values in [0, 255]. This makes
+    // the Edge TPU's INT8 input quantization essentially lossless on
+    // image kernels, matching the platform the paper measured.
+    for (size_t i = 0; i < out.size(); ++i)
+        out.data()[i] = std::nearbyint(clamp(out.data()[i], 0.0f,
+                                             255.0f));
+    return out;
+}
+
+Tensor
+makeSpotPrices(size_t rows, size_t cols, uint64_t seed)
+{
+    FieldParams p;
+    p.lo = 5.0f;
+    p.hi = 30.0f;
+    p.textureScale = 0.4f;
+    scaleBlocks(p, rows, cols);
+    Tensor out = makeField(rows, cols, seed, p);
+    // Prices stay strictly positive even in hot texture blocks.
+    for (size_t i = 0; i < out.size(); ++i)
+        out.data()[i] = clamp(out.data()[i], 2.0f, 40.0f);
+    return out;
+}
+
+Tensor
+makeStrikes(const Tensor &spot, uint64_t seed)
+{
+    Tensor out(spot.rows(), spot.cols());
+    Rng rng(seed ^ 0x57121357ULL);
+    for (size_t i = 0; i < spot.size(); ++i)
+        out.data()[i] = spot.data()[i] * rng.uniform(0.9f, 1.1f);
+    return out;
+}
+
+Tensor
+makeTemperature(size_t rows, size_t cols, uint64_t seed)
+{
+    FieldParams p;
+    p.lo = 318.0f;
+    p.hi = 333.0f;
+    p.textureScale = 0.3f;
+    scaleBlocks(p, rows, cols);
+    return makeField(rows, cols, seed, p);
+}
+
+Tensor
+makePower(size_t rows, size_t cols, uint64_t seed)
+{
+    FieldParams p;
+    p.lo = 0.0f;
+    p.hi = 5e-4f;
+    p.textureScale = 0.8f;
+    scaleBlocks(p, rows, cols);
+    Tensor out = makeField(rows, cols, seed ^ 0x9e3779b9ULL, p);
+    // Power is non-negative.
+    for (size_t i = 0; i < out.size(); ++i)
+        out.data()[i] = std::fabs(out.data()[i]);
+    return out;
+}
+
+Tensor
+makeSpeckleImage(size_t rows, size_t cols, uint64_t seed)
+{
+    FieldParams p;
+    p.lo = 0.15f;
+    p.hi = 0.95f;
+    p.textureScale = 0.5f;
+    scaleBlocks(p, rows, cols);
+    Tensor out = makeField(rows, cols, seed ^ 0x51adULL, p);
+    // Keep intensities strictly positive; the clamp bounds are wide
+    // enough that they rarely engage (clamping would flatten the
+    // criticality structure of the hot regions).
+    for (size_t i = 0; i < out.size(); ++i)
+        out.data()[i] = clamp(out.data()[i], 0.02f, 1.5f);
+    return out;
+}
+
+} // namespace shmt::kernels

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic workload generators.
+ *
+ * The paper uses randomly generated FP32 inputs (§5.1). For QAWS to be
+ * meaningful the inputs must have spatially *non-uniform* value
+ * distributions — some regions smooth and narrow-ranged, others wide —
+ * which is also what real images/price grids/temperature maps look
+ * like. makeField() builds such data deterministically: a smooth
+ * low-frequency base plus macro-block texture whose amplitude varies
+ * per block (log-normal-ish across blocks).
+ */
+
+#ifndef SHMT_KERNELS_WORKLOAD_HH
+#define SHMT_KERNELS_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "tensor/tensor.hh"
+
+namespace shmt::kernels {
+
+/** Parameters of the synthetic field generator. */
+struct FieldParams
+{
+    float lo = 0.0f;          //!< base range lower bound
+    float hi = 1.0f;          //!< base range upper bound
+    float textureScale = 0.5f; //!< max texture amplitude as a fraction
+                               //!< of the base range
+    size_t blockRows = 64;    //!< macro-block size for amplitude changes
+    size_t blockCols = 64;
+};
+
+/** Deterministic non-uniform random field. */
+Tensor makeField(size_t rows, size_t cols, uint64_t seed,
+                 const FieldParams &params = {});
+
+/** Image-like field in [0, 255]. */
+Tensor makeImage(size_t rows, size_t cols, uint64_t seed);
+
+/** Spot-price grid in roughly [5, 30] (Blackscholes S input). */
+Tensor makeSpotPrices(size_t rows, size_t cols, uint64_t seed);
+
+/** Strike grid derived from spot prices (0.9x..1.1x). */
+Tensor makeStrikes(const Tensor &spot, uint64_t seed);
+
+/** Temperature map around 323 K (Hotspot input). */
+Tensor makeTemperature(size_t rows, size_t cols, uint64_t seed);
+
+/** Per-cell power dissipation in [0, 5e-4] (Hotspot input). */
+Tensor makePower(size_t rows, size_t cols, uint64_t seed);
+
+/** Positive speckled intensity in (0.05, 1.05] (SRAD input). */
+Tensor makeSpeckleImage(size_t rows, size_t cols, uint64_t seed);
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_WORKLOAD_HH

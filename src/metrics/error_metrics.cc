@@ -1,0 +1,145 @@
+#include "error_metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace shmt::metrics {
+
+namespace {
+
+void
+checkShapes(ConstTensorView a, ConstTensorView b)
+{
+    SHMT_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                "metric shape mismatch: ", a.rows(), "x", a.cols(), " vs ",
+                b.rows(), "x", b.cols());
+}
+
+} // namespace
+
+double
+mape(ConstTensorView exact, ConstTensorView approx, double rel_floor)
+{
+    checkShapes(exact, approx);
+    if (exact.size() == 0)
+        return 0.0;
+
+    auto [lo, hi] = exact.minmax();
+    const double floor_abs =
+        std::max(rel_floor * (static_cast<double>(hi) - lo), 1e-30);
+
+    double acc = 0.0;
+    for (size_t r = 0; r < exact.rows(); ++r) {
+        const float *e = exact.row(r);
+        const float *a = approx.row(r);
+        for (size_t c = 0; c < exact.cols(); ++c) {
+            const double denom =
+                std::max(static_cast<double>(std::fabs(e[c])), floor_abs);
+            acc += std::fabs(static_cast<double>(a[c]) - e[c]) / denom;
+        }
+    }
+    return 100.0 * acc / static_cast<double>(exact.size());
+}
+
+double
+rmse(ConstTensorView exact, ConstTensorView approx)
+{
+    checkShapes(exact, approx);
+    if (exact.size() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (size_t r = 0; r < exact.rows(); ++r) {
+        const float *e = exact.row(r);
+        const float *a = approx.row(r);
+        for (size_t c = 0; c < exact.cols(); ++c) {
+            const double d = static_cast<double>(a[c]) - e[c];
+            acc += d * d;
+        }
+    }
+    return std::sqrt(acc / static_cast<double>(exact.size()));
+}
+
+double
+maxAbsError(ConstTensorView exact, ConstTensorView approx)
+{
+    checkShapes(exact, approx);
+    double worst = 0.0;
+    for (size_t r = 0; r < exact.rows(); ++r) {
+        const float *e = exact.row(r);
+        const float *a = approx.row(r);
+        for (size_t c = 0; c < exact.cols(); ++c)
+            worst = std::max(
+                worst, std::fabs(static_cast<double>(a[c]) - e[c]));
+    }
+    return worst;
+}
+
+double
+psnr(ConstTensorView exact, ConstTensorView approx)
+{
+    checkShapes(exact, approx);
+    const double e = rmse(exact, approx);
+    if (e == 0.0)
+        return std::numeric_limits<double>::infinity();
+    auto [lo, hi] = exact.minmax();
+    const double range = std::max(static_cast<double>(hi) - lo, 1e-12);
+    return 20.0 * std::log10(range / e);
+}
+
+double
+ssim(ConstTensorView exact, ConstTensorView approx)
+{
+    checkShapes(exact, approx);
+    constexpr size_t kWin = 8;
+    auto [lo, hi] = exact.minmax();
+    const double range = std::max(static_cast<double>(hi) - lo, 1e-12);
+    const double c1 = (0.01 * range) * (0.01 * range);
+    const double c2 = (0.03 * range) * (0.03 * range);
+
+    double acc = 0.0;
+    size_t windows = 0;
+    for (size_t r0 = 0; r0 < exact.rows(); r0 += kWin) {
+        const size_t wr = std::min(kWin, exact.rows() - r0);
+        for (size_t c0 = 0; c0 < exact.cols(); c0 += kWin) {
+            const size_t wc = std::min(kWin, exact.cols() - c0);
+            const double n = static_cast<double>(wr * wc);
+
+            double mx = 0.0, my = 0.0;
+            for (size_t r = 0; r < wr; ++r) {
+                const float *e = exact.row(r0 + r) + c0;
+                const float *a = approx.row(r0 + r) + c0;
+                for (size_t c = 0; c < wc; ++c) {
+                    mx += e[c];
+                    my += a[c];
+                }
+            }
+            mx /= n;
+            my /= n;
+
+            double vx = 0.0, vy = 0.0, cov = 0.0;
+            for (size_t r = 0; r < wr; ++r) {
+                const float *e = exact.row(r0 + r) + c0;
+                const float *a = approx.row(r0 + r) + c0;
+                for (size_t c = 0; c < wc; ++c) {
+                    const double dx = e[c] - mx;
+                    const double dy = a[c] - my;
+                    vx += dx * dx;
+                    vy += dy * dy;
+                    cov += dx * dy;
+                }
+            }
+            vx /= n;
+            vy /= n;
+            cov /= n;
+
+            const double s = ((2.0 * mx * my + c1) * (2.0 * cov + c2)) /
+                             ((mx * mx + my * my + c1) * (vx + vy + c2));
+            acc += s;
+            ++windows;
+        }
+    }
+    return windows == 0 ? 1.0 : acc / static_cast<double>(windows);
+}
+
+} // namespace shmt::metrics

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Result-quality metrics used by the paper: MAPE (§5.3, Fig. 7) and
+ * SSIM (Fig. 8), plus RMSE/max-error helpers for tests.
+ */
+
+#ifndef SHMT_METRICS_ERROR_METRICS_HH
+#define SHMT_METRICS_ERROR_METRICS_HH
+
+#include "tensor/tensor.hh"
+
+namespace shmt::metrics {
+
+/**
+ * Mean Absolute Percentage Error of @p approx vs @p exact, in percent.
+ *
+ * MAPE is ill-defined near zero (the paper discusses this for Sobel /
+ * Laplacian, citing Kim & Kim 2016); like the paper we keep near-zero
+ * reference values in the mean but floor the denominator at
+ * @p rel_floor times the reference data range so single zero pixels
+ * cannot produce unbounded percentages.
+ */
+double mape(ConstTensorView exact, ConstTensorView approx,
+            double rel_floor = 1e-3);
+
+/** Root-mean-square error. */
+double rmse(ConstTensorView exact, ConstTensorView approx);
+
+/** Largest absolute elementwise error. */
+double maxAbsError(ConstTensorView exact, ConstTensorView approx);
+
+/**
+ * Structural similarity index, mean over 8x8 windows, with the
+ * standard constants C1=(0.01 L)^2, C2=(0.03 L)^2 where L is the
+ * dynamic range of @p exact.
+ */
+double ssim(ConstTensorView exact, ConstTensorView approx);
+
+/**
+ * Peak signal-to-noise ratio in dB, with the peak taken as the
+ * dynamic range of @p exact. +inf for identical inputs.
+ */
+double psnr(ConstTensorView exact, ConstTensorView approx);
+
+} // namespace shmt::metrics
+
+#endif // SHMT_METRICS_ERROR_METRICS_HH

@@ -1,0 +1,38 @@
+#include "report.hh"
+
+#include <algorithm>
+
+namespace shmt::metrics {
+
+void
+Table::print(const std::string &title) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    if (!title.empty())
+        std::printf("\n== %s ==\n", title.c_str());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < headers_.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            std::printf("%-*s  ", static_cast<int>(widths[i]),
+                        cell.c_str());
+        }
+        std::printf("\n");
+    };
+
+    print_row(headers_);
+    size_t total = headers_.size() * 2;
+    for (size_t w : widths)
+        total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace shmt::metrics

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fixed-width table printer used by the benchmark harnesses to emit
+ * the rows/series of each paper table and figure.
+ */
+
+#ifndef SHMT_METRICS_REPORT_HH
+#define SHMT_METRICS_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace shmt::metrics {
+
+/** Simple column-aligned text table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Append a row (cells are preformatted strings). */
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with @p digits decimals. */
+    static std::string
+    num(double v, int digits = 2)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+        return buf;
+    }
+
+    /** Print to stdout with aligned columns. */
+    void print(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace shmt::metrics
+
+#endif // SHMT_METRICS_REPORT_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * NPU model construction workflow (paper §4.2).
+ *
+ * The paper builds each Edge TPU HLOP model in four steps:
+ *   1. generate training/validation data by running the exact kernel
+ *      on randomly generated inputs,
+ *   2. train the MLP on a high-performance platform,
+ *   3. post-training-quantize (PTQ) to an Edge TPU-compatible INT8
+ *      model,
+ *   4. validate; if the quantized model's accuracy is significantly
+ *      below the full-precision model's, retrain with
+ *      quantization-aware training (QAT).
+ *
+ * We reproduce the *measurable outcome* of that workflow: the builder
+ * runs the exact kernel on validation inputs, pushes the same inputs
+ * through the simulated INT8 pipeline, measures the residual error,
+ * and decides whether QAT is needed against a target output quality
+ * (TOQ). The resulting ModelProfile documents the validated fidelity
+ * of each "pre-trained model" in the zoo — the quantity the
+ * calibration table's npuNoise entries summarize.
+ */
+
+#ifndef SHMT_NPU_MODEL_BUILDER_HH
+#define SHMT_NPU_MODEL_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/kernel_registry.hh"
+#include "npu/npu_model.hh"
+#include "sim/calibration.hh"
+
+namespace shmt::npu {
+
+/** Outcome of building and validating one NPU model. */
+struct ModelProfile
+{
+    std::string opcode;
+    double fp32Mape = 0.0;       //!< validation MAPE of the FP32 model
+    double ptqMape = 0.0;        //!< after post-training quantization
+    double finalMape = 0.0;      //!< after QAT (== ptqMape if skipped)
+    bool qatApplied = false;     //!< step 4 triggered
+    size_t validationSamples = 0;
+};
+
+/** Builder configuration. */
+struct ModelBuilderConfig
+{
+    size_t validationEdge = 256;   //!< validation dataset edge length
+    size_t validationSets = 3;     //!< independent validation inputs
+    /**
+     * Step-4 trigger: retrain with QAT when the PTQ model's MAPE is
+     * more than this factor above the FP32 model's.
+     */
+    double qatTriggerFactor = 4.0;
+    /** Noise reduction QAT achieves (paper: 8-bit-aware weights). */
+    double qatNoiseFactor = 0.25;
+    uint64_t seed = 99;
+};
+
+/** Builds and validates the NPU model zoo. */
+class ModelBuilder
+{
+  public:
+    explicit ModelBuilder(
+        const sim::PlatformCalibration &cal = sim::defaultCalibration(),
+        ModelBuilderConfig config = {});
+
+    /**
+     * Run the §4.2 workflow for @p opcode. The FP32 reference model's
+     * residual is approximated as noise-free kernel output; the PTQ
+     * model is the INT8 pipeline at the opcode's calibrated noise; if
+     * validation fails the QAT pass rebuilds at reduced noise.
+     */
+    ModelProfile build(std::string_view opcode) const;
+
+    /** Build profiles for every opcode a benchmark suite needs. */
+    std::vector<ModelProfile>
+    buildAll(const std::vector<std::string> &opcodes) const;
+
+  private:
+    const sim::PlatformCalibration &cal_;
+    ModelBuilderConfig config_;
+};
+
+} // namespace shmt::npu
+
+#endif // SHMT_NPU_MODEL_BUILDER_HH

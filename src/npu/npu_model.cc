@@ -1,0 +1,165 @@
+#include "npu_model.hh"
+
+#include <algorithm>
+
+#include "common/math_utils.hh"
+#include "common/random.hh"
+#include "tensor/quantize.hh"
+
+namespace shmt::npu {
+
+using kernels::KernelArgs;
+using kernels::KernelInfo;
+using kernels::ReduceKind;
+
+NpuExecutor::NpuExecutor(const kernels::KernelRegistry &registry,
+                         const sim::PlatformCalibration &cal,
+                         double qat_factor)
+    : qatFactor_(qat_factor)
+{
+    for (const auto &opcode : registry.opcodes()) {
+        const KernelInfo &info = registry.get(opcode);
+        const sim::KernelCalibration *rec = cal.find(info.costKey);
+        NpuModel m;
+        m.opcode = opcode;
+        m.noiseLevel = (rec ? rec->npuNoise : 0.005) * qat_factor;
+        m.quantizeOutput =
+            info.quantizeOutput && info.reduce == ReduceKind::None;
+        m.topology = info.model == ParallelModel::Tile
+                         ? "conv2d(3x3)-relu-conv2d(3x3)-dense (int8)"
+                         : "dense-relu-dense (int8)";
+        models_.emplace(opcode, std::move(m));
+    }
+}
+
+const NpuModel &
+NpuExecutor::model(std::string_view opcode) const
+{
+    auto it = models_.find(opcode);
+    if (it == models_.end())
+        SHMT_PANIC("no NPU model for opcode '", opcode, "'");
+    return it->second;
+}
+
+void
+NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
+                 const Rect &region, TensorView out, uint64_t seed) const
+{
+    const NpuModel &m = model(info.opcode);
+
+    // --- 1. Stage INT8 copies of the inputs. ---------------------------
+    std::vector<Tensor> scratch;
+    scratch.reserve(args.inputs.size());
+    KernelArgs staged;
+    staged.scalars = args.scalars;
+    staged.npuNoiseOverride = args.npuNoiseOverride;
+    Rect adj = region;
+
+    // The compiled model's input scales: fixed (calibration-time)
+    // when the caller provides them, else per-partition dynamic.
+    // Reductions always use dynamic ranges — the Edge TPU runs them
+    // in matrix-accelerator mode (GPTPU-style), not as a saturating
+    // trained model, so clipping a histogram's tail into one bin
+    // would be an artifact.
+    const bool fixed_scales = info.reduce == kernels::ReduceKind::None;
+    auto input_params = [&](size_t i, ConstTensorView staged_view) {
+        return fixed_scales && i < args.npuInputQuant.size()
+                   ? args.npuInputQuant[i]
+                   : chooseQuantParams(staged_view);
+    };
+
+    // Off-distribution factor: a trained model approximates worst on
+    // data outside its calibration range. The noise term below scales
+    // with (partition range / model range)^2, concentrating the
+    // approximation error in exactly the wide-range partitions whose
+    // criticality QAWS samples for.
+    double off_distribution = 1.0;
+    if (fixed_scales && !args.npuInputQuant.empty() &&
+        !info.wholeInputs) {
+        const auto &in0 = args.input(0);
+        auto [plo, phi] =
+            in0.slice(region.row0, region.col0, region.rows,
+                      region.cols)
+                .minmax();
+        const double model_range =
+            args.npuInputQuant[0].scale * 255.0;
+        if (model_range > 0.0) {
+            const double ratio = (static_cast<double>(phi) - plo) /
+                                 model_range;
+            off_distribution = clamp(ratio * ratio, 0.1, 4.0);
+        }
+    }
+
+    if (info.wholeInputs) {
+        for (size_t i = 0; i < args.inputs.size(); ++i) {
+            const auto &in = args.inputs[i];
+            Tensor s(in.rows(), in.cols());
+            fakeQuantize(in, s.view(), input_params(i, in));
+            scratch.push_back(std::move(s));
+        }
+    } else {
+        // All region-relative inputs share the output coordinate space.
+        const auto &first = args.input(0);
+        const size_t halo = info.halo;
+        const size_t er0 = region.row0 >= halo ? region.row0 - halo : 0;
+        const size_t ec0 = region.col0 >= halo ? region.col0 - halo : 0;
+        const size_t er1 =
+            std::min(first.rows(), region.row0 + region.rows + halo);
+        const size_t ec1 =
+            std::min(first.cols(), region.col0 + region.cols + halo);
+
+        for (size_t i = 0; i < args.inputs.size(); ++i) {
+            const auto &in = args.inputs[i];
+            SHMT_ASSERT(in.rows() == first.rows() &&
+                            in.cols() == first.cols(),
+                        "NPU inputs must share the output space");
+            Tensor s(er1 - er0, ec1 - ec0);
+            memcpy2d(s.view(),
+                     in.slice(er0, ec0, er1 - er0, ec1 - ec0));
+            fakeQuantize(s.view(), s.view(), input_params(i, s.view()));
+            scratch.push_back(std::move(s));
+        }
+        adj = Rect{region.row0 - er0, region.col0 - ec0, region.rows,
+                   region.cols};
+    }
+    for (const auto &s : scratch)
+        staged.inputs.push_back(s.view());
+
+    // --- 2. Evaluate the kernel math on the staged data. ---------------
+    info.func(staged, adj, out);
+
+    // --- 3. INT8 output for map-style models. ---------------------------
+    // The output range is calibrated robustly (quantile clip), as
+    // TFLite's post-training calibration does: a handful of extreme
+    // values (e.g. a spectrum's DC bin) saturate instead of wrecking
+    // the quantization step for every other element.
+    auto [lo, hi] = robustRange(ConstTensorView(out));
+    if (m.quantizeOutput) {
+        const QuantParams qp = chooseQuantParams(lo, hi);
+        fakeQuantize(ConstTensorView(out), out, qp);
+    }
+
+    // --- 4. Residual model-approximation noise. -------------------------
+    // Reduction accumulators (histogram counts, partial sums) stay
+    // noise-free: their NPU error comes organically from the INT8
+    // input quantization, and perturbing counts would violate
+    // conservation invariants the runtime relies on.
+    const double noise_level =
+        args.npuNoiseOverride >= 0.0 ? args.npuNoiseOverride * qatFactor_
+                                     : m.noiseLevel;
+    if (noise_level > 0.0 && info.reduce == kernels::ReduceKind::None) {
+        const float amp = static_cast<float>(noise_level) * (hi - lo) *
+                          static_cast<float>(off_distribution);
+        if (amp > 0.0f) {
+            Rng rng(seed ^ hashMix(region.row0 * 0x1f123bb5ULL +
+                                   region.col0 * 0x9e3779b9ULL + 0x417));
+            for (size_t r = 0; r < out.rows(); ++r) {
+                float *p = out.row(r);
+                for (size_t c = 0; c < out.cols(); ++c)
+                    p[c] += amp * static_cast<float>(rng.normal());
+            }
+        }
+    }
+}
+
+} // namespace shmt::npu

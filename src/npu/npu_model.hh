@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simulated NPU (neural processing unit) models for the Edge TPU.
+ *
+ * On the real platform every Edge TPU HLOP is a pre-trained MLP that
+ * approximates the kernel in INT8 (paper §2.2.2, §4.2). We simulate
+ * that pipeline's *numerics* faithfully:
+ *
+ *   1. the input partition is affine-quantized to INT8 (TFLite
+ *      convention, per-partition dynamic range),
+ *   2. the kernel math runs on the dequantized INT8 values,
+ *   3. the output is quantized to INT8 again (for map-style kernels),
+ *   4. a calibrated, deterministic model-approximation noise term is
+ *      added, standing in for the residual error of the trained MLP
+ *      (fitted per kernel to the paper's Fig. 7 edgeTPU MAPEs).
+ *
+ * Steps 1-3 make the error *organically data-dependent*: partitions
+ * with wider value ranges use a coarser quantization step and lose
+ * more precision — exactly the property QAWS's criticality sampling
+ * keys on.
+ */
+
+#ifndef SHMT_NPU_NPU_MODEL_HH
+#define SHMT_NPU_NPU_MODEL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "kernels/kernel_registry.hh"
+#include "sim/calibration.hh"
+
+namespace shmt::npu {
+
+/** Metadata of one "pre-trained" NPU model. */
+struct NpuModel
+{
+    std::string opcode;     //!< kernel this model approximates
+    std::string topology;   //!< descriptive MLP topology
+    double noiseLevel;      //!< residual approximation error (relative
+                            //!< to the output partition's range)
+    bool quantizeOutput;    //!< whether the model output is INT8
+};
+
+/** Executes kernels the way the Edge TPU would. */
+class NpuExecutor
+{
+  public:
+    /**
+     * Build the model zoo from @p cal: each registered opcode gets a
+     * model whose noise level comes from its calibration record.
+     * @p qat_factor scales all noise levels; values < 1 model
+     * quantization-aware retraining (paper §4.2 step 4).
+     */
+    NpuExecutor(const kernels::KernelRegistry &registry,
+                const sim::PlatformCalibration &cal,
+                double qat_factor = 1.0);
+
+    /** The model for @p opcode (panics if absent). */
+    const NpuModel &model(std::string_view opcode) const;
+
+    /**
+     * Run @p info's kernel over @p region as the Edge TPU would:
+     * INT8-quantized inputs, INT8-quantized output (for map kernels),
+     * plus deterministic model noise seeded by @p seed and the region
+     * coordinates.
+     */
+    void run(const kernels::KernelInfo &info,
+             const kernels::KernelArgs &args, const Rect &region,
+             TensorView out, uint64_t seed) const;
+
+  private:
+    std::map<std::string, NpuModel, std::less<>> models_;
+    double qatFactor_ = 1.0;
+};
+
+} // namespace shmt::npu
+
+#endif // SHMT_NPU_NPU_MODEL_HH

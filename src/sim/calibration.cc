@@ -1,0 +1,95 @@
+#include "calibration.hh"
+
+namespace shmt::sim {
+
+std::string_view
+deviceKindName(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Cpu:     return "cpu";
+      case DeviceKind::Gpu:     return "gpu";
+      case DeviceKind::EdgeTpu: return "edgetpu";
+      case DeviceKind::Dsp:     return "dsp";
+    }
+    return "?";
+}
+
+const KernelCalibration *
+PlatformCalibration::find(std::string_view name) const
+{
+    for (const auto &k : kernels) {
+        if (k.name == name)
+            return &k;
+    }
+    return nullptr;
+}
+
+namespace {
+
+PlatformCalibration
+makeDefault()
+{
+    PlatformCalibration cal;
+
+    const double cpu = 0.06;  // quad A57 vs 128-core Maxwell, typical
+
+    // The ten paper benchmarks. tpuRatio comes from Fig. 2 (edge TPU
+    // bars); pipeStageFrac f is fitted so the two-stage pipeline
+    // baseline reproduces Fig. 6's SW-pipelining speedup s via
+    // f = 1 - 1/s; npuNoise is fitted to Fig. 7's edgeTPU MAPEs (the
+    // bulk of the error is organic INT8 quantization; the noise term
+    // models residual MLP approximation error).
+    cal.kernels = {
+        // name          gpu el/s  tpu    cpu   pipe    npu
+        //   model                 beta  dsp   scratch
+        {"blackscholes", 100e6,    0.84,  cpu,  0.265,  0.050,
+         ParallelModel::Vector,    0.85, 0.00, 0.0},
+        {"dct8x8",       150e6,    1.99,  cpu,  0.115,  0.0010,
+         ParallelModel::Tile,      1.00, 0.35, 0.0},
+        {"dwt",          120e6,    0.31,  cpu,  0.123,  0.0010,
+         ParallelModel::Tile,      1.00, 0.00, 0.0},
+        {"fft",          60e6,     3.22,  cpu,  0.482,  0.022,
+         ParallelModel::Tile,      1.00, 0.00, 0.0},
+        {"histogram",    400e6,    1.55,  cpu,  0.074,  0.004,
+         ParallelModel::Vector,    1.10, 0.00, 0.0},
+        {"hotspot",      180e6,    0.77,  cpu,  0.029,  0.300,
+         ParallelModel::Vector,    1.00, 0.00, 0.0},
+        {"laplacian",    250e6,    0.58,  cpu,  0.145,  0.025,
+         ParallelModel::Tile,      1.60, 0.50, 0.0},
+        {"mf",           220e6,    0.31,  cpu,  0.225,  0.020,
+         ParallelModel::Tile,      1.60, 0.60, 0.0},
+        {"sobel",        300e6,    0.71,  cpu,  0.301,  0.060,
+         ParallelModel::Tile,      1.10, 0.55, 4.0},
+        {"srad",         90e6,     2.30,  cpu,  0.153,  0.012,
+         ParallelModel::Tile,      1.00, 0.45, 2.0},
+
+        // Table-1 primitive VOPs, used when a program is authored
+        // directly against the VOP library rather than through a
+        // benchmark kernel. Ratios are representative of Edge TPU NPU
+        // implementations of elementwise / reduction / matrix ops.
+        {"vop.ew",            2.0e9, 0.60, cpu, 0.0, 0.002,
+         ParallelModel::Vector,    1.00, 0.00, 0.0},
+        {"vop.ew_transcend",  0.8e9, 0.90, cpu, 0.0, 0.006,
+         ParallelModel::Vector,    1.00, 0.00, 0.0},
+        {"vop.reduce",        2.5e9, 1.20, cpu, 0.0, 0.002,
+         ParallelModel::Vector,    1.00, 0.00, 0.0},
+        {"vop.conv3x3",       300e6, 1.60, cpu, 0.0, 0.003,
+         ParallelModel::Tile,      1.00, 0.55, 0.0},
+        {"vop.gemm",          40e6,  2.80, cpu, 0.0, 0.002,
+         ParallelModel::Tile,      1.00, 0.00, 0.0},
+        {"vop.stencil",       250e6, 0.90, cpu, 0.0, 0.003,
+         ParallelModel::Tile,      1.00, 0.60, 0.0},
+    };
+    return cal;
+}
+
+} // namespace
+
+const PlatformCalibration &
+defaultCalibration()
+{
+    static const PlatformCalibration cal = makeDefault();
+    return cal;
+}
+
+} // namespace shmt::sim

@@ -1,0 +1,210 @@
+#include "config.hh"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace shmt::sim {
+
+namespace {
+
+/** Strip surrounding whitespace. */
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+double
+parseNumber(const std::string &key, const std::string &value, int line)
+{
+    try {
+        size_t used = 0;
+        const double v = std::stod(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        SHMT_FATAL("calibration line ", line, ": value '", value,
+                   "' for key '", key, "' is not a number");
+    }
+}
+
+using PlatformSetter = std::function<void(PlatformCalibration &, double)>;
+using KernelSetter = std::function<void(KernelCalibration &, double)>;
+
+const std::map<std::string, PlatformSetter> &
+platformKeys()
+{
+    static const std::map<std::string, PlatformSetter> keys = {
+        {"idle_power_w",
+         [](auto &c, double v) { c.idlePowerW = v; }},
+        {"gpu_active_power_w",
+         [](auto &c, double v) { c.gpuActivePowerW = v; }},
+        {"tpu_active_power_w",
+         [](auto &c, double v) { c.tpuActivePowerW = v; }},
+        {"cpu_active_power_w",
+         [](auto &c, double v) { c.cpuActivePowerW = v; }},
+        {"dsp_active_power_w",
+         [](auto &c, double v) { c.dspActivePowerW = v; }},
+        {"gpu_bandwidth_bps",
+         [](auto &c, double v) { c.gpuBandwidthBps = v; }},
+        {"tpu_bandwidth_bps",
+         [](auto &c, double v) { c.tpuBandwidthBps = v; }},
+        {"link_latency_sec",
+         [](auto &c, double v) { c.linkLatencySec = v; }},
+        {"gpu_launch_sec",
+         [](auto &c, double v) { c.gpuLaunchSec = v; }},
+        {"tpu_invoke_sec",
+         [](auto &c, double v) { c.tpuInvokeSec = v; }},
+        {"cpu_dispatch_sec",
+         [](auto &c, double v) { c.cpuDispatchSec = v; }},
+        {"dsp_launch_sec",
+         [](auto &c, double v) { c.dspLaunchSec = v; }},
+        {"sample_cost_sec",
+         [](auto &c, double v) { c.sampleCostSec = v; }},
+        {"full_scan_cost_sec",
+         [](auto &c, double v) { c.fullScanCostSec = v; }},
+        {"reduction_step_cost_sec",
+         [](auto &c, double v) { c.reductionStepCostSec = v; }},
+        {"quantize_cost_sec",
+         [](auto &c, double v) { c.quantizeCostSec = v; }},
+        {"schedule_cost_sec",
+         [](auto &c, double v) { c.scheduleCostSec = v; }},
+        {"canary_cost_factor",
+         [](auto &c, double v) { c.canaryCostFactor = v; }},
+        {"aggregate_cost_sec",
+         [](auto &c, double v) { c.aggregateCostSec = v; }},
+        {"main_memory_bytes",
+         [](auto &c, double v) {
+             c.mainMemoryBytes = static_cast<size_t>(v);
+         }},
+        {"tpu_device_memory_bytes",
+         [](auto &c, double v) {
+             c.tpuDeviceMemoryBytes = static_cast<size_t>(v);
+         }},
+        {"tpu_model_bytes",
+         [](auto &c, double v) {
+             c.tpuModelBytes = static_cast<size_t>(v);
+         }},
+    };
+    return keys;
+}
+
+const std::map<std::string, KernelSetter> &
+kernelKeys()
+{
+    static const std::map<std::string, KernelSetter> keys = {
+        {"gpu_elems_per_sec",
+         [](auto &k, double v) { k.gpuElemsPerSec = v; }},
+        {"tpu_ratio", [](auto &k, double v) { k.tpuRatio = v; }},
+        {"cpu_ratio", [](auto &k, double v) { k.cpuRatio = v; }},
+        {"dsp_ratio", [](auto &k, double v) { k.dspRatio = v; }},
+        {"pipe_stage_frac",
+         [](auto &k, double v) { k.pipeStageFrac = v; }},
+        {"npu_noise", [](auto &k, double v) { k.npuNoise = v; }},
+        {"baseline_factor",
+         [](auto &k, double v) { k.baselineFactor = v; }},
+        {"gpu_scratch_factor",
+         [](auto &k, double v) { k.gpuScratchFactor = v; }},
+        {"model",
+         [](auto &k, double v) {
+             k.model = v != 0.0 ? ParallelModel::Tile
+                                : ParallelModel::Vector;
+         }},
+    };
+    return keys;
+}
+
+} // namespace
+
+PlatformCalibration
+loadCalibration(std::istream &in, const PlatformCalibration &base)
+{
+    PlatformCalibration cal = base;
+    KernelCalibration *kernel = nullptr;
+
+    std::string raw;
+    int line = 0;
+    while (std::getline(in, raw)) {
+        ++line;
+        std::string text = raw;
+        if (const auto hash = text.find('#'); hash != std::string::npos)
+            text = text.substr(0, hash);
+        text = trim(text);
+        if (text.empty())
+            continue;
+
+        if (text.front() == '[') {
+            if (text.back() != ']')
+                SHMT_FATAL("calibration line ", line,
+                           ": unterminated section '", raw, "'");
+            std::istringstream header(text.substr(1, text.size() - 2));
+            std::string kind, name;
+            header >> kind >> name;
+            if (kind != "kernel" || name.empty())
+                SHMT_FATAL("calibration line ", line,
+                           ": expected '[kernel <name>]', got '", raw,
+                           "'");
+            kernel = nullptr;
+            for (auto &k : cal.kernels)
+                if (k.name == name)
+                    kernel = &k;
+            if (!kernel) {
+                KernelCalibration fresh;
+                fresh.name = name;
+                fresh.gpuElemsPerSec = 100e6;
+                fresh.tpuRatio = 1.0;
+                fresh.cpuRatio = 0.06;
+                fresh.pipeStageFrac = 0.0;
+                fresh.npuNoise = 0.005;
+                fresh.model = ParallelModel::Vector;
+                cal.kernels.push_back(fresh);
+                kernel = &cal.kernels.back();
+            }
+            continue;
+        }
+
+        const auto eq = text.find('=');
+        if (eq == std::string::npos)
+            SHMT_FATAL("calibration line ", line, ": expected key = ",
+                       "value, got '", raw, "'");
+        const std::string key = trim(text.substr(0, eq));
+        const std::string value = trim(text.substr(eq + 1));
+        const double v = parseNumber(key, value, line);
+
+        if (kernel) {
+            auto it = kernelKeys().find(key);
+            if (it == kernelKeys().end())
+                SHMT_FATAL("calibration line ", line,
+                           ": unknown kernel key '", key, "'");
+            it->second(*kernel, v);
+        } else {
+            auto it = platformKeys().find(key);
+            if (it == platformKeys().end())
+                SHMT_FATAL("calibration line ", line,
+                           ": unknown platform key '", key, "'");
+            it->second(cal, v);
+        }
+    }
+    return cal;
+}
+
+PlatformCalibration
+loadCalibrationFile(const std::string &path,
+                    const PlatformCalibration &base)
+{
+    std::ifstream in(path);
+    if (!in)
+        SHMT_FATAL("cannot open calibration file '", path, "'");
+    return loadCalibration(in, base);
+}
+
+} // namespace shmt::sim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Calibration-file loading.
+ *
+ * A PlatformCalibration can be overridden from a simple text file so
+ * users can model their own platform (different accelerator ratios,
+ * power states, link speeds) without recompiling:
+ *
+ *     # comments and blank lines are ignored
+ *     idle_power_w = 2.5
+ *     tpu_bandwidth_bps = 2e9
+ *
+ *     [kernel sobel]
+ *     gpu_elems_per_sec = 5e8
+ *     tpu_ratio = 1.3
+ *     npu_noise = 0.01
+ *
+ * Unknown keys are a user error (fatal), so typos cannot silently
+ * leave the default in place.
+ */
+
+#ifndef SHMT_SIM_CONFIG_HH
+#define SHMT_SIM_CONFIG_HH
+
+#include <istream>
+#include <string>
+
+#include "sim/calibration.hh"
+
+namespace shmt::sim {
+
+/**
+ * Parse @p in, starting from @p base (default: the paper platform)
+ * and overriding every key it mentions. `[kernel <name>]` sections
+ * select (or create) a kernel record; keys before any section apply
+ * to the platform.
+ */
+PlatformCalibration loadCalibration(
+    std::istream &in, const PlatformCalibration &base = defaultCalibration());
+
+/** Load from a file path (fatal if unreadable). */
+PlatformCalibration loadCalibrationFile(
+    const std::string &path,
+    const PlatformCalibration &base = defaultCalibration());
+
+} // namespace shmt::sim
+
+#endif // SHMT_SIM_CONFIG_HH

@@ -1,0 +1,109 @@
+#include "cost_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace shmt::sim {
+
+const KernelCalibration &
+CostModel::record(std::string_view kernel) const
+{
+    const KernelCalibration *rec = cal_.find(kernel);
+    if (!rec)
+        SHMT_PANIC("no calibration record for kernel '", kernel, "'");
+    return *rec;
+}
+
+double
+CostModel::deviceRatio(DeviceKind kind, std::string_view kernel) const
+{
+    const auto &rec = record(kernel);
+    switch (kind) {
+      case DeviceKind::Gpu:     return rec.baselineFactor;
+      case DeviceKind::EdgeTpu: return rec.tpuRatio;
+      case DeviceKind::Cpu:     return rec.cpuRatio;
+      case DeviceKind::Dsp:     return rec.dspRatio;
+    }
+    return 1.0;
+}
+
+double
+CostModel::baselineSeconds(std::string_view kernel, size_t elements,
+                           double weight) const
+{
+    const auto &rec = record(kernel);
+    return cal_.gpuLaunchSec +
+           weight * static_cast<double>(elements) / rec.gpuElemsPerSec;
+}
+
+double
+CostModel::launchSeconds(DeviceKind kind) const
+{
+    switch (kind) {
+      case DeviceKind::Gpu:     return cal_.gpuLaunchSec;
+      case DeviceKind::EdgeTpu: return cal_.tpuInvokeSec;
+      case DeviceKind::Cpu:     return cal_.cpuDispatchSec;
+      case DeviceKind::Dsp:     return cal_.dspLaunchSec;
+    }
+    return 0.0;
+}
+
+double
+CostModel::hlopSeconds(DeviceKind kind, std::string_view kernel,
+                       size_t elements, double weight) const
+{
+    const auto &rec = record(kernel);
+    const double rate = rec.gpuElemsPerSec * deviceRatio(kind, kernel);
+    SHMT_ASSERT(rate > 0.0, "non-positive device rate");
+    return launchSeconds(kind) +
+           weight * static_cast<double>(elements) / rate;
+}
+
+double
+CostModel::transferSeconds(DeviceKind kind, size_t bytes) const
+{
+    return interconnect_.transferSeconds(kind, bytes);
+}
+
+double
+CostModel::transferSecondsDuplex(DeviceKind kind, size_t in_bytes,
+                                 size_t out_bytes) const
+{
+    return interconnect_.transferSeconds(kind,
+                                         std::max(in_bytes, out_bytes));
+}
+
+double
+CostModel::fullScanSeconds(size_t elements) const
+{
+    return static_cast<double>(elements) * cal_.fullScanCostSec;
+}
+
+double
+CostModel::sampleSeconds(size_t samples) const
+{
+    return static_cast<double>(samples) * cal_.sampleCostSec;
+}
+
+double
+CostModel::reductionSampleSeconds(size_t visited) const
+{
+    return static_cast<double>(visited) * cal_.reductionStepCostSec;
+}
+
+double
+CostModel::quantizeSeconds(size_t elements) const
+{
+    return static_cast<double>(elements) * cal_.quantizeCostSec;
+}
+
+double
+CostModel::canarySeconds(std::string_view kernel, size_t elements) const
+{
+    const auto &rec = record(kernel);
+    const double cpu_rate = rec.gpuElemsPerSec * rec.cpuRatio;
+    return cal_.canaryCostFactor * static_cast<double>(elements) / cpu_rate;
+}
+
+} // namespace shmt::sim

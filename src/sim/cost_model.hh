@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Device compute-time model.
+ *
+ * Every HLOP execution on the simulated platform is charged
+ *
+ *     launch(device) + weight * elements / throughput(device, kernel)
+ *
+ * where throughput is the calibrated GPU rate scaled by the device's
+ * ratio for that kernel. The cost model also prices the runtime's own
+ * CPU-side work: sampling, quantization, and scheduling decisions,
+ * which is what makes the QAWS overhead trade-offs (paper §5.2-§5.4)
+ * reproducible.
+ */
+
+#ifndef SHMT_SIM_COST_MODEL_HH
+#define SHMT_SIM_COST_MODEL_HH
+
+#include <string>
+#include <string_view>
+
+#include "sim/calibration.hh"
+#include "sim/interconnect.hh"
+
+namespace shmt::sim {
+
+/** Calibrated timing oracle for the simulated platform. */
+class CostModel
+{
+  public:
+    explicit CostModel(const PlatformCalibration &cal = defaultCalibration())
+        : cal_(cal), interconnect_(cal)
+    {}
+
+    const PlatformCalibration &calibration() const { return cal_; }
+    const Interconnect &interconnect() const { return interconnect_; }
+
+    /**
+     * Device speed for @p kernel relative to the *published baseline*
+     * implementation. SHMT's own GPU HLOP library can be faster than
+     * the baseline kernel (KernelCalibration::baselineFactor), so the
+     * GPU ratio is that factor rather than 1.0.
+     */
+    double deviceRatio(DeviceKind kind, std::string_view kernel) const;
+
+    /** Fixed per-invocation launch overhead of @p kind. */
+    double launchSeconds(DeviceKind kind) const;
+
+    /**
+     * Compute time of one HLOP covering @p elements elements of kernel
+     * @p kernel on device @p kind. @p weight scales the work when a
+     * benchmark is decomposed into several chained VOPs that together
+     * account for one kernel invocation.
+     */
+    double hlopSeconds(DeviceKind kind, std::string_view kernel,
+                       size_t elements, double weight = 1.0) const;
+
+    /**
+     * Compute time of the *published baseline* GPU implementation
+     * (Table 2's OpenCV / CUDA-sample / Rodinia kernels) for the
+     * whole dataset — what Fig. 6 normalizes against.
+     */
+    double baselineSeconds(std::string_view kernel, size_t elements,
+                           double weight = 1.0) const;
+
+    /** Wire time to move @p bytes between host memory and @p kind. */
+    double transferSeconds(DeviceKind kind, size_t bytes) const;
+
+    /**
+     * Wire time of a full-duplex staging transfer: @p in_bytes to the
+     * device overlapped with @p out_bytes back from it.
+     */
+    double transferSecondsDuplex(DeviceKind kind, size_t in_bytes,
+                                 size_t out_bytes) const;
+
+    /** CPU time for the QAWS sampler to draw @p samples values. */
+    double sampleSeconds(size_t samples) const;
+
+    /** CPU time for the reduction sampler to stride a region of
+     *  @p visited elements. */
+    double reductionSampleSeconds(size_t visited) const;
+
+    /** CPU time for a linear full scan of @p elements elements
+     *  (IRA's exact input evaluation). */
+    double fullScanSeconds(size_t elements) const;
+
+    /** CPU time to (de)quantize @p elements elements. */
+    double quantizeSeconds(size_t elements) const;
+
+    /** CPU time per scheduling decision. */
+    double scheduleSeconds() const { return cal_.scheduleCostSec; }
+
+    /**
+     * CPU time the full IRA technique would spend running the canary
+     * computation for a partition of @p elements elements of @p kernel
+     * (paper §3.5: IRA's actual canary runs are what SHMT avoids).
+     */
+    double canarySeconds(std::string_view kernel, size_t elements) const;
+
+  private:
+    const KernelCalibration &record(std::string_view kernel) const;
+
+    const PlatformCalibration &cal_;
+    Interconnect interconnect_;
+};
+
+} // namespace shmt::sim
+
+#endif // SHMT_SIM_COST_MODEL_HH

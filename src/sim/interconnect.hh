@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Interconnect timing model.
+ *
+ * On the prototype (paper §4.1) the CPU, GPU, and Edge TPU exchange
+ * data through the shared LPDDR4 main memory; the Edge TPU sits behind
+ * a PCIe Gen2 x1 M.2 link. SHMT hides most transfer latency with
+ * double buffering (paper §5.6): while a device computes HLOP i, the
+ * runtime streams the data of HLOP i+1.
+ */
+
+#ifndef SHMT_SIM_INTERCONNECT_HH
+#define SHMT_SIM_INTERCONNECT_HH
+
+#include <cstddef>
+
+#include "sim/calibration.hh"
+
+namespace shmt::sim {
+
+/** Point-to-point link timing. */
+struct Link
+{
+    double bandwidthBps = 1e9;
+    double latencySec = 0.0;
+
+    /** Wire time for @p bytes. */
+    double
+    transferSeconds(size_t bytes) const
+    {
+        return latencySec + static_cast<double>(bytes) / bandwidthBps;
+    }
+};
+
+/** Host <-> device links of the platform. */
+class Interconnect
+{
+  public:
+    explicit Interconnect(const PlatformCalibration &cal)
+        : gpuLink_{cal.gpuBandwidthBps, cal.linkLatencySec},
+          tpuLink_{cal.tpuBandwidthBps, cal.linkLatencySec},
+          cpuLink_{cal.gpuBandwidthBps, 0.0}
+    {}
+
+    /** Link reaching @p kind from the host. */
+    const Link &
+    link(DeviceKind kind) const
+    {
+        switch (kind) {
+          case DeviceKind::Gpu:     return gpuLink_;
+          case DeviceKind::EdgeTpu: return tpuLink_;
+          case DeviceKind::Cpu:     return cpuLink_;
+          case DeviceKind::Dsp:     return gpuLink_;  // on-chip IP core
+        }
+        return cpuLink_;
+    }
+
+    /** Wire time to move @p bytes to/from @p kind. */
+    double
+    transferSeconds(DeviceKind kind, size_t bytes) const
+    {
+        return link(kind).transferSeconds(bytes);
+    }
+
+  private:
+    Link gpuLink_;
+    Link tpuLink_;
+    Link cpuLink_;
+};
+
+} // namespace shmt::sim
+
+#endif // SHMT_SIM_INTERCONNECT_HH

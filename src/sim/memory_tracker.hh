@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Memory-footprint accounting (paper §5.6, Fig. 11).
+ *
+ * Tracks live and peak bytes per memory space (host shared memory and
+ * each device's private memory). The paper reports the footprint at
+ * the process virtual-memory level; we report the sum of host buffers
+ * plus staging buffers, which exposes the same effect: HLOPs executed
+ * on the Edge TPU stage INT8 copies (1 byte/element) instead of the
+ * FP32 intermediates (4 bytes/element) the GPU path needs.
+ */
+
+#ifndef SHMT_SIM_MEMORY_TRACKER_HH
+#define SHMT_SIM_MEMORY_TRACKER_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace shmt::sim {
+
+/** Memory spaces tracked by the simulator. */
+enum class MemSpace : uint8_t {
+    Host,       //!< shared LPDDR4 main memory
+    GpuStage,   //!< GPU working buffers (FP32)
+    TpuStage,   //!< Edge TPU staging buffers (INT8)
+};
+
+/** Live/peak byte accounting per memory space. */
+class MemoryTracker
+{
+  public:
+    /** Record an allocation of @p bytes in @p space. */
+    void
+    alloc(MemSpace space, size_t bytes)
+    {
+        auto &s = spaces_[space];
+        s.live += bytes;
+        s.peak = std::max(s.peak, s.live);
+        peakTotal_ = std::max(peakTotal_, liveTotal());
+    }
+
+    /** Record a free of @p bytes in @p space. */
+    void
+    free(MemSpace space, size_t bytes)
+    {
+        auto &s = spaces_[space];
+        SHMT_ASSERT(s.live >= bytes, "freeing more than allocated");
+        s.live -= bytes;
+    }
+
+    size_t
+    liveBytes(MemSpace space) const
+    {
+        auto it = spaces_.find(space);
+        return it == spaces_.end() ? 0 : it->second.live;
+    }
+
+    size_t
+    peakBytes(MemSpace space) const
+    {
+        auto it = spaces_.find(space);
+        return it == spaces_.end() ? 0 : it->second.peak;
+    }
+
+    /** Sum of live bytes across all spaces. */
+    size_t
+    liveTotal() const
+    {
+        size_t total = 0;
+        for (const auto &[space, s] : spaces_)
+            total += s.live;
+        return total;
+    }
+
+    /** Peak of the total live footprint. */
+    size_t peakTotal() const { return peakTotal_; }
+
+    void
+    reset()
+    {
+        spaces_.clear();
+        peakTotal_ = 0;
+    }
+
+  private:
+    struct Space
+    {
+        size_t live = 0;
+        size_t peak = 0;
+    };
+
+    std::map<MemSpace, Space> spaces_;
+    size_t peakTotal_ = 0;
+};
+
+/** RAII allocation in a MemoryTracker. */
+class ScopedAlloc
+{
+  public:
+    ScopedAlloc(MemoryTracker &tracker, MemSpace space, size_t bytes)
+        : tracker_(tracker), space_(space), bytes_(bytes)
+    {
+        tracker_.alloc(space_, bytes_);
+    }
+
+    ~ScopedAlloc() { tracker_.free(space_, bytes_); }
+
+    ScopedAlloc(const ScopedAlloc &) = delete;
+    ScopedAlloc &operator=(const ScopedAlloc &) = delete;
+
+  private:
+    MemoryTracker &tracker_;
+    MemSpace space_;
+    size_t bytes_;
+};
+
+} // namespace shmt::sim
+
+#endif // SHMT_SIM_MEMORY_TRACKER_HH

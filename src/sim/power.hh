@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Power-state and energy accounting (paper §5.5).
+ *
+ * The paper measured three operating points at the wall: platform idle
+ * (3.02 W), GPU baseline running (4.67 W) and SHMT running with both
+ * GPU and Edge TPU active (5.23 W). We model power as a base idle
+ * draw plus an active adder per busy device, and integrate over the
+ * simulated timeline: E = idle * makespan + sum_d adder_d * busy_d.
+ */
+
+#ifndef SHMT_SIM_POWER_HH
+#define SHMT_SIM_POWER_HH
+
+#include <map>
+
+#include "sim/calibration.hh"
+
+namespace shmt::sim {
+
+/** Energy breakdown of one run. */
+struct EnergyReport
+{
+    double makespanSec = 0.0;     //!< end-to-end latency
+    double idleEnergyJ = 0.0;     //!< idle draw over the makespan
+    double activeEnergyJ = 0.0;   //!< device active adders
+    double totalEnergyJ = 0.0;
+    double edp = 0.0;             //!< energy-delay product (J*s)
+};
+
+/** Integrates device busy time into energy. */
+class EnergyMeter
+{
+  public:
+    explicit EnergyMeter(const PlatformCalibration &cal = defaultCalibration())
+        : cal_(cal)
+    {}
+
+    /** Record @p seconds of busy time on @p kind. */
+    void
+    addBusy(DeviceKind kind, double seconds)
+    {
+        busy_[kind] += seconds;
+    }
+
+    /** Accumulated busy time of @p kind. */
+    double
+    busySeconds(DeviceKind kind) const
+    {
+        auto it = busy_.find(kind);
+        return it == busy_.end() ? 0.0 : it->second;
+    }
+
+    /** Active power adder of @p kind in watts. */
+    double
+    activePowerW(DeviceKind kind) const
+    {
+        switch (kind) {
+          case DeviceKind::Gpu:     return cal_.gpuActivePowerW;
+          case DeviceKind::EdgeTpu: return cal_.tpuActivePowerW;
+          case DeviceKind::Cpu:     return cal_.cpuActivePowerW;
+          case DeviceKind::Dsp:     return cal_.dspActivePowerW;
+        }
+        return 0.0;
+    }
+
+    /** Close the run at @p makespan seconds and report energy. */
+    EnergyReport
+    finalize(double makespan) const
+    {
+        EnergyReport r;
+        r.makespanSec = makespan;
+        r.idleEnergyJ = cal_.idlePowerW * makespan;
+        for (const auto &[kind, busy] : busy_)
+            r.activeEnergyJ += activePowerW(kind) * busy;
+        r.totalEnergyJ = r.idleEnergyJ + r.activeEnergyJ;
+        r.edp = r.totalEnergyJ * makespan;
+        return r;
+    }
+
+    void
+    reset()
+    {
+        busy_.clear();
+    }
+
+  private:
+    const PlatformCalibration &cal_;
+    std::map<DeviceKind, double> busy_;
+};
+
+} // namespace shmt::sim
+
+#endif // SHMT_SIM_POWER_HH

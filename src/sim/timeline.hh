@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulated per-device timeline.
+ *
+ * Each device owns a clock that advances as HLOPs are charged to it.
+ * Transfer time is accounted separately from compute time so the
+ * communication-overhead breakdown (paper Table 3) can be reported.
+ * Double buffering is modelled by overlapping a transfer with the
+ * preceding compute: only the non-overlapped remainder stalls the
+ * device.
+ */
+
+#ifndef SHMT_SIM_TIMELINE_HH
+#define SHMT_SIM_TIMELINE_HH
+
+#include <algorithm>
+
+#include "sim/calibration.hh"
+
+namespace shmt::sim {
+
+/** One device's simulated execution timeline. */
+class DeviceTimeline
+{
+  public:
+    explicit DeviceTimeline(DeviceKind kind, bool double_buffering = true)
+        : kind_(kind), doubleBuffering_(double_buffering)
+    {}
+
+    DeviceKind kind() const { return kind_; }
+
+    /** Current clock (completion time of the last charged HLOP). */
+    double now() const { return now_; }
+
+    /** Total compute seconds charged so far. */
+    double computeSeconds() const { return compute_; }
+
+    /** Transfer seconds that actually stalled the device. */
+    double stallSeconds() const { return stall_; }
+
+    /** Total transfer wire-time (including overlapped portions). */
+    double transferSeconds() const { return transfer_; }
+
+    /** Busy time = compute + stalls (what the power model integrates). */
+    double busySeconds() const { return compute_ + stall_; }
+
+    /**
+     * Charge one HLOP: @p transfer_sec of data movement plus
+     * @p compute_sec of execution, starting no earlier than
+     * @p release_sec (e.g. when the scheduler finished sampling).
+     * Returns the completion time.
+     */
+    double
+    charge(double transfer_sec, double compute_sec, double release_sec = 0.0)
+    {
+        now_ = std::max(now_, release_sec);
+        transfer_ += transfer_sec;
+
+        double stall = transfer_sec;
+        if (doubleBuffering_) {
+            // The runtime prefetches HLOP i+1 while HLOP i computes:
+            // the device only stalls for the part of the transfer that
+            // did not fit under the previous compute window.
+            stall = std::max(0.0, transfer_sec - lastCompute_);
+        }
+        stall_ += stall;
+        compute_ += compute_sec;
+        now_ += stall + compute_sec;
+        lastCompute_ = compute_sec;
+        return now_;
+    }
+
+    /** Push the clock to at least @p t (idle wait, no busy time). */
+    void
+    waitUntil(double t)
+    {
+        now_ = std::max(now_, t);
+    }
+
+    void
+    reset()
+    {
+        now_ = compute_ = stall_ = transfer_ = lastCompute_ = 0.0;
+    }
+
+  private:
+    DeviceKind kind_;
+    bool doubleBuffering_;
+    double now_ = 0.0;
+    double compute_ = 0.0;
+    double stall_ = 0.0;
+    double transfer_ = 0.0;
+    double lastCompute_ = 0.0;
+};
+
+} // namespace shmt::sim
+
+#endif // SHMT_SIM_TIMELINE_HH

@@ -1,0 +1,70 @@
+#include "trace.hh"
+
+#include <algorithm>
+
+namespace shmt::sim {
+
+double
+ExecutionTrace::endSec() const
+{
+    double end = 0.0;
+    for (const auto &e : events_)
+        end = std::max(end, e.endSec);
+    return end;
+}
+
+std::map<DeviceKind, double>
+ExecutionTrace::busyByDevice() const
+{
+    std::map<DeviceKind, double> busy;
+    for (const auto &e : events_)
+        busy[e.device] += e.endSec - e.startSec;
+    return busy;
+}
+
+std::map<DeviceKind, size_t>
+ExecutionTrace::hlopsByDevice() const
+{
+    std::map<DeviceKind, size_t> counts;
+    for (const auto &e : events_)
+        counts[e.device] += 1;
+    return counts;
+}
+
+double
+ExecutionTrace::stolenFraction() const
+{
+    if (events_.empty())
+        return 0.0;
+    size_t stolen = 0;
+    for (const auto &e : events_)
+        stolen += e.stolen;
+    return static_cast<double>(stolen) /
+           static_cast<double>(events_.size());
+}
+
+void
+ExecutionTrace::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &e : events_) {
+        if (!first)
+            os << ",";
+        first = false;
+        // Duration event: ph="X", ts/dur in microseconds; one pid,
+        // one tid per device.
+        os << "{\"name\":\"" << e.opcode << "#" << e.hlopIndex
+           << "\",\"cat\":\"hlop\",\"ph\":\"X\",\"pid\":0,\"tid\":\""
+           << e.deviceName << "\",\"ts\":" << e.startSec * 1e6
+           << ",\"dur\":" << (e.endSec - e.startSec) * 1e6
+           << ",\"args\":{\"vop\":" << e.vopIndex
+           << ",\"criticality\":" << e.criticality
+           << ",\"stolen\":" << (e.stolen ? "true" : "false")
+           << ",\"transfer_us\":" << e.transferSec * 1e6
+           << ",\"compute_us\":" << e.computeSec * 1e6 << "}}";
+    }
+    os << "]}\n";
+}
+
+} // namespace shmt::sim

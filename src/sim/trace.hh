@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Execution tracing.
+ *
+ * When a trace is attached to the runtime, every HLOP execution is
+ * recorded (device, queue release, transfer/compute split, stolen or
+ * not, criticality). The trace exports to the Chrome tracing format
+ * (chrome://tracing / Perfetto) so a run's device timelines can be
+ * inspected visually, and offers utilization summaries for reports.
+ */
+
+#ifndef SHMT_SIM_TRACE_HH
+#define SHMT_SIM_TRACE_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/calibration.hh"
+
+namespace shmt::sim {
+
+/** One HLOP execution on one device. */
+struct TraceEvent
+{
+    size_t vopIndex = 0;        //!< position in the program
+    std::string opcode;
+    size_t hlopIndex = 0;       //!< partition index within the VOP
+    DeviceKind device = DeviceKind::Gpu;
+    std::string deviceName;
+    double releaseSec = 0.0;    //!< when scheduling freed the HLOP
+    double startSec = 0.0;      //!< device began transfer/compute
+    double transferSec = 0.0;   //!< staging wire time (incl. hidden)
+    double computeSec = 0.0;
+    double endSec = 0.0;        //!< completion time
+    double criticality = 0.0;   //!< sampled criticality (0 if none)
+    bool stolen = false;        //!< obtained via work stealing
+};
+
+/** A recorded run. */
+class ExecutionTrace
+{
+  public:
+    void
+    record(TraceEvent event)
+    {
+        events_.push_back(std::move(event));
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+    void clear() { events_.clear(); }
+
+    /** Completion time of the last event. */
+    double endSec() const;
+
+    /** Busy seconds per device kind. */
+    std::map<DeviceKind, double> busyByDevice() const;
+
+    /** HLOP count per device kind. */
+    std::map<DeviceKind, size_t> hlopsByDevice() const;
+
+    /** Fraction of stolen HLOPs. */
+    double stolenFraction() const;
+
+    /**
+     * Write the trace in Chrome tracing JSON (one row per device,
+     * one duration slice per HLOP; timestamps in microseconds).
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace shmt::sim
+
+#endif // SHMT_SIM_TRACE_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Element data types supported by SHMT devices.
+ *
+ * The prototype platform in the paper spans FP32 (GPU native), FP16
+ * (GPU half precision), and INT8 (Edge TPU). SHMT's runtime performs
+ * type casting/quantization at HLOP distribution time (paper §3.3.2).
+ */
+
+#ifndef SHMT_TENSOR_DTYPE_HH
+#define SHMT_TENSOR_DTYPE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace shmt {
+
+/** Element data type of a device computation. */
+enum class DType : uint8_t {
+    Float32,
+    Float16,
+    Int8,
+    Int32,
+};
+
+/** Size in bytes of one element of @p t. */
+constexpr size_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::Float32: return 4;
+      case DType::Float16: return 2;
+      case DType::Int8:    return 1;
+      case DType::Int32:   return 4;
+    }
+    return 0;
+}
+
+/** Human-readable name of @p t. */
+constexpr std::string_view
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::Float32: return "fp32";
+      case DType::Float16: return "fp16";
+      case DType::Int8:    return "int8";
+      case DType::Int32:   return "int32";
+    }
+    return "?";
+}
+
+/**
+ * Number of distinct representable magnitude steps a dtype offers within
+ * a unit range; used by the criticality model to reason about how much
+ * precision a device can deliver (paper §3.5, device-dependent limits).
+ */
+constexpr double
+dtypeLevels(DType t)
+{
+    switch (t) {
+      case DType::Float32: return 1 << 24;  // mantissa resolution
+      case DType::Float16: return 1 << 11;
+      case DType::Int8:    return 256;
+      case DType::Int32:   return 4.0 * (1u << 30);
+    }
+    return 0;
+}
+
+} // namespace shmt
+
+#endif // SHMT_TENSOR_DTYPE_HH

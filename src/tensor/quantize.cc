@@ -1,0 +1,190 @@
+#include "quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.hh"
+
+namespace shmt {
+
+namespace {
+
+constexpr int32_t kQmin = -128;
+constexpr int32_t kQmax = 127;
+
+} // namespace
+
+int8_t
+QuantParams::quantize(float v) const
+{
+    const float q = std::nearbyint(v / scale +
+                                   static_cast<float>(zeroPoint));
+    return static_cast<int8_t>(clamp(static_cast<int32_t>(q), kQmin, kQmax));
+}
+
+QuantParams
+chooseQuantParams(float lo, float hi)
+{
+    // Widen the range to include zero (TFLite requirement) and avoid a
+    // degenerate zero-width range.
+    lo = std::min(lo, 0.0f);
+    hi = std::max(hi, 0.0f);
+    if (hi - lo < 1e-12f)
+        hi = lo + 1e-12f;
+
+    QuantParams qp;
+    qp.scale = (hi - lo) / static_cast<float>(kQmax - kQmin);
+
+    // Nudge the zero point so real 0.0 is exactly representable.
+    const double zp_real = static_cast<double>(kQmin) - lo / qp.scale;
+    qp.zeroPoint = static_cast<int32_t>(
+        clamp<double>(std::nearbyint(zp_real), kQmin, kQmax));
+    return qp;
+}
+
+QuantParams
+chooseQuantParams(ConstTensorView src)
+{
+    auto [lo, hi] = src.minmax();
+    return chooseQuantParams(lo, hi);
+}
+
+std::pair<float, float>
+robustRange(ConstTensorView src, double lo_frac, double hi_frac)
+{
+    const size_t total = src.size();
+    if (total == 0)
+        return {0.0f, 0.0f};
+
+    constexpr size_t kMaxSamples = 64 * 1024;
+    const size_t step = std::max<size_t>(1, total / kMaxSamples);
+    std::vector<float> samples;
+    samples.reserve(total / step + 1);
+    for (size_t i = 0; i < total; i += step)
+        samples.push_back(src.at(i / src.cols(), i % src.cols()));
+
+    const size_t n = samples.size();
+    auto at_frac = [&](double f) {
+        const size_t k = static_cast<size_t>(
+            clamp<double>(f * static_cast<double>(n - 1), 0.0,
+                          static_cast<double>(n - 1)));
+        std::nth_element(samples.begin(),
+                         samples.begin() + static_cast<long>(k),
+                         samples.end());
+        return samples[k];
+    };
+    const float hi = at_frac(hi_frac);
+    const float lo = at_frac(lo_frac);
+    return {std::min(lo, hi), std::max(lo, hi)};
+}
+
+std::vector<int8_t>
+quantize(ConstTensorView src, const QuantParams &qp)
+{
+    std::vector<int8_t> out(src.size());
+    size_t i = 0;
+    for (size_t r = 0; r < src.rows(); ++r) {
+        const float *p = src.row(r);
+        for (size_t c = 0; c < src.cols(); ++c)
+            out[i++] = qp.quantize(p[c]);
+    }
+    return out;
+}
+
+void
+dequantize(const std::vector<int8_t> &src, const QuantParams &qp,
+           TensorView dst)
+{
+    SHMT_ASSERT(src.size() == dst.size(), "dequantize size mismatch");
+    size_t i = 0;
+    for (size_t r = 0; r < dst.rows(); ++r) {
+        float *p = dst.row(r);
+        for (size_t c = 0; c < dst.cols(); ++c)
+            p[c] = qp.dequantize(src[i++]);
+    }
+}
+
+void
+fakeQuantize(ConstTensorView src, TensorView dst, const QuantParams &qp)
+{
+    SHMT_ASSERT(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                "fakeQuantize shape mismatch");
+    for (size_t r = 0; r < src.rows(); ++r) {
+        const float *s = src.row(r);
+        float *d = dst.row(r);
+        for (size_t c = 0; c < src.cols(); ++c)
+            d[c] = qp.dequantize(qp.quantize(s[c]));
+    }
+}
+
+float
+toFloat16(float v)
+{
+    // Round-trip through IEEE binary16 semantics using bit manipulation.
+    union { float f; uint32_t u; } in{v};
+    const uint32_t sign = (in.u >> 16) & 0x8000u;
+    const int32_t exp = static_cast<int32_t>((in.u >> 23) & 0xff) - 127;
+    uint32_t mant = in.u & 0x7fffffu;
+
+    uint16_t half;
+    if (exp > 15) {
+        half = static_cast<uint16_t>(sign | 0x7c00u);   // overflow -> inf
+    } else if (exp >= -14) {
+        // Normal range: round mantissa to 10 bits (round half to even).
+        uint32_t m = mant;
+        const uint32_t round_bit = 1u << 12;
+        uint32_t h = static_cast<uint32_t>((exp + 15) << 10) | (m >> 13);
+        if ((m & round_bit) && ((m & (round_bit - 1)) || (h & 1)))
+            ++h;
+        half = static_cast<uint16_t>(sign | h);
+    } else if (exp >= -24) {
+        // Subnormal half.
+        mant |= 0x800000u;
+        const int shift = -exp - 14 + 13;
+        uint32_t h = mant >> (shift + 1);
+        const uint32_t rem = mant & ((2u << shift) - 1);
+        if (rem > (1u << shift) || (rem == (1u << shift) && (h & 1)))
+            ++h;
+        half = static_cast<uint16_t>(sign | h);
+    } else {
+        half = static_cast<uint16_t>(sign);             // underflow -> 0
+    }
+
+    // Expand back to float.
+    const uint32_t h_sign = static_cast<uint32_t>(half & 0x8000u) << 16;
+    const uint32_t h_exp = (half >> 10) & 0x1f;
+    const uint32_t h_man = half & 0x3ffu;
+    union { uint32_t u; float f; } out{};
+    if (h_exp == 0x1f) {
+        out.u = h_sign | 0x7f800000u | (h_man << 13);
+    } else if (h_exp != 0) {
+        out.u = h_sign | ((h_exp + 112) << 23) | (h_man << 13);
+    } else if (h_man != 0) {
+        // Subnormal half -> normal float.
+        int e = -1;
+        uint32_t m = h_man;
+        do {
+            ++e;
+            m <<= 1;
+        } while ((m & 0x400u) == 0);
+        out.u = h_sign | ((113 - e) << 23) | ((m & 0x3ffu) << 13);
+    } else {
+        out.u = h_sign;
+    }
+    return out.f;
+}
+
+void
+fakeQuantizeFp16(ConstTensorView src, TensorView dst)
+{
+    SHMT_ASSERT(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                "fakeQuantizeFp16 shape mismatch");
+    for (size_t r = 0; r < src.rows(); ++r) {
+        const float *s = src.row(r);
+        float *d = dst.row(r);
+        for (size_t c = 0; c < src.cols(); ++c)
+            d[c] = toFloat16(s[c]);
+    }
+}
+
+} // namespace shmt

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * TFLite-style affine INT8 quantization and FP16 rounding.
+ *
+ * The Edge TPU only computes in INT8 (paper §2.1); the SHMT runtime
+ * performs "data type casting through the desired quantization method
+ * before distributing the input data" and restores the result precision
+ * afterwards (paper §3.3.2). These helpers implement that path with the
+ * same affine mapping TFLite uses:
+ *
+ *     real = scale * (q - zero_point),    q in [-128, 127]
+ *
+ * Quantization error is inherently proportional to the value range of a
+ * partition — this is the physical mechanism QAWS's criticality metric
+ * (range + stddev) is built on.
+ */
+
+#ifndef SHMT_TENSOR_QUANTIZE_HH
+#define SHMT_TENSOR_QUANTIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace shmt {
+
+/** Affine quantization parameters (TFLite convention). */
+struct QuantParams
+{
+    float scale = 1.0f;       //!< real units per quantized step
+    int32_t zeroPoint = 0;    //!< q value representing real 0.0
+
+    /** Map a real value to its quantized code (saturating). */
+    int8_t quantize(float v) const;
+
+    /** Map a quantized code back to a real value. */
+    float
+    dequantize(int8_t q) const
+    {
+        return scale * (static_cast<float>(q) -
+                        static_cast<float>(zeroPoint));
+    }
+};
+
+/**
+ * Choose affine parameters covering [lo, hi] (the range is widened to
+ * include 0 so the zero point is exactly representable, as TFLite does).
+ */
+QuantParams chooseQuantParams(float lo, float hi);
+
+/** Choose parameters from the min/max of @p src. */
+QuantParams chooseQuantParams(ConstTensorView src);
+
+/**
+ * Robust value range of @p src: approximately the
+ * [@p lo_frac, @p hi_frac] quantiles, estimated from up to 64Ki
+ * strided samples. TFLite's post-training calibration clips ranges
+ * the same way so a few extreme outliers (e.g. the DC coefficient of
+ * a spectrum) do not ruin the quantization step for everything else.
+ */
+std::pair<float, float> robustRange(ConstTensorView src,
+                                    double lo_frac = 0.001,
+                                    double hi_frac = 0.999);
+
+/** Quantize a view into a dense int8 buffer (row-major). */
+std::vector<int8_t> quantize(ConstTensorView src, const QuantParams &qp);
+
+/** Dequantize a dense int8 buffer back into @p dst. */
+void dequantize(const std::vector<int8_t> &src, const QuantParams &qp,
+                TensorView dst);
+
+/**
+ * Round-trip a view through INT8: the value each element would have
+ * after quantize + dequantize. This is what the simulated Edge TPU sees.
+ */
+void fakeQuantize(ConstTensorView src, TensorView dst,
+                  const QuantParams &qp);
+
+/** Round a float to the nearest FP16-representable value (GPU half mode). */
+float toFloat16(float v);
+
+/** Apply FP16 rounding elementwise. */
+void fakeQuantizeFp16(ConstTensorView src, TensorView dst);
+
+} // namespace shmt
+
+#endif // SHMT_TENSOR_QUANTIZE_HH

@@ -1,0 +1,50 @@
+#include "tensor.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace shmt {
+
+std::pair<float, float>
+TensorView::minmax() const
+{
+    return ConstTensorView(*this).minmax();
+}
+
+std::pair<float, float>
+ConstTensorView::minmax() const
+{
+    if (size() == 0)
+        return {0.0f, 0.0f};
+    float lo = at(0, 0);
+    float hi = lo;
+    for (size_t r = 0; r < rows_; ++r) {
+        const float *p = row(r);
+        for (size_t c = 0; c < cols_; ++c) {
+            lo = std::min(lo, p[c]);
+            hi = std::max(hi, p[c]);
+        }
+    }
+    return {lo, hi};
+}
+
+void
+memcpy2d(TensorView dst, ConstTensorView src)
+{
+    SHMT_ASSERT(dst.rows() == src.rows() && dst.cols() == src.cols(),
+                "memcpy2d shape mismatch: ", dst.rows(), "x", dst.cols(),
+                " vs ", src.rows(), "x", src.cols());
+    const size_t row_bytes = src.cols() * sizeof(float);
+    for (size_t r = 0; r < src.rows(); ++r)
+        std::memcpy(dst.row(r), src.row(r), row_bytes);
+}
+
+Tensor
+toTensor(ConstTensorView src)
+{
+    Tensor out(src.rows(), src.cols());
+    memcpy2d(out.view(), src);
+    return out;
+}
+
+} // namespace shmt

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Host-side 2-D float tensor, non-owning views, and 2-D copies.
+ *
+ * SHMT's data distribution follows cudaMemcpy2D semantics (paper
+ * §3.3.2): a partition is described by a starting address, element
+ * size, and the dimensions of the sub-rectangle; the runtime computes
+ * effective addresses from those. `TensorView`/`ConstTensorView` model
+ * exactly that: a pointer plus (rows, cols, rowStride).
+ */
+
+#ifndef SHMT_TENSOR_TENSOR_HH
+#define SHMT_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace shmt {
+
+class ConstTensorView;
+
+/** Non-owning mutable view of a 2-D sub-rectangle of float data. */
+class TensorView
+{
+  public:
+    TensorView() = default;
+
+    /** View over @p rows x @p cols elements at @p data, rows separated
+     *  by @p row_stride elements. */
+    TensorView(float *data, size_t rows, size_t cols, size_t row_stride)
+        : data_(data), rows_(rows), cols_(cols), rowStride_(row_stride)
+    {
+        SHMT_ASSERT(row_stride >= cols || rows <= 1,
+                    "row stride smaller than row width");
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t rowStride() const { return rowStride_; }
+    size_t size() const { return rows_ * cols_; }
+    bool contiguous() const { return rowStride_ == cols_ || rows_ <= 1; }
+    float *data() const { return data_; }
+
+    /** Element access (row, col). */
+    float &
+    at(size_t r, size_t c) const
+    {
+        return data_[r * rowStride_ + c];
+    }
+
+    /** Pointer to the first element of row @p r. */
+    float *row(size_t r) const { return data_ + r * rowStride_; }
+
+    /** Sub-rectangle view. */
+    TensorView
+    slice(size_t r0, size_t c0, size_t rows, size_t cols) const
+    {
+        SHMT_ASSERT(r0 + rows <= rows_ && c0 + cols <= cols_,
+                    "slice out of bounds");
+        return TensorView(data_ + r0 * rowStride_ + c0, rows, cols,
+                          rowStride_);
+    }
+
+    /** Fill every element with @p v. */
+    void
+    fill(float v) const
+    {
+        for (size_t r = 0; r < rows_; ++r) {
+            float *p = row(r);
+            for (size_t c = 0; c < cols_; ++c)
+                p[c] = v;
+        }
+    }
+
+    /** Minimum and maximum element (0,0 pair if empty). */
+    std::pair<float, float> minmax() const;
+
+  private:
+    float *data_ = nullptr;
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    size_t rowStride_ = 0;
+};
+
+/** Non-owning read-only view of a 2-D sub-rectangle of float data. */
+class ConstTensorView
+{
+  public:
+    ConstTensorView() = default;
+
+    ConstTensorView(const float *data, size_t rows, size_t cols,
+                    size_t row_stride)
+        : data_(data), rows_(rows), cols_(cols), rowStride_(row_stride)
+    {
+        SHMT_ASSERT(row_stride >= cols || rows <= 1,
+                    "row stride smaller than row width");
+    }
+
+    /** Implicit conversion from a mutable view. */
+    ConstTensorView(const TensorView &v)
+        : data_(v.data()), rows_(v.rows()), cols_(v.cols()),
+          rowStride_(v.rowStride())
+    {}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t rowStride() const { return rowStride_; }
+    size_t size() const { return rows_ * cols_; }
+    bool contiguous() const { return rowStride_ == cols_ || rows_ <= 1; }
+    const float *data() const { return data_; }
+
+    const float &
+    at(size_t r, size_t c) const
+    {
+        return data_[r * rowStride_ + c];
+    }
+
+    const float *row(size_t r) const { return data_ + r * rowStride_; }
+
+    ConstTensorView
+    slice(size_t r0, size_t c0, size_t rows, size_t cols) const
+    {
+        SHMT_ASSERT(r0 + rows <= rows_ && c0 + cols <= cols_,
+                    "slice out of bounds");
+        return ConstTensorView(data_ + r0 * rowStride_ + c0, rows, cols,
+                               rowStride_);
+    }
+
+    /** Minimum and maximum element (0,0 pair if empty). */
+    std::pair<float, float> minmax() const;
+
+  private:
+    const float *data_ = nullptr;
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    size_t rowStride_ = 0;
+};
+
+/** Owning 2-D float tensor (row-major, contiguous). */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a rows x cols tensor initialized to @p init. */
+    Tensor(size_t rows, size_t cols, float init = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, init)
+    {}
+
+    /** Adopt existing row-major data (must be rows*cols long). */
+    Tensor(size_t rows, size_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        SHMT_ASSERT(data_.size() == rows_ * cols_, "size mismatch");
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+    size_t bytes() const { return data_.size() * sizeof(float); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    const float &at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** Whole-tensor views. */
+    TensorView view() { return TensorView(data(), rows_, cols_, cols_); }
+    ConstTensorView
+    view() const
+    {
+        return ConstTensorView(data(), rows_, cols_, cols_);
+    }
+
+    /** Sub-rectangle views. */
+    TensorView
+    slice(size_t r0, size_t c0, size_t rows, size_t cols)
+    {
+        return view().slice(r0, c0, rows, cols);
+    }
+    ConstTensorView
+    slice(size_t r0, size_t c0, size_t rows, size_t cols) const
+    {
+        return view().slice(r0, c0, rows, cols);
+    }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/**
+ * cudaMemcpy2D-style rectangular copy between views.
+ * Shapes must match exactly.
+ */
+void memcpy2d(TensorView dst, ConstTensorView src);
+
+/** Copy a view into a freshly allocated contiguous tensor. */
+Tensor toTensor(ConstTensorView src);
+
+} // namespace shmt
+
+#endif // SHMT_TENSOR_TENSOR_HH

@@ -1,0 +1,78 @@
+#include "tiling.hh"
+
+#include <algorithm>
+
+#include "common/math_utils.hh"
+
+namespace shmt {
+
+std::vector<Rect>
+vectorPartitions(size_t rows, size_t cols, size_t count)
+{
+    SHMT_ASSERT(rows > 0 && cols > 0, "empty dataset");
+    count = std::max<size_t>(1, std::min(count, rows));
+
+    // Aim for page-multiple partitions: each partition gets a whole
+    // number of rows, at least ceil(kMinVectorElems / cols) of them
+    // when the dataset is large enough.
+    size_t min_rows = std::max<size_t>(1, ceilDiv(kMinVectorElems, cols));
+    if (min_rows * count > rows)
+        min_rows = std::max<size_t>(1, rows / count);
+
+    const size_t usable = std::min(count, std::max<size_t>(1,
+                                                           rows / min_rows));
+    std::vector<Rect> out;
+    out.reserve(usable);
+    size_t base = rows / usable;
+    size_t extra = rows % usable;
+    size_t r0 = 0;
+    for (size_t i = 0; i < usable; ++i) {
+        const size_t r = base + (i < extra ? 1 : 0);
+        out.push_back(Rect{r0, 0, r, cols});
+        r0 += r;
+    }
+    SHMT_ASSERT(r0 == rows, "partitions do not cover dataset");
+    return out;
+}
+
+std::vector<Rect>
+tilePartitions(size_t rows, size_t cols, size_t tile_rows, size_t tile_cols)
+{
+    SHMT_ASSERT(rows > 0 && cols > 0, "empty dataset");
+    SHMT_ASSERT(tile_rows > 0 && tile_cols > 0, "empty tile");
+    std::vector<Rect> out;
+    out.reserve(ceilDiv(rows, tile_rows) * ceilDiv(cols, tile_cols));
+    for (size_t r0 = 0; r0 < rows; r0 += tile_rows) {
+        const size_t r = std::min(tile_rows, rows - r0);
+        for (size_t c0 = 0; c0 < cols; c0 += tile_cols) {
+            const size_t c = std::min(tile_cols, cols - c0);
+            out.push_back(Rect{r0, c0, r, c});
+        }
+    }
+    return out;
+}
+
+size_t
+choosePartitionCount(size_t rows, size_t cols, size_t min_count,
+                     size_t max_count)
+{
+    const size_t total = rows * cols;
+    const size_t by_pages = std::max<size_t>(1, total / kMinVectorElems);
+    size_t count = std::min(by_pages, max_count);
+    count = std::max(count, std::min(min_count, rows));
+    return std::max<size_t>(1, std::min(count, rows));
+}
+
+ConstTensorView
+regionView(const Tensor &t, const Rect &r)
+{
+    return t.slice(r.row0, r.col0, r.rows, r.cols);
+}
+
+TensorView
+regionView(Tensor &t, const Rect &r)
+{
+    return t.slice(r.row0, r.col0, r.rows, r.cols);
+}
+
+} // namespace shmt

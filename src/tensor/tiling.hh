@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Partition geometry for the two parallelization models SHMT supports
+ * (paper §3.2, Table 1): element-wise *vector* partitioning and
+ * tile-wise *matrix* partitioning.
+ *
+ * Following paper §3.4, partitions are kept page-multiple whenever
+ * possible: with 4 KiB pages and FP32 data, a vector partition holds at
+ * least 1024 consecutive elements and a matrix tile is at least
+ * 1024x1024 when the input allows it.
+ */
+
+#ifndef SHMT_TENSOR_TILING_HH
+#define SHMT_TENSOR_TILING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace shmt {
+
+/** Parallelization model of a VOP (paper Table 1). */
+enum class ParallelModel : uint8_t {
+    Vector,   //!< element-wise; split into row ranges
+    Tile,     //!< tile-wise; split into 2-D tiles
+};
+
+/** A rectangular region of a 2-D dataset. */
+struct Rect
+{
+    size_t row0 = 0;
+    size_t col0 = 0;
+    size_t rows = 0;
+    size_t cols = 0;
+
+    size_t size() const { return rows * cols; }
+
+    bool
+    operator==(const Rect &o) const
+    {
+        return row0 == o.row0 && col0 == o.col0 && rows == o.rows &&
+               cols == o.cols;
+    }
+};
+
+/** System page size assumed by the partitioner (paper §3.4). */
+constexpr size_t kPageBytes = 4096;
+
+/** Minimum elements per vector partition for FP32 data (one page). */
+constexpr size_t kMinVectorElems = kPageBytes / sizeof(float);
+
+/**
+ * Split a rows x cols dataset into @p count row-range partitions for
+ * the vector model. Partitions are whole rows; the element count per
+ * partition is padded up to page multiples where the shape allows. The
+ * returned rectangles exactly cover the dataset.
+ */
+std::vector<Rect> vectorPartitions(size_t rows, size_t cols, size_t count);
+
+/**
+ * Split a rows x cols dataset into 2-D tiles of at most
+ * tile_rows x tile_cols each (edge tiles may be smaller).
+ */
+std::vector<Rect> tilePartitions(size_t rows, size_t cols,
+                                 size_t tile_rows, size_t tile_cols);
+
+/**
+ * Choose a partition count for a dataset so each partition is at least
+ * page-sized but there are enough partitions (>= min_count) to spread
+ * across and rebalance between devices.
+ */
+size_t choosePartitionCount(size_t rows, size_t cols, size_t min_count,
+                            size_t max_count);
+
+/** View of @p t restricted to @p r. */
+ConstTensorView regionView(const Tensor &t, const Rect &r);
+
+/** Mutable view of @p t restricted to @p r. */
+TensorView regionView(Tensor &t, const Rect &r);
+
+} // namespace shmt
+
+#endif // SHMT_TENSOR_TILING_HH

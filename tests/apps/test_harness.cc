@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+
+namespace shmt::apps {
+namespace {
+
+TEST(Harness, PrototypeRuntimeHasGpuAndTpu)
+{
+    auto rt = makePrototypeRuntime();
+    ASSERT_EQ(rt.deviceCount(), 2u);
+    EXPECT_EQ(rt.backend(0).kind(), sim::DeviceKind::Gpu);
+    EXPECT_EQ(rt.backend(1).kind(), sim::DeviceKind::EdgeTpu);
+}
+
+TEST(Harness, EvaluateComputesSpeedupConsistently)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("dct8x8", 512, 512);
+    const EvalResult r = evaluatePolicy(rt, *bench, "work-stealing");
+    EXPECT_NEAR(r.speedup, r.baselineSec / r.shmtSec, 1e-12);
+    EXPECT_GT(r.tpuShare, 0.0);
+    EXPECT_LT(r.tpuShare, 1.0);
+}
+
+TEST(Harness, QualityFlagControlsMetrics)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("mf", 512, 512);
+    const EvalResult with = evaluatePolicy(rt, *bench, "qaws-ts", {},
+                                           true);
+    const EvalResult without = evaluatePolicy(rt, *bench, "qaws-ts", {},
+                                              false);
+    EXPECT_GT(with.mapePct, 0.0);
+    EXPECT_DOUBLE_EQ(without.mapePct, 0.0);  // not computed
+    // Timing identical either way (functional execution does not
+    // change the simulated clocks).
+    EXPECT_DOUBLE_EQ(with.shmtSec, without.shmtSec);
+}
+
+TEST(Harness, SwPipeliningSpecialCase)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("sobel", 512, 512);
+    const EvalResult r =
+        evaluatePolicy(rt, *bench, "sw-pipelining", {}, false);
+    EXPECT_GT(r.speedup, 1.0);   // sobel has a 0.301 stage split
+    EXPECT_LT(r.speedup, 1.6);
+    EXPECT_DOUBLE_EQ(r.tpuShare, 0.0);  // pipeline is GPU-only
+}
+
+TEST(Harness, BenchEdgeHonorsEnvironment)
+{
+    unsetenv("SHMT_BENCH_N");
+    EXPECT_EQ(benchEdge(777), 777u);
+    setenv("SHMT_BENCH_N", "512", 1);
+    EXPECT_EQ(benchEdge(777), 512u);
+    setenv("SHMT_BENCH_N", "bogus", 1);
+    EXPECT_EQ(benchEdge(777), 777u);  // unparsable -> fallback
+    unsetenv("SHMT_BENCH_N");
+}
+
+TEST(Harness, PolicyLabelRecorded)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("fft", 512, 512);
+    const EvalResult r = evaluatePolicy(rt, *bench, "oracle", {}, false);
+    EXPECT_EQ(r.policy, "oracle");
+    EXPECT_EQ(r.benchmark, "fft");
+}
+
+} // namespace
+} // namespace shmt::apps

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace shmt {
+namespace {
+
+TEST(Logging, DefaultLevelIsWarn)
+{
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+}
+
+TEST(Logging, SetAndRestoreLevel)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(SHMT_PANIC("boom ", 123), "panic: boom 123");
+}
+
+TEST(LoggingDeath, AssertAbortsWithCondition)
+{
+    EXPECT_DEATH(SHMT_ASSERT(1 == 2, "context ", 7),
+                 "assertion failed: 1 == 2 context 7");
+}
+
+TEST(LoggingDeath, AssertPassesSilently)
+{
+    SHMT_ASSERT(2 + 2 == 4);
+    SUCCEED();
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(SHMT_FATAL("bad config"), ::testing::ExitedWithCode(1),
+                "fatal: bad config");
+}
+
+} // namespace
+} // namespace shmt

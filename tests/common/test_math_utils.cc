@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.hh"
+
+namespace shmt {
+namespace {
+
+TEST(MathUtils, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 3), 1);
+    EXPECT_EQ(ceilDiv<size_t>(0, 3), 0u);
+}
+
+TEST(MathUtils, RoundUp)
+{
+    EXPECT_EQ(roundUp(10, 4), 12);
+    EXPECT_EQ(roundUp(12, 4), 12);
+    EXPECT_EQ(roundUp(1, 256), 256);
+}
+
+TEST(MathUtils, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(1000));
+}
+
+TEST(MathUtils, Clamp)
+{
+    EXPECT_EQ(clamp(5, 0, 10), 5);
+    EXPECT_EQ(clamp(-5, 0, 10), 0);
+    EXPECT_EQ(clamp(15, 0, 10), 10);
+}
+
+TEST(MathUtils, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(MathUtils, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    // Population stddev of {1,3} is 1.
+    EXPECT_NEAR(stddev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace shmt

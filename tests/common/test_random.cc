@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+
+namespace shmt {
+namespace {
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-3.0f, 5.0f);
+        EXPECT_GE(v, -3.0f);
+        EXPECT_LT(v, 5.0f);
+    }
+}
+
+TEST(Random, UniformIntWithinRange)
+{
+    Rng rng(17);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Random, UniformIntZeroIsZero)
+{
+    Rng rng(19);
+    EXPECT_EQ(rng.uniformInt(0), 0u);
+}
+
+TEST(Random, NormalHasUnitVariance)
+{
+    Rng rng(23);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum2 += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Random, HashMixIsStable)
+{
+    EXPECT_EQ(hashMix(42), hashMix(42));
+    EXPECT_NE(hashMix(42), hashMix(43));
+}
+
+TEST(Random, SplitmixAdvancesState)
+{
+    uint64_t s = 5;
+    const uint64_t a = splitmix64(s);
+    const uint64_t b = splitmix64(s);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace shmt

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/shmt_api.hh"
+#include "kernels/kernel_registry.hh"
+#include "kernels/workload.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::core {
+namespace {
+
+TEST(Api, DefaultContextRunsSobel)
+{
+    Context ctx;
+    const Tensor in = kernels::makeImage(512, 512, 1);
+    Tensor out(512, 512);
+    const RunResult r = ctx.sobel(in, out);
+    EXPECT_GT(r.makespanSec, 0.0);
+    EXPECT_GT(r.hlopsTotal, 0u);
+}
+
+TEST(Api, MatmulProducesCorrectProduct)
+{
+    Context::Options opts;
+    opts.policy = "gpu-only";  // exact
+    Context ctx(opts);
+    Tensor a(64, 32, 0.0f);
+    Tensor b(32, 48, 0.0f);
+    for (size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = static_cast<float>(i % 7) * 0.25f;
+    for (size_t i = 0; i < b.size(); ++i)
+        b.data()[i] = static_cast<float>(i % 5) * 0.5f;
+    Tensor c(64, 48);
+    ctx.matmul(a, b, c);
+
+    // Spot-check a few entries against a direct triple loop.
+    for (size_t r : {0ul, 13ul, 63ul}) {
+        for (size_t col : {0ul, 17ul, 47ul}) {
+            float acc = 0.0f;
+            for (size_t k = 0; k < 32; ++k)
+                acc += a.at(r, k) * b.at(k, col);
+            EXPECT_NEAR(c.at(r, col), acc, 1e-3f);
+        }
+    }
+}
+
+TEST(Api, MapAndCombine)
+{
+    Context::Options opts;
+    opts.policy = "gpu-only";
+    Context ctx(opts);
+    Tensor a(128, 128, 4.0f);
+    Tensor s(128, 128);
+    ctx.map("sqrt", a, s);
+    EXPECT_NEAR(s.at(5, 5), 2.0f, 1e-5);
+
+    Tensor b(128, 128, 3.0f);
+    Tensor sum(128, 128);
+    ctx.combine("add", s, b, sum);
+    EXPECT_NEAR(sum.at(64, 64), 5.0f, 1e-5);
+}
+
+TEST(Api, ReduceThroughContext)
+{
+    Context::Options opts;
+    opts.policy = "gpu-only";
+    Context ctx(opts);
+    Tensor in(256, 256, 1.5f);
+    Tensor out(1, 1);
+    ctx.reduce("reduce_average", in, out);
+    EXPECT_NEAR(out.at(0, 0), 1.5f, 1e-4);
+}
+
+TEST(Api, Histogram256)
+{
+    Context::Options opts;
+    opts.policy = "work-stealing";
+    Context ctx(opts);
+    const Tensor in = kernels::makeField(512, 512, 3);
+    Tensor bins(1, 256);
+    auto [lo, hi] = in.view().minmax();
+    ctx.histogram256(in, lo, std::nextafter(hi, hi + 1.0f), bins);
+    double total = 0.0;
+    for (size_t i = 0; i < 256; ++i)
+        total += bins.at(0, i);
+    EXPECT_NEAR(total, 512.0 * 512.0, 1e-3);
+}
+
+TEST(Api, PolicySwapChangesBehaviour)
+{
+    Context ctx;
+    const Tensor in = kernels::makeImage(1024, 1024, 4);
+    Tensor out(1024, 1024);
+    ctx.setPolicy("tpu-only");
+    const RunResult tpu = ctx.dwt97(in, out);
+    ctx.setPolicy("work-stealing");
+    const RunResult ws = ctx.dwt97(in, out);
+    // DWT on the TPU alone is ~3x slower than with both devices.
+    EXPECT_GT(tpu.makespanSec, ws.makespanSec * 1.5);
+}
+
+TEST(Api, Conv3x3Identity)
+{
+    Context::Options opts;
+    opts.policy = "gpu-only";
+    Context ctx(opts);
+    const Tensor in = kernels::makeImage(256, 256, 5);
+    Tensor out(256, 256);
+    const float identity[9] = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+    ctx.conv3x3(in, identity, out);
+    EXPECT_DOUBLE_EQ(metrics::maxAbsError(in.view(), out.view()), 0.0);
+}
+
+TEST(Api, BaselineAndShmtAgreeOnExactKernels)
+{
+    Context ctx;
+    const Tensor in = kernels::makeImage(512, 512, 6);
+    Tensor out(512, 512);
+    VopProgram program;
+    program.name = "dct";
+    VOp vop;
+    vop.opcode = "dct8x8";
+    vop.inputs = {&in};
+    vop.output = &out;
+    program.ops.push_back(std::move(vop));
+
+    ctx.runBaseline(program);
+    const Tensor ref = out;
+    ctx.run(program);
+    EXPECT_GT(metrics::ssim(ref.view(), out.view()), 0.95);
+}
+
+} // namespace
+} // namespace shmt::core

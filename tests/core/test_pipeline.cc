@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "core/pipeline.hh"
+
+namespace shmt::core {
+namespace {
+
+TEST(Pipeline, SpeedupMatchesStageSplit)
+{
+    auto rt = apps::makePrototypeRuntime();
+    auto bench = apps::makeBenchmark("sobel", 1024, 1024);
+    const RunResult base = rt.runGpuBaseline(bench->program());
+    const RunResult pipe = runSwPipelined(rt, bench->program());
+    const double speedup = base.makespanSec / pipe.makespanSec;
+    // Sobel's calibrated stage split is 0.301 -> ~1.43x (paper Fig. 6).
+    EXPECT_NEAR(speedup, 1.43, 0.12);
+}
+
+TEST(Pipeline, NoStageMeansNoSpeedup)
+{
+    auto rt = apps::makePrototypeRuntime();
+    // Primitive VOPs have pipeStageFrac = 0: pipelining gains nothing.
+    Tensor in(1024, 1024, 2.0f);
+    Tensor out(1024, 1024);
+    VopProgram program;
+    VOp vop;
+    vop.opcode = "sqrt";
+    vop.inputs = {&in};
+    vop.output = &out;
+    program.ops.push_back(std::move(vop));
+    const RunResult base = rt.runGpuBaseline(program);
+    const RunResult pipe = runSwPipelined(rt, program);
+    EXPECT_NEAR(base.makespanSec / pipe.makespanSec, 1.0, 0.05);
+}
+
+TEST(Pipeline, OutputsAreExact)
+{
+    auto rt = apps::makePrototypeRuntime();
+    auto bench = apps::makeBenchmark("dct8x8", 512, 512);
+    rt.runGpuBaseline(bench->program());
+    const Tensor ref = bench->output();
+    runSwPipelined(rt, bench->program());
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(ref.data()[i], bench->output().data()[i]);
+}
+
+TEST(Pipeline, MoreBatchesConvergeToStageBound)
+{
+    auto rt = apps::makePrototypeRuntime();
+    auto bench = apps::makeBenchmark("mf", 1024, 1024);
+    const RunResult base = rt.runGpuBaseline(bench->program());
+    PipelineConfig few;
+    few.batches = 2;
+    PipelineConfig many;
+    many.batches = 64;
+    const double s_few =
+        base.makespanSec /
+        runSwPipelined(rt, bench->program(), few).makespanSec;
+    const double s_many =
+        base.makespanSec /
+        runSwPipelined(rt, bench->program(), many).makespanSec;
+    EXPECT_GT(s_many, s_few);
+}
+
+} // namespace
+} // namespace shmt::core

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/policy.hh"
+
+namespace shmt::core {
+namespace {
+
+std::vector<DeviceInfo>
+gpuTpuDevices()
+{
+    DeviceInfo gpu;
+    gpu.index = 0;
+    gpu.kind = sim::DeviceKind::Gpu;
+    gpu.dtype = DType::Float32;
+    DeviceInfo tpu;
+    tpu.index = 1;
+    tpu.kind = sim::DeviceKind::EdgeTpu;
+    tpu.dtype = DType::Int8;
+    return {gpu, tpu};
+}
+
+std::vector<PartitionInfo>
+partitionsWithCriticality(std::vector<double> scores)
+{
+    std::vector<PartitionInfo> out(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+        out[i].region = Rect{i, 0, 1, 1024};
+        out[i].criticality = scores[i];
+    }
+    return out;
+}
+
+TEST(Policy, EvenDistributionRoundRobins)
+{
+    auto policy = makeEvenDistributionPolicy();
+    const auto devs = gpuTpuDevices();
+    const auto parts = partitionsWithCriticality({0, 0, 0, 0, 0, 0});
+    const auto q = policy->assign(parts, devs);
+    EXPECT_EQ(q, (std::vector<size_t>{0, 1, 0, 1, 0, 1}));
+    EXPECT_FALSE(policy->stealingEnabled());
+    EXPECT_FALSE(policy->sampling().has_value());
+}
+
+TEST(Policy, WorkStealingAllowsAnySteal)
+{
+    auto policy = makeWorkStealingPolicy();
+    const auto devs = gpuTpuDevices();
+    EXPECT_TRUE(policy->stealingEnabled());
+    EXPECT_TRUE(policy->canSteal(devs[0], devs[1], 100.0));
+    EXPECT_TRUE(policy->canSteal(devs[1], devs[0], 100.0));
+    EXPECT_FALSE(policy->sampling().has_value());
+}
+
+TEST(Policy, TopKSendsMostCriticalToGpu)
+{
+    QawsParams params;
+    params.topK = 0.25;
+    params.window = 8;
+    auto policy = makeQawsTopKPolicy(SamplingMethod::Striding, params);
+    const auto devs = gpuTpuDevices();
+    // One window of 8: criticalities 0..7; top-25% = 2 partitions.
+    const auto parts =
+        partitionsWithCriticality({5, 1, 7, 2, 0, 3, 6, 4});
+    const auto q = policy->assign(parts, devs);
+    // Highest scores 7 (idx 2) and 6 (idx 6) go to the GPU (index 0).
+    EXPECT_EQ(q[2], 0u);
+    EXPECT_EQ(q[6], 0u);
+    int gpu_count = 0;
+    for (size_t v : q)
+        gpu_count += (v == 0);
+    EXPECT_EQ(gpu_count, 2);
+}
+
+TEST(Policy, TopKWindowsRankIndependently)
+{
+    QawsParams params;
+    params.topK = 0.5;
+    params.window = 2;
+    auto policy = makeQawsTopKPolicy(SamplingMethod::Uniform, params);
+    const auto devs = gpuTpuDevices();
+    const auto parts = partitionsWithCriticality({1, 2, 9, 8});
+    const auto q = policy->assign(parts, devs);
+    // Window {1,2}: idx 1 wins; window {9,8}: idx 2 wins.
+    EXPECT_EQ(q[1], 0u);
+    EXPECT_EQ(q[2], 0u);
+    EXPECT_EQ(q[0], 1u);
+    EXPECT_EQ(q[3], 1u);
+}
+
+TEST(Policy, TopKStealOnlyTowardHigherAccuracy)
+{
+    auto policy = makeQawsTopKPolicy(SamplingMethod::Striding, {});
+    const auto devs = gpuTpuDevices();
+    EXPECT_TRUE(policy->canSteal(devs[0], devs[1], 5.0));   // GPU <- TPU
+    EXPECT_FALSE(policy->canSteal(devs[1], devs[0], 5.0));  // TPU <- GPU
+}
+
+TEST(Policy, LimitKeepsCriticalPartitionsOffTheTpu)
+{
+    QawsParams params;
+    params.limitFraction = 0.5;
+    auto policy = makeQawsLimitPolicy(SamplingMethod::Striding, params);
+    const auto devs = gpuTpuDevices();
+    // Max score 10 -> TPU limit 5: partitions with score >= 5 must be
+    // on the GPU.
+    const auto parts =
+        partitionsWithCriticality({10, 6, 5, 4.9, 1, 0.5, 2, 3});
+    const auto q = policy->assign(parts, devs);
+    EXPECT_EQ(q[0], 0u);
+    EXPECT_EQ(q[1], 0u);
+    EXPECT_EQ(q[2], 0u);
+    // At least one low-criticality partition lands on the TPU.
+    int tpu_count = 0;
+    for (size_t i = 3; i < q.size(); ++i)
+        tpu_count += (q[i] == 1);
+    EXPECT_GT(tpu_count, 0);
+}
+
+TEST(Policy, LimitStealChecksCriticality)
+{
+    QawsParams params;
+    params.limitFraction = 0.5;
+    auto policy = makeQawsLimitPolicy(SamplingMethod::Uniform, params);
+    const auto devs = gpuTpuDevices();
+    const auto parts = partitionsWithCriticality({10, 1});
+    (void)policy->assign(parts, devs);  // establishes max score = 10
+    // GPU may steal anything; TPU may not steal at all (lower
+    // accuracy), and even criticality-wise 6 > limit 5.
+    EXPECT_TRUE(policy->canSteal(devs[0], devs[1], 6.0));
+    EXPECT_FALSE(policy->canSteal(devs[1], devs[0], 6.0));
+    EXPECT_FALSE(policy->canSteal(devs[1], devs[0], 1.0));
+}
+
+TEST(Policy, OracleChargesNoSamplingCost)
+{
+    auto policy = makeOraclePolicy({});
+    EXPECT_FALSE(policy->chargesSamplingCost());
+    ASSERT_TRUE(policy->sampling().has_value());
+    EXPECT_EQ(policy->sampling()->method, SamplingMethod::Exact);
+}
+
+TEST(Policy, IraRunsCanary)
+{
+    auto policy = makeIraSamplingPolicy({});
+    EXPECT_TRUE(policy->runsCanary());
+    EXPECT_TRUE(policy->chargesSamplingCost());
+}
+
+TEST(Policy, SingleDeviceAssignsEverything)
+{
+    auto policy = makeSingleDevicePolicy(sim::DeviceKind::EdgeTpu);
+    const auto devs = gpuTpuDevices();
+    const auto parts = partitionsWithCriticality({1, 2, 3});
+    const auto q = policy->assign(parts, devs);
+    for (size_t v : q)
+        EXPECT_EQ(v, 1u);
+    EXPECT_FALSE(policy->stealingEnabled());
+}
+
+TEST(Policy, FactoryNamesMatchPaperLabels)
+{
+    EXPECT_EQ(makePolicy("qaws-ts")->name(), "QAWS-TS");
+    EXPECT_EQ(makePolicy("qaws-tu")->name(), "QAWS-TU");
+    EXPECT_EQ(makePolicy("qaws-tr")->name(), "QAWS-TR");
+    EXPECT_EQ(makePolicy("qaws-ls")->name(), "QAWS-LS");
+    EXPECT_EQ(makePolicy("qaws-lu")->name(), "QAWS-LU");
+    EXPECT_EQ(makePolicy("qaws-lr")->name(), "QAWS-LR");
+    EXPECT_EQ(makePolicy("even")->name(), "even");
+    EXPECT_EQ(makePolicy("work-stealing")->name(), "work-stealing");
+    EXPECT_EQ(makePolicy("ira")->name(), "IRA-sampling");
+    EXPECT_EQ(makePolicy("oracle")->name(), "oracle");
+    EXPECT_EQ(makePolicy("tpu-only")->name(), "edgetpu-only");
+}
+
+TEST(Policy, StaticOptimalSplitsByThroughput)
+{
+    auto policy = makeStaticOptimalPolicy();
+    const auto devs = gpuTpuDevices();
+    sim::CostModel cm;
+    // Make partitions large so launch overheads are negligible and
+    // the split approaches the pure throughput ratio.
+    std::vector<PartitionInfo> parts(40);
+    for (size_t i = 0; i < parts.size(); ++i)
+        parts[i].region = Rect{i * 1024, 0, 1024, 8192};
+    policy->beginVop(VopContext{"fft", &cm, 1.0});
+    const auto q = policy->assign(parts, devs);
+    size_t tpu = 0;
+    for (size_t v : q)
+        tpu += (v == 1);
+    // FFT: TPU is 3.22x the GPU -> ~76% of partitions.
+    EXPECT_NEAR(static_cast<double>(tpu) / 40.0, 3.22 / 4.22, 0.08);
+    EXPECT_FALSE(policy->stealingEnabled());
+}
+
+TEST(Policy, StaticOptimalWithoutCostModelIsEven)
+{
+    auto policy = makeStaticOptimalPolicy();
+    const auto devs = gpuTpuDevices();
+    std::vector<PartitionInfo> parts(10);
+    for (size_t i = 0; i < parts.size(); ++i)
+        parts[i].region = Rect{i, 0, 1, 64};
+    const auto q = policy->assign(parts, devs);
+    size_t gpu = 0;
+    for (size_t v : q)
+        gpu += (v == 0);
+    EXPECT_EQ(gpu, 5u);
+}
+
+TEST(Policy, StaticOptimalCoversAllPartitions)
+{
+    auto policy = makeStaticOptimalPolicy();
+    const auto devs = gpuTpuDevices();
+    sim::CostModel cm;
+    for (size_t n : {1ul, 3ul, 7ul, 64ul}) {
+        std::vector<PartitionInfo> parts(n);
+        for (size_t i = 0; i < n; ++i)
+            parts[i].region = Rect{i, 0, 1, 4096};
+        policy->beginVop(VopContext{"sobel", &cm, 1.0});
+        const auto q = policy->assign(parts, devs);
+        ASSERT_EQ(q.size(), n);
+        for (size_t v : q)
+            EXPECT_LT(v, 2u);
+    }
+}
+
+TEST(PolicyDeath, UnknownPolicyIsFatal)
+{
+    EXPECT_EXIT(makePolicy("nope"), ::testing::ExitedWithCode(1),
+                "unknown policy");
+}
+
+TEST(Policy, QawsSamplingMethodsWireThrough)
+{
+    EXPECT_EQ(makePolicy("qaws-ts")->sampling()->method,
+              SamplingMethod::Striding);
+    EXPECT_EQ(makePolicy("qaws-tu")->sampling()->method,
+              SamplingMethod::Uniform);
+    EXPECT_EQ(makePolicy("qaws-lr")->sampling()->method,
+              SamplingMethod::Reduction);
+}
+
+} // namespace
+} // namespace shmt::core

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "core/sampling.hh"
+#include "tensor/tensor.hh"
+
+namespace shmt::core {
+namespace {
+
+Tensor
+uniformTensor(size_t rows, size_t cols, float lo, float hi, uint64_t seed)
+{
+    Tensor t(rows, cols);
+    Rng rng(seed);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = rng.uniform(lo, hi);
+    return t;
+}
+
+TEST(Sampling, ExactScanFindsTrueRange)
+{
+    Tensor t(16, 16, 1.0f);
+    t.at(3, 7) = -5.0f;
+    t.at(9, 2) = 11.0f;
+    SamplingSpec spec;
+    spec.method = SamplingMethod::Exact;
+    const auto stats = samplePartition(t.view(), spec, 1);
+    EXPECT_FLOAT_EQ(stats.min, -5.0f);
+    EXPECT_FLOAT_EQ(stats.max, 11.0f);
+    EXPECT_EQ(stats.samples, 256u);
+    EXPECT_EQ(stats.visited, 256u);
+}
+
+TEST(Sampling, StridingSampleCountMatchesRate)
+{
+    const Tensor t = uniformTensor(64, 64, 0.0f, 1.0f, 1);
+    SamplingSpec spec;
+    spec.method = SamplingMethod::Striding;
+    spec.rate = 1.0 / 64.0;
+    const auto stats = samplePartition(t.view(), spec, 1);
+    EXPECT_NEAR(static_cast<double>(stats.samples), 64.0, 1.0);
+}
+
+TEST(Sampling, UniformSampleCountMatchesRate)
+{
+    const Tensor t = uniformTensor(64, 64, 0.0f, 1.0f, 2);
+    SamplingSpec spec;
+    spec.method = SamplingMethod::Uniform;
+    spec.rate = 1.0 / 16.0;
+    const auto stats = samplePartition(t.view(), spec, 2);
+    EXPECT_EQ(stats.samples, 4096u / 16u);
+}
+
+TEST(Sampling, UniformIsDeterministicPerSeed)
+{
+    const Tensor t = uniformTensor(32, 32, -2.0f, 2.0f, 3);
+    SamplingSpec spec;
+    spec.method = SamplingMethod::Uniform;
+    spec.rate = 0.05;
+    const auto a = samplePartition(t.view(), spec, 99);
+    const auto b = samplePartition(t.view(), spec, 99);
+    EXPECT_FLOAT_EQ(a.min, b.min);
+    EXPECT_FLOAT_EQ(a.max, b.max);
+    EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(Sampling, ReductionVisitsGridIndependentOfRate)
+{
+    const Tensor t = uniformTensor(64, 64, 0.0f, 1.0f, 4);
+    SamplingSpec spec;
+    spec.method = SamplingMethod::Reduction;
+    spec.reductionStep = 8;
+    spec.rate = 1e-9;  // ignored by reduction
+    const auto stats = samplePartition(t.view(), spec, 1);
+    EXPECT_EQ(stats.visited, 64u);  // (64/8)^2
+}
+
+TEST(Sampling, ReductionVisitsMoreThanStridingAtLowRates)
+{
+    const Tensor t = uniformTensor(128, 128, 0.0f, 1.0f, 5);
+    SamplingSpec striding;
+    striding.method = SamplingMethod::Striding;
+    striding.rate = 1.0 / (1 << 12);
+    SamplingSpec reduction;
+    reduction.method = SamplingMethod::Reduction;
+    reduction.reductionStep = 16;
+    const auto s = samplePartition(t.view(), striding, 1);
+    const auto r = samplePartition(t.view(), reduction, 1);
+    EXPECT_GT(r.visited, s.visited);
+}
+
+TEST(Sampling, StatsApproximateTrueDistribution)
+{
+    const Tensor t = uniformTensor(256, 256, -1.0f, 1.0f, 6);
+    SamplingSpec spec;
+    spec.method = SamplingMethod::Striding;
+    spec.rate = 1.0 / 64.0;
+    const auto stats = samplePartition(t.view(), spec, 1);
+    // Uniform(-1,1): stddev = 1/sqrt(3) ~ 0.577.
+    EXPECT_NEAR(stats.stddev, 0.577, 0.05);
+    EXPECT_LT(stats.min, -0.9f);
+    EXPECT_GT(stats.max, 0.9f);
+}
+
+TEST(Sampling, SingleElementPartition)
+{
+    Tensor t(1, 1, 3.0f);
+    for (auto m : {SamplingMethod::Striding, SamplingMethod::Uniform,
+                   SamplingMethod::Reduction, SamplingMethod::Exact}) {
+        SamplingSpec spec;
+        spec.method = m;
+        const auto stats = samplePartition(t.view(), spec, 1);
+        EXPECT_FLOAT_EQ(stats.min, 3.0f);
+        EXPECT_FLOAT_EQ(stats.max, 3.0f);
+        EXPECT_GE(stats.samples, 1u);
+    }
+}
+
+TEST(Sampling, CriticalityGrowsWithRangeAndSpread)
+{
+    const Tensor narrow = uniformTensor(64, 64, 0.45f, 0.55f, 7);
+    const Tensor wide = uniformTensor(64, 64, -10.0f, 10.0f, 8);
+    SamplingSpec spec;
+    spec.method = SamplingMethod::Exact;
+    const double c_narrow =
+        criticalityScore(samplePartition(narrow.view(), spec, 1));
+    const double c_wide =
+        criticalityScore(samplePartition(wide.view(), spec, 1));
+    EXPECT_GT(c_wide, 10.0 * c_narrow);
+}
+
+TEST(Sampling, MethodNames)
+{
+    EXPECT_EQ(samplingMethodFromName("striding"), SamplingMethod::Striding);
+    EXPECT_EQ(samplingMethodFromName("uniform"), SamplingMethod::Uniform);
+    EXPECT_EQ(samplingMethodFromName("reduction"),
+              SamplingMethod::Reduction);
+    EXPECT_EQ(samplingMethodName(SamplingMethod::Striding), "striding");
+}
+
+} // namespace
+} // namespace shmt::core

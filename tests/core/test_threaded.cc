@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/threaded_executor.hh"
+#include "devices/backend.hh"
+#include "kernels/kernel_registry.hh"
+#include "kernels/workload.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::core {
+namespace {
+
+Runtime
+makeRuntime()
+{
+    auto backends = devices::makePrototypeBackends(
+        kernels::KernelRegistry::instance(), sim::defaultCalibration());
+    return Runtime(std::move(backends), sim::defaultCalibration(), {});
+}
+
+VopProgram
+singleVop(std::string opcode, const Tensor &in, Tensor &out)
+{
+    VopProgram program;
+    program.name = opcode;
+    VOp vop;
+    vop.opcode = std::move(opcode);
+    vop.inputs = {&in};
+    vop.output = &out;
+    program.ops.push_back(std::move(vop));
+    return program;
+}
+
+TEST(Threaded, ExecutesAllHlops)
+{
+    Runtime rt = makeRuntime();
+    const Tensor in = kernels::makeImage(512, 512, 1);
+    Tensor out(512, 512);
+    auto program = singleVop("sobel", in, out);
+    auto policy = makeWorkStealingPolicy();
+    const ThreadedResult r = runThreaded(rt, program, *policy);
+    size_t executed = 0;
+    for (size_t c : r.hlopsPerDevice)
+        executed += c;
+    EXPECT_EQ(executed, r.hlopsTotal);
+    EXPECT_GT(r.hlopsTotal, 1u);
+}
+
+TEST(Threaded, OutputCloseToReference)
+{
+    Runtime rt = makeRuntime();
+    const Tensor in = kernels::makeImage(512, 512, 2);
+    Tensor out(512, 512);
+    Tensor ref(512, 512);
+    auto program = singleVop("mf", in, out);
+    auto ref_program = singleVop("mf", in, ref);
+
+    auto gpu_only = makeSingleDevicePolicy(sim::DeviceKind::Gpu);
+    runThreaded(rt, ref_program, *gpu_only);
+
+    auto policy = makeWorkStealingPolicy();
+    runThreaded(rt, program, *policy);
+    EXPECT_LT(metrics::mape(ref.view(), out.view()), 10.0);
+}
+
+TEST(Threaded, GpuOnlyIsExact)
+{
+    Runtime rt = makeRuntime();
+    const Tensor in = kernels::makeImage(256, 256, 3);
+    Tensor out_threaded(256, 256);
+    Tensor out_serial(256, 256);
+    auto p1 = singleVop("laplacian", in, out_threaded);
+    auto p2 = singleVop("laplacian", in, out_serial);
+
+    auto gpu_only = makeSingleDevicePolicy(sim::DeviceKind::Gpu);
+    runThreaded(rt, p1, *gpu_only);
+    rt.runGpuBaseline(p2);
+    EXPECT_DOUBLE_EQ(
+        metrics::maxAbsError(out_serial.view(), out_threaded.view()),
+        0.0);
+}
+
+TEST(Threaded, ReductionAggregatesAcrossWorkers)
+{
+    Runtime rt = makeRuntime();
+    Tensor in(512, 512, 2.0f);
+    Tensor out(1, 1);
+    VopProgram program;
+    VOp vop;
+    vop.opcode = "reduce_sum";
+    vop.inputs = {&in};
+    vop.output = &out;
+    program.ops.push_back(std::move(vop));
+    auto gpu_only = makeSingleDevicePolicy(sim::DeviceKind::Gpu);
+    runThreaded(rt, program, *gpu_only);
+    EXPECT_NEAR(out.at(0, 0), 2.0f * 512 * 512, 1.0f);
+}
+
+TEST(Threaded, QawsConstraintsHonored)
+{
+    // With tpu-only the GPU worker must execute nothing.
+    Runtime rt = makeRuntime();
+    const Tensor in = kernels::makeImage(512, 512, 4);
+    Tensor out(512, 512);
+    auto program = singleVop("sobel", in, out);
+    auto tpu_only = makeSingleDevicePolicy(sim::DeviceKind::EdgeTpu);
+    const ThreadedResult r = runThreaded(rt, program, *tpu_only);
+    EXPECT_EQ(r.hlopsPerDevice[0], 0u);
+    EXPECT_EQ(r.hlopsPerDevice[1], r.hlopsTotal);
+}
+
+TEST(Threaded, ChainedProgramOrdering)
+{
+    Runtime rt = makeRuntime();
+    Tensor a(256, 256, 9.0f);
+    Tensor b(256, 256);
+    Tensor c(256, 256);
+    VopProgram program;
+    VOp v1;
+    v1.opcode = "sqrt";
+    v1.inputs = {&a};
+    v1.output = &b;
+    VOp v2;
+    v2.opcode = "axpb";
+    v2.inputs = {&b};
+    v2.output = &c;
+    v2.scalars = {2.0f, -1.0f};
+    program.ops.push_back(std::move(v1));
+    program.ops.push_back(std::move(v2));
+    auto gpu_only = makeSingleDevicePolicy(sim::DeviceKind::Gpu);
+    runThreaded(rt, program, *gpu_only);
+    EXPECT_NEAR(c.at(128, 128), 5.0f, 1e-4);  // 3*2-1
+}
+
+} // namespace
+} // namespace shmt::core

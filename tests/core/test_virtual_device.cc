@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/virtual_device.hh"
+#include "kernels/workload.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::core {
+namespace {
+
+VOp
+sobelVop(const Tensor &in, Tensor &out)
+{
+    VOp vop;
+    vop.opcode = "sobel";
+    vop.inputs = {&in};
+    vop.output = &out;
+    return vop;
+}
+
+TEST(VirtualDevice, SubmitQueuesWithoutExecuting)
+{
+    VirtualDevice dev;
+    const Tensor in = kernels::makeImage(256, 256, 1);
+    Tensor out(256, 256, -1.0f);
+    const CommandTicket t = dev.submit(sobelVop(in, out));
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(dev.pending(), 1u);
+    EXPECT_FLOAT_EQ(out.at(0, 0), -1.0f);  // not yet executed
+}
+
+TEST(VirtualDevice, FlushExecutesInOrder)
+{
+    VirtualDevice dev;
+    Tensor a(256, 256, 16.0f);
+    Tensor b(256, 256);
+    Tensor c(256, 256);
+    VOp v1;
+    v1.opcode = "sqrt";
+    v1.inputs = {&a};
+    v1.output = &b;
+    VOp v2;
+    v2.opcode = "sqrt";
+    v2.inputs = {&b};
+    v2.output = &c;
+    dev.submit(std::move(v1));
+    dev.submit(std::move(v2));
+    dev.flush();
+    EXPECT_EQ(dev.pending(), 0u);
+    EXPECT_NEAR(c.at(128, 128), 2.0f, 1e-3f);  // sqrt(sqrt(16))
+}
+
+TEST(VirtualDevice, WaitReturnsMatchingRecord)
+{
+    VirtualDevice dev;
+    const Tensor in = kernels::makeImage(256, 256, 2);
+    Tensor out1(256, 256), out2(256, 256);
+    const CommandTicket t1 = dev.submit(sobelVop(in, out1));
+    const CommandTicket t2 = dev.submit(sobelVop(in, out2));
+    const CompletionRecord &r2 = dev.wait(t2);
+    EXPECT_EQ(r2.ticket, t2);
+    EXPECT_EQ(r2.opcode, "sobel");
+    EXPECT_GT(r2.completedAtSec, r2.submittedAtSec);
+    const CompletionRecord &r1 = dev.wait(t1);
+    EXPECT_LT(r1.completedAtSec, r2.completedAtSec);
+}
+
+TEST(VirtualDevice, PollCompletionDrainsFifo)
+{
+    VirtualDevice dev;
+    const Tensor in = kernels::makeImage(256, 256, 3);
+    Tensor out1(256, 256), out2(256, 256);
+    const CommandTicket t1 = dev.submit(sobelVop(in, out1));
+    const CommandTicket t2 = dev.submit(sobelVop(in, out2));
+    dev.flush();
+    auto first = dev.pollCompletion();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->ticket, t1);
+    auto second = dev.pollCompletion();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->ticket, t2);
+    EXPECT_FALSE(dev.pollCompletion().has_value());
+}
+
+TEST(VirtualDevice, VirtualClockAdvances)
+{
+    VirtualDevice dev;
+    const Tensor in = kernels::makeImage(512, 512, 4);
+    Tensor out(512, 512);
+    EXPECT_DOUBLE_EQ(dev.nowSec(), 0.0);
+    dev.submit(sobelVop(in, out));
+    dev.flush();
+    EXPECT_GT(dev.nowSec(), 0.0);
+}
+
+TEST(VirtualDevice, PolicySelectionAffectsResults)
+{
+    const Tensor in = kernels::makeImage(512, 512, 5);
+    Tensor out_a(512, 512), out_b(512, 512);
+
+    VirtualDevice exact("gpu-only");
+    const auto &ra = exact.wait(exact.submit(sobelVop(in, out_a)));
+    EXPECT_EQ(ra.result.devices[1].hlops, 0u);  // nothing on the TPU
+
+    VirtualDevice shmt("work-stealing");
+    const auto &rb = shmt.wait(shmt.submit(sobelVop(in, out_b)));
+    EXPECT_GT(rb.result.devices[1].hlops, 0u);
+    // The exact run is the reference for the approximate one.
+    EXPECT_LT(metrics::mape(out_a.view(), out_b.view()), 20.0);
+}
+
+TEST(VirtualDeviceDeath, UnknownTicketIsFatal)
+{
+    VirtualDevice dev;
+    EXPECT_EXIT(dev.wait(12345), ::testing::ExitedWithCode(1),
+                "unknown command ticket");
+}
+
+} // namespace
+} // namespace shmt::core

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "devices/backend.hh"
+#include "kernels/kernel_registry.hh"
+#include "kernels/workload.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::devices {
+namespace {
+
+using kernels::KernelArgs;
+using kernels::KernelRegistry;
+
+const auto &
+registry()
+{
+    return KernelRegistry::instance();
+}
+
+TEST(Backends, PrototypeSetIsGpuPlusTpu)
+{
+    auto backends = makePrototypeBackends(registry(),
+                                          sim::defaultCalibration());
+    ASSERT_EQ(backends.size(), 2u);
+    EXPECT_EQ(backends[0]->kind(), sim::DeviceKind::Gpu);
+    EXPECT_EQ(backends[1]->kind(), sim::DeviceKind::EdgeTpu);
+}
+
+TEST(Backends, OptionalCpuAndDsp)
+{
+    auto backends = makePrototypeBackends(
+        registry(), sim::defaultCalibration(), true, true);
+    ASSERT_EQ(backends.size(), 4u);
+    EXPECT_EQ(backends[2]->kind(), sim::DeviceKind::Cpu);
+    EXPECT_EQ(backends[3]->kind(), sim::DeviceKind::Dsp);
+}
+
+TEST(Backends, NativeDtypes)
+{
+    auto gpu = makeGpuBackend(registry());
+    auto tpu = makeTpuBackend(registry(), sim::defaultCalibration());
+    auto cpu = makeCpuBackend(registry());
+    auto dsp = makeDspBackend(sim::defaultCalibration());
+    EXPECT_EQ(gpu->nativeDtype(), DType::Float32);
+    EXPECT_EQ(tpu->nativeDtype(), DType::Int8);
+    EXPECT_EQ(cpu->nativeDtype(), DType::Float32);
+    EXPECT_EQ(dsp->nativeDtype(), DType::Float16);
+}
+
+TEST(Backends, StagingSizes)
+{
+    auto gpu = makeGpuBackend(registry());
+    auto tpu = makeTpuBackend(registry(), sim::defaultCalibration());
+    auto cpu = makeCpuBackend(registry());
+    auto dsp = makeDspBackend(sim::defaultCalibration());
+    EXPECT_EQ(gpu->stagingBytesPerElement(), 4u);
+    EXPECT_EQ(tpu->stagingBytesPerElement(), 1u);
+    EXPECT_EQ(cpu->stagingBytesPerElement(), 0u);
+    EXPECT_EQ(dsp->stagingBytesPerElement(), 2u);
+}
+
+TEST(Backends, GpuExecutesExactly)
+{
+    auto gpu = makeGpuBackend(registry());
+    const Tensor in = kernels::makeImage(64, 64, 1);
+    const auto &info = registry().get("sobel");
+    Tensor a(64, 64), b(64, 64);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    gpu->execute(info, args, Rect{0, 0, 64, 64}, a.view(), 1);
+    info.func(args, Rect{0, 0, 64, 64}, b.view());
+    EXPECT_DOUBLE_EQ(metrics::maxAbsError(a.view(), b.view()), 0.0);
+}
+
+TEST(Backends, GpuSupportsEverything)
+{
+    auto gpu = makeGpuBackend(registry());
+    for (const auto &op : registry().opcodes())
+        EXPECT_TRUE(gpu->supports(registry().get(op))) << op;
+}
+
+TEST(Backends, DspSupportsOnlyImageTileOps)
+{
+    auto dsp = makeDspBackend(sim::defaultCalibration());
+    EXPECT_TRUE(dsp->supports(registry().get("sobel")));
+    EXPECT_TRUE(dsp->supports(registry().get("laplacian")));
+    EXPECT_TRUE(dsp->supports(registry().get("mf")));
+    EXPECT_TRUE(dsp->supports(registry().get("conv")));
+    EXPECT_TRUE(dsp->supports(registry().get("srad")));
+    // Vector ops, reductions, and spectral ops without a DSP ratio:
+    EXPECT_FALSE(dsp->supports(registry().get("add")));
+    EXPECT_FALSE(dsp->supports(registry().get("reduce_hist256")));
+    EXPECT_FALSE(dsp->supports(registry().get("fft")));
+    EXPECT_FALSE(dsp->supports(registry().get("blackscholes")));
+    EXPECT_FALSE(dsp->supports(registry().get("gemm")));
+}
+
+TEST(Backends, DspFp16CloseToExact)
+{
+    auto dsp = makeDspBackend(sim::defaultCalibration());
+    const Tensor in = kernels::makeImage(64, 64, 2);
+    const auto &info = registry().get("mf");
+    Tensor approx(64, 64), exact(64, 64);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    dsp->execute(info, args, Rect{0, 0, 64, 64}, approx.view(), 1);
+    info.func(args, Rect{0, 0, 64, 64}, exact.view());
+    // FP16 on [0,255] data: relative error ~2^-11, far tighter than
+    // INT8 but not exact.
+    const double err = metrics::maxAbsError(exact.view(), approx.view());
+    EXPECT_GT(err, 0.0);
+    EXPECT_LT(err, 0.5);
+}
+
+TEST(Backends, DspMoreAccurateThanTpu)
+{
+    auto dsp = makeDspBackend(sim::defaultCalibration());
+    auto tpu = makeTpuBackend(registry(), sim::defaultCalibration());
+    const Tensor in = kernels::makeImage(128, 128, 3);
+    const auto &info = registry().get("sobel");
+    Tensor exact(128, 128), d(128, 128), t(128, 128);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    info.func(args, Rect{0, 0, 128, 128}, exact.view());
+    dsp->execute(info, args, Rect{0, 0, 128, 128}, d.view(), 1);
+    tpu->execute(info, args, Rect{0, 0, 128, 128}, t.view(), 1);
+    EXPECT_LT(metrics::rmse(exact.view(), d.view()),
+              metrics::rmse(exact.view(), t.view()));
+}
+
+TEST(Backends, AccuracyRankOrdering)
+{
+    // QAWS relies on the dtype-derived accuracy ranking:
+    // FP32 > FP16 > INT8.
+    EXPECT_GT(dtypeLevels(DType::Float32), dtypeLevels(DType::Float16));
+    EXPECT_GT(dtypeLevels(DType::Float16), dtypeLevels(DType::Int8));
+}
+
+TEST(BackendsDeath, DspRejectsUnsupportedOpcode)
+{
+    auto dsp = makeDspBackend(sim::defaultCalibration());
+    Tensor in(8, 8, 1.0f), out(8, 8);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    EXPECT_DEATH(dsp->execute(registry().get("add"), args,
+                              Rect{0, 0, 8, 8}, out.view(), 1),
+                 "DSP cannot execute");
+}
+
+} // namespace
+} // namespace shmt::devices

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+
+namespace shmt::apps {
+namespace {
+
+TEST(Benchmarks, AllTenInstantiate)
+{
+    for (const auto &name : benchmarkNames()) {
+        auto bench = makeBenchmark(name, 512, 512);
+        EXPECT_EQ(bench->name(), name);
+        EXPECT_FALSE(bench->program().ops.empty()) << name;
+        EXPECT_GT(bench->output().size(), 0u) << name;
+    }
+}
+
+TEST(Benchmarks, BlackscholesIsAVopChain)
+{
+    auto bench = makeBenchmark("blackscholes", 256, 256);
+    EXPECT_GE(bench->program().ops.size(), 8u);
+    double weight = 0.0;
+    for (const auto &op : bench->program().ops) {
+        EXPECT_EQ(op.costKeyOverride, "blackscholes");
+        weight += op.weight;
+    }
+    EXPECT_NEAR(weight, 1.0, 1e-9);
+}
+
+TEST(Benchmarks, BlackscholesChainMatchesClosedForm)
+{
+    auto bench = makeBenchmark("blackscholes", 256, 256);
+    auto rt = makePrototypeRuntime();
+    rt.runGpuBaseline(bench->program());
+    // Call prices are nonnegative and bounded by spot (~<= 36).
+    auto [lo, hi] = bench->output().view().minmax();
+    EXPECT_GE(lo, -1e-3f);
+    EXPECT_LT(hi, 40.0f);
+    EXPECT_GT(hi, 0.5f);  // some options are in the money
+}
+
+TEST(Benchmarks, HotspotChainsFourSteps)
+{
+    auto bench = makeBenchmark("hotspot", 256, 256);
+    EXPECT_EQ(bench->program().ops.size(), 4u);
+    auto rt = makePrototypeRuntime();
+    rt.runGpuBaseline(bench->program());
+    auto [lo, hi] = bench->output().view().minmax();
+    // Temperatures stay physical.
+    EXPECT_GT(lo, 250.0f);
+    EXPECT_LT(hi, 400.0f);
+}
+
+TEST(Benchmarks, ImageLikeFlagMatchesPaperFigure8Set)
+{
+    for (const auto &name : benchmarkNames()) {
+        auto bench = makeBenchmark(name, 256, 256);
+        const bool expected = name == "dct8x8" || name == "dwt" ||
+                              name == "laplacian" || name == "mf" ||
+                              name == "sobel" || name == "srad";
+        EXPECT_EQ(bench->imageLike(), expected) << name;
+    }
+}
+
+TEST(Benchmarks, EachRunsUnderQawsTs)
+{
+    auto rt = makePrototypeRuntime();
+    for (const auto &name : benchmarkNames()) {
+        auto bench = makeBenchmark(name, 512, 512);
+        const EvalResult r = evaluatePolicy(rt, *bench, "qaws-ts");
+        EXPECT_GT(r.speedup, 0.1) << name;
+        EXPECT_LT(r.speedup, 4.5) << name;
+        EXPECT_GE(r.tpuShare, 0.0) << name;
+        EXPECT_LT(r.mapePct, 60.0) << name;
+    }
+}
+
+TEST(Benchmarks, HistogramBinsSumToElementCount)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("histogram", 512, 512);
+    auto policy = core::makePolicy("work-stealing");
+    rt.run(bench->program(), *policy);
+    double total = 0.0;
+    for (size_t i = 0; i < 256; ++i)
+        total += bench->output().at(0, i);
+    EXPECT_NEAR(total, 512.0 * 512.0, 1e-3);
+}
+
+TEST(BenchmarksDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeBenchmark("nope", 64, 64),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+} // namespace
+} // namespace shmt::apps

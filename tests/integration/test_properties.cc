@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+
+namespace shmt::apps {
+namespace {
+
+/**
+ * Property sweep: every (benchmark, policy) combination must satisfy
+ * the runtime's core invariants. This is the paper's whole evaluation
+ * matrix at reduced scale.
+ */
+class PolicyMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(PolicyMatrix, InvariantsHold)
+{
+    const auto &[bench_name, policy_name] = GetParam();
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark(bench_name, 512, 512);
+    const EvalResult r = evaluatePolicy(rt, *bench, policy_name);
+
+    // 1. Simulated time flows forward and is finite.
+    EXPECT_GT(r.shmtSec, 0.0);
+    EXPECT_TRUE(std::isfinite(r.shmtSec));
+
+    // 2. All HLOPs executed exactly once.
+    size_t executed = 0;
+    for (const auto &d : r.run.devices)
+        executed += d.hlops;
+    EXPECT_EQ(executed, r.run.hlopsTotal);
+
+    // 3. Busy time per device never exceeds the makespan.
+    for (const auto &d : r.run.devices)
+        EXPECT_LE(d.busySec, r.shmtSec * (1.0 + 1e-9)) << d.name;
+
+    // 4. Energy decomposes consistently.
+    EXPECT_NEAR(r.run.energy.totalEnergyJ,
+                r.run.energy.idleEnergyJ + r.run.energy.activeEnergyJ,
+                1e-9);
+    EXPECT_NEAR(r.run.energy.edp,
+                r.run.energy.totalEnergyJ * r.shmtSec, 1e-9);
+
+    // 5. Result quality is bounded (no runaway divergence).
+    EXPECT_LT(r.mapePct, 75.0);
+    EXPECT_GE(r.ssim, 0.5);
+
+    // 6. Communication overhead bounded (paper Table 3 territory).
+    EXPECT_LT(r.run.commOverhead(), 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllPolicies, PolicyMatrix,
+    ::testing::Combine(
+        ::testing::Values("blackscholes", "dct8x8", "dwt", "fft",
+                          "histogram", "hotspot", "laplacian", "mf",
+                          "sobel", "srad"),
+        ::testing::Values("even", "work-stealing", "qaws-ts", "qaws-lu",
+                          "oracle")),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+/** Determinism across repeated evaluations, swept over policies. */
+class DeterminismSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DeterminismSweep, RepeatedRunsBitIdentical)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("sobel", 512, 512);
+    const EvalResult a = evaluatePolicy(rt, *bench, GetParam());
+    const EvalResult b = evaluatePolicy(rt, *bench, GetParam());
+    EXPECT_DOUBLE_EQ(a.shmtSec, b.shmtSec);
+    EXPECT_DOUBLE_EQ(a.mapePct, b.mapePct);
+    EXPECT_DOUBLE_EQ(a.ssim, b.ssim);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, DeterminismSweep,
+                         ::testing::Values("even", "work-stealing",
+                                           "qaws-ts", "qaws-tu",
+                                           "qaws-tr", "qaws-ls",
+                                           "qaws-lu", "qaws-lr", "ira",
+                                           "oracle", "tpu-only"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+/** Sampling-rate sweep (paper Fig. 9): quality improves, speedup
+ *  stays competitive. */
+class SamplingRateSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SamplingRateSweep, RunsAndStaysBounded)
+{
+    core::QawsParams params;
+    params.samplingSpec.rate = std::ldexp(1.0, -GetParam());
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("mf", 1024, 1024);
+    const EvalResult r =
+        evaluatePolicy(rt, *bench, "qaws-ts", params);
+    EXPECT_GT(r.speedup, 0.5);
+    EXPECT_LT(r.mapePct, 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplingRateSweep,
+                         ::testing::Values(21, 19, 17, 15, 14));
+
+/** Problem-size scaling (paper Fig. 12): speedup grows with size. */
+TEST(Scaling, SpeedupGrowsWithProblemSize)
+{
+    auto rt = makePrototypeRuntime();
+    auto small = makeBenchmark("dct8x8", 256, 256);
+    auto large = makeBenchmark("dct8x8", 2048, 2048);
+    const double s_small =
+        evaluatePolicy(rt, *small, "qaws-ts", {}, false).speedup;
+    const double s_large =
+        evaluatePolicy(rt, *large, "qaws-ts", {}, false).speedup;
+    EXPECT_GT(s_large, s_small);
+}
+
+/** Partition-count ablation: more HLOPs -> finer stealing balance. */
+TEST(Scaling, MorePartitionsNeverWorseThanOne)
+{
+    core::RuntimeConfig coarse;
+    coarse.targetHlops = 1;
+    core::RuntimeConfig fine;
+    fine.targetHlops = 64;
+    auto rt_coarse = makePrototypeRuntime(coarse);
+    auto rt_fine = makePrototypeRuntime(fine);
+    auto bench_a = makeBenchmark("fft", 1024, 1024);
+    auto bench_b = makeBenchmark("fft", 1024, 1024);
+    const double s_coarse =
+        evaluatePolicy(rt_coarse, *bench_a, "work-stealing", {}, false)
+            .speedup;
+    const double s_fine =
+        evaluatePolicy(rt_fine, *bench_b, "work-stealing", {}, false)
+            .speedup;
+    EXPECT_GE(s_fine, s_coarse);
+}
+
+} // namespace
+} // namespace shmt::apps

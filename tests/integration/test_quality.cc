@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/math_utils.hh"
+
+namespace shmt::apps {
+namespace {
+
+/**
+ * The paper's central quality claims (Fig. 7/8), checked in aggregate
+ * across the image benchmarks at reduced scale:
+ *   edgeTPU-only MAPE >= work-stealing MAPE >= QAWS MAPE,
+ *   and QAWS SSIM >= work-stealing SSIM.
+ */
+TEST(Quality, QawsImprovesOnPlainWorkStealing)
+{
+    auto rt = makePrototypeRuntime();
+    std::vector<double> ws_mapes, qaws_mapes, tpu_mapes;
+    for (const char *name : {"sobel", "laplacian", "mf", "srad"}) {
+        auto bench = makeBenchmark(name, 1024, 1024);
+        tpu_mapes.push_back(
+            evaluatePolicy(rt, *bench, "tpu-only").mapePct);
+        ws_mapes.push_back(
+            evaluatePolicy(rt, *bench, "work-stealing").mapePct);
+        qaws_mapes.push_back(
+            evaluatePolicy(rt, *bench, "qaws-ts").mapePct);
+    }
+    const double tpu = shmt::mean(tpu_mapes);
+    const double ws = shmt::mean(ws_mapes);
+    const double qaws = shmt::mean(qaws_mapes);
+    EXPECT_GT(tpu, ws);
+    EXPECT_GT(ws, qaws);
+}
+
+TEST(Quality, OracleIsAtLeastAsGoodAsQaws)
+{
+    auto rt = makePrototypeRuntime();
+    double qaws_sum = 0.0, oracle_sum = 0.0;
+    for (const char *name : {"sobel", "mf"}) {
+        auto bench = makeBenchmark(name, 1024, 1024);
+        qaws_sum += evaluatePolicy(rt, *bench, "qaws-ts").mapePct;
+        oracle_sum += evaluatePolicy(rt, *bench, "oracle").mapePct;
+    }
+    EXPECT_LE(oracle_sum, qaws_sum * 1.1);
+}
+
+TEST(Quality, QawsSsimAboveThreshold)
+{
+    // Paper: all QAWS policies keep SSIM > 0.97 on image benchmarks.
+    auto rt = makePrototypeRuntime();
+    for (const char *name : {"dct8x8", "dwt", "mf", "srad"}) {
+        auto bench = makeBenchmark(name, 1024, 1024);
+        const EvalResult r = evaluatePolicy(rt, *bench, "qaws-ts");
+        EXPECT_GT(r.ssim, 0.95) << name;
+    }
+}
+
+TEST(Quality, GpuOnlyIsExactEverywhere)
+{
+    auto rt = makePrototypeRuntime();
+    for (const auto &name : benchmarkNames()) {
+        auto bench = makeBenchmark(name, 512, 512);
+        const EvalResult r = evaluatePolicy(rt, *bench, "gpu-only");
+        EXPECT_NEAR(r.mapePct, 0.0, 1e-9) << name;
+        EXPECT_NEAR(r.ssim, 1.0, 1e-9) << name;
+    }
+}
+
+TEST(Quality, AllQawsVariantsDeliverSimilarQuality)
+{
+    // Paper §5.3: the MAPE spread between the best and worst QAWS
+    // variants is marginal.
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("mf", 1024, 1024);
+    std::vector<double> mapes;
+    for (const char *policy : {"qaws-ts", "qaws-tu", "qaws-tr",
+                               "qaws-ls", "qaws-lu", "qaws-lr"})
+        mapes.push_back(evaluatePolicy(rt, *bench, policy).mapePct);
+    const double lo = *std::min_element(mapes.begin(), mapes.end());
+    const double hi = *std::max_element(mapes.begin(), mapes.end());
+    EXPECT_LT(hi - lo, 2.0);
+}
+
+TEST(Quality, EnergyDropsWithSpeedup)
+{
+    // Paper §5.5: SHMT reduces energy roughly in proportion to the
+    // latency win, despite the higher peak power.
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("fft", 1024, 1024);
+    const EvalResult r = evaluatePolicy(rt, *bench, "qaws-ts");
+    ASSERT_GT(r.speedup, 1.5);
+    EXPECT_LT(r.run.energy.totalEnergyJ,
+              r.baseline.energy.totalEnergyJ);
+    EXPECT_LT(r.run.energy.edp, r.baseline.energy.edp);
+}
+
+} // namespace
+} // namespace shmt::apps

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+
+#include "apps/harness.hh"
+#include "common/random.hh"
+#include "core/runtime.hh"
+#include "kernels/workload.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::core {
+namespace {
+
+/**
+ * Randomized VOP programs: seeded random chains of elementwise VOPs
+ * (the composition pattern Blackscholes uses) executed under every
+ * policy. These are the fuzz tests of the runtime's program plumbing:
+ * whatever the chain shape, outputs must be finite, deterministic,
+ * and — on exact hardware — equal to direct evaluation.
+ */
+class RandomProgram
+{
+  public:
+    RandomProgram(uint64_t seed, size_t rows, size_t cols)
+    {
+        Rng rng(seed);
+        // Keep values in a safe positive range so log/sqrt/divide stay
+        // well-defined through any chain.
+        tensors_.push_back(kernels::makeField(
+            rows, cols, seed, {0.5f, 2.0f, 0.3f, 64, 64}));
+
+        // Interval tracking keeps every randomly chosen op
+        // well-defined for the values flowing through the chain (no
+        // log of negatives, no exp overflow) — including headroom for
+        // the NPU paths' quantization and noise excursions.
+        double lo = 0.2, hi = 2.5;  // generator range + margin
+        const double base_lo = 0.2, base_hi = 2.5;
+
+        const size_t links = 2 + rng.uniformInt(5);
+        const Tensor *current = &tensors_.front();
+        const Tensor *base = current;
+        for (size_t i = 0; i < links; ++i) {
+            // Candidate ops valid for the current interval.
+            std::vector<std::string> ops = {"tanh", "relu", "ncdf",
+                                            "abs", "add", "max", "min"};
+            if (lo > 0.05)
+                ops.push_back("sqrt");
+            if (lo > 0.1)
+                ops.push_back("log");
+            if (hi < 3.0)
+                ops.push_back("exp");
+            if (lo >= 0.0 && hi < 20.0)
+                ops.push_back("multiply");
+
+            VOp vop;
+            vop.opcode = ops[rng.uniformInt(ops.size())];
+            if (vop.opcode == "add" || vop.opcode == "multiply" ||
+                vop.opcode == "max" || vop.opcode == "min") {
+                vop.inputs = {current, base};
+                if (vop.opcode == "add") {
+                    lo += base_lo;
+                    hi += base_hi;
+                } else if (vop.opcode == "multiply") {
+                    lo = std::min(lo * base_lo, lo * base_hi);
+                    hi = hi * base_hi;
+                } else if (vop.opcode == "max") {
+                    lo = std::max(lo, base_lo);
+                    hi = std::max(hi, base_hi);
+                } else {
+                    lo = std::min(lo, base_lo);
+                    hi = std::min(hi, base_hi);
+                }
+                const double margin = 0.1 * (hi - lo) + 0.05;
+                lo -= margin;
+                hi += margin;
+            } else {
+                vop.inputs = {current};
+                if (vop.opcode == "sqrt") {
+                    lo = std::sqrt(lo);
+                    hi = std::sqrt(hi);
+                } else if (vop.opcode == "log") {
+                    const double l = std::log(lo);
+                    hi = std::log(hi);
+                    lo = l;
+                } else if (vop.opcode == "exp") {
+                    lo = std::exp(lo);
+                    hi = std::exp(hi);
+                } else if (vop.opcode == "tanh") {
+                    lo = -1.0;
+                    hi = 1.0;
+                } else if (vop.opcode == "ncdf") {
+                    lo = 0.0;
+                    hi = 1.0;
+                } else if (vop.opcode == "relu") {
+                    lo = std::max(0.0, lo);
+                    hi = std::max(0.0, hi);
+                } else {  // abs
+                    const double m =
+                        std::max(std::fabs(lo), std::fabs(hi));
+                    lo = 0.0;
+                    hi = m;
+                }
+                // NPU noise margin.
+                const double margin = 0.1 * (hi - lo) + 0.05;
+                lo -= margin;
+                hi += margin;
+            }
+            tensors_.push_back(Tensor(rows, cols));
+            vop.output = &tensors_.back();
+            program_.ops.push_back(std::move(vop));
+            current = &tensors_.back();
+        }
+        program_.name = "random-" + std::to_string(seed);
+    }
+
+    const VopProgram &program() const { return program_; }
+    const Tensor &output() const { return tensors_.back(); }
+
+  private:
+    std::deque<Tensor> tensors_;
+    VopProgram program_;
+};
+
+class RandomPrograms : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    static Runtime
+    makeRuntime()
+    {
+        return apps::makePrototypeRuntime();
+    }
+};
+
+TEST_P(RandomPrograms, GpuOnlyMatchesDirectEvaluation)
+{
+    RandomProgram rp(GetParam(), 128, 128);
+    Runtime rt = makeRuntime();
+    auto gpu_only = makeSingleDevicePolicy(sim::DeviceKind::Gpu);
+    rt.run(rp.program(), *gpu_only);
+    const Tensor via_runtime = rp.output();
+
+    // Direct evaluation: every VOp via its kernel body.
+    RandomProgram rp2(GetParam(), 128, 128);
+    const auto &registry = kernels::KernelRegistry::instance();
+    for (const VOp &vop : rp2.program().ops) {
+        const auto &info = registry.get(vop.opcode);
+        kernels::KernelArgs args;
+        for (const Tensor *t : vop.inputs)
+            args.inputs.push_back(t->view());
+        args.scalars = vop.scalars;
+        info.func(args, Rect{0, 0, 128, 128}, vop.output->view());
+    }
+    EXPECT_DOUBLE_EQ(metrics::maxAbsError(via_runtime.view(),
+                                          rp2.output().view()),
+                     0.0);
+}
+
+TEST_P(RandomPrograms, AllPoliciesFiniteAndDeterministic)
+{
+    for (const char *policy_name :
+         {"even", "work-stealing", "qaws-ts", "qaws-lu", "static-optimal",
+          "tpu-only"}) {
+        RandomProgram a(GetParam(), 128, 128);
+        RandomProgram b(GetParam(), 128, 128);
+        Runtime rt = makeRuntime();
+        auto p1 = makePolicy(policy_name);
+        auto p2 = makePolicy(policy_name);
+        const RunResult ra = rt.run(a.program(), *p1);
+        const RunResult rb = rt.run(b.program(), *p2);
+
+        EXPECT_DOUBLE_EQ(ra.makespanSec, rb.makespanSec) << policy_name;
+        EXPECT_TRUE(std::isfinite(ra.makespanSec)) << policy_name;
+        size_t finite = 0;
+        for (size_t i = 0; i < a.output().size(); ++i)
+            finite += std::isfinite(a.output().data()[i]);
+        EXPECT_EQ(finite, a.output().size())
+            << policy_name << " produced non-finite values";
+        EXPECT_DOUBLE_EQ(
+            metrics::maxAbsError(a.output().view(), b.output().view()),
+            0.0)
+            << policy_name;
+    }
+}
+
+TEST_P(RandomPrograms, ApproximationStaysBounded)
+{
+    RandomProgram exact_rp(GetParam(), 128, 128);
+    RandomProgram shmt_rp(GetParam(), 128, 128);
+    Runtime rt = makeRuntime();
+    auto gpu_only = makeSingleDevicePolicy(sim::DeviceKind::Gpu);
+    rt.run(exact_rp.program(), *gpu_only);
+    auto qaws = makePolicy("qaws-ts");
+    rt.run(shmt_rp.program(), *qaws);
+    // Chained INT8 hops compound, but must not diverge unboundedly.
+    EXPECT_GT(metrics::psnr(exact_rp.output().view(),
+                            shmt_rp.output().view()),
+              15.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range<uint64_t>(1, 11));
+
+} // namespace
+} // namespace shmt::core

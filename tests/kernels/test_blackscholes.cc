@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/blackscholes.hh"
+#include "kernels/elementwise.hh"
+#include "kernels/kernel_registry.hh"
+#include "kernels/workload.hh"
+
+namespace shmt::kernels {
+namespace {
+
+float
+price(bool call, float s, float k, float r, float sigma, float t)
+{
+    Tensor spot(1, 1, s);
+    Tensor strike(1, 1, k);
+    Tensor out(1, 1);
+    KernelArgs args;
+    args.inputs = {spot.view(), strike.view()};
+    args.scalars = {r, sigma, t};
+    if (call)
+        blackscholesCall(args, Rect{0, 0, 1, 1}, out.view());
+    else
+        blackscholesPut(args, Rect{0, 0, 1, 1}, out.view());
+    return out.at(0, 0);
+}
+
+TEST(Blackscholes, KnownValue)
+{
+    // S=100, K=100, r=5%, sigma=20%, T=1: canonical call ~ 10.45.
+    EXPECT_NEAR(price(true, 100, 100, 0.05f, 0.2f, 1.0f), 10.45f, 0.02f);
+}
+
+TEST(Blackscholes, PutCallParity)
+{
+    const float s = 42.0f, k = 40.0f, r = 0.03f, sigma = 0.25f, t = 0.5f;
+    const float call = price(true, s, k, r, sigma, t);
+    const float put = price(false, s, k, r, sigma, t);
+    // C - P = S - K e^{-rT}.
+    EXPECT_NEAR(call - put, s - k * std::exp(-r * t), 1e-3f);
+}
+
+TEST(Blackscholes, DeepInTheMoneyCall)
+{
+    // S >> K: call ~ S - K e^{-rT}.
+    const float c = price(true, 200.0f, 50.0f, 0.02f, 0.3f, 1.0f);
+    EXPECT_NEAR(c, 200.0f - 50.0f * std::exp(-0.02f), 0.05f);
+}
+
+TEST(Blackscholes, WorthlessFarOutOfTheMoney)
+{
+    EXPECT_NEAR(price(true, 10.0f, 100.0f, 0.02f, 0.2f, 0.5f), 0.0f,
+                1e-4f);
+}
+
+TEST(Blackscholes, CallPriceMonotoneInSpot)
+{
+    float prev = 0.0f;
+    for (float s = 50.0f; s <= 150.0f; s += 10.0f) {
+        const float c = price(true, s, 100.0f, 0.02f, 0.3f, 1.0f);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(Blackscholes, CallPriceIncreasesWithVolatility)
+{
+    const float lo = price(true, 100, 100, 0.02f, 0.1f, 1.0f);
+    const float hi = price(true, 100, 100, 0.02f, 0.5f, 1.0f);
+    EXPECT_GT(hi, lo);
+}
+
+TEST(Blackscholes, RegionExecutionOnGrid)
+{
+    const Tensor spot = makeSpotPrices(32, 32, 1);
+    const Tensor strike = makeStrikes(spot, 1);
+    Tensor out(32, 32);
+    KernelArgs args;
+    args.inputs = {spot.view(), strike.view()};
+    args.scalars = {0.02f, 0.3f, 1.0f};
+    blackscholesCall(args, Rect{0, 0, 32, 32}, out.view());
+    for (size_t i = 0; i < out.size(); ++i) {
+        EXPECT_GE(out.data()[i], 0.0f);
+        EXPECT_LE(out.data()[i], spot.data()[i]);  // call <= S
+    }
+}
+
+TEST(Blackscholes, ChainDecompositionMatchesFusedKernel)
+{
+    // The benchmark suite decomposes Blackscholes into primitive
+    // VOPs; on exact FP32 the chain must equal the fused kernel.
+    const float s = 25.0f, k = 24.0f, r = 0.02f, sigma = 0.3f, t = 1.0f;
+    const float vol_sqrt_t = sigma * std::sqrt(t);
+    const float drift = (r + 0.5f * sigma * sigma) * t;
+    const float d1 = (std::log(s / k) + drift) / vol_sqrt_t;
+    const float d2 = d1 - vol_sqrt_t;
+    const float chain = s * normalCdf(d1) -
+                        k * std::exp(-r * t) * normalCdf(d2);
+    EXPECT_NEAR(price(true, s, k, r, sigma, t), chain, 1e-5f);
+}
+
+} // namespace
+} // namespace shmt::kernels

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "kernels/elementwise.hh"
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+namespace {
+
+Tensor
+randomTensor(size_t rows, size_t cols, float lo, float hi, uint64_t seed)
+{
+    Tensor t(rows, cols);
+    Rng rng(seed);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = rng.uniform(lo, hi);
+    return t;
+}
+
+/** Run an opcode over the full tensor through the registry. */
+Tensor
+runOp(std::string_view opcode, std::vector<const Tensor *> inputs,
+      std::vector<float> scalars = {})
+{
+    const auto &info = KernelRegistry::instance().get(opcode);
+    Tensor out(inputs[0]->rows(), inputs[0]->cols());
+    KernelArgs args;
+    for (const Tensor *t : inputs)
+        args.inputs.push_back(t->view());
+    args.scalars = std::move(scalars);
+    info.func(args, Rect{0, 0, out.rows(), out.cols()}, out.view());
+    return out;
+}
+
+TEST(Elementwise, UnaryOpsMatchStdlib)
+{
+    const Tensor in = randomTensor(16, 16, 0.1f, 4.0f, 1);
+    const Tensor lg = runOp("log", {&in});
+    const Tensor ex = runOp("exp", {&in});
+    const Tensor sq = runOp("sqrt", {&in});
+    const Tensor rs = runOp("rsqrt", {&in});
+    const Tensor th = runOp("tanh", {&in});
+    for (size_t i = 0; i < in.size(); ++i) {
+        const float v = in.data()[i];
+        EXPECT_FLOAT_EQ(lg.data()[i], std::log(v));
+        EXPECT_FLOAT_EQ(ex.data()[i], std::exp(v));
+        EXPECT_FLOAT_EQ(sq.data()[i], std::sqrt(v));
+        EXPECT_FLOAT_EQ(rs.data()[i], 1.0f / std::sqrt(v));
+        EXPECT_FLOAT_EQ(th.data()[i], std::tanh(v));
+    }
+}
+
+TEST(Elementwise, ReluClampsNegatives)
+{
+    const Tensor in = randomTensor(8, 8, -2.0f, 2.0f, 2);
+    const Tensor out = runOp("relu", {&in});
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out.data()[i], std::max(0.0f, in.data()[i]));
+}
+
+TEST(Elementwise, AbsIsNonNegative)
+{
+    const Tensor in = randomTensor(8, 8, -5.0f, 5.0f, 3);
+    const Tensor out = runOp("abs", {&in});
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out.data()[i], std::fabs(in.data()[i]));
+}
+
+TEST(Elementwise, AxpbAffine)
+{
+    const Tensor in = randomTensor(8, 8, -1.0f, 1.0f, 4);
+    const Tensor out = runOp("axpb", {&in}, {2.5f, -0.5f});
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out.data()[i], 2.5f * in.data()[i] - 0.5f);
+}
+
+TEST(Elementwise, BinaryOps)
+{
+    const Tensor a = randomTensor(8, 8, 1.0f, 3.0f, 5);
+    const Tensor b = randomTensor(8, 8, 1.0f, 3.0f, 6);
+    const Tensor add = runOp("add", {&a, &b});
+    const Tensor sub = runOp("sub", {&a, &b});
+    const Tensor mul = runOp("multiply", {&a, &b});
+    const Tensor div = runOp("divide", {&a, &b});
+    const Tensor mx = runOp("max", {&a, &b});
+    const Tensor mn = runOp("min", {&a, &b});
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_FLOAT_EQ(add.data()[i], a.data()[i] + b.data()[i]);
+        EXPECT_FLOAT_EQ(sub.data()[i], a.data()[i] - b.data()[i]);
+        EXPECT_FLOAT_EQ(mul.data()[i], a.data()[i] * b.data()[i]);
+        EXPECT_FLOAT_EQ(div.data()[i], a.data()[i] / b.data()[i]);
+        EXPECT_FLOAT_EQ(mx.data()[i],
+                        std::max(a.data()[i], b.data()[i]));
+        EXPECT_FLOAT_EQ(mn.data()[i],
+                        std::min(a.data()[i], b.data()[i]));
+    }
+}
+
+TEST(Elementwise, NormalCdfProperties)
+{
+    EXPECT_NEAR(normalCdf(0.0f), 0.5f, 1e-6f);
+    EXPECT_NEAR(normalCdf(1.96f), 0.975f, 1e-3f);
+    EXPECT_NEAR(normalCdf(-1.96f), 0.025f, 1e-3f);
+    // Symmetry.
+    for (float x : {0.3f, 1.1f, 2.7f})
+        EXPECT_NEAR(normalCdf(x) + normalCdf(-x), 1.0f, 1e-6f);
+    // Monotone.
+    EXPECT_LT(normalCdf(0.5f), normalCdf(0.6f));
+}
+
+TEST(Elementwise, RegionRestrictsWrites)
+{
+    const Tensor in = randomTensor(8, 8, 0.0f, 1.0f, 7);
+    const auto &info = KernelRegistry::instance().get("relu");
+    Tensor out(4, 4, -99.0f);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    info.func(args, Rect{2, 2, 4, 4}, out.view());
+    // Output equals the region values, not the whole tensor.
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(out.at(r, c),
+                            std::max(0.0f, in.at(r + 2, c + 2)));
+}
+
+TEST(Elementwise, RegisteredWithVectorModel)
+{
+    for (const char *op : {"add", "log", "tanh", "axpb", "ncdf"}) {
+        const auto &info = KernelRegistry::instance().get(op);
+        EXPECT_EQ(info.model, ParallelModel::Vector) << op;
+        EXPECT_EQ(info.halo, 0u) << op;
+    }
+}
+
+} // namespace
+} // namespace shmt::kernels

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "kernels/gemm.hh"
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::kernels {
+namespace {
+
+Tensor
+randomTensor(size_t rows, size_t cols, uint64_t seed)
+{
+    Tensor t(rows, cols);
+    Rng rng(seed);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = rng.uniform(-1.0f, 1.0f);
+    return t;
+}
+
+TEST(Gemm, IdentityTimesMatrix)
+{
+    const size_t n = 16;
+    Tensor eye(n, n, 0.0f);
+    for (size_t i = 0; i < n; ++i)
+        eye.at(i, i) = 1.0f;
+    const Tensor b = randomTensor(n, n, 1);
+    Tensor c(n, n);
+    KernelArgs args;
+    args.inputs = {eye.view(), b.view()};
+    gemm(args, Rect{0, 0, n, n}, c.view());
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_FLOAT_EQ(c.data()[i], b.data()[i]);
+}
+
+TEST(Gemm, MatchesTripleLoop)
+{
+    const Tensor a = randomTensor(12, 20, 2);
+    const Tensor b = randomTensor(20, 8, 3);
+    Tensor c(12, 8);
+    KernelArgs args;
+    args.inputs = {a.view(), b.view()};
+    gemm(args, Rect{0, 0, 12, 8}, c.view());
+    for (size_t r = 0; r < 12; ++r) {
+        for (size_t col = 0; col < 8; ++col) {
+            float acc = 0.0f;
+            for (size_t k = 0; k < 20; ++k)
+                acc += a.at(r, k) * b.at(k, col);
+            EXPECT_NEAR(c.at(r, col), acc, 1e-4f);
+        }
+    }
+}
+
+TEST(Gemm, TiledRegionsComposeToFullProduct)
+{
+    const Tensor a = randomTensor(32, 16, 4);
+    const Tensor b = randomTensor(16, 32, 5);
+    Tensor whole(32, 32);
+    KernelArgs args;
+    args.inputs = {a.view(), b.view()};
+    gemm(args, Rect{0, 0, 32, 32}, whole.view());
+
+    Tensor tile(16, 16);
+    gemm(args, Rect{16, 16, 16, 16}, tile.view());
+    for (size_t r = 0; r < 16; ++r)
+        for (size_t c = 0; c < 16; ++c)
+            ASSERT_FLOAT_EQ(tile.at(r, c), whole.at(16 + r, 16 + c));
+}
+
+TEST(Gemm, RegistryUsesWholeInputs)
+{
+    const auto &info = KernelRegistry::instance().get("gemm");
+    EXPECT_TRUE(info.wholeInputs);
+    EXPECT_EQ(info.model, ParallelModel::Tile);
+}
+
+TEST(GemmDeath, InnerDimensionMismatchPanics)
+{
+    Tensor a(4, 5), b(6, 4), c(4, 4);
+    KernelArgs args;
+    args.inputs = {a.view(), b.view()};
+    EXPECT_DEATH(gemm(args, Rect{0, 0, 4, 4}, c.view()),
+                 "inner dimensions");
+}
+
+} // namespace
+} // namespace shmt::kernels

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/math_utils.hh"
+#include "kernels/kernel_registry.hh"
+#include "kernels/workload.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::kernels {
+namespace {
+
+/** Scalars each opcode needs for a generic run. */
+std::vector<float>
+scalarsFor(std::string_view opcode)
+{
+    if (opcode == "conv")
+        return {0.f, 0.1f, 0.f, 0.1f, 0.6f, 0.1f, 0.f, 0.1f, 0.f};
+    if (opcode == "srad")
+        return {0.05f, 0.5f};
+    if (opcode == "stencil")
+        return {0.6f, 0.1f, 0.1f, 0.1f, 0.1f};
+    if (opcode == "parabolic_PDE")
+        return {0.25f};
+    if (opcode == "axpb")
+        return {1.5f, -0.25f};
+    if (opcode == "hotspot")
+        return {0.002f, 0.5f, 0.5f, 0.02f, 293.0f};
+    return {};
+}
+
+/** Inputs each opcode needs (all share the output space). */
+std::vector<Tensor>
+inputsFor(std::string_view opcode, size_t rows, size_t cols,
+          uint64_t seed)
+{
+    std::vector<Tensor> inputs;
+    if (opcode == "hotspot") {
+        inputs.push_back(makeTemperature(rows, cols, seed));
+        inputs.push_back(makePower(rows, cols, seed));
+    } else if (opcode == "srad") {
+        inputs.push_back(makeSpeckleImage(rows, cols, seed));
+    } else if (opcode == "add" || opcode == "multiply" ||
+               opcode == "sub" || opcode == "divide") {
+        inputs.push_back(makeField(rows, cols, seed,
+                                   {1.0f, 3.0f, 0.4f, 32, 32}));
+        inputs.push_back(makeField(rows, cols, seed ^ 77,
+                                   {1.0f, 3.0f, 0.4f, 32, 32}));
+    } else {
+        inputs.push_back(makeImage(rows, cols, seed));
+    }
+    return inputs;
+}
+
+/**
+ * THE core correctness property of SHMT's execution model: running a
+ * kernel region-by-region over any block-aligned partitioning must be
+ * bit-identical to running it over the whole dataset — otherwise
+ * partitioned co-execution would change FP32 semantics.
+ */
+class PartitionedEqualsWhole
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, size_t, size_t>>
+{
+};
+
+TEST_P(PartitionedEqualsWhole, Holds)
+{
+    const auto &[opcode, rows, cols] = GetParam();
+    const auto &info = KernelRegistry::instance().get(opcode);
+    const auto inputs = inputsFor(opcode, rows, cols, 42);
+
+    KernelArgs args;
+    for (const auto &t : inputs)
+        args.inputs.push_back(t.view());
+    args.scalars = scalarsFor(opcode);
+
+    Tensor whole(rows, cols);
+    info.func(args, Rect{0, 0, rows, cols}, whole.view());
+
+    // A 2x2 block-aligned split (block transforms require alignment).
+    const size_t align = std::max<size_t>(1, info.blockAlign);
+    const size_t rcut =
+        clamp<size_t>(roundUp(rows / 2, align), align, rows);
+    const size_t ccut =
+        clamp<size_t>(roundUp(cols / 2, align), align, cols);
+
+    Tensor stitched(rows, cols, -12345.0f);
+    for (const Rect &region :
+         {Rect{0, 0, rcut, ccut}, Rect{0, ccut, rcut, cols - ccut},
+          Rect{rcut, 0, rows - rcut, ccut},
+          Rect{rcut, ccut, rows - rcut, cols - ccut}}) {
+        if (region.rows == 0 || region.cols == 0)
+            continue;
+        Tensor part(region.rows, region.cols);
+        info.func(args, region, part.view());
+        memcpy2d(stitched.slice(region.row0, region.col0, region.rows,
+                                region.cols),
+                 part.view());
+    }
+    EXPECT_DOUBLE_EQ(
+        metrics::maxAbsError(whole.view(), stitched.view()), 0.0)
+        << opcode << " " << rows << "x" << cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MapKernels, PartitionedEqualsWhole,
+    ::testing::Combine(
+        ::testing::Values("sobel", "laplacian", "mf", "conv", "srad",
+                          "stencil", "parabolic_PDE", "hotspot", "add",
+                          "multiply", "relu", "tanh", "axpb", "dct8x8"),
+        ::testing::Values<size_t>(64, 96, 160),
+        ::testing::Values<size_t>(64, 128)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) + "_" +
+               std::to_string(std::get<1>(info.param)) + "x" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+// Block transforms need block-aligned datasets for the aligned-cut
+// property; exercise them separately at their natural sizes.
+INSTANTIATE_TEST_SUITE_P(
+    BlockTransforms, PartitionedEqualsWhole,
+    ::testing::Combine(::testing::Values("dwt", "fft"),
+                       ::testing::Values<size_t>(512),
+                       ::testing::Values<size_t>(512, 768)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) + "_" +
+               std::to_string(std::get<1>(info.param)) + "x" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+/** Reductions: partitioned partial results must combine to the whole. */
+class ReductionPartitioning
+    : public ::testing::TestWithParam<std::tuple<const char *, size_t>>
+{
+};
+
+TEST_P(ReductionPartitioning, PartialsCombine)
+{
+    const auto &[opcode, rows] = GetParam();
+    const size_t cols = 96;
+    const auto &info = KernelRegistry::instance().get(opcode);
+    const Tensor in = makeField(rows, cols, 7);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    if (info.reduceCols == 256) {
+        auto [lo, hi] = in.view().minmax();
+        args.scalars = {lo, std::nextafter(hi, hi + 1.0f)};
+    }
+
+    Tensor whole(info.reduceRows, info.reduceCols);
+    info.func(args, Rect{0, 0, rows, cols}, whole.view());
+
+    Tensor combined(info.reduceRows, info.reduceCols,
+                    info.reduce == ReduceKind::Sum
+                        ? 0.0f
+                        : (info.reduce == ReduceKind::Max
+                               ? -std::numeric_limits<float>::infinity()
+                               : std::numeric_limits<float>::infinity()));
+    const size_t cut = rows / 3 + 1;
+    for (const Rect &region :
+         {Rect{0, 0, cut, cols}, Rect{cut, 0, rows - cut, cols}}) {
+        Tensor part(info.reduceRows, info.reduceCols);
+        info.func(args, region, part.view());
+        for (size_t i = 0; i < part.size(); ++i) {
+            float &dst = combined.data()[i];
+            const float v = part.data()[i];
+            switch (info.reduce) {
+              case ReduceKind::Sum: dst += v; break;
+              case ReduceKind::Max: dst = std::max(dst, v); break;
+              case ReduceKind::Min: dst = std::min(dst, v); break;
+              case ReduceKind::None: break;
+            }
+        }
+    }
+    for (size_t i = 0; i < whole.size(); ++i)
+        EXPECT_NEAR(combined.data()[i], whole.data()[i],
+                    std::fabs(whole.data()[i]) * 1e-5 + 1e-3)
+            << opcode << " bin " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReductions, ReductionPartitioning,
+    ::testing::Combine(::testing::Values("reduce_sum", "reduce_max",
+                                         "reduce_min",
+                                         "reduce_hist256"),
+                       ::testing::Values<size_t>(33, 64, 257)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) + "_" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+/** Linearity: every linear kernel must satisfy f(a*x) = a*f(x). */
+class LinearKernels : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(LinearKernels, Homogeneous)
+{
+    const char *opcode = GetParam();
+    const auto &info = KernelRegistry::instance().get(opcode);
+    const Tensor in = makeImage(64, 64, 3);
+    Tensor scaled(64, 64);
+    for (size_t i = 0; i < in.size(); ++i)
+        scaled.data()[i] = 2.0f * in.data()[i];
+
+    KernelArgs a1, a2;
+    a1.inputs = {in.view()};
+    a2.inputs = {scaled.view()};
+    a1.scalars = a2.scalars = scalarsFor(opcode);
+
+    Tensor out1(64, 64), out2(64, 64);
+    info.func(a1, Rect{0, 0, 64, 64}, out1.view());
+    info.func(a2, Rect{0, 0, 64, 64}, out2.view());
+    for (size_t i = 0; i < out1.size(); ++i)
+        ASSERT_NEAR(out2.data()[i], 2.0f * out1.data()[i],
+                    std::fabs(out1.data()[i]) * 1e-4 + 1e-3)
+            << opcode;
+}
+
+INSTANTIATE_TEST_SUITE_P(Linear, LinearKernels,
+                         ::testing::Values("mf", "conv", "dct8x8",
+                                           "dwt", "stencil", "sobel",
+                                           "laplacian"));
+
+/** Transform energy/roundtrip sweeps. */
+class TransformSizes : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(TransformSizes, DctRoundTrip)
+{
+    const size_t n = GetParam();
+    const auto &fwd = KernelRegistry::instance().get("dct8x8");
+    const auto &inv = KernelRegistry::instance().get("idct8x8");
+    const Tensor in = makeImage(n, n, 5);
+    Tensor freq(n, n), back(n, n);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    fwd.func(args, Rect{0, 0, n, n}, freq.view());
+    KernelArgs args2;
+    args2.inputs = {freq.view()};
+    inv.func(args2, Rect{0, 0, n, n}, back.view());
+    EXPECT_LT(metrics::maxAbsError(in.view(), back.view()), 0.02);
+}
+
+TEST_P(TransformSizes, DwtRoundTrip)
+{
+    const size_t n = GetParam();
+    const auto &fwd = KernelRegistry::instance().get("dwt");
+    const auto &inv = KernelRegistry::instance().get("idwt");
+    const Tensor in = makeImage(n, n, 6);
+    Tensor freq(n, n), back(n, n);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    fwd.func(args, Rect{0, 0, n, n}, freq.view());
+    KernelArgs args2;
+    args2.inputs = {freq.view()};
+    inv.func(args2, Rect{0, 0, n, n}, back.view());
+    EXPECT_LT(metrics::maxAbsError(in.view(), back.view()), 0.05);
+}
+
+TEST_P(TransformSizes, FftParseval)
+{
+    const size_t n = GetParam();
+    const auto &info = KernelRegistry::instance().get("fft");
+    const Tensor in = makeImage(n, n, 7);
+    Tensor mag(n, n);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    info.func(args, Rect{0, 0, n, n}, mag.view());
+    // With 1/sqrt(N) normalization per block, sum |X|^2 = sum |x|^2.
+    double e_in = 0.0, e_out = 0.0;
+    for (size_t i = 0; i < in.size(); ++i) {
+        e_in += static_cast<double>(in.data()[i]) * in.data()[i];
+        e_out += static_cast<double>(mag.data()[i]) * mag.data()[i];
+    }
+    EXPECT_NEAR(e_out / e_in, 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransformSizes,
+                         ::testing::Values<size_t>(32, 72, 128, 256));
+
+} // namespace
+} // namespace shmt::kernels

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "kernels/kernel_registry.hh"
+#include "kernels/reductions.hh"
+
+namespace shmt::kernels {
+namespace {
+
+Tensor
+randomTensor(size_t rows, size_t cols, float lo, float hi, uint64_t seed)
+{
+    Tensor t(rows, cols);
+    Rng rng(seed);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = rng.uniform(lo, hi);
+    return t;
+}
+
+TEST(Reductions, SumOverRegion)
+{
+    Tensor in(4, 4, 1.0f);
+    in.at(0, 0) = 5.0f;
+    Tensor acc(1, 1);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    reduceSum(args, Rect{0, 0, 4, 4}, acc.view());
+    EXPECT_FLOAT_EQ(acc.at(0, 0), 20.0f);
+    // Sub-region excluding the 5.
+    reduceSum(args, Rect{1, 1, 3, 3}, acc.view());
+    EXPECT_FLOAT_EQ(acc.at(0, 0), 9.0f);
+}
+
+TEST(Reductions, MaxAndMin)
+{
+    const Tensor in = randomTensor(16, 16, -3.0f, 3.0f, 1);
+    Tensor acc(1, 1);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    reduceMax(args, Rect{0, 0, 16, 16}, acc.view());
+    auto [lo, hi] = in.view().minmax();
+    EXPECT_FLOAT_EQ(acc.at(0, 0), hi);
+    reduceMin(args, Rect{0, 0, 16, 16}, acc.view());
+    EXPECT_FLOAT_EQ(acc.at(0, 0), lo);
+}
+
+TEST(Reductions, Hist256CountsConserved)
+{
+    const Tensor in = randomTensor(64, 64, 0.0f, 1.0f, 2);
+    Tensor bins(1, 256);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    args.scalars = {0.0f, 1.0f};
+    reduceHist256(args, Rect{0, 0, 64, 64}, bins.view());
+    float total = 0.0f;
+    for (size_t i = 0; i < 256; ++i)
+        total += bins.at(0, i);
+    EXPECT_FLOAT_EQ(total, 64.0f * 64.0f);
+}
+
+TEST(Reductions, Hist256BinPlacement)
+{
+    Tensor in(1, 4, std::vector<float>{0.0f, 0.5f, 0.999f, 0.25f});
+    Tensor bins(1, 256);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    args.scalars = {0.0f, 1.0f};
+    reduceHist256(args, Rect{0, 0, 1, 4}, bins.view());
+    EXPECT_FLOAT_EQ(bins.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(bins.at(0, 128), 1.0f);
+    EXPECT_FLOAT_EQ(bins.at(0, 255), 1.0f);
+    EXPECT_FLOAT_EQ(bins.at(0, 64), 1.0f);
+}
+
+TEST(Reductions, Hist256ClampsOutOfRange)
+{
+    Tensor in(1, 2, std::vector<float>{-10.0f, 10.0f});
+    Tensor bins(1, 256);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    args.scalars = {0.0f, 1.0f};
+    reduceHist256(args, Rect{0, 0, 1, 2}, bins.view());
+    EXPECT_FLOAT_EQ(bins.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(bins.at(0, 255), 1.0f);
+}
+
+TEST(Reductions, PartitionedSumEqualsWholeSum)
+{
+    const Tensor in = randomTensor(64, 64, -1.0f, 1.0f, 3);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    Tensor whole(1, 1);
+    reduceSum(args, Rect{0, 0, 64, 64}, whole.view());
+
+    Tensor top(1, 1), bottom(1, 1);
+    reduceSum(args, Rect{0, 0, 32, 64}, top.view());
+    reduceSum(args, Rect{32, 0, 32, 64}, bottom.view());
+    EXPECT_NEAR(top.at(0, 0) + bottom.at(0, 0), whole.at(0, 0), 1e-3f);
+}
+
+TEST(Reductions, RegistryMetadata)
+{
+    const auto &reg = KernelRegistry::instance();
+    EXPECT_EQ(reg.get("reduce_sum").reduce, ReduceKind::Sum);
+    EXPECT_EQ(reg.get("reduce_max").reduce, ReduceKind::Max);
+    EXPECT_EQ(reg.get("reduce_min").reduce, ReduceKind::Min);
+    EXPECT_EQ(reg.get("reduce_hist256").reduceCols, 256u);
+    EXPECT_TRUE(static_cast<bool>(reg.get("reduce_average").finalize));
+    EXPECT_FALSE(static_cast<bool>(reg.get("reduce_sum").finalize));
+}
+
+TEST(ReductionsDeath, EmptyHistogramRangePanics)
+{
+    Tensor in(1, 1, 0.5f);
+    Tensor bins(1, 256);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    args.scalars = {1.0f, 1.0f};
+    EXPECT_DEATH(reduceHist256(args, Rect{0, 0, 1, 1}, bins.view()),
+                 "empty histogram range");
+}
+
+} // namespace
+} // namespace shmt::kernels

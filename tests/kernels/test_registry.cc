@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "kernels/kernel_registry.hh"
+#include "sim/calibration.hh"
+
+namespace shmt::kernels {
+namespace {
+
+TEST(Registry, AllTenBenchmarkOpcodesPresent)
+{
+    const auto &reg = KernelRegistry::instance();
+    for (const char *op :
+         {"blackscholes", "dct8x8", "dwt", "fft", "histogram", "hotspot",
+          "laplacian", "mf", "sobel", "srad"})
+        EXPECT_NE(reg.find(op), nullptr) << op;
+}
+
+TEST(Registry, Table1VectorOpsPresent)
+{
+    const auto &reg = KernelRegistry::instance();
+    for (const char *op :
+         {"add", "sub", "multiply", "log", "max", "min", "relu", "rsqrt",
+          "sqrt", "tanh", "reduce_sum", "reduce_average", "reduce_max",
+          "reduce_min", "reduce_hist256", "parabolic_PDE"})
+        EXPECT_NE(reg.find(op), nullptr) << op;
+}
+
+TEST(Registry, Table1TilingOpsPresent)
+{
+    const auto &reg = KernelRegistry::instance();
+    for (const char *op : {"conv", "dct8x8", "FDWT97", "fft", "gemm",
+                           "laplacian", "mean_filter", "sobel", "srad",
+                           "stencil"})
+        EXPECT_NE(reg.find(op), nullptr) << op;
+}
+
+TEST(Registry, EveryOpcodeHasCalibrationRecord)
+{
+    const auto &reg = KernelRegistry::instance();
+    const auto &cal = sim::defaultCalibration();
+    for (const auto &op : reg.opcodes()) {
+        const KernelInfo &info = reg.get(op);
+        EXPECT_NE(cal.find(info.costKey), nullptr)
+            << op << " -> " << info.costKey;
+    }
+}
+
+TEST(Registry, GetUnknownPanics)
+{
+    EXPECT_DEATH(KernelRegistry::instance().get("bogus"),
+                 "unknown opcode");
+}
+
+TEST(Registry, DuplicateRegistrationPanics)
+{
+    KernelRegistry reg;
+    KernelInfo info;
+    info.opcode = "x";
+    info.costKey = "vop.ew";
+    info.func = [](const KernelArgs &, const Rect &, TensorView) {};
+    reg.add(info);
+    EXPECT_DEATH(reg.add(info), "duplicate opcode");
+}
+
+TEST(Registry, RejectsIncompleteInfo)
+{
+    KernelRegistry reg;
+    KernelInfo no_func;
+    no_func.opcode = "y";
+    no_func.costKey = "vop.ew";
+    EXPECT_DEATH(reg.add(no_func), "has no body");
+
+    KernelInfo no_cost;
+    no_cost.opcode = "z";
+    no_cost.func = [](const KernelArgs &, const Rect &, TensorView) {};
+    EXPECT_DEATH(reg.add(no_cost), "has no cost key");
+}
+
+TEST(Registry, OpcodesSortedAndUnique)
+{
+    const auto ops = KernelRegistry::instance().opcodes();
+    EXPECT_TRUE(std::is_sorted(ops.begin(), ops.end()));
+    EXPECT_EQ(std::adjacent_find(ops.begin(), ops.end()), ops.end());
+    EXPECT_GE(ops.size(), 30u);
+}
+
+} // namespace
+} // namespace shmt::kernels

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/kernel_registry.hh"
+#include "kernels/stencil.hh"
+#include "kernels/workload.hh"
+
+namespace shmt::kernels {
+namespace {
+
+TEST(Stencil, HotspotEquilibriumIsStable)
+{
+    // With zero power and ambient == temperature, nothing changes.
+    Tensor temp(16, 16, 300.0f);
+    Tensor power(16, 16, 0.0f);
+    Tensor out(16, 16);
+    KernelArgs args;
+    args.inputs = {temp.view(), power.view()};
+    args.scalars = {0.01f, 1.0f, 1.0f, 0.1f, 300.0f};
+    hotspotStep(args, Rect{0, 0, 16, 16}, out.view());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out.data()[i], 300.0f, 1e-4f);
+}
+
+TEST(Stencil, HotspotPowerHeatsCell)
+{
+    Tensor temp(8, 8, 300.0f);
+    Tensor power(8, 8, 0.0f);
+    power.at(4, 4) = 1.0f;
+    Tensor out(8, 8);
+    KernelArgs args;
+    args.inputs = {temp.view(), power.view()};
+    args.scalars = {0.01f, 1.0f, 1.0f, 0.1f, 300.0f};
+    hotspotStep(args, Rect{0, 0, 8, 8}, out.view());
+    EXPECT_GT(out.at(4, 4), 300.0f);
+    EXPECT_NEAR(out.at(0, 0), 300.0f, 1e-4f);
+}
+
+TEST(Stencil, HotspotAmbientCooling)
+{
+    Tensor temp(8, 8, 350.0f);
+    Tensor power(8, 8, 0.0f);
+    Tensor out(8, 8);
+    KernelArgs args;
+    args.inputs = {temp.view(), power.view()};
+    args.scalars = {0.01f, 1.0f, 1.0f, 0.5f, 300.0f};
+    hotspotStep(args, Rect{0, 0, 8, 8}, out.view());
+    for (size_t i = 0; i < out.size(); ++i) {
+        EXPECT_LT(out.data()[i], 350.0f);
+        EXPECT_GT(out.data()[i], 300.0f);
+    }
+}
+
+TEST(Stencil, HotspotPartitionSeamFree)
+{
+    const Tensor temp = makeTemperature(32, 32, 1);
+    const Tensor power = makePower(32, 32, 1);
+    KernelArgs args;
+    args.inputs = {temp.view(), power.view()};
+    args.scalars = {0.002f, 0.5f, 0.5f, 0.02f, 293.0f};
+    Tensor whole(32, 32);
+    hotspotStep(args, Rect{0, 0, 32, 32}, whole.view());
+    Tensor top(16, 32), bottom(16, 32);
+    hotspotStep(args, Rect{0, 0, 16, 32}, top.view());
+    hotspotStep(args, Rect{16, 0, 16, 32}, bottom.view());
+    for (size_t c = 0; c < 32; ++c) {
+        EXPECT_FLOAT_EQ(top.at(15, c), whole.at(15, c));
+        EXPECT_FLOAT_EQ(bottom.at(0, c), whole.at(16, c));
+    }
+}
+
+TEST(Stencil, SradSmoothsSpeckle)
+{
+    const Tensor j = makeSpeckleImage(64, 64, 2);
+    Tensor out(64, 64);
+    KernelArgs args;
+    args.inputs = {j.view()};
+    args.scalars = {0.05f, 0.5f};
+    sradStep(args, Rect{0, 0, 64, 64}, out.view());
+
+    // Diffusion reduces total variation.
+    auto variation = [](const Tensor &t) {
+        double acc = 0.0;
+        for (size_t r = 0; r + 1 < t.rows(); ++r)
+            for (size_t c = 0; c + 1 < t.cols(); ++c)
+                acc += std::fabs(t.at(r, c) - t.at(r + 1, c)) +
+                       std::fabs(t.at(r, c) - t.at(r, c + 1));
+        return acc;
+    };
+    EXPECT_LT(variation(out), variation(j));
+}
+
+TEST(Stencil, SradConstantImageFixedPoint)
+{
+    Tensor j(16, 16, 0.7f);
+    Tensor out(16, 16);
+    KernelArgs args;
+    args.inputs = {j.view()};
+    args.scalars = {0.05f, 0.5f};
+    sradStep(args, Rect{0, 0, 16, 16}, out.view());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out.data()[i], 0.7f, 1e-4f);
+}
+
+TEST(Stencil, Stencil5Weights)
+{
+    Tensor in(5, 5, 0.0f);
+    in.at(2, 2) = 1.0f;
+    Tensor out(5, 5);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    args.scalars = {0.5f, 0.1f, 0.2f, 0.3f, 0.4f};  // C N S W E
+    stencil5(args, Rect{0, 0, 5, 5}, out.view());
+    EXPECT_FLOAT_EQ(out.at(2, 2), 0.5f);
+    EXPECT_FLOAT_EQ(out.at(3, 2), 0.1f);  // the spike is its north
+    EXPECT_FLOAT_EQ(out.at(1, 2), 0.2f);  // ... its south
+    EXPECT_FLOAT_EQ(out.at(2, 3), 0.3f);  // ... its west
+    EXPECT_FLOAT_EQ(out.at(2, 1), 0.4f);  // ... its east
+}
+
+TEST(Stencil, ParabolicPdeRowsIndependent)
+{
+    Tensor in(2, 8, 0.0f);
+    in.at(0, 4) = 1.0f;
+    Tensor out(2, 8);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    args.scalars = {0.25f};
+    parabolicPde(args, Rect{0, 0, 2, 8}, out.view());
+    // Row 0 diffuses; row 1 stays zero (rows are independent rods).
+    EXPECT_FLOAT_EQ(out.at(0, 4), 0.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 3), 0.25f);
+    EXPECT_FLOAT_EQ(out.at(0, 5), 0.25f);
+    for (size_t c = 0; c < 8; ++c)
+        EXPECT_FLOAT_EQ(out.at(1, c), 0.0f);
+}
+
+TEST(Stencil, ParabolicPdeConservesHeatAwayFromBoundary)
+{
+    Tensor in(1, 64, 0.0f);
+    in.at(0, 32) = 8.0f;
+    Tensor out(1, 64);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    args.scalars = {0.25f};
+    parabolicPde(args, Rect{0, 0, 1, 64}, out.view());
+    double total = 0.0;
+    for (size_t c = 0; c < 64; ++c)
+        total += out.at(0, c);
+    EXPECT_NEAR(total, 8.0, 1e-4);
+}
+
+TEST(Stencil, RegistryMetadata)
+{
+    const auto &reg = KernelRegistry::instance();
+    EXPECT_EQ(reg.get("hotspot").model, ParallelModel::Vector);
+    EXPECT_EQ(reg.get("hotspot").halo, 1u);
+    EXPECT_EQ(reg.get("srad").halo, 2u);
+    EXPECT_EQ(reg.get("parabolic_PDE").model, ParallelModel::Vector);
+}
+
+} // namespace
+} // namespace shmt::kernels

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/random.hh"
+#include "kernels/dct.hh"
+#include "kernels/dwt.hh"
+#include "kernels/fft.hh"
+#include "kernels/kernel_registry.hh"
+#include "kernels/workload.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::kernels {
+namespace {
+
+Tensor
+runOp(std::string_view opcode, const Tensor &in, const Rect &region)
+{
+    const auto &info = KernelRegistry::instance().get(opcode);
+    Tensor out(region.rows, region.cols);
+    KernelArgs args;
+    args.inputs = {in.view()};
+    info.func(args, region, out.view());
+    return out;
+}
+
+// ---------------------------------------------------------------- DCT --
+
+TEST(Dct, ConstantBlockHasOnlyDcEnergy)
+{
+    Tensor in(8, 8, 2.0f);
+    const Tensor out = runOp("dct8x8", in, Rect{0, 0, 8, 8});
+    // DC = 8 * value for orthonormal 2-D DCT.
+    EXPECT_NEAR(out.at(0, 0), 16.0f, 1e-4f);
+    for (size_t r = 0; r < 8; ++r) {
+        for (size_t c = 0; c < 8; ++c) {
+            if (r != 0 || c != 0) {
+                EXPECT_NEAR(out.at(r, c), 0.0f, 1e-4f);
+            }
+        }
+    }
+}
+
+TEST(Dct, ParsevalEnergyPreserved)
+{
+    const Tensor in = makeImage(8, 8, 1);
+    const Tensor out = runOp("dct8x8", in, Rect{0, 0, 8, 8});
+    double e_in = 0.0, e_out = 0.0;
+    for (size_t i = 0; i < in.size(); ++i) {
+        e_in += static_cast<double>(in.data()[i]) * in.data()[i];
+        e_out += static_cast<double>(out.data()[i]) * out.data()[i];
+    }
+    EXPECT_NEAR(e_out / e_in, 1.0, 1e-4);
+}
+
+TEST(Dct, ForwardInverseRoundTrip)
+{
+    const Tensor in = makeImage(32, 32, 2);
+    const Tensor freq = runOp("dct8x8", in, Rect{0, 0, 32, 32});
+    const Tensor back = runOp("idct8x8", freq, Rect{0, 0, 32, 32});
+    EXPECT_LT(metrics::maxAbsError(in.view(), back.view()), 1e-2);
+}
+
+TEST(Dct, BlocksAreIndependent)
+{
+    Tensor in = makeImage(16, 16, 3);
+    const Tensor before = runOp("dct8x8", in, Rect{0, 0, 16, 16});
+    // Perturb a pixel in block (1,1); blocks (0,0) etc. unchanged.
+    in.at(12, 12) += 50.0f;
+    const Tensor after = runOp("dct8x8", in, Rect{0, 0, 16, 16});
+    for (size_t r = 0; r < 8; ++r)
+        for (size_t c = 0; c < 8; ++c)
+            EXPECT_FLOAT_EQ(before.at(r, c), after.at(r, c));
+    EXPECT_NE(before.at(8, 8), after.at(8, 8));
+}
+
+TEST(Dct, PartitionedEqualsWhole)
+{
+    const Tensor in = makeImage(32, 32, 4);
+    const Tensor whole = runOp("dct8x8", in, Rect{0, 0, 32, 32});
+    const Tensor left = runOp("dct8x8", in, Rect{0, 0, 32, 16});
+    for (size_t r = 0; r < 32; ++r)
+        for (size_t c = 0; c < 16; ++c)
+            ASSERT_FLOAT_EQ(left.at(r, c), whole.at(r, c));
+}
+
+TEST(Dct, CroppedEdgeBlocks)
+{
+    // 12x12: 8x8, 8x4, 4x8, 4x4 blocks; constant input keeps only the
+    // per-block DC coefficients.
+    Tensor in(12, 12, 1.0f);
+    const Tensor out = runOp("dct8x8", in, Rect{0, 0, 12, 12});
+    EXPECT_NEAR(out.at(0, 0), 8.0f, 1e-4f);           // 8x8 DC
+    EXPECT_NEAR(out.at(8, 8), 4.0f, 1e-4f);           // 4x4 DC
+    EXPECT_NEAR(out.at(0, 8), std::sqrt(32.0f), 1e-4f); // 8x4 DC
+    EXPECT_NEAR(out.at(1, 1), 0.0f, 1e-4f);
+}
+
+// ---------------------------------------------------------------- DWT --
+
+TEST(Dwt, LiftRoundTrip1d)
+{
+    Rng rng(5);
+    for (size_t n : {2u, 16u, 64u, 255u, 256u}) {
+        std::vector<float> x(n), orig(n);
+        for (size_t i = 0; i < n; ++i)
+            orig[i] = x[i] = rng.uniform(-1.0f, 1.0f);
+        fdwt97(x.data(), n);
+        idwt97(x.data(), n);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(x[i], orig[i], 2e-4f) << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(Dwt, ConstantSignalConcentratesInApproximation)
+{
+    std::vector<float> x(64, 1.0f);
+    fdwt97(x.data(), 64);
+    // Detail half (last 32) is ~0 for a constant signal.
+    for (size_t i = 32; i < 64; ++i)
+        EXPECT_NEAR(x[i], 0.0f, 1e-5f);
+    // Approximation half carries the energy.
+    EXPECT_GT(std::fabs(x[0]), 0.5f);
+}
+
+TEST(Dwt, RoundTrip2d)
+{
+    const Tensor in = makeImage(64, 64, 6);
+    const Tensor freq = runOp("dwt", in, Rect{0, 0, 64, 64});
+    const Tensor back = runOp("idwt", freq, Rect{0, 0, 64, 64});
+    EXPECT_LT(metrics::maxAbsError(in.view(), back.view()), 0.05);
+}
+
+TEST(Dwt, AliasFDWT97Registered)
+{
+    const auto &reg = KernelRegistry::instance();
+    EXPECT_NE(reg.find("FDWT97"), nullptr);
+    EXPECT_EQ(reg.get("dwt").blockAlign, kDwtBlock);
+}
+
+// ---------------------------------------------------------------- FFT --
+
+TEST(Fft, Radix2MatchesNaiveDft)
+{
+    Rng rng(7);
+    std::vector<std::complex<float>> a(32), b(32);
+    for (size_t i = 0; i < 32; ++i)
+        a[i] = b[i] = std::complex<float>(rng.uniform(-1.0f, 1.0f),
+                                          rng.uniform(-1.0f, 1.0f));
+    fft1d(a.data(), 32, false);  // radix-2 path
+    // Naive DFT reference.
+    std::vector<std::complex<float>> ref(32);
+    for (size_t k = 0; k < 32; ++k) {
+        std::complex<double> acc(0, 0);
+        for (size_t t = 0; t < 32; ++t) {
+            const double ang = -2.0 * 3.14159265358979 *
+                               static_cast<double>(k * t) / 32.0;
+            acc += std::complex<double>(b[t]) *
+                   std::complex<double>(std::cos(ang), std::sin(ang));
+        }
+        ref[k] = std::complex<float>(acc);
+    }
+    for (size_t k = 0; k < 32; ++k) {
+        EXPECT_NEAR(a[k].real(), ref[k].real(), 1e-3f);
+        EXPECT_NEAR(a[k].imag(), ref[k].imag(), 1e-3f);
+    }
+}
+
+TEST(Fft, ForwardInverse1d)
+{
+    Rng rng(8);
+    std::vector<std::complex<float>> x(128), orig(128);
+    for (size_t i = 0; i < 128; ++i)
+        orig[i] = x[i] = std::complex<float>(rng.uniform(-1.0f, 1.0f), 0);
+    fft1d(x.data(), 128, false);
+    fft1d(x.data(), 128, true);
+    for (size_t i = 0; i < 128; ++i)
+        EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-4f);
+}
+
+TEST(Fft, ConstantImageDcOnly)
+{
+    Tensor in(kFftBlock, kFftBlock, 1.0f);
+    const Tensor out =
+        runOp("fft", in, Rect{0, 0, kFftBlock, kFftBlock});
+    // DC magnitude after 1/sqrt(N) normalization = sqrt(N).
+    EXPECT_NEAR(out.at(0, 0), static_cast<float>(kFftBlock), 1.0f);
+    EXPECT_NEAR(out.at(5, 5), 0.0f, 1e-2f);
+}
+
+TEST(Fft, SinusoidPeaksAtItsFrequency)
+{
+    Tensor in(kFftBlock, kFftBlock);
+    for (size_t r = 0; r < kFftBlock; ++r)
+        for (size_t c = 0; c < kFftBlock; ++c)
+            in.at(r, c) = std::cos(2.0f * 3.14159265f * 8.0f *
+                                   static_cast<float>(c) / kFftBlock);
+    const Tensor out =
+        runOp("fft", in, Rect{0, 0, kFftBlock, kFftBlock});
+    // Peak at (0, 8) and (0, N-8).
+    float peak = out.at(0, 8);
+    for (size_t c = 0; c < kFftBlock; ++c) {
+        if (c != 8 && c != kFftBlock - 8) {
+            EXPECT_LT(out.at(0, c), peak * 0.05f) << c;
+        }
+    }
+}
+
+TEST(Fft, BlockedPartitionsMatchWhole)
+{
+    const size_t n = 2 * kFftBlock;
+    const Tensor in = makeImage(n, n, 9);
+    const Tensor whole = runOp("fft", in, Rect{0, 0, n, n});
+    const Tensor quad =
+        runOp("fft", in, Rect{kFftBlock, 0, kFftBlock, kFftBlock});
+    for (size_t r = 0; r < kFftBlock; ++r)
+        for (size_t c = 0; c < kFftBlock; ++c)
+            ASSERT_FLOAT_EQ(quad.at(r, c), whole.at(kFftBlock + r, c));
+}
+
+} // namespace
+} // namespace shmt::kernels

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/sampling.hh"
+#include "kernels/workload.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::kernels {
+namespace {
+
+TEST(Workload, DeterministicPerSeed)
+{
+    const Tensor a = makeImage(64, 64, 42);
+    const Tensor b = makeImage(64, 64, 42);
+    EXPECT_DOUBLE_EQ(metrics::maxAbsError(a.view(), b.view()), 0.0);
+    const Tensor c = makeImage(64, 64, 43);
+    EXPECT_GT(metrics::maxAbsError(a.view(), c.view()), 0.0);
+}
+
+TEST(Workload, ImageWithinRange)
+{
+    const Tensor img = makeImage(128, 128, 1);
+    auto [lo, hi] = img.view().minmax();
+    EXPECT_GT(lo, -130.0f);  // texture can undershoot the base a bit
+    EXPECT_LT(hi, 400.0f);
+    EXPECT_GT(hi - lo, 50.0f);  // non-degenerate dynamic range
+}
+
+TEST(Workload, FieldHasSpatiallyVaryingCriticality)
+{
+    // QAWS depends on some partitions being much "wider" than others.
+    const Tensor field = makeImage(512, 512, 2);
+    core::SamplingSpec spec;
+    spec.method = core::SamplingMethod::Exact;
+    std::vector<double> scores;
+    for (size_t r0 = 0; r0 < 512; r0 += 64) {
+        for (size_t c0 = 0; c0 < 512; c0 += 64) {
+            const auto stats = core::samplePartition(
+                field.slice(r0, c0, 64, 64), spec, 1);
+            scores.push_back(core::criticalityScore(stats));
+        }
+    }
+    const double max_score = *std::max_element(scores.begin(),
+                                               scores.end());
+    const double min_score = *std::min_element(scores.begin(),
+                                               scores.end());
+    EXPECT_GT(max_score, 1.5 * min_score);
+}
+
+TEST(Workload, SpotPricesPositive)
+{
+    const Tensor s = makeSpotPrices(64, 64, 3);
+    auto [lo, hi] = s.view().minmax();
+    EXPECT_GT(lo, 0.0f);
+    EXPECT_LT(hi, 50.0f);
+}
+
+TEST(Workload, StrikesTrackSpot)
+{
+    const Tensor s = makeSpotPrices(64, 64, 4);
+    const Tensor k = makeStrikes(s, 4);
+    for (size_t i = 0; i < s.size(); ++i) {
+        EXPECT_GE(k.data()[i], s.data()[i] * 0.9f - 1e-4f);
+        EXPECT_LE(k.data()[i], s.data()[i] * 1.1f + 1e-4f);
+    }
+}
+
+TEST(Workload, TemperaturePlausible)
+{
+    const Tensor t = makeTemperature(64, 64, 5);
+    auto [lo, hi] = t.view().minmax();
+    EXPECT_GT(lo, 300.0f);
+    EXPECT_LT(hi, 345.0f);
+}
+
+TEST(Workload, PowerNonNegative)
+{
+    const Tensor p = makePower(64, 64, 6);
+    auto [lo, hi] = p.view().minmax();
+    EXPECT_GE(lo, 0.0f);
+    EXPECT_LE(hi, 2e-3f);
+}
+
+TEST(Workload, SpeckleImageClamped)
+{
+    const Tensor j = makeSpeckleImage(64, 64, 7);
+    auto [lo, hi] = j.view().minmax();
+    EXPECT_GE(lo, 0.05f);
+    EXPECT_LE(hi, 1.05f);
+}
+
+TEST(Workload, CustomFieldParams)
+{
+    FieldParams p;
+    p.lo = -10.0f;
+    p.hi = 10.0f;
+    p.textureScale = 0.1f;
+    p.blockRows = 16;
+    p.blockCols = 16;
+    const Tensor f = makeField(128, 128, 8, p);
+    auto [lo, hi] = f.view().minmax();
+    EXPECT_GT(lo, -25.0f);
+    EXPECT_LT(hi, 25.0f);
+}
+
+} // namespace
+} // namespace shmt::kernels

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "metrics/error_metrics.hh"
+
+namespace shmt::metrics {
+namespace {
+
+TEST(Mape, ZeroForIdenticalTensors)
+{
+    Tensor a(8, 8, 3.0f);
+    EXPECT_DOUBLE_EQ(mape(a.view(), a.view()), 0.0);
+}
+
+TEST(Mape, KnownRelativeError)
+{
+    Tensor exact(1, 4, std::vector<float>{10, 20, 40, 80});
+    Tensor approx(1, 4, std::vector<float>{11, 22, 44, 88});
+    // Uniform +10% error.
+    EXPECT_NEAR(mape(exact.view(), approx.view()), 10.0, 1e-9);
+}
+
+TEST(Mape, NearZeroReferencesInflateError)
+{
+    // The paper's Sobel/Laplacian effect: tiny reference values plus a
+    // modest absolute error blow up the percentage.
+    Tensor exact(1, 4, std::vector<float>{0.0f, 0.0f, 100.0f, 100.0f});
+    Tensor approx(1, 4, std::vector<float>{1.0f, 1.0f, 100.0f, 100.0f});
+    // With the default floor (1e-3 * range=100 -> 0.1): the two zero
+    // pixels contribute 1/0.1 = 1000% each.
+    EXPECT_NEAR(mape(exact.view(), approx.view()), 500.0, 1e-6);
+}
+
+TEST(Mape, FloorBoundsTheInflation)
+{
+    Tensor exact(1, 2, std::vector<float>{0.0f, 100.0f});
+    Tensor approx(1, 2, std::vector<float>{0.5f, 100.0f});
+    const double loose = mape(exact.view(), approx.view(), 0.1);
+    const double tight = mape(exact.view(), approx.view(), 1e-4);
+    EXPECT_LT(loose, tight);
+}
+
+TEST(Rmse, KnownValue)
+{
+    Tensor exact(1, 2, std::vector<float>{0.0f, 0.0f});
+    Tensor approx(1, 2, std::vector<float>{3.0f, 4.0f});
+    EXPECT_NEAR(rmse(exact.view(), approx.view()),
+                std::sqrt(12.5), 1e-9);
+}
+
+TEST(MaxAbsError, PicksWorstElement)
+{
+    Tensor exact(2, 2, 1.0f);
+    Tensor approx(2, 2, 1.0f);
+    approx.at(1, 0) = -4.0f;
+    EXPECT_DOUBLE_EQ(maxAbsError(exact.view(), approx.view()), 5.0);
+}
+
+TEST(Ssim, PerfectForIdenticalImages)
+{
+    Rng rng(1);
+    Tensor img(64, 64);
+    for (size_t i = 0; i < img.size(); ++i)
+        img.data()[i] = rng.uniform(0.0f, 255.0f);
+    EXPECT_NEAR(ssim(img.view(), img.view()), 1.0, 1e-9);
+}
+
+TEST(Ssim, DegradesWithNoise)
+{
+    Rng rng(2);
+    Tensor img(64, 64);
+    for (size_t i = 0; i < img.size(); ++i)
+        img.data()[i] = rng.uniform(0.0f, 255.0f);
+    Tensor small = img;
+    Tensor big = img;
+    Rng noise(3);
+    for (size_t i = 0; i < img.size(); ++i) {
+        small.data()[i] += static_cast<float>(noise.normal()) * 2.0f;
+        big.data()[i] += static_cast<float>(noise.normal()) * 50.0f;
+    }
+    const double s_small = ssim(img.view(), small.view());
+    const double s_big = ssim(img.view(), big.view());
+    EXPECT_GT(s_small, 0.95);
+    EXPECT_LT(s_big, s_small);
+}
+
+TEST(Ssim, StructureLossDetected)
+{
+    // A constant image vs a textured image: SSIM far below 1.
+    Rng rng(4);
+    Tensor textured(32, 32);
+    for (size_t i = 0; i < textured.size(); ++i)
+        textured.data()[i] = rng.uniform(0.0f, 255.0f);
+    Tensor flat(32, 32, 128.0f);
+    EXPECT_LT(ssim(textured.view(), flat.view()), 0.3);
+}
+
+TEST(Psnr, InfiniteForIdentical)
+{
+    Tensor a(8, 8, 3.0f);
+    EXPECT_TRUE(std::isinf(psnr(a.view(), a.view())));
+}
+
+TEST(Psnr, KnownValue)
+{
+    // Range 255, RMSE 2.55 -> 20*log10(100) = 40 dB.
+    Tensor exact(1, 2, std::vector<float>{0.0f, 255.0f});
+    Tensor approx(1, 2,
+                  std::vector<float>{2.55f, 255.0f - 2.55f});
+    EXPECT_NEAR(psnr(exact.view(), approx.view()), 40.0, 1e-4);
+}
+
+TEST(Psnr, DecreasesWithNoise)
+{
+    Rng rng(9);
+    Tensor img(64, 64);
+    for (size_t i = 0; i < img.size(); ++i)
+        img.data()[i] = rng.uniform(0.0f, 255.0f);
+    Tensor a = img, b = img;
+    Rng noise(10);
+    for (size_t i = 0; i < img.size(); ++i) {
+        a.data()[i] += static_cast<float>(noise.normal());
+        b.data()[i] += static_cast<float>(noise.normal()) * 10.0f;
+    }
+    EXPECT_GT(psnr(img.view(), a.view()), psnr(img.view(), b.view()));
+    EXPECT_GT(psnr(img.view(), a.view()), 40.0);
+}
+
+TEST(MetricsDeath, ShapeMismatchPanics)
+{
+    Tensor a(2, 2), b(2, 3);
+    EXPECT_DEATH(mape(a.view(), b.view()), "shape mismatch");
+    EXPECT_DEATH(ssim(a.view(), b.view()), "shape mismatch");
+}
+
+} // namespace
+} // namespace shmt::metrics

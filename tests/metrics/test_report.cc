@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "metrics/report.hh"
+
+namespace shmt::metrics {
+namespace {
+
+TEST(Report, NumFormatsDigits)
+{
+    EXPECT_EQ(Table::num(1.23456), "1.23");
+    EXPECT_EQ(Table::num(1.23456, 4), "1.2346");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Report, PrintAlignsColumns)
+{
+    Table table({"Name", "Value"});
+    table.addRow({"a", "1.00"});
+    table.addRow({"longer-name", "2.50"});
+    // print() goes to stdout; capture it.
+    ::testing::internal::CaptureStdout();
+    table.print("title");
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("== title =="), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Report, ShortRowsPadWithEmptyCells)
+{
+    Table table({"A", "B", "C"});
+    table.addRow({"x"});
+    ::testing::internal::CaptureStdout();
+    table.print();
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+} // namespace
+} // namespace shmt::metrics

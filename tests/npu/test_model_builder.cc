@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "npu/model_builder.hh"
+
+namespace shmt::npu {
+namespace {
+
+ModelBuilderConfig
+fastConfig()
+{
+    ModelBuilderConfig config;
+    config.validationEdge = 64;
+    config.validationSets = 2;
+    return config;
+}
+
+TEST(ModelBuilder, ProfilesHaveSaneShape)
+{
+    const ModelBuilder builder(sim::defaultCalibration(), fastConfig());
+    const ModelProfile p = builder.build("mf");
+    EXPECT_EQ(p.opcode, "mf");
+    EXPECT_GT(p.ptqMape, 0.0);
+    EXPECT_GT(p.validationSamples, 0u);
+    EXPECT_LE(p.finalMape, p.ptqMape + 1e-9);
+}
+
+TEST(ModelBuilder, QatTriggersForNoisyModels)
+{
+    // Blackscholes is the paper's NPU-hostile kernel (42% MAPE):
+    // validation must trigger the QAT retraining step.
+    const ModelBuilder builder(sim::defaultCalibration(), fastConfig());
+    const ModelProfile p = builder.build("blackscholes");
+    EXPECT_TRUE(p.qatApplied);
+    EXPECT_LT(p.finalMape, p.ptqMape);
+}
+
+TEST(ModelBuilder, QatSkippedForAccurateModels)
+{
+    // Hotspot's value range is narrow relative to its magnitudes:
+    // the PTQ model validates well and step 4 is skipped.
+    const ModelBuilder builder(sim::defaultCalibration(), fastConfig());
+    const ModelProfile p = builder.build("hotspot");
+    EXPECT_FALSE(p.qatApplied);
+    EXPECT_DOUBLE_EQ(p.finalMape, p.ptqMape);
+    EXPECT_LT(p.ptqMape, 2.0);
+}
+
+TEST(ModelBuilder, FidelityOrderingMatchesCalibration)
+{
+    // The validated PTQ errors must reproduce the calibrated fidelity
+    // ordering: Blackscholes/Sobel/Laplacian are the hostile outliers,
+    // MF/SRAD nearly exact (paper Fig. 7 edgeTPU bars).
+    const ModelBuilder builder(sim::defaultCalibration(), fastConfig());
+    const double bs = builder.build("blackscholes").ptqMape;
+    const double sobel = builder.build("sobel").ptqMape;
+    const double mf = builder.build("mf").ptqMape;
+    const double srad = builder.build("srad").ptqMape;
+    EXPECT_GT(bs, mf);
+    EXPECT_GT(sobel, mf);
+    EXPECT_GT(sobel, srad);
+    EXPECT_LT(mf, 2.0);
+}
+
+TEST(ModelBuilder, BuildAllCoversRequestedOpcodes)
+{
+    const ModelBuilder builder(sim::defaultCalibration(), fastConfig());
+    const auto profiles =
+        builder.buildAll({"mf", "sobel", "reduce_sum"});
+    ASSERT_EQ(profiles.size(), 3u);
+    EXPECT_EQ(profiles[0].opcode, "mf");
+    EXPECT_EQ(profiles[2].opcode, "reduce_sum");
+}
+
+TEST(ModelBuilder, DeterministicPerSeed)
+{
+    const ModelBuilder builder(sim::defaultCalibration(), fastConfig());
+    const ModelProfile a = builder.build("sobel");
+    const ModelProfile b = builder.build("sobel");
+    EXPECT_DOUBLE_EQ(a.ptqMape, b.ptqMape);
+    EXPECT_DOUBLE_EQ(a.finalMape, b.finalMape);
+}
+
+} // namespace
+} // namespace shmt::npu

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.hh"
+
+namespace shmt::sim {
+namespace {
+
+TEST(Config, EmptyStreamKeepsDefaults)
+{
+    std::istringstream in("");
+    const PlatformCalibration cal = loadCalibration(in);
+    EXPECT_DOUBLE_EQ(cal.idlePowerW, defaultCalibration().idlePowerW);
+    EXPECT_EQ(cal.kernels.size(), defaultCalibration().kernels.size());
+}
+
+TEST(Config, PlatformKeyOverride)
+{
+    std::istringstream in(
+        "# custom platform\n"
+        "idle_power_w = 2.5\n"
+        "tpu_bandwidth_bps = 2e9\n");
+    const PlatformCalibration cal = loadCalibration(in);
+    EXPECT_DOUBLE_EQ(cal.idlePowerW, 2.5);
+    EXPECT_DOUBLE_EQ(cal.tpuBandwidthBps, 2e9);
+    // Untouched keys keep their defaults.
+    EXPECT_DOUBLE_EQ(cal.gpuBandwidthBps,
+                     defaultCalibration().gpuBandwidthBps);
+}
+
+TEST(Config, KernelSectionOverride)
+{
+    std::istringstream in(
+        "[kernel sobel]\n"
+        "tpu_ratio = 1.5\n"
+        "npu_noise = 0.5\n");
+    const PlatformCalibration cal = loadCalibration(in);
+    const KernelCalibration *rec = cal.find("sobel");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_DOUBLE_EQ(rec->tpuRatio, 1.5);
+    EXPECT_DOUBLE_EQ(rec->npuNoise, 0.5);
+    // Other fields of the same record untouched.
+    EXPECT_DOUBLE_EQ(rec->gpuElemsPerSec,
+                     defaultCalibration().find("sobel")->gpuElemsPerSec);
+}
+
+TEST(Config, NewKernelSectionCreatesRecord)
+{
+    std::istringstream in(
+        "[kernel mykernel]\n"
+        "gpu_elems_per_sec = 5e8\n"
+        "tpu_ratio = 2.0\n"
+        "model = 1\n");
+    const PlatformCalibration cal = loadCalibration(in);
+    const KernelCalibration *rec = cal.find("mykernel");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_DOUBLE_EQ(rec->gpuElemsPerSec, 5e8);
+    EXPECT_DOUBLE_EQ(rec->tpuRatio, 2.0);
+    EXPECT_EQ(rec->model, ParallelModel::Tile);
+}
+
+TEST(Config, CommentsAndWhitespaceIgnored)
+{
+    std::istringstream in(
+        "\n"
+        "   # full-line comment\n"
+        "  idle_power_w   =   4.0   # trailing comment\n"
+        "\n");
+    const PlatformCalibration cal = loadCalibration(in);
+    EXPECT_DOUBLE_EQ(cal.idlePowerW, 4.0);
+}
+
+TEST(Config, SectionResetAppliesPlatformKeysAgain)
+{
+    // A platform key after a section is a kernel-key error (the
+    // section stays active), which is fatal — guarding against
+    // misattributed overrides.
+    std::istringstream in(
+        "[kernel sobel]\n"
+        "idle_power_w = 1.0\n");
+    EXPECT_EXIT(loadCalibration(in), ::testing::ExitedWithCode(1),
+                "unknown kernel key");
+}
+
+TEST(ConfigDeath, UnknownPlatformKeyFatal)
+{
+    std::istringstream in("bogus_key = 1\n");
+    EXPECT_EXIT(loadCalibration(in), ::testing::ExitedWithCode(1),
+                "unknown platform key");
+}
+
+TEST(ConfigDeath, BadNumberFatal)
+{
+    std::istringstream in("idle_power_w = fast\n");
+    EXPECT_EXIT(loadCalibration(in), ::testing::ExitedWithCode(1),
+                "is not a number");
+}
+
+TEST(ConfigDeath, MalformedLineFatal)
+{
+    std::istringstream in("no equals sign here\n");
+    EXPECT_EXIT(loadCalibration(in), ::testing::ExitedWithCode(1),
+                "expected key");
+}
+
+TEST(ConfigDeath, BadSectionFatal)
+{
+    std::istringstream in("[device gpu]\n");
+    EXPECT_EXIT(loadCalibration(in), ::testing::ExitedWithCode(1),
+                "expected '\\[kernel <name>\\]'");
+}
+
+TEST(ConfigDeath, MissingFileFatal)
+{
+    EXPECT_EXIT(loadCalibrationFile("/nonexistent/cal.conf"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace shmt::sim

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory_tracker.hh"
+
+namespace shmt::sim {
+namespace {
+
+TEST(MemoryTracker, LiveAndPeakPerSpace)
+{
+    MemoryTracker mt;
+    mt.alloc(MemSpace::Host, 100);
+    mt.alloc(MemSpace::Host, 50);
+    EXPECT_EQ(mt.liveBytes(MemSpace::Host), 150u);
+    mt.free(MemSpace::Host, 100);
+    EXPECT_EQ(mt.liveBytes(MemSpace::Host), 50u);
+    EXPECT_EQ(mt.peakBytes(MemSpace::Host), 150u);
+}
+
+TEST(MemoryTracker, TotalPeakAcrossSpaces)
+{
+    MemoryTracker mt;
+    mt.alloc(MemSpace::Host, 100);
+    mt.alloc(MemSpace::TpuStage, 30);
+    EXPECT_EQ(mt.peakTotal(), 130u);
+    mt.free(MemSpace::TpuStage, 30);
+    mt.alloc(MemSpace::GpuStage, 20);
+    EXPECT_EQ(mt.peakTotal(), 130u);  // never exceeded 130
+    EXPECT_EQ(mt.liveTotal(), 120u);
+}
+
+TEST(MemoryTracker, ScopedAllocFreesOnExit)
+{
+    MemoryTracker mt;
+    {
+        ScopedAlloc a(mt, MemSpace::GpuStage, 64);
+        EXPECT_EQ(mt.liveBytes(MemSpace::GpuStage), 64u);
+    }
+    EXPECT_EQ(mt.liveBytes(MemSpace::GpuStage), 0u);
+    EXPECT_EQ(mt.peakBytes(MemSpace::GpuStage), 64u);
+}
+
+TEST(MemoryTracker, ResetClears)
+{
+    MemoryTracker mt;
+    mt.alloc(MemSpace::Host, 10);
+    mt.reset();
+    EXPECT_EQ(mt.liveTotal(), 0u);
+    EXPECT_EQ(mt.peakTotal(), 0u);
+}
+
+TEST(MemoryTrackerDeath, OverFreePanics)
+{
+    MemoryTracker mt;
+    mt.alloc(MemSpace::Host, 10);
+    EXPECT_DEATH(mt.free(MemSpace::Host, 20), "freeing more");
+}
+
+} // namespace
+} // namespace shmt::sim

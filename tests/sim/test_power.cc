@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "sim/power.hh"
+
+namespace shmt::sim {
+namespace {
+
+TEST(Power, PaperOperatingPoints)
+{
+    const auto &cal = defaultCalibration();
+    // Idle 3.02 W; GPU baseline 4.67 W; SHMT peak 5.23 W (paper §5.5).
+    EXPECT_NEAR(cal.idlePowerW, 3.02, 1e-9);
+    EXPECT_NEAR(cal.idlePowerW + cal.gpuActivePowerW, 4.67, 1e-9);
+    EXPECT_NEAR(cal.idlePowerW + cal.gpuActivePowerW + cal.tpuActivePowerW,
+                5.23, 1e-9);
+}
+
+TEST(Power, IdleOnlyRun)
+{
+    EnergyMeter meter;
+    const auto r = meter.finalize(10.0);
+    EXPECT_NEAR(r.idleEnergyJ, 30.2, 1e-9);
+    EXPECT_NEAR(r.activeEnergyJ, 0.0, 1e-12);
+    EXPECT_NEAR(r.totalEnergyJ, 30.2, 1e-9);
+    EXPECT_NEAR(r.edp, 302.0, 1e-6);
+}
+
+TEST(Power, ActiveEnergyAccumulates)
+{
+    EnergyMeter meter;
+    meter.addBusy(DeviceKind::Gpu, 4.0);
+    meter.addBusy(DeviceKind::Gpu, 1.0);
+    meter.addBusy(DeviceKind::EdgeTpu, 2.0);
+    EXPECT_DOUBLE_EQ(meter.busySeconds(DeviceKind::Gpu), 5.0);
+    const auto r = meter.finalize(6.0);
+    EXPECT_NEAR(r.activeEnergyJ, 5.0 * 1.65 + 2.0 * 0.56, 1e-9);
+}
+
+TEST(Power, FasterRunWithTpuCanUseLessEnergy)
+{
+    // GPU-only: 10 s busy over a 10 s makespan.
+    EnergyMeter base;
+    base.addBusy(DeviceKind::Gpu, 10.0);
+    const auto eb = base.finalize(10.0);
+
+    // SHMT: both devices busy 5 s over a 5 s makespan (2x speedup).
+    EnergyMeter shmt;
+    shmt.addBusy(DeviceKind::Gpu, 5.0);
+    shmt.addBusy(DeviceKind::EdgeTpu, 5.0);
+    const auto es = shmt.finalize(5.0);
+
+    EXPECT_LT(es.totalEnergyJ, eb.totalEnergyJ);
+    EXPECT_LT(es.edp, eb.edp * 0.5);
+}
+
+TEST(Power, ResetClearsBusyTime)
+{
+    EnergyMeter meter;
+    meter.addBusy(DeviceKind::Gpu, 3.0);
+    meter.reset();
+    EXPECT_DOUBLE_EQ(meter.busySeconds(DeviceKind::Gpu), 0.0);
+}
+
+} // namespace
+} // namespace shmt::sim

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "sim/timeline.hh"
+
+namespace shmt::sim {
+namespace {
+
+TEST(Timeline, ChargeAdvancesClock)
+{
+    DeviceTimeline tl(DeviceKind::Gpu);
+    tl.charge(0.1, 1.0);
+    EXPECT_NEAR(tl.now(), 1.1, 1e-12);  // first transfer cannot overlap
+    EXPECT_NEAR(tl.computeSeconds(), 1.0, 1e-12);
+    EXPECT_NEAR(tl.stallSeconds(), 0.1, 1e-12);
+}
+
+TEST(Timeline, DoubleBufferingHidesSmallTransfers)
+{
+    DeviceTimeline tl(DeviceKind::EdgeTpu, true);
+    tl.charge(0.1, 1.0);   // first transfer stalls
+    tl.charge(0.1, 1.0);   // second hides under previous compute
+    EXPECT_NEAR(tl.stallSeconds(), 0.1, 1e-12);
+    EXPECT_NEAR(tl.now(), 2.1, 1e-12);
+    EXPECT_NEAR(tl.transferSeconds(), 0.2, 1e-12);
+}
+
+TEST(Timeline, LargeTransferOnlyPartiallyHidden)
+{
+    DeviceTimeline tl(DeviceKind::EdgeTpu, true);
+    tl.charge(0.0, 0.5);
+    tl.charge(2.0, 1.0);  // 0.5 of the 2.0 overlaps -> 1.5 stall
+    EXPECT_NEAR(tl.stallSeconds(), 1.5, 1e-12);
+}
+
+TEST(Timeline, WithoutDoubleBufferingEveryTransferStalls)
+{
+    DeviceTimeline tl(DeviceKind::Gpu, false);
+    tl.charge(0.2, 1.0);
+    tl.charge(0.2, 1.0);
+    EXPECT_NEAR(tl.stallSeconds(), 0.4, 1e-12);
+    EXPECT_NEAR(tl.now(), 2.4, 1e-12);
+}
+
+TEST(Timeline, ReleaseTimeDelaysStart)
+{
+    DeviceTimeline tl(DeviceKind::Gpu);
+    tl.charge(0.0, 1.0, 5.0);
+    EXPECT_NEAR(tl.now(), 6.0, 1e-12);
+    // Busy time excludes the idle wait.
+    EXPECT_NEAR(tl.busySeconds(), 1.0, 1e-12);
+}
+
+TEST(Timeline, WaitUntilNeverRewinds)
+{
+    DeviceTimeline tl(DeviceKind::Gpu);
+    tl.charge(0.0, 2.0);
+    tl.waitUntil(1.0);
+    EXPECT_NEAR(tl.now(), 2.0, 1e-12);
+    tl.waitUntil(3.0);
+    EXPECT_NEAR(tl.now(), 3.0, 1e-12);
+}
+
+TEST(Timeline, ResetClearsEverything)
+{
+    DeviceTimeline tl(DeviceKind::Gpu);
+    tl.charge(0.1, 1.0);
+    tl.reset();
+    EXPECT_DOUBLE_EQ(tl.now(), 0.0);
+    EXPECT_DOUBLE_EQ(tl.busySeconds(), 0.0);
+}
+
+} // namespace
+} // namespace shmt::sim

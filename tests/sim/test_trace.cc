@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace shmt::sim {
+namespace {
+
+TraceEvent
+makeEvent(DeviceKind kind, double start, double end, bool stolen = false)
+{
+    TraceEvent e;
+    e.opcode = "sobel";
+    e.device = kind;
+    e.deviceName = std::string(deviceKindName(kind));
+    e.startSec = start;
+    e.endSec = end;
+    e.computeSec = end - start;
+    e.stolen = stolen;
+    return e;
+}
+
+TEST(Trace, EmptyByDefault)
+{
+    ExecutionTrace trace;
+    EXPECT_TRUE(trace.empty());
+    EXPECT_DOUBLE_EQ(trace.endSec(), 0.0);
+    EXPECT_DOUBLE_EQ(trace.stolenFraction(), 0.0);
+}
+
+TEST(Trace, BusyAndCountsPerDevice)
+{
+    ExecutionTrace trace;
+    trace.record(makeEvent(DeviceKind::Gpu, 0.0, 1.0));
+    trace.record(makeEvent(DeviceKind::Gpu, 1.0, 2.5));
+    trace.record(makeEvent(DeviceKind::EdgeTpu, 0.0, 2.0));
+    const auto busy = trace.busyByDevice();
+    EXPECT_NEAR(busy.at(DeviceKind::Gpu), 2.5, 1e-12);
+    EXPECT_NEAR(busy.at(DeviceKind::EdgeTpu), 2.0, 1e-12);
+    const auto counts = trace.hlopsByDevice();
+    EXPECT_EQ(counts.at(DeviceKind::Gpu), 2u);
+    EXPECT_EQ(counts.at(DeviceKind::EdgeTpu), 1u);
+    EXPECT_NEAR(trace.endSec(), 2.5, 1e-12);
+}
+
+TEST(Trace, StolenFraction)
+{
+    ExecutionTrace trace;
+    trace.record(makeEvent(DeviceKind::Gpu, 0, 1, false));
+    trace.record(makeEvent(DeviceKind::Gpu, 1, 2, true));
+    EXPECT_NEAR(trace.stolenFraction(), 0.5, 1e-12);
+}
+
+TEST(Trace, ChromeTraceJsonShape)
+{
+    ExecutionTrace trace;
+    trace.record(makeEvent(DeviceKind::Gpu, 0.001, 0.002));
+    std::ostringstream os;
+    trace.writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":\"gpu\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+}
+
+TEST(Trace, ClearResets)
+{
+    ExecutionTrace trace;
+    trace.record(makeEvent(DeviceKind::Gpu, 0, 1));
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+}
+
+} // namespace
+} // namespace shmt::sim

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "tensor/quantize.hh"
+
+namespace shmt {
+namespace {
+
+TEST(Quantize, ZeroIsExactlyRepresentable)
+{
+    const QuantParams qp = chooseQuantParams(-3.0f, 5.0f);
+    EXPECT_FLOAT_EQ(qp.dequantize(qp.quantize(0.0f)), 0.0f);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByStep)
+{
+    const QuantParams qp = chooseQuantParams(-1.0f, 1.0f);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-1.0f, 1.0f);
+        const float back = qp.dequantize(qp.quantize(v));
+        EXPECT_LE(std::fabs(back - v), qp.scale * 0.5f + 1e-6f);
+    }
+}
+
+TEST(Quantize, SaturatesOutOfRange)
+{
+    const QuantParams qp = chooseQuantParams(0.0f, 1.0f);
+    EXPECT_EQ(qp.quantize(100.0f), 127);
+    EXPECT_EQ(qp.quantize(-100.0f), -128);
+}
+
+TEST(Quantize, WiderRangeMeansCoarserStep)
+{
+    const QuantParams narrow = chooseQuantParams(0.0f, 1.0f);
+    const QuantParams wide = chooseQuantParams(0.0f, 100.0f);
+    EXPECT_GT(wide.scale, narrow.scale * 50.0f);
+}
+
+TEST(Quantize, PositiveOnlyRangeStillCoversZero)
+{
+    const QuantParams qp = chooseQuantParams(10.0f, 20.0f);
+    // The range was widened to [0, 20]; 10 must round-trip well.
+    const float back = qp.dequantize(qp.quantize(10.0f));
+    EXPECT_NEAR(back, 10.0f, qp.scale);
+}
+
+TEST(Quantize, DegenerateRangeDoesNotDivideByZero)
+{
+    const QuantParams qp = chooseQuantParams(2.0f, 2.0f);
+    EXPECT_GT(qp.scale, 0.0f);
+    EXPECT_TRUE(std::isfinite(qp.dequantize(qp.quantize(2.0f))));
+}
+
+TEST(Quantize, BufferRoundTrip)
+{
+    Tensor t(4, 8);
+    Rng rng(5);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = rng.uniform(-4.0f, 4.0f);
+    const QuantParams qp = chooseQuantParams(t.view());
+    const auto q = quantize(t.view(), qp);
+    Tensor back(4, 8);
+    dequantize(q, qp, back.view());
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_NEAR(back.data()[i], t.data()[i], qp.scale);
+}
+
+TEST(Quantize, FakeQuantizeMatchesQuantDequant)
+{
+    Tensor t(2, 5);
+    Rng rng(7);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = rng.uniform(-1.0f, 3.0f);
+    const QuantParams qp = chooseQuantParams(t.view());
+    Tensor fq(2, 5);
+    fakeQuantize(t.view(), fq.view(), qp);
+    const auto q = quantize(t.view(), qp);
+    Tensor dq(2, 5);
+    dequantize(q, qp, dq.view());
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(fq.data()[i], dq.data()[i]);
+}
+
+TEST(RobustRange, MatchesMinMaxForBenignData)
+{
+    Tensor t(64, 64);
+    Rng rng(21);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = rng.uniform(-2.0f, 2.0f);
+    auto [lo, hi] = robustRange(t.view(), 0.0, 1.0);
+    auto [mn, mx] = t.view().minmax();
+    EXPECT_NEAR(lo, mn, 0.05f);
+    EXPECT_NEAR(hi, mx, 0.05f);
+}
+
+TEST(RobustRange, ClipsOutliers)
+{
+    // 4096 values in [0,1] plus one at 1e6: the 99.9th percentile
+    // must ignore the spike.
+    Tensor t(64, 64);
+    Rng rng(22);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = rng.uniform(0.0f, 1.0f);
+    t.at(13, 13) = 1e6f;
+    auto [lo, hi] = robustRange(t.view(), 0.001, 0.999);
+    EXPECT_LT(hi, 2.0f);
+    EXPECT_GE(lo, -0.01f);
+}
+
+TEST(RobustRange, EmptyViewIsZero)
+{
+    Tensor t(1, 1, 5.0f);
+    auto [lo, hi] = robustRange(t.view());
+    EXPECT_FLOAT_EQ(lo, 5.0f);
+    EXPECT_FLOAT_EQ(hi, 5.0f);
+}
+
+TEST(RobustRange, OrderedEvenWhenQuantilesCross)
+{
+    Tensor t(2, 2, std::vector<float>{1, 2, 3, 4});
+    auto [lo, hi] = robustRange(t.view(), 0.9, 0.1);
+    EXPECT_LE(lo, hi);
+}
+
+TEST(Float16, ExactSmallIntegers)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 1024.0f, -2048.0f})
+        EXPECT_FLOAT_EQ(toFloat16(v), v);
+}
+
+TEST(Float16, RoundsMantissaTo10Bits)
+{
+    // 1 + 2^-11 is not representable in fp16: it rounds to 1.
+    EXPECT_FLOAT_EQ(toFloat16(1.0f + 4.8828125e-4f), 1.0f);
+    // 1 + 2^-10 is representable.
+    EXPECT_FLOAT_EQ(toFloat16(1.0f + 9.765625e-4f), 1.0f + 9.765625e-4f);
+}
+
+TEST(Float16, OverflowGoesToInfinity)
+{
+    EXPECT_TRUE(std::isinf(toFloat16(1e6f)));
+    EXPECT_TRUE(std::isinf(toFloat16(-1e6f)));
+}
+
+TEST(Float16, SubnormalsAreRepresentable)
+{
+    // Smallest positive normal half is 2^-14; 2^-20 is subnormal.
+    const float v = std::ldexp(1.0f, -20);
+    EXPECT_NEAR(toFloat16(v), v, v * 0.01f);
+}
+
+TEST(Float16, UnderflowToZero)
+{
+    EXPECT_FLOAT_EQ(toFloat16(std::ldexp(1.0f, -30)), 0.0f);
+}
+
+TEST(Float16, ErrorBoundedRelative)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-100.0f, 100.0f);
+        EXPECT_NEAR(toFloat16(v), v, std::fabs(v) * 1.0f / 1024.0f + 1e-7f);
+    }
+}
+
+} // namespace
+} // namespace shmt

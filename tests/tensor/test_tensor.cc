@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+
+namespace shmt {
+namespace {
+
+TEST(Tensor, ConstructAndAccess)
+{
+    Tensor t(3, 4, 1.5f);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 4u);
+    EXPECT_EQ(t.size(), 12u);
+    EXPECT_EQ(t.bytes(), 48u);
+    EXPECT_FLOAT_EQ(t.at(2, 3), 1.5f);
+    t.at(1, 2) = 7.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(Tensor, AdoptData)
+{
+    Tensor t(2, 2, std::vector<float>{1, 2, 3, 4});
+    EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, SliceSharesStorage)
+{
+    Tensor t(4, 4, 0.0f);
+    TensorView v = t.slice(1, 1, 2, 2);
+    v.at(0, 0) = 9.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 1), 9.0f);
+    EXPECT_EQ(v.rowStride(), 4u);
+    EXPECT_FALSE(v.contiguous());
+}
+
+TEST(Tensor, ViewFill)
+{
+    Tensor t(3, 3, 0.0f);
+    t.slice(0, 0, 2, 2).fill(5.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(t.at(1, 1), 5.0f);
+    EXPECT_FLOAT_EQ(t.at(2, 2), 0.0f);
+}
+
+TEST(Tensor, MinMax)
+{
+    const Tensor t(2, 3, std::vector<float>{3, -1, 4, 1, -5, 9});
+    auto [lo, hi] = t.view().minmax();
+    EXPECT_FLOAT_EQ(lo, -5.0f);
+    EXPECT_FLOAT_EQ(hi, 9.0f);
+}
+
+TEST(Tensor, MinMaxOfSlice)
+{
+    const Tensor t(2, 3, std::vector<float>{3, -1, 4, 1, -5, 9});
+    auto [lo, hi] = t.slice(0, 0, 2, 2).minmax();
+    EXPECT_FLOAT_EQ(lo, -5.0f);
+    EXPECT_FLOAT_EQ(hi, 3.0f);
+}
+
+TEST(Tensor, Memcpy2dBetweenStridedViews)
+{
+    Tensor src(4, 4);
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            src.at(r, c) = static_cast<float>(r * 4 + c);
+    Tensor dst(4, 4, -1.0f);
+    memcpy2d(dst.slice(2, 2, 2, 2), src.slice(0, 0, 2, 2));
+    EXPECT_FLOAT_EQ(dst.at(2, 2), 0.0f);
+    EXPECT_FLOAT_EQ(dst.at(3, 3), 5.0f);
+    EXPECT_FLOAT_EQ(dst.at(0, 0), -1.0f);
+}
+
+TEST(Tensor, ToTensorCompacts)
+{
+    Tensor src(4, 4, 2.0f);
+    src.at(1, 1) = 8.0f;
+    Tensor copy = toTensor(src.slice(1, 1, 2, 2));
+    EXPECT_EQ(copy.rows(), 2u);
+    EXPECT_EQ(copy.cols(), 2u);
+    EXPECT_FLOAT_EQ(copy.at(0, 0), 8.0f);
+    EXPECT_TRUE(copy.view().contiguous());
+}
+
+TEST(TensorDeath, SliceOutOfBoundsPanics)
+{
+    Tensor t(2, 2);
+    EXPECT_DEATH(t.slice(1, 1, 2, 2), "slice out of bounds");
+}
+
+TEST(TensorDeath, Memcpy2dShapeMismatchPanics)
+{
+    Tensor a(2, 2), b(2, 3);
+    EXPECT_DEATH(memcpy2d(a.view(), b.view()), "shape mismatch");
+}
+
+} // namespace
+} // namespace shmt

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tensor/tiling.hh"
+
+namespace shmt {
+namespace {
+
+size_t
+coveredElements(const std::vector<Rect> &parts)
+{
+    size_t total = 0;
+    for (const Rect &r : parts)
+        total += r.size();
+    return total;
+}
+
+TEST(Tiling, VectorPartitionsCoverDataset)
+{
+    const auto parts = vectorPartitions(100, 64, 8);
+    EXPECT_EQ(coveredElements(parts), 100u * 64u);
+    size_t next_row = 0;
+    for (const Rect &r : parts) {
+        EXPECT_EQ(r.row0, next_row);
+        EXPECT_EQ(r.col0, 0u);
+        EXPECT_EQ(r.cols, 64u);
+        next_row += r.rows;
+    }
+    EXPECT_EQ(next_row, 100u);
+}
+
+TEST(Tiling, VectorPartitionsRespectPageMinimum)
+{
+    // 1024 elements per page / 64 cols = 16 rows minimum.
+    const auto parts = vectorPartitions(1024, 64, 64);
+    for (const Rect &r : parts)
+        EXPECT_GE(r.size(), kMinVectorElems);
+}
+
+TEST(Tiling, VectorPartitionsClampToRowCount)
+{
+    const auto parts = vectorPartitions(3, 2048, 100);
+    EXPECT_LE(parts.size(), 3u);
+    EXPECT_EQ(coveredElements(parts), 3u * 2048u);
+}
+
+TEST(Tiling, SinglePartition)
+{
+    const auto parts = vectorPartitions(16, 16, 1);
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0].rows, 16u);
+}
+
+TEST(Tiling, TilePartitionsCoverExactly)
+{
+    const auto tiles = tilePartitions(100, 70, 32, 32);
+    EXPECT_EQ(coveredElements(tiles), 100u * 70u);
+    // Grid: 4 x 3 tiles.
+    EXPECT_EQ(tiles.size(), 12u);
+    // Edge tiles are cropped.
+    EXPECT_EQ(tiles.back().rows, 100u % 32u);
+    EXPECT_EQ(tiles.back().cols, 70u % 32u);
+}
+
+TEST(Tiling, TileLargerThanDataset)
+{
+    const auto tiles = tilePartitions(10, 10, 256, 256);
+    ASSERT_EQ(tiles.size(), 1u);
+    EXPECT_EQ(tiles[0].rows, 10u);
+    EXPECT_EQ(tiles[0].cols, 10u);
+}
+
+TEST(Tiling, TilesDoNotOverlap)
+{
+    const auto tiles = tilePartitions(64, 64, 16, 16);
+    std::vector<int> hit(64 * 64, 0);
+    for (const Rect &t : tiles)
+        for (size_t r = 0; r < t.rows; ++r)
+            for (size_t c = 0; c < t.cols; ++c)
+                hit[(t.row0 + r) * 64 + (t.col0 + c)]++;
+    for (int h : hit)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(Tiling, ChoosePartitionCountBounds)
+{
+    EXPECT_GE(choosePartitionCount(4096, 4096, 16, 64), 16u);
+    EXPECT_LE(choosePartitionCount(4096, 4096, 16, 64), 64u);
+    // Tiny dataset: single partition.
+    EXPECT_EQ(choosePartitionCount(1, 8, 16, 64), 1u);
+}
+
+TEST(Tiling, RegionViewMatchesSlice)
+{
+    Tensor t(8, 8);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(i);
+    const Rect r{2, 3, 4, 5};
+    auto v = regionView(t, r);
+    EXPECT_FLOAT_EQ(v.at(0, 0), t.at(2, 3));
+    EXPECT_FLOAT_EQ(v.at(3, 4), t.at(5, 7));
+}
+
+} // namespace
+} // namespace shmt

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * shmtbench — command-line driver for the SHMT evaluation harness.
+ *
+ * Run any benchmark under any scheduling policy at any problem size,
+ * with a full report: latency, speedup, per-device utilization,
+ * quality (MAPE/SSIM), energy/EDP, memory footprint, communication
+ * overhead, and an optional Chrome-trace export.
+ *
+ *   shmtbench --bench sobel --policy qaws-ts --size 2048
+ *   shmtbench --bench all --policy work-stealing --size 1024 --no-quality
+ *   shmtbench --bench fft --policy qaws-ts --trace fft.json --dsp
+ *   shmtbench --bench srad --calibration myboard.conf
+ *   shmtbench --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "devices/backend.hh"
+#include "kernels/kernel_registry.hh"
+#include "sim/config.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+using namespace shmt;
+
+struct Options
+{
+    std::string bench = "all";
+    std::string policy = "qaws-ts";
+    size_t size = 1024;
+    bool quality = true;
+    bool dsp = false;
+    bool cpu = false;
+    std::string tracePath;
+    std::string calibrationPath;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: shmtbench [options]\n"
+        "  --bench <name|all>    benchmark to run (default: all)\n"
+        "  --policy <name>       scheduling policy (default: qaws-ts)\n"
+        "  --size <edge>         square input edge (default: 1024)\n"
+        "  --no-quality          timing-only (skip MAPE/SSIM)\n"
+        "  --dsp                 add the FP16 image DSP\n"
+        "  --cpu                 add the host CPU\n"
+        "  --trace <file>        write a Chrome trace of the run\n"
+        "  --calibration <file>  platform calibration overrides\n"
+        "  --list                list benchmarks and policies\n");
+}
+
+void
+listChoices()
+{
+    std::printf("benchmarks:");
+    for (const auto &name : apps::benchmarkNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\npolicies: even work-stealing qaws-ts qaws-tu qaws-tr"
+                " qaws-ls qaws-lu qaws-lr ira oracle static-optimal"
+                " gpu-only tpu-only sw-pipelining\n");
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                SHMT_FATAL("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            opts.bench = next();
+        } else if (arg == "--policy") {
+            opts.policy = next();
+        } else if (arg == "--size") {
+            opts.size = std::strtoul(next().c_str(), nullptr, 10);
+            if (opts.size == 0)
+                SHMT_FATAL("--size must be positive");
+        } else if (arg == "--no-quality") {
+            opts.quality = false;
+        } else if (arg == "--dsp") {
+            opts.dsp = true;
+        } else if (arg == "--cpu") {
+            opts.cpu = true;
+        } else if (arg == "--trace") {
+            opts.tracePath = next();
+        } else if (arg == "--calibration") {
+            opts.calibrationPath = next();
+        } else if (arg == "--list") {
+            listChoices();
+            std::exit(0);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            SHMT_FATAL("unknown argument '", arg, "'");
+        }
+    }
+    return opts;
+}
+
+void
+report(const apps::EvalResult &r, bool quality)
+{
+    std::printf("\n%s under %s\n", r.benchmark.c_str(),
+                r.policy.c_str());
+    std::printf("  baseline latency : %10.4f s\n", r.baselineSec);
+    std::printf("  SHMT latency     : %10.4f s   speedup %.2fx\n",
+                r.shmtSec, r.speedup);
+    for (const auto &d : r.run.devices) {
+        if (d.hlops == 0 && d.busySec == 0.0)
+            continue;
+        std::printf("    %-8s %5zu HLOPs (%zu stolen)  busy %8.2f ms "
+                    "(%.0f%%)\n",
+                    d.name.c_str(), d.hlops, d.stolen, d.busySec * 1e3,
+                    100.0 * d.busySec / r.shmtSec);
+    }
+    std::printf("  scheduling/aggregation: %.2f / %.2f ms\n",
+                r.run.schedulingSec * 1e3, r.run.aggregationSec * 1e3);
+    std::printf("  comm overhead    : %6.2f %%\n",
+                100.0 * r.run.commOverhead());
+    std::printf("  energy           : %8.2f J (baseline %.2f J, "
+                "EDP ratio %.3f)\n",
+                r.run.energy.totalEnergyJ,
+                r.baseline.energy.totalEnergyJ,
+                r.run.energy.edp / r.baseline.energy.edp);
+    if (quality) {
+        std::printf("  MAPE             : %6.2f %%\n", r.mapePct);
+        std::printf("  SSIM             : %6.4f\n", r.ssim);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+
+    sim::PlatformCalibration cal = sim::defaultCalibration();
+    if (!opts.calibrationPath.empty())
+        cal = sim::loadCalibrationFile(opts.calibrationPath);
+
+    auto backends = devices::makePrototypeBackends(
+        kernels::KernelRegistry::instance(), cal, opts.cpu, opts.dsp);
+    core::Runtime runtime(std::move(backends), cal);
+
+    sim::ExecutionTrace trace;
+    if (!opts.tracePath.empty())
+        runtime.attachTrace(&trace);
+
+    std::vector<std::string> benches;
+    if (opts.bench == "all")
+        benches = apps::benchmarkNames();
+    else
+        benches.push_back(opts.bench);
+
+    for (const auto &name : benches) {
+        auto bench = apps::makeBenchmark(name, opts.size, opts.size);
+        const auto r = apps::evaluatePolicy(runtime, *bench, opts.policy,
+                                            {}, opts.quality);
+        report(r, opts.quality);
+    }
+
+    if (!opts.tracePath.empty()) {
+        std::ofstream out(opts.tracePath);
+        if (!out)
+            SHMT_FATAL("cannot write trace to '", opts.tracePath, "'");
+        trace.writeChromeTrace(out);
+        std::printf("\ntrace written to %s (%zu events)\n",
+                    opts.tracePath.c_str(), trace.events().size());
+    }
+    return 0;
+}
