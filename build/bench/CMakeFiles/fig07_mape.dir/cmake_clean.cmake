@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mape.dir/fig07_mape.cc.o"
+  "CMakeFiles/fig07_mape.dir/fig07_mape.cc.o.d"
+  "fig07_mape"
+  "fig07_mape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

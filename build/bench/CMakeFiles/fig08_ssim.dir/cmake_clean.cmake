@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ssim.dir/fig08_ssim.cc.o"
+  "CMakeFiles/fig08_ssim.dir/fig08_ssim.cc.o.d"
+  "fig08_ssim"
+  "fig08_ssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sampling_rate.dir/fig09_sampling_rate.cc.o"
+  "CMakeFiles/fig09_sampling_rate.dir/fig09_sampling_rate.cc.o.d"
+  "fig09_sampling_rate"
+  "fig09_sampling_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sampling_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_problem_size.cc" "bench/CMakeFiles/fig12_problem_size.dir/fig12_problem_size.cc.o" "gcc" "bench/CMakeFiles/fig12_problem_size.dir/fig12_problem_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/shmt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/shmt_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/shmt_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/shmt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/shmt_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/shmt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_blackscholes.dir/finance_blackscholes.cpp.o"
+  "CMakeFiles/finance_blackscholes.dir/finance_blackscholes.cpp.o.d"
+  "finance_blackscholes"
+  "finance_blackscholes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_blackscholes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

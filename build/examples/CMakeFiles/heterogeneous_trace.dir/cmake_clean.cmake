@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_trace.dir/heterogeneous_trace.cpp.o"
+  "CMakeFiles/heterogeneous_trace.dir/heterogeneous_trace.cpp.o.d"
+  "heterogeneous_trace"
+  "heterogeneous_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

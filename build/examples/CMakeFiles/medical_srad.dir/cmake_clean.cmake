@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_srad.dir/medical_srad.cpp.o"
+  "CMakeFiles/medical_srad.dir/medical_srad.cpp.o.d"
+  "medical_srad"
+  "medical_srad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_srad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

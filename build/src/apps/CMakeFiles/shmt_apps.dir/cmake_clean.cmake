@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmt_apps.dir/benchmarks.cc.o"
+  "CMakeFiles/shmt_apps.dir/benchmarks.cc.o.d"
+  "CMakeFiles/shmt_apps.dir/harness.cc.o"
+  "CMakeFiles/shmt_apps.dir/harness.cc.o.d"
+  "libshmt_apps.a"
+  "libshmt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

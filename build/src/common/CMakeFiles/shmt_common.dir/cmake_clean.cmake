@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmt_common.dir/logging.cc.o"
+  "CMakeFiles/shmt_common.dir/logging.cc.o.d"
+  "libshmt_common.a"
+  "libshmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/shmt_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/shmt_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/shmt_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/shmt_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/shmt_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/shmt_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/shmt_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/shmt_core.dir/sampling.cc.o.d"
+  "/root/repo/src/core/shmt_api.cc" "src/core/CMakeFiles/shmt_core.dir/shmt_api.cc.o" "gcc" "src/core/CMakeFiles/shmt_core.dir/shmt_api.cc.o.d"
+  "/root/repo/src/core/threaded_executor.cc" "src/core/CMakeFiles/shmt_core.dir/threaded_executor.cc.o" "gcc" "src/core/CMakeFiles/shmt_core.dir/threaded_executor.cc.o.d"
+  "/root/repo/src/core/virtual_device.cc" "src/core/CMakeFiles/shmt_core.dir/virtual_device.cc.o" "gcc" "src/core/CMakeFiles/shmt_core.dir/virtual_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/shmt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/shmt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/shmt_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/shmt_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/shmt_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

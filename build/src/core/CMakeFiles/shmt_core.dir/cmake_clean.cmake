@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmt_core.dir/pipeline.cc.o"
+  "CMakeFiles/shmt_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/shmt_core.dir/policy.cc.o"
+  "CMakeFiles/shmt_core.dir/policy.cc.o.d"
+  "CMakeFiles/shmt_core.dir/runtime.cc.o"
+  "CMakeFiles/shmt_core.dir/runtime.cc.o.d"
+  "CMakeFiles/shmt_core.dir/sampling.cc.o"
+  "CMakeFiles/shmt_core.dir/sampling.cc.o.d"
+  "CMakeFiles/shmt_core.dir/shmt_api.cc.o"
+  "CMakeFiles/shmt_core.dir/shmt_api.cc.o.d"
+  "CMakeFiles/shmt_core.dir/threaded_executor.cc.o"
+  "CMakeFiles/shmt_core.dir/threaded_executor.cc.o.d"
+  "CMakeFiles/shmt_core.dir/virtual_device.cc.o"
+  "CMakeFiles/shmt_core.dir/virtual_device.cc.o.d"
+  "libshmt_core.a"
+  "libshmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

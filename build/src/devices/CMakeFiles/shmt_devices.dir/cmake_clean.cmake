@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmt_devices.dir/backends.cc.o"
+  "CMakeFiles/shmt_devices.dir/backends.cc.o.d"
+  "libshmt_devices.a"
+  "libshmt_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmt_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

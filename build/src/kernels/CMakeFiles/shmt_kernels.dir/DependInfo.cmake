@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/blackscholes.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/blackscholes.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/blackscholes.cc.o.d"
+  "/root/repo/src/kernels/conv_filters.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/conv_filters.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/conv_filters.cc.o.d"
+  "/root/repo/src/kernels/dct.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/dct.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/dct.cc.o.d"
+  "/root/repo/src/kernels/dwt.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/dwt.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/dwt.cc.o.d"
+  "/root/repo/src/kernels/elementwise.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/elementwise.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/elementwise.cc.o.d"
+  "/root/repo/src/kernels/fft.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/fft.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/fft.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/gemm.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/gemm.cc.o.d"
+  "/root/repo/src/kernels/kernel_registry.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/kernel_registry.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/kernel_registry.cc.o.d"
+  "/root/repo/src/kernels/reductions.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/reductions.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/reductions.cc.o.d"
+  "/root/repo/src/kernels/stencil.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/stencil.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/stencil.cc.o.d"
+  "/root/repo/src/kernels/workload.cc" "src/kernels/CMakeFiles/shmt_kernels.dir/workload.cc.o" "gcc" "src/kernels/CMakeFiles/shmt_kernels.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/shmt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

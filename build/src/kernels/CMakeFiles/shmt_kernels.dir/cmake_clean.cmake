@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmt_kernels.dir/blackscholes.cc.o"
+  "CMakeFiles/shmt_kernels.dir/blackscholes.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/conv_filters.cc.o"
+  "CMakeFiles/shmt_kernels.dir/conv_filters.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/dct.cc.o"
+  "CMakeFiles/shmt_kernels.dir/dct.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/dwt.cc.o"
+  "CMakeFiles/shmt_kernels.dir/dwt.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/elementwise.cc.o"
+  "CMakeFiles/shmt_kernels.dir/elementwise.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/fft.cc.o"
+  "CMakeFiles/shmt_kernels.dir/fft.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/gemm.cc.o"
+  "CMakeFiles/shmt_kernels.dir/gemm.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/kernel_registry.cc.o"
+  "CMakeFiles/shmt_kernels.dir/kernel_registry.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/reductions.cc.o"
+  "CMakeFiles/shmt_kernels.dir/reductions.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/stencil.cc.o"
+  "CMakeFiles/shmt_kernels.dir/stencil.cc.o.d"
+  "CMakeFiles/shmt_kernels.dir/workload.cc.o"
+  "CMakeFiles/shmt_kernels.dir/workload.cc.o.d"
+  "libshmt_kernels.a"
+  "libshmt_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

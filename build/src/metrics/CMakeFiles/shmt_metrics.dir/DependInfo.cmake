@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/error_metrics.cc" "src/metrics/CMakeFiles/shmt_metrics.dir/error_metrics.cc.o" "gcc" "src/metrics/CMakeFiles/shmt_metrics.dir/error_metrics.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/metrics/CMakeFiles/shmt_metrics.dir/report.cc.o" "gcc" "src/metrics/CMakeFiles/shmt_metrics.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/shmt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

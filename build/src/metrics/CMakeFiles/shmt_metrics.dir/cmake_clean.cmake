@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmt_metrics.dir/error_metrics.cc.o"
+  "CMakeFiles/shmt_metrics.dir/error_metrics.cc.o.d"
+  "CMakeFiles/shmt_metrics.dir/report.cc.o"
+  "CMakeFiles/shmt_metrics.dir/report.cc.o.d"
+  "libshmt_metrics.a"
+  "libshmt_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmt_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshmt_metrics.a"
+)

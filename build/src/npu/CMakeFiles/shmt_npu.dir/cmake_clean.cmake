@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmt_npu.dir/model_builder.cc.o"
+  "CMakeFiles/shmt_npu.dir/model_builder.cc.o.d"
+  "CMakeFiles/shmt_npu.dir/npu_model.cc.o"
+  "CMakeFiles/shmt_npu.dir/npu_model.cc.o.d"
+  "libshmt_npu.a"
+  "libshmt_npu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmt_npu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for shmt_npu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/calibration.cc" "src/sim/CMakeFiles/shmt_sim.dir/calibration.cc.o" "gcc" "src/sim/CMakeFiles/shmt_sim.dir/calibration.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/shmt_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/shmt_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/shmt_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/shmt_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/shmt_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/shmt_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/shmt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmt_sim.dir/calibration.cc.o"
+  "CMakeFiles/shmt_sim.dir/calibration.cc.o.d"
+  "CMakeFiles/shmt_sim.dir/config.cc.o"
+  "CMakeFiles/shmt_sim.dir/config.cc.o.d"
+  "CMakeFiles/shmt_sim.dir/cost_model.cc.o"
+  "CMakeFiles/shmt_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/shmt_sim.dir/trace.cc.o"
+  "CMakeFiles/shmt_sim.dir/trace.cc.o.d"
+  "libshmt_sim.a"
+  "libshmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

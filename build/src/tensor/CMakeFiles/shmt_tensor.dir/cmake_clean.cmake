@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmt_tensor.dir/quantize.cc.o"
+  "CMakeFiles/shmt_tensor.dir/quantize.cc.o.d"
+  "CMakeFiles/shmt_tensor.dir/tensor.cc.o"
+  "CMakeFiles/shmt_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/shmt_tensor.dir/tiling.cc.o"
+  "CMakeFiles/shmt_tensor.dir/tiling.cc.o.d"
+  "libshmt_tensor.a"
+  "libshmt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_api.cc" "tests/CMakeFiles/test_core.dir/core/test_api.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_api.cc.o.d"
+  "/root/repo/tests/core/test_extensions.cc" "tests/CMakeFiles/test_core.dir/core/test_extensions.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_extensions.cc.o.d"
+  "/root/repo/tests/core/test_pipeline.cc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cc.o.d"
+  "/root/repo/tests/core/test_policy.cc" "tests/CMakeFiles/test_core.dir/core/test_policy.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_policy.cc.o.d"
+  "/root/repo/tests/core/test_runtime.cc" "tests/CMakeFiles/test_core.dir/core/test_runtime.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_runtime.cc.o.d"
+  "/root/repo/tests/core/test_sampling.cc" "tests/CMakeFiles/test_core.dir/core/test_sampling.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sampling.cc.o.d"
+  "/root/repo/tests/core/test_threaded.cc" "tests/CMakeFiles/test_core.dir/core/test_threaded.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_threaded.cc.o.d"
+  "/root/repo/tests/core/test_virtual_device.cc" "tests/CMakeFiles/test_core.dir/core/test_virtual_device.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_virtual_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/shmt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/shmt_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/shmt_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/shmt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/shmt_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/shmt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_api.cc.o"
+  "CMakeFiles/test_core.dir/core/test_api.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_extensions.cc.o"
+  "CMakeFiles/test_core.dir/core/test_extensions.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cc.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_policy.cc.o"
+  "CMakeFiles/test_core.dir/core/test_policy.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtime.cc.o"
+  "CMakeFiles/test_core.dir/core/test_runtime.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_sampling.cc.o"
+  "CMakeFiles/test_core.dir/core/test_sampling.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_threaded.cc.o"
+  "CMakeFiles/test_core.dir/core/test_threaded.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_virtual_device.cc.o"
+  "CMakeFiles/test_core.dir/core/test_virtual_device.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_benchmarks.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_benchmarks.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_quality.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_quality.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_random_programs.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_random_programs.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

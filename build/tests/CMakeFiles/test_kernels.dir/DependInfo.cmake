@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/test_blackscholes.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_blackscholes.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_blackscholes.cc.o.d"
+  "/root/repo/tests/kernels/test_elementwise.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_elementwise.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_elementwise.cc.o.d"
+  "/root/repo/tests/kernels/test_filters.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_filters.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_filters.cc.o.d"
+  "/root/repo/tests/kernels/test_gemm.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_gemm.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_gemm.cc.o.d"
+  "/root/repo/tests/kernels/test_kernel_properties.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_kernel_properties.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_kernel_properties.cc.o.d"
+  "/root/repo/tests/kernels/test_reductions.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_reductions.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_reductions.cc.o.d"
+  "/root/repo/tests/kernels/test_registry.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_registry.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_registry.cc.o.d"
+  "/root/repo/tests/kernels/test_stencil.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_stencil.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_stencil.cc.o.d"
+  "/root/repo/tests/kernels/test_transforms.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_transforms.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_transforms.cc.o.d"
+  "/root/repo/tests/kernels/test_workload.cc" "tests/CMakeFiles/test_kernels.dir/kernels/test_workload.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/shmt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/shmt_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/shmt_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/shmt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/shmt_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/shmt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels.dir/kernels/test_blackscholes.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_blackscholes.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_elementwise.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_elementwise.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_filters.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_filters.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_gemm.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_gemm.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_kernel_properties.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_kernel_properties.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_reductions.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_reductions.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_registry.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_registry.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_stencil.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_stencil.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_transforms.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_transforms.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_workload.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_workload.cc.o.d"
+  "test_kernels"
+  "test_kernels.pdb"
+  "test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npu.dir/npu/test_model_builder.cc.o"
+  "CMakeFiles/test_npu.dir/npu/test_model_builder.cc.o.d"
+  "CMakeFiles/test_npu.dir/npu/test_npu_model.cc.o"
+  "CMakeFiles/test_npu.dir/npu/test_npu_model.cc.o.d"
+  "test_npu"
+  "test_npu.pdb"
+  "test_npu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

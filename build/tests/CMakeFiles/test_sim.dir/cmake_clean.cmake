@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_config.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_config.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cost_model.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cost_model.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_memory_tracker.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_memory_tracker.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_power.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_power.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_timeline.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_timeline.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

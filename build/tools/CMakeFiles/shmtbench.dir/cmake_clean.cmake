@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmtbench.dir/shmtbench.cc.o"
+  "CMakeFiles/shmtbench.dir/shmtbench.cc.o.d"
+  "shmtbench"
+  "shmtbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmtbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

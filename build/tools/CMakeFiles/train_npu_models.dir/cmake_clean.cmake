@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_npu_models.dir/train_npu_models.cc.o"
+  "CMakeFiles/train_npu_models.dir/train_npu_models.cc.o.d"
+  "train_npu_models"
+  "train_npu_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_npu_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

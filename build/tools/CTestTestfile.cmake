@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_shmtbench_list "/root/repo/build/tools/shmtbench" "--list")
+set_tests_properties(tool_shmtbench_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_shmtbench_run "/root/repo/build/tools/shmtbench" "--bench" "sobel" "--policy" "qaws-ts" "--size" "256")
+set_tests_properties(tool_shmtbench_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_shmtbench_timing_only "/root/repo/build/tools/shmtbench" "--bench" "fft" "--policy" "work-stealing" "--size" "256" "--no-quality" "--dsp")
+set_tests_properties(tool_shmtbench_timing_only PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_train_npu_models "/root/repo/build/tools/train_npu_models" "64")
+set_tests_properties(tool_train_npu_models PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
