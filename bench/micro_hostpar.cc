@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Host-engine wall-clock micro-benchmark.
+ *
+ * Runs each benchmark under QAWS-TS twice — hostThreads=1 (legacy
+ * serial) and hostThreads=N (pooled) — on identical inputs, verifies
+ * the outputs are bit-identical and the simulated makespans equal,
+ * and reports the host wall-clock speedup. Unlike the fig* benches
+ * this measures *real* host time, not simulated device time: it is
+ * the number the parallel host engine exists to improve.
+ *
+ * Emits `BENCH_hostpar.json` in the working directory.
+ *
+ * Usage: micro_hostpar [--n <edge>] [--threads <n>] [--iters <k>]
+ *                      [--bench <name>]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+#include "common/thread_pool.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "metrics/report.hh"
+#include "sim/wallclock.hh"
+
+namespace {
+
+using namespace shmt;
+
+struct Measurement
+{
+    double bestSec = std::numeric_limits<double>::infinity();
+    sim::HostPhaseStats phases;   //!< phases of the best iteration
+    double makespanSec = 0.0;
+    std::vector<float> output;
+};
+
+/** Best-of-@p iters timed runs of @p bench_name under QAWS-TS. */
+Measurement
+measure(const std::string &bench_name, size_t n, size_t host_threads,
+        size_t iters)
+{
+    Measurement m;
+    for (size_t it = 0; it < iters; ++it) {
+        core::RuntimeConfig cfg;
+        cfg.hostThreads = host_threads;
+        auto rt = apps::makePrototypeRuntime(cfg);
+        auto bench = apps::makeBenchmark(bench_name, n, n);
+        auto policy = core::makePolicy("qaws-ts");
+
+        const double t0 = sim::wallSeconds();
+        const core::RunResult r = rt.run(bench->program(), *policy);
+        const double sec = sim::wallSeconds() - t0;
+
+        m.makespanSec = r.makespanSec;
+        if (sec < m.bestSec) {
+            m.bestSec = sec;
+            m.phases = r.hostWall;
+        }
+        if (it == 0) {
+            const ConstTensorView v = bench->output().view();
+            m.output.resize(v.size());
+            for (size_t row = 0; row < v.rows(); ++row)
+                std::memcpy(m.output.data() + row * v.cols(),
+                            v.row(row), v.cols() * sizeof(float));
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t n = apps::benchEdge(1024);
+    size_t threads = 4;
+    size_t iters = 3;
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                SHMT_FATAL("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--n")
+            n = std::stoul(next());
+        else if (arg == "--threads")
+            threads = std::stoul(next());
+        else if (arg == "--iters")
+            iters = std::stoul(next());
+        else if (arg == "--bench")
+            only = next();
+        else
+            SHMT_FATAL("unknown option '", arg, "'");
+    }
+    if (!only.empty()) {
+        const auto names = apps::benchmarkNames();
+        if (std::find(names.begin(), names.end(), only) == names.end())
+            SHMT_FATAL("unknown benchmark '", only, "'");
+    }
+    const size_t resolved = common::ThreadPool::resolveThreads(threads);
+
+    metrics::Table table({"Benchmark", "Serial (ms)", "Pooled (ms)",
+                          "Speedup", "Sampling x", "Exec x",
+                          "Bit-identical"});
+    std::vector<double> speedups;
+    std::ofstream json("BENCH_hostpar.json");
+    json << "{\n  \"edge\": " << n << ",\n  \"threads\": " << resolved
+         << ",\n  \"policy\": \"qaws-ts\",\n  \"benchmarks\": [\n";
+
+    bool first = true;
+    bool all_identical = true;
+    for (const auto &bench_name : apps::benchmarkNames()) {
+        if (!only.empty() && bench_name != only)
+            continue;
+        const Measurement serial = measure(bench_name, n, 1, iters);
+        const Measurement pooled =
+            measure(bench_name, n, threads, iters);
+
+        const bool identical =
+            serial.output.size() == pooled.output.size() &&
+            std::memcmp(serial.output.data(), pooled.output.data(),
+                        serial.output.size() * sizeof(float)) == 0 &&
+            serial.makespanSec == pooled.makespanSec;
+        all_identical = all_identical && identical;
+
+        const double speedup = serial.bestSec / pooled.bestSec;
+        auto phase_speedup = [](double a, double b) {
+            return b > 0.0 ? a / b : 1.0;
+        };
+        const double sampling_x = phase_speedup(
+            serial.phases.samplingSec, pooled.phases.samplingSec);
+        const double exec_x = phase_speedup(serial.phases.execSec,
+                                            pooled.phases.execSec);
+        speedups.push_back(speedup);
+
+        table.addRow({bench_name,
+                      metrics::Table::num(serial.bestSec * 1e3),
+                      metrics::Table::num(pooled.bestSec * 1e3),
+                      metrics::Table::num(speedup),
+                      metrics::Table::num(sampling_x),
+                      metrics::Table::num(exec_x),
+                      identical ? "yes" : "NO"});
+
+        json << (first ? "" : ",\n") << "    {\"name\": \""
+             << bench_name << "\", \"serial_sec\": " << serial.bestSec
+             << ", \"pooled_sec\": " << pooled.bestSec
+             << ", \"speedup\": " << speedup
+             << ", \"sampling_speedup\": " << sampling_x
+             << ", \"exec_speedup\": " << exec_x
+             << ", \"bit_identical\": " << (identical ? "true" : "false")
+             << "}";
+        first = false;
+    }
+    const double gmean = speedups.empty() ? 0.0 : geomean(speedups);
+    json << "\n  ],\n  \"geomean_speedup\": " << gmean
+         << ",\n  \"all_bit_identical\": "
+         << (all_identical ? "true" : "false") << "\n}\n";
+
+    table.print("Host engine wall clock: hostThreads=1 vs hostThreads=" +
+                std::to_string(resolved) + " (QAWS-TS, " +
+                std::to_string(n) + "x" + std::to_string(n) + ")");
+    std::printf("\nGeomean speedup: %.2fx  (hardware lanes: %zu)\n",
+                gmean, common::ThreadPool::resolveThreads(0));
+    std::printf("Outputs bit-identical across configurations: %s\n",
+                all_identical ? "yes" : "NO");
+    std::printf("Wrote BENCH_hostpar.json\n");
+    return all_identical ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+#include "staging_pool.hh"
+
+namespace shmt::common {
+
+std::vector<std::vector<float>> &
+StagingPool::cache()
+{
+    thread_local std::vector<std::vector<float>> buffers;
+    return buffers;
+}
+
+StagingPool::Lease
+StagingPool::acquire(size_t elems)
+{
+    auto &buffers = cache();
+    std::vector<float> buf;
+    if (!buffers.empty()) {
+        buf = std::move(buffers.back());
+        buffers.pop_back();
+    }
+    // resize() only touches memory when growing past the recycled
+    // capacity; steady-state staging passes reuse it allocation-free.
+    buf.resize(elems);
+    return Lease(std::move(buf));
+}
+
+void
+StagingPool::Lease::release()
+{
+    if (buf_.capacity() == 0)
+        return;
+    auto &buffers = cache();
+    if (buffers.size() < kMaxCached)
+        buffers.push_back(std::move(buf_));
+    buf_ = std::vector<float>();
+}
+
+size_t
+StagingPool::cachedCount()
+{
+    return cache().size();
+}
+
+void
+StagingPool::clearThreadCache()
+{
+    cache().clear();
+}
+
+} // namespace shmt::common

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reusable staging-buffer pool.
+ *
+ * The Edge-TPU path stages an INT8-quantized copy of every HLOP's
+ * inputs (paper §3.3.2). Allocating those scratch buffers per HLOP
+ * dominates the staging cost for small partitions and serializes the
+ * parallel host engine on the allocator lock; this pool recycles the
+ * buffers through thread-local free lists instead (lock-free: a
+ * buffer is returned to the cache of whichever thread drops the
+ * lease, which is the thread that used it).
+ */
+
+#ifndef SHMT_COMMON_STAGING_POOL_HH
+#define SHMT_COMMON_STAGING_POOL_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace shmt::common {
+
+/** Thread-local recycling pool of float scratch buffers. */
+class StagingPool
+{
+  public:
+    /** RAII lease of a pooled buffer; returns it on destruction. */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        explicit Lease(std::vector<float> buf) : buf_(std::move(buf)) {}
+        Lease(Lease &&other) noexcept : buf_(std::move(other.buf_))
+        {
+            other.buf_.clear();
+        }
+        Lease &
+        operator=(Lease &&other) noexcept
+        {
+            if (this != &other) {
+                release();
+                buf_ = std::move(other.buf_);
+                other.buf_.clear();
+            }
+            return *this;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease() { release(); }
+
+        float *data() { return buf_.data(); }
+        const float *data() const { return buf_.data(); }
+        size_t size() const { return buf_.size(); }
+
+      private:
+        void release();
+
+        std::vector<float> buf_;
+    };
+
+    /**
+     * Lease a buffer of exactly @p elems floats. Contents are
+     * UNINITIALIZED (recycled buffers keep stale data) — callers must
+     * fully overwrite, which every staging pass does.
+     */
+    static Lease acquire(size_t elems);
+
+    /** Buffers currently cached on this thread (for tests/reports). */
+    static size_t cachedCount();
+
+    /** Drop this thread's cached buffers. */
+    static void clearThreadCache();
+
+  private:
+    friend class Lease;
+
+    static constexpr size_t kMaxCached = 32;
+
+    static std::vector<std::vector<float>> &cache();
+};
+
+} // namespace shmt::common
+
+#endif // SHMT_COMMON_STAGING_POOL_HH

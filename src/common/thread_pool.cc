@@ -1,0 +1,291 @@
+#include "thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+#include "common/random.hh"
+
+namespace shmt::common {
+
+namespace {
+
+/** Identity of the pool worker running on this thread (if any). */
+thread_local const ThreadPool *tl_pool = nullptr;
+thread_local size_t tl_worker = 0;
+
+std::mutex g_global_lock;
+std::unique_ptr<ThreadPool> g_global_pool;
+size_t g_global_threads = 0;   //!< last configured request (0 = hw)
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    const size_t lanes = resolveThreads(threads);
+    const size_t n_workers = lanes > 0 ? lanes - 1 : 0;
+    deques_.resize(n_workers);
+    workers_.reserve(n_workers);
+    for (size_t w = 0; w < n_workers; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::scoped_lock guard(lock_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    return tl_pool == this;
+}
+
+bool
+ThreadPool::popTask(size_t self, Task &out)
+{
+    // Own deque first (the work this worker spawned), then the global
+    // injector, then steal from the back of the deepest peer deque.
+    if (!deques_[self].empty()) {
+        out = std::move(deques_[self].front());
+        deques_[self].pop_front();
+        return true;
+    }
+    if (!injector_.empty()) {
+        out = std::move(injector_.front());
+        injector_.pop_front();
+        return true;
+    }
+    size_t victim = deques_.size();
+    size_t depth = 0;
+    for (size_t v = 0; v < deques_.size(); ++v) {
+        if (v == self)
+            continue;
+        if (deques_[v].size() > depth) {
+            depth = deques_[v].size();
+            victim = v;
+        }
+    }
+    if (victim == deques_.size())
+        return false;
+    out = std::move(deques_[victim].back());
+    deques_[victim].pop_back();
+    ++steals_;
+    return true;
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    tl_pool = this;
+    tl_worker = self;
+    std::unique_lock guard(lock_);
+    for (;;) {
+        Task task;
+        if (popTask(self, task)) {
+            guard.unlock();
+            task();
+            task = nullptr;   // release captures before re-locking
+            guard.lock();
+            if (--inflight_ == 0)
+                idle_.notify_all();
+            continue;
+        }
+        if (stop_)
+            return;           // queues drained, shutdown requested
+        wake_.wait(guard);
+    }
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    if (workers_.empty()) {
+        task();               // serial pool: the caller is the lane
+        return;
+    }
+    {
+        std::scoped_lock guard(lock_);
+        if (onWorkerThread())
+            deques_[tl_worker].push_back(std::move(task));
+        else
+            injector_.push_back(std::move(task));
+        ++inflight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    if (workers_.empty())
+        return;
+    std::unique_lock guard(lock_);
+    idle_.wait(guard, [this] { return inflight_ == 0; });
+}
+
+size_t
+ThreadPool::steals() const
+{
+    std::scoped_lock guard(lock_);
+    return steals_;
+}
+
+/** Shared progress of one parallelFor call. */
+struct ThreadPool::ParallelState
+{
+    std::atomic<size_t> next{0};   //!< next unclaimed chunk
+    std::atomic<size_t> done{0};   //!< completed chunks
+    size_t total = 0;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t chunk = 0;
+    const ChunkFn *body = nullptr; //!< valid while chunks remain
+    std::mutex lock;
+    std::condition_variable finished;
+    std::exception_ptr error;
+};
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
+                        const ChunkFn &body)
+{
+    if (end <= begin)
+        return;
+    const size_t n = end - begin;
+    const size_t g = std::max<size_t>(1, grain);
+    // Serial pool, one-chunk range, or a nested call from inside a
+    // pool task: run inline. Nested inline execution keeps the pool
+    // trivially deadlock-free (no lane ever blocks on another).
+    if (threadCount() == 1 || n <= g || onWorkerThread()) {
+        body(begin, end);
+        return;
+    }
+
+    auto st = std::make_shared<ParallelState>();
+    const size_t want = std::min(ceilDiv(n, g), threadCount() * 4);
+    st->chunk = ceilDiv(n, want);
+    st->total = ceilDiv(n, st->chunk);
+    st->begin = begin;
+    st->end = end;
+    st->body = &body;
+
+    auto run_chunks = [st] {
+        for (;;) {
+            const size_t i = st->next.fetch_add(1);
+            if (i >= st->total)
+                return;       // st->body is never read past this point
+            const size_t lo = st->begin + i * st->chunk;
+            const size_t hi = std::min(st->end, lo + st->chunk);
+            try {
+                (*st->body)(lo, hi);
+            } catch (...) {
+                std::scoped_lock guard(st->lock);
+                if (!st->error)
+                    st->error = std::current_exception();
+            }
+            if (st->done.fetch_add(1) + 1 == st->total) {
+                std::scoped_lock guard(st->lock);
+                st->finished.notify_all();
+            }
+        }
+    };
+
+    // One participant task per worker, placed round-robin on the
+    // worker deques; workers whose deque stays empty steal them back
+    // out of the loaded ones. The caller participates as well, so all
+    // lanes chew on the chunk counter together.
+    const size_t participants = std::min(workers_.size(), st->total);
+    {
+        std::scoped_lock guard(lock_);
+        for (size_t p = 0; p < participants; ++p)
+            deques_[rr_++ % deques_.size()].push_back(run_chunks);
+        inflight_ += participants;
+    }
+    wake_.notify_all();
+
+    run_chunks();
+    {
+        std::unique_lock guard(st->lock);
+        st->finished.wait(guard, [&] {
+            return st->done.load() == st->total;
+        });
+    }
+    if (st->error)
+        std::rethrow_exception(st->error);
+}
+
+uint64_t
+ThreadPool::taskSeed(uint64_t base, uint64_t stream)
+{
+    return base ^ hashMix(stream);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::scoped_lock guard(g_global_lock);
+    if (!g_global_pool)
+        g_global_pool = std::make_unique<ThreadPool>(g_global_threads);
+    return *g_global_pool;
+}
+
+void
+ThreadPool::configureGlobal(size_t threads)
+{
+    std::scoped_lock guard(g_global_lock);
+    if (g_global_pool &&
+        g_global_pool->threadCount() == resolveThreads(threads)) {
+        g_global_threads = threads;
+        return;
+    }
+    g_global_pool.reset();    // join the old workers first
+    g_global_threads = threads;
+    g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+size_t
+ThreadPool::resolveThreads(size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+ThreadPool::forChunks(size_t begin, size_t end, size_t grain,
+                      const ChunkFn &body)
+{
+    if (end <= begin)
+        return;
+    if (end - begin <= std::max<size_t>(1, grain)) {
+        body(begin, end);
+        return;
+    }
+    bool serial;
+    {
+        // Don't spin up the pool just to discover it would be serial.
+        std::scoped_lock guard(g_global_lock);
+        serial = (g_global_pool ? g_global_pool->threadCount()
+                                : resolveThreads(g_global_threads)) <= 1;
+    }
+    // The body runs outside the guard: it may itself call forChunks
+    // (e.g. HLOP execution staging its inputs), which must be free to
+    // re-take the global lock.
+    if (serial) {
+        body(begin, end);
+        return;
+    }
+    global().parallelFor(begin, end, grain, body);
+}
+
+} // namespace shmt::common

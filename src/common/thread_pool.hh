@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared work-stealing host thread pool.
+ *
+ * The simulator's *timing* is discrete-event and cheap, but every
+ * HLOP body, criticality sample, and INT8 staging pass runs
+ * functionally on the host. Those per-partition jobs are
+ * embarrassingly parallel, so the hot host-side paths (runtime
+ * functional execution, QAWS sampling, quantize/dequantize staging)
+ * share this pool to overlap them.
+ *
+ * Structure: one deque per worker plus a global injector queue.
+ * External submissions land in the injector; tasks spawned from a
+ * worker go to that worker's own deque; an idle worker drains its own
+ * deque first, then the injector, then steals from the back of the
+ * deepest peer deque.
+ *
+ * Determinism contract: the pool never introduces ordering into
+ * results. `parallelFor` hands out index ranges; callers must make
+ * each index's work independent (disjoint outputs, per-index seeds
+ * via `taskSeed`) and perform any order-sensitive combine serially
+ * afterwards. Under that contract a run is bit-identical for any
+ * thread count, which the determinism regression tests enforce.
+ */
+
+#ifndef SHMT_COMMON_THREAD_POOL_HH
+#define SHMT_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shmt::common {
+
+/** Work-stealing pool of host threads (caller participates). */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+    /** Chunk body: operates on the half-open index range [lo, hi). */
+    using ChunkFn = std::function<void(size_t, size_t)>;
+
+    /**
+     * Create a pool with @p threads total execution lanes (the
+     * calling thread counts as one lane, so @p threads - 1 workers
+     * are spawned). 0 resolves to std::thread::hardware_concurrency.
+     */
+    explicit ThreadPool(size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total execution lanes (workers + the calling thread). */
+    size_t threadCount() const { return workers_.size() + 1; }
+
+    /**
+     * Fire-and-forget task submission: to the submitting worker's own
+     * deque when called from a pool thread, else to the global
+     * injector. Pending tasks are drained before destruction.
+     */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void drain();
+
+    /**
+     * Run @p body over [@p begin, @p end) in chunks of at least
+     * @p grain indices. The caller executes chunks too (so a
+     * single-lane pool degrades to a plain serial loop), and nested
+     * calls from inside a pool task run inline — both keep the pool
+     * deadlock-free. The first exception thrown by any chunk is
+     * rethrown in the caller once all chunks finished.
+     */
+    void parallelFor(size_t begin, size_t end, size_t grain,
+                     const ChunkFn &body);
+
+    /** Tasks obtained by stealing from a peer's deque (lifetime). */
+    size_t steals() const;
+
+    /**
+     * Derive an independent, deterministic seed for task @p stream of
+     * a computation seeded with @p base (splitmix composition; equals
+     * the runtime's historical `seed ^ hashMix(index)` derivation).
+     */
+    static uint64_t taskSeed(uint64_t base, uint64_t stream);
+
+    /**
+     * The process-wide pool used by the runtime and the staging
+     * helpers. Created on first use with the last configured lane
+     * count (default: hardware concurrency).
+     */
+    static ThreadPool &global();
+
+    /**
+     * Set the global pool's lane count (0 = hardware concurrency,
+     * 1 = serial). Recreates the pool only when the count changes.
+     */
+    static void configureGlobal(size_t threads);
+
+    /** Lane count @p requested resolves to (0 -> hardware). */
+    static size_t resolveThreads(size_t requested);
+
+    /**
+     * Convenience: run @p body over [@p begin, @p end) on the global
+     * pool, without instantiating it when the range fits one chunk or
+     * the configured lane count is 1.
+     */
+    static void forChunks(size_t begin, size_t end, size_t grain,
+                          const ChunkFn &body);
+
+  private:
+    struct ParallelState;
+
+    /** True when the current thread is a worker of this pool. */
+    bool onWorkerThread() const;
+
+    /** Pop one task for worker @p self; false when queues are empty. */
+    bool popTask(size_t self, Task &out);
+
+    void workerLoop(size_t self);
+
+    mutable std::mutex lock_;
+    std::condition_variable wake_;       //!< workers wait for tasks
+    std::condition_variable idle_;       //!< drain() waits here
+    std::deque<Task> injector_;          //!< external submissions
+    std::vector<std::deque<Task>> deques_; //!< per-worker deques
+    std::vector<std::thread> workers_;
+    size_t inflight_ = 0;                //!< queued + executing tasks
+    size_t steals_ = 0;
+    size_t rr_ = 0;                      //!< round-robin chunk placement
+    bool stop_ = false;
+};
+
+} // namespace shmt::common
+
+#endif // SHMT_COMMON_THREAD_POOL_HH

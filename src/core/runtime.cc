@@ -8,6 +8,7 @@
 
 #include "common/math_utils.hh"
 #include "common/random.hh"
+#include "common/thread_pool.hh"
 
 namespace shmt::core {
 
@@ -102,6 +103,40 @@ combineInto(TensorView out, ConstTensorView acc, ReduceKind kind)
     }
 }
 
+/**
+ * Initialize rows [r0, r1) of @p out and fold every accumulator into
+ * them in partition order. Row ranges are disjoint, so the parallel
+ * host engine can split rows across lanes while each element still
+ * sees the accumulators in the same order as the serial combine —
+ * which keeps the floating-point result bit-identical regardless of
+ * which lane finished its HLOP first.
+ */
+void
+combineRows(TensorView out, const std::vector<Tensor> &accs,
+            ReduceKind kind, float init, size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        float *d = out.row(r);
+        for (size_t c = 0; c < out.cols(); ++c)
+            d[c] = init;
+        for (const Tensor &acc : accs) {
+            const float *s = acc.view().row(r);
+            for (size_t c = 0; c < out.cols(); ++c) {
+                switch (kind) {
+                  case ReduceKind::Sum: d[c] += s[c]; break;
+                  case ReduceKind::Max:
+                    d[c] = std::max(d[c], s[c]);
+                    break;
+                  case ReduceKind::Min:
+                    d[c] = std::min(d[c], s[c]);
+                    break;
+                  case ReduceKind::None: break;
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 
 std::vector<Rect>
@@ -188,24 +223,31 @@ Runtime::executeVop(const VOp &vop, Policy &policy, double start,
         !vop.inputs.empty() && vop.inputs[0]->rows() == rows &&
         vop.inputs[0]->cols() == cols;
     if (auto spec = policy.sampling(); spec && can_sample) {
+        // Algorithms 3-5 are independent per partition, so the stats
+        // are gathered in parallel on the host pool (each partition
+        // derives its own seed); the simulated cost is then charged
+        // serially in partition order, exactly as the serial loop did.
+        std::vector<SampleStats> stats;
+        {
+            sim::ScopedWallTimer wt(result.hostWall.samplingSec);
+            stats = samplePartitions(vop.inputs[0]->view(), partitions,
+                                     *spec, vop_seed);
+        }
         for (size_t i = 0; i < n; ++i) {
-            const auto view = regionView(*vop.inputs[0], partitions[i]);
-            const SampleStats stats =
-                samplePartition(view, *spec, vop_seed ^ hashMix(i));
-            pinfos[i].criticality = criticalityScore(stats);
+            pinfos[i].criticality = criticalityScore(stats[i]);
             if (policy.chargesSamplingCost()) {
                 switch (spec->method) {
                   case SamplingMethod::Reduction:
                     cpu_clock += costModel_.reductionSampleSeconds(
-                        stats.visited);
+                        stats[i].visited);
                     break;
                   case SamplingMethod::Exact:
                     cpu_clock +=
-                        costModel_.fullScanSeconds(stats.visited);
+                        costModel_.fullScanSeconds(stats[i].visited);
                     break;
                   default:
                     cpu_clock +=
-                        costModel_.sampleSeconds(stats.visited);
+                        costModel_.sampleSeconds(stats[i].visited);
                 }
             }
             if (policy.runsCanary())
@@ -257,6 +299,21 @@ Runtime::executeVop(const VOp &vop, Policy &policy, double start,
     std::vector<bool> active(n_slots, true);
     std::vector<bool> was_stolen(n, false);
     size_t remaining = n;
+
+    // Functional HLOP bodies are deferred out of the event loop: the
+    // discrete-event clock decides *order* (dispatch, stealing, tail
+    // splits), the host pool later decides *execution*. Partitions
+    // write disjoint outputs (own accumulator or own output region),
+    // so host-side order cannot affect the numerics.
+    struct PendingHlop
+    {
+        size_t device;   //!< physical backend index
+        size_t hlop;     //!< partition / accumulator index
+        Rect region;     //!< final region (post tail-split)
+    };
+    std::vector<PendingHlop> pending;
+    if (functional)
+        pending.reserve(n);
 
     auto try_steal = [&](size_t thief) -> bool {
         if (!policy.stealingEnabled())
@@ -470,19 +527,44 @@ Runtime::executeVop(const VOp &vop, Policy &policy, double start,
             trace_->record(std::move(ev));
         }
 
-        // Functional execution at the device's native precision.
-        if (functional) {
-            TensorView out_view =
-                info.reduce != ReduceKind::None
-                    ? accumulators[h].view()
-                    : regionView(*vop.output, region);
-            bk.execute(info, args, region, out_view, vop_seed);
-        }
+        // Functional execution at the device's native precision,
+        // deferred to the host pool below.
+        if (functional)
+            pending.push_back(PendingHlop{d, h, region});
         if (info.reduce == ReduceKind::None)
             producers_[vop.output][rkey] = d;
 
         result.devices[d].hlops += 1;
         --remaining;
+    }
+
+    // --- Functional execution on the host pool. --------------------------
+    if (!pending.empty()) {
+        sim::ScopedWallTimer wt(result.hostWall.execSec);
+        // An in-place VOp (output aliasing an input) is not
+        // partition-independent; keep the legacy dispatch order then.
+        bool in_place = false;
+        for (const Tensor *t : vop.inputs)
+            in_place = in_place || t == vop.output;
+        auto run_one = [&](size_t k) {
+            const PendingHlop &p = pending[k];
+            TensorView out_view =
+                info.reduce != ReduceKind::None
+                    ? accumulators[p.hlop].view()
+                    : regionView(*vop.output, p.region);
+            backends_[p.device]->execute(info, args, p.region, out_view,
+                                         vop_seed);
+        };
+        if (in_place) {
+            for (size_t k = 0; k < pending.size(); ++k)
+                run_one(k);
+        } else {
+            common::ThreadPool::forChunks(
+                0, pending.size(), 1, [&](size_t lo, size_t hi) {
+                    for (size_t k = lo; k < hi; ++k)
+                        run_one(k);
+                });
+        }
     }
 
     double completion = release;
@@ -493,10 +575,18 @@ Runtime::executeVop(const VOp &vop, Policy &policy, double start,
     double agg = 0.0;
     if (info.reduce != ReduceKind::None) {
         if (functional) {
-            vop.output->view().fill(reduceInit(info.reduce));
-            for (const Tensor &acc : accumulators)
-                combineInto(vop.output->view(), acc.view(),
-                            info.reduce);
+            sim::ScopedWallTimer wt(result.hostWall.aggregationSec);
+            TensorView out = vop.output->view();
+            const float init = reduceInit(info.reduce);
+            // Rows split across lanes; each element still folds the
+            // accumulators in partition order (see combineRows).
+            const size_t grain = std::max<size_t>(
+                1, 4096 / std::max<size_t>(1, out.cols()));
+            common::ThreadPool::forChunks(
+                0, out.rows(), grain, [&](size_t r0, size_t r1) {
+                    combineRows(out, accumulators, info.reduce, init,
+                                r0, r1);
+                });
             if (info.finalize)
                 info.finalize(args, vop.output->view());
         }
@@ -521,6 +611,11 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional)
         result.devices[d].name = std::string(backends_[d]->name());
         result.devices[d].kind = backends_[d]->kind();
     }
+
+    // Size the shared host pool once per run; 1 keeps the legacy
+    // serial path (the pool then runs every loop inline).
+    common::ThreadPool::configureGlobal(config_.hostThreads);
+    const double host_t0 = sim::wallSeconds();
 
     std::vector<sim::DeviceTimeline> timelines;
     timelines.reserve(backends_.size());
@@ -549,6 +644,9 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional)
     meter.addBusy(sim::DeviceKind::Cpu,
                   result.schedulingSec + result.aggregationSec);
     result.energy = meter.finalize(result.makespanSec);
+    result.hostWall.totalSec = sim::wallSeconds() - host_t0;
+    if (trace_)
+        trace_->setHostPhases(result.hostWall);
     return result;
 }
 

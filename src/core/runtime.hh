@@ -32,6 +32,7 @@
 #include "sim/power.hh"
 #include "sim/timeline.hh"
 #include "sim/trace.hh"
+#include "sim/wallclock.hh"
 
 namespace shmt::core {
 
@@ -52,6 +53,16 @@ struct RuntimeConfig
      * ablation bench quantifies its tail-latency benefit.
      */
     bool stealSplitting = false;
+    /**
+     * Host execution lanes for the functional work (HLOP bodies,
+     * criticality sampling, INT8 staging, aggregation combines):
+     * 0 = one per hardware thread, 1 = the legacy serial path, N =
+     * exactly N lanes on the shared work-stealing pool. Purely a host
+     * wall-clock knob — the simulated timing and the numerics are
+     * bit-identical for every value (per-partition seed derivation
+     * and partition-ordered reductions guarantee it).
+     */
+    size_t hostThreads = 0;
 };
 
 /** Per-device execution statistics of one run. */
@@ -76,6 +87,13 @@ struct RunResult
     size_t hlopsTotal = 0;
     std::vector<DeviceStats> devices;
     sim::EnergyReport energy;
+    /**
+     * Host wall-clock cost of this run by phase (sampling, functional
+     * HLOP execution, aggregation). Unlike every field above this is
+     * measured real time, not simulated time: it is what the parallel
+     * host engine (`RuntimeConfig::hostThreads`) shrinks.
+     */
+    sim::HostPhaseStats hostWall;
 
     /** Fraction of busy time spent stalled on data exchange
      *  (paper Table 3). */

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/thread_pool.hh"
 
 namespace shmt::core {
 
@@ -129,6 +130,23 @@ samplePartition(ConstTensorView data, const SamplingSpec &spec,
       }
     }
     SHMT_PANIC("unreachable sampling method");
+}
+
+std::vector<SampleStats>
+samplePartitions(ConstTensorView data, const std::vector<Rect> &regions,
+                 const SamplingSpec &spec, uint64_t vop_seed)
+{
+    std::vector<SampleStats> stats(regions.size());
+    common::ThreadPool::forChunks(
+        0, regions.size(), 1, [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+                const Rect &r = regions[i];
+                stats[i] = samplePartition(
+                    data.slice(r.row0, r.col0, r.rows, r.cols), spec,
+                    common::ThreadPool::taskSeed(vop_seed, i));
+            }
+        });
+    return stats;
 }
 
 double

@@ -12,8 +12,10 @@
 #define SHMT_CORE_SAMPLING_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "tensor/tensor.hh"
+#include "tensor/tiling.hh"
 
 namespace shmt::core {
 
@@ -70,6 +72,18 @@ struct SamplingSpec
  */
 SampleStats samplePartition(ConstTensorView data, const SamplingSpec &spec,
                             uint64_t seed);
+
+/**
+ * Sample every region of @p data with @p spec, in parallel on the
+ * global host pool (Algorithms 3-5 are independent per partition).
+ * Region @c i derives its seed as `vop_seed ^ hashMix(i)` and the
+ * stats come back in region order, so the result is bit-identical to
+ * the serial per-region loop for any host thread count.
+ */
+std::vector<SampleStats> samplePartitions(ConstTensorView data,
+                                          const std::vector<Rect> &regions,
+                                          const SamplingSpec &spec,
+                                          uint64_t vop_seed);
 
 /**
  * Criticality score of a partition from its sample statistics:

@@ -8,6 +8,7 @@
 
 #include "common/math_utils.hh"
 #include "common/random.hh"
+#include "common/thread_pool.hh"
 #include "kernels/kernel_registry.hh"
 
 namespace shmt::core {
@@ -86,6 +87,10 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
     ThreadedResult result;
     result.hlopsPerDevice.assign(n_dev, 0);
 
+    // Size the shared host pool (sampling + staging) from the same
+    // knob as the discrete-event engine.
+    common::ThreadPool::configureGlobal(runtime.config().hostThreads);
+
     std::vector<DeviceInfo> dev_infos(n_dev);
     for (size_t d = 0; d < n_dev; ++d) {
         dev_infos[d].index = d;
@@ -138,17 +143,18 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
             regions = tilePartitions(rows, cols, tr, tc);
         }
 
-        // Sampling + assignment.
+        // Sampling + assignment (sampled in parallel on the shared
+        // host pool; per-region seeds keep the scores identical to
+        // the serial loop).
         std::vector<PartitionInfo> pinfos(regions.size());
         const bool can_sample = vop.inputs[0]->rows() == rows &&
                                 vop.inputs[0]->cols() == cols;
         if (auto spec = policy.sampling(); spec && can_sample) {
-            for (size_t i = 0; i < regions.size(); ++i) {
-                const auto stats = samplePartition(
-                    regionView(*vop.inputs[0], regions[i]), *spec,
-                    runtime.config().seed ^ hashMix(i));
-                pinfos[i].criticality = criticalityScore(stats);
-            }
+            const auto stats =
+                samplePartitions(vop.inputs[0]->view(), regions, *spec,
+                                 runtime.config().seed);
+            for (size_t i = 0; i < regions.size(); ++i)
+                pinfos[i].criticality = criticalityScore(stats[i]);
         }
         for (size_t i = 0; i < regions.size(); ++i)
             pinfos[i].region = regions[i];

@@ -4,6 +4,7 @@
 
 #include "common/math_utils.hh"
 #include "common/random.hh"
+#include "common/staging_pool.hh"
 #include "tensor/quantize.hh"
 
 namespace shmt::npu {
@@ -48,7 +49,10 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
     const NpuModel &m = model(info.opcode);
 
     // --- 1. Stage INT8 copies of the inputs. ---------------------------
-    std::vector<Tensor> scratch;
+    // Scratch comes from the recycling staging pool: per-HLOP
+    // allocations would otherwise dominate small partitions and
+    // serialize the parallel host engine on the allocator.
+    std::vector<common::StagingPool::Lease> scratch;
     scratch.reserve(args.inputs.size());
     KernelArgs staged;
     staged.scalars = args.scalars;
@@ -93,9 +97,12 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
     if (info.wholeInputs) {
         for (size_t i = 0; i < args.inputs.size(); ++i) {
             const auto &in = args.inputs[i];
-            Tensor s(in.rows(), in.cols());
-            fakeQuantize(in, s.view(), input_params(i, in));
-            scratch.push_back(std::move(s));
+            auto lease = common::StagingPool::acquire(in.size());
+            const TensorView sv(lease.data(), in.rows(), in.cols(),
+                                in.cols());
+            fakeQuantize(in, sv, input_params(i, in));
+            staged.inputs.push_back(sv);
+            scratch.push_back(std::move(lease));
         }
     } else {
         // All region-relative inputs share the output coordinate space.
@@ -113,17 +120,18 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
             SHMT_ASSERT(in.rows() == first.rows() &&
                             in.cols() == first.cols(),
                         "NPU inputs must share the output space");
-            Tensor s(er1 - er0, ec1 - ec0);
-            memcpy2d(s.view(),
-                     in.slice(er0, ec0, er1 - er0, ec1 - ec0));
-            fakeQuantize(s.view(), s.view(), input_params(i, s.view()));
-            scratch.push_back(std::move(s));
+            auto lease = common::StagingPool::acquire(
+                (er1 - er0) * (ec1 - ec0));
+            const TensorView sv(lease.data(), er1 - er0, ec1 - ec0,
+                                ec1 - ec0);
+            memcpy2d(sv, in.slice(er0, ec0, er1 - er0, ec1 - ec0));
+            fakeQuantize(sv, sv, input_params(i, sv));
+            staged.inputs.push_back(sv);
+            scratch.push_back(std::move(lease));
         }
         adj = Rect{region.row0 - er0, region.col0 - ec0, region.rows,
                    region.cols};
     }
-    for (const auto &s : scratch)
-        staged.inputs.push_back(s.view());
 
     // --- 2. Evaluate the kernel math on the staged data. ---------------
     info.func(staged, adj, out);

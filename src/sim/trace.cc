@@ -64,6 +64,18 @@ ExecutionTrace::writeChromeTrace(std::ostream &os) const
            << ",\"transfer_us\":" << e.transferSec * 1e6
            << ",\"compute_us\":" << e.computeSec * 1e6 << "}}";
     }
+    if (hasHostPhases_) {
+        // Metadata record: the host engine's real (wall-clock) phase
+        // costs, distinct from the simulated timeline above.
+        if (!first)
+            os << ",";
+        os << "{\"name\":\"host_phases\",\"cat\":\"host\",\"ph\":\"M\","
+              "\"pid\":0,\"tid\":\"host\",\"args\":{"
+              "\"sampling_ms\":" << hostPhases_.samplingSec * 1e3
+           << ",\"exec_ms\":" << hostPhases_.execSec * 1e3
+           << ",\"aggregation_ms\":" << hostPhases_.aggregationSec * 1e3
+           << ",\"total_ms\":" << hostPhases_.totalSec * 1e3 << "}}";
+    }
     os << "]}\n";
 }
 

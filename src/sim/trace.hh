@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/calibration.hh"
+#include "sim/wallclock.hh"
 
 namespace shmt::sim {
 
@@ -50,7 +51,13 @@ class ExecutionTrace
 
     const std::vector<TraceEvent> &events() const { return events_; }
     bool empty() const { return events_.empty(); }
-    void clear() { events_.clear(); }
+    void
+    clear()
+    {
+        events_.clear();
+        hostPhases_ = HostPhaseStats{};
+        hasHostPhases_ = false;
+    }
 
     /** Completion time of the last event. */
     double endSec() const;
@@ -65,6 +72,19 @@ class ExecutionTrace
     double stolenFraction() const;
 
     /**
+     * Host-side wall-clock phase stats of the recorded run (set by
+     * the runtime when a trace is attached; real time, not simulated
+     * time). Exported as trace metadata.
+     */
+    void setHostPhases(const HostPhaseStats &stats)
+    {
+        hostPhases_ = stats;
+        hasHostPhases_ = true;
+    }
+    const HostPhaseStats &hostPhases() const { return hostPhases_; }
+    bool hasHostPhases() const { return hasHostPhases_; }
+
+    /**
      * Write the trace in Chrome tracing JSON (one row per device,
      * one duration slice per HLOP; timestamps in microseconds).
      */
@@ -72,6 +92,8 @@ class ExecutionTrace
 
   private:
     std::vector<TraceEvent> events_;
+    HostPhaseStats hostPhases_;
+    bool hasHostPhases_ = false;
 };
 
 } // namespace shmt::sim

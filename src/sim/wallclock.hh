@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Host wall-clock instrumentation.
+ *
+ * The simulated device clocks are fully deterministic and never read
+ * real time; these helpers measure the *host's* cost of running the
+ * simulator — the functional HLOP bodies, criticality sampling, and
+ * aggregation combines the parallel host engine overlaps. They feed
+ * the `RunResult` host-phase counters and the trace metadata, and are
+ * explicitly excluded from every simulated quantity.
+ */
+
+#ifndef SHMT_SIM_WALLCLOCK_HH
+#define SHMT_SIM_WALLCLOCK_HH
+
+#include <chrono>
+
+namespace shmt::sim {
+
+/** Monotonic host time in seconds. */
+inline double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Accumulates its own lifetime into a double (seconds). */
+class ScopedWallTimer
+{
+  public:
+    explicit ScopedWallTimer(double &acc)
+        : acc_(acc), start_(wallSeconds())
+    {}
+    ~ScopedWallTimer() { acc_ += wallSeconds() - start_; }
+
+    ScopedWallTimer(const ScopedWallTimer &) = delete;
+    ScopedWallTimer &operator=(const ScopedWallTimer &) = delete;
+
+  private:
+    double &acc_;
+    double start_;
+};
+
+/**
+ * Host wall-clock cost of one run, split by phase. All phases are
+ * measured on the host and do not influence the simulated timing.
+ */
+struct HostPhaseStats
+{
+    double samplingSec = 0.0;    //!< QAWS criticality sampling
+    double execSec = 0.0;        //!< functional HLOP bodies (+ staging)
+    double aggregationSec = 0.0; //!< reduction combines / finalize
+    double totalSec = 0.0;       //!< whole run() wall time
+
+    /** Host time outside the three instrumented phases. */
+    double
+    otherSec() const
+    {
+        const double t =
+            totalSec - samplingSec - execSec - aggregationSec;
+        return t > 0.0 ? t : 0.0;
+    }
+};
+
+} // namespace shmt::sim
+
+#endif // SHMT_SIM_WALLCLOCK_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_utils.hh"
+#include "common/thread_pool.hh"
 
 namespace shmt {
 
@@ -11,6 +12,18 @@ namespace {
 
 constexpr int32_t kQmin = -128;
 constexpr int32_t kQmax = 127;
+
+/**
+ * Row grain for the parallel staging loops: chunks of at least ~16Ki
+ * elements, so small partitions run inline and large ones split
+ * across the host pool. All four staging passes are elementwise, so
+ * the result is bit-identical for any split.
+ */
+size_t
+rowGrain(size_t cols)
+{
+    return std::max<size_t>(1, (16 * 1024) / std::max<size_t>(1, cols));
+}
 
 } // namespace
 
@@ -82,12 +95,16 @@ std::vector<int8_t>
 quantize(ConstTensorView src, const QuantParams &qp)
 {
     std::vector<int8_t> out(src.size());
-    size_t i = 0;
-    for (size_t r = 0; r < src.rows(); ++r) {
-        const float *p = src.row(r);
-        for (size_t c = 0; c < src.cols(); ++c)
-            out[i++] = qp.quantize(p[c]);
-    }
+    common::ThreadPool::forChunks(
+        0, src.rows(), rowGrain(src.cols()),
+        [&](size_t r0, size_t r1) {
+            for (size_t r = r0; r < r1; ++r) {
+                const float *p = src.row(r);
+                int8_t *q = out.data() + r * src.cols();
+                for (size_t c = 0; c < src.cols(); ++c)
+                    q[c] = qp.quantize(p[c]);
+            }
+        });
     return out;
 }
 
@@ -96,12 +113,16 @@ dequantize(const std::vector<int8_t> &src, const QuantParams &qp,
            TensorView dst)
 {
     SHMT_ASSERT(src.size() == dst.size(), "dequantize size mismatch");
-    size_t i = 0;
-    for (size_t r = 0; r < dst.rows(); ++r) {
-        float *p = dst.row(r);
-        for (size_t c = 0; c < dst.cols(); ++c)
-            p[c] = qp.dequantize(src[i++]);
-    }
+    common::ThreadPool::forChunks(
+        0, dst.rows(), rowGrain(dst.cols()),
+        [&](size_t r0, size_t r1) {
+            for (size_t r = r0; r < r1; ++r) {
+                const int8_t *q = src.data() + r * dst.cols();
+                float *p = dst.row(r);
+                for (size_t c = 0; c < dst.cols(); ++c)
+                    p[c] = qp.dequantize(q[c]);
+            }
+        });
 }
 
 void
@@ -109,12 +130,16 @@ fakeQuantize(ConstTensorView src, TensorView dst, const QuantParams &qp)
 {
     SHMT_ASSERT(src.rows() == dst.rows() && src.cols() == dst.cols(),
                 "fakeQuantize shape mismatch");
-    for (size_t r = 0; r < src.rows(); ++r) {
-        const float *s = src.row(r);
-        float *d = dst.row(r);
-        for (size_t c = 0; c < src.cols(); ++c)
-            d[c] = qp.dequantize(qp.quantize(s[c]));
-    }
+    common::ThreadPool::forChunks(
+        0, src.rows(), rowGrain(src.cols()),
+        [&](size_t r0, size_t r1) {
+            for (size_t r = r0; r < r1; ++r) {
+                const float *s = src.row(r);
+                float *d = dst.row(r);
+                for (size_t c = 0; c < src.cols(); ++c)
+                    d[c] = qp.dequantize(qp.quantize(s[c]));
+            }
+        });
 }
 
 float
@@ -179,12 +204,16 @@ fakeQuantizeFp16(ConstTensorView src, TensorView dst)
 {
     SHMT_ASSERT(src.rows() == dst.rows() && src.cols() == dst.cols(),
                 "fakeQuantizeFp16 shape mismatch");
-    for (size_t r = 0; r < src.rows(); ++r) {
-        const float *s = src.row(r);
-        float *d = dst.row(r);
-        for (size_t c = 0; c < src.cols(); ++c)
-            d[c] = toFloat16(s[c]);
-    }
+    common::ThreadPool::forChunks(
+        0, src.rows(), rowGrain(src.cols()),
+        [&](size_t r0, size_t r1) {
+            for (size_t r = r0; r < r1; ++r) {
+                const float *s = src.row(r);
+                float *d = dst.row(r);
+                for (size_t c = 0; c < src.cols(); ++c)
+                    d[c] = toFloat16(s[c]);
+            }
+        });
 }
 
 } // namespace shmt

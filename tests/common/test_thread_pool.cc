@@ -1,0 +1,202 @@
+/** Unit tests for the shared work-stealing host thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/staging_pool.hh"
+#include "common/thread_pool.hh"
+
+namespace shmt::common {
+namespace {
+
+TEST(ThreadPool, ResolveThreads)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(7), 7u);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    size_t calls = 0;
+    pool.parallelFor(0, 100, 10, [&](size_t lo, size_t hi) {
+        // A single-lane pool must degrade to one serial whole-range
+        // call on the calling thread.
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 100u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, hits.size(), 7, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRespectsBounds)
+{
+    ThreadPool pool(3);
+    std::atomic<size_t> total{0};
+    pool.parallelFor(100, 350, 1, [&](size_t lo, size_t hi) {
+        ASSERT_GE(lo, 100u);
+        ASSERT_LE(hi, 350u);
+        ASSERT_LT(lo, hi);
+        total.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(total.load(), 250u);
+    // Empty ranges are a no-op.
+    pool.parallelFor(5, 5, 1, [&](size_t, size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<size_t> inner_total{0};
+    pool.parallelFor(0, 8, 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            // Nested calls from a pool lane must not deadlock; they
+            // run inline (or, on the caller lane, re-enter safely).
+            pool.parallelFor(0, 10, 1, [&](size_t l2, size_t h2) {
+                inner_total.fetch_add(h2 - l2);
+            });
+        }
+    });
+    EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST(ThreadPool, SubmitAndDrain)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, TasksSpawnedFromWorkersComplete)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&pool, &ran] {
+            // Worker-spawned tasks land on the worker's own deque
+            // (and can be stolen from there by idle peers).
+            for (int j = 0; j < 4; ++j)
+                pool.submit([&ran] { ran.fetch_add(1); });
+        });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [&](size_t lo, size_t) {
+                             if (lo >= 50)
+                                 throw std::runtime_error("chunk");
+                         }),
+        std::runtime_error);
+    // The pool must stay usable after a failed loop.
+    std::atomic<size_t> total{0};
+    pool.parallelFor(0, 100, 1, [&](size_t lo, size_t hi) {
+        total.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPool, TaskSeedMatchesLegacyDerivation)
+{
+    // The runtime historically derived per-partition seeds as
+    // `seed ^ hashMix(i)`; taskSeed must match so pooled runs stay
+    // bit-identical with pre-pool results.
+    EXPECT_EQ(ThreadPool::taskSeed(42, 7), 42ULL ^ hashMix(7));
+    EXPECT_NE(ThreadPool::taskSeed(42, 7), ThreadPool::taskSeed(42, 8));
+    EXPECT_NE(ThreadPool::taskSeed(42, 7), ThreadPool::taskSeed(43, 7));
+}
+
+TEST(ThreadPool, GlobalPoolReconfigures)
+{
+    ThreadPool::configureGlobal(3);
+    EXPECT_EQ(ThreadPool::global().threadCount(), 3u);
+    ThreadPool::configureGlobal(1);
+    EXPECT_EQ(ThreadPool::global().threadCount(), 1u);
+    ThreadPool::configureGlobal(0);
+    EXPECT_EQ(ThreadPool::global().threadCount(),
+              ThreadPool::resolveThreads(0));
+}
+
+TEST(ThreadPool, ForChunksUsesGlobalConfiguration)
+{
+    ThreadPool::configureGlobal(4);
+    std::atomic<size_t> total{0};
+    ThreadPool::forChunks(0, 512, 8, [&](size_t lo, size_t hi) {
+        total.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(total.load(), 512u);
+
+    // Serial configuration: one inline whole-range call.
+    ThreadPool::configureGlobal(1);
+    size_t calls = 0;
+    ThreadPool::forChunks(0, 512, 8, [&](size_t lo, size_t hi) {
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 512u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(StagingPool, RecyclesBuffers)
+{
+    StagingPool::clearThreadCache();
+    const float *first = nullptr;
+    {
+        auto lease = StagingPool::acquire(256);
+        ASSERT_EQ(lease.size(), 256u);
+        first = lease.data();
+        lease.data()[0] = 1.0f;
+        lease.data()[255] = 2.0f;
+    }
+    EXPECT_EQ(StagingPool::cachedCount(), 1u);
+    {
+        // Same-or-smaller request reuses the cached allocation.
+        auto lease = StagingPool::acquire(128);
+        EXPECT_EQ(lease.size(), 128u);
+        EXPECT_EQ(lease.data(), first);
+    }
+    StagingPool::clearThreadCache();
+    EXPECT_EQ(StagingPool::cachedCount(), 0u);
+}
+
+TEST(StagingPool, MoveTransfersOwnership)
+{
+    StagingPool::clearThreadCache();
+    auto a = StagingPool::acquire(64);
+    float *p = a.data();
+    StagingPool::Lease b = std::move(a);
+    EXPECT_EQ(b.data(), p);
+    EXPECT_EQ(b.size(), 64u);
+    EXPECT_EQ(StagingPool::cachedCount(), 0u);  // nothing released yet
+    StagingPool::clearThreadCache();
+}
+
+} // namespace
+} // namespace shmt::common

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Parallel host-engine regression tests.
+ *
+ * The contract of `RuntimeConfig::hostThreads` is that the pool only
+ * changes wall-clock time: simulated timing and every output value
+ * must be bit-identical between the legacy serial path (hostThreads=1)
+ * and any pooled configuration. These tests pin that contract across
+ * the full benchmark x policy matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "core/threaded_executor.hh"
+
+namespace shmt::core {
+namespace {
+
+using apps::makeBenchmark;
+using apps::makePrototypeRuntime;
+
+/** Policies exercised by the matrix (all makePolicy spellings). */
+const std::vector<std::string> kPolicies = {
+    "even",    "work-stealing", "qaws-ts",  "qaws-tu",
+    "qaws-tr", "qaws-ls",       "qaws-lu",  "qaws-lr",
+    "ira",     "oracle",        "gpu-only", "tpu-only",
+};
+
+/** Run @p policy_name on a fresh @p bench_name instance. */
+RunResult
+runOnce(const std::string &bench_name, const std::string &policy_name,
+        size_t host_threads, std::vector<float> &out)
+{
+    RuntimeConfig cfg;
+    cfg.hostThreads = host_threads;
+    auto rt = makePrototypeRuntime(cfg);
+    auto bench = makeBenchmark(bench_name, 256, 256);
+    auto policy = makePolicy(policy_name);
+    const RunResult r = rt.run(bench->program(), *policy);
+    const ConstTensorView v = bench->output().view();
+    out.resize(v.size());
+    for (size_t row = 0; row < v.rows(); ++row)
+        std::memcpy(out.data() + row * v.cols(), v.row(row),
+                    v.cols() * sizeof(float));
+    return r;
+}
+
+TEST(HostParallel, SerialAndPooledRunsAreBitIdentical)
+{
+    for (const auto &bench_name : apps::benchmarkNames()) {
+        for (const auto &policy_name : kPolicies) {
+            std::vector<float> serial_out, pooled_out;
+            const RunResult serial =
+                runOnce(bench_name, policy_name, 1, serial_out);
+            const RunResult pooled =
+                runOnce(bench_name, policy_name, 4, pooled_out);
+
+            const std::string what = bench_name + "/" + policy_name;
+            // Simulated timing must not see the host pool at all.
+            EXPECT_EQ(serial.makespanSec, pooled.makespanSec) << what;
+            EXPECT_EQ(serial.schedulingSec, pooled.schedulingSec)
+                << what;
+            EXPECT_EQ(serial.aggregationSec, pooled.aggregationSec)
+                << what;
+            EXPECT_EQ(serial.hlopsTotal, pooled.hlopsTotal) << what;
+            ASSERT_EQ(serial.devices.size(), pooled.devices.size())
+                << what;
+            for (size_t d = 0; d < serial.devices.size(); ++d)
+                EXPECT_EQ(serial.devices[d].hlops,
+                          pooled.devices[d].hlops)
+                    << what << " device " << d;
+
+            // Outputs must match to the bit, not to a tolerance.
+            ASSERT_EQ(serial_out.size(), pooled_out.size()) << what;
+            EXPECT_EQ(std::memcmp(serial_out.data(), pooled_out.data(),
+                                  serial_out.size() * sizeof(float)),
+                      0)
+                << what;
+        }
+    }
+}
+
+TEST(HostParallel, HardwareDefaultMatchesSerial)
+{
+    // hostThreads=0 resolves to hardware_concurrency; spot-check that
+    // the resolved pool is still bit-identical on one rich chain.
+    std::vector<float> serial_out, auto_out;
+    const RunResult serial = runOnce("srad", "qaws-ts", 1, serial_out);
+    const RunResult autod = runOnce("srad", "qaws-ts", 0, auto_out);
+    EXPECT_EQ(serial.makespanSec, autod.makespanSec);
+    EXPECT_EQ(std::memcmp(serial_out.data(), auto_out.data(),
+                          serial_out.size() * sizeof(float)),
+              0);
+}
+
+TEST(HostParallel, SwPipeliningIsBitIdentical)
+{
+    // The software-pipelining path flows through evaluatePolicy and
+    // the same pooled sampling/exec/aggregation plumbing.
+    auto runPipelined = [](size_t host_threads, std::vector<float> &out,
+                           double &sec) {
+        RuntimeConfig cfg;
+        cfg.hostThreads = host_threads;
+        auto rt = makePrototypeRuntime(cfg);
+        auto bench = makeBenchmark("hotspot", 256, 256);
+        const auto r = apps::evaluatePolicy(rt, *bench, "sw-pipelining",
+                                            {}, false);
+        sec = r.shmtSec;
+        const ConstTensorView v = bench->output().view();
+        out.resize(v.size());
+        for (size_t row = 0; row < v.rows(); ++row)
+            std::memcpy(out.data() + row * v.cols(), v.row(row),
+                        v.cols() * sizeof(float));
+    };
+    std::vector<float> serial_out, pooled_out;
+    double serial_sec = 0.0, pooled_sec = 0.0;
+    runPipelined(1, serial_out, serial_sec);
+    runPipelined(4, pooled_out, pooled_sec);
+    EXPECT_EQ(serial_sec, pooled_sec);
+    EXPECT_EQ(std::memcmp(serial_out.data(), pooled_out.data(),
+                          serial_out.size() * sizeof(float)),
+              0);
+}
+
+TEST(HostParallel, HostWallClockIsPopulated)
+{
+    RuntimeConfig cfg;
+    cfg.hostThreads = 2;
+    auto rt = makePrototypeRuntime(cfg);
+    auto bench = makeBenchmark("sobel", 256, 256);
+    auto policy = makePolicy("qaws-ts");
+    const RunResult r = rt.run(bench->program(), *policy);
+    EXPECT_GT(r.hostWall.totalSec, 0.0);
+    EXPECT_GE(r.hostWall.samplingSec, 0.0);
+    EXPECT_GT(r.hostWall.execSec, 0.0);
+    EXPECT_GE(r.hostWall.aggregationSec, 0.0);
+    EXPECT_LE(r.hostWall.samplingSec + r.hostWall.execSec +
+                  r.hostWall.aggregationSec,
+              r.hostWall.totalSec + 1e-6);
+}
+
+TEST(HostParallel, ThreadedExecutorRunsWithPooledSampling)
+{
+    // runThreaded measures real wall clock, so only invariants (not
+    // exact numerics) are portable across thread counts.
+    RuntimeConfig cfg;
+    cfg.hostThreads = 4;
+    auto rt = makePrototypeRuntime(cfg);
+    auto bench = makeBenchmark("laplacian", 256, 256);
+    auto policy = makePolicy("qaws-ts");
+    const ThreadedResult r =
+        runThreaded(rt, bench->program(), *policy);
+    size_t per_device = 0;
+    for (size_t h : r.hlopsPerDevice)
+        per_device += h;
+    EXPECT_EQ(per_device, r.hlopsTotal);
+    EXPECT_GT(r.hlopsTotal, 0u);
+    EXPECT_GE(r.wallSeconds, 0.0);
+}
+
+} // namespace
+} // namespace shmt::core

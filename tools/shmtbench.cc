@@ -37,6 +37,7 @@ struct Options
     std::string bench = "all";
     std::string policy = "qaws-ts";
     size_t size = 1024;
+    size_t hostThreads = 0;
     bool quality = true;
     bool dsp = false;
     bool cpu = false;
@@ -52,6 +53,8 @@ usage()
         "  --bench <name|all>    benchmark to run (default: all)\n"
         "  --policy <name>       scheduling policy (default: qaws-ts)\n"
         "  --size <edge>         square input edge (default: 1024)\n"
+        "  --host-threads <n>    host pool lanes: 0 = all hardware\n"
+        "                        threads, 1 = serial (default: 0)\n"
         "  --no-quality          timing-only (skip MAPE/SSIM)\n"
         "  --dsp                 add the FP16 image DSP\n"
         "  --cpu                 add the host CPU\n"
@@ -90,6 +93,9 @@ parseArgs(int argc, char **argv)
             opts.size = std::strtoul(next().c_str(), nullptr, 10);
             if (opts.size == 0)
                 SHMT_FATAL("--size must be positive");
+        } else if (arg == "--host-threads") {
+            opts.hostThreads =
+                std::strtoul(next().c_str(), nullptr, 10);
         } else if (arg == "--no-quality") {
             opts.quality = false;
         } else if (arg == "--dsp") {
@@ -132,6 +138,11 @@ report(const apps::EvalResult &r, bool quality)
     }
     std::printf("  scheduling/aggregation: %.2f / %.2f ms\n",
                 r.run.schedulingSec * 1e3, r.run.aggregationSec * 1e3);
+    const auto &hw = r.run.hostWall;
+    std::printf("  host wall clock  : %8.2f ms (sampling %.2f, "
+                "exec %.2f, aggregation %.2f)\n",
+                hw.totalSec * 1e3, hw.samplingSec * 1e3,
+                hw.execSec * 1e3, hw.aggregationSec * 1e3);
     std::printf("  comm overhead    : %6.2f %%\n",
                 100.0 * r.run.commOverhead());
     std::printf("  energy           : %8.2f J (baseline %.2f J, "
@@ -158,7 +169,9 @@ main(int argc, char **argv)
 
     auto backends = devices::makePrototypeBackends(
         kernels::KernelRegistry::instance(), cal, opts.cpu, opts.dsp);
-    core::Runtime runtime(std::move(backends), cal);
+    core::RuntimeConfig config;
+    config.hostThreads = opts.hostThreads;
+    core::Runtime runtime(std::move(backends), cal, config);
 
     sim::ExecutionTrace trace;
     if (!opts.tracePath.empty())
