@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Scalar-vs-SIMD kernel micro-benchmark.
+ *
+ * Times every vectorized kernel body (KernelInfo::simdFunc) against
+ * its scalar reference on identical inputs, plus the INT8/FP16
+ * staging passes and the minmax scan, with the host pool pinned to
+ * one lane so the measurement isolates vectorization from threading.
+ * Bit-identity is verified wherever the kernel declares it.
+ *
+ * Unlike the fig* benches this measures *real* host time, not
+ * simulated device time: it is the number the SIMD layer exists to
+ * improve.
+ *
+ * Emits `BENCH_kernels.json` in the working directory.
+ *
+ * Usage: micro_kernels [--n <edge>] [--iters <k>] [--only <name>]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+#include "common/simd.hh"
+#include "common/thread_pool.hh"
+#include "kernels/kernel_registry.hh"
+#include "metrics/report.hh"
+#include "sim/wallclock.hh"
+#include "tensor/quantize.hh"
+#include "tensor/tensor.hh"
+
+namespace {
+
+using namespace shmt;
+using kernels::KernelArgs;
+using kernels::KernelInfo;
+using kernels::KernelRegistry;
+
+/** One timed case: run(simd) recomputes `out` with either body. */
+struct Case
+{
+    std::string name;
+    bool exact = false;              //!< bit-identity is required
+    std::function<void(bool)> run;   //!< simd flag -> compute output
+    std::function<std::pair<const void *, size_t>()> output;
+};
+
+/** Deterministic fill (LCG) in [lo, hi]. */
+void
+fill(TensorView v, float lo, float hi, uint64_t seed)
+{
+    uint64_t s = seed * 0x9e3779b97f4a7c15ULL + 1;
+    for (size_t r = 0; r < v.rows(); ++r) {
+        float *p = v.row(r);
+        for (size_t c = 0; c < v.cols(); ++c) {
+            s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+            p[c] = lo + (hi - lo) * static_cast<float>((s >> 33) &
+                                                       0xffffff) /
+                            16777215.0f;
+        }
+    }
+}
+
+double
+bestOf(size_t iters, const std::function<void()> &f)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t it = 0; it < iters; ++it) {
+        const double t0 = sim::wallSeconds();
+        f();
+        best = std::min(best, sim::wallSeconds() - t0);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t n = apps::benchEdge(1024);
+    size_t iters = 5;
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                SHMT_FATAL("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--n")
+            n = std::stoul(next());
+        else if (arg == "--iters")
+            iters = std::stoul(next());
+        else if (arg == "--only")
+            only = next();
+        else
+            SHMT_FATAL("unknown option '", arg, "'");
+    }
+
+    // Single host lane: the numbers below are vectorization only.
+    common::ThreadPool::configureGlobal(1);
+
+    const KernelRegistry &reg = KernelRegistry::instance();
+
+    // Shared inputs.
+    Tensor a(n, n), b(n, n), pos(n, n), out(n, n);
+    fill(a.view(), -2.0f, 2.0f, 1);
+    fill(b.view(), 0.5f, 3.0f, 2);
+    fill(pos.view(), 0.05f, 20.0f, 3);
+    const Rect full{0, 0, n, n};
+
+    std::vector<Case> cases;
+
+    // Registry map/transform kernels on the full n x n region.
+    struct OpSpec
+    {
+        const char *opcode;
+        size_t arity;
+        const Tensor *in0;
+        std::vector<float> scalars;
+    };
+    const OpSpec ops[] = {
+        {"add", 2, &a, {}},
+        {"multiply", 2, &a, {}},
+        {"axpb", 1, &a, {1.25f, -0.5f}},
+        {"sqrt", 1, &pos, {}},
+        {"exp", 1, &a, {}},
+        {"log", 1, &pos, {}},
+        {"tanh", 1, &a, {}},
+        {"ncdf", 1, &a, {}},
+        {"dct8x8", 1, &a, {}},
+    };
+    for (const OpSpec &op : ops) {
+        const KernelInfo &info = reg.get(op.opcode);
+        KernelArgs args;
+        args.inputs.push_back(op.in0->view());
+        if (op.arity == 2)
+            args.inputs.push_back(b.view());
+        args.scalars = op.scalars;
+        cases.push_back(
+            {op.opcode, info.bitIdentical,
+             [&info, args, full, &out](bool simd) {
+                 info.body(simd)(args, full, out.view());
+             },
+             [&out]() -> std::pair<const void *, size_t> {
+                 return {out.data(), out.bytes()};
+             }});
+    }
+
+    // blackscholes reads two positive tensors plus (r, sigma, t).
+    {
+        const KernelInfo &info = reg.get("blackscholes");
+        KernelArgs args;
+        args.inputs = {pos.view(), b.view()};
+        args.scalars = {0.05f, 0.2f, 1.0f};
+        cases.push_back(
+            {"blackscholes", info.bitIdentical,
+             [&info, args, full, &out](bool simd) {
+                 info.body(simd)(args, full, out.view());
+             },
+             [&out]() -> std::pair<const void *, size_t> {
+                 return {out.data(), out.bytes()};
+             }});
+    }
+
+    // GEMM is O(edge^3): use a smaller edge so the scalar side stays
+    // measurable in seconds, not minutes.
+    const size_t gn = std::min<size_t>(n, 512);
+    Tensor ga(gn, gn), gb(gn, gn), gc(gn, gn);
+    fill(ga.view(), -1.0f, 1.0f, 7);
+    fill(gb.view(), -1.0f, 1.0f, 8);
+    {
+        const KernelInfo &info = reg.get("gemm");
+        KernelArgs args;
+        args.inputs = {ga.view(), gb.view()};
+        const Rect greg{0, 0, gn, gn};
+        cases.push_back(
+            {"gemm", info.bitIdentical,
+             [&info, args, greg, &gc](bool simd) {
+                 info.body(simd)(args, greg, gc.view());
+             },
+             [&gc]() -> std::pair<const void *, size_t> {
+                 return {gc.data(), gc.bytes()};
+             }});
+    }
+
+    // Reductions: 1x1 accumulator over the full region.
+    Tensor acc(1, 1);
+    for (const char *opcode : {"reduce_sum", "reduce_max"}) {
+        const KernelInfo &info = reg.get(opcode);
+        KernelArgs args;
+        args.inputs.push_back(a.view());
+        cases.push_back(
+            {opcode, info.bitIdentical,
+             [&info, args, full, &acc](bool simd) {
+                 info.body(simd)(args, full, acc.view());
+             },
+             [&acc]() -> std::pair<const void *, size_t> {
+                 return {acc.data(), acc.bytes()};
+             }});
+    }
+
+    // INT8/FP16 staging passes (the TPU/DSP harness hot loops).
+    const QuantParams qp = chooseQuantParams(-2.0f, 2.0f);
+    std::vector<int8_t> q8;
+    Tensor staged(n, n);
+    cases.push_back({"stage_quantize", true,
+                     [&a, &qp, &q8](bool simd) {
+                         q8 = quantize(a.view(), qp, simd);
+                     },
+                     [&q8]() -> std::pair<const void *, size_t> {
+                         return {q8.data(), q8.size()};
+                     }});
+    const std::vector<int8_t> q8_fixed = quantize(a.view(), qp, false);
+    cases.push_back({"stage_dequantize", true,
+                     [&q8_fixed, &qp, &staged](bool simd) {
+                         dequantize(q8_fixed, qp, staged.view(), simd);
+                     },
+                     [&staged]() -> std::pair<const void *, size_t> {
+                         return {staged.data(), staged.bytes()};
+                     }});
+    cases.push_back({"stage_fake_quantize", true,
+                     [&a, &qp, &staged](bool simd) {
+                         fakeQuantize(a.view(), staged.view(), qp, simd);
+                     },
+                     [&staged]() -> std::pair<const void *, size_t> {
+                         return {staged.data(), staged.bytes()};
+                     }});
+    cases.push_back({"stage_fp16", true,
+                     [&a, &staged](bool simd) {
+                         fakeQuantizeFp16(a.view(), staged.view(), simd);
+                     },
+                     [&staged]() -> std::pair<const void *, size_t> {
+                         return {staged.data(), staged.bytes()};
+                     }});
+
+    // minmax scan (chooseQuantParams' input pass). The SIMD fold is
+    // unconditional, so "scalar" here is a hand-rolled reference loop.
+    std::pair<float, float> mm;
+    cases.push_back({"stage_minmax", true,
+                     [&a, &mm](bool simd) {
+                         if (simd) {
+                             mm = ConstTensorView(a.view()).minmax();
+                             return;
+                         }
+                         float lo = a.at(0, 0), hi = lo;
+                         const ConstTensorView v = a.view();
+                         for (size_t r = 0; r < v.rows(); ++r) {
+                             const float *p = v.row(r);
+                             for (size_t c = 0; c < v.cols(); ++c) {
+                                 lo = std::min(lo, p[c]);
+                                 hi = std::max(hi, p[c]);
+                             }
+                         }
+                         mm = {lo, hi};
+                     },
+                     [&mm]() -> std::pair<const void *, size_t> {
+                         return {&mm, sizeof(mm)};
+                     }});
+
+    metrics::Table table({"Kernel", "Scalar (ms)", "SIMD (ms)",
+                          "Speedup", "Bit-identical"});
+    std::vector<double> speedups;
+    std::ofstream json("BENCH_kernels.json");
+    json << "{\n  \"edge\": " << n << ",\n  \"gemm_edge\": " << gn
+         << ",\n  \"simd_backend\": \"" << simd::backendName()
+         << "\",\n  \"float_lanes\": " << simd::kFloatLanes
+         << ",\n  \"benchmarks\": [\n";
+
+    bool first = true;
+    bool all_ok = true;
+    for (const Case &c : cases) {
+        if (!only.empty() && c.name != only)
+            continue;
+
+        const double scalar_sec =
+            bestOf(iters, [&c] { c.run(false); });
+        const auto [sp, sbytes] = c.output();
+        std::vector<unsigned char> scalar_copy(
+            static_cast<const unsigned char *>(sp),
+            static_cast<const unsigned char *>(sp) + sbytes);
+
+        const double simd_sec = bestOf(iters, [&c] { c.run(true); });
+        const auto [vp, vbytes] = c.output();
+
+        const bool identical =
+            sbytes == vbytes &&
+            std::memcmp(scalar_copy.data(), vp, sbytes) == 0;
+        const bool ok = identical || !c.exact;
+        all_ok = all_ok && ok;
+
+        const double speedup = scalar_sec / simd_sec;
+        speedups.push_back(speedup);
+        table.addRow({c.name, metrics::Table::num(scalar_sec * 1e3),
+                      metrics::Table::num(simd_sec * 1e3),
+                      metrics::Table::num(speedup),
+                      c.exact ? (identical ? "yes" : "NO") : "n/a"});
+
+        json << (first ? "" : ",\n") << "    {\"name\": \"" << c.name
+             << "\", \"scalar_sec\": " << scalar_sec
+             << ", \"simd_sec\": " << simd_sec
+             << ", \"speedup\": " << speedup << ", \"bit_identical\": "
+             << (identical ? "true" : "false") << "}";
+        first = false;
+    }
+    const double gmean = speedups.empty() ? 0.0 : geomean(speedups);
+    json << "\n  ],\n  \"geomean_speedup\": " << gmean
+         << ",\n  \"all_bit_identical\": " << (all_ok ? "true" : "false")
+         << "\n}\n";
+
+    table.print("Kernel bodies: scalar vs " +
+                std::string(simd::backendName()) + " (" +
+                std::to_string(simd::kFloatLanes) + " lanes, " +
+                std::to_string(n) + "x" + std::to_string(n) +
+                ", host pool = 1 lane)");
+    std::printf("\nGeomean speedup: %.2fx\n", gmean);
+    std::printf("Bit-identity verified where declared: %s\n",
+                all_ok ? "yes" : "NO");
+    std::printf("Wrote BENCH_kernels.json\n");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,821 @@
+/**
+ * @file
+ * Portable host SIMD layer: one lane-width-agnostic `simd::VecF` type
+ * with AVX2 / SSE / NEON / scalar backends selected at compile time,
+ * plus vectorized transcendental kernels (exp/log/tanh/erfc) and the
+ * row primitives the staging hot paths are built on (minmax scans,
+ * double-precision row sums, INT8 quantize/dequantize rows).
+ *
+ * Backend selection (first match wins):
+ *   SHMT_SIMD_FORCE_SCALAR  -> scalar   (CMake -DSHMT_SIMD_BACKEND=scalar)
+ *   __AVX2__                -> avx2     (8 lanes; FMA used when __FMA__)
+ *   __SSE2__ / x86-64       -> sse      (4 lanes; roundps when __SSE4_1__)
+ *   __ARM_NEON + __aarch64__-> neon     (4 lanes)
+ *   otherwise               -> scalar   (1 lane)
+ *
+ * Numeric contract: every operation that exists in IEEE-754 (add, sub,
+ * mul, div, sqrt, min/max, round-to-nearest-even) is exact and matches
+ * the scalar equivalent bit-for-bit, so kernels built only from those
+ * (and which preserve the scalar accumulation order) can declare
+ * `KernelInfo::bitIdentical`. The polynomial kernels (vexp/vlog/
+ * vtanh/verfc) are approximations: a few ULP from libm, validated by
+ * the ULP-bounded kernel tests. FMA is only used inside polynomial
+ * kernels — never in bit-identical paths (the build also pins
+ * -ffp-contract=off so the compiler cannot contract the scalar
+ * references behind our back).
+ */
+
+#ifndef SHMT_COMMON_SIMD_HH
+#define SHMT_COMMON_SIMD_HH
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#if defined(SHMT_SIMD_FORCE_SCALAR)
+#define SHMT_SIMD_SCALAR 1
+#elif defined(__AVX2__)
+#define SHMT_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define SHMT_SIMD_SSE 1
+#include <emmintrin.h>
+#ifdef __SSE4_1__
+#include <smmintrin.h>
+#endif
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#define SHMT_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define SHMT_SIMD_SCALAR 1
+#endif
+
+namespace shmt::simd {
+
+#if SHMT_SIMD_AVX2
+
+/** 8-lane float vector (AVX2). */
+struct VecF
+{
+    __m256 v;
+    static constexpr size_t kWidth = 8;
+
+    static VecF load(const float *p) { return {_mm256_loadu_ps(p)}; }
+    void store(float *p) const { _mm256_storeu_ps(p, v); }
+    static VecF broadcast(float x) { return {_mm256_set1_ps(x)}; }
+    static VecF zero() { return {_mm256_setzero_ps()}; }
+
+    friend VecF operator+(VecF a, VecF b) { return {_mm256_add_ps(a.v, b.v)}; }
+    friend VecF operator-(VecF a, VecF b) { return {_mm256_sub_ps(a.v, b.v)}; }
+    friend VecF operator*(VecF a, VecF b) { return {_mm256_mul_ps(a.v, b.v)}; }
+    friend VecF operator/(VecF a, VecF b) { return {_mm256_div_ps(a.v, b.v)}; }
+
+    /** Lane-wise a > b ? a : b (returns b on NaN, like `a > b ? a : b`). */
+    static VecF max(VecF a, VecF b) { return {_mm256_max_ps(b.v, a.v)}; }
+    static VecF min(VecF a, VecF b) { return {_mm256_min_ps(b.v, a.v)}; }
+    static VecF sqrt(VecF a) { return {_mm256_sqrt_ps(a.v)}; }
+    static VecF
+    abs(VecF a)
+    {
+        return {_mm256_andnot_ps(_mm256_set1_ps(-0.0f), a.v)};
+    }
+    static VecF
+    neg(VecF a)
+    {
+        return {_mm256_xor_ps(a.v, _mm256_set1_ps(-0.0f))};
+    }
+    /** Round to nearest, ties to even (matches std::nearbyint). */
+    static VecF
+    round(VecF a)
+    {
+        return {_mm256_round_ps(
+            a.v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC)};
+    }
+    /** a*b + c. True FMA when available — polynomial kernels only. */
+    static VecF
+    fmadd(VecF a, VecF b, VecF c)
+    {
+#ifdef __FMA__
+        return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+#else
+        return a * b + c;
+#endif
+    }
+
+    static VecF cmpLt(VecF a, VecF b) { return {_mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ)}; }
+    static VecF cmpLe(VecF a, VecF b) { return {_mm256_cmp_ps(a.v, b.v, _CMP_LE_OQ)}; }
+    /** mask ? a : b (mask lanes all-ones or all-zero). */
+    static VecF
+    select(VecF mask, VecF a, VecF b)
+    {
+        return {_mm256_blendv_ps(b.v, a.v, mask.v)};
+    }
+    static VecF orBits(VecF a, VecF b) { return {_mm256_or_ps(a.v, b.v)}; }
+    static VecF andBits(VecF a, VecF b) { return {_mm256_and_ps(a.v, b.v)}; }
+    static VecF signBits(VecF a) { return andBits(a, broadcast(-0.0f)); }
+
+    /** 2^n for integral-valued n in [-126, 128] (128 -> +inf). */
+    static VecF
+    exp2i(VecF n)
+    {
+        __m256i e = _mm256_cvtps_epi32(n.v);
+        e = _mm256_add_epi32(e, _mm256_set1_epi32(127));
+        e = _mm256_slli_epi32(e, 23);
+        return {_mm256_castsi256_ps(e)};
+    }
+    /** Mantissa of positive normal x, rescaled into [0.5, 1). */
+    static VecF
+    logMantissa(VecF x)
+    {
+        __m256i b = _mm256_castps_si256(x.v);
+        b = _mm256_and_si256(b, _mm256_set1_epi32(0x007fffff));
+        b = _mm256_or_si256(b, _mm256_set1_epi32(0x3f000000));
+        return {_mm256_castsi256_ps(b)};
+    }
+    /** Exponent of positive normal x such that x = mant * 2^(e-1). */
+    static VecF
+    logExponent(VecF x)
+    {
+        __m256i b = _mm256_srli_epi32(_mm256_castps_si256(x.v), 23);
+        b = _mm256_sub_epi32(b, _mm256_set1_epi32(126));
+        return {_mm256_cvtepi32_ps(b)};
+    }
+
+    static float
+    hmin(VecF a)
+    {
+        __m128 m = _mm_min_ps(_mm256_castps256_ps128(a.v),
+                              _mm256_extractf128_ps(a.v, 1));
+        m = _mm_min_ps(m, _mm_movehl_ps(m, m));
+        m = _mm_min_ss(m, _mm_shuffle_ps(m, m, 1));
+        return _mm_cvtss_f32(m);
+    }
+    static float
+    hmax(VecF a)
+    {
+        __m128 m = _mm_max_ps(_mm256_castps256_ps128(a.v),
+                              _mm256_extractf128_ps(a.v, 1));
+        m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+        m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+        return _mm_cvtss_f32(m);
+    }
+};
+
+inline constexpr const char *
+backendName()
+{
+    return "avx2";
+}
+
+#elif SHMT_SIMD_SSE
+
+/** 4-lane float vector (SSE2 baseline, SSE4.1 fast paths). */
+struct VecF
+{
+    __m128 v;
+    static constexpr size_t kWidth = 4;
+
+    static VecF load(const float *p) { return {_mm_loadu_ps(p)}; }
+    void store(float *p) const { _mm_storeu_ps(p, v); }
+    static VecF broadcast(float x) { return {_mm_set1_ps(x)}; }
+    static VecF zero() { return {_mm_setzero_ps()}; }
+
+    friend VecF operator+(VecF a, VecF b) { return {_mm_add_ps(a.v, b.v)}; }
+    friend VecF operator-(VecF a, VecF b) { return {_mm_sub_ps(a.v, b.v)}; }
+    friend VecF operator*(VecF a, VecF b) { return {_mm_mul_ps(a.v, b.v)}; }
+    friend VecF operator/(VecF a, VecF b) { return {_mm_div_ps(a.v, b.v)}; }
+
+    static VecF max(VecF a, VecF b) { return {_mm_max_ps(b.v, a.v)}; }
+    static VecF min(VecF a, VecF b) { return {_mm_min_ps(b.v, a.v)}; }
+    static VecF sqrt(VecF a) { return {_mm_sqrt_ps(a.v)}; }
+    static VecF
+    abs(VecF a)
+    {
+        return {_mm_andnot_ps(_mm_set1_ps(-0.0f), a.v)};
+    }
+    static VecF neg(VecF a) { return {_mm_xor_ps(a.v, _mm_set1_ps(-0.0f))}; }
+    static VecF
+    round(VecF a)
+    {
+#ifdef __SSE4_1__
+        return {_mm_round_ps(a.v,
+                             _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC)};
+#else
+        // cvtps_epi32 rounds to nearest-even; |x| >= 2^23 is already
+        // integral (and may not fit int32), so keep those lanes as-is.
+        const __m128 r =
+            _mm_cvtepi32_ps(_mm_cvtps_epi32(a.v));
+        const __m128 small = _mm_cmplt_ps(
+            _mm_andnot_ps(_mm_set1_ps(-0.0f), a.v), _mm_set1_ps(8388608.0f));
+        return {_mm_or_ps(_mm_and_ps(small, r), _mm_andnot_ps(small, a.v))};
+#endif
+    }
+    static VecF fmadd(VecF a, VecF b, VecF c) { return a * b + c; }
+
+    static VecF cmpLt(VecF a, VecF b) { return {_mm_cmplt_ps(a.v, b.v)}; }
+    static VecF cmpLe(VecF a, VecF b) { return {_mm_cmple_ps(a.v, b.v)}; }
+    static VecF
+    select(VecF mask, VecF a, VecF b)
+    {
+#ifdef __SSE4_1__
+        return {_mm_blendv_ps(b.v, a.v, mask.v)};
+#else
+        return {_mm_or_ps(_mm_and_ps(mask.v, a.v),
+                          _mm_andnot_ps(mask.v, b.v))};
+#endif
+    }
+    static VecF orBits(VecF a, VecF b) { return {_mm_or_ps(a.v, b.v)}; }
+    static VecF andBits(VecF a, VecF b) { return {_mm_and_ps(a.v, b.v)}; }
+    static VecF signBits(VecF a) { return andBits(a, broadcast(-0.0f)); }
+
+    static VecF
+    exp2i(VecF n)
+    {
+        __m128i e = _mm_cvtps_epi32(n.v);
+        e = _mm_add_epi32(e, _mm_set1_epi32(127));
+        e = _mm_slli_epi32(e, 23);
+        return {_mm_castsi128_ps(e)};
+    }
+    static VecF
+    logMantissa(VecF x)
+    {
+        __m128i b = _mm_castps_si128(x.v);
+        b = _mm_and_si128(b, _mm_set1_epi32(0x007fffff));
+        b = _mm_or_si128(b, _mm_set1_epi32(0x3f000000));
+        return {_mm_castsi128_ps(b)};
+    }
+    static VecF
+    logExponent(VecF x)
+    {
+        __m128i b = _mm_srli_epi32(_mm_castps_si128(x.v), 23);
+        b = _mm_sub_epi32(b, _mm_set1_epi32(126));
+        return {_mm_cvtepi32_ps(b)};
+    }
+
+    static float
+    hmin(VecF a)
+    {
+        __m128 m = _mm_min_ps(a.v, _mm_movehl_ps(a.v, a.v));
+        m = _mm_min_ss(m, _mm_shuffle_ps(m, m, 1));
+        return _mm_cvtss_f32(m);
+    }
+    static float
+    hmax(VecF a)
+    {
+        __m128 m = _mm_max_ps(a.v, _mm_movehl_ps(a.v, a.v));
+        m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+        return _mm_cvtss_f32(m);
+    }
+};
+
+inline constexpr const char *
+backendName()
+{
+#ifdef __SSE4_1__
+    return "sse4";
+#else
+    return "sse2";
+#endif
+}
+
+#elif SHMT_SIMD_NEON
+
+/** 4-lane float vector (AArch64 NEON). */
+struct VecF
+{
+    float32x4_t v;
+    static constexpr size_t kWidth = 4;
+
+    static VecF load(const float *p) { return {vld1q_f32(p)}; }
+    void store(float *p) const { vst1q_f32(p, v); }
+    static VecF broadcast(float x) { return {vdupq_n_f32(x)}; }
+    static VecF zero() { return {vdupq_n_f32(0.0f)}; }
+
+    friend VecF operator+(VecF a, VecF b) { return {vaddq_f32(a.v, b.v)}; }
+    friend VecF operator-(VecF a, VecF b) { return {vsubq_f32(a.v, b.v)}; }
+    friend VecF operator*(VecF a, VecF b) { return {vmulq_f32(a.v, b.v)}; }
+    friend VecF operator/(VecF a, VecF b) { return {vdivq_f32(a.v, b.v)}; }
+
+    /** a > b ? a : b, returning b on NaN (bit-compatible with x86). */
+    static VecF
+    max(VecF a, VecF b)
+    {
+        const uint32x4_t gt = vcgtq_f32(a.v, b.v);
+        return {vbslq_f32(gt, a.v, b.v)};
+    }
+    static VecF
+    min(VecF a, VecF b)
+    {
+        const uint32x4_t lt = vcltq_f32(a.v, b.v);
+        return {vbslq_f32(lt, a.v, b.v)};
+    }
+    static VecF sqrt(VecF a) { return {vsqrtq_f32(a.v)}; }
+    static VecF abs(VecF a) { return {vabsq_f32(a.v)}; }
+    static VecF neg(VecF a) { return {vnegq_f32(a.v)}; }
+    static VecF round(VecF a) { return {vrndnq_f32(a.v)}; }
+    static VecF
+    fmadd(VecF a, VecF b, VecF c)
+    {
+        return {vfmaq_f32(c.v, a.v, b.v)};
+    }
+
+    static VecF
+    cmpLt(VecF a, VecF b)
+    {
+        return {vreinterpretq_f32_u32(vcltq_f32(a.v, b.v))};
+    }
+    static VecF
+    cmpLe(VecF a, VecF b)
+    {
+        return {vreinterpretq_f32_u32(vcleq_f32(a.v, b.v))};
+    }
+    static VecF
+    select(VecF mask, VecF a, VecF b)
+    {
+        return {vbslq_f32(vreinterpretq_u32_f32(mask.v), a.v, b.v)};
+    }
+    static VecF
+    orBits(VecF a, VecF b)
+    {
+        return {vreinterpretq_f32_u32(vorrq_u32(
+            vreinterpretq_u32_f32(a.v), vreinterpretq_u32_f32(b.v)))};
+    }
+    static VecF
+    andBits(VecF a, VecF b)
+    {
+        return {vreinterpretq_f32_u32(vandq_u32(
+            vreinterpretq_u32_f32(a.v), vreinterpretq_u32_f32(b.v)))};
+    }
+    static VecF signBits(VecF a) { return andBits(a, broadcast(-0.0f)); }
+
+    static VecF
+    exp2i(VecF n)
+    {
+        int32x4_t e = vcvtq_s32_f32(n.v);
+        e = vaddq_s32(e, vdupq_n_s32(127));
+        e = vshlq_n_s32(e, 23);
+        return {vreinterpretq_f32_s32(e)};
+    }
+    static VecF
+    logMantissa(VecF x)
+    {
+        uint32x4_t b = vreinterpretq_u32_f32(x.v);
+        b = vandq_u32(b, vdupq_n_u32(0x007fffffu));
+        b = vorrq_u32(b, vdupq_n_u32(0x3f000000u));
+        return {vreinterpretq_f32_u32(b)};
+    }
+    static VecF
+    logExponent(VecF x)
+    {
+        int32x4_t b = vreinterpretq_s32_f32(x.v);
+        b = vshrq_n_s32(b, 23);
+        b = vsubq_s32(b, vdupq_n_s32(126));
+        return {vcvtq_f32_s32(b)};
+    }
+
+    static float hmin(VecF a) { return vminvq_f32(a.v); }
+    static float hmax(VecF a) { return vmaxvq_f32(a.v); }
+};
+
+inline constexpr const char *
+backendName()
+{
+    return "neon";
+}
+
+#else // scalar fallback
+
+/** 1-lane "vector": the portable reference backend. */
+struct VecF
+{
+    float v;
+    static constexpr size_t kWidth = 1;
+
+    static VecF load(const float *p) { return {*p}; }
+    void store(float *p) const { *p = v; }
+    static VecF broadcast(float x) { return {x}; }
+    static VecF zero() { return {0.0f}; }
+
+    friend VecF operator+(VecF a, VecF b) { return {a.v + b.v}; }
+    friend VecF operator-(VecF a, VecF b) { return {a.v - b.v}; }
+    friend VecF operator*(VecF a, VecF b) { return {a.v * b.v}; }
+    friend VecF operator/(VecF a, VecF b) { return {a.v / b.v}; }
+
+    static VecF max(VecF a, VecF b) { return {a.v > b.v ? a.v : b.v}; }
+    static VecF min(VecF a, VecF b) { return {a.v < b.v ? a.v : b.v}; }
+    static VecF sqrt(VecF a) { return {std::sqrt(a.v)}; }
+    static VecF abs(VecF a) { return {std::fabs(a.v)}; }
+    static VecF neg(VecF a) { return fromBits(bits(a) ^ 0x80000000u); }
+    static VecF round(VecF a) { return {std::nearbyintf(a.v)}; }
+    static VecF fmadd(VecF a, VecF b, VecF c) { return {a.v * b.v + c.v}; }
+
+    static uint32_t bits(VecF a) { return std::bit_cast<uint32_t>(a.v); }
+    static VecF fromBits(uint32_t b) { return {std::bit_cast<float>(b)}; }
+
+    static VecF cmpLt(VecF a, VecF b) { return fromBits(a.v < b.v ? 0xffffffffu : 0u); }
+    static VecF cmpLe(VecF a, VecF b) { return fromBits(a.v <= b.v ? 0xffffffffu : 0u); }
+    static VecF
+    select(VecF mask, VecF a, VecF b)
+    {
+        return fromBits((bits(mask) & bits(a)) | (~bits(mask) & bits(b)));
+    }
+    static VecF orBits(VecF a, VecF b) { return fromBits(bits(a) | bits(b)); }
+    static VecF andBits(VecF a, VecF b) { return fromBits(bits(a) & bits(b)); }
+    static VecF signBits(VecF a) { return fromBits(bits(a) & 0x80000000u); }
+
+    static VecF
+    exp2i(VecF n)
+    {
+        const int32_t e = static_cast<int32_t>(n.v) + 127;
+        return fromBits(static_cast<uint32_t>(e) << 23);
+    }
+    static VecF
+    logMantissa(VecF x)
+    {
+        return fromBits((bits(x) & 0x007fffffu) | 0x3f000000u);
+    }
+    static VecF
+    logExponent(VecF x)
+    {
+        return {static_cast<float>(
+            static_cast<int32_t>(bits(x) >> 23) - 126)};
+    }
+
+    static float hmin(VecF a) { return a.v; }
+    static float hmax(VecF a) { return a.v; }
+};
+
+inline constexpr const char *
+backendName()
+{
+    return "scalar";
+}
+
+#endif
+
+inline constexpr size_t kFloatLanes = VecF::kWidth;
+
+// ---------------------------------------------------------------------------
+// Vectorized transcendentals (polynomial kernels; NOT bit-identical to
+// libm — covered by the ULP-bounded kernel tests).
+// ---------------------------------------------------------------------------
+
+/** e^x, Cephes-style: ~2 ULP over the normal range; underflows to 0,
+ *  overflows to +inf. */
+inline VecF
+vexp(VecF x)
+{
+    const VecF lo = VecF::broadcast(-87.3365447505531f);
+    const VecF underflow = VecF::cmpLt(x, lo);
+    x = VecF::min(x, VecF::broadcast(88.3762626647950f));
+    // Underflowing lanes compute exp(0) instead of exp(lo): their
+    // result is masked to 0 below either way, and exp(lo) ~= FLT_MIN
+    // would emit a denormal product whose stall penalty dominates the
+    // whole kernel on wide-range inputs (e.g. Blackscholes tails).
+    x = VecF::select(underflow, VecF::zero(), x);
+
+    const VecF fx =
+        VecF::round(x * VecF::broadcast(1.44269504088896341f));
+    x = x - fx * VecF::broadcast(0.693359375f);
+    x = x - fx * VecF::broadcast(-2.12194440e-4f);
+
+    VecF y = VecF::broadcast(1.9875691500e-4f);
+    y = VecF::fmadd(y, x, VecF::broadcast(1.3981999507e-3f));
+    y = VecF::fmadd(y, x, VecF::broadcast(8.3334519073e-3f));
+    y = VecF::fmadd(y, x, VecF::broadcast(4.1665795894e-2f));
+    y = VecF::fmadd(y, x, VecF::broadcast(1.6666665459e-1f));
+    y = VecF::fmadd(y, x, VecF::broadcast(5.0000001201e-1f));
+    y = VecF::fmadd(y, x * x, x);
+    y = y + VecF::broadcast(1.0f);
+    y = y * VecF::exp2i(fx);
+    return VecF::select(underflow, VecF::zero(), y);
+}
+
+/** ln(x), Cephes-style: ~2 ULP. x=0 -> -inf, x<0 -> NaN; denormal
+ *  inputs are flushed to the smallest normal first. */
+inline VecF
+vlog(VecF x)
+{
+    const VecF zero_mask = VecF::cmpLe(x, VecF::zero());
+    const VecF neg_mask = VecF::cmpLt(x, VecF::zero());
+    x = VecF::max(x, VecF::broadcast(1.17549435e-38f));
+
+    VecF e = VecF::logExponent(x);
+    x = VecF::logMantissa(x);
+
+    const VecF half_mask =
+        VecF::cmpLt(x, VecF::broadcast(0.707106781186547524f));
+    e = e - VecF::select(half_mask, VecF::broadcast(1.0f), VecF::zero());
+    x = (x - VecF::broadcast(1.0f)) +
+        VecF::select(half_mask, x, VecF::zero());
+
+    const VecF z = x * x;
+    VecF y = VecF::broadcast(7.0376836292e-2f);
+    y = VecF::fmadd(y, x, VecF::broadcast(-1.1514610310e-1f));
+    y = VecF::fmadd(y, x, VecF::broadcast(1.1676998740e-1f));
+    y = VecF::fmadd(y, x, VecF::broadcast(-1.2420140846e-1f));
+    y = VecF::fmadd(y, x, VecF::broadcast(1.4249322787e-1f));
+    y = VecF::fmadd(y, x, VecF::broadcast(-1.6668057665e-1f));
+    y = VecF::fmadd(y, x, VecF::broadcast(2.0000714765e-1f));
+    y = VecF::fmadd(y, x, VecF::broadcast(-2.4999993993e-1f));
+    y = VecF::fmadd(y, x, VecF::broadcast(3.3333331174e-1f));
+    y = y * x * z;
+    y = y + e * VecF::broadcast(-2.12194440e-4f);
+    y = y - z * VecF::broadcast(0.5f);
+    x = x + y;
+    x = x + e * VecF::broadcast(0.693359375f);
+
+    x = VecF::select(zero_mask,
+                     VecF::broadcast(-std::numeric_limits<float>::infinity()),
+                     x);
+    return VecF::select(
+        neg_mask,
+        VecF::broadcast(std::numeric_limits<float>::quiet_NaN()), x);
+}
+
+/** erfc(x), Numerical-Recipes rational Chebyshev fit: relative error
+ *  < ~1.3e-7 everywhere (plus the vexp error). */
+inline VecF
+verfc(VecF x)
+{
+    const VecF z = VecF::abs(x);
+    const VecF one = VecF::broadcast(1.0f);
+    const VecF t = one / (one + VecF::broadcast(0.5f) * z);
+
+    VecF p = VecF::broadcast(0.17087277f);
+    p = VecF::fmadd(p, t, VecF::broadcast(-0.82215223f));
+    p = VecF::fmadd(p, t, VecF::broadcast(1.48851587f));
+    p = VecF::fmadd(p, t, VecF::broadcast(-1.13520398f));
+    p = VecF::fmadd(p, t, VecF::broadcast(0.27886807f));
+    p = VecF::fmadd(p, t, VecF::broadcast(-0.18628806f));
+    p = VecF::fmadd(p, t, VecF::broadcast(0.09678418f));
+    p = VecF::fmadd(p, t, VecF::broadcast(0.37409196f));
+    p = VecF::fmadd(p, t, VecF::broadcast(1.00002368f));
+    p = VecF::fmadd(p, t, VecF::broadcast(-1.26551223f));
+
+    const VecF ans = t * vexp(p - z * z);
+    const VecF neg = VecF::cmpLt(x, VecF::zero());
+    return VecF::select(neg, VecF::broadcast(2.0f) - ans, ans);
+}
+
+/** Standard normal CDF: 0.5 * erfc(-x / sqrt(2)). */
+inline VecF
+vncdf(VecF x)
+{
+    return VecF::broadcast(0.5f) *
+           verfc(VecF::neg(x * VecF::broadcast(0.70710678118654752440f)));
+}
+
+/** tanh(x), Cephes-style (polynomial below 0.625, exp form above). */
+inline VecF
+vtanh(VecF x)
+{
+    const VecF z = VecF::abs(x);
+    const VecF one = VecF::broadcast(1.0f);
+
+    // |x| >= 0.625: 1 - 2/(e^{2|x|}+1), sign restored.
+    const VecF e = vexp(z + z);
+    VecF big = one - VecF::broadcast(2.0f) / (e + one);
+    big = VecF::orBits(big, VecF::signBits(x));
+
+    // |x| < 0.625: x + x*s*P(s).
+    const VecF s = x * x;
+    VecF p = VecF::broadcast(-5.70498872745e-3f);
+    p = VecF::fmadd(p, s, VecF::broadcast(2.06390887954e-2f));
+    p = VecF::fmadd(p, s, VecF::broadcast(-5.37397155531e-2f));
+    p = VecF::fmadd(p, s, VecF::broadcast(1.33314422036e-1f));
+    p = VecF::fmadd(p, s, VecF::broadcast(-3.33332819422e-1f));
+    const VecF small = VecF::fmadd(x * s, p, x);
+
+    return VecF::select(VecF::cmpLt(z, VecF::broadcast(0.625f)), small,
+                        big);
+}
+
+// ---------------------------------------------------------------------------
+// Row primitives for the staging hot paths.
+// ---------------------------------------------------------------------------
+
+/** Fold the min/max of p[0..n) into (lo, hi). Exact: min/max are
+ *  order-independent for finite data. */
+inline void
+rowMinMax(const float *p, size_t n, float &lo, float &hi)
+{
+    size_t i = 0;
+    if constexpr (VecF::kWidth > 1) {
+        if (n >= VecF::kWidth) {
+            VecF vlo = VecF::load(p);
+            VecF vhi = vlo;
+            for (i = VecF::kWidth; i + VecF::kWidth <= n;
+                 i += VecF::kWidth) {
+                const VecF v = VecF::load(p + i);
+                vlo = VecF::min(vlo, v);
+                vhi = VecF::max(vhi, v);
+            }
+            lo = std::min(lo, VecF::hmin(vlo));
+            hi = std::max(hi, VecF::hmax(vhi));
+        }
+    }
+    for (; i < n; ++i) {
+        lo = std::min(lo, p[i]);
+        hi = std::max(hi, p[i]);
+    }
+}
+
+/** Row sum in double precision: lane-split partial sums combined in a
+ *  fixed order (deterministic per backend; within ~1 float ULP of the
+ *  serial double sum). */
+inline double
+rowSumDouble(const float *p, size_t n)
+{
+#if SHMT_SIMD_AVX2
+    size_t i = 0;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (; i + 8 <= n; i += 8) {
+        const __m128 lo = _mm_loadu_ps(p + i);
+        const __m128 hi = _mm_loadu_ps(p + i + 4);
+        acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(lo));
+        acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(hi));
+    }
+    const __m256d acc = _mm256_add_pd(acc0, acc1);
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    double sum = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+    for (; i < n; ++i)
+        sum += static_cast<double>(p[i]);
+    return sum;
+#elif SHMT_SIMD_SSE
+    size_t i = 0;
+    __m128d acc0 = _mm_setzero_pd();
+    __m128d acc1 = _mm_setzero_pd();
+    for (; i + 4 <= n; i += 4) {
+        const __m128 v = _mm_loadu_ps(p + i);
+        acc0 = _mm_add_pd(acc0, _mm_cvtps_pd(v));
+        acc1 = _mm_add_pd(acc1,
+                          _mm_cvtps_pd(_mm_movehl_ps(v, v)));
+    }
+    const __m128d acc = _mm_add_pd(acc0, acc1);
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, acc);
+    double sum = lanes[0] + lanes[1];
+    for (; i < n; ++i)
+        sum += static_cast<double>(p[i]);
+    return sum;
+#elif SHMT_SIMD_NEON
+    size_t i = 0;
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t v = vld1q_f32(p + i);
+        acc0 = vaddq_f64(acc0, vcvt_f64_f32(vget_low_f32(v)));
+        acc1 = vaddq_f64(acc1, vcvt_f64_f32(vget_high_f32(v)));
+    }
+    const float64x2_t acc = vaddq_f64(acc0, acc1);
+    double sum = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+    for (; i < n; ++i)
+        sum += static_cast<double>(p[i]);
+    return sum;
+#else
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum += static_cast<double>(p[i]);
+    return sum;
+#endif
+}
+
+/**
+ * Affine-quantize a row: dst[i] = int8(clamp(nearbyint(src[i]/scale +
+ * zp), -128, 127)). Bit-identical to QuantParams::quantize (true
+ * division, round-to-nearest-even, saturating narrow).
+ */
+inline void
+quantizeRow(const float *src, int8_t *dst, size_t n, float scale,
+            int32_t zero_point)
+{
+    [[maybe_unused]] const VecF vscale = VecF::broadcast(scale);
+    [[maybe_unused]] const VecF vzp =
+        VecF::broadcast(static_cast<float>(zero_point));
+    size_t i = 0;
+#if SHMT_SIMD_AVX2
+    for (; i + 8 <= n; i += 8) {
+        const VecF q = VecF::round(VecF::load(src + i) / vscale + vzp);
+        const __m256i qi = _mm256_cvtps_epi32(q.v);
+        const __m128i lo = _mm256_castsi256_si128(qi);
+        const __m128i hi = _mm256_extracti128_si256(qi, 1);
+        const __m128i w = _mm_packs_epi32(lo, hi);   // saturate to i16
+        const __m128i b = _mm_packs_epi16(w, w);     // saturate to i8
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + i), b);
+    }
+#elif SHMT_SIMD_SSE
+    for (; i + 4 <= n; i += 4) {
+        const VecF q = VecF::round(VecF::load(src + i) / vscale + vzp);
+        const __m128i qi = _mm_cvtps_epi32(q.v);
+        const __m128i w = _mm_packs_epi32(qi, qi);
+        const __m128i b = _mm_packs_epi16(w, w);
+        const int32_t packed = _mm_cvtsi128_si32(b);
+        std::memcpy(dst + i, &packed, 4);
+    }
+#elif SHMT_SIMD_NEON
+    for (; i + 4 <= n; i += 4) {
+        const VecF q = VecF::round(VecF::load(src + i) / vscale + vzp);
+        // Clamp in float (q is integral), then narrow.
+        const VecF qc = VecF::min(VecF::max(q, VecF::broadcast(-128.0f)),
+                                  VecF::broadcast(127.0f));
+        const int32x4_t qi = vcvtq_s32_f32(qc.v);
+        const int16x4_t w = vqmovn_s32(qi);
+        const int8x8_t b = vqmovn_s16(vcombine_s16(w, w));
+        const int32_t packed = vget_lane_s32(vreinterpret_s32_s8(b), 0);
+        std::memcpy(dst + i, &packed, 4);
+    }
+#endif
+    for (; i < n; ++i) {
+        const float q = std::nearbyintf(
+            src[i] / scale + static_cast<float>(zero_point));
+        const int32_t qi = static_cast<int32_t>(q);
+        dst[i] = static_cast<int8_t>(
+            qi < -128 ? -128 : (qi > 127 ? 127 : qi));
+    }
+}
+
+/** Dequantize a row: dst[i] = scale * (src[i] - zp). Bit-identical to
+ *  QuantParams::dequantize. */
+inline void
+dequantizeRow(const int8_t *src, float *dst, size_t n, float scale,
+              int32_t zero_point)
+{
+    [[maybe_unused]] const VecF vscale = VecF::broadcast(scale);
+    [[maybe_unused]] const VecF vzp =
+        VecF::broadcast(static_cast<float>(zero_point));
+    size_t i = 0;
+#if SHMT_SIMD_AVX2
+    for (; i + 8 <= n; i += 8) {
+        const __m128i b = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(src + i));
+        const __m256i qi = _mm256_cvtepi8_epi32(b);
+        const VecF q{_mm256_cvtepi32_ps(qi)};
+        (vscale * (q - vzp)).store(dst + i);
+    }
+#elif SHMT_SIMD_SSE
+    for (; i + 4 <= n; i += 4) {
+        int32_t packed;
+        std::memcpy(&packed, src + i, 4);
+        __m128i b = _mm_cvtsi32_si128(packed);
+        b = _mm_unpacklo_epi8(b, b);
+        b = _mm_unpacklo_epi16(b, b);
+        b = _mm_srai_epi32(b, 24);               // sign-extend i8 -> i32
+        const VecF q{_mm_cvtepi32_ps(b)};
+        (vscale * (q - vzp)).store(dst + i);
+    }
+#elif SHMT_SIMD_NEON
+    for (; i + 4 <= n; i += 4) {
+        int32_t packed;
+        std::memcpy(&packed, src + i, 4);
+        const int8x8_t b =
+            vreinterpret_s8_s32(vdup_n_s32(packed));
+        const int16x8_t w = vmovl_s8(b);
+        const int32x4_t qi = vmovl_s16(vget_low_s16(w));
+        const VecF q{vcvtq_f32_s32(qi)};
+        (vscale * (q - vzp)).store(dst + i);
+    }
+#endif
+    for (; i < n; ++i)
+        dst[i] = scale * (static_cast<float>(src[i]) -
+                          static_cast<float>(zero_point));
+}
+
+/**
+ * INT8 round-trip of a row entirely in the float domain:
+ * dst[i] = scale * (clamp(nearbyint(src[i]/scale + zp)) - zp).
+ * Bit-identical to quantize-then-dequantize.
+ */
+inline void
+fakeQuantizeRow(const float *src, float *dst, size_t n, float scale,
+                int32_t zero_point)
+{
+    const VecF vscale = VecF::broadcast(scale);
+    const VecF vzp = VecF::broadcast(static_cast<float>(zero_point));
+    const VecF vlo = VecF::broadcast(-128.0f);
+    const VecF vhi = VecF::broadcast(127.0f);
+    size_t i = 0;
+    for (; i + VecF::kWidth <= n; i += VecF::kWidth) {
+        VecF q = VecF::round(VecF::load(src + i) / vscale + vzp);
+        q = VecF::min(VecF::max(q, vlo), vhi);
+        (vscale * (q - vzp)).store(dst + i);
+    }
+    for (; i < n; ++i) {
+        const float q = std::nearbyintf(
+            src[i] / scale + static_cast<float>(zero_point));
+        const int32_t qi = static_cast<int32_t>(
+            q < -128.0f ? -128.0f : (q > 127.0f ? 127.0f : q));
+        dst[i] = scale * (static_cast<float>(qi) -
+                          static_cast<float>(zero_point));
+    }
+}
+
+} // namespace shmt::simd
+
+#endif // SHMT_COMMON_SIMD_HH

@@ -283,6 +283,7 @@ Runtime::executeVop(const VOp &vop, Policy &policy, double start,
     for (const Tensor *t : vop.inputs)
         args.inputs.push_back(t->view());
     args.scalars = vop.scalars;
+    args.hostSimd = config_.hostSimd == RuntimeConfig::SimdMode::Auto;
     if (const sim::KernelCalibration *rec = cal_.find(cost_key))
         args.npuNoiseOverride = rec->npuNoise;
 
@@ -695,6 +696,8 @@ Runtime::runGpuBaseline(const VopProgram &program, bool functional)
             for (const Tensor *t : vop.inputs)
                 args.inputs.push_back(t->view());
             args.scalars = vop.scalars;
+            args.hostSimd =
+                config_.hostSimd == RuntimeConfig::SimdMode::Auto;
             if (info.reduce != ReduceKind::None) {
                 Tensor acc(info.reduceRows, info.reduceCols);
                 gpu.execute(info, args, whole, acc.view(),

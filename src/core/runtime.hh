@@ -63,6 +63,21 @@ struct RuntimeConfig
      * and partition-ordered reductions guarantee it).
      */
     size_t hostThreads = 0;
+
+    /** Host SIMD kernel selection (see KernelInfo::simdFunc). */
+    enum class SimdMode : uint8_t {
+        Off,    //!< scalar reference kernels and staging everywhere
+        Auto,   //!< vectorized implementations where registered
+    };
+    /**
+     * Whether the host runs the vectorized kernel bodies and staging
+     * passes (`shmtbench --host-simd=off|auto`). Off reproduces the
+     * scalar reference bit-exactly; Auto is bit-identical too for
+     * every kernel declaring KernelInfo::bitIdentical and ULP-bounded
+     * for the polynomial ones (exp/log/tanh/ncdf, blackscholes,
+     * reduce_sum).
+     */
+    SimdMode hostSimd = SimdMode::Auto;
 };
 
 /** Per-device execution statistics of one run. */

@@ -186,6 +186,8 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
         for (const Tensor *t : vop.inputs)
             args.inputs.push_back(t->view());
         args.scalars = vop.scalars;
+        args.hostSimd = runtime.config().hostSimd ==
+                        RuntimeConfig::SimdMode::Auto;
         if (const auto *rec =
                 runtime.costModel().calibration().find(cost_key))
             args.npuNoiseOverride = rec->npuNoise;

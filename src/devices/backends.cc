@@ -33,7 +33,7 @@ class ExactBackend : public Backend
     execute(const KernelInfo &info, const KernelArgs &args,
             const Rect &region, TensorView out, uint64_t) const override
     {
-        info.func(args, region, out);
+        info.body(args.hostSimd)(args, region, out);
     }
 
     size_t
@@ -139,10 +139,11 @@ class DspBackend : public Backend
         scratch.reserve(args.inputs.size());
         KernelArgs staged;
         staged.scalars = args.scalars;
+        staged.hostSimd = args.hostSimd;
         for (const auto &in : args.inputs) {
             Tensor s(er1 - er0, ec1 - ec0);
             fakeQuantizeFp16(in.slice(er0, ec0, er1 - er0, ec1 - ec0),
-                             s.view());
+                             s.view(), args.hostSimd);
             scratch.push_back(std::move(s));
         }
         for (const auto &s : scratch)
@@ -150,8 +151,8 @@ class DspBackend : public Backend
 
         const Rect adj{region.row0 - er0, region.col0 - ec0, region.rows,
                        region.cols};
-        info.func(staged, adj, out);
-        fakeQuantizeFp16(ConstTensorView(out), out);
+        info.body(args.hostSimd)(staged, adj, out);
+        fakeQuantizeFp16(ConstTensorView(out), out, args.hostSimd);
     }
 
     size_t

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/simd.hh"
 #include "kernels/elementwise.hh"
 
 namespace shmt::kernels {
@@ -41,6 +42,64 @@ priceRegion(const KernelArgs &args, const Rect &region, TensorView out)
     }
 }
 
+/**
+ * Vectorized pricing: the whole d1/d2/N(d) pipeline stays in vector
+ * registers (simd::vlog + simd::vncdf), so it is ULP-bounded — not
+ * bit-identical — against the scalar reference. Ragged tails bounce
+ * through a 1.0f-padded lane buffer so an element's price never
+ * depends on its position within the region.
+ */
+template <bool Call>
+void
+priceRegionSimd(const KernelArgs &args, const Rect &region,
+                TensorView out)
+{
+    using simd::VecF;
+    constexpr size_t W = VecF::kWidth;
+
+    const ConstTensorView &spot = args.input(0);
+    const ConstTensorView &strike = args.input(1);
+    const float r = args.scalar(0);
+    const float sigma = args.scalar(1);
+    const float t = args.scalar(2);
+
+    const VecF vol = VecF::broadcast(sigma * std::sqrt(t));
+    const VecF drift = VecF::broadcast((r + 0.5f * sigma * sigma) * t);
+    const VecF discount = VecF::broadcast(std::exp(-r * t));
+
+    auto price = [&](VecF s, VecF k) {
+        const VecF d1 = (simd::vlog(s / k) + drift) / vol;
+        const VecF d2 = d1 - vol;
+        if constexpr (Call)
+            return s * simd::vncdf(d1) -
+                   k * discount * simd::vncdf(d2);
+        else
+            return k * discount * simd::vncdf(VecF::neg(d2)) -
+                   s * simd::vncdf(VecF::neg(d1));
+    };
+
+    for (size_t rr = 0; rr < region.rows; ++rr) {
+        const float *s = spot.row(region.row0 + rr) + region.col0;
+        const float *k = strike.row(region.row0 + rr) + region.col0;
+        float *d = out.row(rr);
+        size_t cc = 0;
+        for (; cc + W <= region.cols; cc += W)
+            price(VecF::load(s + cc), VecF::load(k + cc)).store(d + cc);
+        if (cc < region.cols) {
+            const size_t c0 = cc;
+            float sb[W], kb[W];
+            for (size_t i = 0; i < W; ++i) {
+                const bool live = c0 + i < region.cols;
+                sb[i] = live ? s[c0 + i] : 1.0f;
+                kb[i] = live ? k[c0 + i] : 1.0f;
+            }
+            price(VecF::load(sb), VecF::load(kb)).store(sb);
+            for (; cc < region.cols; ++cc)
+                d[cc] = sb[cc - c0];
+        }
+    }
+}
+
 } // namespace
 
 void
@@ -62,6 +121,8 @@ registerBlackscholesKernels(KernelRegistry &reg)
         KernelInfo info;
         info.opcode = "blackscholes";
         info.func = blackscholesCall;
+        info.simdFunc = priceRegionSimd<true>;
+        info.bitIdentical = false;
         info.model = ParallelModel::Vector;
         info.costKey = "blackscholes";
         reg.add(std::move(info));
@@ -70,6 +131,8 @@ registerBlackscholesKernels(KernelRegistry &reg)
         KernelInfo info;
         info.opcode = "blackscholes_put";
         info.func = blackscholesPut;
+        info.simdFunc = priceRegionSimd<false>;
+        info.bitIdentical = false;
         info.model = ParallelModel::Vector;
         info.costKey = "blackscholes";
         reg.add(std::move(info));

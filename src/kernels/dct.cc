@@ -3,6 +3,8 @@
 #include <array>
 #include <cmath>
 
+#include "common/simd.hh"
+
 namespace shmt::kernels {
 
 namespace {
@@ -14,6 +16,9 @@ constexpr double kPi = 3.14159265358979323846;
 struct DctTables
 {
     std::array<std::array<float, kBlock>, kBlock> cosTab;
+    //! cosTab transposed (cosTabT[x][u] == cosTab[u][x]) so the SIMD
+    //! path can load a u-vector for a fixed sample index x.
+    std::array<std::array<float, kBlock>, kBlock> cosTabT;
     std::array<float, kBlock> scale;
 
     DctTables()
@@ -26,6 +31,9 @@ struct DctTables
                     std::cos((2.0 * x + 1.0) * u * kPi / (2.0 * kBlock)));
             }
         }
+        for (size_t u = 0; u < kBlock; ++u)
+            for (size_t x = 0; x < kBlock; ++x)
+                cosTabT[x][u] = cosTab[u][x];
     }
 };
 
@@ -139,6 +147,106 @@ inverseBlock(const ConstTensorView &in, size_t r0, size_t c0, size_t br,
     }
 }
 
+using simd::VecF;
+constexpr size_t W = VecF::kWidth;
+static_assert(kBlock % VecF::kWidth == 0 || VecF::kWidth > kBlock,
+              "DCT SIMD path assumes lanes divide the block edge");
+
+/**
+ * Forward DCT-II of one full 8x8 block, vectorized across the 8
+ * frequency lanes. Each output element keeps the scalar reference's
+ * exact accumulation chain (sample index ascending, mul then add), so
+ * this is bit-identical to forwardBlock for full blocks.
+ */
+void
+forwardBlockSimd(const ConstTensorView &in, size_t r0, size_t c0,
+                 const Rect &region, TensorView out)
+{
+    const auto &t = tables();
+    float tmp[kBlock][kBlock];
+
+    for (size_t r = 0; r < kBlock; ++r) {
+        const float *src = in.row(r0 + r) + c0;
+        for (size_t v0 = 0; v0 + W <= kBlock; v0 += W) {
+            VecF acc = VecF::zero();
+            for (size_t c = 0; c < kBlock; ++c)
+                acc = acc + VecF::broadcast(src[c]) *
+                                VecF::load(&t.cosTabT[c][v0]);
+            acc = acc * VecF::load(&t.scale[v0]);
+            acc.store(&tmp[r][v0]);
+        }
+    }
+
+    for (size_t u = 0; u < kBlock; ++u) {
+        float *dst = out.row(r0 + u - region.row0) + (c0 - region.col0);
+        const VecF su = VecF::broadcast(t.scale[u]);
+        for (size_t v0 = 0; v0 + W <= kBlock; v0 += W) {
+            VecF acc = VecF::zero();
+            for (size_t r = 0; r < kBlock; ++r)
+                acc = acc + VecF::load(&tmp[r][v0]) *
+                                VecF::broadcast(t.cosTab[u][r]);
+            (acc * su).store(dst + v0);
+        }
+    }
+}
+
+/** Inverse DCT of one full 8x8 block, vectorized across the 8 spatial
+ *  lanes. Bit-identical to inverseBlock for full blocks. */
+void
+inverseBlockSimd(const ConstTensorView &in, size_t r0, size_t c0,
+                 const Rect &region, TensorView out)
+{
+    const auto &t = tables();
+    float tmp[kBlock][kBlock];
+
+    for (size_t u = 0; u < kBlock; ++u) {
+        const float *src = in.row(r0 + u) + c0;
+        for (size_t cv = 0; cv + W <= kBlock; cv += W) {
+            VecF acc = VecF::zero();
+            for (size_t v = 0; v < kBlock; ++v)
+                acc = acc + VecF::broadcast(t.scale[v] * src[v]) *
+                                VecF::load(&t.cosTab[v][cv]);
+            acc.store(&tmp[u][cv]);
+        }
+    }
+
+    for (size_t r = 0; r < kBlock; ++r) {
+        float *dst = out.row(r0 + r - region.row0) + (c0 - region.col0);
+        for (size_t cv = 0; cv + W <= kBlock; cv += W) {
+            VecF acc = VecF::zero();
+            for (size_t u = 0; u < kBlock; ++u)
+                acc = acc + (VecF::broadcast(t.scale[u]) *
+                             VecF::load(&tmp[u][cv])) *
+                                VecF::broadcast(t.cosTab[u][r]);
+            acc.store(dst + cv);
+        }
+    }
+}
+
+/** Full blocks take the SIMD path; cropped edge blocks reuse the
+ *  scalar block function (identical values either way). */
+void
+forwardBlockDispatch(const ConstTensorView &in, size_t r0, size_t c0,
+                     size_t br, size_t bc, const Rect &region,
+                     TensorView out)
+{
+    if (br == kBlock && bc == kBlock && W <= kBlock)
+        forwardBlockSimd(in, r0, c0, region, out);
+    else
+        forwardBlock(in, r0, c0, br, bc, region, out);
+}
+
+void
+inverseBlockDispatch(const ConstTensorView &in, size_t r0, size_t c0,
+                     size_t br, size_t bc, const Rect &region,
+                     TensorView out)
+{
+    if (br == kBlock && bc == kBlock && W <= kBlock)
+        inverseBlockSimd(in, r0, c0, region, out);
+    else
+        inverseBlock(in, r0, c0, br, bc, region, out);
+}
+
 template <void (*BlockFn)(const ConstTensorView &, size_t, size_t, size_t,
                           size_t, const Rect &, TensorView)>
 void
@@ -180,6 +288,8 @@ registerDctKernels(KernelRegistry &reg)
         KernelInfo info;
         info.opcode = "dct8x8";
         info.func = dct8x8;
+        info.simdFunc = blockedTransform<forwardBlockDispatch>;
+        info.bitIdentical = true;
         info.model = ParallelModel::Tile;
         info.blockAlign = kBlock;
         info.costKey = "dct8x8";
@@ -193,6 +303,8 @@ registerDctKernels(KernelRegistry &reg)
         KernelInfo info;
         info.opcode = "idct8x8";
         info.func = idct8x8;
+        info.simdFunc = blockedTransform<inverseBlockDispatch>;
+        info.bitIdentical = true;
         info.model = ParallelModel::Tile;
         info.blockAlign = kBlock;
         info.costKey = "dct8x8";

@@ -2,9 +2,14 @@
 
 #include <cmath>
 
+#include "common/simd.hh"
+
 namespace shmt::kernels {
 
 namespace {
+
+using simd::VecF;
+constexpr size_t W = VecF::kWidth;
 
 /** Apply @p f elementwise over the region of input 0. */
 template <typename F>
@@ -37,6 +42,86 @@ binaryMap(const KernelArgs &args, const Rect &region, TensorView out, F f)
         float *d = out.row(r);
         for (size_t c = 0; c < region.cols; ++c)
             d[c] = f(pa[c], pb[c]);
+    }
+}
+
+/**
+ * Vectorized unary map for IEEE-exact ops: vector body plus a scalar
+ * tail. @p vf and @p sf must be the same IEEE operation, so every
+ * element gets a bit-identical value regardless of which path it
+ * takes.
+ */
+template <typename VF, typename SF>
+void
+unaryMapSimd(const KernelArgs &args, const Rect &region, TensorView out,
+             VF vf, SF sf)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(out.rows() == region.rows && out.cols() == region.cols,
+                "unary map output shape mismatch");
+    for (size_t r = 0; r < region.rows; ++r) {
+        const float *s = in.row(region.row0 + r) + region.col0;
+        float *d = out.row(r);
+        size_t c = 0;
+        for (; c + W <= region.cols; c += W)
+            vf(VecF::load(s + c)).store(d + c);
+        for (; c < region.cols; ++c)
+            d[c] = sf(s[c]);
+    }
+}
+
+/**
+ * Vectorized unary map for the polynomial kernels (vexp/vlog/...).
+ * The ragged tail is bounced through a @p pad-filled lane buffer so
+ * every element runs the *same* vector code — the result for a value
+ * x never depends on its position, keeping partitioned execution
+ * consistent with the unpartitioned SIMD reference.
+ */
+template <typename VF>
+void
+unaryMapSimdPadded(const KernelArgs &args, const Rect &region,
+                   TensorView out, VF vf, float pad)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(out.rows() == region.rows && out.cols() == region.cols,
+                "unary map output shape mismatch");
+    for (size_t r = 0; r < region.rows; ++r) {
+        const float *s = in.row(region.row0 + r) + region.col0;
+        float *d = out.row(r);
+        size_t c = 0;
+        for (; c + W <= region.cols; c += W)
+            vf(VecF::load(s + c)).store(d + c);
+        if (c < region.cols) {
+            const size_t c0 = c;
+            float buf[W];
+            for (size_t i = 0; i < W; ++i)
+                buf[i] = c0 + i < region.cols ? s[c0 + i] : pad;
+            vf(VecF::load(buf)).store(buf);
+            for (; c < region.cols; ++c)
+                d[c] = buf[c - c0];
+        }
+    }
+}
+
+/** Vectorized binary map for IEEE-exact ops (see unaryMapSimd). */
+template <typename VF, typename SF>
+void
+binaryMapSimd(const KernelArgs &args, const Rect &region, TensorView out,
+              VF vf, SF sf)
+{
+    const ConstTensorView &a = args.input(0);
+    const ConstTensorView &b = args.input(1);
+    SHMT_ASSERT(out.rows() == region.rows && out.cols() == region.cols,
+                "binary map output shape mismatch");
+    for (size_t r = 0; r < region.rows; ++r) {
+        const float *pa = a.row(region.row0 + r) + region.col0;
+        const float *pb = b.row(region.row0 + r) + region.col0;
+        float *d = out.row(r);
+        size_t c = 0;
+        for (; c + W <= region.cols; c += W)
+            vf(VecF::load(pa + c), VecF::load(pb + c)).store(d + c);
+        for (; c < region.cols; ++c)
+            d[c] = sf(pa[c], pb[c]);
     }
 }
 
@@ -140,34 +225,171 @@ ewMin(const KernelArgs &a, const Rect &r, TensorView out)
     binaryMap(a, r, out, [](float x, float y) { return x < y ? x : y; });
 }
 
+namespace {
+
+// --- Vectorized bodies. IEEE-exact ops (bit-identical to the scalar
+// reference); scalar lambdas restate the reference op for the tails.
+
+void
+simdAdd(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMapSimd(
+        a, r, out, [](VecF x, VecF y) { return x + y; },
+        [](float x, float y) { return x + y; });
+}
+
+void
+simdSub(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMapSimd(
+        a, r, out, [](VecF x, VecF y) { return x - y; },
+        [](float x, float y) { return x - y; });
+}
+
+void
+simdMul(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMapSimd(
+        a, r, out, [](VecF x, VecF y) { return x * y; },
+        [](float x, float y) { return x * y; });
+}
+
+void
+simdDiv(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMapSimd(
+        a, r, out, [](VecF x, VecF y) { return x / y; },
+        [](float x, float y) { return x / y; });
+}
+
+void
+simdMax(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMapSimd(
+        a, r, out, [](VecF x, VecF y) { return VecF::max(x, y); },
+        [](float x, float y) { return x > y ? x : y; });
+}
+
+void
+simdMin(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    binaryMapSimd(
+        a, r, out, [](VecF x, VecF y) { return VecF::min(x, y); },
+        [](float x, float y) { return x < y ? x : y; });
+}
+
+void
+simdRelu(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMapSimd(
+        a, r, out, [](VecF v) { return VecF::max(v, VecF::zero()); },
+        [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+void
+simdAbs(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMapSimd(
+        a, r, out, [](VecF v) { return VecF::abs(v); },
+        [](float v) { return std::fabs(v); });
+}
+
+void
+simdAxpb(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    const float alpha = a.scalar(0);
+    const float beta = a.scalar(1);
+    const VecF va = VecF::broadcast(alpha);
+    const VecF vb = VecF::broadcast(beta);
+    // Explicit mul + add (no FMA) to stay bit-identical to the
+    // scalar alpha * v + beta.
+    unaryMapSimd(
+        a, r, out, [=](VecF v) { return va * v + vb; },
+        [=](float v) { return alpha * v + beta; });
+}
+
+void
+simdSqrt(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMapSimd(
+        a, r, out, [](VecF v) { return VecF::sqrt(v); },
+        [](float v) { return std::sqrt(v); });
+}
+
+void
+simdRsqrt(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    const VecF one = VecF::broadcast(1.0f);
+    // True divide by true sqrt — not the rsqrtps approximation — so
+    // this matches the scalar reference bit-for-bit.
+    unaryMapSimd(
+        a, r, out, [=](VecF v) { return one / VecF::sqrt(v); },
+        [](float v) { return 1.0f / std::sqrt(v); });
+}
+
+// --- Polynomial bodies (ULP-bounded, padded tails).
+
+void
+simdLog(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMapSimdPadded(
+        a, r, out, [](VecF v) { return simd::vlog(v); }, 1.0f);
+}
+
+void
+simdExp(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMapSimdPadded(
+        a, r, out, [](VecF v) { return simd::vexp(v); }, 0.0f);
+}
+
+void
+simdTanh(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMapSimdPadded(
+        a, r, out, [](VecF v) { return simd::vtanh(v); }, 0.0f);
+}
+
+void
+simdNcdf(const KernelArgs &a, const Rect &r, TensorView out)
+{
+    unaryMapSimdPadded(
+        a, r, out, [](VecF v) { return simd::vncdf(v); }, 0.0f);
+}
+
+} // namespace
+
 void
 registerElementwiseKernels(KernelRegistry &reg)
 {
     auto add_ew = [&reg](std::string opcode, KernelFunc f,
+                         KernelFunc simd_f, bool bit_identical,
                          const char *cost_key) {
         KernelInfo info;
         info.opcode = std::move(opcode);
         info.func = std::move(f);
+        info.simdFunc = std::move(simd_f);
+        info.bitIdentical = bit_identical;
         info.model = ParallelModel::Vector;
         info.costKey = cost_key;
         reg.add(std::move(info));
     };
 
-    add_ew("add", ewAdd, "vop.ew");
-    add_ew("sub", ewSub, "vop.ew");
-    add_ew("multiply", ewMul, "vop.ew");
-    add_ew("divide", ewDiv, "vop.ew");
-    add_ew("max", ewMax, "vop.ew");
-    add_ew("min", ewMin, "vop.ew");
-    add_ew("relu", ewRelu, "vop.ew");
-    add_ew("abs", ewAbs, "vop.ew");
-    add_ew("axpb", ewAxpb, "vop.ew");
-    add_ew("log", ewLog, "vop.ew_transcend");
-    add_ew("exp", ewExp, "vop.ew_transcend");
-    add_ew("sqrt", ewSqrt, "vop.ew_transcend");
-    add_ew("rsqrt", ewRsqrt, "vop.ew_transcend");
-    add_ew("tanh", ewTanh, "vop.ew_transcend");
-    add_ew("ncdf", ewNcdf, "vop.ew_transcend");
+    add_ew("add", ewAdd, simdAdd, true, "vop.ew");
+    add_ew("sub", ewSub, simdSub, true, "vop.ew");
+    add_ew("multiply", ewMul, simdMul, true, "vop.ew");
+    add_ew("divide", ewDiv, simdDiv, true, "vop.ew");
+    add_ew("max", ewMax, simdMax, true, "vop.ew");
+    add_ew("min", ewMin, simdMin, true, "vop.ew");
+    add_ew("relu", ewRelu, simdRelu, true, "vop.ew");
+    add_ew("abs", ewAbs, simdAbs, true, "vop.ew");
+    add_ew("axpb", ewAxpb, simdAxpb, true, "vop.ew");
+    add_ew("log", ewLog, simdLog, false, "vop.ew_transcend");
+    add_ew("exp", ewExp, simdExp, false, "vop.ew_transcend");
+    add_ew("sqrt", ewSqrt, simdSqrt, true, "vop.ew_transcend");
+    add_ew("rsqrt", ewRsqrt, simdRsqrt, true, "vop.ew_transcend");
+    add_ew("tanh", ewTanh, simdTanh, false, "vop.ew_transcend");
+    add_ew("ncdf", ewNcdf, simdNcdf, false, "vop.ew_transcend");
 }
 
 } // namespace shmt::kernels

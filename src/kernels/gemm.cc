@@ -1,5 +1,11 @@
 #include "gemm.hh"
 
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/simd.hh"
+
 namespace shmt::kernels {
 
 void
@@ -25,12 +31,135 @@ gemm(const KernelArgs &args, const Rect &region, TensorView out)
     }
 }
 
+namespace {
+
+using simd::VecF;
+constexpr size_t W = VecF::kWidth;
+
+// Cache blocking: KC x NC is the packed B panel (KC*NC*4 bytes, sized
+// to sit in L2), MR output rows are held in register accumulators.
+constexpr size_t KC = 128;
+constexpr size_t NC = 512;
+constexpr size_t MR = 4;
+
+/**
+ * Register micro-kernel: accumulate a panel's contribution into an
+ * NROWS x jn block of C. `packed` holds B[k0..k0+kn) x jn row-major.
+ *
+ * Bit-identity with the scalar kernel: each output element's value is
+ * a single accumulation chain over k ascending (panels are visited in
+ * ascending k0; within a panel kk ascends; the accumulator round-trips
+ * through memory between panels, which is exact), and each step is an
+ * explicit mul then add — never an FMA.
+ */
+template <size_t NROWS>
+void
+microKernel(const ConstTensorView &a, size_t row0, size_t k0, size_t kn,
+            const float *packed, size_t jn, float **crow)
+{
+    const float *arow[NROWS];
+    for (size_t i = 0; i < NROWS; ++i)
+        arow[i] = a.row(row0 + i) + k0;
+
+    size_t c = 0;
+    for (; c + 2 * W <= jn; c += 2 * W) {
+        VecF acc0[NROWS], acc1[NROWS];
+        for (size_t i = 0; i < NROWS; ++i) {
+            acc0[i] = VecF::load(crow[i] + c);
+            acc1[i] = VecF::load(crow[i] + c + W);
+        }
+        for (size_t kk = 0; kk < kn; ++kk) {
+            const float *bp = packed + kk * jn + c;
+            const VecF b0 = VecF::load(bp);
+            const VecF b1 = VecF::load(bp + W);
+            for (size_t i = 0; i < NROWS; ++i) {
+                const VecF av = VecF::broadcast(arow[i][kk]);
+                acc0[i] = acc0[i] + av * b0;
+                acc1[i] = acc1[i] + av * b1;
+            }
+        }
+        for (size_t i = 0; i < NROWS; ++i) {
+            acc0[i].store(crow[i] + c);
+            acc1[i].store(crow[i] + c + W);
+        }
+    }
+    for (; c + W <= jn; c += W) {
+        VecF acc[NROWS];
+        for (size_t i = 0; i < NROWS; ++i)
+            acc[i] = VecF::load(crow[i] + c);
+        for (size_t kk = 0; kk < kn; ++kk) {
+            const VecF b0 = VecF::load(packed + kk * jn + c);
+            for (size_t i = 0; i < NROWS; ++i)
+                acc[i] = acc[i] + VecF::broadcast(arow[i][kk]) * b0;
+        }
+        for (size_t i = 0; i < NROWS; ++i)
+            acc[i].store(crow[i] + c);
+    }
+    for (; c < jn; ++c) {
+        for (size_t i = 0; i < NROWS; ++i) {
+            float acc = crow[i][c];
+            for (size_t kk = 0; kk < kn; ++kk)
+                acc += arow[i][kk] * packed[kk * jn + c];
+            crow[i][c] = acc;
+        }
+    }
+}
+
+/** Cache-blocked, B-panel-packed GEMM. Bit-identical to gemm(). */
+void
+gemmSimd(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &a = args.input(0);
+    const ConstTensorView &b = args.input(1);
+    SHMT_ASSERT(a.cols() == b.rows(), "GEMM inner dimensions differ: ",
+                a.cols(), " vs ", b.rows());
+    const size_t k_dim = a.cols();
+
+    for (size_t r = 0; r < region.rows; ++r) {
+        float *d = out.row(r);
+        for (size_t c = 0; c < region.cols; ++c)
+            d[c] = 0.0f;
+    }
+
+    thread_local std::vector<float> packed;
+    packed.resize(KC * NC);
+
+    for (size_t j0 = 0; j0 < region.cols; j0 += NC) {
+        const size_t jn = std::min(NC, region.cols - j0);
+        for (size_t k0 = 0; k0 < k_dim; k0 += KC) {
+            const size_t kn = std::min(KC, k_dim - k0);
+            for (size_t kk = 0; kk < kn; ++kk)
+                std::memcpy(packed.data() + kk * jn,
+                            b.row(k0 + kk) + region.col0 + j0,
+                            jn * sizeof(float));
+
+            float *crow[MR];
+            size_t r = 0;
+            for (; r + MR <= region.rows; r += MR) {
+                for (size_t i = 0; i < MR; ++i)
+                    crow[i] = out.row(r + i) + j0;
+                microKernel<MR>(a, region.row0 + r, k0, kn,
+                                packed.data(), jn, crow);
+            }
+            for (; r < region.rows; ++r) {
+                crow[0] = out.row(r) + j0;
+                microKernel<1>(a, region.row0 + r, k0, kn,
+                               packed.data(), jn, crow);
+            }
+        }
+    }
+}
+
+} // namespace
+
 void
 registerGemmKernels(KernelRegistry &reg)
 {
     KernelInfo info;
     info.opcode = "gemm";
     info.func = gemm;
+    info.simdFunc = gemmSimd;
+    info.bitIdentical = true;
     info.model = ParallelModel::Tile;
     info.wholeInputs = true;
     info.costKey = "vop.gemm";

@@ -53,6 +53,15 @@ struct KernelArgs
      */
     std::vector<QuantParams> npuInputQuant;
 
+    /**
+     * Whether the host may run the vectorized kernel implementation
+     * (KernelInfo::simdFunc) and the vectorized staging passes for
+     * this invocation. Set by the runtime from
+     * RuntimeConfig::hostSimd; `--host-simd=off` forces the scalar
+     * reference everywhere.
+     */
+    bool hostSimd = true;
+
     const ConstTensorView &
     input(size_t i) const
     {
@@ -95,7 +104,27 @@ enum class ReduceKind : uint8_t {
 struct KernelInfo
 {
     std::string opcode;
-    KernelFunc func;
+    KernelFunc func;            //!< scalar reference implementation
+
+    /**
+     * Optional vectorized implementation built on common/simd.hh.
+     * Same contract as `func`; selected by body() when the invocation
+     * allows SIMD. Kernels without one always run the scalar
+     * reference.
+     */
+    KernelFunc simdFunc;
+
+    /**
+     * True when simdFunc preserves the scalar reference's FP operation
+     * order exactly (only IEEE-exact lane ops, same accumulation
+     * chains), so its outputs are bit-identical to `func` and the
+     * serial-vs-pooled identity matrix also pins scalar-vs-SIMD.
+     * False means "ULP-bounded": polynomial approximations
+     * (exp/log/tanh/ncdf) or re-associated accumulations, covered by
+     * tests/kernels/test_simd_kernels.cc tolerances instead.
+     */
+    bool bitIdentical = false;
+
     ParallelModel model = ParallelModel::Vector;
     size_t halo = 0;            //!< stencil reach outside the region
     ReduceKind reduce = ReduceKind::None;
@@ -128,6 +157,14 @@ struct KernelInfo
      * emits scaled values with approximation noise).
      */
     bool quantizeOutput = true;
+
+    /** The implementation to run: simdFunc when present and allowed,
+     *  otherwise the scalar reference. */
+    const KernelFunc &
+    body(bool use_simd) const
+    {
+        return use_simd && simdFunc ? simdFunc : func;
+    }
 };
 
 /** Opcode -> implementation table. */

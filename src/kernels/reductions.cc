@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_utils.hh"
+#include "common/simd.hh"
 
 namespace shmt::kernels {
 
@@ -59,6 +60,56 @@ reduceMin(const KernelArgs &args, const Rect &region, TensorView out)
                [](float a, float v) { return a < v ? a : v; });
 }
 
+namespace {
+
+/**
+ * Vectorized sum: per-row lane-split double accumulators combined in
+ * a fixed order (simd::rowSumDouble). Deterministic, but the
+ * association differs from the serial row sum — reduce_sum is
+ * ULP-bounded, not bit-identical.
+ */
+void
+reduceSumSimd(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(out.size() == 1, "fold accumulator must be 1x1");
+    double acc = 0.0;
+    for (size_t r = 0; r < region.rows; ++r)
+        acc += simd::rowSumDouble(in.row(region.row0 + r) + region.col0,
+                                  region.cols);
+    out.at(0, 0) = static_cast<float>(acc);
+}
+
+/** Vectorized max fold. Order-independent, hence bit-identical. */
+void
+reduceMaxSimd(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(out.size() == 1, "fold accumulator must be 1x1");
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (size_t r = 0; r < region.rows; ++r)
+        simd::rowMinMax(in.row(region.row0 + r) + region.col0,
+                        region.cols, lo, hi);
+    out.at(0, 0) = hi;
+}
+
+/** Vectorized min fold. Order-independent, hence bit-identical. */
+void
+reduceMinSimd(const KernelArgs &args, const Rect &region, TensorView out)
+{
+    const ConstTensorView &in = args.input(0);
+    SHMT_ASSERT(out.size() == 1, "fold accumulator must be 1x1");
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (size_t r = 0; r < region.rows; ++r)
+        simd::rowMinMax(in.row(region.row0 + r) + region.col0,
+                        region.cols, lo, hi);
+    out.at(0, 0) = lo;
+}
+
+} // namespace
+
 void
 reduceHist256(const KernelArgs &args, const Rect &region, TensorView out)
 {
@@ -85,11 +136,14 @@ void
 registerReductionKernels(KernelRegistry &reg)
 {
     auto add_reduce = [&reg](std::string opcode, KernelFunc f,
+                             KernelFunc simd_f, bool bit_identical,
                              ReduceKind kind, size_t cols,
                              const char *cost_key) {
         KernelInfo info;
         info.opcode = std::move(opcode);
         info.func = std::move(f);
+        info.simdFunc = std::move(simd_f);
+        info.bitIdentical = bit_identical;
         info.model = ParallelModel::Vector;
         info.reduce = kind;
         info.reduceRows = 1;
@@ -98,12 +152,15 @@ registerReductionKernels(KernelRegistry &reg)
         reg.add(std::move(info));
     };
 
-    add_reduce("reduce_sum", reduceSum, ReduceKind::Sum, 1, "vop.reduce");
+    add_reduce("reduce_sum", reduceSum, reduceSumSimd, false,
+               ReduceKind::Sum, 1, "vop.reduce");
 
     {
         KernelInfo info;
         info.opcode = "reduce_average";
         info.func = reduceSum;
+        info.simdFunc = reduceSumSimd;
+        info.bitIdentical = false;
         info.model = ParallelModel::Vector;
         info.reduce = ReduceKind::Sum;
         info.reduceRows = 1;
@@ -117,14 +174,18 @@ registerReductionKernels(KernelRegistry &reg)
         reg.add(std::move(info));
     }
 
-    add_reduce("reduce_max", reduceMax, ReduceKind::Max, 1, "vop.reduce");
-    add_reduce("reduce_min", reduceMin, ReduceKind::Min, 1, "vop.reduce");
-    add_reduce("reduce_hist256", reduceHist256, ReduceKind::Sum, 256,
-               "vop.reduce");
+    add_reduce("reduce_max", reduceMax, reduceMaxSimd, true,
+               ReduceKind::Max, 1, "vop.reduce");
+    add_reduce("reduce_min", reduceMin, reduceMinSimd, true,
+               ReduceKind::Min, 1, "vop.reduce");
+    // Histogram scatter has a loop-carried bin dependency — no SIMD
+    // body; the scalar reference always runs.
+    add_reduce("reduce_hist256", reduceHist256, nullptr, false,
+               ReduceKind::Sum, 256, "vop.reduce");
     // The Histogram benchmark is the same body billed to its own
     // calibration record (paper Table 2, OpenCV baseline).
-    add_reduce("histogram", reduceHist256, ReduceKind::Sum, 256,
-               "histogram");
+    add_reduce("histogram", reduceHist256, nullptr, false,
+               ReduceKind::Sum, 256, "histogram");
 }
 
 } // namespace shmt::kernels

@@ -57,6 +57,7 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
     KernelArgs staged;
     staged.scalars = args.scalars;
     staged.npuNoiseOverride = args.npuNoiseOverride;
+    staged.hostSimd = args.hostSimd;
     Rect adj = region;
 
     // The compiled model's input scales: fixed (calibration-time)
@@ -100,7 +101,7 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
             auto lease = common::StagingPool::acquire(in.size());
             const TensorView sv(lease.data(), in.rows(), in.cols(),
                                 in.cols());
-            fakeQuantize(in, sv, input_params(i, in));
+            fakeQuantize(in, sv, input_params(i, in), args.hostSimd);
             staged.inputs.push_back(sv);
             scratch.push_back(std::move(lease));
         }
@@ -125,7 +126,7 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
             const TensorView sv(lease.data(), er1 - er0, ec1 - ec0,
                                 ec1 - ec0);
             memcpy2d(sv, in.slice(er0, ec0, er1 - er0, ec1 - ec0));
-            fakeQuantize(sv, sv, input_params(i, sv));
+            fakeQuantize(sv, sv, input_params(i, sv), args.hostSimd);
             staged.inputs.push_back(sv);
             scratch.push_back(std::move(lease));
         }
@@ -134,7 +135,7 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
     }
 
     // --- 2. Evaluate the kernel math on the staged data. ---------------
-    info.func(staged, adj, out);
+    info.body(args.hostSimd)(staged, adj, out);
 
     // --- 3. INT8 output for map-style models. ---------------------------
     // The output range is calibrated robustly (quantile clip), as
@@ -144,7 +145,7 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
     auto [lo, hi] = robustRange(ConstTensorView(out));
     if (m.quantizeOutput) {
         const QuantParams qp = chooseQuantParams(lo, hi);
-        fakeQuantize(ConstTensorView(out), out, qp);
+        fakeQuantize(ConstTensorView(out), out, qp, args.hostSimd);
     }
 
     // --- 4. Residual model-approximation noise. -------------------------

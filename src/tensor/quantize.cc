@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_utils.hh"
+#include "common/simd.hh"
 #include "common/thread_pool.hh"
 
 namespace shmt {
@@ -92,7 +93,7 @@ robustRange(ConstTensorView src, double lo_frac, double hi_frac)
 }
 
 std::vector<int8_t>
-quantize(ConstTensorView src, const QuantParams &qp)
+quantize(ConstTensorView src, const QuantParams &qp, bool simd)
 {
     std::vector<int8_t> out(src.size());
     common::ThreadPool::forChunks(
@@ -101,8 +102,13 @@ quantize(ConstTensorView src, const QuantParams &qp)
             for (size_t r = r0; r < r1; ++r) {
                 const float *p = src.row(r);
                 int8_t *q = out.data() + r * src.cols();
-                for (size_t c = 0; c < src.cols(); ++c)
-                    q[c] = qp.quantize(p[c]);
+                if (simd) {
+                    simd::quantizeRow(p, q, src.cols(), qp.scale,
+                                      qp.zeroPoint);
+                } else {
+                    for (size_t c = 0; c < src.cols(); ++c)
+                        q[c] = qp.quantize(p[c]);
+                }
             }
         });
     return out;
@@ -110,7 +116,7 @@ quantize(ConstTensorView src, const QuantParams &qp)
 
 void
 dequantize(const std::vector<int8_t> &src, const QuantParams &qp,
-           TensorView dst)
+           TensorView dst, bool simd)
 {
     SHMT_ASSERT(src.size() == dst.size(), "dequantize size mismatch");
     common::ThreadPool::forChunks(
@@ -119,14 +125,20 @@ dequantize(const std::vector<int8_t> &src, const QuantParams &qp,
             for (size_t r = r0; r < r1; ++r) {
                 const int8_t *q = src.data() + r * dst.cols();
                 float *p = dst.row(r);
-                for (size_t c = 0; c < dst.cols(); ++c)
-                    p[c] = qp.dequantize(q[c]);
+                if (simd) {
+                    simd::dequantizeRow(q, p, dst.cols(), qp.scale,
+                                        qp.zeroPoint);
+                } else {
+                    for (size_t c = 0; c < dst.cols(); ++c)
+                        p[c] = qp.dequantize(q[c]);
+                }
             }
         });
 }
 
 void
-fakeQuantize(ConstTensorView src, TensorView dst, const QuantParams &qp)
+fakeQuantize(ConstTensorView src, TensorView dst, const QuantParams &qp,
+             bool simd)
 {
     SHMT_ASSERT(src.rows() == dst.rows() && src.cols() == dst.cols(),
                 "fakeQuantize shape mismatch");
@@ -136,8 +148,13 @@ fakeQuantize(ConstTensorView src, TensorView dst, const QuantParams &qp)
             for (size_t r = r0; r < r1; ++r) {
                 const float *s = src.row(r);
                 float *d = dst.row(r);
-                for (size_t c = 0; c < src.cols(); ++c)
-                    d[c] = qp.dequantize(qp.quantize(s[c]));
+                if (simd) {
+                    simd::fakeQuantizeRow(s, d, src.cols(), qp.scale,
+                                          qp.zeroPoint);
+                } else {
+                    for (size_t c = 0; c < src.cols(); ++c)
+                        d[c] = qp.dequantize(qp.quantize(s[c]));
+                }
             }
         });
 }
@@ -199,20 +216,46 @@ toFloat16(float v)
     return out.f;
 }
 
+namespace {
+
+/**
+ * One row of FP16 round-tripping. With F16C the hardware converter is
+ * used (nearest-even, identical to toFloat16 for all finite inputs —
+ * they differ only on NaN, which the runtime never stages); everywhere
+ * else the scalar bit-twiddle runs per element.
+ */
 void
-fakeQuantizeFp16(ConstTensorView src, TensorView dst)
+fp16Row(const float *s, float *d, size_t n, bool simd)
+{
+    size_t c = 0;
+#if defined(SHMT_SIMD_AVX2) && defined(__F16C__)
+    if (simd) {
+        for (; c + 8 <= n; c += 8) {
+            const __m128i h = _mm256_cvtps_ph(
+                _mm256_loadu_ps(s + c),
+                _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+            _mm256_storeu_ps(d + c, _mm256_cvtph_ps(h));
+        }
+    }
+#else
+    (void)simd;
+#endif
+    for (; c < n; ++c)
+        d[c] = toFloat16(s[c]);
+}
+
+} // namespace
+
+void
+fakeQuantizeFp16(ConstTensorView src, TensorView dst, bool simd)
 {
     SHMT_ASSERT(src.rows() == dst.rows() && src.cols() == dst.cols(),
                 "fakeQuantizeFp16 shape mismatch");
     common::ThreadPool::forChunks(
         0, src.rows(), rowGrain(src.cols()),
         [&](size_t r0, size_t r1) {
-            for (size_t r = r0; r < r1; ++r) {
-                const float *s = src.row(r);
-                float *d = dst.row(r);
-                for (size_t c = 0; c < src.cols(); ++c)
-                    d[c] = toFloat16(s[c]);
-            }
+            for (size_t r = r0; r < r1; ++r)
+                fp16Row(src.row(r), dst.row(r), src.cols(), simd);
         });
 }
 

@@ -63,25 +63,32 @@ std::pair<float, float> robustRange(ConstTensorView src,
                                     double lo_frac = 0.001,
                                     double hi_frac = 0.999);
 
-/** Quantize a view into a dense int8 buffer (row-major). */
-std::vector<int8_t> quantize(ConstTensorView src, const QuantParams &qp);
+/**
+ * Quantize a view into a dense int8 buffer (row-major). The @p simd
+ * path is bit-identical to the scalar one (true division, nearest-even
+ * rounding, saturating narrow); the flag exists so `--host-simd=off`
+ * reproduces the legacy pass exactly as-compiled.
+ */
+std::vector<int8_t> quantize(ConstTensorView src, const QuantParams &qp,
+                             bool simd = true);
 
 /** Dequantize a dense int8 buffer back into @p dst. */
 void dequantize(const std::vector<int8_t> &src, const QuantParams &qp,
-                TensorView dst);
+                TensorView dst, bool simd = true);
 
 /**
  * Round-trip a view through INT8: the value each element would have
  * after quantize + dequantize. This is what the simulated Edge TPU sees.
  */
 void fakeQuantize(ConstTensorView src, TensorView dst,
-                  const QuantParams &qp);
+                  const QuantParams &qp, bool simd = true);
 
 /** Round a float to the nearest FP16-representable value (GPU half mode). */
 float toFloat16(float v);
 
 /** Apply FP16 rounding elementwise. */
-void fakeQuantizeFp16(ConstTensorView src, TensorView dst);
+void fakeQuantizeFp16(ConstTensorView src, TensorView dst,
+                      bool simd = true);
 
 } // namespace shmt
 

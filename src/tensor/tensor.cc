@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/simd.hh"
+
 namespace shmt {
 
 std::pair<float, float>
@@ -16,15 +18,12 @@ ConstTensorView::minmax() const
 {
     if (size() == 0)
         return {0.0f, 0.0f};
+    // Vectorized unconditionally: min/max folds are order-independent,
+    // so the result is identical to the serial scan for any lane width.
     float lo = at(0, 0);
     float hi = lo;
-    for (size_t r = 0; r < rows_; ++r) {
-        const float *p = row(r);
-        for (size_t c = 0; c < cols_; ++c) {
-            lo = std::min(lo, p[c]);
-            hi = std::max(hi, p[c]);
-        }
-    }
+    for (size_t r = 0; r < rows_; ++r)
+        simd::rowMinMax(row(r), cols_, lo, hi);
     return {lo, hi};
 }
 

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared ULP-distance helper for comparing SIMD kernel outputs against
+ * their scalar references (tests only).
+ */
+
+#ifndef SHMT_TESTS_COMMON_ULP_HH
+#define SHMT_TESTS_COMMON_ULP_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace shmt::testing {
+
+/**
+ * Distance between two floats in units in the last place, computed on
+ * the monotonic integer mapping of IEEE-754 bit patterns (so the
+ * distance is well-defined across zero). NaN on either side is
+ * "infinitely" far unless both are NaN.
+ */
+inline int64_t
+ulpDistance(float a, float b)
+{
+    if (a == b)
+        return 0;   // also covers +0.0f vs -0.0f
+    if (std::isnan(a) || std::isnan(b)) {
+        return std::isnan(a) && std::isnan(b)
+                   ? 0
+                   : std::numeric_limits<int64_t>::max();
+    }
+    auto ordered = [](float x) -> int64_t {
+        const uint32_t u = std::bit_cast<uint32_t>(x);
+        return (u & 0x80000000u)
+                   ? -static_cast<int64_t>(u & 0x7fffffffu)
+                   : static_cast<int64_t>(u);
+    };
+    return std::llabs(ordered(a) - ordered(b));
+}
+
+/**
+ * Tolerance check used by the SIMD-vs-scalar kernel tests: values
+ * agree when within @p max_ulp units in the last place OR within the
+ * @p abs_tol absolute floor (the floor absorbs flushed underflows,
+ * e.g. vexp(-88) == 0 vs libm's denormal, and catastrophic
+ * cancellation in near-zero option prices).
+ */
+inline bool
+closeUlp(float actual, float reference, int64_t max_ulp,
+         float abs_tol = 0.0f)
+{
+    if (ulpDistance(actual, reference) <= max_ulp)
+        return true;
+    return std::fabs(static_cast<double>(actual) - reference) <=
+           static_cast<double>(abs_tol);
+}
+
+} // namespace shmt::testing
+
+#endif // SHMT_TESTS_COMMON_ULP_HH

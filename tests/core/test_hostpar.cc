@@ -36,10 +36,12 @@ const std::vector<std::string> kPolicies = {
 /** Run @p policy_name on a fresh @p bench_name instance. */
 RunResult
 runOnce(const std::string &bench_name, const std::string &policy_name,
-        size_t host_threads, std::vector<float> &out)
+        size_t host_threads, std::vector<float> &out,
+        RuntimeConfig::SimdMode simd = RuntimeConfig::SimdMode::Auto)
 {
     RuntimeConfig cfg;
     cfg.hostThreads = host_threads;
+    cfg.hostSimd = simd;
     auto rt = makePrototypeRuntime(cfg);
     auto bench = makeBenchmark(bench_name, 256, 256);
     auto policy = makePolicy(policy_name);
@@ -84,6 +86,55 @@ TEST(HostParallel, SerialAndPooledRunsAreBitIdentical)
                       0)
                 << what;
         }
+    }
+}
+
+TEST(HostParallel, ScalarModeSerialAndPooledBitIdentical)
+{
+    // The identity contract must hold in both SIMD modes: hostThreads
+    // only changes wall-clock time whether kernels are vectorized or
+    // forced to the scalar reference (--host-simd=off).
+    for (const auto &bench_name : apps::benchmarkNames()) {
+        for (const char *policy_name :
+             {"qaws-ts", "work-stealing", "tpu-only"}) {
+            std::vector<float> serial_out, pooled_out;
+            const RunResult serial =
+                runOnce(bench_name, policy_name, 1, serial_out,
+                        RuntimeConfig::SimdMode::Off);
+            const RunResult pooled =
+                runOnce(bench_name, policy_name, 4, pooled_out,
+                        RuntimeConfig::SimdMode::Off);
+            const std::string what =
+                bench_name + "/" + policy_name + "/simd-off";
+            EXPECT_EQ(serial.makespanSec, pooled.makespanSec) << what;
+            ASSERT_EQ(serial_out.size(), pooled_out.size()) << what;
+            EXPECT_EQ(std::memcmp(serial_out.data(), pooled_out.data(),
+                                  serial_out.size() * sizeof(float)),
+                      0)
+                << what;
+        }
+    }
+}
+
+TEST(HostParallel, SimdOffMatchesAutoForBitIdenticalPrograms)
+{
+    // dct8x8's kernel (and every staging pass it crosses) declares
+    // bitIdentical, so vectorization must be invisible in the output:
+    // --host-simd=off and the default must agree to the bit.
+    for (const char *policy_name : {"qaws-ts", "gpu-only", "tpu-only"}) {
+        std::vector<float> off_out, auto_out;
+        const RunResult off =
+            runOnce("dct8x8", policy_name, 4, off_out,
+                    RuntimeConfig::SimdMode::Off);
+        const RunResult autod =
+            runOnce("dct8x8", policy_name, 4, auto_out,
+                    RuntimeConfig::SimdMode::Auto);
+        EXPECT_EQ(off.makespanSec, autod.makespanSec) << policy_name;
+        ASSERT_EQ(off_out.size(), auto_out.size()) << policy_name;
+        EXPECT_EQ(std::memcmp(off_out.data(), auto_out.data(),
+                              off_out.size() * sizeof(float)),
+                  0)
+            << policy_name;
     }
 }
 

@@ -140,7 +140,9 @@ TEST_P(RandomPrograms, GpuOnlyMatchesDirectEvaluation)
     rt.run(rp.program(), *gpu_only);
     const Tensor via_runtime = rp.output();
 
-    // Direct evaluation: every VOp via its kernel body.
+    // Direct evaluation: every VOp via its kernel body, selected the
+    // same way the runtime selects it (KernelArgs::hostSimd defaults
+    // to the RuntimeConfig default, so both sides run identical code).
     RandomProgram rp2(GetParam(), 128, 128);
     const auto &registry = kernels::KernelRegistry::instance();
     for (const VOp &vop : rp2.program().ops) {
@@ -149,7 +151,8 @@ TEST_P(RandomPrograms, GpuOnlyMatchesDirectEvaluation)
         for (const Tensor *t : vop.inputs)
             args.inputs.push_back(t->view());
         args.scalars = vop.scalars;
-        info.func(args, Rect{0, 0, 128, 128}, vop.output->view());
+        info.body(args.hostSimd)(args, Rect{0, 0, 128, 128},
+                                 vop.output->view());
     }
     EXPECT_DOUBLE_EQ(metrics::maxAbsError(via_runtime.view(),
                                           rp2.output().view()),

@@ -1,0 +1,450 @@
+/**
+ * @file
+ * SIMD-vs-scalar kernel equivalence on awkward shapes.
+ *
+ * Every kernel that registers a vectorized implementation is compared
+ * against its scalar reference on widths that are not a multiple of
+ * the lane count, 1xN / Nx1 tensors, and strided interior sub-views
+ * (TensorView::slice): bit-exact where KernelInfo::bitIdentical,
+ * ULP-bounded (tests/common/ulp.hh) for the polynomial kernels. The
+ * staging passes (quantize/dequantize/fakeQuantize/fp16) and the
+ * minmax scan are pinned bit-exact against their scalar paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/simd.hh"
+#include "common/ulp.hh"
+#include "kernels/kernel_registry.hh"
+#include "tensor/quantize.hh"
+#include "tensor/tensor.hh"
+
+namespace shmt::kernels {
+namespace {
+
+using testing::closeUlp;
+using testing::ulpDistance;
+
+/** Deterministic pseudo-random fill in [lo, hi] (LCG, no libm). */
+void
+fill(TensorView v, float lo, float hi, uint64_t seed)
+{
+    uint64_t s = seed * 0x9e3779b97f4a7c15ULL + 1;
+    for (size_t r = 0; r < v.rows(); ++r) {
+        float *p = v.row(r);
+        for (size_t c = 0; c < v.cols(); ++c) {
+            s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+            const float u =
+                static_cast<float>((s >> 33) & 0xffffff) / 16777215.0f;
+            p[c] = lo + (hi - lo) * u;
+        }
+    }
+}
+
+/** ULP/abs tolerances for the non-bitIdentical kernels. */
+struct Tolerance
+{
+    int64_t ulp = 0;
+    float absTol = 0.0f;
+};
+
+const std::map<std::string, Tolerance> &
+tolerances()
+{
+    static const std::map<std::string, Tolerance> t = {
+        {"exp", {16, 1e-10f}},
+        {"log", {16, 1e-10f}},
+        {"tanh", {16, 1e-10f}},
+        {"ncdf", {256, 1e-12f}},
+        {"blackscholes", {512, 1e-3f}},
+        {"blackscholes_put", {512, 1e-3f}},
+        {"reduce_sum", {2, 1e-6f}},
+        {"reduce_average", {2, 1e-6f}},
+    };
+    return t;
+}
+
+/** Run func and simdFunc on identical args and compare per element. */
+void
+compareImpls(const KernelInfo &info, const KernelArgs &args,
+             const Rect &region, TensorView ref_out, TensorView simd_out,
+             const std::string &ctx)
+{
+    ASSERT_TRUE(static_cast<bool>(info.simdFunc)) << ctx;
+    info.func(args, region, ref_out);
+    info.simdFunc(args, region, simd_out);
+
+    if (info.bitIdentical) {
+        for (size_t r = 0; r < ref_out.rows(); ++r)
+            ASSERT_EQ(std::memcmp(ref_out.row(r), simd_out.row(r),
+                                  ref_out.cols() * sizeof(float)),
+                      0)
+                << info.opcode << " not bit-identical at row " << r
+                << " (" << ctx << ")";
+        return;
+    }
+
+    const auto it = tolerances().find(info.opcode);
+    ASSERT_NE(it, tolerances().end())
+        << info.opcode << " is not bitIdentical but has no tolerance";
+    for (size_t r = 0; r < ref_out.rows(); ++r) {
+        const float *a = simd_out.row(r);
+        const float *b = ref_out.row(r);
+        for (size_t c = 0; c < ref_out.cols(); ++c)
+            ASSERT_TRUE(closeUlp(a[c], b[c], it->second.ulp,
+                                 it->second.absTol))
+                << info.opcode << " at (" << r << "," << c
+                << "): simd=" << a[c] << " scalar=" << b[c]
+                << " ulp=" << ulpDistance(a[c], b[c]) << " (" << ctx
+                << ")";
+    }
+}
+
+/** Value range for each opcode's inputs (domain-safe). */
+void
+inputRange(const std::string &opcode, float &lo, float &hi)
+{
+    if (opcode == "log" || opcode == "sqrt" || opcode == "rsqrt") {
+        lo = 0.05f;
+        hi = 30.0f;
+    } else if (opcode == "exp") {
+        lo = -5.0f;
+        hi = 3.0f;
+    } else {
+        lo = -2.5f;
+        hi = 2.5f;
+    }
+}
+
+size_t
+arityOf(const std::string &opcode)
+{
+    static const std::set<std::string> binary = {
+        "add", "sub", "multiply", "divide", "max", "min"};
+    return binary.count(opcode) ? 2 : 1;
+}
+
+/** The map/reduce opcodes exercised by the generic shape sweep. */
+std::vector<std::string>
+sweepOpcodes()
+{
+    return {"add",  "sub",  "multiply", "divide",     "max",
+            "min",  "relu", "abs",      "axpb",       "sqrt",
+            "rsqrt", "log", "exp",      "tanh",       "ncdf",
+            "reduce_sum", "reduce_average", "reduce_max",
+            "reduce_min"};
+}
+
+void
+runSweepCase(const KernelInfo &info, size_t rows, size_t cols)
+{
+    float lo, hi;
+    inputRange(info.opcode, lo, hi);
+
+    std::vector<Tensor> inputs;
+    KernelArgs args;
+    for (size_t i = 0; i < arityOf(info.opcode); ++i) {
+        inputs.emplace_back(rows, cols);
+        fill(inputs.back().view(), lo, hi, 17 * rows + cols + i);
+    }
+    for (const auto &t : inputs)
+        args.inputs.push_back(t.view());
+    if (info.opcode == "axpb")
+        args.scalars = {1.25f, -0.5f};
+    if (info.opcode == "divide") {
+        // Keep the divisor away from zero.
+        fill(inputs[1].view(), 0.5f, 3.0f, rows + 31 * cols);
+    }
+
+    const Rect region{0, 0, rows, cols};
+    const size_t orows =
+        info.reduce == ReduceKind::None ? rows : info.reduceRows;
+    const size_t ocols =
+        info.reduce == ReduceKind::None ? cols : info.reduceCols;
+    Tensor ref_t(orows, ocols), simd_t(orows, ocols);
+    compareImpls(info, args, region, ref_t.view(), simd_t.view(),
+                 std::to_string(rows) + "x" + std::to_string(cols));
+}
+
+TEST(SimdKernels, RaggedShapesMatchScalar)
+{
+    const auto &reg = KernelRegistry::instance();
+    const std::pair<size_t, size_t> shapes[] = {
+        {1, 1},  {1, 7},  {7, 1},   {1, 33}, {33, 1},
+        {5, 9},  {4, 33}, {3, 63},  {16, 17}, {2, 8}};
+    for (const auto &opcode : sweepOpcodes()) {
+        const KernelInfo &info = reg.get(opcode);
+        for (const auto &[rows, cols] : shapes)
+            runSweepCase(info, rows, cols);
+    }
+}
+
+TEST(SimdKernels, StridedInteriorRegionsMatchScalar)
+{
+    // Inputs are big tensors; the region selects an interior window,
+    // so every row pointer the kernel sees is a strided sub-view.
+    const auto &reg = KernelRegistry::instance();
+    constexpr size_t R = 40, C = 48;
+    const Rect region{7, 5, 21, 33};   // deliberately lane-hostile
+    for (const auto &opcode : sweepOpcodes()) {
+        const KernelInfo &info = reg.get(opcode);
+        float lo, hi;
+        inputRange(opcode, lo, hi);
+        std::vector<Tensor> inputs;
+        KernelArgs args;
+        for (size_t i = 0; i < arityOf(opcode); ++i) {
+            inputs.emplace_back(R, C);
+            fill(inputs.back().view(), lo, hi, 101 + i);
+        }
+        if (opcode == "divide")
+            fill(inputs[1].view(), 0.5f, 3.0f, 202);
+        for (const auto &t : inputs)
+            args.inputs.push_back(t.view());
+        if (opcode == "axpb")
+            args.scalars = {0.75f, 2.0f};
+
+        const size_t orows = info.reduce == ReduceKind::None
+                                 ? region.rows
+                                 : info.reduceRows;
+        const size_t ocols = info.reduce == ReduceKind::None
+                                 ? region.cols
+                                 : info.reduceCols;
+        // Outputs are strided sub-views of larger tensors too.
+        Tensor ref_big(orows + 6, ocols + 10);
+        Tensor simd_big(orows + 6, ocols + 10);
+        ref_big.view().fill(-7.0f);
+        simd_big.view().fill(-7.0f);
+        compareImpls(info, args, region,
+                     ref_big.view().slice(3, 5, orows, ocols),
+                     simd_big.view().slice(3, 5, orows, ocols),
+                     "interior region");
+        // The padding must be untouched.
+        for (size_t r = 0; r < simd_big.rows(); ++r)
+            for (size_t c = 0; c < simd_big.cols(); ++c) {
+                const bool inside = r >= 3 && r < 3 + orows && c >= 5 &&
+                                    c < 5 + ocols;
+                if (!inside) {
+                    ASSERT_EQ(simd_big.view().at(r, c), -7.0f)
+                        << opcode << " wrote outside its region";
+                }
+            }
+    }
+}
+
+TEST(SimdKernels, GemmShapes)
+{
+    const auto &reg = KernelRegistry::instance();
+    const KernelInfo &info = reg.get("gemm");
+    struct Case
+    {
+        size_t m, k, n;
+        Rect region;
+    };
+    const Case cases[] = {
+        {1, 1, 1, {0, 0, 1, 1}},
+        {7, 13, 33, {0, 0, 7, 33}},
+        {1, 64, 17, {0, 0, 1, 17}},
+        {17, 5, 1, {0, 0, 17, 1}},
+        {9, 100, 24, {0, 0, 9, 24}},
+        {33, 47, 29, {0, 0, 33, 29}},
+        // Sub-tile of C with a column offset (panel packing must
+        // honour region.col0).
+        {16, 40, 40, {3, 5, 9, 27}},
+        // K larger than the KC panel, N larger than NC.
+        {5, 300, 530, {0, 0, 5, 530}},
+    };
+    for (const auto &cs : cases) {
+        Tensor a(cs.m, cs.k), b(cs.k, cs.n);
+        fill(a.view(), -1.5f, 1.5f, cs.m * 7 + cs.k);
+        fill(b.view(), -1.5f, 1.5f, cs.n * 13 + cs.k);
+        KernelArgs args;
+        args.inputs = {a.view(), b.view()};
+        Tensor ref_t(cs.region.rows, cs.region.cols);
+        Tensor simd_t(cs.region.rows, cs.region.cols);
+        compareImpls(info, args, cs.region, ref_t.view(), simd_t.view(),
+                     "gemm " + std::to_string(cs.m) + "x" +
+                         std::to_string(cs.k) + "x" +
+                         std::to_string(cs.n));
+    }
+}
+
+TEST(SimdKernels, BlackscholesShapes)
+{
+    const auto &reg = KernelRegistry::instance();
+    for (const char *opcode : {"blackscholes", "blackscholes_put"}) {
+        const KernelInfo &info = reg.get(opcode);
+        const std::pair<size_t, size_t> shapes[] = {
+            {1, 1}, {1, 9}, {9, 1}, {5, 33}, {13, 63}};
+        for (const auto &[rows, cols] : shapes) {
+            Tensor spot(rows, cols), strike(rows, cols);
+            fill(spot.view(), 10.0f, 150.0f, rows * 3 + cols);
+            fill(strike.view(), 20.0f, 120.0f, rows + cols * 5);
+            KernelArgs args;
+            args.inputs = {spot.view(), strike.view()};
+            args.scalars = {0.05f, 0.2f, 1.0f};   // r, sigma, t
+            const Rect region{0, 0, rows, cols};
+            Tensor ref_t(rows, cols), simd_t(rows, cols);
+            compareImpls(info, args, region, ref_t.view(),
+                         simd_t.view(),
+                         std::string(opcode) + " " +
+                             std::to_string(rows) + "x" +
+                             std::to_string(cols));
+        }
+    }
+}
+
+TEST(SimdKernels, DctBlocksIncludingPartialEdges)
+{
+    const auto &reg = KernelRegistry::instance();
+    for (const char *opcode : {"dct8x8", "idct8x8"}) {
+        const KernelInfo &info = reg.get(opcode);
+        // Full blocks, ragged edge blocks (20x12 -> 4-wide remnants),
+        // and an 8-aligned interior region of a larger tensor.
+        struct Case
+        {
+            size_t rows, cols;
+            Rect region;
+        };
+        const Case cases[] = {
+            {8, 8, {0, 0, 8, 8}},
+            {16, 24, {0, 0, 16, 24}},
+            {20, 12, {0, 0, 20, 12}},
+            {7, 5, {0, 0, 7, 5}},
+            {32, 32, {8, 16, 16, 16}},
+            {32, 32, {8, 8, 20, 14}},
+        };
+        for (const auto &cs : cases) {
+            Tensor in(cs.rows, cs.cols);
+            fill(in.view(), -64.0f, 191.0f, cs.rows + cs.cols);
+            KernelArgs args;
+            args.inputs = {in.view()};
+            Tensor ref_t(cs.region.rows, cs.region.cols);
+            Tensor simd_t(cs.region.rows, cs.region.cols);
+            compareImpls(info, args, cs.region, ref_t.view(),
+                         simd_t.view(),
+                         std::string(opcode) + " " +
+                             std::to_string(cs.rows) + "x" +
+                             std::to_string(cs.cols));
+        }
+    }
+}
+
+TEST(SimdKernels, StagingPassesBitExact)
+{
+    // quantize/dequantize/fakeQuantize: the simd=true path must equal
+    // the scalar path bit-for-bit, including saturation at the clamp
+    // edges (data range deliberately wider than the quant range).
+    const std::pair<size_t, size_t> shapes[] = {
+        {1, 1}, {1, 7}, {7, 1}, {5, 33}, {3, 63}, {16, 17}};
+    for (const auto &[rows, cols] : shapes) {
+        Tensor src(rows, cols);
+        fill(src.view(), -3.0f, 3.0f, rows * 11 + cols);
+        const QuantParams qp = chooseQuantParams(-1.0f, 1.0f);
+
+        const auto q_scalar = quantize(src.view(), qp, false);
+        const auto q_simd = quantize(src.view(), qp, true);
+        ASSERT_EQ(q_scalar, q_simd) << rows << "x" << cols;
+
+        Tensor dq_scalar(rows, cols), dq_simd(rows, cols);
+        dequantize(q_scalar, qp, dq_scalar.view(), false);
+        dequantize(q_scalar, qp, dq_simd.view(), true);
+        ASSERT_EQ(std::memcmp(dq_scalar.data(), dq_simd.data(),
+                              dq_scalar.size() * sizeof(float)),
+                  0)
+            << "dequantize " << rows << "x" << cols;
+
+        Tensor fq_scalar(rows, cols), fq_simd(rows, cols);
+        fakeQuantize(src.view(), fq_scalar.view(), qp, false);
+        fakeQuantize(src.view(), fq_simd.view(), qp, true);
+        ASSERT_EQ(std::memcmp(fq_scalar.data(), fq_simd.data(),
+                              fq_scalar.size() * sizeof(float)),
+                  0)
+            << "fakeQuantize " << rows << "x" << cols;
+
+        Tensor h_scalar(rows, cols), h_simd(rows, cols);
+        fakeQuantizeFp16(src.view(), h_scalar.view(), false);
+        fakeQuantizeFp16(src.view(), h_simd.view(), true);
+        ASSERT_EQ(std::memcmp(h_scalar.data(), h_simd.data(),
+                              h_scalar.size() * sizeof(float)),
+                  0)
+            << "fakeQuantizeFp16 " << rows << "x" << cols;
+    }
+}
+
+TEST(SimdKernels, MinmaxOnSlicesMatchesScalarScan)
+{
+    Tensor big(37, 53);
+    fill(big.view(), -9.0f, 9.0f, 4242);
+    const struct
+    {
+        size_t r0, c0, rows, cols;
+    } windows[] = {
+        {0, 0, 37, 53}, {3, 5, 1, 1}, {0, 0, 1, 53}, {5, 7, 31, 33},
+        {36, 50, 1, 3},
+    };
+    for (const auto &w : windows) {
+        const ConstTensorView v =
+            ConstTensorView(big.view()).slice(w.r0, w.c0, w.rows,
+                                              w.cols);
+        float lo = v.at(0, 0), hi = lo;
+        for (size_t r = 0; r < v.rows(); ++r)
+            for (size_t c = 0; c < v.cols(); ++c) {
+                lo = std::min(lo, v.at(r, c));
+                hi = std::max(hi, v.at(r, c));
+            }
+        const auto [vlo, vhi] = v.minmax();
+        ASSERT_EQ(vlo, lo);
+        ASSERT_EQ(vhi, hi);
+    }
+}
+
+TEST(SimdKernels, RowSumDoubleMatchesSerialSum)
+{
+    for (size_t n : {1u, 7u, 8u, 9u, 33u, 1000u}) {
+        std::vector<float> v(n);
+        Tensor t(1, n);
+        fill(t.view(), -5.0f, 5.0f, n);
+        std::memcpy(v.data(), t.view().row(0), n * sizeof(float));
+        double serial = 0.0;
+        for (float x : v)
+            serial += static_cast<double>(x);
+        const double vec = simd::rowSumDouble(v.data(), n);
+        ASSERT_NEAR(vec, serial, 1e-9 * (1.0 + std::fabs(serial)))
+            << "n=" << n;
+    }
+}
+
+TEST(SimdKernels, EveryVectorizedOpcodeIsCovered)
+{
+    // If a kernel grows a simdFunc it must appear in one of the suites
+    // above; this test fails until it is added.
+    const std::set<std::string> covered = {
+        "add", "sub", "multiply", "divide", "max", "min", "relu",
+        "abs", "axpb", "sqrt", "rsqrt", "log", "exp", "tanh", "ncdf",
+        "gemm", "blackscholes", "blackscholes_put", "reduce_sum",
+        "reduce_average", "reduce_max", "reduce_min", "dct8x8",
+        "idct8x8"};
+    const auto &reg = KernelRegistry::instance();
+    for (const auto &opcode : reg.opcodes()) {
+        const KernelInfo &info = reg.get(opcode);
+        if (info.simdFunc) {
+            EXPECT_TRUE(covered.count(opcode))
+                << opcode
+                << " registers a SIMD body but has no shape-sweep "
+                   "coverage in test_simd_kernels.cc";
+        }
+        if (info.bitIdentical) {
+            EXPECT_TRUE(static_cast<bool>(info.simdFunc))
+                << opcode << " declares bitIdentical without a simdFunc";
+        }
+    }
+}
+
+} // namespace
+} // namespace shmt::kernels

@@ -38,6 +38,7 @@ struct Options
     std::string policy = "qaws-ts";
     size_t size = 1024;
     size_t hostThreads = 0;
+    std::string hostSimd = "auto";
     bool quality = true;
     bool dsp = false;
     bool cpu = false;
@@ -55,6 +56,8 @@ usage()
         "  --size <edge>         square input edge (default: 1024)\n"
         "  --host-threads <n>    host pool lanes: 0 = all hardware\n"
         "                        threads, 1 = serial (default: 0)\n"
+        "  --host-simd <mode>    off = scalar reference kernels,\n"
+        "                        auto = vectorized (default: auto)\n"
         "  --no-quality          timing-only (skip MAPE/SSIM)\n"
         "  --dsp                 add the FP16 image DSP\n"
         "  --cpu                 add the host CPU\n"
@@ -96,6 +99,10 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--host-threads") {
             opts.hostThreads =
                 std::strtoul(next().c_str(), nullptr, 10);
+        } else if (arg == "--host-simd") {
+            opts.hostSimd = next();
+            if (opts.hostSimd != "off" && opts.hostSimd != "auto")
+                SHMT_FATAL("--host-simd must be off or auto");
         } else if (arg == "--no-quality") {
             opts.quality = false;
         } else if (arg == "--dsp") {
@@ -171,6 +178,9 @@ main(int argc, char **argv)
         kernels::KernelRegistry::instance(), cal, opts.cpu, opts.dsp);
     core::RuntimeConfig config;
     config.hostThreads = opts.hostThreads;
+    config.hostSimd = opts.hostSimd == "off"
+                          ? core::RuntimeConfig::SimdMode::Off
+                          : core::RuntimeConfig::SimdMode::Auto;
     core::Runtime runtime(std::move(backends), cal, config);
 
     sim::ExecutionTrace trace;
