@@ -243,25 +243,11 @@ main(int argc, char **argv)
                          return {staged.data(), staged.bytes()};
                      }});
 
-    // minmax scan (chooseQuantParams' input pass). The SIMD fold is
-    // unconditional, so "scalar" here is a hand-rolled reference loop.
+    // minmax scan (chooseQuantParams' input pass).
     std::pair<float, float> mm;
     cases.push_back({"stage_minmax", true,
                      [&a, &mm](bool simd) {
-                         if (simd) {
-                             mm = ConstTensorView(a.view()).minmax();
-                             return;
-                         }
-                         float lo = a.at(0, 0), hi = lo;
-                         const ConstTensorView v = a.view();
-                         for (size_t r = 0; r < v.rows(); ++r) {
-                             const float *p = v.row(r);
-                             for (size_t c = 0; c < v.cols(); ++c) {
-                                 lo = std::min(lo, p[c]);
-                                 hi = std::max(hi, p[c]);
-                             }
-                         }
-                         mm = {lo, hi};
+                         mm = ConstTensorView(a.view()).minmax(simd);
                      },
                      [&mm]() -> std::pair<const void *, size_t> {
                          return {&mm, sizeof(mm)};

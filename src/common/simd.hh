@@ -74,9 +74,12 @@ struct VecF
     friend VecF operator*(VecF a, VecF b) { return {_mm256_mul_ps(a.v, b.v)}; }
     friend VecF operator/(VecF a, VecF b) { return {_mm256_div_ps(a.v, b.v)}; }
 
-    /** Lane-wise a > b ? a : b (returns b on NaN, like `a > b ? a : b`). */
-    static VecF max(VecF a, VecF b) { return {_mm256_max_ps(b.v, a.v)}; }
-    static VecF min(VecF a, VecF b) { return {_mm256_min_ps(b.v, a.v)}; }
+    /** Lane-wise `a > b ? a : b` bit-for-bit: MAXPS returns the second
+     *  source on NaN and on equal (signed) zeros, so the natural
+     *  operand order reproduces the ternary exactly — including
+     *  max(NaN, b) == b and max(-0.0, +0.0) == +0.0. */
+    static VecF max(VecF a, VecF b) { return {_mm256_max_ps(a.v, b.v)}; }
+    static VecF min(VecF a, VecF b) { return {_mm256_min_ps(a.v, b.v)}; }
     static VecF sqrt(VecF a) { return {_mm256_sqrt_ps(a.v)}; }
     static VecF
     abs(VecF a)
@@ -189,8 +192,9 @@ struct VecF
     friend VecF operator*(VecF a, VecF b) { return {_mm_mul_ps(a.v, b.v)}; }
     friend VecF operator/(VecF a, VecF b) { return {_mm_div_ps(a.v, b.v)}; }
 
-    static VecF max(VecF a, VecF b) { return {_mm_max_ps(b.v, a.v)}; }
-    static VecF min(VecF a, VecF b) { return {_mm_min_ps(b.v, a.v)}; }
+    /** `a > b ? a : b` bit-for-bit (see the AVX2 backend's note). */
+    static VecF max(VecF a, VecF b) { return {_mm_max_ps(a.v, b.v)}; }
+    static VecF min(VecF a, VecF b) { return {_mm_min_ps(a.v, b.v)}; }
     static VecF sqrt(VecF a) { return {_mm_sqrt_ps(a.v)}; }
     static VecF
     abs(VecF a)
@@ -471,7 +475,9 @@ vexp(VecF x)
 {
     const VecF lo = VecF::broadcast(-87.3365447505531f);
     const VecF underflow = VecF::cmpLt(x, lo);
-    x = VecF::min(x, VecF::broadcast(88.3762626647950f));
+    // Constant first: min/max return the second operand on NaN, so a
+    // NaN input survives the clamp and the result stays NaN.
+    x = VecF::min(VecF::broadcast(88.3762626647950f), x);
     // Underflowing lanes compute exp(0) instead of exp(lo): their
     // result is masked to 0 below either way, and exp(lo) ~= FLT_MIN
     // would emit a denormal product whose stall penalty dominates the
@@ -502,7 +508,8 @@ vlog(VecF x)
 {
     const VecF zero_mask = VecF::cmpLe(x, VecF::zero());
     const VecF neg_mask = VecF::cmpLt(x, VecF::zero());
-    x = VecF::max(x, VecF::broadcast(1.17549435e-38f));
+    // Constant first so a NaN input survives the denormal flush.
+    x = VecF::max(VecF::broadcast(1.17549435e-38f), x);
 
     VecF e = VecF::logExponent(x);
     x = VecF::logMantissa(x);
@@ -599,8 +606,13 @@ vtanh(VecF x)
 // Row primitives for the staging hot paths.
 // ---------------------------------------------------------------------------
 
-/** Fold the min/max of p[0..n) into (lo, hi). Exact: min/max are
- *  order-independent for finite data. */
+/** Fold the min/max of p[0..n) into (lo, hi). Exact for finite data,
+ *  where min/max folds are order-independent. NaN elements are NOT
+ *  part of the contract: a sequential `a > v ? a : v` fold adopts a
+ *  NaN and drops it at the next element (so only a trailing NaN
+ *  survives), which a lane-parallel fold cannot reproduce — here the
+ *  result in the presence of NaN is unspecified. Callers stage finite
+ *  data only. */
 inline void
 rowMinMax(const float *p, size_t n, float &lo, float &hi)
 {

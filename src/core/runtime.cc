@@ -293,7 +293,8 @@ Runtime::executeVop(const VOp &vop, Policy &policy, double start,
     // model range use only a sliver of the INT8 codes, and the model
     // noise grows for partitions near/above it (off-distribution).
     for (const Tensor *t : vop.inputs)
-        args.npuInputQuant.push_back(chooseQuantParams(t->view()));
+        args.npuInputQuant.push_back(
+            chooseQuantParams(t->view(), args.hostSimd));
 
     // --- Event-driven execution with work stealing (paper §3.4). ---------
     const double release = cpu_clock;

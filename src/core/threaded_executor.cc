@@ -192,7 +192,8 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
                 runtime.costModel().calibration().find(cost_key))
             args.npuNoiseOverride = rec->npuNoise;
         for (const Tensor *t : vop.inputs)
-            args.npuInputQuant.push_back(chooseQuantParams(t->view()));
+            args.npuInputQuant.push_back(
+                chooseQuantParams(t->view(), args.hostSimd));
 
         // One worker per eligible device drains queues concurrently.
         std::vector<std::atomic<size_t>> counts(n_slots);

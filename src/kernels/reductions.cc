@@ -80,7 +80,10 @@ reduceSumSimd(const KernelArgs &args, const Rect &region, TensorView out)
     out.at(0, 0) = static_cast<float>(acc);
 }
 
-/** Vectorized max fold. Order-independent, hence bit-identical. */
+/** Vectorized max fold. Order-independent for finite data, hence
+ *  bit-identical there; NaN inputs are excluded from the contract
+ *  (the scalar fold's positional NaN adoption cannot be reproduced
+ *  by a lane-parallel fold — see simd::rowMinMax). */
 void
 reduceMaxSimd(const KernelArgs &args, const Rect &region, TensorView out)
 {
@@ -94,7 +97,7 @@ reduceMaxSimd(const KernelArgs &args, const Rect &region, TensorView out)
     out.at(0, 0) = hi;
 }
 
-/** Vectorized min fold. Order-independent, hence bit-identical. */
+/** Vectorized min fold. Same finite-data contract as the max fold. */
 void
 reduceMinSimd(const KernelArgs &args, const Rect &region, TensorView out)
 {
@@ -174,6 +177,9 @@ registerReductionKernels(KernelRegistry &reg)
         reg.add(std::move(info));
     }
 
+    // bitIdentical covers finite data only: the sequential scalar
+    // fold keeps a NaN element iff it is last, which no lane-parallel
+    // fold can mirror. The runtime never feeds NaN to reductions.
     add_reduce("reduce_max", reduceMax, reduceMaxSimd, true,
                ReduceKind::Max, 1, "vop.reduce");
     add_reduce("reduce_min", reduceMin, reduceMinSimd, true,

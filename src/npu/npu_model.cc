@@ -70,7 +70,7 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
     auto input_params = [&](size_t i, ConstTensorView staged_view) {
         return fixed_scales && i < args.npuInputQuant.size()
                    ? args.npuInputQuant[i]
-                   : chooseQuantParams(staged_view);
+                   : chooseQuantParams(staged_view, args.hostSimd);
     };
 
     // Off-distribution factor: a trained model approximates worst on
@@ -85,7 +85,7 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
         auto [plo, phi] =
             in0.slice(region.row0, region.col0, region.rows,
                       region.cols)
-                .minmax();
+                .minmax(args.hostSimd);
         const double model_range =
             args.npuInputQuant[0].scale * 255.0;
         if (model_range > 0.0) {

@@ -57,9 +57,9 @@ chooseQuantParams(float lo, float hi)
 }
 
 QuantParams
-chooseQuantParams(ConstTensorView src)
+chooseQuantParams(ConstTensorView src, bool simd)
 {
-    auto [lo, hi] = src.minmax();
+    auto [lo, hi] = src.minmax(simd);
     return chooseQuantParams(lo, hi);
 }
 

@@ -49,8 +49,10 @@ struct QuantParams
  */
 QuantParams chooseQuantParams(float lo, float hi);
 
-/** Choose parameters from the min/max of @p src. */
-QuantParams chooseQuantParams(ConstTensorView src);
+/** Choose parameters from the min/max of @p src. The @p simd flag
+ *  selects the range scan (ConstTensorView::minmax), so
+ *  `--host-simd=off` reproduces the legacy serial scan exactly. */
+QuantParams chooseQuantParams(ConstTensorView src, bool simd = true);
 
 /**
  * Robust value range of @p src: approximately the

@@ -8,22 +8,36 @@
 namespace shmt {
 
 std::pair<float, float>
-TensorView::minmax() const
+TensorView::minmax(bool simd) const
 {
-    return ConstTensorView(*this).minmax();
+    return ConstTensorView(*this).minmax(simd);
 }
 
 std::pair<float, float>
-ConstTensorView::minmax() const
+ConstTensorView::minmax(bool simd) const
 {
     if (size() == 0)
         return {0.0f, 0.0f};
-    // Vectorized unconditionally: min/max folds are order-independent,
-    // so the result is identical to the serial scan for any lane width.
     float lo = at(0, 0);
     float hi = lo;
-    for (size_t r = 0; r < rows_; ++r)
-        simd::rowMinMax(row(r), cols_, lo, hi);
+    if (simd) {
+        // Identical to the serial scan for finite data (min/max folds
+        // are order-independent); NaN handling is unspecified, which
+        // is why --host-simd=off routes to the scalar loop below.
+        for (size_t r = 0; r < rows_; ++r)
+            simd::rowMinMax(row(r), cols_, lo, hi);
+        return {lo, hi};
+    }
+    // Legacy serial scan, exactly as-compiled pre-SIMD: the
+    // first-argument accumulator makes std::min/std::max propagate a
+    // leading NaN.
+    for (size_t r = 0; r < rows_; ++r) {
+        const float *p = row(r);
+        for (size_t c = 0; c < cols_; ++c) {
+            lo = std::min(lo, p[c]);
+            hi = std::max(hi, p[c]);
+        }
+    }
     return {lo, hi};
 }
 

@@ -74,8 +74,9 @@ class TensorView
         }
     }
 
-    /** Minimum and maximum element (0,0 pair if empty). */
-    std::pair<float, float> minmax() const;
+    /** Minimum and maximum element (0,0 pair if empty). See the
+     *  ConstTensorView overload for the @p simd flag. */
+    std::pair<float, float> minmax(bool simd = true) const;
 
   private:
     float *data_ = nullptr;
@@ -128,8 +129,12 @@ class ConstTensorView
                                rowStride_);
     }
 
-    /** Minimum and maximum element (0,0 pair if empty). */
-    std::pair<float, float> minmax() const;
+    /** Minimum and maximum element (0,0 pair if empty). The @p simd
+     *  scan equals the scalar one for finite data (min/max folds are
+     *  order-independent); @p simd = false runs the legacy serial
+     *  loop exactly as-compiled, so `--host-simd=off` staging passes
+     *  reproduce pre-SIMD behavior even on NaN inputs. */
+    std::pair<float, float> minmax(bool simd = true) const;
 
   private:
     const float *data_ = nullptr;

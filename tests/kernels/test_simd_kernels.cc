@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -377,6 +379,67 @@ TEST(SimdKernels, StagingPassesBitExact)
     }
 }
 
+TEST(SimdKernels, NanAndSignedZeroBitExactForMaxMinRelu)
+{
+    // MAXPS/MINPS return the SECOND source on NaN and on equal
+    // (signed) zeros, which is exactly `a > b ? a : b`; the vector
+    // body must agree with the scalar reference bit-for-bit on those
+    // inputs too (regression: swapped intrinsic operands returned a
+    // instead of b, so max(NaN, 5) and relu(-0.0) differed between
+    // the vector body and the scalar tail).
+    const auto &reg = KernelRegistry::instance();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    constexpr size_t N = 19;   // vector body + ragged tail everywhere
+
+    for (const char *opcode : {"max", "min", "relu", "abs"}) {
+        const KernelInfo &info = reg.get(opcode);
+        std::vector<Tensor> inputs;
+        KernelArgs args;
+        for (size_t i = 0; i < arityOf(opcode); ++i) {
+            inputs.emplace_back(1, N);
+            fill(inputs.back().view(), -2.0f, 2.0f, 77 + i);
+        }
+        // Specials in the vector body (low indices) and in the widest
+        // backend's scalar tail (indices >= 16).
+        TensorView x = inputs[0].view();
+        x.at(0, 0) = nan;
+        x.at(0, 3) = -0.0f;
+        x.at(0, 4) = 0.0f;
+        x.at(0, 9) = nan;
+        x.at(0, 16) = nan;
+        x.at(0, 17) = -0.0f;
+        if (inputs.size() > 1) {
+            TensorView y = inputs[1].view();
+            y.at(0, 1) = nan;      // NaN in b only
+            y.at(0, 3) = 0.0f;     // (-0, +0)
+            y.at(0, 4) = -0.0f;    // (+0, -0)
+            y.at(0, 9) = nan;      // (NaN, NaN)
+            y.at(0, 17) = -0.0f;   // (-0, -0)
+            y.at(0, 18) = nan;     // tail, NaN in b
+        }
+        for (const auto &t : inputs)
+            args.inputs.push_back(t.view());
+        const Rect region{0, 0, 1, N};
+        Tensor ref_t(1, N), simd_t(1, N);
+        compareImpls(info, args, region, ref_t.view(), simd_t.view(),
+                     std::string(opcode) + " NaN/-0.0");
+    }
+}
+
+TEST(SimdKernels, MinmaxScalarPathPropagatesLeadingNan)
+{
+    // --host-simd=off must reproduce the legacy serial scan exactly,
+    // including its NaN behavior: std::min/std::max keep the first
+    // argument (the accumulator) on NaN comparisons, so a leading NaN
+    // sticks for the whole scan.
+    Tensor t(2, 9);
+    fill(t.view(), -1.0f, 1.0f, 99);
+    t.view().at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    const auto [lo, hi] = ConstTensorView(t.view()).minmax(false);
+    EXPECT_TRUE(std::isnan(lo));
+    EXPECT_TRUE(std::isnan(hi));
+}
+
 TEST(SimdKernels, MinmaxOnSlicesMatchesScalarScan)
 {
     Tensor big(37, 53);
@@ -401,6 +464,10 @@ TEST(SimdKernels, MinmaxOnSlicesMatchesScalarScan)
         const auto [vlo, vhi] = v.minmax();
         ASSERT_EQ(vlo, lo);
         ASSERT_EQ(vhi, hi);
+        // The simd=false path is the same serial scan as above.
+        const auto [slo, shi] = v.minmax(false);
+        ASSERT_EQ(slo, lo);
+        ASSERT_EQ(shi, hi);
     }
 }
 
