@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Session-queue throughput micro-benchmark.
+ *
+ * Pushes a fixed batch of identical programs through one Session's
+ * submission queue from 1, 2, and 4 client threads and reports
+ * programs/sec end-to-end (submit -> future resolved). The driver
+ * executes FIFO, so the queue itself should be invisible: every
+ * result is checked byte-identical (outputs) and bit-identical
+ * (simulated makespan/scheduling) to a standalone Runtime::run of the
+ * same program — the serial-equivalence gate the Session layer pins.
+ *
+ * Emits `BENCH_session.json` in the working directory.
+ *
+ * Usage: micro_session [--n <edge>] [--programs <k>] [--iters <k>]
+ *                      [--bench <name>] [--policy <name>]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "core/session.hh"
+#include "metrics/report.hh"
+#include "sim/wallclock.hh"
+
+namespace {
+
+using namespace shmt;
+
+/** Copy @p t's payload row-by-row (respects the view stride). */
+std::vector<float>
+tensorBytes(const Tensor &t)
+{
+    const ConstTensorView v = t.view();
+    std::vector<float> out(v.size());
+    for (size_t row = 0; row < v.rows(); ++row)
+        std::memcpy(out.data() + row * v.cols(), v.row(row),
+                    v.cols() * sizeof(float));
+    return out;
+}
+
+struct Measurement
+{
+    double bestSec = std::numeric_limits<double>::infinity();
+    bool serialEquivalent = true;
+};
+
+/**
+ * Best-of-@p iters runs: @p submitters client threads split
+ * @p programs submissions of @p bench_name across one Session, and
+ * every result is compared against the reference (@p ref_out,
+ * @p ref). Returns the best end-to-end wall time.
+ */
+Measurement
+measure(const std::string &bench_name, const std::string &policy_name,
+        size_t n, size_t programs, size_t submitters, size_t iters,
+        const std::vector<float> &ref_out, const core::RunResult &ref)
+{
+    Measurement m;
+    for (size_t it = 0; it < iters; ++it) {
+        auto rt = apps::makePrototypeRuntime();
+        std::vector<std::unique_ptr<apps::Benchmark>> benches;
+        for (size_t i = 0; i < programs; ++i)
+            benches.push_back(apps::makeBenchmark(bench_name, n, n));
+
+        core::Session session(rt);
+        std::vector<std::future<core::RunResult>> futures(programs);
+        const double t0 = sim::wallSeconds();
+        std::vector<std::thread> clients;
+        for (size_t c = 0; c < submitters; ++c) {
+            clients.emplace_back([&, c] {
+                for (size_t i = c; i < programs; i += submitters)
+                    futures[i] = session.submit(
+                        benches[i]->program(),
+                        core::makePolicy(policy_name));
+            });
+        }
+        for (auto &t : clients)
+            t.join();
+        for (auto &f : futures)
+            f.wait();
+        const double sec = sim::wallSeconds() - t0;
+        m.bestSec = std::min(m.bestSec, sec);
+
+        for (size_t i = 0; i < programs; ++i) {
+            const core::RunResult r = futures[i].get();
+            const std::vector<float> out =
+                tensorBytes(benches[i]->output());
+            const bool same =
+                r.makespanSec == ref.makespanSec &&
+                r.schedulingSec == ref.schedulingSec &&
+                out.size() == ref_out.size() &&
+                std::memcmp(out.data(), ref_out.data(),
+                            out.size() * sizeof(float)) == 0;
+            m.serialEquivalent = m.serialEquivalent && same;
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t n = 256;
+    size_t programs = 8;
+    size_t iters = 3;
+    std::string bench_name = "srad";
+    std::string policy_name = "qaws-ts";
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                SHMT_FATAL("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--n")
+            n = std::stoul(next());
+        else if (arg == "--programs")
+            programs = std::stoul(next());
+        else if (arg == "--iters")
+            iters = std::stoul(next());
+        else if (arg == "--bench")
+            bench_name = next();
+        else if (arg == "--policy")
+            policy_name = next();
+        else
+            SHMT_FATAL("unknown option '", arg, "'");
+    }
+    {
+        const auto names = apps::benchmarkNames();
+        if (std::find(names.begin(), names.end(), bench_name) ==
+            names.end())
+            SHMT_FATAL("unknown benchmark '", bench_name, "'");
+    }
+
+    // The standalone reference every session result must reproduce.
+    auto ref_rt = apps::makePrototypeRuntime();
+    auto ref_bench = apps::makeBenchmark(bench_name, n, n);
+    auto ref_policy = core::makePolicy(policy_name);
+    const core::RunResult ref =
+        ref_rt.run(ref_bench->program(), *ref_policy);
+    const std::vector<float> ref_out = tensorBytes(ref_bench->output());
+
+    metrics::Table table({"Submitters", "Batch (ms)", "Programs/sec",
+                          "Serial-equivalent"});
+    std::ofstream json("BENCH_session.json");
+    json << "{\n  \"edge\": " << n << ",\n  \"bench\": \"" << bench_name
+         << "\",\n  \"policy\": \"" << policy_name
+         << "\",\n  \"programs\": " << programs
+         << ",\n  \"submitters\": [\n";
+
+    bool first = true;
+    bool all_equivalent = true;
+    for (const size_t submitters : {size_t{1}, size_t{2}, size_t{4}}) {
+        const Measurement m = measure(bench_name, policy_name, n,
+                                      programs, submitters, iters,
+                                      ref_out, ref);
+        const double rate = programs / m.bestSec;
+        all_equivalent = all_equivalent && m.serialEquivalent;
+
+        table.addRow({std::to_string(submitters),
+                      metrics::Table::num(m.bestSec * 1e3),
+                      metrics::Table::num(rate),
+                      m.serialEquivalent ? "yes" : "NO"});
+        json << (first ? "" : ",\n") << "    {\"count\": " << submitters
+             << ", \"batch_sec\": " << m.bestSec
+             << ", \"programs_per_sec\": " << rate
+             << ", \"serial_equivalent\": "
+             << (m.serialEquivalent ? "true" : "false") << "}";
+        first = false;
+    }
+    json << "\n  ],\n  \"all_serial_equivalent\": "
+         << (all_equivalent ? "true" : "false") << "\n}\n";
+
+    table.print("Session queue throughput: " + bench_name + " x " +
+                std::to_string(programs) + " programs (" + policy_name +
+                ", " + std::to_string(n) + "x" + std::to_string(n) +
+                ")");
+    std::printf("\nSession results serial-equivalent: %s\n",
+                all_equivalent ? "yes" : "NO");
+    std::printf("Wrote BENCH_session.json\n");
+    return all_equivalent ? 0 : 1;
+}

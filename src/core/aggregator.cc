@@ -1,0 +1,105 @@
+#include "aggregator.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/thread_pool.hh"
+
+namespace shmt::core {
+
+using kernels::ReduceKind;
+
+namespace {
+
+/** Initial value of a reduction output. */
+float
+reduceInit(ReduceKind kind)
+{
+    switch (kind) {
+      case ReduceKind::Sum: return 0.0f;
+      case ReduceKind::Max:
+        return -std::numeric_limits<float>::infinity();
+      case ReduceKind::Min:
+        return std::numeric_limits<float>::infinity();
+      case ReduceKind::None: break;
+    }
+    return 0.0f;
+}
+
+/**
+ * Initialize rows [r0, r1) of @p out and fold every accumulator into
+ * them in partition order. Row ranges are disjoint, so the parallel
+ * host engine can split rows across lanes while each element still
+ * sees the accumulators in the same order as the serial combine —
+ * which keeps the floating-point result bit-identical regardless of
+ * which lane finished its HLOP first.
+ */
+void
+combineRows(TensorView out, const std::vector<Tensor> &accs,
+            ReduceKind kind, float init, size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        float *d = out.row(r);
+        for (size_t c = 0; c < out.cols(); ++c)
+            d[c] = init;
+        for (const Tensor &acc : accs) {
+            const float *s = acc.view().row(r);
+            for (size_t c = 0; c < out.cols(); ++c) {
+                switch (kind) {
+                  case ReduceKind::Sum: d[c] += s[c]; break;
+                  case ReduceKind::Max:
+                    d[c] = std::max(d[c], s[c]);
+                    break;
+                  case ReduceKind::Min:
+                    d[c] = std::min(d[c], s[c]);
+                    break;
+                  case ReduceKind::None: break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+Aggregator::combine(const VopPlan &plan, const std::vector<Tensor> &accs,
+                    sim::HostPhaseStats *wall) const
+{
+    const kernels::KernelInfo &info = *plan.info;
+    if (info.reduce == ReduceKind::None)
+        return;
+
+    double discard = 0.0;
+    sim::ScopedWallTimer wt(wall ? wall->aggregationSec : discard);
+    TensorView out = plan.vop->output->view();
+    const float init = reduceInit(info.reduce);
+    // Rows split across lanes; each element still folds the
+    // accumulators in partition order (see combineRows).
+    const size_t grain =
+        std::max<size_t>(1, 4096 / std::max<size_t>(1, out.cols()));
+    common::ThreadPool::forChunks(
+        0, out.rows(), grain, [&](size_t r0, size_t r1) {
+            combineRows(out, accs, info.reduce, init, r0, r1);
+        });
+    if (info.finalize)
+        info.finalize(plan.args, plan.vop->output->view());
+}
+
+double
+Aggregator::cost(const VopPlan &plan) const
+{
+    const kernels::KernelInfo &info = *plan.info;
+    double agg = 0.0;
+    if (info.reduce != ReduceKind::None) {
+        agg += static_cast<double>(plan.initialPartitions *
+                                   info.reduceRows * info.reduceCols) *
+               cal_->aggregateCostSec;
+    }
+    // Completion-queue processing for every HLOP (splits included).
+    agg += static_cast<double>(plan.partitions.size()) *
+           cost_->scheduleSeconds();
+    return agg;
+}
+
+} // namespace shmt::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Stage 5 of the staged VOp execution pipeline: aggregation.
+ *
+ * Folds per-partition reduction accumulators into the VOp's output
+ * (partition order per element, so the floating-point result is
+ * bit-identical regardless of host-lane completion order), applies
+ * the kernel's finalize hook, and prices the CPU-side aggregation +
+ * completion-queue synchronization of paper §3.3.1. The functional
+ * combine and the simulated cost are separate entry points because
+ * the GPU baseline combines without charging scheduler time.
+ */
+
+#ifndef SHMT_CORE_AGGREGATOR_HH
+#define SHMT_CORE_AGGREGATOR_HH
+
+#include <vector>
+
+#include "core/plan.hh"
+#include "sim/cost_model.hh"
+#include "sim/wallclock.hh"
+
+namespace shmt::core {
+
+/** Combines reduction partials and prices synchronization. */
+class Aggregator
+{
+  public:
+    Aggregator(const sim::PlatformCalibration &cal,
+               const sim::CostModel &cost)
+        : cal_(&cal), cost_(&cost)
+    {}
+
+    /**
+     * Initialize the plan's output and fold every accumulator into it
+     * in partition order, then run the kernel's finalize hook. No-op
+     * for map-style kernels (no reduction). @p wall, when non-null,
+     * accumulates the host wall-clock spent combining.
+     */
+    void combine(const VopPlan &plan, const std::vector<Tensor> &accs,
+                 sim::HostPhaseStats *wall) const;
+
+    /**
+     * Simulated CPU seconds of aggregation: the per-element combine
+     * cost over the *planned* reduction partitions plus
+     * completion-queue processing for every HLOP, splits included.
+     */
+    double cost(const VopPlan &plan) const;
+
+  private:
+    const sim::PlatformCalibration *cal_;
+    const sim::CostModel *cost_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_AGGREGATOR_HH

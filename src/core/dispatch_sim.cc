@@ -1,0 +1,352 @@
+#include "dispatch_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/math_utils.hh"
+
+namespace shmt::core {
+
+using kernels::ReduceKind;
+
+namespace {
+
+/** Mutable state of one VOp's discrete-event co-execution. */
+struct EventLoop
+{
+    VopPlan &plan;
+    std::vector<PartitionInfo> &pinfos;
+    const Policy &policy;
+    const double release;
+    std::vector<sim::DeviceTimeline> &timelines;
+    ProducerMap *producers;
+    const DispatchSim::Costing costing;
+    const std::vector<std::unique_ptr<devices::Backend>> &backends;
+    const sim::CostModel &cost;
+    const bool stealSplitting;
+
+    std::vector<std::deque<size_t>> queues;
+    std::vector<bool> active;
+    std::vector<bool> wasStolen;
+    size_t remaining = 0;
+    DispatchOutcome outcome;
+
+    void seedQueues();
+    bool trySteal(size_t thief);
+    void shareTail(size_t owner, size_t h);
+    void dispatchOne(size_t sl);
+    void recordSteal(size_t device, size_t count);
+    DispatchOutcome run();
+};
+
+void
+EventLoop::recordSteal(size_t device, size_t count)
+{
+    DispatchRecord rec;
+    rec.kind = DispatchRecord::Kind::Steal;
+    rec.vopIndex = plan.vopIndex;
+    rec.device = device;
+    rec.count = count;
+    rec.releaseSec = release;
+    outcome.records.push_back(rec);
+}
+
+// --- Initial HLOP distribution (paper §3.3.1). ---------------------------
+void
+EventLoop::seedQueues()
+{
+    const size_t n = plan.partitions.size();
+    const size_t n_slots = plan.eligible.size();
+    const std::vector<size_t> assignment =
+        policy.assign(pinfos, plan.slotInfos);
+    SHMT_ASSERT(assignment.size() == n, "policy returned ",
+                assignment.size(), " assignments for ", n, " partitions");
+    queues.resize(n_slots);
+    for (size_t i = 0; i < n; ++i) {
+        SHMT_ASSERT(assignment[i] < n_slots, "assignment out of range");
+        queues[assignment[i]].push_back(i);
+    }
+    active.assign(n_slots, true);
+    wasStolen.assign(n, false);
+    remaining = n;
+    outcome.records.reserve(n);
+}
+
+bool
+EventLoop::trySteal(size_t thief)
+{
+    if (!policy.stealingEnabled())
+        return false;
+    const std::vector<DeviceInfo> &dev_infos = plan.slotInfos;
+    // Victims ordered by queue depth ("the hardware with the most
+    // pending items").
+    std::vector<size_t> victims;
+    for (size_t v = 0; v < queues.size(); ++v)
+        if (v != thief && !queues[v].empty())
+            victims.push_back(v);
+    std::stable_sort(victims.begin(), victims.end(),
+                     [&](size_t a, size_t b) {
+                         return queues[a].size() > queues[b].size();
+                     });
+    for (size_t v : victims) {
+        const size_t want = (queues[v].size() + 1) / 2;
+        size_t moved = 0;
+        // Withdraw unprocessed HLOPs from the back of the victim's
+        // queue, respecting the policy's stealing constraints.
+        std::deque<size_t> keep;
+        while (!queues[v].empty() && moved < want) {
+            const size_t h = queues[v].back();
+            queues[v].pop_back();
+            if (policy.canSteal(dev_infos[thief], dev_infos[v],
+                                pinfos[h].criticality)) {
+                queues[thief].push_back(h);
+                wasStolen[h] = true;
+                ++moved;
+            } else {
+                keep.push_front(h);
+            }
+        }
+        for (auto it = keep.rbegin(); it != keep.rend(); ++it)
+            queues[v].push_front(*it);
+        if (moved > 0) {
+            recordSteal(plan.eligible[thief], moved);
+            return true;
+        }
+    }
+
+    return false;
+}
+
+// §3.4 granularity adjustment: when the VOP is down to its final
+// pending HLOP, partition it with an idle peer — but only when the
+// equalized two-device finish time actually beats executing the whole
+// HLOP serially (launch and transfer overheads can make sharing a
+// small tail a loss).
+void
+EventLoop::shareTail(size_t owner, size_t h)
+{
+    if (!stealSplitting || remaining != 1)
+        return;
+    const kernels::KernelInfo &info = *plan.info;
+    const std::vector<DeviceInfo> &dev_infos = plan.slotInfos;
+    std::vector<Rect> &partitions = plan.partitions;
+    const size_t align = std::max<size_t>(1, info.blockAlign);
+    const Rect whole = partitions[h];
+    if (whole.rows < 2 * align)
+        return;
+
+    const double owner_avail =
+        std::max(timelines[plan.eligible[owner]].now(), release);
+    const double t_whole = cost.hlopSeconds(
+        dev_infos[owner].kind, plan.costKey, whole.size(),
+        plan.costWeight);
+    const double finish_whole = owner_avail + t_whole;
+
+    for (size_t s2 = 0; s2 < queues.size(); ++s2) {
+        if (s2 == owner || !queues[s2].empty())
+            continue;
+        if (!policy.canSteal(dev_infos[s2], dev_infos[owner],
+                             pinfos[h].criticality))
+            continue;
+
+        const double peer_avail =
+            std::max(timelines[plan.eligible[s2]].now(), release);
+        // Per-row costs and fixed overheads on both sides.
+        auto row_cost = [&](size_t slot) {
+            return cost.hlopSeconds(dev_infos[slot].kind, plan.costKey,
+                                    whole.cols, plan.costWeight) -
+                   cost.launchSeconds(dev_infos[slot].kind);
+        };
+        const double c_o = row_cost(owner);
+        const double c_p = row_cost(s2);
+        const double l_o = cost.launchSeconds(dev_infos[owner].kind);
+        const double l_p = cost.launchSeconds(dev_infos[s2].kind);
+
+        // Equalize finish times, then round to the alignment.
+        const double ideal =
+            (peer_avail + l_p - owner_avail - l_o +
+             static_cast<double>(whole.rows) * c_p) /
+            (c_o + c_p);
+        const size_t keep_rows = clamp<size_t>(
+            roundUp(static_cast<size_t>(std::max(ideal, 1.0)), align),
+            align, whole.rows - align);
+        const double finish_split = std::max(
+            owner_avail + l_o + static_cast<double>(keep_rows) * c_o,
+            peer_avail + l_p +
+                static_cast<double>(whole.rows - keep_rows) * c_p);
+        if (finish_split >= finish_whole)
+            continue;  // sharing this tail would not help
+
+        partitions[h] =
+            Rect{whole.row0, whole.col0, keep_rows, whole.cols};
+        partitions.push_back(Rect{whole.row0 + keep_rows, whole.col0,
+                                  whole.rows - keep_rows, whole.cols});
+        pinfos.push_back(pinfos[h]);
+        pinfos.back().region = partitions.back();
+        wasStolen.push_back(true);
+        queues[s2].push_back(partitions.size() - 1);
+        active[s2] = true;
+        ++remaining;
+        recordSteal(plan.eligible[s2], 1);
+        return;  // share with one peer per dispatch
+    }
+}
+
+void
+EventLoop::dispatchOne(size_t sl)
+{
+    const VOp &vop = *plan.vop;
+    const kernels::KernelInfo &info = *plan.info;
+    const size_t d = plan.eligible[sl];
+    const size_t h = queues[sl].front();
+    queues[sl].pop_front();
+    shareTail(sl, h);
+    const Rect region = plan.partitions[h];
+    const size_t elems = region.size();
+    const devices::Backend &bk = *backends[d];
+
+    // Data distribution (paper §3.3.2): full-duplex staging transfer
+    // plus, for the Edge TPU, host-side quantization of the partition.
+    // Intermediates this device produced itself in an earlier VOP of
+    // the chain are still device-resident and need no fresh input
+    // transfer. A null producer map (the single-device baseline)
+    // stages every input every time.
+    const size_t out_elems = info.reduce == ReduceKind::None
+                                 ? elems
+                                 : info.reduceRows * info.reduceCols;
+    const size_t stage = bk.stagingBytesPerElement();
+    size_t staged_inputs = 0;
+    const uint64_t rkey = rectKey(region);
+    for (const Tensor *t : vop.inputs) {
+        if (producers) {
+            auto it = producers->find(t);
+            if (it != producers->end()) {
+                auto rit = it->second.find(rkey);
+                if (rit != it->second.end() && rit->second == d)
+                    continue;  // already resident on this device
+            }
+            // The staged copy stays cached in device memory for the
+            // rest of the chain (until another device overwrites it).
+            (*producers)[t][rkey] = d;
+        }
+        ++staged_inputs;
+    }
+    double prep = 0.0;
+    if (stage > 0 && staged_inputs > 0) {
+        const size_t in_bytes = elems * staged_inputs * stage;
+        const size_t out_bytes = out_elems * stage;
+        prep = cost.transferSecondsDuplex(bk.kind(), in_bytes, out_bytes);
+    }
+    if (bk.kind() == sim::DeviceKind::EdgeTpu) {
+        prep += cost.quantizeSeconds(elems * staged_inputs + out_elems);
+    }
+    const double compute =
+        costing == DispatchSim::Costing::Baseline
+            ? cost.baselineSeconds(plan.costKey, elems, plan.costWeight)
+            : cost.hlopSeconds(bk.kind(), plan.costKey, elems,
+                               plan.costWeight);
+    const double before = timelines[d].now();
+    const double end = timelines[d].charge(prep, compute, release);
+
+    if (info.reduce == ReduceKind::None && producers)
+        (*producers)[vop.output][rkey] = d;
+
+    DispatchRecord rec;
+    rec.kind = DispatchRecord::Kind::Exec;
+    rec.vopIndex = plan.vopIndex;
+    rec.device = d;
+    rec.slot = sl;
+    rec.hlop = h;
+    rec.region = region;
+    rec.releaseSec = release;
+    rec.prepSec = prep;
+    rec.computeSec = compute;
+    rec.startSec = std::max(before, release);
+    rec.endSec = end;
+    rec.stolen = wasStolen[h];
+    outcome.records.push_back(rec);
+    --remaining;
+}
+
+// --- Event-driven execution with work stealing (paper §3.4). -------------
+DispatchOutcome
+EventLoop::run()
+{
+    seedQueues();
+    const size_t n_slots = plan.eligible.size();
+    while (remaining > 0) {
+        // The earliest-available active device acts next.
+        size_t sl = n_slots;
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < n_slots; ++i) {
+            if (!active[i])
+                continue;
+            const double t =
+                std::max(timelines[plan.eligible[i]].now(), release);
+            if (t < best) {
+                best = t;
+                sl = i;
+            }
+        }
+        SHMT_ASSERT(sl < n_slots, "work remains but no active device");
+
+        if (queues[sl].empty()) {
+            if (!trySteal(sl)) {
+                active[sl] = false;
+                continue;
+            }
+        }
+        dispatchOne(sl);
+    }
+    return std::move(outcome);
+}
+
+} // namespace
+
+DispatchOutcome
+DispatchSim::run(VopPlan &plan, std::vector<PartitionInfo> &pinfos,
+                 const Policy &policy, double release,
+                 std::vector<sim::DeviceTimeline> &timelines,
+                 ProducerMap *producers, Costing costing) const
+{
+    EventLoop loop{plan,     pinfos,     policy,    release,
+                   timelines, producers, costing,   *backends_,
+                   *cost_,   stealSplitting_};
+    return loop.run();
+}
+
+std::vector<DeviceStats>
+replayDispatch(const std::vector<DispatchRecord> &records,
+               const std::vector<sim::DeviceKind> &kinds,
+               bool double_buffering)
+{
+    std::vector<DeviceStats> stats(kinds.size());
+    std::vector<sim::DeviceTimeline> timelines;
+    timelines.reserve(kinds.size());
+    for (size_t d = 0; d < kinds.size(); ++d) {
+        stats[d].kind = kinds[d];
+        timelines.emplace_back(kinds[d], double_buffering);
+    }
+    for (const DispatchRecord &rec : records) {
+        SHMT_ASSERT(rec.device < kinds.size(), "record device ",
+                    rec.device, " out of range");
+        if (rec.kind == DispatchRecord::Kind::Steal) {
+            stats[rec.device].stolen += rec.count;
+            continue;
+        }
+        timelines[rec.device].charge(rec.prepSec, rec.computeSec,
+                                     rec.releaseSec);
+        stats[rec.device].hlops += 1;
+    }
+    for (size_t d = 0; d < kinds.size(); ++d) {
+        stats[d].busySec = timelines[d].busySeconds();
+        stats[d].computeSec = timelines[d].computeSeconds();
+        stats[d].stallSec = timelines[d].stallSeconds();
+        stats[d].transferSec = timelines[d].transferSeconds();
+    }
+    return stats;
+}
+
+} // namespace shmt::core

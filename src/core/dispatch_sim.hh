@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Stage 3 of the staged VOp execution pipeline: event-driven dispatch.
+ *
+ * DispatchSim owns the discrete-event co-execution of one planned VOp
+ * (paper §3.4): per-slot incoming queues filled from the policy's
+ * initial assignment, depth-ordered work stealing under the policy's
+ * constraints, the §3.4 granularity tail-split, producer-residency
+ * transfer elision, and the per-HLOP timeline charges. It performs no
+ * functional work — its output is an ordered DispatchRecord journal
+ * that later stages consume:
+ *
+ *  - HlopExecutor runs each Exec record's kernel body on the host pool,
+ *  - the Runtime folds records into DeviceStats and trace events,
+ *  - replayDispatch() re-derives DeviceStats from a journal alone
+ *    (the records are a complete, replayable description of the
+ *    simulated schedule — pinned by the stage-level replay test).
+ */
+
+#ifndef SHMT_CORE_DISPATCH_SIM_HH
+#define SHMT_CORE_DISPATCH_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.hh"
+#include "core/policy.hh"
+#include "sim/cost_model.hh"
+#include "sim/timeline.hh"
+
+namespace shmt::core {
+
+/** One event of a VOp's simulated co-execution. */
+struct DispatchRecord
+{
+    enum class Kind : uint8_t {
+        Exec,   //!< one HLOP dispatched to a device
+        Steal,  //!< `count` pending HLOPs moved to `device`'s queue
+    };
+    Kind kind = Kind::Exec;
+    size_t vopIndex = 0;   //!< position of the VOp in its program
+    size_t device = 0;     //!< physical backend index
+    size_t slot = 0;       //!< queue slot (eligible-table index)
+    size_t hlop = 0;       //!< partition index (Exec only)
+    size_t count = 0;      //!< HLOPs obtained (Steal only)
+    Rect region;           //!< final region, post tail-split (Exec)
+    double releaseSec = 0.0; //!< scheduler release time of the VOp
+    double prepSec = 0.0;    //!< staging transfer (+ TPU quantize)
+    double computeSec = 0.0; //!< device compute time
+    double startSec = 0.0;   //!< dispatch start on the device clock
+    double endSec = 0.0;     //!< completion on the device clock
+    bool stolen = false;     //!< partition reached its device by theft
+};
+
+/** Journal of one VOp's dispatch plus its completion time. */
+struct DispatchOutcome
+{
+    std::vector<DispatchRecord> records;
+};
+
+/** Discrete-event queueing/stealing/splitting engine. */
+class DispatchSim
+{
+  public:
+    /** How device compute time is charged per HLOP. */
+    enum class Costing : uint8_t {
+        Hlop,      //!< calibrated per-device HLOP cost (co-execution)
+        Baseline,  //!< the unpartitioned GPU-baseline kernel cost
+    };
+
+    DispatchSim(const std::vector<std::unique_ptr<devices::Backend>>
+                    &backends,
+                const sim::CostModel &cost, bool steal_splitting)
+        : backends_(&backends), cost_(&cost),
+          stealSplitting_(steal_splitting)
+    {}
+
+    /**
+     * Play @p plan's execution forward on @p timelines (indexed by
+     * physical device) starting at @p release. The policy provides
+     * the initial assignment and the stealing rules; @p pinfos grows
+     * alongside plan.partitions when the tail-split fires.
+     * @p producers, when non-null, is the run's residency map
+     * (inputs already resident on a device skip their staging
+     * transfer); null means every input is staged every time — the
+     * baseline's behavior.
+     */
+    DispatchOutcome run(VopPlan &plan, std::vector<PartitionInfo> &pinfos,
+                        const Policy &policy, double release,
+                        std::vector<sim::DeviceTimeline> &timelines,
+                        ProducerMap *producers,
+                        Costing costing = Costing::Hlop) const;
+
+  private:
+    const std::vector<std::unique_ptr<devices::Backend>> *backends_;
+    const sim::CostModel *cost_;
+    bool stealSplitting_;
+};
+
+/**
+ * Re-derive per-device statistics from a dispatch journal alone:
+ * fresh timelines charged in record order reproduce busy/compute/
+ * stall/transfer seconds bit-identically, and the Exec/Steal records
+ * reproduce the hlops/stolen counters. @p kinds gives each physical
+ * device's kind (for the double-buffering model), in backend order.
+ */
+std::vector<DeviceStats>
+replayDispatch(const std::vector<DispatchRecord> &records,
+               const std::vector<sim::DeviceKind> &kinds,
+               bool double_buffering);
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_DISPATCH_SIM_HH

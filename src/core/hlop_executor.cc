@@ -1,0 +1,54 @@
+#include "hlop_executor.hh"
+
+#include "common/thread_pool.hh"
+
+namespace shmt::core {
+
+using kernels::ReduceKind;
+
+void
+HlopExecutor::execute(const VopPlan &plan,
+                      const std::vector<DispatchRecord> &records,
+                      std::vector<Tensor> &accumulators,
+                      sim::HostPhaseStats *wall) const
+{
+    const VOp &vop = *plan.vop;
+    const kernels::KernelInfo &info = *plan.info;
+
+    std::vector<const DispatchRecord *> pending;
+    pending.reserve(records.size());
+    for (const DispatchRecord &rec : records)
+        if (rec.kind == DispatchRecord::Kind::Exec)
+            pending.push_back(&rec);
+    if (pending.empty())
+        return;
+
+    double discard = 0.0;
+    sim::ScopedWallTimer wt(wall ? wall->execSec : discard);
+
+    // An in-place VOp (output aliasing an input) is not
+    // partition-independent; keep the legacy dispatch order then.
+    bool in_place = false;
+    for (const Tensor *t : vop.inputs)
+        in_place = in_place || t == vop.output;
+    auto run_one = [&](size_t k) {
+        const DispatchRecord &rec = *pending[k];
+        TensorView out_view = info.reduce != ReduceKind::None
+                                  ? accumulators[rec.hlop].view()
+                                  : regionView(*vop.output, rec.region);
+        (*backends_)[rec.device]->execute(info, plan.args, rec.region,
+                                          out_view, plan.seed);
+    };
+    if (in_place) {
+        for (size_t k = 0; k < pending.size(); ++k)
+            run_one(k);
+    } else {
+        common::ThreadPool::forChunks(
+            0, pending.size(), 1, [&](size_t lo, size_t hi) {
+                for (size_t k = lo; k < hi; ++k)
+                    run_one(k);
+            });
+    }
+}
+
+} // namespace shmt::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Stage 4 of the staged VOp execution pipeline: functional execution.
+ *
+ * The discrete-event clock (DispatchSim) decides *order* — dispatch,
+ * stealing, tail splits; the HlopExecutor later decides *execution*,
+ * running every Exec record's kernel body on the shared host pool.
+ * Partitions write disjoint outputs (their own accumulator or their
+ * own output region), so host-side completion order cannot affect the
+ * numerics. An in-place VOp (output aliasing an input) is the one
+ * exception: it is not partition-independent and runs serially in
+ * dispatch order, exactly as the historical monolith did.
+ */
+
+#ifndef SHMT_CORE_HLOP_EXECUTOR_HH
+#define SHMT_CORE_HLOP_EXECUTOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/dispatch_sim.hh"
+#include "core/plan.hh"
+#include "sim/wallclock.hh"
+
+namespace shmt::core {
+
+/** Runs deferred HLOP bodies at each device's native precision. */
+class HlopExecutor
+{
+  public:
+    explicit HlopExecutor(
+        const std::vector<std::unique_ptr<devices::Backend>> &backends)
+        : backends_(&backends)
+    {}
+
+    /**
+     * Execute every Exec record of @p records through its device's
+     * backend. Reductions write into @p accumulators[record.hlop]
+     * (sized to the final, post-split partition count by the caller);
+     * map-style kernels write their region of the plan's output.
+     * @p wall, when non-null, accumulates the host wall-clock spent.
+     */
+    void execute(const VopPlan &plan,
+                 const std::vector<DispatchRecord> &records,
+                 std::vector<Tensor> &accumulators,
+                 sim::HostPhaseStats *wall) const;
+
+  private:
+    const std::vector<std::unique_ptr<devices::Backend>> *backends_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_HLOP_EXECUTOR_HH

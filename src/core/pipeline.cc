@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/plan.hh"
 #include "kernels/kernel_registry.hh"
 
 namespace shmt::core {
@@ -25,9 +26,7 @@ runSwPipelined(Runtime &runtime, const VopProgram &program,
     double gpu_busy = 0.0;
     for (const VOp &vop : program.ops) {
         const auto &info = registry.get(vop.opcode);
-        const std::string_view cost_key =
-            vop.costKeyOverride.empty() ? std::string_view(info.costKey)
-                                        : vop.costKeyOverride;
+        const std::string_view cost_key = vopCostKey(vop, info);
         const auto [rows, cols] =
             std::pair<size_t, size_t>{vop.inputs[0]->rows(),
                                       vop.inputs[0]->cols()};

@@ -1,0 +1,192 @@
+#include "plan.hh"
+
+#include <cmath>
+
+#include "common/math_utils.hh"
+#include "common/random.hh"
+#include "tensor/quantize.hh"
+
+namespace shmt::core {
+
+using kernels::KernelArgs;
+using kernels::KernelInfo;
+using kernels::KernelRegistry;
+using kernels::ReduceKind;
+
+uint64_t
+rectKey(const Rect &r)
+{
+    constexpr size_t kLimit = size_t{1} << 16;
+    SHMT_ASSERT(r.row0 < kLimit && r.col0 < kLimit && r.rows < kLimit &&
+                    r.cols < kLimit,
+                "rect ", r.row0, "+", r.rows, " x ", r.col0, "+", r.cols,
+                " exceeds the 2^16 coordinate range of the residency key");
+    return (static_cast<uint64_t>(r.row0) << 48) |
+           (static_cast<uint64_t>(r.rows) << 32) |
+           (static_cast<uint64_t>(r.col0) << 16) |
+           static_cast<uint64_t>(r.cols);
+}
+
+std::string_view
+vopCostKey(const VOp &vop, const KernelInfo &info)
+{
+    return vop.costKeyOverride.empty() ? std::string_view(info.costKey)
+                                       : vop.costKeyOverride;
+}
+
+namespace {
+
+/** Basis (rows, cols) of a VOP's partitioning space. */
+std::pair<size_t, size_t>
+vopBasis(const VOp &vop, const KernelInfo &info)
+{
+    if (info.reduce != ReduceKind::None) {
+        SHMT_ASSERT(!vop.inputs.empty(), "reduction without input");
+        return {vop.inputs[0]->rows(), vop.inputs[0]->cols()};
+    }
+    SHMT_ASSERT(vop.output, "VOp '", vop.opcode, "' has no output");
+    return {vop.output->rows(), vop.output->cols()};
+}
+
+/** Validate the output tensor shape of @p vop. */
+void
+checkVop(const VOp &vop, const KernelInfo &info)
+{
+    SHMT_ASSERT(vop.output, "VOp '", vop.opcode, "' has no output");
+    SHMT_ASSERT(!vop.inputs.empty(), "VOp '", vop.opcode, "' has no input");
+    for (const Tensor *t : vop.inputs)
+        SHMT_ASSERT(t && !t->empty(), "VOp '", vop.opcode,
+                    "' has an empty input");
+    if (info.reduce != ReduceKind::None) {
+        SHMT_ASSERT(vop.output->rows() == info.reduceRows &&
+                        vop.output->cols() == info.reduceCols,
+                    "VOp '", vop.opcode, "' output must be ",
+                    info.reduceRows, "x", info.reduceCols);
+    }
+}
+
+} // namespace
+
+KernelArgs
+makeKernelArgs(const VOp &vop, const KernelInfo &info,
+               const RuntimeConfig &config,
+               const sim::PlatformCalibration &cal, bool npu_quant)
+{
+    KernelArgs args;
+    for (const Tensor *t : vop.inputs)
+        args.inputs.push_back(t->view());
+    args.scalars = vop.scalars;
+    args.hostSimd = config.hostSimd == RuntimeConfig::SimdMode::Auto;
+    if (const sim::KernelCalibration *rec = cal.find(vopCostKey(vop, info)))
+        args.npuNoiseOverride = rec->npuNoise;
+
+    // The pre-trained NPU models' fixed input scales, set at
+    // model-compile time (hence no runtime cost) to the full data
+    // range — lossless for 8-bit image data. Partitions far below the
+    // model range use only a sliver of the INT8 codes, and the model
+    // noise grows for partitions near/above it (off-distribution).
+    if (npu_quant) {
+        for (const Tensor *t : vop.inputs)
+            args.npuInputQuant.push_back(
+                chooseQuantParams(t->view(), args.hostSimd));
+    }
+    return args;
+}
+
+std::vector<Rect>
+Planner::partition(const KernelInfo &info, size_t rows, size_t cols) const
+{
+    const size_t target = std::max<size_t>(1, config_.targetHlops);
+    if (info.model == ParallelModel::Vector) {
+        const size_t count =
+            choosePartitionCount(rows, cols, target, target);
+        return vectorPartitions(rows, cols, count);
+    }
+
+    // Tile model: a k x k grid targeting `target` tiles, with tile
+    // edges rounded up to the kernel's block alignment (paper §3.4
+    // additionally keeps tiles page-multiple; blockAlign covers that
+    // for the block transforms, and the grid keeps tiles big).
+    const size_t k = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(target))));
+    const size_t align = std::max<size_t>(1, info.blockAlign);
+    size_t tile_r = roundUp(ceilDiv(rows, k), align);
+    size_t tile_c = roundUp(ceilDiv(cols, k), align);
+    tile_r = std::max(tile_r, align);
+    tile_c = std::max(tile_c, align);
+    return tilePartitions(rows, cols, tile_r, tile_c);
+}
+
+VopPlan
+Planner::plan(const VOp &vop, size_t vop_index) const
+{
+    return plan(vop, vop_index, config_.seed);
+}
+
+VopPlan
+Planner::plan(const VOp &vop, size_t vop_index, uint64_t base_seed) const
+{
+    const KernelInfo &info = KernelRegistry::instance().get(vop.opcode);
+    checkVop(vop, info);
+
+    VopPlan p;
+    p.vop = &vop;
+    p.info = &info;
+    p.vopIndex = vop_index;
+    std::tie(p.rows, p.cols) = vopBasis(vop, info);
+    p.costKey = vopCostKey(vop, info);
+    p.costWeight = info.costWeight * vop.weight;
+    p.partitions = partition(info, p.rows, p.cols);
+    p.initialPartitions = p.partitions.size();
+    p.seed = base_seed ^ hashMix(vop_index + 1);
+
+    // Only devices whose driver registered an implementation of this
+    // opcode participate (paper §3.3: drivers report their HLOP lists
+    // at initialization). The policy sees queue slots 0..E-1; the
+    // eligible[] table maps slots back to physical devices.
+    for (size_t d = 0; d < backends_->size(); ++d)
+        if ((*backends_)[d]->supports(info))
+            p.eligible.push_back(d);
+    if (p.eligible.empty())
+        SHMT_FATAL("no device supports opcode '", vop.opcode, "'");
+    p.slotInfos.resize(p.eligible.size());
+    for (size_t sl = 0; sl < p.eligible.size(); ++sl) {
+        p.slotInfos[sl].index = sl;
+        p.slotInfos[sl].kind = (*backends_)[p.eligible[sl]]->kind();
+        p.slotInfos[sl].dtype =
+            (*backends_)[p.eligible[sl]]->nativeDtype();
+    }
+
+    p.args = makeKernelArgs(vop, info, config_, *cal_);
+    return p;
+}
+
+VopPlan
+Planner::planSingleDevice(const VOp &vop, size_t vop_index,
+                          size_t device) const
+{
+    const KernelInfo &info = KernelRegistry::instance().get(vop.opcode);
+    checkVop(vop, info);
+    SHMT_ASSERT(device < backends_->size(), "no device ", device);
+
+    VopPlan p;
+    p.vop = &vop;
+    p.info = &info;
+    p.vopIndex = vop_index;
+    std::tie(p.rows, p.cols) = vopBasis(vop, info);
+    p.costKey = vopCostKey(vop, info);
+    p.costWeight = info.costWeight * vop.weight;
+    p.partitions = {Rect{0, 0, p.rows, p.cols}};
+    p.initialPartitions = 1;
+    p.seed = config_.seed;
+    p.eligible = {device};
+    p.slotInfos.resize(1);
+    p.slotInfos[0].index = 0;
+    p.slotInfos[0].kind = (*backends_)[device]->kind();
+    p.slotInfos[0].dtype = (*backends_)[device]->nativeDtype();
+    p.args = makeKernelArgs(vop, info, config_, *cal_,
+                            /*npu_quant=*/false);
+    return p;
+}
+
+} // namespace shmt::core

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Stage 1 of the staged VOp execution pipeline: planning.
+ *
+ * A VopPlan is the immutable-by-convention value that every later
+ * stage consumes: the partition rectangles (HLOP regions), the
+ * eligible-device table (paper §3.3: drivers report their HLOP lists
+ * at initialization, so only devices implementing the opcode get a
+ * queue slot), the assembled KernelArgs, and the VOp's deterministic
+ * seed. The Planner derives it from a VOp + RuntimeConfig alone — no
+ * clocks, no queues — which is what makes plans replayable and lets
+ * the GPU baseline, the discrete-event runtime, the real-thread
+ * executor, and the Session layer all share one planning path.
+ *
+ * Pipeline: Planner -> SamplingEngine -> DispatchSim -> HlopExecutor
+ * -> Aggregator (see DESIGN.md "Execution pipeline layers").
+ */
+
+#ifndef SHMT_CORE_PLAN_HH
+#define SHMT_CORE_PLAN_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/policy.hh"
+#include "core/run_types.hh"
+#include "core/vop.hh"
+#include "devices/backend.hh"
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::core {
+
+/**
+ * Producer-residency map of one run: which device produced each
+ * partition of each intermediate tensor (tensor -> partition key ->
+ * device index). Inputs still resident on their producer skip the
+ * staging transfer. Owned per run (never shared between concurrently
+ * executing programs — the Session layer gives every program its own).
+ */
+using ProducerMap = std::map<const Tensor *, std::map<uint64_t, size_t>>;
+
+/**
+ * Collision-free key of a partition rectangle for the producer map:
+ * the four coordinates packed into 16 bits each. Every coordinate must
+ * be below 2^16 (asserted) — at the paper's 8192^2 scale that leaves
+ * 8x headroom, and plans that would silently alias (the historical
+ * packed-XOR hash collided once any dimension reached 2^16) now fail
+ * loudly instead of corrupting the residency map.
+ */
+uint64_t rectKey(const Rect &r);
+
+/** Calibration record key of @p vop (the opcode's default unless the
+ *  VOp carries a costKeyOverride). */
+std::string_view vopCostKey(const VOp &vop, const kernels::KernelInfo &info);
+
+/** One VOp, planned: everything later stages need, clock-free. */
+struct VopPlan
+{
+    const VOp *vop = nullptr;                  //!< not owned
+    const kernels::KernelInfo *info = nullptr; //!< registry entry
+    size_t vopIndex = 0;                       //!< position in program
+    size_t rows = 0, cols = 0;                 //!< partitioning basis
+    std::string_view costKey;                  //!< calibration record
+    double costWeight = 1.0;                   //!< info weight x vop weight
+
+    /**
+     * HLOP regions. DispatchSim may append tail-split halves during
+     * co-execution; initialPartitions stays at the planned count (the
+     * aggregation cost model charges per planned reduction partition).
+     */
+    std::vector<Rect> partitions;
+    size_t initialPartitions = 0;
+
+    /** Queue slot -> physical backend index (eligible devices only). */
+    std::vector<size_t> eligible;
+    /** Per-slot device metadata handed to the scheduling policy. */
+    std::vector<DeviceInfo> slotInfos;
+
+    /**
+     * Deterministic base seed of this VOp. Partition i of the
+     * sampling stage derives its own stream as
+     * `ThreadPool::taskSeed(seed, i)` (== seed ^ hashMix(i)); the
+     * functional HLOP bodies all use the base seed directly.
+     */
+    uint64_t seed = 0;
+
+    /** Kernel arguments shared by every HLOP of this VOp. */
+    kernels::KernelArgs args;
+
+    /** Shorthand: the kernel's reduction kind. */
+    kernels::ReduceKind reduce() const { return info->reduce; }
+};
+
+/**
+ * Assemble the KernelArgs every HLOP of @p vop shares: input views,
+ * scalars, the host-SIMD dispatch flag, the calibrated NPU noise
+ * override, and (when @p npu_quant) the pre-trained NPU models' fixed
+ * input scales — set at model-compile time (hence no runtime cost) to
+ * the full data range. The single-device baseline skips the quant
+ * scan: its device executes at native FP32.
+ */
+kernels::KernelArgs makeKernelArgs(const VOp &vop,
+                                   const kernels::KernelInfo &info,
+                                   const RuntimeConfig &config,
+                                   const sim::PlatformCalibration &cal,
+                                   bool npu_quant = true);
+
+/**
+ * Builds VopPlans. Stateless apart from the construction references;
+ * cheap to instantiate per run (and safe to use from concurrent runs).
+ */
+class Planner
+{
+  public:
+    Planner(const std::vector<std::unique_ptr<devices::Backend>> &backends,
+            const RuntimeConfig &config,
+            const sim::PlatformCalibration &cal)
+        : backends_(&backends), config_(config), cal_(&cal)
+    {}
+
+    /**
+     * Full heterogeneous plan of @p vop: partitions per the kernel's
+     * parallelization model targeting config.targetHlops, one queue
+     * slot per supporting device, seed mixed per VOp index, and the
+     * NPU staging parameters. @p seed_override replaces the config
+     * seed as the mixing base (Session uses it for per-program seeds).
+     */
+    VopPlan plan(const VOp &vop, size_t vop_index) const;
+    VopPlan plan(const VOp &vop, size_t vop_index,
+                 uint64_t base_seed) const;
+
+    /**
+     * Degenerate single-device plan: one whole-basis partition pinned
+     * to physical device @p device, seeded with the *unmixed* base
+     * seed (the historical GPU-baseline seeding), no NPU quant scan.
+     * This is how runGpuBaseline becomes "a one-device plan".
+     */
+    VopPlan planSingleDevice(const VOp &vop, size_t vop_index,
+                             size_t device) const;
+
+    /** Partition a rows x cols basis for @p info (paper §3.4). */
+    std::vector<Rect> partition(const kernels::KernelInfo &info,
+                                size_t rows, size_t cols) const;
+
+  private:
+    const std::vector<std::unique_ptr<devices::Backend>> *backends_;
+    RuntimeConfig config_;
+    const sim::PlatformCalibration *cal_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_PLAN_HH

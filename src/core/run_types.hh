@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Value types shared by the staged execution pipeline: runtime
+ * configuration, per-device statistics, and the result of one run.
+ *
+ * These used to live in runtime.hh; they are split out so the pipeline
+ * stages (plan.hh, sampling_engine.hh, dispatch_sim.hh,
+ * hlop_executor.hh, aggregator.hh) can be compiled against the data
+ * they exchange without seeing the Runtime driver itself.
+ */
+
+#ifndef SHMT_CORE_RUN_TYPES_HH
+#define SHMT_CORE_RUN_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/calibration.hh"
+#include "sim/power.hh"
+#include "sim/wallclock.hh"
+
+namespace shmt::core {
+
+/** Runtime tuning knobs. */
+struct RuntimeConfig
+{
+    /** Target number of HLOPs per VOp (queue depth for stealing). */
+    size_t targetHlops = 64;
+    /** Overlap transfers with the previous HLOP's compute. */
+    bool doubleBuffering = true;
+    /** Seed for deterministic sampling / NPU noise. */
+    uint64_t seed = 42;
+    /**
+     * Allow a thief to *split* the victim's last pending HLOP instead
+     * of leaving one device with all of the tail work (paper §3.4:
+     * "the runtime system may need to further fuse or partition
+     * HLOPs" when granularities mismatch). Off by default; the
+     * ablation bench quantifies its tail-latency benefit.
+     */
+    bool stealSplitting = false;
+    /**
+     * Host execution lanes for the functional work (HLOP bodies,
+     * criticality sampling, INT8 staging, aggregation combines):
+     * 0 = one per hardware thread, 1 = the legacy serial path, N =
+     * exactly N lanes on the shared work-stealing pool. Purely a host
+     * wall-clock knob — the simulated timing and the numerics are
+     * bit-identical for every value (per-partition seed derivation
+     * and partition-ordered reductions guarantee it).
+     */
+    size_t hostThreads = 0;
+
+    /** Host SIMD kernel selection (see KernelInfo::simdFunc). */
+    enum class SimdMode : uint8_t {
+        Off,    //!< scalar reference kernels and staging everywhere
+        Auto,   //!< vectorized implementations where registered
+    };
+    /**
+     * Whether the host runs the vectorized kernel bodies and staging
+     * passes (`shmtbench --host-simd=off|auto`). Off reproduces the
+     * scalar reference bit-exactly; Auto is bit-identical too for
+     * every kernel declaring KernelInfo::bitIdentical and ULP-bounded
+     * for the polynomial ones (exp/log/tanh/ncdf, blackscholes,
+     * reduce_sum).
+     */
+    SimdMode hostSimd = SimdMode::Auto;
+};
+
+/** Per-device execution statistics of one run. */
+struct DeviceStats
+{
+    std::string name;
+    sim::DeviceKind kind = sim::DeviceKind::Gpu;
+    size_t hlops = 0;        //!< HLOPs executed
+    size_t stolen = 0;       //!< HLOPs obtained by stealing
+    double busySec = 0.0;    //!< compute + transfer stalls
+    double computeSec = 0.0;
+    double stallSec = 0.0;   //!< non-overlapped transfer time
+    double transferSec = 0.0; //!< total wire time (incl. overlapped)
+};
+
+/** Result of executing a program. */
+struct RunResult
+{
+    double makespanSec = 0.0;     //!< end-to-end simulated latency
+    double schedulingSec = 0.0;   //!< CPU-side sampling + decisions
+    double aggregationSec = 0.0;  //!< CPU-side combines / sync
+    size_t hlopsTotal = 0;
+    std::vector<DeviceStats> devices;
+    sim::EnergyReport energy;
+    /**
+     * Host wall-clock cost of this run by phase (sampling, functional
+     * HLOP execution, aggregation). Unlike every field above this is
+     * measured real time, not simulated time: it is what the parallel
+     * host engine (`RuntimeConfig::hostThreads`) shrinks.
+     */
+    sim::HostPhaseStats hostWall;
+
+    /** Fraction of busy time spent stalled on data exchange
+     *  (paper Table 3). */
+    double commOverhead() const;
+};
+
+/** Memory-footprint estimate of one program (paper Fig. 11). */
+struct MemoryReport
+{
+    size_t hostBytes = 0;        //!< shared-memory tensors
+    size_t gpuScratchBytes = 0;  //!< GPU working buffers
+    size_t tpuStageBytes = 0;    //!< INT8 staging + model buffers
+    size_t
+    totalBytes() const
+    {
+        return hostBytes + gpuScratchBytes + tpuStageBytes;
+    }
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_RUN_TYPES_HH

@@ -1,18 +1,15 @@
 #include "runtime.hh"
 
 #include <algorithm>
-#include <cmath>
-#include <deque>
-#include <limits>
 #include <set>
 
-#include "common/math_utils.hh"
-#include "common/random.hh"
 #include "common/thread_pool.hh"
+#include "core/aggregator.hh"
+#include "core/hlop_executor.hh"
+#include "core/sampling_engine.hh"
 
 namespace shmt::core {
 
-using kernels::KernelArgs;
 using kernels::KernelInfo;
 using kernels::KernelRegistry;
 using kernels::ReduceKind;
@@ -37,575 +34,96 @@ Runtime::Runtime(std::vector<std::unique_ptr<devices::Backend>> backends,
     SHMT_ASSERT(!backends_.empty(), "runtime needs at least one device");
 }
 
-namespace {
-
-/** Basis (rows, cols) of a VOP's partitioning space. */
-std::pair<size_t, size_t>
-vopBasis(const VOp &vop, const KernelInfo &info)
-{
-    if (info.reduce != ReduceKind::None) {
-        SHMT_ASSERT(!vop.inputs.empty(), "reduction without input");
-        return {vop.inputs[0]->rows(), vop.inputs[0]->cols()};
-    }
-    SHMT_ASSERT(vop.output, "VOp '", vop.opcode, "' has no output");
-    return {vop.output->rows(), vop.output->cols()};
-}
-
-/** Validate the output tensor shape of @p vop. */
-void
-checkVop(const VOp &vop, const KernelInfo &info)
-{
-    SHMT_ASSERT(vop.output, "VOp '", vop.opcode, "' has no output");
-    SHMT_ASSERT(!vop.inputs.empty(), "VOp '", vop.opcode, "' has no input");
-    for (const Tensor *t : vop.inputs)
-        SHMT_ASSERT(t && !t->empty(), "VOp '", vop.opcode,
-                    "' has an empty input");
-    if (info.reduce != ReduceKind::None) {
-        SHMT_ASSERT(vop.output->rows() == info.reduceRows &&
-                        vop.output->cols() == info.reduceCols,
-                    "VOp '", vop.opcode, "' output must be ",
-                    info.reduceRows, "x", info.reduceCols);
-    }
-}
-
-/** Initial value of a reduction output. */
-float
-reduceInit(ReduceKind kind)
-{
-    switch (kind) {
-      case ReduceKind::Sum: return 0.0f;
-      case ReduceKind::Max:
-        return -std::numeric_limits<float>::infinity();
-      case ReduceKind::Min:
-        return std::numeric_limits<float>::infinity();
-      case ReduceKind::None: break;
-    }
-    return 0.0f;
-}
-
-/** Fold one accumulator into the reduction output. */
-void
-combineInto(TensorView out, ConstTensorView acc, ReduceKind kind)
-{
-    SHMT_ASSERT(out.rows() == acc.rows() && out.cols() == acc.cols(),
-                "combine shape mismatch");
-    for (size_t r = 0; r < out.rows(); ++r) {
-        float *d = out.row(r);
-        const float *s = acc.row(r);
-        for (size_t c = 0; c < out.cols(); ++c) {
-            switch (kind) {
-              case ReduceKind::Sum: d[c] += s[c]; break;
-              case ReduceKind::Max: d[c] = std::max(d[c], s[c]); break;
-              case ReduceKind::Min: d[c] = std::min(d[c], s[c]); break;
-              case ReduceKind::None: break;
-            }
-        }
-    }
-}
-
-/**
- * Initialize rows [r0, r1) of @p out and fold every accumulator into
- * them in partition order. Row ranges are disjoint, so the parallel
- * host engine can split rows across lanes while each element still
- * sees the accumulators in the same order as the serial combine —
- * which keeps the floating-point result bit-identical regardless of
- * which lane finished its HLOP first.
- */
-void
-combineRows(TensorView out, const std::vector<Tensor> &accs,
-            ReduceKind kind, float init, size_t r0, size_t r1)
-{
-    for (size_t r = r0; r < r1; ++r) {
-        float *d = out.row(r);
-        for (size_t c = 0; c < out.cols(); ++c)
-            d[c] = init;
-        for (const Tensor &acc : accs) {
-            const float *s = acc.view().row(r);
-            for (size_t c = 0; c < out.cols(); ++c) {
-                switch (kind) {
-                  case ReduceKind::Sum: d[c] += s[c]; break;
-                  case ReduceKind::Max:
-                    d[c] = std::max(d[c], s[c]);
-                    break;
-                  case ReduceKind::Min:
-                    d[c] = std::min(d[c], s[c]);
-                    break;
-                  case ReduceKind::None: break;
-                }
-            }
-        }
-    }
-}
-
-} // namespace
-
-std::vector<Rect>
-Runtime::partitionVop(const KernelInfo &info, size_t rows,
-                      size_t cols) const
-{
-    const size_t target = std::max<size_t>(1, config_.targetHlops);
-    if (info.model == ParallelModel::Vector) {
-        const size_t count =
-            choosePartitionCount(rows, cols, target, target);
-        return vectorPartitions(rows, cols, count);
-    }
-
-    // Tile model: a k x k grid targeting `target` tiles, with tile
-    // edges rounded up to the kernel's block alignment (paper §3.4
-    // additionally keeps tiles page-multiple; blockAlign covers that
-    // for the block transforms, and the grid keeps tiles big).
-    const size_t k = std::max<size_t>(
-        1, static_cast<size_t>(std::sqrt(static_cast<double>(target))));
-    const size_t align = std::max<size_t>(1, info.blockAlign);
-    size_t tile_r = roundUp(ceilDiv(rows, k), align);
-    size_t tile_c = roundUp(ceilDiv(cols, k), align);
-    tile_r = std::max(tile_r, align);
-    tile_c = std::max(tile_c, align);
-    return tilePartitions(rows, cols, tile_r, tile_c);
-}
-
-namespace {
-
-/** Stable key for a partition rectangle. */
-uint64_t
-rectKey(const Rect &r)
-{
-    return (static_cast<uint64_t>(r.row0) << 32) ^ r.col0 ^
-           (static_cast<uint64_t>(r.rows) << 48) ^
-           (static_cast<uint64_t>(r.cols) << 16);
-}
-
-} // namespace
-
 double
-Runtime::executeVop(const VOp &vop, Policy &policy, double start,
-                    RunResult &result, size_t vop_index, bool functional)
+Runtime::runVop(VopPlan &plan, Policy &policy, double start,
+                RunResult &result,
+                std::vector<sim::DeviceTimeline> &timelines,
+                ProducerMap &producers, bool functional)
 {
-    const KernelRegistry &registry = KernelRegistry::instance();
-    const KernelInfo &info = registry.get(vop.opcode);
-    checkVop(vop, info);
+    const VOp &vop = *plan.vop;
+    const KernelInfo &info = *plan.info;
 
-    const auto [rows, cols] = vopBasis(vop, info);
-    const std::string_view cost_key = vop.costKeyOverride.empty()
-                                          ? std::string_view(info.costKey)
-                                          : vop.costKeyOverride;
-    std::vector<Rect> partitions = partitionVop(info, rows, cols);
-    const size_t n = partitions.size();
-    const size_t n_dev = backends_.size();
-    const uint64_t vop_seed = config_.seed ^ hashMix(vop_index + 1);
-
-    // --- Device metadata for the policy. --------------------------------
-    // Only devices whose driver registered an implementation of this
-    // opcode participate (paper §3.3: drivers report their HLOP lists
-    // at initialization). The policy sees queue slots 0..E-1; the
-    // eligible[] table maps slots back to physical devices.
-    std::vector<size_t> eligible;
-    for (size_t d = 0; d < n_dev; ++d)
-        if (backends_[d]->supports(info))
-            eligible.push_back(d);
-    if (eligible.empty())
-        SHMT_FATAL("no device supports opcode '", vop.opcode, "'");
-    const size_t n_slots = eligible.size();
-    std::vector<DeviceInfo> dev_infos(n_slots);
-    for (size_t sl = 0; sl < n_slots; ++sl) {
-        dev_infos[sl].index = sl;
-        dev_infos[sl].kind = backends_[eligible[sl]]->kind();
-        dev_infos[sl].dtype = backends_[eligible[sl]]->nativeDtype();
-    }
-
-    policy.beginVop(VopContext{cost_key, &costModel_,
-                               info.costWeight * vop.weight});
+    policy.beginVop(VopContext{plan.costKey, &costModel_, plan.costWeight});
 
     // --- Sampling phase (QAWS, paper §3.5). ------------------------------
-    double cpu_clock = start;
-    std::vector<PartitionInfo> pinfos(n);
-    const bool can_sample =
-        !vop.inputs.empty() && vop.inputs[0]->rows() == rows &&
-        vop.inputs[0]->cols() == cols;
-    if (auto spec = policy.sampling(); spec && can_sample) {
-        // Algorithms 3-5 are independent per partition, so the stats
-        // are gathered in parallel on the host pool (each partition
-        // derives its own seed); the simulated cost is then charged
-        // serially in partition order, exactly as the serial loop did.
-        std::vector<SampleStats> stats;
-        {
-            sim::ScopedWallTimer wt(result.hostWall.samplingSec);
-            stats = samplePartitions(vop.inputs[0]->view(), partitions,
-                                     *spec, vop_seed);
+    const SamplingEngine sampler(costModel_);
+    std::vector<PartitionInfo> pinfos;
+    const double release =
+        sampler.charge(plan, policy, start, pinfos, &result.hostWall);
+    result.schedulingSec += release - start;
+
+    // --- Event-driven dispatch with work stealing (paper §3.4). ----------
+    const DispatchSim dispatch(backends_, costModel_,
+                               config_.stealSplitting);
+    DispatchOutcome outcome =
+        dispatch.run(plan, pinfos, policy, release, timelines, &producers);
+
+    for (const DispatchRecord &rec : outcome.records) {
+        if (rec.kind == DispatchRecord::Kind::Steal) {
+            result.devices[rec.device].stolen += rec.count;
+            continue;
         }
-        for (size_t i = 0; i < n; ++i) {
-            pinfos[i].criticality = criticalityScore(stats[i]);
-            if (policy.chargesSamplingCost()) {
-                switch (spec->method) {
-                  case SamplingMethod::Reduction:
-                    cpu_clock += costModel_.reductionSampleSeconds(
-                        stats[i].visited);
-                    break;
-                  case SamplingMethod::Exact:
-                    cpu_clock +=
-                        costModel_.fullScanSeconds(stats[i].visited);
-                    break;
-                  default:
-                    cpu_clock +=
-                        costModel_.sampleSeconds(stats[i].visited);
-                }
-            }
-            if (policy.runsCanary())
-                cpu_clock += costModel_.canarySeconds(
-                    cost_key, partitions[i].size());
-        }
-    }
-    for (size_t i = 0; i < n; ++i)
-        pinfos[i].region = partitions[i];
-    cpu_clock += static_cast<double>(n) * costModel_.scheduleSeconds();
-    result.schedulingSec += cpu_clock - start;
-
-    // --- Initial HLOP distribution (paper §3.3.1). -----------------------
-    const std::vector<size_t> assignment = policy.assign(pinfos, dev_infos);
-    SHMT_ASSERT(assignment.size() == n, "policy returned ",
-                assignment.size(), " assignments for ", n, " partitions");
-    std::vector<std::deque<size_t>> queues(n_slots);
-    for (size_t i = 0; i < n; ++i) {
-        SHMT_ASSERT(assignment[i] < n_slots, "assignment out of range");
-        queues[assignment[i]].push_back(i);
-    }
-
-    // --- Reduction accumulators. -----------------------------------------
-    std::vector<Tensor> accumulators;
-    if (info.reduce != ReduceKind::None) {
-        accumulators.reserve(n);
-        for (size_t i = 0; i < n; ++i)
-            accumulators.emplace_back(info.reduceRows, info.reduceCols);
-    }
-
-    // --- Kernel arguments shared by all HLOPs. ---------------------------
-    KernelArgs args;
-    for (const Tensor *t : vop.inputs)
-        args.inputs.push_back(t->view());
-    args.scalars = vop.scalars;
-    args.hostSimd = config_.hostSimd == RuntimeConfig::SimdMode::Auto;
-    if (const sim::KernelCalibration *rec = cal_.find(cost_key))
-        args.npuNoiseOverride = rec->npuNoise;
-
-    // The pre-trained NPU models' fixed input scales, set at
-    // model-compile time (hence no runtime cost) to the full data
-    // range — lossless for 8-bit image data. Partitions far below the
-    // model range use only a sliver of the INT8 codes, and the model
-    // noise grows for partitions near/above it (off-distribution).
-    for (const Tensor *t : vop.inputs)
-        args.npuInputQuant.push_back(
-            chooseQuantParams(t->view(), args.hostSimd));
-
-    // --- Event-driven execution with work stealing (paper §3.4). ---------
-    const double release = cpu_clock;
-    std::vector<bool> active(n_slots, true);
-    std::vector<bool> was_stolen(n, false);
-    size_t remaining = n;
-
-    // Functional HLOP bodies are deferred out of the event loop: the
-    // discrete-event clock decides *order* (dispatch, stealing, tail
-    // splits), the host pool later decides *execution*. Partitions
-    // write disjoint outputs (own accumulator or own output region),
-    // so host-side order cannot affect the numerics.
-    struct PendingHlop
-    {
-        size_t device;   //!< physical backend index
-        size_t hlop;     //!< partition / accumulator index
-        Rect region;     //!< final region (post tail-split)
-    };
-    std::vector<PendingHlop> pending;
-    if (functional)
-        pending.reserve(n);
-
-    auto try_steal = [&](size_t thief) -> bool {
-        if (!policy.stealingEnabled())
-            return false;
-        // Victims ordered by queue depth ("the hardware with the most
-        // pending items").
-        std::vector<size_t> victims;
-        for (size_t v = 0; v < n_slots; ++v)
-            if (v != thief && !queues[v].empty())
-                victims.push_back(v);
-        std::stable_sort(victims.begin(), victims.end(),
-                         [&](size_t a, size_t b) {
-                             return queues[a].size() > queues[b].size();
-                         });
-        for (size_t v : victims) {
-            const size_t want = (queues[v].size() + 1) / 2;
-            size_t moved = 0;
-            // Withdraw unprocessed HLOPs from the back of the victim's
-            // queue, respecting the policy's stealing constraints.
-            std::deque<size_t> keep;
-            while (!queues[v].empty() && moved < want) {
-                const size_t h = queues[v].back();
-                queues[v].pop_back();
-                if (policy.canSteal(dev_infos[thief], dev_infos[v],
-                                    pinfos[h].criticality)) {
-                    queues[thief].push_back(h);
-                    was_stolen[h] = true;
-                    ++moved;
-                } else {
-                    keep.push_front(h);
-                }
-            }
-            for (auto it = keep.rbegin(); it != keep.rend(); ++it)
-                queues[v].push_front(*it);
-            if (moved > 0) {
-                result.devices[eligible[thief]].stolen += moved;
-                return true;
-            }
-        }
-
-        return false;
-    };
-
-    // §3.4 granularity adjustment: when the VOP is down to its final
-    // pending HLOP, partition it with an idle peer — but only when
-    // the equalized two-device finish time actually beats executing
-    // the whole HLOP serially (launch and transfer overheads can make
-    // sharing a small tail a loss).
-    auto share_tail = [&](size_t owner, size_t h) {
-        if (!config_.stealSplitting || remaining != 1)
-            return;
-        const size_t align = std::max<size_t>(1, info.blockAlign);
-        const Rect whole = partitions[h];
-        if (whole.rows < 2 * align)
-            return;
-
-        const double owner_avail =
-            std::max((*timelines_)[eligible[owner]].now(), release);
-        const double t_whole = costModel_.hlopSeconds(
-            dev_infos[owner].kind, cost_key, whole.size(),
-            info.costWeight * vop.weight);
-        const double finish_whole = owner_avail + t_whole;
-
-        for (size_t s2 = 0; s2 < n_slots; ++s2) {
-            if (s2 == owner || !queues[s2].empty())
-                continue;
-            if (!policy.canSteal(dev_infos[s2], dev_infos[owner],
-                                 pinfos[h].criticality))
-                continue;
-
-            const double peer_avail =
-                std::max((*timelines_)[eligible[s2]].now(), release);
-            // Per-row costs and fixed overheads on both sides.
-            auto row_cost = [&](size_t slot) {
-                return costModel_.hlopSeconds(dev_infos[slot].kind,
-                                              cost_key, whole.cols,
-                                              info.costWeight *
-                                                  vop.weight) -
-                       costModel_.launchSeconds(dev_infos[slot].kind);
-            };
-            const double c_o = row_cost(owner);
-            const double c_p = row_cost(s2);
-            const double l_o =
-                costModel_.launchSeconds(dev_infos[owner].kind);
-            const double l_p =
-                costModel_.launchSeconds(dev_infos[s2].kind);
-
-            // Equalize finish times, then round to the alignment.
-            const double ideal =
-                (peer_avail + l_p - owner_avail - l_o +
-                 static_cast<double>(whole.rows) * c_p) /
-                (c_o + c_p);
-            const size_t keep_rows = clamp<size_t>(
-                roundUp(static_cast<size_t>(std::max(ideal, 1.0)),
-                        align),
-                align, whole.rows - align);
-            const double finish_split = std::max(
-                owner_avail + l_o +
-                    static_cast<double>(keep_rows) * c_o,
-                peer_avail + l_p +
-                    static_cast<double>(whole.rows - keep_rows) * c_p);
-            if (finish_split >= finish_whole)
-                continue;  // sharing this tail would not help
-
-            partitions[h] =
-                Rect{whole.row0, whole.col0, keep_rows, whole.cols};
-            partitions.push_back(Rect{whole.row0 + keep_rows,
-                                      whole.col0,
-                                      whole.rows - keep_rows,
-                                      whole.cols});
-            pinfos.push_back(pinfos[h]);
-            pinfos.back().region = partitions.back();
-            was_stolen.push_back(true);
-            if (info.reduce != ReduceKind::None)
-                accumulators.emplace_back(info.reduceRows,
-                                          info.reduceCols);
-            queues[s2].push_back(partitions.size() - 1);
-            active[s2] = true;
-            ++remaining;
-            result.devices[eligible[s2]].stolen += 1;
-            return;  // share with one peer per dispatch
-        }
-    };
-
-    while (remaining > 0) {
-        // The earliest-available active device acts next.
-        size_t sl = n_slots;
-        double best = std::numeric_limits<double>::infinity();
-        for (size_t i = 0; i < n_slots; ++i) {
-            if (!active[i])
-                continue;
-            const double t =
-                std::max((*timelines_)[eligible[i]].now(), release);
-            if (t < best) {
-                best = t;
-                sl = i;
-            }
-        }
-        SHMT_ASSERT(sl < n_slots, "work remains but no active device");
-
-        if (queues[sl].empty()) {
-            if (!try_steal(sl)) {
-                active[sl] = false;
-                continue;
-            }
-        }
-
-        const size_t d = eligible[sl];
-        const size_t h = queues[sl].front();
-        queues[sl].pop_front();
-        share_tail(sl, h);
-        const Rect region = partitions[h];
-        const size_t elems = region.size();
-        const devices::Backend &bk = *backends_[d];
-
-        // Data distribution (paper §3.3.2): full-duplex staging
-        // transfer plus, for the Edge TPU, host-side quantization of
-        // the partition. Intermediates this device produced itself in
-        // an earlier VOP of the chain are still device-resident and
-        // need no fresh input transfer.
-        const size_t out_elems = info.reduce == ReduceKind::None
-                                     ? elems
-                                     : info.reduceRows * info.reduceCols;
-        const size_t stage = bk.stagingBytesPerElement();
-        size_t staged_inputs = 0;
-        const uint64_t rkey = rectKey(region);
-        for (const Tensor *t : vop.inputs) {
-            auto it = producers_.find(t);
-            if (it != producers_.end()) {
-                auto rit = it->second.find(rkey);
-                if (rit != it->second.end() && rit->second == d)
-                    continue;  // already resident on this device
-            }
-            ++staged_inputs;
-            // The staged copy stays cached in device memory for the
-            // rest of the chain (until another device overwrites it).
-            producers_[t][rkey] = d;
-        }
-        double prep = 0.0;
-        if (stage > 0 && staged_inputs > 0) {
-            const size_t in_bytes = elems * staged_inputs * stage;
-            const size_t out_bytes = out_elems * stage;
-            prep = costModel_.transferSecondsDuplex(bk.kind(), in_bytes,
-                                                    out_bytes);
-        }
-        if (bk.kind() == sim::DeviceKind::EdgeTpu) {
-            prep += costModel_.quantizeSeconds(
-                elems * staged_inputs + out_elems);
-        }
-        const double compute = costModel_.hlopSeconds(
-            bk.kind(), cost_key, elems,
-            info.costWeight * vop.weight);
-        const double before = (*timelines_)[d].now();
-        const double end =
-            (*timelines_)[d].charge(prep, compute, release);
-
+        result.devices[rec.device].hlops += 1;
         if (trace_) {
+            const devices::Backend &bk = *backends_[rec.device];
             sim::TraceEvent ev;
-            ev.vopIndex = vop_index;
+            ev.vopIndex = plan.vopIndex;
             ev.opcode = vop.opcode;
-            ev.hlopIndex = h;
+            ev.hlopIndex = rec.hlop;
             ev.device = bk.kind();
             ev.deviceName = std::string(bk.name());
-            ev.releaseSec = release;
-            ev.startSec = std::max(before, release);
-            ev.transferSec = prep;
-            ev.computeSec = compute;
-            ev.endSec = end;
-            ev.criticality = pinfos[h].criticality;
-            ev.stolen = was_stolen[h];
+            ev.releaseSec = rec.releaseSec;
+            ev.startSec = rec.startSec;
+            ev.transferSec = rec.prepSec;
+            ev.computeSec = rec.computeSec;
+            ev.endSec = rec.endSec;
+            ev.criticality = pinfos[rec.hlop].criticality;
+            ev.stolen = rec.stolen;
             trace_->record(std::move(ev));
         }
-
-        // Functional execution at the device's native precision,
-        // deferred to the host pool below.
-        if (functional)
-            pending.push_back(PendingHlop{d, h, region});
-        if (info.reduce == ReduceKind::None)
-            producers_[vop.output][rkey] = d;
-
-        result.devices[d].hlops += 1;
-        --remaining;
     }
+    if (dispatchLog_)
+        dispatchLog_->insert(dispatchLog_->end(), outcome.records.begin(),
+                             outcome.records.end());
 
     // --- Functional execution on the host pool. --------------------------
-    if (!pending.empty()) {
-        sim::ScopedWallTimer wt(result.hostWall.execSec);
-        // An in-place VOp (output aliasing an input) is not
-        // partition-independent; keep the legacy dispatch order then.
-        bool in_place = false;
-        for (const Tensor *t : vop.inputs)
-            in_place = in_place || t == vop.output;
-        auto run_one = [&](size_t k) {
-            const PendingHlop &p = pending[k];
-            TensorView out_view =
-                info.reduce != ReduceKind::None
-                    ? accumulators[p.hlop].view()
-                    : regionView(*vop.output, p.region);
-            backends_[p.device]->execute(info, args, p.region, out_view,
-                                         vop_seed);
-        };
-        if (in_place) {
-            for (size_t k = 0; k < pending.size(); ++k)
-                run_one(k);
-        } else {
-            common::ThreadPool::forChunks(
-                0, pending.size(), 1, [&](size_t lo, size_t hi) {
-                    for (size_t k = lo; k < hi; ++k)
-                        run_one(k);
-                });
-        }
+    // Accumulators are sized to the final, post-split partition count.
+    std::vector<Tensor> accumulators;
+    if (info.reduce != ReduceKind::None) {
+        accumulators.reserve(plan.partitions.size());
+        for (size_t i = 0; i < plan.partitions.size(); ++i)
+            accumulators.emplace_back(info.reduceRows, info.reduceCols);
+    }
+    if (functional) {
+        const HlopExecutor executor(backends_);
+        executor.execute(plan, outcome.records, accumulators,
+                         &result.hostWall);
     }
 
     double completion = release;
-    for (size_t i = 0; i < n_dev; ++i)
-        completion = std::max(completion, (*timelines_)[i].now());
+    for (const sim::DeviceTimeline &tl : timelines)
+        completion = std::max(completion, tl.now());
 
     // --- Aggregation and synchronization (paper §3.3.1). -----------------
-    double agg = 0.0;
-    if (info.reduce != ReduceKind::None) {
-        if (functional) {
-            sim::ScopedWallTimer wt(result.hostWall.aggregationSec);
-            TensorView out = vop.output->view();
-            const float init = reduceInit(info.reduce);
-            // Rows split across lanes; each element still folds the
-            // accumulators in partition order (see combineRows).
-            const size_t grain = std::max<size_t>(
-                1, 4096 / std::max<size_t>(1, out.cols()));
-            common::ThreadPool::forChunks(
-                0, out.rows(), grain, [&](size_t r0, size_t r1) {
-                    combineRows(out, accumulators, info.reduce, init,
-                                r0, r1);
-                });
-            if (info.finalize)
-                info.finalize(args, vop.output->view());
-        }
-        agg += static_cast<double>(n * info.reduceRows * info.reduceCols) *
-               cal_.aggregateCostSec;
-    }
-    // Completion-queue processing for every HLOP (splits included).
-    agg += static_cast<double>(partitions.size()) *
-           costModel_.scheduleSeconds();
+    const Aggregator aggregator(cal_, costModel_);
+    if (functional)
+        aggregator.combine(plan, accumulators, &result.hostWall);
+    const double agg = aggregator.cost(plan);
     result.aggregationSec += agg;
-    result.hlopsTotal += partitions.size();
+    result.hlopsTotal += plan.partitions.size();
 
     return completion + agg;
 }
 
 RunResult
 Runtime::run(const VopProgram &program, Policy &policy, bool functional)
+{
+    return run(program, policy, functional, config_.seed);
+}
+
+RunResult
+Runtime::run(const VopProgram &program, Policy &policy, bool functional,
+             uint64_t base_seed)
 {
     RunResult result;
     result.devices.resize(backends_.size());
@@ -619,18 +137,21 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional)
     common::ThreadPool::configureGlobal(config_.hostThreads);
     const double host_t0 = sim::wallSeconds();
 
+    // All run state is local: concurrent runs on distinct programs
+    // never share timelines or producer residency.
     std::vector<sim::DeviceTimeline> timelines;
     timelines.reserve(backends_.size());
     for (const auto &bk : backends_)
         timelines.emplace_back(bk->kind(), config_.doubleBuffering);
-    timelines_ = &timelines;
-    producers_.clear();
+    ProducerMap producers;
 
+    const Planner planner = makePlanner();
     double clock = 0.0;
-    for (size_t i = 0; i < program.ops.size(); ++i)
-        clock = executeVop(program.ops[i], policy, clock, result, i,
-                           functional);
-    timelines_ = nullptr;
+    for (size_t i = 0; i < program.ops.size(); ++i) {
+        VopPlan plan = planner.plan(program.ops[i], i, base_seed);
+        clock = runVop(plan, policy, clock, result, timelines, producers,
+                       functional);
+    }
 
     result.makespanSec = clock;
     for (size_t d = 0; d < backends_.size(); ++d) {
@@ -652,11 +173,30 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional)
     return result;
 }
 
+namespace {
+
+/** Everything to queue slot 0; no sampling, no stealing. The policy
+ *  behind single-device plans (the GPU baseline). */
+class PinnedPolicy final : public Policy
+{
+  public:
+    std::string_view name() const override { return "pinned"; }
+
+    std::vector<size_t>
+    assign(const std::vector<PartitionInfo> &partitions,
+           const std::vector<DeviceInfo> &) const override
+    {
+        return std::vector<size_t>(partitions.size(), 0);
+    }
+
+    bool stealingEnabled() const override { return false; }
+};
+
+} // namespace
+
 RunResult
 Runtime::runGpuBaseline(const VopProgram &program, bool functional)
 {
-    const KernelRegistry &registry = KernelRegistry::instance();
-
     size_t gpu_index = backends_.size();
     for (size_t d = 0; d < backends_.size(); ++d)
         if (backends_[d]->kind() == sim::DeviceKind::Gpu)
@@ -669,53 +209,49 @@ Runtime::runGpuBaseline(const VopProgram &program, bool functional)
     result.devices[0].name = std::string(gpu.name());
     result.devices[0].kind = gpu.kind();
 
-    sim::DeviceTimeline tl(sim::DeviceKind::Gpu, config_.doubleBuffering);
+    common::ThreadPool::configureGlobal(config_.hostThreads);
+
+    // One continuous GPU timeline across the whole program; the other
+    // device entries exist only so record device indices stay physical.
+    std::vector<sim::DeviceTimeline> timelines;
+    timelines.reserve(backends_.size());
+    for (const auto &bk : backends_)
+        timelines.emplace_back(bk->kind(), config_.doubleBuffering);
+
+    const Planner planner = makePlanner();
+    const DispatchSim dispatch(backends_, costModel_,
+                               /*steal_splitting=*/false);
+    const HlopExecutor executor(backends_);
+    const Aggregator aggregator(cal_, costModel_);
+    PinnedPolicy pinned;
+
     for (size_t i = 0; i < program.ops.size(); ++i) {
-        const VOp &vop = program.ops[i];
-        const KernelInfo &info = registry.get(vop.opcode);
-        checkVop(vop, info);
-        const auto [rows, cols] = vopBasis(vop, info);
-        const Rect whole{0, 0, rows, cols};
-
-        const size_t stage = gpu.stagingBytesPerElement();
-        const size_t out_elems =
-            info.reduce == ReduceKind::None
-                ? whole.size()
-                : info.reduceRows * info.reduceCols;
-        const double prep = costModel_.transferSecondsDuplex(
-            gpu.kind(), whole.size() * vop.inputs.size() * stage,
-            out_elems * stage);
-        const std::string_view cost_key =
-            vop.costKeyOverride.empty() ? std::string_view(info.costKey)
-                                        : vop.costKeyOverride;
-        const double compute = costModel_.baselineSeconds(
-            cost_key, whole.size(), info.costWeight * vop.weight);
-        tl.charge(prep, compute);
-
+        VopPlan plan = planner.planSingleDevice(program.ops[i], i,
+                                                gpu_index);
+        std::vector<PartitionInfo> pinfos(1);
+        pinfos[0].region = plan.partitions[0];
+        // A null producer map: the baseline stages every input every
+        // time (no residency tracking, exactly the paper's baseline).
+        DispatchOutcome outcome = dispatch.run(
+            plan, pinfos, pinned, /*release=*/0.0, timelines,
+            /*producers=*/nullptr, DispatchSim::Costing::Baseline);
         if (functional) {
-            KernelArgs args;
-            for (const Tensor *t : vop.inputs)
-                args.inputs.push_back(t->view());
-            args.scalars = vop.scalars;
-            args.hostSimd =
-                config_.hostSimd == RuntimeConfig::SimdMode::Auto;
-            if (info.reduce != ReduceKind::None) {
-                Tensor acc(info.reduceRows, info.reduceCols);
-                gpu.execute(info, args, whole, acc.view(),
-                            config_.seed);
-                vop.output->view().fill(reduceInit(info.reduce));
-                combineInto(vop.output->view(), acc.view(),
-                            info.reduce);
-                if (info.finalize)
-                    info.finalize(args, vop.output->view());
-            } else {
-                gpu.execute(info, args, whole, vop.output->view(),
-                            config_.seed);
-            }
+            std::vector<Tensor> accumulators;
+            if (plan.reduce() != ReduceKind::None)
+                accumulators.emplace_back(plan.info->reduceRows,
+                                          plan.info->reduceCols);
+            executor.execute(plan, outcome.records, accumulators,
+                             /*wall=*/nullptr);
+            aggregator.combine(plan, accumulators, /*wall=*/nullptr);
         }
+        if (dispatchLog_)
+            dispatchLog_->insert(dispatchLog_->end(),
+                                 outcome.records.begin(),
+                                 outcome.records.end());
         result.hlopsTotal += 1;
     }
 
+    const sim::DeviceTimeline &tl = timelines[gpu_index];
     result.makespanSec = tl.now();
     result.devices[0].busySec = tl.busySeconds();
     result.devices[0].computeSec = tl.computeSeconds();

@@ -3,28 +3,34 @@
  * The SHMT runtime system (paper §3.3): the "driver" of the virtual
  * hardware device.
  *
- * For each VOp it (1) partitions the dataset into HLOPs per the VOP's
- * parallelization model, (2) optionally samples partitions for the
- * scheduling policy, (3) enqueues HLOPs onto per-device incoming
- * queues, (4) plays the execution forward on the simulated device
- * timelines — executing every HLOP *functionally* on its backend so
- * result quality is real — with work stealing when a device's queue
- * runs dry, and (5) aggregates partition outputs (including reduction
- * combines) back into shared memory.
+ * The driver is a thin composition of the staged execution pipeline
+ * (see DESIGN.md "Execution pipeline layers"): for each VOp the
+ * Planner derives a VopPlan (partitions, eligible devices, kernel
+ * arguments, seed), the SamplingEngine prices criticality sampling,
+ * the DispatchSim plays queueing/stealing/tail-splitting forward on
+ * the simulated device timelines and emits an ordered DispatchRecord
+ * journal, the HlopExecutor runs the recorded HLOP bodies on the host
+ * pool — so result quality is real — and the Aggregator folds
+ * reduction partials back into shared memory and prices the sync.
  *
  * Timing is fully deterministic: device clocks come from the
  * calibrated CostModel, data movement from the Interconnect model
- * with double buffering, and energy from the PowerModel.
+ * with double buffering, and energy from the PowerModel. All run
+ * state (timelines, producer-residency) is local to each run() call,
+ * so one Runtime may serve concurrent runs on distinct programs (the
+ * Session layer relies on this).
  */
 
 #ifndef SHMT_CORE_RUNTIME_HH
 #define SHMT_CORE_RUNTIME_HH
 
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "core/dispatch_sim.hh"
+#include "core/plan.hh"
 #include "core/policy.hh"
+#include "core/run_types.hh"
 #include "core/vop.hh"
 #include "devices/backend.hh"
 #include "sim/cost_model.hh"
@@ -35,98 +41,6 @@
 #include "sim/wallclock.hh"
 
 namespace shmt::core {
-
-/** Runtime tuning knobs. */
-struct RuntimeConfig
-{
-    /** Target number of HLOPs per VOp (queue depth for stealing). */
-    size_t targetHlops = 64;
-    /** Overlap transfers with the previous HLOP's compute. */
-    bool doubleBuffering = true;
-    /** Seed for deterministic sampling / NPU noise. */
-    uint64_t seed = 42;
-    /**
-     * Allow a thief to *split* the victim's last pending HLOP instead
-     * of leaving one device with all of the tail work (paper §3.4:
-     * "the runtime system may need to further fuse or partition
-     * HLOPs" when granularities mismatch). Off by default; the
-     * ablation bench quantifies its tail-latency benefit.
-     */
-    bool stealSplitting = false;
-    /**
-     * Host execution lanes for the functional work (HLOP bodies,
-     * criticality sampling, INT8 staging, aggregation combines):
-     * 0 = one per hardware thread, 1 = the legacy serial path, N =
-     * exactly N lanes on the shared work-stealing pool. Purely a host
-     * wall-clock knob — the simulated timing and the numerics are
-     * bit-identical for every value (per-partition seed derivation
-     * and partition-ordered reductions guarantee it).
-     */
-    size_t hostThreads = 0;
-
-    /** Host SIMD kernel selection (see KernelInfo::simdFunc). */
-    enum class SimdMode : uint8_t {
-        Off,    //!< scalar reference kernels and staging everywhere
-        Auto,   //!< vectorized implementations where registered
-    };
-    /**
-     * Whether the host runs the vectorized kernel bodies and staging
-     * passes (`shmtbench --host-simd=off|auto`). Off reproduces the
-     * scalar reference bit-exactly; Auto is bit-identical too for
-     * every kernel declaring KernelInfo::bitIdentical and ULP-bounded
-     * for the polynomial ones (exp/log/tanh/ncdf, blackscholes,
-     * reduce_sum).
-     */
-    SimdMode hostSimd = SimdMode::Auto;
-};
-
-/** Per-device execution statistics of one run. */
-struct DeviceStats
-{
-    std::string name;
-    sim::DeviceKind kind = sim::DeviceKind::Gpu;
-    size_t hlops = 0;        //!< HLOPs executed
-    size_t stolen = 0;       //!< HLOPs obtained by stealing
-    double busySec = 0.0;    //!< compute + transfer stalls
-    double computeSec = 0.0;
-    double stallSec = 0.0;   //!< non-overlapped transfer time
-    double transferSec = 0.0; //!< total wire time (incl. overlapped)
-};
-
-/** Result of executing a program. */
-struct RunResult
-{
-    double makespanSec = 0.0;     //!< end-to-end simulated latency
-    double schedulingSec = 0.0;   //!< CPU-side sampling + decisions
-    double aggregationSec = 0.0;  //!< CPU-side combines / sync
-    size_t hlopsTotal = 0;
-    std::vector<DeviceStats> devices;
-    sim::EnergyReport energy;
-    /**
-     * Host wall-clock cost of this run by phase (sampling, functional
-     * HLOP execution, aggregation). Unlike every field above this is
-     * measured real time, not simulated time: it is what the parallel
-     * host engine (`RuntimeConfig::hostThreads`) shrinks.
-     */
-    sim::HostPhaseStats hostWall;
-
-    /** Fraction of busy time spent stalled on data exchange
-     *  (paper Table 3). */
-    double commOverhead() const;
-};
-
-/** Memory-footprint estimate of one program (paper Fig. 11). */
-struct MemoryReport
-{
-    size_t hostBytes = 0;        //!< shared-memory tensors
-    size_t gpuScratchBytes = 0;  //!< GPU working buffers
-    size_t tpuStageBytes = 0;    //!< INT8 staging + model buffers
-    size_t
-    totalBytes() const
-    {
-        return hostBytes + gpuScratchBytes + tpuStageBytes;
-    }
-};
 
 /** The virtual-device driver. */
 class Runtime
@@ -147,14 +61,19 @@ class Runtime
      * and the simulated clocks all behave identically, but the HLOP
      * bodies are not evaluated (outputs are left untouched) — used by
      * the speedup benches to reach the paper's 8192^2 problem sizes.
+     * @p base_seed replaces the config seed as the per-VOp seed-mixing
+     * base (the Session layer derives per-program seeds from it).
      */
     RunResult run(const VopProgram &program, Policy &policy,
                   bool functional = true);
+    RunResult run(const VopProgram &program, Policy &policy,
+                  bool functional, uint64_t base_seed);
 
     /**
      * Execute @p program unpartitioned on the GPU only: the paper's
      * baseline (one optimized kernel invocation per VOp, no SHMT
-     * runtime involvement).
+     * runtime involvement). Internally a degenerate one-device plan
+     * through the same pipeline stages as run().
      */
     RunResult runGpuBaseline(const VopProgram &program,
                              bool functional = true);
@@ -173,39 +92,46 @@ class Runtime
      */
     void attachTrace(sim::ExecutionTrace *trace) { trace_ = trace; }
 
+    /**
+     * Attach a dispatch journal: subsequent runs append every
+     * DispatchRecord (Exec and Steal, in simulation order) so tests
+     * can replay the schedule (see replayDispatch). Pass nullptr to
+     * detach.
+     */
+    void
+    attachDispatchLog(std::vector<DispatchRecord> *log)
+    {
+        dispatchLog_ = log;
+    }
+
+    /** A Planner over this runtime's devices and configuration. */
+    Planner makePlanner() const { return Planner(backends_, config_, cal_); }
+
     const sim::CostModel &costModel() const { return costModel_; }
     const RuntimeConfig &config() const { return config_; }
     size_t deviceCount() const { return backends_.size(); }
     const devices::Backend &backend(size_t i) const { return *backends_[i]; }
 
   private:
-    /** Partition the VOP's basis (rows x cols) into HLOP regions. */
-    std::vector<Rect> partitionVop(const kernels::KernelInfo &info,
-                                   size_t rows, size_t cols) const;
-
-    /** Execute one VOp starting at @p start seconds; returns its
-     *  completion time and accumulates stats. */
-    double executeVop(const VOp &vop, Policy &policy, double start,
-                      RunResult &result, size_t vop_index,
-                      bool functional);
+    /**
+     * Run one planned VOp through sampling -> dispatch -> execution ->
+     * aggregation starting at @p start seconds; returns its completion
+     * time and accumulates stats into @p result.
+     */
+    double runVop(VopPlan &plan, Policy &policy, double start,
+                  RunResult &result,
+                  std::vector<sim::DeviceTimeline> &timelines,
+                  ProducerMap &producers, bool functional);
 
     std::vector<std::unique_ptr<devices::Backend>> backends_;
     const sim::PlatformCalibration &cal_;
     sim::CostModel costModel_;
     RuntimeConfig config_;
-    /** Per-device timelines of the run in progress (set by run()). */
-    std::vector<sim::DeviceTimeline> *timelines_ = nullptr;
 
     /** Optional trace sink (not owned). */
     sim::ExecutionTrace *trace_ = nullptr;
-
-    /**
-     * Which device produced each partition of each intermediate
-     * tensor during the current run (tensor -> partition key ->
-     * device index): inputs still resident on their producer skip the
-     * staging transfer.
-     */
-    std::map<const Tensor *, std::map<uint64_t, size_t>> producers_;
+    /** Optional dispatch-record sink (not owned). */
+    std::vector<DispatchRecord> *dispatchLog_ = nullptr;
 };
 
 } // namespace shmt::core

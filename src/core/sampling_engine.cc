@@ -1,0 +1,59 @@
+#include "sampling_engine.hh"
+
+#include "core/sampling.hh"
+
+namespace shmt::core {
+
+double
+SamplingEngine::charge(const VopPlan &plan, const Policy &policy,
+                       double start, std::vector<PartitionInfo> &pinfos,
+                       sim::HostPhaseStats *wall) const
+{
+    const size_t n = plan.partitions.size();
+    double cpu_clock = start;
+    pinfos.assign(n, PartitionInfo{});
+
+    const VOp &vop = *plan.vop;
+    const bool can_sample = !vop.inputs.empty() &&
+                            vop.inputs[0]->rows() == plan.rows &&
+                            vop.inputs[0]->cols() == plan.cols;
+    if (auto spec = policy.sampling(); spec && can_sample) {
+        // Algorithms 3-5 are independent per partition, so the stats
+        // are gathered in parallel on the host pool (each partition
+        // derives its own seed); the simulated cost is then charged
+        // serially in partition order, exactly as the serial loop did.
+        std::vector<SampleStats> stats;
+        {
+            double discard = 0.0;
+            sim::ScopedWallTimer wt(wall ? wall->samplingSec : discard);
+            stats = samplePartitions(vop.inputs[0]->view(),
+                                     plan.partitions, *spec, plan.seed);
+        }
+        for (size_t i = 0; i < n; ++i) {
+            pinfos[i].criticality = criticalityScore(stats[i]);
+            if (policy.chargesSamplingCost()) {
+                switch (spec->method) {
+                  case SamplingMethod::Reduction:
+                    cpu_clock += cost_->reductionSampleSeconds(
+                        stats[i].visited);
+                    break;
+                  case SamplingMethod::Exact:
+                    cpu_clock +=
+                        cost_->fullScanSeconds(stats[i].visited);
+                    break;
+                  default:
+                    cpu_clock += cost_->sampleSeconds(stats[i].visited);
+                }
+            }
+            if (policy.runsCanary())
+                cpu_clock += cost_->canarySeconds(
+                    plan.costKey, plan.partitions[i].size());
+        }
+    }
+    for (size_t i = 0; i < n; ++i)
+        pinfos[i].region = plan.partitions[i];
+    cpu_clock += static_cast<double>(n) * cost_->scheduleSeconds();
+    return cpu_clock;
+}
+
+} // namespace shmt::core

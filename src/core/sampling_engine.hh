@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Stage 2 of the staged VOp execution pipeline: criticality sampling.
+ *
+ * Turns a VopPlan plus the policy's SamplingSpec into per-partition
+ * criticalities (paper §3.5, Algorithms 3-5) and charges the
+ * simulated CPU cost of gathering them. The statistics are computed
+ * in parallel on the shared host pool (each partition derives its own
+ * seed stream from the plan seed), but the simulated cost is charged
+ * serially in partition order — exactly the arithmetic sequence of
+ * the historical monolithic loop, which is what keeps schedulingSec
+ * bit-identical across host thread counts.
+ */
+
+#ifndef SHMT_CORE_SAMPLING_ENGINE_HH
+#define SHMT_CORE_SAMPLING_ENGINE_HH
+
+#include <vector>
+
+#include "core/plan.hh"
+#include "core/policy.hh"
+#include "sim/cost_model.hh"
+#include "sim/wallclock.hh"
+
+namespace shmt::core {
+
+/** Samples plans and charges the scheduler's simulated time. */
+class SamplingEngine
+{
+  public:
+    explicit SamplingEngine(const sim::CostModel &cost) : cost_(&cost) {}
+
+    /**
+     * Fill @p pinfos (criticality + region per partition of @p plan)
+     * under @p policy, charging sampling/canary/scheduling cost on top
+     * of @p start. Returns the advanced CPU clock; the caller accounts
+     * the difference as schedulingSec. @p wall, when non-null,
+     * accumulates the host wall-clock spent gathering samples.
+     */
+    double charge(const VopPlan &plan, const Policy &policy, double start,
+                  std::vector<PartitionInfo> &pinfos,
+                  sim::HostPhaseStats *wall) const;
+
+  private:
+    const sim::CostModel *cost_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_SAMPLING_ENGINE_HH

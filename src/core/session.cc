@@ -1,0 +1,110 @@
+#include "session.hh"
+
+#include "common/logging.hh"
+
+namespace shmt::core {
+
+Session::Session(Runtime &runtime) : runtime_(&runtime)
+{
+    driver_ = std::thread([this] { driverLoop(); });
+}
+
+Session::~Session()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    driver_.join();
+}
+
+std::future<RunResult>
+Session::submit(Submission submission)
+{
+    SHMT_ASSERT(submission.policy, "submission without a policy");
+    Pending pending;
+    pending.submission = std::move(submission);
+    std::future<RunResult> future = pending.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        SHMT_ASSERT(!stopping_, "submit on a stopping session");
+        queue_.push_back(std::move(pending));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+std::future<RunResult>
+Session::submit(VopProgram program, std::unique_ptr<Policy> policy,
+                bool functional, std::optional<uint64_t> seed)
+{
+    Submission s;
+    s.program = std::move(program);
+    s.policy = std::move(policy);
+    s.functional = functional;
+    s.seed = seed;
+    return submit(std::move(s));
+}
+
+void
+Session::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+size_t
+Session::executedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return executed_;
+}
+
+void
+Session::driverLoop()
+{
+    for (;;) {
+        Pending pending;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping and drained
+            pending = std::move(queue_.front());
+            queue_.pop_front();
+            busy_ = true;
+        }
+
+        // Execute outside the lock: the run's forChunks bodies park on
+        // the shared pool, and nesting under a held mutex deadlocks.
+        const Submission &s = pending.submission;
+        const uint64_t seed =
+            s.seed.value_or(runtime_->config().seed);
+        RunResult result;
+        std::exception_ptr error;
+        try {
+            result = runtime_->run(s.program, *s.policy, s.functional,
+                                   seed);
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        // Book-keep before fulfilling the promise so a client woken by
+        // its future already observes the program in executedCount().
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            busy_ = false;
+            ++executed_;
+            if (queue_.empty())
+                idleCv_.notify_all();
+        }
+        if (error)
+            pending.promise.set_exception(error);
+        else
+            pending.promise.set_value(std::move(result));
+    }
+}
+
+} // namespace shmt::core

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Concurrent program-submission session (the "driver process" view of
+ * paper §3.3): N client threads enqueue VopPrograms against one
+ * persistent virtual device; a driver thread executes them FIFO in
+ * arrival order through the shared Runtime and host thread pool.
+ *
+ * Isolation and determinism guarantees:
+ *
+ *  - Every program gets its own simulated timelines and its own
+ *    producer-residency map (Runtime::run keeps all run state local),
+ *    so concurrent clients never perturb each other's simulated
+ *    timing or numerics.
+ *  - Every program's VOp seeds derive from a per-program base seed
+ *    (the runtime config seed unless the submission overrides it), so
+ *    a program's results are a pure function of (program, policy,
+ *    seed) — byte-identical to a standalone Runtime::run call, no
+ *    matter how many clients race on the submission queue.
+ *  - Results are delivered through std::future in submission (FIFO)
+ *    order of execution.
+ *
+ * The submission queue is the only shared mutable state and is
+ * mutex-protected; the functional work inside each run still fans out
+ * over the shared host ThreadPool. Note the driver must never hold
+ * the session mutex while running a program — the program's forChunks
+ * bodies park on the pool, and nesting under a held lock deadlocks.
+ */
+
+#ifndef SHMT_CORE_SESSION_HH
+#define SHMT_CORE_SESSION_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "core/vop.hh"
+
+namespace shmt::core {
+
+/** Persistent submission queue over one Runtime. */
+class Session
+{
+  public:
+    /** One enqueued program awaiting execution. */
+    struct Submission
+    {
+        VopProgram program;
+        std::unique_ptr<Policy> policy;
+        bool functional = true;
+        /** Per-program seed base; nullopt = the runtime config seed. */
+        std::optional<uint64_t> seed;
+    };
+
+    /** Starts the driver thread over @p runtime (not owned; must
+     *  outlive the session). */
+    explicit Session(Runtime &runtime);
+
+    /** Drains the queue (every accepted submission still executes),
+     *  then joins the driver. */
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * Enqueue @p submission; safe from any thread. The returned
+     * future yields the program's RunResult once the driver has
+     * executed it (programs run FIFO in arrival order). The program's
+     * tensors are owned by the caller and must stay alive until the
+     * future resolves.
+     */
+    std::future<RunResult> submit(Submission submission);
+
+    /** Convenience overload building the Submission inline. */
+    std::future<RunResult>
+    submit(VopProgram program, std::unique_ptr<Policy> policy,
+           bool functional = true,
+           std::optional<uint64_t> seed = std::nullopt);
+
+    /** Block until every submission accepted so far has executed. */
+    void drain();
+
+    /** Programs executed since construction. */
+    size_t executedCount() const;
+
+  private:
+    struct Pending
+    {
+        Submission submission;
+        std::promise<RunResult> promise;
+    };
+
+    void driverLoop();
+
+    Runtime *runtime_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;       //!< wakes the driver
+    std::condition_variable idleCv_;   //!< wakes drain()
+    std::deque<Pending> queue_;
+    bool stopping_ = false;
+    bool busy_ = false;                //!< driver mid-program
+    size_t executed_ = 0;
+    std::thread driver_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_SESSION_HH

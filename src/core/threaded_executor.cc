@@ -3,19 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <thread>
 
-#include "common/math_utils.hh"
-#include "common/random.hh"
 #include "common/thread_pool.hh"
-#include "kernels/kernel_registry.hh"
+#include "core/sampling.hh"
 
 namespace shmt::core {
 
-using kernels::KernelArgs;
 using kernels::KernelInfo;
-using kernels::KernelRegistry;
 using kernels::ReduceKind;
 
 namespace {
@@ -81,7 +78,6 @@ ThreadedResult
 runThreaded(const Runtime &runtime, const VopProgram &program,
             Policy &policy)
 {
-    const KernelRegistry &registry = KernelRegistry::instance();
     const size_t n_dev = runtime.deviceCount();
 
     ThreadedResult result;
@@ -91,85 +87,43 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
     // knob as the discrete-event engine.
     common::ThreadPool::configureGlobal(runtime.config().hostThreads);
 
-    std::vector<DeviceInfo> dev_infos(n_dev);
-    for (size_t d = 0; d < n_dev; ++d) {
-        dev_infos[d].index = d;
-        dev_infos[d].kind = runtime.backend(d).kind();
-        dev_infos[d].dtype = runtime.backend(d).nativeDtype();
-    }
+    // Plans come from the same Planner as the discrete-event engine:
+    // identical partition geometry, eligibility, kernel arguments and
+    // per-VOp seeds — the executor only swaps simulated queues for
+    // real worker threads.
+    const Planner planner = runtime.makePlanner();
 
     const auto t0 = std::chrono::steady_clock::now();
     for (size_t vi = 0; vi < program.ops.size(); ++vi) {
         const VOp &vop = program.ops[vi];
-        const KernelInfo &info = registry.get(vop.opcode);
-
-        // Devices whose driver registered this opcode (paper §3.3).
-        std::vector<size_t> eligible;
-        for (size_t d = 0; d < n_dev; ++d)
-            if (runtime.backend(d).supports(info))
-                eligible.push_back(d);
-        if (eligible.empty())
-            SHMT_FATAL("no device supports opcode '", vop.opcode, "'");
-        const size_t n_slots = eligible.size();
-        std::vector<DeviceInfo> slot_infos(n_slots);
-        for (size_t sl = 0; sl < n_slots; ++sl) {
-            slot_infos[sl].index = sl;
-            slot_infos[sl].kind = dev_infos[eligible[sl]].kind;
-            slot_infos[sl].dtype = dev_infos[eligible[sl]].dtype;
-        }
-        const size_t rows = info.reduce != ReduceKind::None
-                                ? vop.inputs[0]->rows()
-                                : vop.output->rows();
-        const size_t cols = info.reduce != ReduceKind::None
-                                ? vop.inputs[0]->cols()
-                                : vop.output->cols();
-
-        // Partition (same geometry as the discrete-event runtime).
-        std::vector<Rect> regions;
-        if (info.model == ParallelModel::Vector) {
-            const size_t count = choosePartitionCount(
-                rows, cols, runtime.config().targetHlops,
-                runtime.config().targetHlops);
-            regions = vectorPartitions(rows, cols, count);
-        } else {
-            const size_t k = std::max<size_t>(
-                1, static_cast<size_t>(std::sqrt(static_cast<double>(
-                       runtime.config().targetHlops))));
-            const size_t align = std::max<size_t>(1, info.blockAlign);
-            const size_t tr =
-                std::max(roundUp(ceilDiv(rows, k), align), align);
-            const size_t tc =
-                std::max(roundUp(ceilDiv(cols, k), align), align);
-            regions = tilePartitions(rows, cols, tr, tc);
-        }
+        VopPlan plan = planner.plan(vop, vi);
+        const KernelInfo &info = *plan.info;
+        const std::vector<Rect> &regions = plan.partitions;
+        const size_t n_slots = plan.eligible.size();
 
         // Sampling + assignment (sampled in parallel on the shared
         // host pool; per-region seeds keep the scores identical to
         // the serial loop).
         std::vector<PartitionInfo> pinfos(regions.size());
-        const bool can_sample = vop.inputs[0]->rows() == rows &&
-                                vop.inputs[0]->cols() == cols;
+        const bool can_sample = vop.inputs[0]->rows() == plan.rows &&
+                                vop.inputs[0]->cols() == plan.cols;
         if (auto spec = policy.sampling(); spec && can_sample) {
-            const auto stats =
-                samplePartitions(vop.inputs[0]->view(), regions, *spec,
-                                 runtime.config().seed);
+            const auto stats = samplePartitions(vop.inputs[0]->view(),
+                                                regions, *spec, plan.seed);
             for (size_t i = 0; i < regions.size(); ++i)
                 pinfos[i].criticality = criticalityScore(stats[i]);
         }
         for (size_t i = 0; i < regions.size(); ++i)
             pinfos[i].region = regions[i];
 
-        const std::string_view cost_key =
-            vop.costKeyOverride.empty() ? std::string_view(info.costKey)
-                                        : vop.costKeyOverride;
-        policy.beginVop(VopContext{cost_key, &runtime.costModel(),
-                                   info.costWeight * vop.weight});
-        const auto assignment = policy.assign(pinfos, slot_infos);
+        policy.beginVop(VopContext{plan.costKey, &runtime.costModel(),
+                                   plan.costWeight});
+        const auto assignment = policy.assign(pinfos, plan.slotInfos);
 
         VopState state;
         state.queues.resize(n_slots);
         state.partitions = &pinfos;
-        state.devices = &slot_infos;
+        state.devices = &plan.slotInfos;
         state.policy = &policy;
         for (size_t i = 0; i < assignment.size(); ++i)
             state.queues[assignment[i]].push_back(i);
@@ -181,19 +135,6 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
                 accumulators.emplace_back(info.reduceRows,
                                           info.reduceCols);
         }
-
-        KernelArgs args;
-        for (const Tensor *t : vop.inputs)
-            args.inputs.push_back(t->view());
-        args.scalars = vop.scalars;
-        args.hostSimd = runtime.config().hostSimd ==
-                        RuntimeConfig::SimdMode::Auto;
-        if (const auto *rec =
-                runtime.costModel().calibration().find(cost_key))
-            args.npuNoiseOverride = rec->npuNoise;
-        for (const Tensor *t : vop.inputs)
-            args.npuInputQuant.push_back(
-                chooseQuantParams(t->view(), args.hostSimd));
 
         // One worker per eligible device drains queues concurrently.
         std::vector<std::atomic<size_t>> counts(n_slots);
@@ -207,9 +148,9 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
                         info.reduce != ReduceKind::None
                             ? accumulators[h].view()
                             : regionView(*vop.output, regions[h]);
-                    runtime.backend(eligible[sl]).execute(
-                        info, args, regions[h], out,
-                        runtime.config().seed ^ hashMix(vi + 1));
+                    runtime.backend(plan.eligible[sl])
+                        .execute(info, plan.args, regions[h], out,
+                                 plan.seed);
                     counts[sl].fetch_add(1, std::memory_order_relaxed);
                 }
             });
@@ -243,11 +184,11 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
                 }
             }
             if (info.finalize)
-                info.finalize(args, out);
+                info.finalize(plan.args, out);
         }
 
         for (size_t sl = 0; sl < n_slots; ++sl)
-            result.hlopsPerDevice[eligible[sl]] +=
+            result.hlopsPerDevice[plan.eligible[sl]] +=
                 counts[sl].load(std::memory_order_relaxed);
         result.hlopsTotal += regions.size();
     }

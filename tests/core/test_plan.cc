@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Planner / VopPlan unit tests, including the rectKey regression.
+ *
+ * The producer-residency map keys partition rectangles by rectKey.
+ * The original hash packed with overlapping shifted XORs
+ * (row0<<32 ^ col0 ^ rows<<48 ^ cols<<16), so once any dimension
+ * reached 2^16 two distinct rectangles could collide and silently
+ * corrupt residency tracking. The replacement is a collision-free
+ * 4x16-bit pack guarded by a range assert; these tests pin both the
+ * injectivity and the guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/plan.hh"
+
+namespace shmt::core {
+namespace {
+
+/** The pre-refactor hash, reproduced verbatim for the regression. */
+uint64_t
+legacyRectKey(const Rect &r)
+{
+    return (static_cast<uint64_t>(r.row0) << 32) ^ r.col0 ^
+           (static_cast<uint64_t>(r.rows) << 48) ^
+           (static_cast<uint64_t>(r.cols) << 16);
+}
+
+TEST(RectKey, LegacyHashCollidesOnceADimensionReaches64k)
+{
+    // cols >= 2^16 spills cols<<16 into the row0<<32 field: these two
+    // distinct rectangles hashed identically under the old scheme.
+    const Rect a{1, 0, 2, 3};
+    const Rect b{0, 0, 2, 0x10003};
+    ASSERT_EQ(legacyRectKey(a), legacyRectKey(b));
+
+    // The new key rejects the out-of-range rectangle outright instead
+    // of aliasing it onto a's residency entry.
+    EXPECT_EQ(rectKey(a),
+              (uint64_t{1} << 48) | (uint64_t{2} << 32) | uint64_t{3});
+    EXPECT_DEATH(rectKey(b), "2\\^16");
+}
+
+TEST(RectKey, SixtyFourKRowPlansAreRejectedNotCorrupted)
+{
+    // The ISSUE's failure mode: 65536-row plans. row0=2^16 shifts into
+    // the rows<<48 lane, so a 1-row rect at row 2^16 and a 2-row rect
+    // at row 2^17 produced the same residency key; now every
+    // over-range coordinate refuses instead of silently aliasing.
+    const Rect a{0x10000, 5, 1, 1};
+    const Rect b{0x20000, 5, 2, 1};
+    ASSERT_EQ(legacyRectKey(a), legacyRectKey(b));
+    EXPECT_DEATH(rectKey(a), "2\\^16");
+    EXPECT_DEATH(rectKey(b), "2\\^16");
+    EXPECT_DEATH(rectKey(Rect{0, 0x10000, 1, 1}), "2\\^16");
+    EXPECT_DEATH(rectKey(Rect{0, 0, 0x10000, 1}), "2\\^16");
+    EXPECT_DEATH(rectKey(Rect{0, 0, 1, 0x10000}), "2\\^16");
+}
+
+TEST(RectKey, InRangeKeysAreInjective)
+{
+    // Each field owns a disjoint 16-bit lane, so perturbing any single
+    // coordinate (including across old XOR-overlap boundaries) yields
+    // a distinct key.
+    const Rect rects[] = {
+        {0, 0, 1, 1},     {1, 0, 1, 1},     {0, 1, 1, 1},
+        {0, 0, 2, 1},     {0, 0, 1, 2},     {1, 1, 1, 1},
+        {0xffff, 0, 1, 1}, {0, 0xffff, 1, 1}, {0, 0, 0xffff, 1},
+        {0, 0, 1, 0xffff}, {0xffff, 0xffff, 0xffff, 0xffff},
+        {8191, 8191, 8192, 8192},
+    };
+    std::set<uint64_t> keys;
+    for (const Rect &r : rects)
+        EXPECT_TRUE(keys.insert(rectKey(r)).second)
+            << "collision at rect " << r.row0 << "," << r.col0 << " "
+            << r.rows << "x" << r.cols;
+}
+
+} // namespace
+} // namespace shmt::core

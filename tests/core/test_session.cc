@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Session-layer regression tests.
+ *
+ * The Session contract is that the submission queue is invisible in
+ * the results: a program executed through a Session is a pure function
+ * of (program, policy, seed) — byte-identical output tensors and
+ * bit-identical simulated timing versus a standalone Runtime::run
+ * call, no matter how many clients race on the queue or how the host
+ * pool is sized. These tests pin that contract across the benchmark x
+ * policy x hostThreads matrix, plus the stage-level guarantee that a
+ * DispatchRecord journal alone replays into the exact DeviceStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "core/dispatch_sim.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "core/session.hh"
+
+namespace shmt::core {
+namespace {
+
+using apps::makeBenchmark;
+using apps::makePrototypeRuntime;
+
+/** Copy @p t's payload row-by-row (respects the view stride). */
+std::vector<float>
+tensorBytes(const Tensor &t)
+{
+    const ConstTensorView v = t.view();
+    std::vector<float> out(v.size());
+    for (size_t row = 0; row < v.rows(); ++row)
+        std::memcpy(out.data() + row * v.cols(), v.row(row),
+                    v.cols() * sizeof(float));
+    return out;
+}
+
+/** The legacy path: a fresh runtime, one direct run() call. */
+RunResult
+runLegacy(const std::string &bench_name, const std::string &policy_name,
+          size_t host_threads, std::vector<float> &out)
+{
+    RuntimeConfig cfg;
+    cfg.hostThreads = host_threads;
+    auto rt = makePrototypeRuntime(cfg);
+    auto bench = makeBenchmark(bench_name, 256, 256);
+    auto policy = makePolicy(policy_name);
+    const RunResult r = rt.run(bench->program(), *policy);
+    out = tensorBytes(bench->output());
+    return r;
+}
+
+/** The same program through a Session's submission queue. */
+RunResult
+runViaSession(const std::string &bench_name,
+              const std::string &policy_name, size_t host_threads,
+              std::vector<float> &out)
+{
+    RuntimeConfig cfg;
+    cfg.hostThreads = host_threads;
+    auto rt = makePrototypeRuntime(cfg);
+    auto bench = makeBenchmark(bench_name, 256, 256);
+    Session session(rt);
+    std::future<RunResult> future =
+        session.submit(bench->program(), makePolicy(policy_name));
+    const RunResult r = future.get();
+    out = tensorBytes(bench->output());
+    return r;
+}
+
+/** Simulated timing and outputs must agree to the bit. */
+void
+expectIdentical(const RunResult &legacy, const RunResult &session,
+                const std::vector<float> &legacy_out,
+                const std::vector<float> &session_out,
+                const std::string &what)
+{
+    EXPECT_EQ(legacy.makespanSec, session.makespanSec) << what;
+    EXPECT_EQ(legacy.schedulingSec, session.schedulingSec) << what;
+    EXPECT_EQ(legacy.aggregationSec, session.aggregationSec) << what;
+    EXPECT_EQ(legacy.hlopsTotal, session.hlopsTotal) << what;
+    ASSERT_EQ(legacy.devices.size(), session.devices.size()) << what;
+    for (size_t d = 0; d < legacy.devices.size(); ++d) {
+        EXPECT_EQ(legacy.devices[d].hlops, session.devices[d].hlops)
+            << what << " device " << d;
+        EXPECT_EQ(legacy.devices[d].busySec, session.devices[d].busySec)
+            << what << " device " << d;
+    }
+    ASSERT_EQ(legacy_out.size(), session_out.size()) << what;
+    EXPECT_EQ(std::memcmp(legacy_out.data(), session_out.data(),
+                          legacy_out.size() * sizeof(float)),
+              0)
+        << what;
+}
+
+TEST(Session, MatchesSequentialRunsAcrossTheMatrix)
+{
+    // Every benchmark x {even, work-stealing, qaws-ts} x hostThreads
+    // {1 (serial), 0 (hardware default)}.
+    for (const auto &bench_name : apps::benchmarkNames()) {
+        for (const char *policy_name :
+             {"even", "work-stealing", "qaws-ts"}) {
+            for (size_t host_threads : {size_t{1}, size_t{0}}) {
+                std::vector<float> legacy_out, session_out;
+                const RunResult legacy = runLegacy(
+                    bench_name, policy_name, host_threads, legacy_out);
+                const RunResult session = runViaSession(
+                    bench_name, policy_name, host_threads, session_out);
+                expectIdentical(legacy, session, legacy_out, session_out,
+                                bench_name + "/" + policy_name +
+                                    "/threads=" +
+                                    std::to_string(host_threads));
+            }
+        }
+    }
+}
+
+TEST(Session, ConcurrentSubmittersGetIsolatedIdenticalResults)
+{
+    // Four client threads race distinct program instances onto one
+    // queue; every result must still equal the standalone run —
+    // per-program timelines and producer maps never bleed across.
+    std::vector<float> legacy_out;
+    const RunResult legacy =
+        runLegacy("srad", "qaws-ts", 0, legacy_out);
+
+    auto rt = makePrototypeRuntime();
+    Session session(rt);
+    constexpr size_t kClients = 4;
+    constexpr size_t kPerClient = 2;
+    std::vector<std::unique_ptr<apps::Benchmark>> benches;
+    for (size_t i = 0; i < kClients * kPerClient; ++i)
+        benches.push_back(makeBenchmark("srad", 256, 256));
+
+    std::vector<std::future<RunResult>> futures(benches.size());
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (size_t j = 0; j < kPerClient; ++j) {
+                const size_t i = c * kPerClient + j;
+                futures[i] = session.submit(benches[i]->program(),
+                                            makePolicy("qaws-ts"));
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    for (size_t i = 0; i < benches.size(); ++i) {
+        const RunResult r = futures[i].get();
+        EXPECT_EQ(legacy.makespanSec, r.makespanSec) << "program " << i;
+        EXPECT_EQ(legacy.schedulingSec, r.schedulingSec)
+            << "program " << i;
+        const std::vector<float> out = tensorBytes(benches[i]->output());
+        ASSERT_EQ(legacy_out.size(), out.size()) << "program " << i;
+        EXPECT_EQ(std::memcmp(legacy_out.data(), out.data(),
+                              legacy_out.size() * sizeof(float)),
+                  0)
+            << "program " << i;
+    }
+    EXPECT_EQ(session.executedCount(), benches.size());
+}
+
+TEST(Session, PerProgramSeedOverrideMatchesDirectSeededRun)
+{
+    constexpr uint64_t kSeed = 0xfeedface;
+
+    auto direct_rt = makePrototypeRuntime();
+    auto direct_bench = makeBenchmark("blackscholes", 256, 256);
+    auto direct_policy = makePolicy("qaws-ts");
+    const RunResult direct =
+        direct_rt.run(direct_bench->program(), *direct_policy,
+                      /*functional=*/true, kSeed);
+    const std::vector<float> direct_out =
+        tensorBytes(direct_bench->output());
+
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("blackscholes", 256, 256);
+    Session session(rt);
+    const RunResult viaSession =
+        session
+            .submit(bench->program(), makePolicy("qaws-ts"),
+                    /*functional=*/true, kSeed)
+            .get();
+    const std::vector<float> session_out = tensorBytes(bench->output());
+
+    expectIdentical(direct, viaSession, direct_out, session_out,
+                    "seed override");
+}
+
+TEST(Session, DrainBlocksUntilQueueEmpty)
+{
+    auto rt = makePrototypeRuntime();
+    Session session(rt);
+    std::vector<std::unique_ptr<apps::Benchmark>> benches;
+    std::vector<std::future<RunResult>> futures;
+    for (size_t i = 0; i < 3; ++i) {
+        benches.push_back(makeBenchmark("sobel", 128, 128));
+        futures.push_back(
+            session.submit(benches[i]->program(), makePolicy("even")));
+    }
+    session.drain();
+    EXPECT_EQ(session.executedCount(), 3u);
+    for (auto &f : futures)
+        EXPECT_GT(f.get().makespanSec, 0.0);
+}
+
+TEST(DispatchReplay, JournalReproducesDeviceStatsExactly)
+{
+    // Stage-level: the DispatchRecord journal is a complete
+    // description of the simulated schedule — fresh timelines charged
+    // in record order must land on the run's DeviceStats to the bit,
+    // including steal counters and (with stealSplitting) split tails.
+    for (const char *policy_name : {"even", "work-stealing", "qaws-ts"}) {
+        for (bool splitting : {false, true}) {
+            RuntimeConfig cfg;
+            cfg.stealSplitting = splitting;
+            auto rt = makePrototypeRuntime(cfg);
+            auto bench = makeBenchmark("srad", 256, 256);
+            auto policy = makePolicy(policy_name);
+
+            std::vector<DispatchRecord> journal;
+            rt.attachDispatchLog(&journal);
+            const RunResult r = rt.run(bench->program(), *policy);
+            rt.attachDispatchLog(nullptr);
+            ASSERT_FALSE(journal.empty());
+
+            std::vector<sim::DeviceKind> kinds;
+            for (size_t d = 0; d < rt.deviceCount(); ++d)
+                kinds.push_back(rt.backend(d).kind());
+            const std::vector<DeviceStats> replayed = replayDispatch(
+                journal, kinds, rt.config().doubleBuffering);
+
+            const std::string what = std::string(policy_name) +
+                                     (splitting ? "/split" : "");
+            ASSERT_EQ(replayed.size(), r.devices.size()) << what;
+            for (size_t d = 0; d < replayed.size(); ++d) {
+                const DeviceStats &a = r.devices[d];
+                const DeviceStats &b = replayed[d];
+                EXPECT_EQ(a.hlops, b.hlops) << what << " device " << d;
+                EXPECT_EQ(a.stolen, b.stolen) << what << " device " << d;
+                EXPECT_EQ(a.busySec, b.busySec) << what << " device " << d;
+                EXPECT_EQ(a.computeSec, b.computeSec)
+                    << what << " device " << d;
+                EXPECT_EQ(a.stallSec, b.stallSec)
+                    << what << " device " << d;
+                EXPECT_EQ(a.transferSec, b.transferSec)
+                    << what << " device " << d;
+            }
+        }
+    }
+}
+
+TEST(DispatchReplay, BaselineJournalReproducesTheGpuTimeline)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("hotspot", 256, 256);
+
+    std::vector<DispatchRecord> journal;
+    rt.attachDispatchLog(&journal);
+    const RunResult r = rt.runGpuBaseline(bench->program());
+    rt.attachDispatchLog(nullptr);
+    ASSERT_EQ(journal.size(), bench->program().ops.size());
+
+    std::vector<sim::DeviceKind> kinds;
+    for (size_t d = 0; d < rt.deviceCount(); ++d)
+        kinds.push_back(rt.backend(d).kind());
+    const std::vector<DeviceStats> replayed =
+        replayDispatch(journal, kinds, rt.config().doubleBuffering);
+
+    // The baseline reports exactly one device: the GPU.
+    ASSERT_EQ(r.devices.size(), 1u);
+    double replayed_busy = 0.0;
+    for (const DeviceStats &d : replayed)
+        replayed_busy += d.busySec;
+    EXPECT_EQ(r.devices[0].busySec, replayed_busy);
+}
+
+} // namespace
+} // namespace shmt::core

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Bit-level behavior snapshot of the execution pipeline.
+ *
+ * Runs the full benchmark x policy matrix (plus the GPU baseline and
+ * SW pipelining) on fixed-seed inputs and prints one line per cell:
+ * the raw IEEE-754 bits of every simulated-timing field, the
+ * per-device HLOP/steal counts, and an FNV-1a hash of the output
+ * tensor bytes. Two builds of the runtime are behavior-identical iff
+ * their snapshots are byte-identical — `diff` is the whole check.
+ *
+ * Used to pin refactors of the staged pipeline (Planner, SamplingEngine,
+ * DispatchSim, HlopExecutor, Aggregator): capture a snapshot before,
+ * capture after, diff.
+ *
+ * Usage: pipeline_snapshot [--n <edge>] > snapshot.txt
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "core/pipeline.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+
+namespace {
+
+using namespace shmt;
+
+uint64_t
+fnv1a(const void *data, size_t bytes, uint64_t h = 0xcbf29ce484222325ull)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+bits(double v)
+{
+    uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+/** Row-by-row hash of @p t (rows may be padded in memory). */
+uint64_t
+tensorHash(const Tensor &t)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    const ConstTensorView v = t.view();
+    for (size_t r = 0; r < v.rows(); ++r)
+        h = fnv1a(v.row(r), v.cols() * sizeof(float), h);
+    return h;
+}
+
+void
+printResult(const std::string &tag, const core::RunResult &r,
+            const Tensor &out)
+{
+    std::printf("%s makespan=%016llx sched=%016llx agg=%016llx "
+                "hlops=%zu out=%016llx",
+                tag.c_str(),
+                static_cast<unsigned long long>(bits(r.makespanSec)),
+                static_cast<unsigned long long>(bits(r.schedulingSec)),
+                static_cast<unsigned long long>(bits(r.aggregationSec)),
+                r.hlopsTotal,
+                static_cast<unsigned long long>(tensorHash(out)));
+    for (size_t d = 0; d < r.devices.size(); ++d) {
+        const auto &dev = r.devices[d];
+        std::printf(" d%zu=[h=%zu s=%zu busy=%016llx stall=%016llx "
+                    "xfer=%016llx]",
+                    d, dev.hlops, dev.stolen,
+                    static_cast<unsigned long long>(bits(dev.busySec)),
+                    static_cast<unsigned long long>(bits(dev.stallSec)),
+                    static_cast<unsigned long long>(
+                        bits(dev.transferSec)));
+    }
+    std::printf(" energy=%016llx\n",
+                static_cast<unsigned long long>(
+                    bits(r.energy.totalEnergyJ)));
+}
+
+const std::vector<std::string> kPolicies = {
+    "even",    "work-stealing", "qaws-ts",  "qaws-tu",
+    "qaws-tr", "qaws-ls",       "qaws-lu",  "qaws-lr",
+    "ira",     "oracle",        "gpu-only", "tpu-only",
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t n = 256;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--n" && i + 1 < argc)
+            n = std::stoul(argv[++i]);
+        else
+            SHMT_FATAL("unknown option '", arg, "'");
+    }
+
+    for (const auto &bench_name : apps::benchmarkNames()) {
+        // The heterogeneous matrix, serial host path.
+        for (const auto &policy_name : kPolicies) {
+            core::RuntimeConfig cfg;
+            cfg.hostThreads = 1;
+            auto rt = apps::makePrototypeRuntime(cfg);
+            auto bench = apps::makeBenchmark(bench_name, n, n);
+            auto policy = core::makePolicy(policy_name);
+            const auto r = rt.run(bench->program(), *policy);
+            printResult(bench_name + "/" + policy_name, r,
+                        bench->output());
+        }
+        // Tail-splitting variant (exercises the granularity split).
+        for (const char *policy_name : {"work-stealing", "qaws-ts"}) {
+            core::RuntimeConfig cfg;
+            cfg.hostThreads = 1;
+            cfg.stealSplitting = true;
+            auto rt = apps::makePrototypeRuntime(cfg);
+            auto bench = apps::makeBenchmark(bench_name, n, n);
+            auto policy = core::makePolicy(policy_name);
+            const auto r = rt.run(bench->program(), *policy);
+            printResult(bench_name + "/" + policy_name + "+split", r,
+                        bench->output());
+        }
+        // SIMD-off variant (legacy scalar staging + kernels).
+        {
+            core::RuntimeConfig cfg;
+            cfg.hostThreads = 1;
+            cfg.hostSimd = core::RuntimeConfig::SimdMode::Off;
+            auto rt = apps::makePrototypeRuntime(cfg);
+            auto bench = apps::makeBenchmark(bench_name, n, n);
+            auto policy = core::makePolicy("qaws-ts");
+            const auto r = rt.run(bench->program(), *policy);
+            printResult(bench_name + "/qaws-ts+simd-off", r,
+                        bench->output());
+        }
+        // GPU baseline and SW pipelining.
+        {
+            core::RuntimeConfig cfg;
+            cfg.hostThreads = 1;
+            auto rt = apps::makePrototypeRuntime(cfg);
+            auto bench = apps::makeBenchmark(bench_name, n, n);
+            const auto r = rt.runGpuBaseline(bench->program());
+            printResult(bench_name + "/baseline", r, bench->output());
+        }
+        {
+            core::RuntimeConfig cfg;
+            cfg.hostThreads = 1;
+            auto rt = apps::makePrototypeRuntime(cfg);
+            auto bench = apps::makeBenchmark(bench_name, n, n);
+            const auto r =
+                core::runSwPipelined(rt, bench->program(), {});
+            printResult(bench_name + "/sw-pipelining", r,
+                        bench->output());
+        }
+        // A timing-only run must charge identical simulated time.
+        {
+            core::RuntimeConfig cfg;
+            cfg.hostThreads = 1;
+            auto rt = apps::makePrototypeRuntime(cfg);
+            auto bench = apps::makeBenchmark(bench_name, n, n);
+            auto policy = core::makePolicy("qaws-ts");
+            const auto r =
+                rt.run(bench->program(), *policy, /*functional=*/false);
+            printResult(bench_name + "/qaws-ts+timing-only", r,
+                        bench->output());
+        }
+    }
+    return 0;
+}
