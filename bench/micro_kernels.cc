@@ -14,7 +14,9 @@
  *
  * Emits `BENCH_kernels.json` in the working directory.
  *
- * Usage: micro_kernels [--n <edge>] [--iters <k>] [--only <name>]
+ * Usage: micro_kernels [--n <edge>] [--repeat <k>] [--warmup <k>]
+ *                      [--only <name>]
+ * (--iters is accepted as an alias of --repeat.)
  */
 
 #include <cmath>
@@ -69,11 +71,15 @@ fill(TensorView v, float lo, float hi, uint64_t seed)
     }
 }
 
+/** Min-of-@p repeat timings after @p warmup untimed runs (warming
+ *  caches, page tables and the branch predictor out of the numbers). */
 double
-bestOf(size_t iters, const std::function<void()> &f)
+bestOf(size_t warmup, size_t repeat, const std::function<void()> &f)
 {
+    for (size_t it = 0; it < warmup; ++it)
+        f();
     double best = std::numeric_limits<double>::infinity();
-    for (size_t it = 0; it < iters; ++it) {
+    for (size_t it = 0; it < repeat; ++it) {
         const double t0 = sim::wallSeconds();
         f();
         best = std::min(best, sim::wallSeconds() - t0);
@@ -87,7 +93,8 @@ int
 main(int argc, char **argv)
 {
     size_t n = apps::benchEdge(1024);
-    size_t iters = 5;
+    size_t repeat = 5;
+    size_t warmup = 1;
     std::string only;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -98,8 +105,10 @@ main(int argc, char **argv)
         };
         if (arg == "--n")
             n = std::stoul(next());
-        else if (arg == "--iters")
-            iters = std::stoul(next());
+        else if (arg == "--repeat" || arg == "--iters")
+            repeat = std::stoul(next());
+        else if (arg == "--warmup")
+            warmup = std::stoul(next());
         else if (arg == "--only")
             only = next();
         else
@@ -269,13 +278,14 @@ main(int argc, char **argv)
             continue;
 
         const double scalar_sec =
-            bestOf(iters, [&c] { c.run(false); });
+            bestOf(warmup, repeat, [&c] { c.run(false); });
         const auto [sp, sbytes] = c.output();
         std::vector<unsigned char> scalar_copy(
             static_cast<const unsigned char *>(sp),
             static_cast<const unsigned char *>(sp) + sbytes);
 
-        const double simd_sec = bestOf(iters, [&c] { c.run(true); });
+        const double simd_sec =
+            bestOf(warmup, repeat, [&c] { c.run(true); });
         const auto [vp, vbytes] = c.output();
 
         const bool identical =

@@ -1,19 +1,31 @@
 /**
  * @file
- * Session-queue throughput micro-benchmark.
+ * Session serving-throughput micro-benchmark (v2).
  *
- * Pushes a fixed batch of identical programs through one Session's
- * submission queue from 1, 2, and 4 client threads and reports
- * programs/sec end-to-end (submit -> future resolved). The driver
- * executes FIFO, so the queue itself should be invisible: every
- * result is checked byte-identical (outputs) and bit-identical
- * (simulated makespan/scheduling) to a standalone Runtime::run of the
- * same program — the serial-equivalence gate the Session layer pins.
+ * Two sections:
  *
- * Emits `BENCH_session.json` in the working directory.
+ *  1. Grid: {plan cache off, on} x {1, 2, 4 session workers}. A fixed
+ *     batch of same-shape programs (distinct tensor instances) is
+ *     pushed through one Session and reported as programs/sec
+ *     end-to-end (submit -> future resolved). Every result is checked
+ *     byte-identical (outputs) and bit-identical (simulated
+ *     makespan/scheduling) to a standalone Runtime::run of the same
+ *     program with the caches OFF — the serial-equivalence gate the
+ *     serving caches and the worker pool both pin.
+ *  2. Repeated-shape serving: the SAME program instance is resubmitted
+ *     sequentially (1 worker, host-threads unchanged), comparing mean
+ *     host wall-clock per program with the caches off vs on — the
+ *     single-core-measurable win of skipping repeated planning /
+ *     criticality / quant scans.
  *
- * Usage: micro_session [--n <edge>] [--programs <k>] [--iters <k>]
- *                      [--bench <name>] [--policy <name>]
+ * Exits non-zero if any result diverges from the standalone reference
+ * or if the plan cache scores zero hits on the repeated-shape workload
+ * (the CI smoke gate).
+ *
+ * Emits `BENCH_session.json` (version 2) in the working directory.
+ *
+ * Usage: micro_session [--n <edge>] [--programs <k>] [--repeat <k>]
+ *                      [--warmup <k>] [--bench <name>] [--policy <name>]
  */
 
 #include <algorithm>
@@ -51,51 +63,60 @@ tensorBytes(const Tensor &t)
     return out;
 }
 
+struct Options
+{
+    size_t n = 256;
+    size_t programs = 8;
+    size_t repeat = 3;
+    size_t warmup = 1;
+    std::string bench = "srad";
+    std::string policy = "qaws-ts";
+};
+
 struct Measurement
 {
     double bestSec = std::numeric_limits<double>::infinity();
     bool serialEquivalent = true;
+    core::CacheStats cache;  //!< summed over the best iteration
 };
 
 /**
- * Best-of-@p iters runs: @p submitters client threads split
- * @p programs submissions of @p bench_name across one Session, and
- * every result is compared against the reference (@p ref_out,
- * @p ref). Returns the best end-to-end wall time.
+ * Min-of-@p repeat (after @p warmup discarded runs): @p opts.programs
+ * submissions of the benchmark (distinct instances, same shapes)
+ * through one Session with @p workers driver workers and the plan
+ * cache per @p plan_cache; every result is compared against the
+ * cache-off standalone reference (@p ref_out, @p ref).
  */
 Measurement
-measure(const std::string &bench_name, const std::string &policy_name,
-        size_t n, size_t programs, size_t submitters, size_t iters,
+measure(const Options &opts, bool plan_cache, size_t workers,
         const std::vector<float> &ref_out, const core::RunResult &ref)
 {
     Measurement m;
-    for (size_t it = 0; it < iters; ++it) {
-        auto rt = apps::makePrototypeRuntime();
+    for (size_t it = 0; it < opts.warmup + opts.repeat; ++it) {
+        core::RuntimeConfig config;
+        config.planCache = plan_cache;
+        auto rt = apps::makePrototypeRuntime(config);
         std::vector<std::unique_ptr<apps::Benchmark>> benches;
-        for (size_t i = 0; i < programs; ++i)
-            benches.push_back(apps::makeBenchmark(bench_name, n, n));
+        for (size_t i = 0; i < opts.programs; ++i)
+            benches.push_back(
+                apps::makeBenchmark(opts.bench, opts.n, opts.n));
 
-        core::Session session(rt);
-        std::vector<std::future<core::RunResult>> futures(programs);
+        core::SessionOptions sopts;
+        sopts.workers = workers;
+        core::Session session(rt, sopts);
+        std::vector<std::future<core::RunResult>> futures(opts.programs);
         const double t0 = sim::wallSeconds();
-        std::vector<std::thread> clients;
-        for (size_t c = 0; c < submitters; ++c) {
-            clients.emplace_back([&, c] {
-                for (size_t i = c; i < programs; i += submitters)
-                    futures[i] = session.submit(
-                        benches[i]->program(),
-                        core::makePolicy(policy_name));
-            });
-        }
-        for (auto &t : clients)
-            t.join();
+        for (size_t i = 0; i < opts.programs; ++i)
+            futures[i] = session.submit(benches[i]->program(),
+                                        core::makePolicy(opts.policy));
         for (auto &f : futures)
             f.wait();
         const double sec = sim::wallSeconds() - t0;
-        m.bestSec = std::min(m.bestSec, sec);
 
-        for (size_t i = 0; i < programs; ++i) {
+        core::CacheStats cache;
+        for (size_t i = 0; i < opts.programs; ++i) {
             const core::RunResult r = futures[i].get();
+            cache.add(r.cache);
             const std::vector<float> out =
                 tensorBytes(benches[i]->output());
             const bool same =
@@ -106,8 +127,58 @@ measure(const std::string &bench_name, const std::string &policy_name,
                             out.size() * sizeof(float)) == 0;
             m.serialEquivalent = m.serialEquivalent && same;
         }
+        if (it < opts.warmup)
+            continue;
+        if (sec < m.bestSec) {
+            m.bestSec = sec;
+            m.cache = cache;
+        }
     }
     return m;
+}
+
+/** Mean host wall-clock per program over a sequential resubmission of
+ *  ONE program instance (the repeated-shape serving pattern). */
+struct RepeatedShape
+{
+    double meanHostWallSec = 0.0;
+    bool serialEquivalent = true;
+    core::CacheStats cache;
+};
+
+RepeatedShape
+measureRepeatedShape(const Options &opts, bool plan_cache,
+                     const std::vector<float> &ref_out,
+                     const core::RunResult &ref)
+{
+    core::RuntimeConfig config;
+    config.planCache = plan_cache;
+    auto rt = apps::makePrototypeRuntime(config);
+    auto bench = apps::makeBenchmark(opts.bench, opts.n, opts.n);
+    core::Session session(rt);
+
+    RepeatedShape rs;
+    const size_t total = opts.warmup + opts.programs;
+    double wall = 0.0;
+    for (size_t i = 0; i < total; ++i) {
+        const core::RunResult r =
+            session
+                .submit(bench->program(), core::makePolicy(opts.policy))
+                .get();
+        const std::vector<float> out = tensorBytes(bench->output());
+        const bool same = r.makespanSec == ref.makespanSec &&
+                          r.schedulingSec == ref.schedulingSec &&
+                          out.size() == ref_out.size() &&
+                          std::memcmp(out.data(), ref_out.data(),
+                                      out.size() * sizeof(float)) == 0;
+        rs.serialEquivalent = rs.serialEquivalent && same;
+        if (i < opts.warmup)
+            continue;
+        wall += r.hostWall.totalSec;
+        rs.cache.add(r.cache);
+    }
+    rs.meanHostWallSec = wall / static_cast<double>(opts.programs);
+    return rs;
 }
 
 } // namespace
@@ -115,11 +186,7 @@ measure(const std::string &bench_name, const std::string &policy_name,
 int
 main(int argc, char **argv)
 {
-    size_t n = 256;
-    size_t programs = 8;
-    size_t iters = 3;
-    std::string bench_name = "srad";
-    std::string policy_name = "qaws-ts";
+    Options opts;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         auto next = [&]() -> std::string {
@@ -128,70 +195,124 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--n")
-            n = std::stoul(next());
+            opts.n = std::stoul(next());
         else if (arg == "--programs")
-            programs = std::stoul(next());
-        else if (arg == "--iters")
-            iters = std::stoul(next());
+            opts.programs = std::stoul(next());
+        else if (arg == "--repeat" || arg == "--iters")
+            opts.repeat = std::stoul(next());
+        else if (arg == "--warmup")
+            opts.warmup = std::stoul(next());
         else if (arg == "--bench")
-            bench_name = next();
+            opts.bench = next();
         else if (arg == "--policy")
-            policy_name = next();
+            opts.policy = next();
         else
             SHMT_FATAL("unknown option '", arg, "'");
     }
     {
         const auto names = apps::benchmarkNames();
-        if (std::find(names.begin(), names.end(), bench_name) ==
+        if (std::find(names.begin(), names.end(), opts.bench) ==
             names.end())
-            SHMT_FATAL("unknown benchmark '", bench_name, "'");
+            SHMT_FATAL("unknown benchmark '", opts.bench, "'");
     }
 
-    // The standalone reference every session result must reproduce.
-    auto ref_rt = apps::makePrototypeRuntime();
-    auto ref_bench = apps::makeBenchmark(bench_name, n, n);
-    auto ref_policy = core::makePolicy(policy_name);
+    // The standalone cache-off reference every session result — cache
+    // on or off, any worker count — must reproduce byte-for-byte.
+    core::RuntimeConfig ref_config;
+    ref_config.planCache = false;
+    auto ref_rt = apps::makePrototypeRuntime(ref_config);
+    auto ref_bench = apps::makeBenchmark(opts.bench, opts.n, opts.n);
+    auto ref_policy = core::makePolicy(opts.policy);
     const core::RunResult ref =
         ref_rt.run(ref_bench->program(), *ref_policy);
     const std::vector<float> ref_out = tensorBytes(ref_bench->output());
 
-    metrics::Table table({"Submitters", "Batch (ms)", "Programs/sec",
+    metrics::Table table({"Plan cache", "Workers", "Batch (ms)",
+                          "Programs/sec", "Cache hits",
                           "Serial-equivalent"});
     std::ofstream json("BENCH_session.json");
-    json << "{\n  \"edge\": " << n << ",\n  \"bench\": \"" << bench_name
-         << "\",\n  \"policy\": \"" << policy_name
-         << "\",\n  \"programs\": " << programs
-         << ",\n  \"submitters\": [\n";
+    json << "{\n  \"version\": 2,\n  \"edge\": " << opts.n
+         << ",\n  \"bench\": \"" << opts.bench << "\",\n  \"policy\": \""
+         << opts.policy << "\",\n  \"programs\": " << opts.programs
+         << ",\n  \"warmup\": " << opts.warmup
+         << ",\n  \"repeat\": " << opts.repeat << ",\n  \"grid\": [\n";
 
     bool first = true;
     bool all_equivalent = true;
-    for (const size_t submitters : {size_t{1}, size_t{2}, size_t{4}}) {
-        const Measurement m = measure(bench_name, policy_name, n,
-                                      programs, submitters, iters,
-                                      ref_out, ref);
-        const double rate = programs / m.bestSec;
-        all_equivalent = all_equivalent && m.serialEquivalent;
+    for (const bool cache_on : {false, true}) {
+        for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+            const Measurement m =
+                measure(opts, cache_on, workers, ref_out, ref);
+            const double rate = opts.programs / m.bestSec;
+            all_equivalent = all_equivalent && m.serialEquivalent;
 
-        table.addRow({std::to_string(submitters),
-                      metrics::Table::num(m.bestSec * 1e3),
-                      metrics::Table::num(rate),
-                      m.serialEquivalent ? "yes" : "NO"});
-        json << (first ? "" : ",\n") << "    {\"count\": " << submitters
-             << ", \"batch_sec\": " << m.bestSec
-             << ", \"programs_per_sec\": " << rate
-             << ", \"serial_equivalent\": "
-             << (m.serialEquivalent ? "true" : "false") << "}";
-        first = false;
+            table.addRow({cache_on ? "on" : "off",
+                          std::to_string(workers),
+                          metrics::Table::num(m.bestSec * 1e3),
+                          metrics::Table::num(rate),
+                          std::to_string(m.cache.hits()),
+                          m.serialEquivalent ? "yes" : "NO"});
+            json << (first ? "" : ",\n")
+                 << "    {\"plan_cache\": "
+                 << (cache_on ? "true" : "false")
+                 << ", \"workers\": " << workers
+                 << ", \"batch_sec\": " << m.bestSec
+                 << ", \"programs_per_sec\": " << rate
+                 << ", \"plan_hits\": " << m.cache.planHits
+                 << ", \"stats_hits\": " << m.cache.statsHits
+                 << ", \"quant_hits\": " << m.cache.quantHits
+                 << ", \"scan_bytes_avoided\": "
+                 << m.cache.scanBytesAvoided
+                 << ", \"serial_equivalent\": "
+                 << (m.serialEquivalent ? "true" : "false") << "}";
+            first = false;
+        }
     }
-    json << "\n  ],\n  \"all_serial_equivalent\": "
-         << (all_equivalent ? "true" : "false") << "\n}\n";
 
-    table.print("Session queue throughput: " + bench_name + " x " +
-                std::to_string(programs) + " programs (" + policy_name +
-                ", " + std::to_string(n) + "x" + std::to_string(n) +
-                ")");
-    std::printf("\nSession results serial-equivalent: %s\n",
+    // Repeated-shape serving: host wall-clock per program, off vs on.
+    const RepeatedShape off =
+        measureRepeatedShape(opts, false, ref_out, ref);
+    const RepeatedShape on =
+        measureRepeatedShape(opts, true, ref_out, ref);
+    all_equivalent =
+        all_equivalent && off.serialEquivalent && on.serialEquivalent;
+    const double host_speedup =
+        on.meanHostWallSec > 0.0
+            ? off.meanHostWallSec / on.meanHostWallSec
+            : 0.0;
+    const bool cache_effective = on.cache.planHits > 0;
+
+    json << "\n  ],\n  \"repeated_shape\": {\n    \"programs\": "
+         << opts.programs
+         << ",\n    \"host_wall_off_sec\": " << off.meanHostWallSec
+         << ",\n    \"host_wall_on_sec\": " << on.meanHostWallSec
+         << ",\n    \"host_wall_speedup\": " << host_speedup
+         << ",\n    \"plan_hits\": " << on.cache.planHits
+         << ",\n    \"plan_misses\": " << on.cache.planMisses
+         << ",\n    \"stats_hits\": " << on.cache.statsHits
+         << ",\n    \"quant_hits\": " << on.cache.quantHits
+         << ",\n    \"scan_bytes_avoided\": "
+         << on.cache.scanBytesAvoided
+         << "\n  },\n  \"all_serial_equivalent\": "
+         << (all_equivalent ? "true" : "false")
+         << ",\n  \"plan_cache_effective\": "
+         << (cache_effective ? "true" : "false") << "\n}\n";
+
+    table.print("Session serving throughput: " + opts.bench + " x " +
+                std::to_string(opts.programs) + " programs (" +
+                opts.policy + ", " + std::to_string(opts.n) + "x" +
+                std::to_string(opts.n) + ")");
+    std::printf("\nRepeated-shape host wall per program: %.3f ms off, "
+                "%.3f ms on (%.2fx), %zu plan hits, %.1f MiB of scans "
+                "avoided\n",
+                off.meanHostWallSec * 1e3, on.meanHostWallSec * 1e3,
+                host_speedup, on.cache.planHits,
+                static_cast<double>(on.cache.scanBytesAvoided) /
+                    (1024.0 * 1024.0));
+    std::printf("Session results serial-equivalent: %s\n",
                 all_equivalent ? "yes" : "NO");
+    std::printf("Plan cache effective on repeated shapes: %s\n",
+                cache_effective ? "yes" : "NO");
     std::printf("Wrote BENCH_session.json\n");
-    return all_equivalent ? 0 : 1;
+    return all_equivalent && cache_effective ? 0 : 1;
 }

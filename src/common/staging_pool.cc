@@ -1,22 +1,28 @@
 #include "staging_pool.hh"
 
+#include <algorithm>
+
 namespace shmt::common {
 
-std::vector<std::vector<float>> &
+StagingPool::ThreadCache &
 StagingPool::cache()
 {
-    thread_local std::vector<std::vector<float>> buffers;
-    return buffers;
+    thread_local ThreadCache tc;
+    return tc;
 }
 
 StagingPool::Lease
 StagingPool::acquire(size_t elems)
 {
-    auto &buffers = cache();
+    ThreadCache &tc = cache();
+    ++tc.stats.leases;
     std::vector<float> buf;
-    if (!buffers.empty()) {
-        buf = std::move(buffers.back());
-        buffers.pop_back();
+    if (!tc.buffers.empty()) {
+        buf = std::move(tc.buffers.back());
+        tc.buffers.pop_back();
+        tc.cachedBytes -= buf.capacity() * sizeof(float);
+        tc.stats.cachedBytes = tc.cachedBytes;
+        ++tc.stats.recycledHits;
     }
     // resize() only touches memory when growing past the recycled
     // capacity; steady-state staging passes reuse it allocation-free.
@@ -29,22 +35,89 @@ StagingPool::Lease::release()
 {
     if (buf_.capacity() == 0)
         return;
-    auto &buffers = cache();
-    if (buffers.size() < kMaxCached)
-        buffers.push_back(std::move(buf_));
+    ThreadCache &tc = cache();
+    const size_t bytes = buf_.capacity() * sizeof(float);
+    if (tc.buffers.size() < kMaxCached &&
+        bytes <= tc.capBytes) {
+        tc.buffers.push_back(std::move(buf_));
+        tc.cachedBytes += bytes;
+        // Returning this buffer may push the cache over the byte cap;
+        // trim back down, preferring to drop the smallest buffers
+        // (large reallocations are what the pool exists to avoid).
+        if (tc.cachedBytes > tc.capBytes)
+            trimLocked(tc, tc.capBytes);
+        tc.stats.peakBytes = std::max(tc.stats.peakBytes, tc.cachedBytes);
+        tc.stats.cachedBytes = tc.cachedBytes;
+    } else {
+        ++tc.stats.trimmed;
+    }
     buf_ = std::vector<float>();
+}
+
+void
+StagingPool::trimLocked(ThreadCache &tc, size_t target_bytes)
+{
+    std::sort(tc.buffers.begin(), tc.buffers.end(),
+              [](const std::vector<float> &a, const std::vector<float> &b) {
+                  return a.capacity() > b.capacity();
+              });
+    while (!tc.buffers.empty() && tc.cachedBytes > target_bytes) {
+        tc.cachedBytes -= tc.buffers.back().capacity() * sizeof(float);
+        tc.buffers.pop_back();
+        ++tc.stats.trimmed;
+    }
+    tc.stats.cachedBytes = tc.cachedBytes;
 }
 
 size_t
 StagingPool::cachedCount()
 {
-    return cache().size();
+    return cache().buffers.size();
+}
+
+StagingPool::Stats
+StagingPool::stats()
+{
+    return cache().stats;
+}
+
+void
+StagingPool::resetStats()
+{
+    ThreadCache &tc = cache();
+    tc.stats = Stats{};
+    tc.stats.cachedBytes = tc.cachedBytes;
+    tc.stats.peakBytes = tc.cachedBytes;
+}
+
+void
+StagingPool::trim(size_t target_bytes)
+{
+    trimLocked(cache(), target_bytes);
+}
+
+size_t
+StagingPool::threadCacheCap()
+{
+    return cache().capBytes;
+}
+
+void
+StagingPool::setThreadCacheCap(size_t bytes)
+{
+    ThreadCache &tc = cache();
+    tc.capBytes = bytes;
+    if (tc.cachedBytes > tc.capBytes)
+        trimLocked(tc, tc.capBytes);
 }
 
 void
 StagingPool::clearThreadCache()
 {
-    cache().clear();
+    ThreadCache &tc = cache();
+    tc.buffers.clear();
+    tc.cachedBytes = 0;
+    tc.stats.cachedBytes = 0;
 }
 
 } // namespace shmt::common

@@ -9,6 +9,14 @@
  * buffers through thread-local free lists instead (lock-free: a
  * buffer is returned to the cache of whichever thread drops the
  * lease, which is the thread that used it).
+ *
+ * Each thread's cache is bounded by a byte high-water cap: releasing a
+ * buffer that would push the cache past the cap trims the smallest
+ * cached buffers first (keeping the large ones, whose reallocation is
+ * what the pool exists to avoid). Long-lived serving processes
+ * therefore cannot accumulate unbounded scratch from one outsized
+ * program. stats() exposes per-thread lease/recycle/footprint
+ * counters for reports and tests.
  */
 
 #ifndef SHMT_COMMON_STAGING_POOL_HH
@@ -58,6 +66,16 @@ class StagingPool
         std::vector<float> buf_;
     };
 
+    /** Per-thread pool counters (since thread start or resetStats). */
+    struct Stats
+    {
+        size_t leases = 0;       //!< acquire() calls
+        size_t recycledHits = 0; //!< leases served from the cache
+        size_t trimmed = 0;      //!< buffers dropped by the byte cap
+        size_t cachedBytes = 0;  //!< bytes cached right now
+        size_t peakBytes = 0;    //!< high-water mark of cachedBytes
+    };
+
     /**
      * Lease a buffer of exactly @p elems floats. Contents are
      * UNINITIALIZED (recycled buffers keep stale data) — callers must
@@ -68,6 +86,25 @@ class StagingPool
     /** Buffers currently cached on this thread (for tests/reports). */
     static size_t cachedCount();
 
+    /** This thread's pool counters. */
+    static Stats stats();
+
+    /** Zero this thread's counters (cachedBytes/peak keep the current
+     *  footprint). */
+    static void resetStats();
+
+    /**
+     * Shrink this thread's cache to at most @p target_bytes of buffer
+     * capacity, dropping the smallest buffers first.
+     */
+    static void trim(size_t target_bytes);
+
+    /** This thread's byte cap on cached (idle) buffers. */
+    static size_t threadCacheCap();
+
+    /** Set this thread's byte cap; trims immediately if exceeded. */
+    static void setThreadCacheCap(size_t bytes);
+
     /** Drop this thread's cached buffers. */
     static void clearThreadCache();
 
@@ -75,8 +112,22 @@ class StagingPool
     friend class Lease;
 
     static constexpr size_t kMaxCached = 32;
+    /** Default per-thread cap on idle cached bytes (64 MiB — a few
+     *  8192^2-scale staging buffers). */
+    static constexpr size_t kDefaultCacheCapBytes =
+        size_t{64} * 1024 * 1024;
 
-    static std::vector<std::vector<float>> &cache();
+    struct ThreadCache
+    {
+        std::vector<std::vector<float>> buffers;
+        size_t cachedBytes = 0;
+        size_t capBytes = kDefaultCacheCapBytes;
+        Stats stats;
+    };
+
+    static ThreadCache &cache();
+    /** Drop smallest-first until cachedBytes <= target. */
+    static void trimLocked(ThreadCache &tc, size_t target_bytes);
 };
 
 } // namespace shmt::common

@@ -66,7 +66,7 @@ void
 Aggregator::combine(const VopPlan &plan, const std::vector<Tensor> &accs,
                     sim::HostPhaseStats *wall) const
 {
-    const kernels::KernelInfo &info = *plan.info;
+    const kernels::KernelInfo &info = *plan.info();
     if (info.reduce == ReduceKind::None)
         return;
 
@@ -89,10 +89,10 @@ Aggregator::combine(const VopPlan &plan, const std::vector<Tensor> &accs,
 double
 Aggregator::cost(const VopPlan &plan) const
 {
-    const kernels::KernelInfo &info = *plan.info;
+    const kernels::KernelInfo &info = *plan.info();
     double agg = 0.0;
     if (info.reduce != ReduceKind::None) {
-        agg += static_cast<double>(plan.initialPartitions *
+        agg += static_cast<double>(plan.initialPartitions() *
                                    info.reduceRows * info.reduceCols) *
                cal_->aggregateCostSec;
     }

@@ -1,0 +1,154 @@
+#include "criticality_cache.hh"
+
+#include <cstring>
+
+#include "common/random.hh"
+
+namespace shmt::core {
+
+namespace {
+
+/** Order-dependent splitmix fold. */
+uint64_t
+foldMix(uint64_t h, uint64_t v)
+{
+    return hashMix(h ^ hashMix(v));
+}
+
+/** Fold of the region list (order matters: stats come back indexed). */
+uint64_t
+foldRegions(const std::vector<Rect> &regions)
+{
+    uint64_t h = hashMix(regions.size());
+    for (const Rect &r : regions) {
+        h = foldMix(h, r.row0);
+        h = foldMix(h, r.col0);
+        h = foldMix(h, r.rows);
+        h = foldMix(h, r.cols);
+    }
+    return h;
+}
+
+} // namespace
+
+size_t
+CriticalityCache::StatsKeyHash::operator()(const StatsKey &k) const
+{
+    uint64_t h = hashMix(k.id);
+    h = foldMix(h, k.gen);
+    h = foldMix(h, k.geometry);
+    h = foldMix(h, k.seed);
+    h = foldMix(h, k.rateBits);
+    h = foldMix(h, k.method);
+    h = foldMix(h, k.minSamples);
+    h = foldMix(h, k.reductionStep);
+    return static_cast<size_t>(h);
+}
+
+size_t
+CriticalityCache::QuantKeyHash::operator()(const QuantKey &k) const
+{
+    return static_cast<size_t>(
+        foldMix(foldMix(hashMix(k.id), k.gen), k.simd ? 1 : 2));
+}
+
+std::shared_ptr<const std::vector<SampleStats>>
+CriticalityCache::stats(const Tensor &input,
+                        const std::vector<Rect> &regions,
+                        const SamplingSpec &spec, uint64_t vop_seed,
+                        CacheStats *counters)
+{
+    StatsKey key;
+    key.id = input.id();
+    // Read the generation BEFORE scanning: a write racing the scan
+    // bumps the generation first, so the (possibly torn) result we
+    // cache under the pre-write generation can never be hit by a
+    // reader that observes the post-write tensor.
+    key.gen = input.generation();
+    key.geometry = foldRegions(regions);
+    key.seed = spec.method == SamplingMethod::Uniform ? vop_seed : 0;
+    static_assert(sizeof(key.rateBits) == sizeof(spec.rate));
+    std::memcpy(&key.rateBits, &spec.rate, sizeof(key.rateBits));
+    key.method = static_cast<uint64_t>(spec.method);
+    key.minSamples = spec.minSamples;
+    key.reductionStep = spec.reductionStep;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = stats_.find(key);
+        if (it != stats_.end()) {
+            if (counters) {
+                ++counters->statsHits;
+                for (const SampleStats &s : *it->second)
+                    counters->scanBytesAvoided +=
+                        s.visited * sizeof(float);
+            }
+            return it->second;
+        }
+    }
+
+    // Miss: scan outside the lock (the scan fans out on the host
+    // pool; racing workers may duplicate it, producing identical
+    // values — the first insert wins and both results are correct).
+    auto value = std::make_shared<const std::vector<SampleStats>>(
+        samplePartitions(input.view(), regions, spec, vop_seed));
+    if (counters)
+        ++counters->statsMisses;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stats_.size() + quant_.size() >= maxEntries_ &&
+        !stats_.count(key))
+        stats_.clear();
+    auto [it, inserted] = stats_.emplace(key, std::move(value));
+    return it->second;
+}
+
+QuantParams
+CriticalityCache::quantParams(const Tensor &t, bool simd,
+                              CacheStats *counters)
+{
+    QuantKey key;
+    key.id = t.id();
+    key.gen = t.generation(); // before the scan; see stats()
+    key.simd = simd;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = quant_.find(key);
+        if (it != quant_.end()) {
+            if (counters) {
+                ++counters->quantHits;
+                counters->scanBytesAvoided += t.bytes();
+            }
+            return it->second;
+        }
+    }
+
+    const QuantParams qp = chooseQuantParams(t.view(), simd);
+    if (counters)
+        ++counters->quantMisses;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stats_.size() + quant_.size() >= maxEntries_ &&
+        !quant_.count(key))
+        quant_.clear();
+    quant_.emplace(key, qp);
+    return qp;
+}
+
+size_t
+CriticalityCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.size() + quant_.size();
+}
+
+void
+CriticalityCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.clear();
+    quant_.clear();
+}
+
+} // namespace shmt::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Generation-keyed memoization of data-derived host scans: QAWS
+ * criticality statistics and NPU quantization ranges (see DESIGN.md
+ * "Caching and serving layers").
+ *
+ * Both scans are pure functions of a tensor's payload bytes plus
+ * shape/sampler parameters, and both are rerun for every program a
+ * Session serves even when the input tensor never changed. The cache
+ * keys them on (Tensor::id, Tensor::generation): the generation is
+ * bumped before any mutable alias of the payload is handed out, so an
+ * unchanged generation proves unchanged bytes, and identical bytes
+ * yield identical statistics — a hit is bit-transparent by
+ * construction. In-place VOPs and mutable-view writes bump the
+ * generation and therefore force a re-scan (pinned by the
+ * invalidation tests).
+ *
+ * Only the *host work* is memoized. The simulated sampling cost is
+ * still charged per the cost model from the memoized per-partition
+ * visit counts, so simulated timing is bit-identical with the cache
+ * on or off.
+ *
+ * Thread-safe (one cache serves every concurrent Session worker);
+ * misses are computed outside the lock, so two racing workers may
+ * both scan — they produce identical values and either insert wins.
+ * Bounded: overflowing the entry cap evicts wholesale.
+ */
+
+#ifndef SHMT_CORE_CRITICALITY_CACHE_HH
+#define SHMT_CORE_CRITICALITY_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/run_types.hh"
+#include "core/sampling.hh"
+#include "tensor/quantize.hh"
+#include "tensor/tensor.hh"
+#include "tensor/tiling.hh"
+
+namespace shmt::core {
+
+/** Memo of samplePartitions results and quant-range scans. */
+class CriticalityCache
+{
+  public:
+    explicit CriticalityCache(size_t max_entries = 4096)
+        : maxEntries_(max_entries)
+    {}
+
+    /**
+     * Memoized `samplePartitions(input.view(), regions, spec, seed)`.
+     * The key covers the tensor snapshot (id, generation), the region
+     * geometry, and every sampler parameter; @p vop_seed enters the
+     * key only for the Uniform method (the only seed-dependent
+     * sampler), so striding/reduction scans hit across VOp indices
+     * and per-program seeds. @p counters, when non-null, accumulates
+     * hit/miss and bytes-of-scan-avoided.
+     */
+    std::shared_ptr<const std::vector<SampleStats>>
+    stats(const Tensor &input, const std::vector<Rect> &regions,
+          const SamplingSpec &spec, uint64_t vop_seed,
+          CacheStats *counters);
+
+    /**
+     * Memoized `chooseQuantParams(t.view(), simd)` — the full-range
+     * scan behind the NPU models' fixed input scales.
+     */
+    QuantParams quantParams(const Tensor &t, bool simd,
+                            CacheStats *counters);
+
+    /** Entries currently cached (stats + quant). */
+    size_t size() const;
+
+    /** Drop every entry. */
+    void clear();
+
+  private:
+    struct StatsKey
+    {
+        uint64_t id = 0;
+        uint64_t gen = 0;
+        uint64_t geometry = 0; //!< fold of the region rectangles
+        uint64_t seed = 0;     //!< 0 unless the sampler is Uniform
+        uint64_t rateBits = 0; //!< spec.rate, bit pattern
+        uint64_t method = 0;
+        uint64_t minSamples = 0;
+        uint64_t reductionStep = 0;
+
+        bool
+        operator==(const StatsKey &o) const
+        {
+            return id == o.id && gen == o.gen &&
+                   geometry == o.geometry && seed == o.seed &&
+                   rateBits == o.rateBits && method == o.method &&
+                   minSamples == o.minSamples &&
+                   reductionStep == o.reductionStep;
+        }
+    };
+    struct StatsKeyHash
+    {
+        size_t operator()(const StatsKey &k) const;
+    };
+
+    struct QuantKey
+    {
+        uint64_t id = 0;
+        uint64_t gen = 0;
+        bool simd = false;
+
+        bool
+        operator==(const QuantKey &o) const
+        {
+            return id == o.id && gen == o.gen && simd == o.simd;
+        }
+    };
+    struct QuantKeyHash
+    {
+        size_t operator()(const QuantKey &k) const;
+    };
+
+    mutable std::mutex mutex_;
+    size_t maxEntries_;
+    std::unordered_map<StatsKey,
+                       std::shared_ptr<const std::vector<SampleStats>>,
+                       StatsKeyHash>
+        stats_;
+    std::unordered_map<QuantKey, QuantParams, QuantKeyHash> quant_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_CRITICALITY_CACHE_HH

@@ -58,9 +58,9 @@ void
 EventLoop::seedQueues()
 {
     const size_t n = plan.partitions.size();
-    const size_t n_slots = plan.eligible.size();
+    const size_t n_slots = plan.eligible().size();
     const std::vector<size_t> assignment =
-        policy.assign(pinfos, plan.slotInfos);
+        policy.assign(pinfos, plan.slotInfos());
     SHMT_ASSERT(assignment.size() == n, "policy returned ",
                 assignment.size(), " assignments for ", n, " partitions");
     queues.resize(n_slots);
@@ -79,7 +79,7 @@ EventLoop::trySteal(size_t thief)
 {
     if (!policy.stealingEnabled())
         return false;
-    const std::vector<DeviceInfo> &dev_infos = plan.slotInfos;
+    const std::vector<DeviceInfo> &dev_infos = plan.slotInfos();
     // Victims ordered by queue depth ("the hardware with the most
     // pending items").
     std::vector<size_t> victims;
@@ -111,7 +111,7 @@ EventLoop::trySteal(size_t thief)
         for (auto it = keep.rbegin(); it != keep.rend(); ++it)
             queues[v].push_front(*it);
         if (moved > 0) {
-            recordSteal(plan.eligible[thief], moved);
+            recordSteal(plan.eligible()[thief], moved);
             return true;
         }
     }
@@ -129,8 +129,8 @@ EventLoop::shareTail(size_t owner, size_t h)
 {
     if (!stealSplitting || remaining != 1)
         return;
-    const kernels::KernelInfo &info = *plan.info;
-    const std::vector<DeviceInfo> &dev_infos = plan.slotInfos;
+    const kernels::KernelInfo &info = *plan.info();
+    const std::vector<DeviceInfo> &dev_infos = plan.slotInfos();
     std::vector<Rect> &partitions = plan.partitions;
     const size_t align = std::max<size_t>(1, info.blockAlign);
     const Rect whole = partitions[h];
@@ -138,10 +138,10 @@ EventLoop::shareTail(size_t owner, size_t h)
         return;
 
     const double owner_avail =
-        std::max(timelines[plan.eligible[owner]].now(), release);
+        std::max(timelines[plan.eligible()[owner]].now(), release);
     const double t_whole = cost.hlopSeconds(
-        dev_infos[owner].kind, plan.costKey, whole.size(),
-        plan.costWeight);
+        dev_infos[owner].kind, plan.costKey(), whole.size(),
+        plan.costWeight());
     const double finish_whole = owner_avail + t_whole;
 
     for (size_t s2 = 0; s2 < queues.size(); ++s2) {
@@ -152,11 +152,11 @@ EventLoop::shareTail(size_t owner, size_t h)
             continue;
 
         const double peer_avail =
-            std::max(timelines[plan.eligible[s2]].now(), release);
+            std::max(timelines[plan.eligible()[s2]].now(), release);
         // Per-row costs and fixed overheads on both sides.
         auto row_cost = [&](size_t slot) {
-            return cost.hlopSeconds(dev_infos[slot].kind, plan.costKey,
-                                    whole.cols, plan.costWeight) -
+            return cost.hlopSeconds(dev_infos[slot].kind, plan.costKey(),
+                                    whole.cols, plan.costWeight()) -
                    cost.launchSeconds(dev_infos[slot].kind);
         };
         const double c_o = row_cost(owner);
@@ -189,7 +189,7 @@ EventLoop::shareTail(size_t owner, size_t h)
         queues[s2].push_back(partitions.size() - 1);
         active[s2] = true;
         ++remaining;
-        recordSteal(plan.eligible[s2], 1);
+        recordSteal(plan.eligible()[s2], 1);
         return;  // share with one peer per dispatch
     }
 }
@@ -198,8 +198,8 @@ void
 EventLoop::dispatchOne(size_t sl)
 {
     const VOp &vop = *plan.vop;
-    const kernels::KernelInfo &info = *plan.info;
-    const size_t d = plan.eligible[sl];
+    const kernels::KernelInfo &info = *plan.info();
+    const size_t d = plan.eligible()[sl];
     const size_t h = queues[sl].front();
     queues[sl].pop_front();
     shareTail(sl, h);
@@ -244,9 +244,9 @@ EventLoop::dispatchOne(size_t sl)
     }
     const double compute =
         costing == DispatchSim::Costing::Baseline
-            ? cost.baselineSeconds(plan.costKey, elems, plan.costWeight)
-            : cost.hlopSeconds(bk.kind(), plan.costKey, elems,
-                               plan.costWeight);
+            ? cost.baselineSeconds(plan.costKey(), elems, plan.costWeight())
+            : cost.hlopSeconds(bk.kind(), plan.costKey(), elems,
+                               plan.costWeight());
     const double before = timelines[d].now();
     const double end = timelines[d].charge(prep, compute, release);
 
@@ -275,7 +275,7 @@ DispatchOutcome
 EventLoop::run()
 {
     seedQueues();
-    const size_t n_slots = plan.eligible.size();
+    const size_t n_slots = plan.eligible().size();
     while (remaining > 0) {
         // The earliest-available active device acts next.
         size_t sl = n_slots;
@@ -284,7 +284,7 @@ EventLoop::run()
             if (!active[i])
                 continue;
             const double t =
-                std::max(timelines[plan.eligible[i]].now(), release);
+                std::max(timelines[plan.eligible()[i]].now(), release);
             if (t < best) {
                 best = t;
                 sl = i;

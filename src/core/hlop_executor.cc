@@ -13,7 +13,7 @@ HlopExecutor::execute(const VopPlan &plan,
                       sim::HostPhaseStats *wall) const
 {
     const VOp &vop = *plan.vop;
-    const kernels::KernelInfo &info = *plan.info;
+    const kernels::KernelInfo &info = *plan.info();
 
     std::vector<const DispatchRecord *> pending;
     pending.reserve(records.size());

@@ -4,6 +4,8 @@
 
 #include "common/math_utils.hh"
 #include "common/random.hh"
+#include "core/criticality_cache.hh"
+#include "core/plan_cache.hh"
 #include "tensor/quantize.hh"
 
 namespace shmt::core {
@@ -70,7 +72,8 @@ checkVop(const VOp &vop, const KernelInfo &info)
 KernelArgs
 makeKernelArgs(const VOp &vop, const KernelInfo &info,
                const RuntimeConfig &config,
-               const sim::PlatformCalibration &cal, bool npu_quant)
+               const sim::PlatformCalibration &cal, bool npu_quant,
+               CriticalityCache *quant_memo, CacheStats *cache_stats)
 {
     KernelArgs args;
     for (const Tensor *t : vop.inputs)
@@ -85,10 +88,15 @@ makeKernelArgs(const VOp &vop, const KernelInfo &info,
     // range — lossless for 8-bit image data. Partitions far below the
     // model range use only a sliver of the INT8 codes, and the model
     // noise grows for partitions near/above it (off-distribution).
+    // The range scan is memoized by tensor write generation when a
+    // quant memo is attached (identical bytes -> identical params).
     if (npu_quant) {
         for (const Tensor *t : vop.inputs)
             args.npuInputQuant.push_back(
-                chooseQuantParams(t->view(), args.hostSimd));
+                quant_memo
+                    ? quant_memo->quantParams(*t, args.hostSimd,
+                                              cache_stats)
+                    : chooseQuantParams(t->view(), args.hostSimd));
     }
     return args;
 }
@@ -117,73 +125,108 @@ Planner::partition(const KernelInfo &info, size_t rows, size_t cols) const
     return tilePartitions(rows, cols, tile_r, tile_c);
 }
 
-VopPlan
-Planner::plan(const VOp &vop, size_t vop_index) const
+std::shared_ptr<const PlanSkeleton>
+Planner::buildSkeleton(const VOp &vop, const KernelInfo &info,
+                       size_t device) const
 {
-    return plan(vop, vop_index, config_.seed);
+    auto skel = std::make_shared<PlanSkeleton>();
+    skel->info = &info;
+    std::tie(skel->rows, skel->cols) = vopBasis(vop, info);
+    skel->costKey = std::string(vopCostKey(vop, info));
+    skel->costWeight = info.costWeight * vop.weight;
+
+    if (device == kAnyPlanDevice) {
+        skel->partitions = partition(info, skel->rows, skel->cols);
+
+        // Only devices whose driver registered an implementation of
+        // this opcode participate (paper §3.3: drivers report their
+        // HLOP lists at initialization). The policy sees queue slots
+        // 0..E-1; the eligible[] table maps slots back to physical
+        // devices.
+        for (size_t d = 0; d < backends_->size(); ++d)
+            if ((*backends_)[d]->supports(info))
+                skel->eligible.push_back(d);
+        if (skel->eligible.empty())
+            SHMT_FATAL("no device supports opcode '", vop.opcode, "'");
+    } else {
+        SHMT_ASSERT(device < backends_->size(), "no device ", device);
+        skel->partitions = {Rect{0, 0, skel->rows, skel->cols}};
+        skel->eligible = {device};
+    }
+
+    skel->slotInfos.resize(skel->eligible.size());
+    for (size_t sl = 0; sl < skel->eligible.size(); ++sl) {
+        skel->slotInfos[sl].index = sl;
+        skel->slotInfos[sl].kind =
+            (*backends_)[skel->eligible[sl]]->kind();
+        skel->slotInfos[sl].dtype =
+            (*backends_)[skel->eligible[sl]]->nativeDtype();
+    }
+    return skel;
+}
+
+std::shared_ptr<const PlanSkeleton>
+Planner::skeleton(const VOp &vop, const KernelInfo &info, size_t device,
+                  CacheStats *cache_stats) const
+{
+    if (!planCache_) {
+        if (cache_stats)
+            ++cache_stats->planMisses;
+        return buildSkeleton(vop, info, device);
+    }
+    const PlanKey key =
+        makePlanKey(vop, std::max<size_t>(1, config_.targetHlops),
+                    device);
+    if (auto skel = planCache_->find(key)) {
+        if (cache_stats)
+            ++cache_stats->planHits;
+        return skel;
+    }
+    auto skel = buildSkeleton(vop, info, device);
+    if (cache_stats)
+        ++cache_stats->planMisses;
+    planCache_->insert(key, skel);
+    return skel;
 }
 
 VopPlan
-Planner::plan(const VOp &vop, size_t vop_index, uint64_t base_seed) const
+Planner::plan(const VOp &vop, size_t vop_index,
+              CacheStats *cache_stats) const
+{
+    return plan(vop, vop_index, config_.seed, cache_stats);
+}
+
+VopPlan
+Planner::plan(const VOp &vop, size_t vop_index, uint64_t base_seed,
+              CacheStats *cache_stats) const
 {
     const KernelInfo &info = KernelRegistry::instance().get(vop.opcode);
     checkVop(vop, info);
 
     VopPlan p;
     p.vop = &vop;
-    p.info = &info;
+    p.skel = skeleton(vop, info, kAnyPlanDevice, cache_stats);
     p.vopIndex = vop_index;
-    std::tie(p.rows, p.cols) = vopBasis(vop, info);
-    p.costKey = vopCostKey(vop, info);
-    p.costWeight = info.costWeight * vop.weight;
-    p.partitions = partition(info, p.rows, p.cols);
-    p.initialPartitions = p.partitions.size();
     p.seed = base_seed ^ hashMix(vop_index + 1);
-
-    // Only devices whose driver registered an implementation of this
-    // opcode participate (paper §3.3: drivers report their HLOP lists
-    // at initialization). The policy sees queue slots 0..E-1; the
-    // eligible[] table maps slots back to physical devices.
-    for (size_t d = 0; d < backends_->size(); ++d)
-        if ((*backends_)[d]->supports(info))
-            p.eligible.push_back(d);
-    if (p.eligible.empty())
-        SHMT_FATAL("no device supports opcode '", vop.opcode, "'");
-    p.slotInfos.resize(p.eligible.size());
-    for (size_t sl = 0; sl < p.eligible.size(); ++sl) {
-        p.slotInfos[sl].index = sl;
-        p.slotInfos[sl].kind = (*backends_)[p.eligible[sl]]->kind();
-        p.slotInfos[sl].dtype =
-            (*backends_)[p.eligible[sl]]->nativeDtype();
-    }
-
-    p.args = makeKernelArgs(vop, info, config_, *cal_);
+    p.partitions = p.skel->partitions;
+    p.args = makeKernelArgs(vop, info, config_, *cal_,
+                            /*npu_quant=*/true, dataCache_, cache_stats);
     return p;
 }
 
 VopPlan
-Planner::planSingleDevice(const VOp &vop, size_t vop_index,
-                          size_t device) const
+Planner::planSingleDevice(const VOp &vop, size_t vop_index, size_t device,
+                          CacheStats *cache_stats) const
 {
     const KernelInfo &info = KernelRegistry::instance().get(vop.opcode);
     checkVop(vop, info);
-    SHMT_ASSERT(device < backends_->size(), "no device ", device);
 
     VopPlan p;
     p.vop = &vop;
-    p.info = &info;
+    p.skel = skeleton(vop, info, device, cache_stats);
     p.vopIndex = vop_index;
-    std::tie(p.rows, p.cols) = vopBasis(vop, info);
-    p.costKey = vopCostKey(vop, info);
-    p.costWeight = info.costWeight * vop.weight;
-    p.partitions = {Rect{0, 0, p.rows, p.cols}};
-    p.initialPartitions = 1;
     p.seed = config_.seed;
-    p.eligible = {device};
-    p.slotInfos.resize(1);
-    p.slotInfos[0].index = 0;
-    p.slotInfos[0].kind = (*backends_)[device]->kind();
-    p.slotInfos[0].dtype = (*backends_)[device]->nativeDtype();
+    p.partitions = p.skel->partitions;
     p.args = makeKernelArgs(vop, info, config_, *cal_,
                             /*npu_quant=*/false);
     return p;

@@ -2,18 +2,28 @@
  * @file
  * Stage 1 of the staged VOp execution pipeline: planning.
  *
- * A VopPlan is the immutable-by-convention value that every later
- * stage consumes: the partition rectangles (HLOP regions), the
- * eligible-device table (paper §3.3: drivers report their HLOP lists
- * at initialization, so only devices implementing the opcode get a
- * queue slot), the assembled KernelArgs, and the VOp's deterministic
- * seed. The Planner derives it from a VOp + RuntimeConfig alone — no
- * clocks, no queues — which is what makes plans replayable and lets
- * the GPU baseline, the discrete-event runtime, the real-thread
- * executor, and the Session layer all share one planning path.
+ * Planning is split into two values with very different lifetimes:
+ *
+ *  - PlanSkeleton: the immutable, shareable part — partition geometry,
+ *    the eligible-device slot table, kernel metadata, reduce shapes
+ *    and the cost-model key. It is a pure function of (opcode, shapes,
+ *    cost overrides, targetHlops, device pinning) and carries no
+ *    tensor pointers, no seeds and no clocks, so one skeleton can
+ *    back any number of concurrent runs and is what the PlanCache
+ *    stores and shares across same-shape programs.
+ *  - VopPlan: the cheap per-run instance — the VOp (tensor pointers),
+ *    the per-VOp seed, the assembled KernelArgs, and a mutable copy
+ *    of the partition list (DispatchSim appends tail-split halves
+ *    during co-execution) — plus a shared_ptr to its skeleton.
+ *
+ * The Planner derives both from a VOp + RuntimeConfig alone, which is
+ * what makes plans replayable and lets the GPU baseline, the
+ * discrete-event runtime, the real-thread executor, and the Session
+ * layer all share one planning path.
  *
  * Pipeline: Planner -> SamplingEngine -> DispatchSim -> HlopExecutor
- * -> Aggregator (see DESIGN.md "Execution pipeline layers").
+ * -> Aggregator (see DESIGN.md "Execution pipeline layers" and
+ * "Caching and serving layers").
  */
 
 #ifndef SHMT_CORE_PLAN_HH
@@ -22,6 +32,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -32,6 +43,9 @@
 #include "kernels/kernel_registry.hh"
 
 namespace shmt::core {
+
+class PlanCache;
+class CriticalityCache;
 
 /**
  * Producer-residency map of one run: which device produced each
@@ -56,28 +70,36 @@ uint64_t rectKey(const Rect &r);
  *  VOp carries a costKeyOverride). */
 std::string_view vopCostKey(const VOp &vop, const kernels::KernelInfo &info);
 
-/** One VOp, planned: everything later stages need, clock-free. */
-struct VopPlan
+/**
+ * The immutable, shareable half of a plan. Everything in here derives
+ * from shapes and configuration only — never from tensor *data*, run
+ * seeds, or clocks — so a skeleton built once serves every same-shape
+ * VOp, including VOPs of concurrently executing programs. The
+ * costKey is an owned string because a cached skeleton outlives the
+ * VOp whose costKeyOverride it may have been derived from.
+ */
+struct PlanSkeleton
 {
-    const VOp *vop = nullptr;                  //!< not owned
     const kernels::KernelInfo *info = nullptr; //!< registry entry
-    size_t vopIndex = 0;                       //!< position in program
     size_t rows = 0, cols = 0;                 //!< partitioning basis
-    std::string_view costKey;                  //!< calibration record
+    std::string costKey;                       //!< calibration record
     double costWeight = 1.0;                   //!< info weight x vop weight
 
-    /**
-     * HLOP regions. DispatchSim may append tail-split halves during
-     * co-execution; initialPartitions stays at the planned count (the
-     * aggregation cost model charges per planned reduction partition).
-     */
+    /** Pristine HLOP regions (the planned geometry, pre tail-split). */
     std::vector<Rect> partitions;
-    size_t initialPartitions = 0;
 
     /** Queue slot -> physical backend index (eligible devices only). */
     std::vector<size_t> eligible;
     /** Per-slot device metadata handed to the scheduling policy. */
     std::vector<DeviceInfo> slotInfos;
+};
+
+/** One VOp, planned: the per-run instance over a shared skeleton. */
+struct VopPlan
+{
+    const VOp *vop = nullptr;                  //!< not owned
+    std::shared_ptr<const PlanSkeleton> skel;  //!< shared, immutable
+    size_t vopIndex = 0;                       //!< position in program
 
     /**
      * Deterministic base seed of this VOp. Partition i of the
@@ -87,11 +109,35 @@ struct VopPlan
      */
     uint64_t seed = 0;
 
+    /**
+     * HLOP regions of *this run*: starts as the skeleton's planned
+     * geometry; DispatchSim may append tail-split halves during
+     * co-execution. initialPartitions() stays at the planned count
+     * (the aggregation cost model charges per planned reduction
+     * partition).
+     */
+    std::vector<Rect> partitions;
+
     /** Kernel arguments shared by every HLOP of this VOp. */
     kernels::KernelArgs args;
 
+    /** @{ Skeleton accessors (immutable, shared across runs). */
+    const kernels::KernelInfo *info() const { return skel->info; }
+    size_t rows() const { return skel->rows; }
+    size_t cols() const { return skel->cols; }
+    std::string_view costKey() const { return skel->costKey; }
+    double costWeight() const { return skel->costWeight; }
+    const std::vector<size_t> &eligible() const { return skel->eligible; }
+    const std::vector<DeviceInfo> &
+    slotInfos() const
+    {
+        return skel->slotInfos;
+    }
+    size_t initialPartitions() const { return skel->partitions.size(); }
+    /** @} */
+
     /** Shorthand: the kernel's reduction kind. */
-    kernels::ReduceKind reduce() const { return info->reduce; }
+    kernels::ReduceKind reduce() const { return skel->info->reduce; }
 };
 
 /**
@@ -100,25 +146,38 @@ struct VopPlan
  * override, and (when @p npu_quant) the pre-trained NPU models' fixed
  * input scales — set at model-compile time (hence no runtime cost) to
  * the full data range. The single-device baseline skips the quant
- * scan: its device executes at native FP32.
+ * scan: its device executes at native FP32. @p quant_memo, when
+ * non-null, memoizes the per-input range scans by tensor write
+ * generation (counting into @p cache_stats) — identical bytes yield
+ * identical QuantParams, so the memo is bit-transparent.
  */
 kernels::KernelArgs makeKernelArgs(const VOp &vop,
                                    const kernels::KernelInfo &info,
                                    const RuntimeConfig &config,
                                    const sim::PlatformCalibration &cal,
-                                   bool npu_quant = true);
+                                   bool npu_quant = true,
+                                   CriticalityCache *quant_memo = nullptr,
+                                   CacheStats *cache_stats = nullptr);
 
 /**
  * Builds VopPlans. Stateless apart from the construction references;
  * cheap to instantiate per run (and safe to use from concurrent runs).
+ * With a PlanCache attached, skeleton derivation is memoized by
+ * (opcode, shapes, cost overrides, targetHlops, device pinning); with
+ * a CriticalityCache attached, the NPU quant-range scans inside
+ * makeKernelArgs are memoized by tensor write generation. Both caches
+ * are optional and bit-transparent.
  */
 class Planner
 {
   public:
     Planner(const std::vector<std::unique_ptr<devices::Backend>> &backends,
             const RuntimeConfig &config,
-            const sim::PlatformCalibration &cal)
-        : backends_(&backends), config_(config), cal_(&cal)
+            const sim::PlatformCalibration &cal,
+            PlanCache *plan_cache = nullptr,
+            CriticalityCache *data_cache = nullptr)
+        : backends_(&backends), config_(config), cal_(&cal),
+          planCache_(plan_cache), dataCache_(data_cache)
     {}
 
     /**
@@ -127,10 +186,13 @@ class Planner
      * slot per supporting device, seed mixed per VOp index, and the
      * NPU staging parameters. @p seed_override replaces the config
      * seed as the mixing base (Session uses it for per-program seeds).
+     * @p cache_stats, when non-null, accumulates plan/quant cache
+     * hit-miss counters for the run's RunResult.
      */
-    VopPlan plan(const VOp &vop, size_t vop_index) const;
     VopPlan plan(const VOp &vop, size_t vop_index,
-                 uint64_t base_seed) const;
+                 CacheStats *cache_stats = nullptr) const;
+    VopPlan plan(const VOp &vop, size_t vop_index, uint64_t base_seed,
+                 CacheStats *cache_stats = nullptr) const;
 
     /**
      * Degenerate single-device plan: one whole-basis partition pinned
@@ -139,16 +201,33 @@ class Planner
      * This is how runGpuBaseline becomes "a one-device plan".
      */
     VopPlan planSingleDevice(const VOp &vop, size_t vop_index,
-                             size_t device) const;
+                             size_t device,
+                             CacheStats *cache_stats = nullptr) const;
 
     /** Partition a rows x cols basis for @p info (paper §3.4). */
     std::vector<Rect> partition(const kernels::KernelInfo &info,
                                 size_t rows, size_t cols) const;
 
   private:
+    /**
+     * Fetch-or-build the skeleton of @p vop: consult the attached
+     * PlanCache first (device = kAnyPlanDevice for heterogeneous
+     * plans), build and publish on miss.
+     */
+    std::shared_ptr<const PlanSkeleton>
+    skeleton(const VOp &vop, const kernels::KernelInfo &info,
+             size_t device, CacheStats *cache_stats) const;
+
+    /** Build a skeleton from scratch (cache miss / cache off). */
+    std::shared_ptr<const PlanSkeleton>
+    buildSkeleton(const VOp &vop, const kernels::KernelInfo &info,
+                  size_t device) const;
+
     const std::vector<std::unique_ptr<devices::Backend>> *backends_;
     RuntimeConfig config_;
     const sim::PlatformCalibration *cal_;
+    PlanCache *planCache_;
+    CriticalityCache *dataCache_;
 };
 
 } // namespace shmt::core

@@ -1,0 +1,109 @@
+#include "plan_cache.hh"
+
+namespace shmt::core {
+
+bool
+PlanKey::operator==(const PlanKey &o) const
+{
+    return opcode == o.opcode && costKeyOverride == o.costKeyOverride &&
+           weight == o.weight && inputShapes == o.inputShapes &&
+           outRows == o.outRows && outCols == o.outCols &&
+           targetHlops == o.targetHlops && device == o.device;
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t
+fnvBytes(uint64_t h, const void *data, size_t bytes)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+uint64_t
+fnvValue(uint64_t h, uint64_t v)
+{
+    return fnvBytes(h, &v, sizeof(v));
+}
+
+} // namespace
+
+size_t
+PlanKeyHash::operator()(const PlanKey &k) const
+{
+    uint64_t h = kFnvOffset;
+    h = fnvBytes(h, k.opcode.data(), k.opcode.size());
+    h = fnvValue(h, k.opcode.size());
+    h = fnvBytes(h, k.costKeyOverride.data(), k.costKeyOverride.size());
+    h = fnvValue(h, k.costKeyOverride.size());
+    h = fnvBytes(h, &k.weight, sizeof(k.weight));
+    for (const auto &[r, c] : k.inputShapes) {
+        h = fnvValue(h, r);
+        h = fnvValue(h, c);
+    }
+    h = fnvValue(h, k.outRows);
+    h = fnvValue(h, k.outCols);
+    h = fnvValue(h, k.targetHlops);
+    h = fnvValue(h, k.device);
+    return static_cast<size_t>(h);
+}
+
+PlanKey
+makePlanKey(const VOp &vop, size_t target_hlops, size_t device)
+{
+    PlanKey key;
+    key.opcode = vop.opcode;
+    key.costKeyOverride = vop.costKeyOverride;
+    key.weight = vop.weight;
+    key.inputShapes.reserve(vop.inputs.size());
+    for (const Tensor *t : vop.inputs)
+        key.inputShapes.emplace_back(t->rows(), t->cols());
+    if (vop.output) {
+        key.outRows = vop.output->rows();
+        key.outCols = vop.output->cols();
+    }
+    key.targetHlops = target_hlops;
+    key.device = device;
+    return key;
+}
+
+std::shared_ptr<const PlanSkeleton>
+PlanCache::find(const PlanKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second;
+}
+
+void
+PlanCache::insert(const PlanKey &key,
+                  std::shared_ptr<const PlanSkeleton> skel)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (map_.size() >= maxEntries_ && !map_.count(key))
+        map_.clear();
+    map_.emplace(key, std::move(skel)); // first publisher wins
+}
+
+size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+}
+
+} // namespace shmt::core

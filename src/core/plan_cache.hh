@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shape-keyed cache of immutable plan skeletons (the serving-stack
+ * half of planning; see DESIGN.md "Caching and serving layers").
+ *
+ * A Session serving many same-shape programs re-derives the exact
+ * same partition geometry, eligible-device slot table and cost-model
+ * key for every program. PlanCache memoizes that work: the key covers
+ * every input the skeleton is a function of — opcode, cost overrides,
+ * the input/output shapes, the partitioning target (targetHlops) and
+ * an optional device pinning — so a hit returns a skeleton
+ * bit-identical to what the Planner would rebuild. Skeletons carry no
+ * tensor pointers, seeds or clocks, which is what makes sharing them
+ * across concurrent runs sound.
+ *
+ * One cache belongs to one Runtime (whose backends are fixed for
+ * life); entries are shared_ptr, so eviction never invalidates a plan
+ * already handed to an in-flight run. The map is mutex-protected and
+ * bounded: overflowing the entry cap evicts wholesale, which is
+ * simple, O(1) amortized, and harmless for serving workloads (few
+ * distinct shapes, instantly re-warmed).
+ */
+
+#ifndef SHMT_CORE_PLAN_CACHE_HH
+#define SHMT_CORE_PLAN_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/plan.hh"
+
+namespace shmt::core {
+
+/** Device value of heterogeneous (non-pinned) plan keys. */
+constexpr size_t kAnyPlanDevice = static_cast<size_t>(-1);
+
+/** Everything a PlanSkeleton is a function of. */
+struct PlanKey
+{
+    std::string opcode;
+    std::string costKeyOverride;
+    double weight = 1.0;
+    std::vector<std::pair<size_t, size_t>> inputShapes;
+    size_t outRows = 0, outCols = 0;
+    size_t targetHlops = 0;
+    size_t device = kAnyPlanDevice; //!< kAnyPlanDevice = heterogeneous
+
+    bool operator==(const PlanKey &o) const;
+};
+
+/** FNV-style hash over every PlanKey field. */
+struct PlanKeyHash
+{
+    size_t operator()(const PlanKey &k) const;
+};
+
+/** Build the cache key of @p vop (see PlanKey). */
+PlanKey makePlanKey(const VOp &vop, size_t target_hlops, size_t device);
+
+/** Thread-safe, bounded skeleton cache. */
+class PlanCache
+{
+  public:
+    explicit PlanCache(size_t max_entries = 1024)
+        : maxEntries_(max_entries)
+    {}
+
+    /** The cached skeleton of @p key, or nullptr. */
+    std::shared_ptr<const PlanSkeleton> find(const PlanKey &key) const;
+
+    /**
+     * Publish @p skel under @p key. Racing inserts of the same key
+     * keep the first-published skeleton (both are bit-identical by
+     * construction, so either is correct).
+     */
+    void insert(const PlanKey &key,
+                std::shared_ptr<const PlanSkeleton> skel);
+
+    /** Entries currently cached. */
+    size_t size() const;
+
+    /** Drop every entry (in-flight shared_ptr holders are unaffected). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    size_t maxEntries_;
+    std::unordered_map<PlanKey, std::shared_ptr<const PlanSkeleton>,
+                       PlanKeyHash>
+        map_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_PLAN_CACHE_HH

@@ -65,6 +65,56 @@ struct RuntimeConfig
      * reduce_sum).
      */
     SimdMode hostSimd = SimdMode::Auto;
+
+    /**
+     * The serving caches (`shmtbench --plan-cache=off|on`): the
+     * shape-keyed VopPlan skeleton cache and the generation-keyed
+     * criticality/quantization memo. Purely a host wall-clock knob —
+     * cached plans are the same values the Planner would rebuild, and
+     * the data-derived memos are keyed on the tensor write generation,
+     * so identical bytes yield identical stats; results and simulated
+     * timing are bit-identical with the caches off (the pipeline
+     * snapshot pins this).
+     */
+    bool planCache = true;
+};
+
+/**
+ * Serving-cache effectiveness counters of one run. All hits are
+ * transparent: a hit returns exactly the value a fresh computation
+ * would have produced (the plan key covers every shape/config input
+ * of the skeleton; the data memos key on the tensor write
+ * generation).
+ */
+struct CacheStats
+{
+    size_t planHits = 0;    //!< VopPlan skeletons reused
+    size_t planMisses = 0;  //!< skeletons built (includes cache off)
+    size_t statsHits = 0;   //!< samplePartitions scans skipped
+    size_t statsMisses = 0;
+    size_t quantHits = 0;   //!< NPU quant-range scans skipped
+    size_t quantMisses = 0;
+    /** Input bytes NOT re-scanned on the host thanks to the memos. */
+    size_t scanBytesAvoided = 0;
+
+    void
+    add(const CacheStats &o)
+    {
+        planHits += o.planHits;
+        planMisses += o.planMisses;
+        statsHits += o.statsHits;
+        statsMisses += o.statsMisses;
+        quantHits += o.quantHits;
+        quantMisses += o.quantMisses;
+        scanBytesAvoided += o.scanBytesAvoided;
+    }
+
+    size_t hits() const { return planHits + statsHits + quantHits; }
+    size_t
+    misses() const
+    {
+        return planMisses + statsMisses + quantMisses;
+    }
 };
 
 /** Per-device execution statistics of one run. */
@@ -96,6 +146,14 @@ struct RunResult
      * host engine (`RuntimeConfig::hostThreads`) shrinks.
      */
     sim::HostPhaseStats hostWall;
+
+    /**
+     * Serving-cache counters of this run (plan skeletons reused,
+     * criticality/quant scans skipped, bytes of host scanning
+     * avoided). All zeros with `RuntimeConfig::planCache` off except
+     * the miss counters, which then count the uncached computations.
+     */
+    CacheStats cache;
 
     /** Fraction of busy time spent stalled on data exchange
      *  (paper Table 3). */

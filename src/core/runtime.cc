@@ -41,15 +41,17 @@ Runtime::runVop(VopPlan &plan, Policy &policy, double start,
                 ProducerMap &producers, bool functional)
 {
     const VOp &vop = *plan.vop;
-    const KernelInfo &info = *plan.info;
+    const KernelInfo &info = *plan.info();
 
-    policy.beginVop(VopContext{plan.costKey, &costModel_, plan.costWeight});
+    policy.beginVop(
+        VopContext{plan.costKey(), &costModel_, plan.costWeight()});
 
     // --- Sampling phase (QAWS, paper §3.5). ------------------------------
     const SamplingEngine sampler(costModel_);
     std::vector<PartitionInfo> pinfos;
-    const double release =
-        sampler.charge(plan, policy, start, pinfos, &result.hostWall);
+    const double release = sampler.charge(
+        plan, policy, start, pinfos, &result.hostWall,
+        config_.planCache ? &dataCache_ : nullptr, &result.cache);
     result.schedulingSec += release - start;
 
     // --- Event-driven dispatch with work stealing (paper §3.4). ----------
@@ -148,7 +150,11 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
     const Planner planner = makePlanner();
     double clock = 0.0;
     for (size_t i = 0; i < program.ops.size(); ++i) {
-        VopPlan plan = planner.plan(program.ops[i], i, base_seed);
+        VopPlan plan = [&] {
+            sim::ScopedWallTimer wt(result.hostWall.planningSec);
+            return planner.plan(program.ops[i], i, base_seed,
+                                &result.cache);
+        }();
         clock = runVop(plan, policy, clock, result, timelines, producers,
                        functional);
     }
@@ -168,8 +174,11 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
                   result.schedulingSec + result.aggregationSec);
     result.energy = meter.finalize(result.makespanSec);
     result.hostWall.totalSec = sim::wallSeconds() - host_t0;
-    if (trace_)
+    if (trace_) {
         trace_->setHostPhases(result.hostWall);
+        trace_->setCacheStats(result.cache.hits(), result.cache.misses(),
+                              result.cache.scanBytesAvoided);
+    }
     return result;
 }
 
@@ -227,7 +236,7 @@ Runtime::runGpuBaseline(const VopProgram &program, bool functional)
 
     for (size_t i = 0; i < program.ops.size(); ++i) {
         VopPlan plan = planner.planSingleDevice(program.ops[i], i,
-                                                gpu_index);
+                                                gpu_index, &result.cache);
         std::vector<PartitionInfo> pinfos(1);
         pinfos[0].region = plan.partitions[0];
         // A null producer map: the baseline stages every input every
@@ -238,8 +247,8 @@ Runtime::runGpuBaseline(const VopProgram &program, bool functional)
         if (functional) {
             std::vector<Tensor> accumulators;
             if (plan.reduce() != ReduceKind::None)
-                accumulators.emplace_back(plan.info->reduceRows,
-                                          plan.info->reduceCols);
+                accumulators.emplace_back(plan.info()->reduceRows,
+                                          plan.info()->reduceCols);
             executor.execute(plan, outcome.records, accumulators,
                              /*wall=*/nullptr);
             aggregator.combine(plan, accumulators, /*wall=*/nullptr);

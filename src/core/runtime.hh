@@ -27,8 +27,10 @@
 #include <memory>
 #include <vector>
 
+#include "core/criticality_cache.hh"
 #include "core/dispatch_sim.hh"
 #include "core/plan.hh"
+#include "core/plan_cache.hh"
 #include "core/policy.hh"
 #include "core/run_types.hh"
 #include "core/vop.hh"
@@ -104,8 +106,24 @@ class Runtime
         dispatchLog_ = log;
     }
 
-    /** A Planner over this runtime's devices and configuration. */
-    Planner makePlanner() const { return Planner(backends_, config_, cal_); }
+    /**
+     * A Planner over this runtime's devices and configuration. With
+     * config.planCache on, the planner shares this runtime's serving
+     * caches (skeletons + data-derived scans); concurrent Session
+     * workers therefore warm one another.
+     */
+    Planner
+    makePlanner() const
+    {
+        return Planner(backends_, config_, cal_,
+                       config_.planCache ? &planCache_ : nullptr,
+                       config_.planCache ? &dataCache_ : nullptr);
+    }
+
+    /** The shared plan-skeleton cache (introspection for tests). */
+    PlanCache &planCache() const { return planCache_; }
+    /** The shared data-derived scan memo (introspection for tests). */
+    CriticalityCache &dataCache() const { return dataCache_; }
 
     const sim::CostModel &costModel() const { return costModel_; }
     const RuntimeConfig &config() const { return config_; }
@@ -127,6 +145,15 @@ class Runtime
     const sim::PlatformCalibration &cal_;
     sim::CostModel costModel_;
     RuntimeConfig config_;
+
+    /**
+     * Serving caches (DESIGN.md "Caching and serving layers"). Mutable
+     * because they are pure memoization — bit-transparent by
+     * construction — and must be reachable from the const makePlanner()
+     * path the real-thread executor uses.
+     */
+    mutable PlanCache planCache_;
+    mutable CriticalityCache dataCache_;
 
     /** Optional trace sink (not owned). */
     sim::ExecutionTrace *trace_ = nullptr;

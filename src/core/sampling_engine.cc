@@ -1,5 +1,6 @@
 #include "sampling_engine.hh"
 
+#include "core/criticality_cache.hh"
 #include "core/sampling.hh"
 
 namespace shmt::core {
@@ -7,7 +8,8 @@ namespace shmt::core {
 double
 SamplingEngine::charge(const VopPlan &plan, const Policy &policy,
                        double start, std::vector<PartitionInfo> &pinfos,
-                       sim::HostPhaseStats *wall) const
+                       sim::HostPhaseStats *wall, CriticalityCache *memo,
+                       CacheStats *counters) const
 {
     const size_t n = plan.partitions.size();
     double cpu_clock = start;
@@ -15,20 +17,27 @@ SamplingEngine::charge(const VopPlan &plan, const Policy &policy,
 
     const VOp &vop = *plan.vop;
     const bool can_sample = !vop.inputs.empty() &&
-                            vop.inputs[0]->rows() == plan.rows &&
-                            vop.inputs[0]->cols() == plan.cols;
+                            vop.inputs[0]->rows() == plan.rows() &&
+                            vop.inputs[0]->cols() == plan.cols();
     if (auto spec = policy.sampling(); spec && can_sample) {
         // Algorithms 3-5 are independent per partition, so the stats
         // are gathered in parallel on the host pool (each partition
         // derives its own seed); the simulated cost is then charged
         // serially in partition order, exactly as the serial loop did.
-        std::vector<SampleStats> stats;
+        std::shared_ptr<const std::vector<SampleStats>> cached;
+        std::vector<SampleStats> fresh;
         {
             double discard = 0.0;
             sim::ScopedWallTimer wt(wall ? wall->samplingSec : discard);
-            stats = samplePartitions(vop.inputs[0]->view(),
-                                     plan.partitions, *spec, plan.seed);
+            if (memo)
+                cached = memo->stats(*vop.inputs[0], plan.partitions,
+                                     *spec, plan.seed, counters);
+            else
+                fresh = samplePartitions(vop.inputs[0]->view(),
+                                         plan.partitions, *spec,
+                                         plan.seed);
         }
+        const std::vector<SampleStats> &stats = cached ? *cached : fresh;
         for (size_t i = 0; i < n; ++i) {
             pinfos[i].criticality = criticalityScore(stats[i]);
             if (policy.chargesSamplingCost()) {
@@ -47,7 +56,7 @@ SamplingEngine::charge(const VopPlan &plan, const Policy &policy,
             }
             if (policy.runsCanary())
                 cpu_clock += cost_->canarySeconds(
-                    plan.costKey, plan.partitions[i].size());
+                    plan.costKey(), plan.partitions[i].size());
         }
     }
     for (size_t i = 0; i < n; ++i)

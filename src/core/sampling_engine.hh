@@ -24,6 +24,8 @@
 
 namespace shmt::core {
 
+class CriticalityCache;
+
 /** Samples plans and charges the scheduler's simulated time. */
 class SamplingEngine
 {
@@ -36,10 +38,18 @@ class SamplingEngine
      * of @p start. Returns the advanced CPU clock; the caller accounts
      * the difference as schedulingSec. @p wall, when non-null,
      * accumulates the host wall-clock spent gathering samples.
+     *
+     * @p memo, when non-null, memoizes the host-side statistics scan
+     * by tensor write generation (counting into @p counters). Only the
+     * host work is skipped on a hit: the simulated sampling cost is
+     * still charged from the memoized visit counts, so the returned
+     * clock is bit-identical with or without the memo.
      */
     double charge(const VopPlan &plan, const Policy &policy, double start,
                   std::vector<PartitionInfo> &pinfos,
-                  sim::HostPhaseStats *wall) const;
+                  sim::HostPhaseStats *wall,
+                  CriticalityCache *memo = nullptr,
+                  CacheStats *counters = nullptr) const;
 
   private:
     const sim::CostModel *cost_;

@@ -1,12 +1,18 @@
 #include "session.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace shmt::core {
 
-Session::Session(Runtime &runtime) : runtime_(&runtime)
+Session::Session(Runtime &runtime, SessionOptions options)
+    : runtime_(&runtime), options_(options)
 {
-    driver_ = std::thread([this] { driverLoop(); });
+    options_.workers = std::max<size_t>(1, options_.workers);
+    workers_.reserve(options_.workers);
+    for (size_t w = 0; w < options_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
 }
 
 Session::~Session()
@@ -16,7 +22,9 @@ Session::~Session()
         stopping_ = true;
     }
     cv_.notify_all();
-    driver_.join();
+    spaceCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
 }
 
 std::future<RunResult>
@@ -27,9 +35,19 @@ Session::submit(Submission submission)
     pending.submission = std::move(submission);
     std::future<RunResult> future = pending.promise.get_future();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
         SHMT_ASSERT(!stopping_, "submit on a stopping session");
+        if (options_.maxQueue > 0) {
+            // Backpressure: block the client until the queue has room
+            // (workers free a slot the moment they claim a program).
+            spaceCv_.wait(lock, [this] {
+                return stopping_ || queue_.size() < options_.maxQueue;
+            });
+            SHMT_ASSERT(!stopping_, "submit on a stopping session");
+        }
+        pending.ticket = nextTicket_++;
         queue_.push_back(std::move(pending));
+        peakQueue_ = std::max(peakQueue_, queue_.size());
     }
     cv_.notify_one();
     return future;
@@ -51,7 +69,9 @@ void
 Session::drain()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    idleCv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+    idleCv_.wait(lock, [this] {
+        return queue_.empty() && activeWorkers_ == 0;
+    });
 }
 
 size_t
@@ -61,8 +81,22 @@ Session::executedCount() const
     return executed_;
 }
 
+size_t
+Session::queuedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+size_t
+Session::peakQueueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peakQueue_;
+}
+
 void
-Session::driverLoop()
+Session::workerLoop()
 {
     for (;;) {
         Pending pending;
@@ -74,8 +108,10 @@ Session::driverLoop()
                 return;  // stopping and drained
             pending = std::move(queue_.front());
             queue_.pop_front();
-            busy_ = true;
+            ++activeWorkers_;
         }
+        // The pop freed a queue slot; wake one blocked submitter.
+        spaceCv_.notify_one();
 
         // Execute outside the lock: the run's forChunks bodies park on
         // the shared pool, and nesting under a held mutex deadlocks.
@@ -91,19 +127,32 @@ Session::driverLoop()
             error = std::current_exception();
         }
 
-        // Book-keep before fulfilling the promise so a client woken by
-        // its future already observes the program in executedCount().
         {
-            std::lock_guard<std::mutex> lock(mutex_);
-            busy_ = false;
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (options_.fifoCompletion) {
+                // Workers pop tickets in order, so the smallest
+                // in-flight ticket is always past this gate (or about
+                // to reach it with a true predicate): no deadlock.
+                fifoCv_.wait(lock, [this, &pending] {
+                    return nextToComplete_ == pending.ticket;
+                });
+            }
+            --activeWorkers_;
             ++executed_;
-            if (queue_.empty())
+            ++nextToComplete_;
+            // Fulfill under the lock: with fifoCompletion this makes
+            // delivery order strict (a later future is never observably
+            // ready before an earlier one). set_value only stores and
+            // notifies — it runs no client code — so this cannot
+            // deadlock.
+            if (error)
+                pending.promise.set_exception(error);
+            else
+                pending.promise.set_value(std::move(result));
+            fifoCv_.notify_all();
+            if (queue_.empty() && activeWorkers_ == 0)
                 idleCv_.notify_all();
         }
-        if (error)
-            pending.promise.set_exception(error);
-        else
-            pending.promise.set_value(std::move(result));
     }
 }
 

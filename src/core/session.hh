@@ -2,27 +2,35 @@
  * @file
  * Concurrent program-submission session (the "driver process" view of
  * paper §3.3): N client threads enqueue VopPrograms against one
- * persistent virtual device; a driver thread executes them FIFO in
- * arrival order through the shared Runtime and host thread pool.
+ * persistent virtual device; a pool of driver workers executes them
+ * through the shared Runtime and host thread pool.
  *
  * Isolation and determinism guarantees:
  *
  *  - Every program gets its own simulated timelines and its own
  *    producer-residency map (Runtime::run keeps all run state local),
  *    so concurrent clients never perturb each other's simulated
- *    timing or numerics.
+ *    timing or numerics. The only cross-program shared state — the
+ *    Runtime's serving caches — is bit-transparent memoization.
  *  - Every program's VOp seeds derive from a per-program base seed
  *    (the runtime config seed unless the submission overrides it), so
  *    a program's results are a pure function of (program, policy,
  *    seed) — byte-identical to a standalone Runtime::run call, no
- *    matter how many clients race on the submission queue.
- *  - Results are delivered through std::future in submission (FIFO)
- *    order of execution.
+ *    matter how many workers race on the submission queue.
+ *  - With one worker (the default) programs execute FIFO in arrival
+ *    order, exactly the historical driver-thread behavior. With more
+ *    workers programs may *complete* out of order; the
+ *    fifoCompletion option restores in-order result delivery (a
+ *    program's future never resolves before every earlier program's)
+ *    without serializing execution.
+ *  - maxQueue bounds the submission queue: submit() blocks until a
+ *    slot frees, giving clients backpressure instead of unbounded
+ *    memory growth.
  *
- * The submission queue is the only shared mutable state and is
+ * The submission queue is the only session-owned mutable state and is
  * mutex-protected; the functional work inside each run still fans out
- * over the shared host ThreadPool. Note the driver must never hold
- * the session mutex while running a program — the program's forChunks
+ * over the shared host ThreadPool. Note a worker must never hold the
+ * session mutex while running a program — the program's forChunks
  * bodies park on the pool, and nesting under a held lock deadlocks.
  */
 
@@ -37,12 +45,26 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "core/policy.hh"
 #include "core/runtime.hh"
 #include "core/vop.hh"
 
 namespace shmt::core {
+
+/** Session tuning knobs (see the file comment). */
+struct SessionOptions
+{
+    /** Driver workers executing queued programs concurrently. 1 (the
+     *  default) is the historical strict-FIFO single driver. */
+    size_t workers = 1;
+    /** Submission-queue bound; submit() blocks while full. 0 = unbounded. */
+    size_t maxQueue = 0;
+    /** Resolve futures in submission order even when execution
+     *  completes out of order. */
+    bool fifoCompletion = false;
+};
 
 /** Persistent submission queue over one Runtime. */
 class Session
@@ -58,21 +80,21 @@ class Session
         std::optional<uint64_t> seed;
     };
 
-    /** Starts the driver thread over @p runtime (not owned; must
+    /** Starts the worker pool over @p runtime (not owned; must
      *  outlive the session). */
-    explicit Session(Runtime &runtime);
+    explicit Session(Runtime &runtime, SessionOptions options = {});
 
     /** Drains the queue (every accepted submission still executes),
-     *  then joins the driver. */
+     *  then joins the workers. */
     ~Session();
 
     Session(const Session &) = delete;
     Session &operator=(const Session &) = delete;
 
     /**
-     * Enqueue @p submission; safe from any thread. The returned
-     * future yields the program's RunResult once the driver has
-     * executed it (programs run FIFO in arrival order). The program's
+     * Enqueue @p submission; safe from any thread. Blocks while the
+     * queue is at its maxQueue bound. The returned future yields the
+     * program's RunResult once a worker has executed it. The program's
      * tensors are owned by the caller and must stay alive until the
      * future resolves.
      */
@@ -90,24 +112,40 @@ class Session
     /** Programs executed since construction. */
     size_t executedCount() const;
 
+    /** Submissions currently waiting for a worker. */
+    size_t queuedCount() const;
+
+    /** High-water mark of the submission queue since construction. */
+    size_t peakQueueDepth() const;
+
+    /** The options this session runs under. */
+    const SessionOptions &options() const { return options_; }
+
   private:
     struct Pending
     {
         Submission submission;
         std::promise<RunResult> promise;
+        uint64_t ticket = 0; //!< submission sequence number
     };
 
-    void driverLoop();
+    void workerLoop();
 
     Runtime *runtime_;
+    SessionOptions options_;
     mutable std::mutex mutex_;
-    std::condition_variable cv_;       //!< wakes the driver
+    std::condition_variable cv_;       //!< wakes idle workers
     std::condition_variable idleCv_;   //!< wakes drain()
+    std::condition_variable spaceCv_;  //!< wakes blocked submit()
+    std::condition_variable fifoCv_;   //!< ordered completion gate
     std::deque<Pending> queue_;
     bool stopping_ = false;
-    bool busy_ = false;                //!< driver mid-program
+    size_t activeWorkers_ = 0;         //!< workers mid-program
     size_t executed_ = 0;
-    std::thread driver_;
+    size_t peakQueue_ = 0;
+    uint64_t nextTicket_ = 0;          //!< next submission sequence
+    uint64_t nextToComplete_ = 0;      //!< next ticket allowed to finish
+    std::vector<std::thread> workers_;
 };
 
 } // namespace shmt::core

@@ -97,16 +97,16 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
     for (size_t vi = 0; vi < program.ops.size(); ++vi) {
         const VOp &vop = program.ops[vi];
         VopPlan plan = planner.plan(vop, vi);
-        const KernelInfo &info = *plan.info;
+        const KernelInfo &info = *plan.info();
         const std::vector<Rect> &regions = plan.partitions;
-        const size_t n_slots = plan.eligible.size();
+        const size_t n_slots = plan.eligible().size();
 
         // Sampling + assignment (sampled in parallel on the shared
         // host pool; per-region seeds keep the scores identical to
         // the serial loop).
         std::vector<PartitionInfo> pinfos(regions.size());
-        const bool can_sample = vop.inputs[0]->rows() == plan.rows &&
-                                vop.inputs[0]->cols() == plan.cols;
+        const bool can_sample = vop.inputs[0]->rows() == plan.rows() &&
+                                vop.inputs[0]->cols() == plan.cols();
         if (auto spec = policy.sampling(); spec && can_sample) {
             const auto stats = samplePartitions(vop.inputs[0]->view(),
                                                 regions, *spec, plan.seed);
@@ -116,14 +116,14 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
         for (size_t i = 0; i < regions.size(); ++i)
             pinfos[i].region = regions[i];
 
-        policy.beginVop(VopContext{plan.costKey, &runtime.costModel(),
-                                   plan.costWeight});
-        const auto assignment = policy.assign(pinfos, plan.slotInfos);
+        policy.beginVop(VopContext{plan.costKey(), &runtime.costModel(),
+                                   plan.costWeight()});
+        const auto assignment = policy.assign(pinfos, plan.slotInfos());
 
         VopState state;
         state.queues.resize(n_slots);
         state.partitions = &pinfos;
-        state.devices = &plan.slotInfos;
+        state.devices = &plan.slotInfos();
         state.policy = &policy;
         for (size_t i = 0; i < assignment.size(); ++i)
             state.queues[assignment[i]].push_back(i);
@@ -148,7 +148,7 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
                         info.reduce != ReduceKind::None
                             ? accumulators[h].view()
                             : regionView(*vop.output, regions[h]);
-                    runtime.backend(plan.eligible[sl])
+                    runtime.backend(plan.eligible()[sl])
                         .execute(info, plan.args, regions[h], out,
                                  plan.seed);
                     counts[sl].fetch_add(1, std::memory_order_relaxed);
@@ -188,7 +188,7 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
         }
 
         for (size_t sl = 0; sl < n_slots; ++sl)
-            result.hlopsPerDevice[plan.eligible[sl]] +=
+            result.hlopsPerDevice[plan.eligible()[sl]] +=
                 counts[sl].load(std::memory_order_relaxed);
         result.hlopsTotal += regions.size();
     }

@@ -71,10 +71,23 @@ ExecutionTrace::writeChromeTrace(std::ostream &os) const
             os << ",";
         os << "{\"name\":\"host_phases\",\"cat\":\"host\",\"ph\":\"M\","
               "\"pid\":0,\"tid\":\"host\",\"args\":{"
-              "\"sampling_ms\":" << hostPhases_.samplingSec * 1e3
+              "\"planning_ms\":" << hostPhases_.planningSec * 1e3
+           << ",\"sampling_ms\":" << hostPhases_.samplingSec * 1e3
            << ",\"exec_ms\":" << hostPhases_.execSec * 1e3
            << ",\"aggregation_ms\":" << hostPhases_.aggregationSec * 1e3
            << ",\"total_ms\":" << hostPhases_.totalSec * 1e3 << "}}";
+        first = false;
+    }
+    if (hasCacheStats_) {
+        // Metadata record: serving-cache effectiveness of the run.
+        if (!first)
+            os << ",";
+        os << "{\"name\":\"serving_caches\",\"cat\":\"host\",\"ph\":"
+              "\"M\",\"pid\":0,\"tid\":\"host\",\"args\":{"
+              "\"cache_hits\":" << cacheHits_
+           << ",\"cache_misses\":" << cacheMisses_
+           << ",\"scan_bytes_avoided\":" << cacheScanBytesAvoided_
+           << "}}";
     }
     os << "]}\n";
 }

@@ -57,6 +57,8 @@ class ExecutionTrace
         events_.clear();
         hostPhases_ = HostPhaseStats{};
         hasHostPhases_ = false;
+        cacheHits_ = cacheMisses_ = cacheScanBytesAvoided_ = 0;
+        hasCacheStats_ = false;
     }
 
     /** Completion time of the last event. */
@@ -85,6 +87,24 @@ class ExecutionTrace
     bool hasHostPhases() const { return hasHostPhases_; }
 
     /**
+     * Serving-cache counters of the recorded run (plan + criticality
+     * caches, aggregated; set by the runtime when a trace is
+     * attached). Exported as trace metadata.
+     */
+    void
+    setCacheStats(size_t hits, size_t misses, size_t scan_bytes_avoided)
+    {
+        cacheHits_ = hits;
+        cacheMisses_ = misses;
+        cacheScanBytesAvoided_ = scan_bytes_avoided;
+        hasCacheStats_ = true;
+    }
+    size_t cacheHits() const { return cacheHits_; }
+    size_t cacheMisses() const { return cacheMisses_; }
+    size_t cacheScanBytesAvoided() const { return cacheScanBytesAvoided_; }
+    bool hasCacheStats() const { return hasCacheStats_; }
+
+    /**
      * Write the trace in Chrome tracing JSON (one row per device,
      * one duration slice per HLOP; timestamps in microseconds).
      */
@@ -94,6 +114,10 @@ class ExecutionTrace
     std::vector<TraceEvent> events_;
     HostPhaseStats hostPhases_;
     bool hasHostPhases_ = false;
+    size_t cacheHits_ = 0;
+    size_t cacheMisses_ = 0;
+    size_t cacheScanBytesAvoided_ = 0;
+    bool hasCacheStats_ = false;
 };
 
 } // namespace shmt::sim

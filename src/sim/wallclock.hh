@@ -49,17 +49,18 @@ class ScopedWallTimer
  */
 struct HostPhaseStats
 {
+    double planningSec = 0.0;    //!< plan derivation (+ quant scans)
     double samplingSec = 0.0;    //!< QAWS criticality sampling
     double execSec = 0.0;        //!< functional HLOP bodies (+ staging)
     double aggregationSec = 0.0; //!< reduction combines / finalize
     double totalSec = 0.0;       //!< whole run() wall time
 
-    /** Host time outside the three instrumented phases. */
+    /** Host time outside the four instrumented phases. */
     double
     otherSec() const
     {
-        const double t =
-            totalSec - samplingSec - execSec - aggregationSec;
+        const double t = totalSec - planningSec - samplingSec -
+                         execSec - aggregationSec;
         return t > 0.0 ? t : 0.0;
     }
 };

@@ -12,7 +12,9 @@
 #ifndef SHMT_TENSOR_TENSOR_HH
 #define SHMT_TENSOR_TENSOR_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/logging.hh"
@@ -143,7 +145,28 @@ class ConstTensorView
     size_t rowStride_ = 0;
 };
 
-/** Owning 2-D float tensor (row-major, contiguous). */
+/**
+ * Owning 2-D float tensor (row-major, contiguous).
+ *
+ * Every tensor carries a process-unique identity and a *write
+ * generation*: the generation is bumped whenever a mutable alias of
+ * the payload is handed out (non-const data()/at()/view()/slice()),
+ * i.e. strictly before any bytes can change through it. The pair
+ * (id(), generation()) therefore names an immutable snapshot of the
+ * payload bytes — if two reads observe the same pair, they observed
+ * the same bytes — which is what the runtime's data-derived caches
+ * (criticality statistics, quantization ranges) key on. Ids are never
+ * reused: copies, moves, and assignments all mint a fresh identity,
+ * so a stale (id, generation) key can never alias a live tensor.
+ *
+ * The bump-on-handout rule is conservative in one direction only
+ * (handing out a view you never write through costs a spurious cache
+ * miss, never a stale hit) with one caveat: a mutable view held
+ * across a generation read and written *afterwards* would not be
+ * observed. The runtime never does that — it derives fresh views per
+ * HLOP — and callers mixing cached reads with long-lived mutable
+ * views must re-acquire the view to publish the write.
+ */
 class Tensor
 {
   public:
@@ -161,24 +184,91 @@ class Tensor
         SHMT_ASSERT(data_.size() == rows_ * cols_, "size mismatch");
     }
 
+    /** Copies and moves mint a fresh identity (generation restarts). */
+    Tensor(const Tensor &other)
+        : rows_(other.rows_), cols_(other.cols_), data_(other.data_)
+    {}
+    Tensor(Tensor &&other) noexcept
+        : rows_(other.rows_), cols_(other.cols_),
+          data_(std::move(other.data_))
+    {
+        other.rows_ = other.cols_ = 0;
+        other.data_.clear();
+    }
+    Tensor &
+    operator=(const Tensor &other)
+    {
+        if (this != &other) {
+            rows_ = other.rows_;
+            cols_ = other.cols_;
+            data_ = other.data_;
+            id_ = nextId();
+            gen_.store(0, std::memory_order_relaxed);
+        }
+        return *this;
+    }
+    Tensor &
+    operator=(Tensor &&other) noexcept
+    {
+        if (this != &other) {
+            rows_ = other.rows_;
+            cols_ = other.cols_;
+            data_ = std::move(other.data_);
+            other.rows_ = other.cols_ = 0;
+            other.data_.clear();
+            id_ = nextId();
+            gen_.store(0, std::memory_order_relaxed);
+        }
+        return *this;
+    }
+
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
     size_t size() const { return data_.size(); }
     bool empty() const { return data_.empty(); }
     size_t bytes() const { return data_.size() * sizeof(float); }
 
-    float *data() { return data_.data(); }
+    /** Process-unique payload identity (never reused). */
+    uint64_t id() const { return id_; }
+
+    /**
+     * Write generation: monotonically increases every time a mutable
+     * alias of the payload is handed out. Equal (id, generation)
+     * observations imply equal payload bytes.
+     */
+    uint64_t
+    generation() const
+    {
+        return gen_.load(std::memory_order_relaxed);
+    }
+
+    float *
+    data()
+    {
+        bumpGeneration();
+        return data_.data();
+    }
     const float *data() const { return data_.data(); }
 
-    float &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float &
+    at(size_t r, size_t c)
+    {
+        bumpGeneration();
+        return data_[r * cols_ + c];
+    }
     const float &at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
     /** Whole-tensor views. */
-    TensorView view() { return TensorView(data(), rows_, cols_, cols_); }
+    TensorView
+    view()
+    {
+        bumpGeneration();
+        return TensorView(data_.data(), rows_, cols_, cols_);
+    }
     ConstTensorView
     view() const
     {
-        return ConstTensorView(data(), rows_, cols_, cols_);
+        return ConstTensorView(data_.data(), rows_, cols_, cols_);
     }
 
     /** Sub-rectangle views. */
@@ -194,9 +284,24 @@ class Tensor
     }
 
   private:
+    static uint64_t
+    nextId()
+    {
+        static std::atomic<uint64_t> counter{1};
+        return counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    bumpGeneration()
+    {
+        gen_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     size_t rows_ = 0;
     size_t cols_ = 0;
     std::vector<float> data_;
+    uint64_t id_ = nextId();
+    std::atomic<uint64_t> gen_{0};
 };
 
 /**

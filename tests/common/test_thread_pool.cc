@@ -198,5 +198,70 @@ TEST(StagingPool, MoveTransfersOwnership)
     StagingPool::clearThreadCache();
 }
 
+TEST(StagingPool, StatsCountLeasesAndRecycledHits)
+{
+    const size_t old_cap = StagingPool::threadCacheCap();
+    StagingPool::clearThreadCache();
+    StagingPool::resetStats();
+
+    { auto a = StagingPool::acquire(128); (void)a; }
+    { auto b = StagingPool::acquire(128); (void)b; }
+    { auto c = StagingPool::acquire(64); (void)c; }  // reuses the 128
+
+    const StagingPool::Stats s = StagingPool::stats();
+    EXPECT_EQ(s.leases, 3u);
+    EXPECT_EQ(s.recycledHits, 2u);
+    EXPECT_EQ(s.trimmed, 0u);
+    EXPECT_EQ(s.cachedBytes, 128 * sizeof(float));
+    EXPECT_EQ(s.peakBytes, 128 * sizeof(float));
+
+    StagingPool::clearThreadCache();
+    StagingPool::setThreadCacheCap(old_cap);
+}
+
+TEST(StagingPool, ByteCapTrimsSmallestBuffersFirst)
+{
+    const size_t old_cap = StagingPool::threadCacheCap();
+    StagingPool::clearThreadCache();
+    StagingPool::resetStats();
+
+    // Cap the idle cache at 1000 floats. Releasing 600 + 300 + 200
+    // overflows it; the trim must drop the SMALLEST buffer (the large
+    // ones are what the pool exists to keep).
+    StagingPool::setThreadCacheCap(1000 * sizeof(float));
+    {
+        auto a = StagingPool::acquire(600);
+        auto b = StagingPool::acquire(300);
+        auto c = StagingPool::acquire(200);
+        (void)a;
+        (void)b;
+        (void)c;
+    }  // releases in reverse order: 200, 300, then 600 overflow
+
+    StagingPool::Stats s = StagingPool::stats();
+    EXPECT_EQ(s.leases, 3u);
+    EXPECT_EQ(s.trimmed, 1u);  // the 200-element buffer was dropped
+    EXPECT_EQ(StagingPool::cachedCount(), 2u);
+    EXPECT_EQ(s.cachedBytes, (600 + 300) * sizeof(float));
+    EXPECT_LE(s.cachedBytes, StagingPool::threadCacheCap());
+    EXPECT_EQ(s.peakBytes, s.cachedBytes);
+
+    // A buffer bigger than the whole cap is dropped outright.
+    StagingPool::resetStats();
+    { auto big = StagingPool::acquire(2000); (void)big; }
+    s = StagingPool::stats();
+    EXPECT_EQ(s.leases, 1u);
+    EXPECT_EQ(s.recycledHits, 1u);  // grew a recycled allocation
+    EXPECT_EQ(s.trimmed, 1u);
+    EXPECT_EQ(StagingPool::cachedCount(), 1u);
+
+    // trim(0) empties the cache entirely.
+    StagingPool::trim(0);
+    EXPECT_EQ(StagingPool::cachedCount(), 0u);
+    EXPECT_EQ(StagingPool::stats().cachedBytes, 0u);
+
+    StagingPool::setThreadCacheCap(old_cap);
+}
+
 } // namespace
 } // namespace shmt::common

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Serving-cache unit tests (see DESIGN.md "Caching and serving
+ * layers"): Tensor write-generation semantics, the PlanCache skeleton
+ * memo, and the CriticalityCache criticality/quant memos — including
+ * the invalidation pins that would FAIL on stale statistics if the
+ * generation bump ever stopped covering a mutable-alias handout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "core/criticality_cache.hh"
+#include "core/plan_cache.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "tensor/quantize.hh"
+#include "tensor/tensor.hh"
+
+namespace shmt::core {
+namespace {
+
+/** Deterministic position-dependent fill through ONE mutable view. */
+void
+fillTensor(Tensor &t, float base)
+{
+    TensorView v = t.view();
+    for (size_t r = 0; r < v.rows(); ++r)
+        for (size_t c = 0; c < v.cols(); ++c)
+            v.at(r, c) = base + 0.03f * static_cast<float>(r) -
+                         0.01f * static_cast<float>(c);
+}
+
+/** Copy @p t's payload without taking a mutable alias. */
+std::vector<float>
+tensorBytes(const Tensor &t)
+{
+    const ConstTensorView v = t.view();
+    std::vector<float> out(v.size());
+    for (size_t row = 0; row < v.rows(); ++row)
+        std::memcpy(out.data() + row * v.cols(), v.row(row),
+                    v.cols() * sizeof(float));
+    return out;
+}
+
+/** Single-VOp "add" program over caller-owned tensors. */
+VopProgram
+addProgram(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    VopProgram p;
+    p.name = "unit-add";
+    VOp op;
+    op.opcode = "add";
+    op.inputs = {&a, &b};
+    op.output = &out;
+    p.ops.push_back(op);
+    return p;
+}
+
+SamplingSpec
+stridingSpec()
+{
+    SamplingSpec spec;
+    spec.method = SamplingMethod::Striding;
+    spec.rate = 1.0 / 8;
+    return spec;
+}
+
+bool
+statsEqual(const std::vector<SampleStats> &x,
+           const std::vector<SampleStats> &y)
+{
+    if (x.size() != y.size())
+        return false;
+    for (size_t i = 0; i < x.size(); ++i)
+        if (x[i].min != y[i].min || x[i].max != y[i].max ||
+            x[i].stddev != y[i].stddev ||
+            x[i].samples != y[i].samples ||
+            x[i].visited != y[i].visited)
+            return false;
+    return true;
+}
+
+TEST(TensorGeneration, MutableHandoutsBumpConstAccessorsDont)
+{
+    Tensor t(4, 4, 1.0f);
+    const uint64_t g0 = t.generation();
+
+    // Read-only aliases must not invalidate cached scans.
+    const Tensor &ct = t;
+    (void)ct.data();
+    (void)ct.view();
+    (void)ct.at(0, 0);
+    (void)ct.slice(0, 0, 2, 2);
+    EXPECT_EQ(t.generation(), g0);
+
+    // Every mutable-alias handout bumps BEFORE bytes can change.
+    (void)t.data();
+    const uint64_t g1 = t.generation();
+    EXPECT_GT(g1, g0);
+    (void)t.view();
+    const uint64_t g2 = t.generation();
+    EXPECT_GT(g2, g1);
+    t.at(1, 1) = 3.0f;
+    const uint64_t g3 = t.generation();
+    EXPECT_GT(g3, g2);
+    (void)t.slice(0, 0, 2, 2);
+    EXPECT_GT(t.generation(), g3);
+}
+
+TEST(TensorGeneration, CopiesAndAssignmentsMintFreshIdentity)
+{
+    // Ids are never reused, so a stale (id, generation) key can never
+    // alias a live tensor with different bytes.
+    Tensor a(4, 4, 1.0f);
+    (void)a.view();
+    const uint64_t a_id = a.id();
+    const uint64_t a_gen = a.generation();
+    EXPECT_GT(a_gen, 0u);
+
+    Tensor b(a);
+    EXPECT_NE(b.id(), a_id);
+    EXPECT_EQ(b.generation(), 0u);
+    const uint64_t b_id = b.id();
+
+    Tensor c(2, 2);
+    const uint64_t c_old_id = c.id();
+    (void)c.view();
+    c = a;
+    EXPECT_NE(c.id(), c_old_id);
+    EXPECT_NE(c.id(), a_id);
+    EXPECT_EQ(c.generation(), 0u);
+
+    Tensor d(std::move(b));
+    EXPECT_NE(d.id(), b_id);
+    EXPECT_NE(d.id(), a_id);
+
+    // The source's identity is untouched by being copied from.
+    EXPECT_EQ(a.id(), a_id);
+    EXPECT_EQ(a.generation(), a_gen);
+}
+
+TEST(PlanCache, RepeatedShapesHitAndShareOneSkeleton)
+{
+    auto rt = apps::makePrototypeRuntime();
+    Tensor a(64, 48), b(64, 48), out(64, 48);
+    fillTensor(a, 0.5f);
+    fillTensor(b, 1.5f);
+    VopProgram program = addProgram(a, b, out);
+    auto policy = makePolicy("qaws-ts");
+
+    const RunResult first = rt.run(program, *policy);
+    EXPECT_EQ(first.cache.planHits, 0u);
+    EXPECT_GT(first.cache.planMisses, 0u);
+    EXPECT_EQ(rt.planCache().size(), 1u);
+
+    const RunResult second = rt.run(program, *policy);
+    EXPECT_GT(second.cache.planHits, 0u);
+    EXPECT_EQ(second.cache.planMisses, 0u);
+    EXPECT_EQ(rt.planCache().size(), 1u);
+
+    // Hits return the SAME skeleton object, not an equal rebuild.
+    const PlanKey key = makePlanKey(program.ops[0], 64, kAnyPlanDevice);
+    const auto s1 = rt.planCache().find(key);
+    ASSERT_NE(s1, nullptr);
+    EXPECT_EQ(s1.get(), rt.planCache().find(key).get());
+    EXPECT_EQ(s1->rows, 64u);
+    EXPECT_EQ(s1->cols, 48u);
+}
+
+TEST(PlanCache, KeysDiscriminateEverySkeletonInput)
+{
+    Tensor a(64, 48), b(64, 48), out(64, 48);
+    VOp op;
+    op.opcode = "add";
+    op.inputs = {&a, &b};
+    op.output = &out;
+
+    const PlanKey base = makePlanKey(op, 64, kAnyPlanDevice);
+    EXPECT_TRUE(base == makePlanKey(op, 64, kAnyPlanDevice));
+
+    VOp other = op;
+    other.costKeyOverride = "srad";
+    EXPECT_FALSE(base == makePlanKey(other, 64, kAnyPlanDevice));
+
+    other = op;
+    other.weight = 0.25;
+    EXPECT_FALSE(base == makePlanKey(other, 64, kAnyPlanDevice));
+
+    other = op;
+    other.opcode = "multiply";
+    EXPECT_FALSE(base == makePlanKey(other, 64, kAnyPlanDevice));
+
+    EXPECT_FALSE(base == makePlanKey(op, 32, kAnyPlanDevice));
+    EXPECT_FALSE(base == makePlanKey(op, 64, 0));
+
+    Tensor small(32, 48);
+    other = op;
+    other.inputs = {&small, &b};
+    EXPECT_FALSE(base == makePlanKey(other, 64, kAnyPlanDevice));
+}
+
+TEST(CriticalityCache, StatsMemoHitsAreBitIdenticalAndCountBytes)
+{
+    Tensor input(32, 32);
+    fillTensor(input, 1.0f);
+    const std::vector<Rect> regions = {{0, 0, 16, 32}, {16, 0, 16, 32}};
+    const SamplingSpec spec = stridingSpec();
+
+    CriticalityCache cache;
+    CacheStats counters;
+    const auto first = cache.stats(input, regions, spec, 7, &counters);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(counters.statsMisses, 1u);
+    EXPECT_EQ(counters.statsHits, 0u);
+
+    // The memoized scan equals the direct one, field for field.
+    const auto direct = samplePartitions(std::as_const(input).view(),
+                                         regions, spec, 7);
+    EXPECT_TRUE(statsEqual(*first, direct));
+
+    const auto second = cache.stats(input, regions, spec, 7, &counters);
+    EXPECT_EQ(counters.statsHits, 1u);
+    EXPECT_EQ(counters.statsMisses, 1u);
+    EXPECT_EQ(second.get(), first.get());  // shared, not recomputed
+    EXPECT_GT(counters.scanBytesAvoided, 0u);
+}
+
+TEST(CriticalityCache, MutationForcesRescanThatSeesTheNewBytes)
+{
+    // The invalidation pin: if a mutable-view write ever stopped
+    // bumping the generation, the second lookup would HIT on the
+    // first fill's statistics and both EXPECTs below would fail.
+    Tensor input(32, 32);
+    fillTensor(input, 1.0f);
+    const std::vector<Rect> regions = {{0, 0, 32, 32}};
+    const SamplingSpec spec = stridingSpec();
+
+    CriticalityCache cache;
+    CacheStats counters;
+    const auto before = *cache.stats(input, regions, spec, 3, &counters);
+
+    fillTensor(input, 100.0f);  // mutable-view write bumps generation
+
+    const auto after = *cache.stats(input, regions, spec, 3, &counters);
+    EXPECT_EQ(counters.statsMisses, 2u);
+    EXPECT_EQ(counters.statsHits, 0u);
+
+    const auto fresh = samplePartitions(std::as_const(input).view(),
+                                        regions, spec, 3);
+    EXPECT_TRUE(statsEqual(after, fresh));
+    EXPECT_FALSE(statsEqual(after, before));  // bytes really changed
+}
+
+TEST(CriticalityCache, SeedEntersTheKeyOnlyForUniformSampling)
+{
+    Tensor input(32, 32);
+    fillTensor(input, 2.0f);
+    const std::vector<Rect> regions = {{0, 0, 32, 32}};
+
+    // Striding visits fixed positions: per-program seeds still hit.
+    CriticalityCache cache;
+    CacheStats counters;
+    (void)cache.stats(input, regions, stridingSpec(), 1, &counters);
+    (void)cache.stats(input, regions, stridingSpec(), 2, &counters);
+    EXPECT_EQ(counters.statsHits, 1u);
+    EXPECT_EQ(counters.statsMisses, 1u);
+
+    // Uniform draws depend on the seed: distinct seeds must re-scan.
+    SamplingSpec uniform;
+    uniform.method = SamplingMethod::Uniform;
+    CacheStats ucount;
+    (void)cache.stats(input, regions, uniform, 1, &ucount);
+    (void)cache.stats(input, regions, uniform, 2, &ucount);
+    EXPECT_EQ(ucount.statsHits, 0u);
+    EXPECT_EQ(ucount.statsMisses, 2u);
+    (void)cache.stats(input, regions, uniform, 1, &ucount);
+    EXPECT_EQ(ucount.statsHits, 1u);
+}
+
+TEST(CriticalityCache, QuantMemoHitsAndInvalidatesOnWrite)
+{
+    Tensor t(16, 16);
+    fillTensor(t, -1.0f);
+
+    CriticalityCache cache;
+    CacheStats counters;
+    const QuantParams first = cache.quantParams(t, true, &counters);
+    EXPECT_EQ(counters.quantMisses, 1u);
+    EXPECT_EQ(counters.quantHits, 0u);
+
+    const QuantParams again = cache.quantParams(t, true, &counters);
+    EXPECT_EQ(counters.quantHits, 1u);
+    EXPECT_EQ(first.scale, again.scale);
+    EXPECT_EQ(first.zeroPoint, again.zeroPoint);
+    EXPECT_GT(counters.scanBytesAvoided, 0u);
+
+    fillTensor(t, 50.0f);  // new value range through a mutable view
+    const QuantParams fresh = cache.quantParams(t, true, &counters);
+    EXPECT_EQ(counters.quantMisses, 2u);
+    const QuantParams direct =
+        chooseQuantParams(std::as_const(t).view(), true);
+    EXPECT_EQ(fresh.scale, direct.scale);
+    EXPECT_EQ(fresh.zeroPoint, direct.zeroPoint);
+    EXPECT_NE(fresh.scale, first.scale);  // stale params would differ
+}
+
+TEST(ServingCaches, CacheOnRunsAreBitIdenticalToCacheOff)
+{
+    RuntimeConfig off_cfg;
+    off_cfg.planCache = false;
+    auto off_rt = apps::makePrototypeRuntime(off_cfg);
+    auto on_rt = apps::makePrototypeRuntime();  // caches on by default
+
+    auto off_bench = apps::makeBenchmark("sobel", 96, 96);
+    auto on_bench = apps::makeBenchmark("sobel", 96, 96);
+    auto policy = makePolicy("qaws-ts");
+
+    for (int round = 0; round < 3; ++round) {
+        const RunResult off = off_rt.run(off_bench->program(), *policy);
+        const RunResult on = on_rt.run(on_bench->program(), *policy);
+        EXPECT_EQ(off.makespanSec, on.makespanSec) << round;
+        EXPECT_EQ(off.schedulingSec, on.schedulingSec) << round;
+        const auto off_out = tensorBytes(off_bench->output());
+        const auto on_out = tensorBytes(on_bench->output());
+        ASSERT_EQ(off_out.size(), on_out.size());
+        EXPECT_EQ(std::memcmp(off_out.data(), on_out.data(),
+                              off_out.size() * sizeof(float)),
+                  0)
+            << round;
+        EXPECT_EQ(off.cache.hits(), 0u);
+        if (round > 0)  // rounds past the first are served from cache
+            EXPECT_GT(on.cache.hits(), 0u) << round;
+    }
+}
+
+TEST(ServingCaches, RerunAfterInputMutationMatchesCacheOffRuntime)
+{
+    RuntimeConfig off_cfg;
+    off_cfg.planCache = false;
+    auto off_rt = apps::makePrototypeRuntime(off_cfg);
+    auto on_rt = apps::makePrototypeRuntime();
+
+    Tensor a_on(64, 64), b_on(64, 64), out_on(64, 64);
+    Tensor a_off(64, 64), b_off(64, 64), out_off(64, 64);
+    fillTensor(a_on, 1.0f);
+    fillTensor(a_off, 1.0f);
+    fillTensor(b_on, 2.0f);
+    fillTensor(b_off, 2.0f);
+    VopProgram prog_on = addProgram(a_on, b_on, out_on);
+    VopProgram prog_off = addProgram(a_off, b_off, out_off);
+    auto policy = makePolicy("qaws-ts");
+
+    (void)on_rt.run(prog_on, *policy);  // warm every serving cache
+    (void)off_rt.run(prog_off, *policy);
+
+    // Mutate the input UNDER the warmed cache, then rerun both: the
+    // cached runtime must re-derive everything data-dependent.
+    fillTensor(a_on, 9.0f);
+    fillTensor(a_off, 9.0f);
+    const RunResult on = on_rt.run(prog_on, *policy);
+    const RunResult off = off_rt.run(prog_off, *policy);
+
+    EXPECT_EQ(on.makespanSec, off.makespanSec);
+    EXPECT_EQ(on.schedulingSec, off.schedulingSec);
+    const auto on_out = tensorBytes(out_on);
+    const auto off_out = tensorBytes(out_off);
+    ASSERT_EQ(on_out.size(), off_out.size());
+    EXPECT_EQ(std::memcmp(on_out.data(), off_out.data(),
+                          on_out.size() * sizeof(float)),
+              0);
+
+    // Shape never changed, so the skeleton still hits even though the
+    // data-derived scans were correctly invalidated.
+    EXPECT_GT(on.cache.planHits, 0u);
+}
+
+} // namespace
+} // namespace shmt::core

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -212,6 +213,120 @@ TEST(Session, DrainBlocksUntilQueueEmpty)
     EXPECT_EQ(session.executedCount(), 3u);
     for (auto &f : futures)
         EXPECT_GT(f.get().makespanSec, 0.0);
+}
+
+TEST(Session, MultiWorkerOutOfOrderMatchesStandalone)
+{
+    // Worker pools execute queued programs concurrently and possibly
+    // out of submission order; every result must still be a pure
+    // function of (program, policy, seed). Reference is a standalone
+    // cache-OFF runtime, so this also pins the serving caches under
+    // worker concurrency.
+    constexpr size_t kPrograms = 4;
+    for (const char *bench_name : {"srad", "sobel", "blackscholes"}) {
+        for (const char *policy_name :
+             {"even", "work-stealing", "qaws-ts"}) {
+            RuntimeConfig ref_cfg;
+            ref_cfg.planCache = false;
+            auto ref_rt = makePrototypeRuntime(ref_cfg);
+            auto ref_bench = makeBenchmark(bench_name, 128, 128);
+            auto ref_policy = makePolicy(policy_name);
+            const RunResult ref =
+                ref_rt.run(ref_bench->program(), *ref_policy);
+            const std::vector<float> ref_out =
+                tensorBytes(ref_bench->output());
+
+            for (size_t workers : {size_t{2}, size_t{4}}) {
+                auto rt = makePrototypeRuntime();
+                SessionOptions opts;
+                opts.workers = workers;
+                Session session(rt, opts);
+                std::vector<std::unique_ptr<apps::Benchmark>> benches;
+                std::vector<std::future<RunResult>> futures;
+                for (size_t i = 0; i < kPrograms; ++i) {
+                    benches.push_back(
+                        makeBenchmark(bench_name, 128, 128));
+                    futures.push_back(session.submit(
+                        benches[i]->program(), makePolicy(policy_name)));
+                }
+                const std::string what =
+                    std::string(bench_name) + "/" + policy_name +
+                    "/workers=" + std::to_string(workers);
+                for (size_t i = 0; i < kPrograms; ++i) {
+                    const RunResult r = futures[i].get();
+                    EXPECT_EQ(ref.makespanSec, r.makespanSec)
+                        << what << " program " << i;
+                    EXPECT_EQ(ref.schedulingSec, r.schedulingSec)
+                        << what << " program " << i;
+                    const std::vector<float> out =
+                        tensorBytes(benches[i]->output());
+                    ASSERT_EQ(ref_out.size(), out.size())
+                        << what << " program " << i;
+                    EXPECT_EQ(std::memcmp(ref_out.data(), out.data(),
+                                          ref_out.size() *
+                                              sizeof(float)),
+                              0)
+                        << what << " program " << i;
+                }
+                EXPECT_EQ(session.executedCount(), kPrograms) << what;
+            }
+        }
+    }
+}
+
+TEST(Session, BoundedQueueAppliesBackpressure)
+{
+    // maxQueue = 2: submit() must block until the queue has room, so
+    // the queue depth never exceeds the bound at any observation.
+    auto rt = makePrototypeRuntime();
+    SessionOptions opts;
+    opts.workers = 1;
+    opts.maxQueue = 2;
+    Session session(rt, opts);
+
+    constexpr size_t kPrograms = 6;
+    std::vector<std::unique_ptr<apps::Benchmark>> benches;
+    std::vector<std::future<RunResult>> futures;
+    for (size_t i = 0; i < kPrograms; ++i) {
+        benches.push_back(makeBenchmark("sobel", 128, 128));
+        futures.push_back(
+            session.submit(benches[i]->program(), makePolicy("even")));
+        EXPECT_LE(session.queuedCount(), 2u);
+    }
+    session.drain();
+    EXPECT_LE(session.peakQueueDepth(), 2u);
+    EXPECT_EQ(session.executedCount(), kPrograms);
+    for (auto &f : futures)
+        EXPECT_GT(f.get().makespanSec, 0.0);
+}
+
+TEST(Session, FifoCompletionDeliversInSubmissionOrder)
+{
+    // With fifoCompletion on, a resolved future implies every earlier
+    // submission's future is already resolved, even with four workers
+    // racing to finish out of order.
+    auto rt = makePrototypeRuntime();
+    SessionOptions opts;
+    opts.workers = 4;
+    opts.fifoCompletion = true;
+    Session session(rt, opts);
+
+    constexpr size_t kPrograms = 6;
+    std::vector<std::unique_ptr<apps::Benchmark>> benches;
+    std::vector<std::future<RunResult>> futures;
+    for (size_t i = 0; i < kPrograms; ++i) {
+        benches.push_back(makeBenchmark("sobel", 128, 128));
+        futures.push_back(
+            session.submit(benches[i]->program(), makePolicy("even")));
+    }
+    for (size_t i = kPrograms; i-- > 0;) {
+        futures[i].wait();
+        for (size_t j = 0; j < i; ++j)
+            EXPECT_EQ(futures[j].wait_for(std::chrono::seconds(0)),
+                      std::future_status::ready)
+                << "future " << j << " not ready after " << i;
+    }
+    EXPECT_EQ(session.executedCount(), kPrograms);
 }
 
 TEST(DispatchReplay, JournalReproducesDeviceStatsExactly)

@@ -13,7 +13,8 @@
  * DispatchSim, HlopExecutor, Aggregator): capture a snapshot before,
  * capture after, diff.
  *
- * Usage: pipeline_snapshot [--n <edge>] > snapshot.txt
+ * Usage: pipeline_snapshot [--n <edge>] [--plan-cache off|on]
+ *            > snapshot.txt
  */
 
 #include <cstdint>
@@ -102,12 +103,21 @@ int
 main(int argc, char **argv)
 {
     size_t n = 256;
+    bool plan_cache = true;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
-        if (arg == "--n" && i + 1 < argc)
+        if (arg == "--n" && i + 1 < argc) {
             n = std::stoul(argv[++i]);
-        else
+        } else if (arg == "--plan-cache" && i + 1 < argc) {
+            // The serving caches must be invisible in this dump:
+            // capture once per mode and diff.
+            const std::string_view mode = argv[++i];
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--plan-cache must be off or on");
+            plan_cache = mode == "on";
+        } else {
             SHMT_FATAL("unknown option '", arg, "'");
+        }
     }
 
     for (const auto &bench_name : apps::benchmarkNames()) {
@@ -115,6 +125,7 @@ main(int argc, char **argv)
         for (const auto &policy_name : kPolicies) {
             core::RuntimeConfig cfg;
             cfg.hostThreads = 1;
+            cfg.planCache = plan_cache;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy(policy_name);
@@ -126,6 +137,7 @@ main(int argc, char **argv)
         for (const char *policy_name : {"work-stealing", "qaws-ts"}) {
             core::RuntimeConfig cfg;
             cfg.hostThreads = 1;
+            cfg.planCache = plan_cache;
             cfg.stealSplitting = true;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
@@ -138,6 +150,7 @@ main(int argc, char **argv)
         {
             core::RuntimeConfig cfg;
             cfg.hostThreads = 1;
+            cfg.planCache = plan_cache;
             cfg.hostSimd = core::RuntimeConfig::SimdMode::Off;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
@@ -150,6 +163,7 @@ main(int argc, char **argv)
         {
             core::RuntimeConfig cfg;
             cfg.hostThreads = 1;
+            cfg.planCache = plan_cache;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             const auto r = rt.runGpuBaseline(bench->program());
@@ -158,6 +172,7 @@ main(int argc, char **argv)
         {
             core::RuntimeConfig cfg;
             cfg.hostThreads = 1;
+            cfg.planCache = plan_cache;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             const auto r =
@@ -169,6 +184,7 @@ main(int argc, char **argv)
         {
             core::RuntimeConfig cfg;
             cfg.hostThreads = 1;
+            cfg.planCache = plan_cache;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy("qaws-ts");

@@ -20,13 +20,17 @@
 #include <string>
 #include <vector>
 
+#include <future>
+
 #include "apps/benchmarks.hh"
 #include "apps/harness.hh"
 #include "common/logging.hh"
+#include "core/session.hh"
 #include "devices/backend.hh"
 #include "kernels/kernel_registry.hh"
 #include "sim/config.hh"
 #include "sim/trace.hh"
+#include "sim/wallclock.hh"
 
 namespace {
 
@@ -42,6 +46,9 @@ struct Options
     bool quality = true;
     bool dsp = false;
     bool cpu = false;
+    bool planCache = true;
+    size_t sessionWorkers = 0;  //!< 0 = standalone run (no Session)
+    size_t sessionPrograms = 8;
     std::string tracePath;
     std::string calibrationPath;
 };
@@ -58,6 +65,14 @@ usage()
         "                        threads, 1 = serial (default: 0)\n"
         "  --host-simd <mode>    off = scalar reference kernels,\n"
         "                        auto = vectorized (default: auto)\n"
+        "  --plan-cache <mode>   off|on: the serving caches (plan\n"
+        "                        skeletons + criticality/quant memos;\n"
+        "                        bit-transparent, default: on)\n"
+        "  --session-workers <n> serve the benchmark through a Session\n"
+        "                        with n driver workers instead of a\n"
+        "                        standalone run (default: 0 = off)\n"
+        "  --session-programs <k> programs per benchmark in session\n"
+        "                        mode (default: 8)\n"
         "  --no-quality          timing-only (skip MAPE/SSIM)\n"
         "  --dsp                 add the FP16 image DSP\n"
         "  --cpu                 add the host CPU\n"
@@ -103,6 +118,19 @@ parseArgs(int argc, char **argv)
             opts.hostSimd = next();
             if (opts.hostSimd != "off" && opts.hostSimd != "auto")
                 SHMT_FATAL("--host-simd must be off or auto");
+        } else if (arg == "--plan-cache") {
+            const std::string mode = next();
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--plan-cache must be off or on");
+            opts.planCache = mode == "on";
+        } else if (arg == "--session-workers") {
+            opts.sessionWorkers =
+                std::strtoul(next().c_str(), nullptr, 10);
+        } else if (arg == "--session-programs") {
+            opts.sessionPrograms =
+                std::strtoul(next().c_str(), nullptr, 10);
+            if (opts.sessionPrograms == 0)
+                SHMT_FATAL("--session-programs must be positive");
         } else if (arg == "--no-quality") {
             opts.quality = false;
         } else if (arg == "--dsp") {
@@ -146,10 +174,18 @@ report(const apps::EvalResult &r, bool quality)
     std::printf("  scheduling/aggregation: %.2f / %.2f ms\n",
                 r.run.schedulingSec * 1e3, r.run.aggregationSec * 1e3);
     const auto &hw = r.run.hostWall;
-    std::printf("  host wall clock  : %8.2f ms (sampling %.2f, "
-                "exec %.2f, aggregation %.2f)\n",
-                hw.totalSec * 1e3, hw.samplingSec * 1e3,
-                hw.execSec * 1e3, hw.aggregationSec * 1e3);
+    std::printf("  host wall clock  : %8.2f ms (planning %.2f, "
+                "sampling %.2f, exec %.2f, aggregation %.2f)\n",
+                hw.totalSec * 1e3, hw.planningSec * 1e3,
+                hw.samplingSec * 1e3, hw.execSec * 1e3,
+                hw.aggregationSec * 1e3);
+    const auto &cs = r.run.cache;
+    if (cs.hits() + cs.misses() > 0)
+        std::printf("  serving caches   : %zu hits / %zu misses "
+                    "(%.1f MiB of scans avoided)\n",
+                    cs.hits(), cs.misses(),
+                    static_cast<double>(cs.scanBytesAvoided) /
+                        (1024.0 * 1024.0));
     std::printf("  comm overhead    : %6.2f %%\n",
                 100.0 * r.run.commOverhead());
     std::printf("  energy           : %8.2f J (baseline %.2f J, "
@@ -181,6 +217,7 @@ main(int argc, char **argv)
     config.hostSimd = opts.hostSimd == "off"
                           ? core::RuntimeConfig::SimdMode::Off
                           : core::RuntimeConfig::SimdMode::Auto;
+    config.planCache = opts.planCache;
     core::Runtime runtime(std::move(backends), cal, config);
 
     sim::ExecutionTrace trace;
@@ -198,6 +235,46 @@ main(int argc, char **argv)
         const auto r = apps::evaluatePolicy(runtime, *bench, opts.policy,
                                             {}, opts.quality);
         report(r, opts.quality);
+
+        if (opts.sessionWorkers > 0) {
+            // Serving mode: the same benchmark as a batch of distinct
+            // same-shape programs through a Session worker pool; every
+            // result must match the standalone run bit-for-bit.
+            std::vector<std::unique_ptr<apps::Benchmark>> instances;
+            for (size_t i = 0; i < opts.sessionPrograms; ++i)
+                instances.push_back(
+                    apps::makeBenchmark(name, opts.size, opts.size));
+            core::SessionOptions sopts;
+            sopts.workers = opts.sessionWorkers;
+            core::Session session(runtime, sopts);
+            std::vector<std::future<core::RunResult>> futures;
+            const double t0 = sim::wallSeconds();
+            for (auto &inst : instances)
+                futures.push_back(session.submit(
+                    inst->program(), core::makePolicy(opts.policy)));
+            core::CacheStats cache;
+            bool equivalent = true;
+            for (auto &f : futures) {
+                const core::RunResult sr = f.get();
+                cache.add(sr.cache);
+                equivalent = equivalent &&
+                             sr.makespanSec == r.run.makespanSec &&
+                             sr.schedulingSec == r.run.schedulingSec;
+            }
+            const double batch = sim::wallSeconds() - t0;
+            std::printf("  session          : %zu programs, %zu workers"
+                        " -> %8.2f ms (%.1f programs/sec)\n",
+                        opts.sessionPrograms, opts.sessionWorkers,
+                        batch * 1e3,
+                        static_cast<double>(opts.sessionPrograms) /
+                            batch);
+            std::printf("    caches: %zu hits / %zu misses, %.1f MiB of"
+                        " scans avoided; serial-equivalent: %s\n",
+                        cache.hits(), cache.misses(),
+                        static_cast<double>(cache.scanBytesAvoided) /
+                            (1024.0 * 1024.0),
+                        equivalent ? "yes" : "NO");
+        }
     }
 
     if (!opts.tracePath.empty()) {
