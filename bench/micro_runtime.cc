@@ -1,126 +1,247 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the SHMT runtime primitives:
- * partition geometry, the three QAWS sampling mechanisms, INT8
- * quantization, 2-D staging copies, and representative kernel bodies.
- * These are the building blocks whose (real, host-side) costs justify
- * the cost-model constants in sim/calibration.cc.
+ * Dataflow-graph execution micro-benchmark.
+ *
+ * Workload: k independent VOp chains (distinct tensors, so the hazard
+ * DAG has k parallel strands), submitted interleaved — the shape the
+ * graph scheduler exists for. Measures end-to-end host wall clock of
+ * `Runtime::run` with `--graph-exec` off vs on, min-of-N after warmup,
+ * and emits `BENCH_runtime.json`.
+ *
+ * Gates (exit non-zero on violation):
+ *  - every output tensor of every run is byte-identical across
+ *    graph off/on and across iterations (the determinism contract);
+ *  - the simulated makespan of a single-chain program is bit-identical
+ *    off vs on (graph execution must not perturb simulated time).
+ *
+ * The host-wall speedup (off/on) is reported in the JSON; with
+ * `--host-threads >= 2` and enough chains it should exceed 1.
+ *
+ * Usage: micro_runtime [--n <edge>] [--chains <k>] [--length <l>]
+ *                      [--warmup <k>] [--repeat <k>]
+ *                      [--host-threads <n>] [--policy <name>]
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "core/sampling.hh"
-#include "kernels/kernel_registry.hh"
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
 #include "kernels/workload.hh"
-#include "tensor/quantize.hh"
-#include "tensor/tiling.hh"
+#include "metrics/report.hh"
+#include "sim/wallclock.hh"
 
 namespace {
 
 using namespace shmt;
 
-void
-BM_VectorPartitions(benchmark::State &state)
+struct Options
 {
-    const size_t rows = static_cast<size_t>(state.range(0));
-    for (auto _ : state) {
-        auto parts = vectorPartitions(rows, 1024, 64);
-        benchmark::DoNotOptimize(parts);
+    size_t n = 256;
+    size_t chains = 4;
+    size_t length = 4;
+    size_t warmup = 1;
+    size_t repeat = 3;
+    size_t hostThreads = 0;   //!< 0 = all hardware threads
+    std::string policy = "qaws-ts";
+};
+
+/**
+ * k independent sobel chains over distinct tensors, interleaved in
+ * submission order (step 0 of every chain, then step 1, ...): the
+ * next submitted VOp never depends on the previous one, so the graph
+ * scheduler can keep every chain's host work in flight at once.
+ */
+struct ChainWorkload
+{
+    std::vector<std::unique_ptr<Tensor>> tensors;
+    core::VopProgram program;
+
+    ChainWorkload(size_t n, size_t chains, size_t length)
+    {
+        std::vector<std::vector<Tensor *>> strands(chains);
+        for (size_t c = 0; c < chains; ++c) {
+            tensors.push_back(std::make_unique<Tensor>(
+                kernels::makeImage(n, n, static_cast<uint64_t>(c) + 1)));
+            strands[c].push_back(tensors.back().get());
+            for (size_t j = 0; j < length; ++j) {
+                tensors.push_back(std::make_unique<Tensor>(n, n));
+                strands[c].push_back(tensors.back().get());
+            }
+        }
+        program.name = "kchains";
+        for (size_t j = 0; j < length; ++j) {
+            for (size_t c = 0; c < chains; ++c) {
+                core::VOp vop;
+                vop.opcode = "sobel";
+                vop.inputs = {strands[c][j]};
+                vop.output = strands[c][j + 1];
+                program.ops.push_back(std::move(vop));
+            }
+        }
     }
-}
-BENCHMARK(BM_VectorPartitions)->Arg(1024)->Arg(8192);
 
-void
-BM_TilePartitions(benchmark::State &state)
-{
-    const size_t n = static_cast<size_t>(state.range(0));
-    for (auto _ : state) {
-        auto parts = tilePartitions(n, n, 256, 256);
-        benchmark::DoNotOptimize(parts);
+    /** Concatenated payload bytes of every op output. */
+    std::vector<float>
+    outputBytes() const
+    {
+        std::vector<float> out;
+        for (const core::VOp &op : program.ops) {
+            const ConstTensorView v = op.output->view();
+            for (size_t r = 0; r < v.rows(); ++r)
+                out.insert(out.end(), v.row(r), v.row(r) + v.cols());
+        }
+        return out;
     }
-}
-BENCHMARK(BM_TilePartitions)->Arg(1024)->Arg(8192);
+};
 
-void
-BM_Sampling(benchmark::State &state)
+struct Measurement
 {
-    const auto method =
-        static_cast<core::SamplingMethod>(state.range(0));
-    const Tensor data = kernels::makeImage(1024, 1024, 1);
-    core::SamplingSpec spec;
-    spec.method = method;
-    for (auto _ : state) {
-        auto stats = core::samplePartition(data.view(), spec, 1);
-        benchmark::DoNotOptimize(stats);
+    double bestWallSec = std::numeric_limits<double>::infinity();
+    double makespanSec = 0.0;
+    std::vector<float> outputs;   //!< from the first timed iteration
+    bool stable = true;           //!< outputs identical across iters
+};
+
+Measurement
+measure(const Options &opts, bool graph_exec)
+{
+    Measurement m;
+    core::RuntimeConfig config;
+    config.hostThreads = opts.hostThreads;
+    config.graphExec = graph_exec;
+    auto rt = apps::makePrototypeRuntime(config);
+    auto policy = core::makePolicy(opts.policy);
+    ChainWorkload wl(opts.n, opts.chains, opts.length);
+    for (size_t it = 0; it < opts.warmup + opts.repeat; ++it) {
+        const double t0 = sim::wallSeconds();
+        const core::RunResult r = rt.run(wl.program, *policy);
+        const double sec = sim::wallSeconds() - t0;
+        if (it < opts.warmup)
+            continue;
+        m.makespanSec = r.makespanSec;
+        std::vector<float> out = wl.outputBytes();
+        if (m.outputs.empty())
+            m.outputs = std::move(out);
+        else
+            m.stable = m.stable && out == m.outputs;
+        m.bestWallSec = std::min(m.bestWallSec, sec);
     }
-    state.SetLabel(std::string(core::samplingMethodName(method)));
+    return m;
 }
-BENCHMARK(BM_Sampling)
-    ->Arg(static_cast<int>(core::SamplingMethod::Striding))
-    ->Arg(static_cast<int>(core::SamplingMethod::Uniform))
-    ->Arg(static_cast<int>(core::SamplingMethod::Reduction));
-
-void
-BM_QuantizeRoundTrip(benchmark::State &state)
-{
-    const size_t n = static_cast<size_t>(state.range(0));
-    const Tensor data = kernels::makeImage(n, n, 2);
-    Tensor out(n, n);
-    const QuantParams qp = chooseQuantParams(data.view());
-    for (auto _ : state)
-        fakeQuantize(data.view(), out.view(), qp);
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(n * n));
-}
-BENCHMARK(BM_QuantizeRoundTrip)->Arg(256)->Arg(1024);
-
-void
-BM_RobustRange(benchmark::State &state)
-{
-    const Tensor data = kernels::makeImage(1024, 1024, 3);
-    for (auto _ : state) {
-        auto range = robustRange(data.view());
-        benchmark::DoNotOptimize(range);
-    }
-}
-BENCHMARK(BM_RobustRange);
-
-void
-BM_Memcpy2dStrided(benchmark::State &state)
-{
-    const size_t n = static_cast<size_t>(state.range(0));
-    Tensor src(2 * n, 2 * n, 1.0f);
-    Tensor dst(n, n);
-    for (auto _ : state)
-        memcpy2d(dst.view(), src.slice(n / 2, n / 2, n, n));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(n * n * 4));
-}
-BENCHMARK(BM_Memcpy2dStrided)->Arg(256)->Arg(1024);
-
-void
-BM_KernelBody(benchmark::State &state, const char *opcode)
-{
-    const auto &info = kernels::KernelRegistry::instance().get(opcode);
-    const Tensor in = kernels::makeImage(512, 512, 4);
-    Tensor out(512, 512);
-    kernels::KernelArgs args;
-    args.inputs = {in.view()};
-    if (std::string_view(opcode) == "srad")
-        args.scalars = {0.05f, 0.5f};
-    const Rect whole{0, 0, 512, 512};
-    for (auto _ : state)
-        info.func(args, whole, out.view());
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            (512 * 512));
-}
-BENCHMARK_CAPTURE(BM_KernelBody, sobel, "sobel");
-BENCHMARK_CAPTURE(BM_KernelBody, mf, "mf");
-BENCHMARK_CAPTURE(BM_KernelBody, dct8x8, "dct8x8");
-BENCHMARK_CAPTURE(BM_KernelBody, dwt, "dwt");
-BENCHMARK_CAPTURE(BM_KernelBody, fft, "fft");
-BENCHMARK_CAPTURE(BM_KernelBody, srad, "srad");
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                SHMT_FATAL("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--n")
+            opts.n = std::stoul(next());
+        else if (arg == "--chains")
+            opts.chains = std::stoul(next());
+        else if (arg == "--length")
+            opts.length = std::stoul(next());
+        else if (arg == "--warmup")
+            opts.warmup = std::stoul(next());
+        else if (arg == "--repeat" || arg == "--iters")
+            opts.repeat = std::stoul(next());
+        else if (arg == "--host-threads")
+            opts.hostThreads = std::stoul(next());
+        else if (arg == "--policy")
+            opts.policy = next();
+        else
+            SHMT_FATAL("unknown option '", arg, "'");
+    }
+    if (opts.chains == 0 || opts.length == 0 || opts.repeat == 0)
+        SHMT_FATAL("--chains, --length and --repeat must be positive");
+
+    // k-chain workload: host wall off vs on.
+    const Measurement off = measure(opts, /*graph_exec=*/false);
+    const Measurement on = measure(opts, /*graph_exec=*/true);
+    const bool outputs_identical =
+        off.stable && on.stable && off.outputs == on.outputs;
+    const double speedup =
+        on.bestWallSec > 0.0 ? off.bestWallSec / on.bestWallSec : 0.0;
+
+    // Single-chain control: simulated time must be untouched.
+    Options single = opts;
+    single.chains = 1;
+    const Measurement soff = measure(single, /*graph_exec=*/false);
+    const Measurement son = measure(single, /*graph_exec=*/true);
+    const bool single_makespan_identical =
+        soff.makespanSec == son.makespanSec;
+    const bool single_outputs_identical =
+        soff.stable && son.stable && soff.outputs == son.outputs;
+
+    const size_t lanes =
+        common::ThreadPool::resolveThreads(opts.hostThreads);
+    const auto pool = common::ThreadPool::global().stats();
+
+    metrics::Table table({"Graph exec", "Host wall (ms)",
+                          "Sim makespan (ms)", "Outputs stable"});
+    table.addRow({"off", metrics::Table::num(off.bestWallSec * 1e3),
+                  metrics::Table::num(off.makespanSec * 1e3),
+                  off.stable ? "yes" : "NO"});
+    table.addRow({"on", metrics::Table::num(on.bestWallSec * 1e3),
+                  metrics::Table::num(on.makespanSec * 1e3),
+                  on.stable ? "yes" : "NO"});
+    table.print("Dataflow graph execution: " +
+                std::to_string(opts.chains) + " chains x " +
+                std::to_string(opts.length) + " VOps (" + opts.policy +
+                ", " + std::to_string(opts.n) + "x" +
+                std::to_string(opts.n) + ", " + std::to_string(lanes) +
+                " host lanes)");
+    std::printf("\nHost-wall speedup (off/on): %.2fx\n", speedup);
+    std::printf("Outputs identical off vs on: %s\n",
+                outputs_identical ? "yes" : "NO");
+    std::printf("Single-chain simulated makespan identical: %s\n",
+                single_makespan_identical ? "yes" : "NO");
+    std::printf("Host pool: %zu tasks, %zu steals, peak queue depth "
+                "%zu\n",
+                pool.submitted, pool.steals, pool.peakQueued);
+
+    std::ofstream json("BENCH_runtime.json");
+    json << "{\n  \"version\": 1"
+         << ",\n  \"edge\": " << opts.n
+         << ",\n  \"chains\": " << opts.chains
+         << ",\n  \"length\": " << opts.length
+         << ",\n  \"policy\": \"" << opts.policy << "\""
+         << ",\n  \"host_lanes\": " << lanes
+         << ",\n  \"warmup\": " << opts.warmup
+         << ",\n  \"repeat\": " << opts.repeat
+         << ",\n  \"host_wall_off_sec\": " << off.bestWallSec
+         << ",\n  \"host_wall_on_sec\": " << on.bestWallSec
+         << ",\n  \"host_wall_speedup\": " << speedup
+         << ",\n  \"sim_makespan_off_sec\": " << off.makespanSec
+         << ",\n  \"sim_makespan_on_sec\": " << on.makespanSec
+         << ",\n  \"outputs_identical\": "
+         << (outputs_identical ? "true" : "false")
+         << ",\n  \"single_chain_makespan_identical\": "
+         << (single_makespan_identical ? "true" : "false")
+         << ",\n  \"pool_tasks\": " << pool.submitted
+         << ",\n  \"pool_steals\": " << pool.steals
+         << ",\n  \"pool_peak_queued\": " << pool.peakQueued
+         << "\n}\n";
+    std::printf("Wrote BENCH_runtime.json\n");
+
+    return outputs_identical && single_makespan_identical &&
+                   single_outputs_identical
+               ? 0
+               : 1;
+}

@@ -23,6 +23,7 @@
 #define SHMT_COMMON_STAGING_POOL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -64,6 +65,49 @@ class StagingPool
         void release();
 
         std::vector<float> buf_;
+    };
+
+    /**
+     * Double-buffered staging slots for a fill-while-consume handoff:
+     * the owner fills one slot's leases while the previous slot's
+     * consumer is still reading its planes, then flips. Each slot
+     * carries an opaque consumer tag; the owner must not re-acquire a
+     * slot until its tagged consumer is done (acquire() drops the old
+     * leases, which recycles the buffers into the *filling* thread's
+     * cache — so a coordinator staging for pool workers keeps its own
+     * free list warm instead of donating buffers to worker caches).
+     */
+    class DoubleBuffer
+    {
+      public:
+        static constexpr uint64_t kNoUser = ~uint64_t{0};
+
+        /** One buffered side: the leases backing staged planes. */
+        struct Slot
+        {
+            std::vector<Lease> planes;
+            uint64_t user = kNoUser;  //!< opaque consumer tag
+        };
+
+        /** The slot the next acquire() reuses — callers check that
+         *  its user (if any) is done before acquiring. */
+        const Slot &peek() const { return slots_[next_]; }
+
+        /** Claim the next slot for @p user: releases the previous
+         *  leases into this thread's cache and flips sides. */
+        Slot &
+        acquire(uint64_t user)
+        {
+            Slot &s = slots_[next_];
+            next_ ^= 1;
+            s.planes.clear();
+            s.user = user;
+            return s;
+        }
+
+      private:
+        Slot slots_[2];
+        size_t next_ = 0;
     };
 
     /** Per-thread pool counters (since thread start or resetStats). */

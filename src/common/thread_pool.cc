@@ -101,6 +101,7 @@ ThreadPool::workerLoop(size_t self)
         }
         if (stop_)
             return;           // queues drained, shutdown requested
+        ++parked_;
         wake_.wait(guard);
     }
 }
@@ -109,6 +110,10 @@ void
 ThreadPool::submit(Task task)
 {
     if (workers_.empty()) {
+        {
+            std::scoped_lock guard(lock_);
+            ++submitted_;
+        }
         task();               // serial pool: the caller is the lane
         return;
     }
@@ -118,7 +123,9 @@ ThreadPool::submit(Task task)
             deques_[tl_worker].push_back(std::move(task));
         else
             injector_.push_back(std::move(task));
+        ++submitted_;
         ++inflight_;
+        peakInflight_ = std::max(peakInflight_, inflight_);
     }
     wake_.notify_one();
 }
@@ -137,6 +144,19 @@ ThreadPool::steals() const
 {
     std::scoped_lock guard(lock_);
     return steals_;
+}
+
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    std::scoped_lock guard(lock_);
+    Stats s;
+    s.submitted = submitted_;
+    s.steals = steals_;
+    s.parked = parked_;
+    s.queued = inflight_;
+    s.peakQueued = peakInflight_;
+    return s;
 }
 
 /** Shared progress of one parallelFor call. */
@@ -208,7 +228,9 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
         std::scoped_lock guard(lock_);
         for (size_t p = 0; p < participants; ++p)
             deques_[rr_++ % deques_.size()].push_back(run_chunks);
+        submitted_ += participants;
         inflight_ += participants;
+        peakInflight_ = std::max(peakInflight_, inflight_);
     }
     wake_.notify_all();
 

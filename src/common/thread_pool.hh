@@ -83,6 +83,19 @@ class ThreadPool
     /** Tasks obtained by stealing from a peer's deque (lifetime). */
     size_t steals() const;
 
+    /** Point-in-time counter snapshot (lifetime totals + live depth). */
+    struct Stats
+    {
+        size_t submitted = 0;   //!< tasks ever submitted (incl. inline)
+        size_t steals = 0;      //!< tasks obtained from a peer's deque
+        size_t parked = 0;      //!< times a worker slept for lack of work
+        size_t queued = 0;      //!< tasks currently queued or executing
+        size_t peakQueued = 0;  //!< high-water mark of `queued`
+    };
+
+    /** Snapshot the pool counters (consistent under the pool lock). */
+    Stats stats() const;
+
     /**
      * Derive an independent, deterministic seed for task @p stream of
      * a computation seeded with @p base (splitmix composition; equals
@@ -133,6 +146,9 @@ class ThreadPool
     std::vector<std::thread> workers_;
     size_t inflight_ = 0;                //!< queued + executing tasks
     size_t steals_ = 0;
+    size_t submitted_ = 0;               //!< lifetime task submissions
+    size_t parked_ = 0;                  //!< lifetime worker sleeps
+    size_t peakInflight_ = 0;            //!< high-water mark of inflight_
     size_t rr_ = 0;                      //!< round-robin chunk placement
     bool stop_ = false;
 };

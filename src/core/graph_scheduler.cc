@@ -1,0 +1,346 @@
+#include "graph_scheduler.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "common/staging_pool.hh"
+#include "common/thread_pool.hh"
+#include "core/aggregator.hh"
+#include "core/hlop_executor.hh"
+#include "core/sampling_engine.hh"
+#include "tensor/quantize.hh"
+
+namespace shmt::core {
+
+using kernels::KernelInfo;
+using kernels::ReduceKind;
+
+namespace {
+
+/**
+ * Coordinator/worker shared state of one execute() call. funcDone is
+ * the happens-before edge of every hazard: a VOp's functional
+ * completion (set under the mutex) is observed before any dependent
+ * plan scan, sampling scan, prestage read, or kernel body runs.
+ */
+struct HostState
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<char> funcDone;    //!< per-VOp functional completion
+    size_t inFlight = 0;           //!< spawned tasks not yet finished
+    sim::HostPhaseStats taskWall;  //!< wall folded in by spawned tasks
+    std::exception_ptr error;      //!< first functional failure
+};
+
+} // namespace
+
+double
+GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
+                        const Planner &planner, Policy &policy,
+                        uint64_t base_seed, bool functional,
+                        const Mode &mode, RunResult &result,
+                        std::vector<sim::DeviceTimeline> &timelines,
+                        ProducerMap *producers,
+                        CriticalityCache *data_memo,
+                        sim::ExecutionTrace *trace,
+                        std::vector<DispatchRecord> *dispatch_log) const
+{
+    const size_t n = program.ops.size();
+    SHMT_ASSERT(graph.size() == n, "graph covers ", graph.size(),
+                " VOps for a program of ", n);
+    if (n == 0)
+        return 0.0;
+
+    const SamplingEngine sampler(*cost_);
+    const DispatchSim dispatch(*backends_, *cost_,
+                               !mode.baseline && config_->stealSplitting);
+    const HlopExecutor executor(*backends_);
+    const Aggregator aggregator(*cal_, *cost_);
+
+    HostState state;
+    state.funcDone.assign(n, 0);
+
+    // Host tasks are only worth spawning when the pool actually has
+    // workers; a 1-lane pool runs submissions inline anyway, so
+    // keeping everything on the coordinator preserves the legacy
+    // serial path exactly.
+    const bool pool_parallel =
+        common::ThreadPool::resolveThreads(config_->hostThreads) > 1;
+
+    // Dataflow ready time per VOp (max over its graph predecessors'
+    // completions). The simulated charging below stays in program
+    // order on the serial clock — the co-execution schedule, and with
+    // it every device placement and every output bit, is invariant
+    // under --graph-exec — so the ready times feed only the trace
+    // spans, where the ready->release gap is the dataflow slack the
+    // host-side overlap exploits.
+    std::vector<double> ready(n, 0.0);
+
+    auto wait_all_spawned = [&] {
+        std::unique_lock<std::mutex> lk(state.mu);
+        state.cv.wait(lk, [&] { return state.inFlight == 0; });
+    };
+
+    // Functional execution + combine of one dispatched VOp. Runs on
+    // the coordinator or inside a spawned pool task; partitions write
+    // disjoint outputs and the combine is partition-ordered, so the
+    // numerics are independent of which.
+    auto run_functional = [&](VopPlan &plan,
+                              const std::vector<DispatchRecord> &records,
+                              sim::HostPhaseStats *wall) {
+        const KernelInfo &info = *plan.info();
+        std::vector<Tensor> accumulators;
+        if (info.reduce != ReduceKind::None) {
+            accumulators.reserve(plan.partitions.size());
+            for (size_t k = 0; k < plan.partitions.size(); ++k)
+                accumulators.emplace_back(info.reduceRows,
+                                          info.reduceCols);
+        }
+        executor.execute(plan, records, accumulators, wall);
+        aggregator.combine(plan, accumulators, wall);
+    };
+
+    common::StagingPool::DoubleBuffer staging;
+    double clock = 0.0;
+    double discard = 0.0;
+
+    try {
+        // Submission order is a topological order of the hazard DAG
+        // (every edge points forward), so predecessors are always
+        // dispatched — possibly still executing — by the time a VOp
+        // is reached.
+        for (size_t i = 0; i < n; ++i) {
+            const VOp &vop = program.ops[i];
+            const VopGraph::Node &node = graph.node(i);
+
+            // Hazard barrier: planning (quant scans), sampling
+            // (criticality scans), prestaging and the kernel bodies
+            // all read predecessor outputs.
+            if (functional && !node.preds.empty()) {
+                std::unique_lock<std::mutex> lk(state.mu);
+                state.cv.wait(lk, [&] {
+                    for (const size_t p : node.preds)
+                        if (!state.funcDone[p])
+                            return false;
+                    return true;
+                });
+            }
+
+            VopPlan plan = [&] {
+                sim::ScopedWallTimer wt(mode.baseline
+                                            ? discard
+                                            : result.hostWall.planningSec);
+                return mode.pinnedDevice != kAnyDevice
+                           ? planner.planSingleDevice(vop, i,
+                                                      mode.pinnedDevice,
+                                                      &result.cache)
+                           : planner.plan(vop, i, base_seed,
+                                          &result.cache);
+            }();
+            const KernelInfo &info = *plan.info();
+
+            // --- Sampling phase (QAWS, paper §3.5). ----------------------
+            // The baseline releases at t=0 with the planned regions
+            // and no policy involvement (the release is only a floor
+            // on the device clock, which never runs backwards, so the
+            // continuous-timeline charging is the historical baseline
+            // loop's, journal included).
+            std::vector<PartitionInfo> pinfos;
+            double release = 0.0;
+            if (!mode.baseline) {
+                policy.beginVop(VopContext{plan.costKey(), cost_,
+                                           plan.costWeight()});
+                release = sampler.charge(plan, policy, clock, pinfos,
+                                         &result.hostWall, data_memo,
+                                         &result.cache);
+                result.schedulingSec += release - clock;
+            } else {
+                pinfos.resize(plan.partitions.size());
+                for (size_t k = 0; k < plan.partitions.size(); ++k)
+                    pinfos[k].region = plan.partitions[k];
+            }
+
+            // --- Event-driven dispatch (paper §3.4). ---------------------
+            DispatchOutcome outcome =
+                dispatch.run(plan, pinfos, policy, release, timelines,
+                             producers, mode.costing);
+
+            for (const DispatchRecord &rec : outcome.records) {
+                if (rec.kind == DispatchRecord::Kind::Steal) {
+                    if (!mode.baseline)
+                        result.devices[rec.device].stolen += rec.count;
+                    continue;
+                }
+                if (mode.baseline)
+                    continue;
+                result.devices[rec.device].hlops += 1;
+                if (trace) {
+                    const devices::Backend &bk = *(*backends_)[rec.device];
+                    sim::TraceEvent ev;
+                    ev.vopIndex = i;
+                    ev.opcode = vop.opcode;
+                    ev.hlopIndex = rec.hlop;
+                    ev.device = bk.kind();
+                    ev.deviceName = std::string(bk.name());
+                    ev.releaseSec = rec.releaseSec;
+                    ev.startSec = rec.startSec;
+                    ev.transferSec = rec.prepSec;
+                    ev.computeSec = rec.computeSec;
+                    ev.endSec = rec.endSec;
+                    ev.criticality = pinfos[rec.hlop].criticality;
+                    ev.stolen = rec.stolen;
+                    trace->record(std::move(ev));
+                }
+            }
+            if (dispatch_log)
+                dispatch_log->insert(dispatch_log->end(),
+                                     outcome.records.begin(),
+                                     outcome.records.end());
+
+            // --- Aggregation cost (paper §3.3.1). ------------------------
+            double completion = release;
+            for (const sim::DeviceTimeline &tl : timelines)
+                completion = std::max(completion, tl.now());
+            if (!mode.baseline) {
+                const double agg = aggregator.cost(plan);
+                result.aggregationSec += agg;
+                completion += agg;
+                clock = completion;
+            }
+            result.hlopsTotal +=
+                mode.baseline ? 1 : plan.partitions.size();
+            if (trace && !mode.baseline) {
+                sim::VopSpan span;
+                span.vopIndex = i;
+                span.opcode = vop.opcode;
+                span.readySec = ready[i];
+                span.startSec = release;
+                span.endSec = completion;
+                trace->recordVopSpan(std::move(span));
+            }
+            for (const size_t s : node.succs)
+                ready[s] = std::max(ready[s], completion);
+
+            // --- Overlapped staging. -------------------------------------
+            // Whole-input NPU kernels stage identical INT8 planes per
+            // TPU HLOP; quantize them once here — while previously
+            // spawned VOps are still computing — into the inactive
+            // double-buffer slot, with the exact parameters the NPU
+            // harness would use (fixed model scales when provided,
+            // else the whole-view dynamic range), so the bytes are
+            // identical. In-place VOps keep the legacy per-HLOP path:
+            // their inputs mutate under execution.
+            if (mode.overlapStaging && functional && info.wholeInputs) {
+                bool in_place = false;
+                for (const Tensor *t : vop.inputs)
+                    in_place = in_place || t == vop.output;
+                bool tpu_exec = false;
+                for (const DispatchRecord &rec : outcome.records)
+                    tpu_exec = tpu_exec ||
+                               (rec.kind == DispatchRecord::Kind::Exec &&
+                                (*backends_)[rec.device]->kind() ==
+                                    sim::DeviceKind::EdgeTpu);
+                if (!in_place && tpu_exec) {
+                    const uint64_t prev = staging.peek().user;
+                    if (prev != common::StagingPool::DoubleBuffer::kNoUser) {
+                        std::unique_lock<std::mutex> lk(state.mu);
+                        state.cv.wait(lk, [&] {
+                            return state.funcDone[static_cast<size_t>(
+                                       prev)] != 0;
+                        });
+                    }
+                    sim::ScopedWallTimer wt(result.hostWall.execSec);
+                    auto &slot = staging.acquire(i);
+                    const bool fixed = info.reduce == ReduceKind::None;
+                    for (size_t k = 0; k < plan.args.inputs.size(); ++k) {
+                        const ConstTensorView &in = plan.args.inputs[k];
+                        auto lease =
+                            common::StagingPool::acquire(in.size());
+                        const TensorView sv(lease.data(), in.rows(),
+                                            in.cols(), in.cols());
+                        const QuantParams qp =
+                            fixed && k < plan.args.npuInputQuant.size()
+                                ? plan.args.npuInputQuant[k]
+                                : chooseQuantParams(in,
+                                                    plan.args.hostSimd);
+                        fakeQuantize(in, sv, qp, plan.args.hostSimd);
+                        plan.args.npuPrestagedInputs.push_back(
+                            ConstTensorView(sv));
+                        slot.planes.push_back(std::move(lease));
+                    }
+                }
+            }
+
+            // --- Functional execution on the host pool. ------------------
+            // Spawn only when the next VOp does not depend on this one
+            // (a chain therefore always runs inline, the legacy
+            // behavior); otherwise the coordinator would immediately
+            // block on the hazard barrier anyway.
+            if (!functional) {
+                state.funcDone[i] = 1;
+                continue;
+            }
+            bool inline_exec = !pool_parallel || i + 1 >= n;
+            if (!inline_exec) {
+                const auto &next_preds = graph.node(i + 1).preds;
+                inline_exec = std::binary_search(next_preds.begin(),
+                                                 next_preds.end(), i);
+            }
+            if (inline_exec) {
+                run_functional(plan, outcome.records, &result.hostWall);
+                std::lock_guard<std::mutex> lk(state.mu);
+                state.funcDone[i] = 1;
+                state.cv.notify_all();
+            } else {
+                auto work = std::make_shared<
+                    std::pair<VopPlan, std::vector<DispatchRecord>>>(
+                    std::move(plan), std::move(outcome.records));
+                {
+                    std::lock_guard<std::mutex> lk(state.mu);
+                    ++state.inFlight;
+                }
+                common::ThreadPool::global().submit([&state,
+                                                     &run_functional, i,
+                                                     work] {
+                    sim::HostPhaseStats lw;
+                    try {
+                        run_functional(work->first, work->second, &lw);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lk(state.mu);
+                        if (!state.error)
+                            state.error = std::current_exception();
+                    }
+                    std::lock_guard<std::mutex> lk(state.mu);
+                    state.funcDone[i] = 1;
+                    --state.inFlight;
+                    state.taskWall.samplingSec += lw.samplingSec;
+                    state.taskWall.execSec += lw.execSec;
+                    state.taskWall.aggregationSec += lw.aggregationSec;
+                    state.cv.notify_all();
+                });
+            }
+        }
+    } catch (...) {
+        // A coordinator failure mid-loop: spawned tasks still
+        // reference this frame; wait them out before unwinding.
+        wait_all_spawned();
+        throw;
+    }
+
+    wait_all_spawned();
+    {
+        std::lock_guard<std::mutex> lk(state.mu);
+        result.hostWall.samplingSec += state.taskWall.samplingSec;
+        result.hostWall.execSec += state.taskWall.execSec;
+        result.hostWall.aggregationSec += state.taskWall.aggregationSec;
+        if (state.error)
+            std::rethrow_exception(state.error);
+    }
+    return clock;
+}
+
+} // namespace shmt::core

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Dataflow graph execution of a VOp program.
+ *
+ * The GraphScheduler replaces the historical per-VOp driver loop: it
+ * walks a VopGraph (the hazard DAG derived from tensor ids, or the
+ * degenerate chain for `--graph-exec=off`) and executes ready VOps —
+ * coordinating the staged pipeline (plan -> sample -> dispatch ->
+ * execute -> aggregate) per VOp while letting the *functional* host
+ * work of independent in-flight VOps overlap on the shared ThreadPool.
+ *
+ * Determinism contract (what keeps the simulated results — makespan,
+ * journal, device stats, and therefore every output bit — identical
+ * whether the graph is the hazard DAG or the degenerate chain):
+ *
+ *  - All simulated charging (sampling cost, dispatch, timelines,
+ *    aggregation cost) happens on the coordinator thread only, in
+ *    program order on the single serial clock, exactly as the legacy
+ *    driver loop charged it. This is deliberate: the event-driven
+ *    dispatch steals against the live timeline state, so re-timing
+ *    releases from dataflow ready times would move HLOPs between
+ *    devices and change the numerics (Edge-TPU INT8 vs GPU FP32).
+ *    Program order is always a topological order of the hazard DAG
+ *    (edges point forward in submission order), so nothing is charged
+ *    before its dependencies.
+ *  - What the DAG buys instead is host-side concurrency: functional
+ *    work is dispatched off the coordinator when the next VOp does not
+ *    depend on the one just charged (a pure chain therefore executes
+ *    inline, exactly as before); hazard edges are enforced by waiting
+ *    on predecessors' functional completion before a VOp plans,
+ *    samples, prestages or executes. Partition outputs are disjoint,
+ *    so host completion order cannot affect the numerics. The DAG also
+ *    yields per-VOp ready times (max over predecessors' completions)
+ *    recorded as trace spans, where the ready->release gap exposes the
+ *    dataflow slack the host overlap exploits.
+ *  - With Mode::overlapStaging, the whole-input INT8 planes a
+ *    ready VOp's Edge-TPU HLOPs would each stage are quantized once on
+ *    the coordinator — using the VOp's fixed model scales, so the
+ *    bytes are identical — into a double-buffered StagingPool slot
+ *    while previously dispatched VOps are still computing, and handed
+ *    to the NPU harness via KernelArgs::npuPrestagedInputs.
+ *
+ * The GPU baseline runs through the same entry point in Mode::baseline
+ * (single pinned device, baseline costing, no sampling or aggregation
+ * charges), which is what deletes the second copy of the driver loop.
+ */
+
+#ifndef SHMT_CORE_GRAPH_SCHEDULER_HH
+#define SHMT_CORE_GRAPH_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dispatch_sim.hh"
+#include "core/plan.hh"
+#include "core/policy.hh"
+#include "core/run_types.hh"
+#include "core/vop_graph.hh"
+#include "devices/backend.hh"
+#include "sim/cost_model.hh"
+#include "sim/timeline.hh"
+#include "sim/trace.hh"
+
+namespace shmt::core {
+
+class CriticalityCache;
+
+/** Executes a program under its dataflow graph. */
+class GraphScheduler
+{
+  public:
+    /** Mode::pinnedDevice value for heterogeneous (unpinned) plans. */
+    static constexpr size_t kAnyDevice = ~size_t{0};
+
+    /** How the scheduler drives each VOp through the pipeline. */
+    struct Mode
+    {
+        /** Per-HLOP device costing (co-execution) or the baseline's. */
+        DispatchSim::Costing costing = DispatchSim::Costing::Hlop;
+        /** Pin every plan to one physical device (kAnyDevice = full
+         *  heterogeneous planning). */
+        size_t pinnedDevice = kAnyDevice;
+        /**
+         * GPU-baseline accounting: no policy/sampling charge (VOps
+         * release at t=0 with the planned regions; the release is only
+         * a floor on the monotone device clock, so charging matches
+         * the historical baseline loop bit-for-bit), no
+         * per-device stat or trace folding, no aggregation cost, no
+         * host-phase wall timers, one HLOP counted per VOp — exactly
+         * the historical runGpuBaseline loop.
+         */
+        bool baseline = false;
+        /**
+         * Prestage whole-input NPU planes on the coordinator into
+         * double-buffered StagingPool leases, overlapping in-flight
+         * predecessors' compute (`--graph-exec=on`). Bit-transparent:
+         * the staged bytes equal what every TPU HLOP would have staged
+         * for itself.
+         */
+        bool overlapStaging = false;
+    };
+
+    GraphScheduler(
+        const std::vector<std::unique_ptr<devices::Backend>> &backends,
+        const sim::PlatformCalibration &cal, const sim::CostModel &cost,
+        const RuntimeConfig &config)
+        : backends_(&backends), cal_(&cal), cost_(&cost), config_(&config)
+    {}
+
+    /**
+     * Execute @p program under @p graph and @p policy, charging
+     * @p timelines and accumulating stats into @p result. Returns the
+     * simulated makespan (max VOp completion). @p producers,
+     * @p data_memo, @p trace and @p dispatch_log may each be null.
+     * @p base_seed is the per-VOp seed-mixing base (ignored for
+     * pinned single-device plans, which use the unmixed config seed).
+     * Throws the first functional failure after every in-flight host
+     * task has finished.
+     */
+    double execute(const VopProgram &program, const VopGraph &graph,
+                   const Planner &planner, Policy &policy,
+                   uint64_t base_seed, bool functional, const Mode &mode,
+                   RunResult &result,
+                   std::vector<sim::DeviceTimeline> &timelines,
+                   ProducerMap *producers, CriticalityCache *data_memo,
+                   sim::ExecutionTrace *trace,
+                   std::vector<DispatchRecord> *dispatch_log) const;
+
+  private:
+    const std::vector<std::unique_ptr<devices::Backend>> *backends_;
+    const sim::PlatformCalibration *cal_;
+    const sim::CostModel *cost_;
+    const RuntimeConfig *config_;
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_GRAPH_SCHEDULER_HH

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "core/plan.hh"
-#include "kernels/kernel_registry.hh"
+#include "core/vop_graph.hh"
 
 namespace shmt::core {
 
@@ -17,26 +16,21 @@ runSwPipelined(Runtime &runtime, const VopProgram &program,
     // Re-time with the two-stage pipeline: each VOp's work splits into
     // a CPU stage (fraction f) and a GPU stage (1 - f); batch i's CPU
     // stage overlaps batch i-1's GPU stage.
-    const auto &registry = kernels::KernelRegistry::instance();
     const auto &cal = runtime.costModel().calibration();
     const size_t batches = std::max<size_t>(1, config.batches);
+    const std::vector<VopMeta> meta = resolveVopMeta(program);
 
     double clock = 0.0;
     double cpu_busy = 0.0;
     double gpu_busy = 0.0;
-    for (const VOp &vop : program.ops) {
-        const auto &info = registry.get(vop.opcode);
-        const std::string_view cost_key = vopCostKey(vop, info);
-        const auto [rows, cols] =
-            std::pair<size_t, size_t>{vop.inputs[0]->rows(),
-                                      vop.inputs[0]->cols()};
+    for (const VopMeta &m : meta) {
         // SW pipelining restructures the *baseline* implementation.
         const double total = runtime.costModel().baselineSeconds(
-                                 cost_key, rows * cols,
-                                 info.costWeight * vop.weight) -
+                                 m.costKey, m.rows * m.cols,
+                                 m.costWeight) -
                              runtime.costModel().launchSeconds(
                                  sim::DeviceKind::Gpu);
-        const sim::KernelCalibration *rec = cal.find(cost_key);
+        const sim::KernelCalibration *rec = cal.find(m.costKey);
         const double f = rec ? rec->pipeStageFrac : 0.0;
 
         const double stage_cpu = f * total / static_cast<double>(batches);

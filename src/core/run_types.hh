@@ -77,6 +77,21 @@ struct RuntimeConfig
      * snapshot pins this).
      */
     bool planCache = true;
+
+    /**
+     * Dataflow graph execution (`shmtbench --graph-exec=off|on`): walk
+     * the program's hazard DAG (core/vop_graph.hh) instead of the
+     * submission-order chain, overlapping independent VOps' host work
+     * on the shared pool and prestaging whole-input NPU planes while
+     * predecessors compute. Simulated charging stays in program order
+     * on the serial clock either way — the co-execution schedule,
+     * device placement, reported simulated time and every output bit
+     * are identical on vs off; the graph changes only host wall time
+     * and the trace's per-VOp ready/start/finish spans. Off forces the
+     * degenerate chain graph, byte-identical to the historical serial
+     * driver loop.
+     */
+    bool graphExec = true;
 };
 
 /**

@@ -4,15 +4,10 @@
 #include <set>
 
 #include "common/thread_pool.hh"
-#include "core/aggregator.hh"
-#include "core/hlop_executor.hh"
-#include "core/sampling_engine.hh"
+#include "core/graph_scheduler.hh"
+#include "core/vop_graph.hh"
 
 namespace shmt::core {
-
-using kernels::KernelInfo;
-using kernels::KernelRegistry;
-using kernels::ReduceKind;
 
 double
 RunResult::commOverhead() const
@@ -32,89 +27,6 @@ Runtime::Runtime(std::vector<std::unique_ptr<devices::Backend>> backends,
       config_(config)
 {
     SHMT_ASSERT(!backends_.empty(), "runtime needs at least one device");
-}
-
-double
-Runtime::runVop(VopPlan &plan, Policy &policy, double start,
-                RunResult &result,
-                std::vector<sim::DeviceTimeline> &timelines,
-                ProducerMap &producers, bool functional)
-{
-    const VOp &vop = *plan.vop;
-    const KernelInfo &info = *plan.info();
-
-    policy.beginVop(
-        VopContext{plan.costKey(), &costModel_, plan.costWeight()});
-
-    // --- Sampling phase (QAWS, paper §3.5). ------------------------------
-    const SamplingEngine sampler(costModel_);
-    std::vector<PartitionInfo> pinfos;
-    const double release = sampler.charge(
-        plan, policy, start, pinfos, &result.hostWall,
-        config_.planCache ? &dataCache_ : nullptr, &result.cache);
-    result.schedulingSec += release - start;
-
-    // --- Event-driven dispatch with work stealing (paper §3.4). ----------
-    const DispatchSim dispatch(backends_, costModel_,
-                               config_.stealSplitting);
-    DispatchOutcome outcome =
-        dispatch.run(plan, pinfos, policy, release, timelines, &producers);
-
-    for (const DispatchRecord &rec : outcome.records) {
-        if (rec.kind == DispatchRecord::Kind::Steal) {
-            result.devices[rec.device].stolen += rec.count;
-            continue;
-        }
-        result.devices[rec.device].hlops += 1;
-        if (trace_) {
-            const devices::Backend &bk = *backends_[rec.device];
-            sim::TraceEvent ev;
-            ev.vopIndex = plan.vopIndex;
-            ev.opcode = vop.opcode;
-            ev.hlopIndex = rec.hlop;
-            ev.device = bk.kind();
-            ev.deviceName = std::string(bk.name());
-            ev.releaseSec = rec.releaseSec;
-            ev.startSec = rec.startSec;
-            ev.transferSec = rec.prepSec;
-            ev.computeSec = rec.computeSec;
-            ev.endSec = rec.endSec;
-            ev.criticality = pinfos[rec.hlop].criticality;
-            ev.stolen = rec.stolen;
-            trace_->record(std::move(ev));
-        }
-    }
-    if (dispatchLog_)
-        dispatchLog_->insert(dispatchLog_->end(), outcome.records.begin(),
-                             outcome.records.end());
-
-    // --- Functional execution on the host pool. --------------------------
-    // Accumulators are sized to the final, post-split partition count.
-    std::vector<Tensor> accumulators;
-    if (info.reduce != ReduceKind::None) {
-        accumulators.reserve(plan.partitions.size());
-        for (size_t i = 0; i < plan.partitions.size(); ++i)
-            accumulators.emplace_back(info.reduceRows, info.reduceCols);
-    }
-    if (functional) {
-        const HlopExecutor executor(backends_);
-        executor.execute(plan, outcome.records, accumulators,
-                         &result.hostWall);
-    }
-
-    double completion = release;
-    for (const sim::DeviceTimeline &tl : timelines)
-        completion = std::max(completion, tl.now());
-
-    // --- Aggregation and synchronization (paper §3.3.1). -----------------
-    const Aggregator aggregator(cal_, costModel_);
-    if (functional)
-        aggregator.combine(plan, accumulators, &result.hostWall);
-    const double agg = aggregator.cost(plan);
-    result.aggregationSec += agg;
-    result.hlopsTotal += plan.partitions.size();
-
-    return completion + agg;
 }
 
 RunResult
@@ -147,19 +59,24 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
         timelines.emplace_back(bk->kind(), config_.doubleBuffering);
     ProducerMap producers;
 
-    const Planner planner = makePlanner();
-    double clock = 0.0;
-    for (size_t i = 0; i < program.ops.size(); ++i) {
-        VopPlan plan = [&] {
-            sim::ScopedWallTimer wt(result.hostWall.planningSec);
-            return planner.plan(program.ops[i], i, base_seed,
-                                &result.cache);
-        }();
-        clock = runVop(plan, policy, clock, result, timelines, producers,
-                       functional);
-    }
+    // The dataflow scheduler drives every VOp through the staged
+    // pipeline. Simulated charging is graph-invariant (program order
+    // on the serial clock); the hazard DAG overlaps host-side
+    // functional work and NPU prestaging. --graph-exec=off forces the
+    // degenerate chain graph, which reproduces the historical
+    // submission-order loop exactly.
+    const VopGraph graph = config_.graphExec
+                               ? VopGraph::build(program)
+                               : VopGraph::chain(program.ops.size());
+    GraphScheduler::Mode mode;
+    mode.overlapStaging = config_.graphExec;
 
-    result.makespanSec = clock;
+    const Planner planner = makePlanner();
+    const GraphScheduler scheduler(backends_, cal_, costModel_, config_);
+    result.makespanSec = scheduler.execute(
+        program, graph, planner, policy, base_seed, functional, mode,
+        result, timelines, &producers,
+        config_.planCache ? &dataCache_ : nullptr, trace_, dispatchLog_);
     for (size_t d = 0; d < backends_.size(); ++d) {
         result.devices[d].busySec = timelines[d].busySeconds();
         result.devices[d].computeSec = timelines[d].computeSeconds();
@@ -227,38 +144,24 @@ Runtime::runGpuBaseline(const VopProgram &program, bool functional)
     for (const auto &bk : backends_)
         timelines.emplace_back(bk->kind(), config_.doubleBuffering);
 
+    // The baseline is the same scheduler restricted to a chain graph,
+    // a pinned one-device plan, baseline costing and no sampling or
+    // aggregation charges. A null producer map: the baseline stages
+    // every input every time (no residency tracking, exactly the
+    // paper's baseline).
     const Planner planner = makePlanner();
-    const DispatchSim dispatch(backends_, costModel_,
-                               /*steal_splitting=*/false);
-    const HlopExecutor executor(backends_);
-    const Aggregator aggregator(cal_, costModel_);
     PinnedPolicy pinned;
+    GraphScheduler::Mode mode;
+    mode.costing = DispatchSim::Costing::Baseline;
+    mode.pinnedDevice = gpu_index;
+    mode.baseline = true;
 
-    for (size_t i = 0; i < program.ops.size(); ++i) {
-        VopPlan plan = planner.planSingleDevice(program.ops[i], i,
-                                                gpu_index, &result.cache);
-        std::vector<PartitionInfo> pinfos(1);
-        pinfos[0].region = plan.partitions[0];
-        // A null producer map: the baseline stages every input every
-        // time (no residency tracking, exactly the paper's baseline).
-        DispatchOutcome outcome = dispatch.run(
-            plan, pinfos, pinned, /*release=*/0.0, timelines,
-            /*producers=*/nullptr, DispatchSim::Costing::Baseline);
-        if (functional) {
-            std::vector<Tensor> accumulators;
-            if (plan.reduce() != ReduceKind::None)
-                accumulators.emplace_back(plan.info()->reduceRows,
-                                          plan.info()->reduceCols);
-            executor.execute(plan, outcome.records, accumulators,
-                             /*wall=*/nullptr);
-            aggregator.combine(plan, accumulators, /*wall=*/nullptr);
-        }
-        if (dispatchLog_)
-            dispatchLog_->insert(dispatchLog_->end(),
-                                 outcome.records.begin(),
-                                 outcome.records.end());
-        result.hlopsTotal += 1;
-    }
+    const GraphScheduler scheduler(backends_, cal_, costModel_, config_);
+    scheduler.execute(program, VopGraph::chain(program.ops.size()),
+                      planner, pinned, config_.seed, functional, mode,
+                      result, timelines, /*producers=*/nullptr,
+                      /*data_memo=*/nullptr, /*trace=*/nullptr,
+                      dispatchLog_);
 
     const sim::DeviceTimeline &tl = timelines[gpu_index];
     result.makespanSec = tl.now();
@@ -276,7 +179,6 @@ Runtime::runGpuBaseline(const VopProgram &program, bool functional)
 MemoryReport
 Runtime::memoryReport(const VopProgram &program, double tpu_share) const
 {
-    const KernelRegistry &registry = KernelRegistry::instance();
     MemoryReport report;
 
     // Unique host tensors across the program.
@@ -286,11 +188,15 @@ Runtime::memoryReport(const VopProgram &program, double tpu_share) const
             report.hostBytes += t->bytes();
     };
 
+    // GPU scratch bills to the opcode's own calibration record (not a
+    // VOp's costKeyOverride): working-buffer size is a property of the
+    // kernel implementation, not of the cost-model rebinding.
+    const std::vector<VopMeta> meta = resolveVopMeta(program);
     size_t max_in_bytes = 0;
     size_t max_io_elems = 0;
     double max_scratch = 0.0;
-    for (const VOp &vop : program.ops) {
-        const KernelInfo &info = registry.get(vop.opcode);
+    for (size_t i = 0; i < program.ops.size(); ++i) {
+        const VOp &vop = program.ops[i];
         size_t in_bytes = 0;
         size_t in_elems = 0;
         for (const Tensor *t : vop.inputs) {
@@ -302,7 +208,8 @@ Runtime::memoryReport(const VopProgram &program, double tpu_share) const
         max_in_bytes = std::max(max_in_bytes, in_bytes);
         max_io_elems =
             std::max(max_io_elems, in_elems + vop.output->size());
-        const sim::KernelCalibration *rec = cal_.find(info.costKey);
+        const sim::KernelCalibration *rec =
+            cal_.find(meta[i].info->costKey);
         if (rec)
             max_scratch = std::max(
                 max_scratch, rec->gpuScratchFactor *

@@ -131,16 +131,6 @@ class Runtime
     const devices::Backend &backend(size_t i) const { return *backends_[i]; }
 
   private:
-    /**
-     * Run one planned VOp through sampling -> dispatch -> execution ->
-     * aggregation starting at @p start seconds; returns its completion
-     * time and accumulates stats into @p result.
-     */
-    double runVop(VopPlan &plan, Policy &policy, double start,
-                  RunResult &result,
-                  std::vector<sim::DeviceTimeline> &timelines,
-                  ProducerMap &producers, bool functional);
-
     std::vector<std::unique_ptr<devices::Backend>> backends_;
     const sim::PlatformCalibration &cal_;
     sim::CostModel costModel_;

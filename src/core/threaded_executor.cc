@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.hh"
 #include "core/sampling.hh"
+#include "core/vop_graph.hh"
 
 namespace shmt::core {
 
@@ -93,8 +94,16 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
     // real worker threads.
     const Planner planner = runtime.makePlanner();
 
+    // Walk VOps in the hazard DAG's deterministic topological order
+    // (the identity for dependence-ordered programs); real threads
+    // join per VOp, so each VOp's writes complete before dependents
+    // read them.
+    const VopGraph graph = runtime.config().graphExec
+                               ? VopGraph::build(program)
+                               : VopGraph::chain(program.ops.size());
+
     const auto t0 = std::chrono::steady_clock::now();
-    for (size_t vi = 0; vi < program.ops.size(); ++vi) {
+    for (const size_t vi : graph.topologicalOrder()) {
         const VOp &vop = program.ops[vi];
         VopPlan plan = planner.plan(vop, vi);
         const KernelInfo &info = *plan.info();

@@ -1,0 +1,153 @@
+#include "vop_graph.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "core/plan.hh"
+
+namespace shmt::core {
+
+namespace {
+
+void
+addEdge(std::vector<VopGraph::Node> &nodes, size_t from, size_t to)
+{
+    if (from == to)
+        return;
+    nodes[to].preds.push_back(from);
+    nodes[from].succs.push_back(to);
+}
+
+void
+sortUnique(std::vector<size_t> &v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+} // namespace
+
+VopGraph
+VopGraph::build(const VopProgram &program)
+{
+    VopGraph g;
+    g.nodes_.resize(program.ops.size());
+
+    // Last writer and readers-since-last-write per tensor identity.
+    std::map<uint64_t, size_t> last_writer;
+    std::map<uint64_t, std::vector<size_t>> readers;
+
+    for (size_t i = 0; i < program.ops.size(); ++i) {
+        const VOp &vop = program.ops[i];
+        for (const Tensor *t : vop.inputs) {
+            const auto w = last_writer.find(t->id());
+            if (w != last_writer.end())
+                addEdge(g.nodes_, w->second, i);  // RAW
+            readers[t->id()].push_back(i);
+        }
+        if (vop.output) {
+            const uint64_t oid = vop.output->id();
+            const auto w = last_writer.find(oid);
+            if (w != last_writer.end())
+                addEdge(g.nodes_, w->second, i);  // WAW
+            for (const size_t r : readers[oid])
+                addEdge(g.nodes_, r, i);          // WAR
+            last_writer[oid] = i;
+            readers[oid].clear();
+        }
+    }
+
+    for (Node &n : g.nodes_) {
+        sortUnique(n.preds);
+        sortUnique(n.succs);
+    }
+    return g;
+}
+
+VopGraph
+VopGraph::chain(size_t n)
+{
+    VopGraph g;
+    g.nodes_.resize(n);
+    for (size_t i = 1; i < n; ++i) {
+        g.nodes_[i].preds.push_back(i - 1);
+        g.nodes_[i - 1].succs.push_back(i);
+    }
+    return g;
+}
+
+size_t
+VopGraph::edgeCount() const
+{
+    size_t edges = 0;
+    for (const Node &n : nodes_)
+        edges += n.succs.size();
+    return edges;
+}
+
+bool
+VopGraph::isChain() const
+{
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        if (i == 0 && !n.preds.empty())
+            return false;
+        if (i > 0 && (n.preds.size() != 1 || n.preds[0] != i - 1))
+            return false;
+    }
+    return true;
+}
+
+std::vector<size_t>
+VopGraph::topologicalOrder() const
+{
+    std::vector<size_t> remaining(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        remaining[i] = nodes_[i].preds.size();
+
+    std::vector<size_t> order;
+    order.reserve(nodes_.size());
+    // All of build()'s edges point forward in submission order, so a
+    // single forward scan per emission terminates; lowest index first
+    // keeps the order deterministic and equal to the identity for
+    // dependence-ordered programs.
+    std::vector<bool> emitted(nodes_.size(), false);
+    for (size_t count = 0; count < nodes_.size(); ++count) {
+        size_t pick = nodes_.size();
+        for (size_t i = 0; i < nodes_.size(); ++i) {
+            if (!emitted[i] && remaining[i] == 0) {
+                pick = i;
+                break;
+            }
+        }
+        SHMT_ASSERT(pick < nodes_.size(), "cyclic VOp graph");
+        emitted[pick] = true;
+        order.push_back(pick);
+        for (const size_t s : nodes_[pick].succs)
+            --remaining[s];
+    }
+    return order;
+}
+
+std::vector<VopMeta>
+resolveVopMeta(const VopProgram &program)
+{
+    const auto &registry = kernels::KernelRegistry::instance();
+    std::vector<VopMeta> meta;
+    meta.reserve(program.ops.size());
+    for (const VOp &vop : program.ops) {
+        VopMeta m;
+        m.info = &registry.get(vop.opcode);
+        m.costKey = vopCostKey(vop, *m.info);
+        m.costWeight = m.info->costWeight * vop.weight;
+        if (!vop.inputs.empty()) {
+            m.rows = vop.inputs[0]->rows();
+            m.cols = vop.inputs[0]->cols();
+        }
+        meta.push_back(m);
+    }
+    return meta;
+}
+
+} // namespace shmt::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Dataflow dependency graph over a program's VOps.
+ *
+ * A VopProgram lists its operations in submission order, but the only
+ * true ordering constraints are the data hazards between them. The
+ * graph derives those from tensor *identity* (Tensor::id(), the same
+ * process-unique ids the serving caches key on — see tensor.hh):
+ *
+ *  - RAW: a VOp reading a tensor depends on its last writer.
+ *  - WAW: a VOp writing a tensor depends on its previous writer.
+ *  - WAR: a VOp writing a tensor depends on every reader since the
+ *    previous write (their input scans, INT8 staging passes and
+ *    kernel-body reads must complete before the bytes change).
+ *
+ * An edge i -> j therefore means "j must not plan, sample, stage or
+ * execute before i's functional work is complete" — the contract the
+ * GraphScheduler enforces both for the deterministic simulated-time
+ * charging order and for the concurrent host execution. Programs with
+ * independent VOp chains (no shared tensors) produce disconnected
+ * components, which is what inter-VOp parallel execution overlaps.
+ */
+
+#ifndef SHMT_CORE_VOP_GRAPH_HH
+#define SHMT_CORE_VOP_GRAPH_HH
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "core/vop.hh"
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::core {
+
+/** Producer/consumer dependency DAG over one program's VOps. */
+class VopGraph
+{
+  public:
+    /** Adjacency of one VOp (indices into the program's op list). */
+    struct Node
+    {
+        std::vector<size_t> preds;  //!< must complete before this VOp
+        std::vector<size_t> succs;  //!< wait for this VOp
+    };
+
+    /**
+     * Derive the hazard DAG of @p program from tensor ids (RAW, WAW
+     * and WAR edges, deduplicated, adjacency lists sorted). An
+     * in-place VOp (output aliasing an input) never gains a
+     * self-edge; its read and write hazards both bind to the
+     * neighboring VOps.
+     */
+    static VopGraph build(const VopProgram &program);
+
+    /**
+     * The degenerate chain 0 -> 1 -> ... -> n-1: every VOp depends on
+     * its predecessor exactly as the historical serial driver loop
+     * assumed. `--graph-exec=off` executes under this graph, which is
+     * what makes the off path byte-identical to the legacy loop.
+     */
+    static VopGraph chain(size_t n);
+
+    size_t size() const { return nodes_.size(); }
+    const Node &node(size_t i) const { return nodes_[i]; }
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** Total directed edges. */
+    size_t edgeCount() const;
+
+    /**
+     * True when the graph is exactly the serial chain (node i depends
+     * on precisely node i-1): scheduling under it degenerates to the
+     * submission-order loop, so simulated timing is preserved.
+     */
+    bool isChain() const;
+
+    /**
+     * Deterministic topological order: repeatedly emit the
+     * lowest-indexed VOp whose predecessors are all emitted. For a
+     * dependence-ordered program this is the identity permutation.
+     * Panics on a cyclic graph (impossible for build()'s output: all
+     * hazard edges point forward in submission order).
+     */
+    std::vector<size_t> topologicalOrder() const;
+
+  private:
+    std::vector<Node> nodes_;
+};
+
+/**
+ * Per-VOp static metadata resolved once per program walk: the kernel
+ * registry entry, the calibration cost key (the opcode's default or
+ * the VOp's override — a view into strings owned by the program or
+ * the registry, valid while both live), the combined cost weight, and
+ * the partitioning basis (inputs[0]'s shape). The per-VOp driver
+ * loops (graph scheduling, SW-pipelining re-timing, memory reports)
+ * share this walk instead of each re-deriving the tuple.
+ */
+struct VopMeta
+{
+    const kernels::KernelInfo *info = nullptr;
+    std::string_view costKey;
+    double costWeight = 1.0;  //!< info.costWeight x vop.weight
+    size_t rows = 0, cols = 0;
+};
+
+/** Resolve the metadata of every VOp of @p program, in op order. */
+std::vector<VopMeta> resolveVopMeta(const VopProgram &program);
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_VOP_GRAPH_HH

@@ -62,6 +62,20 @@ struct KernelArgs
      */
     bool hostSimd = true;
 
+    /**
+     * Pre-staged INT8 planes of `inputs` for whole-input NPU kernels
+     * (one dense fake-quantized view per input, same order). Filled by
+     * the graph scheduler when it overlaps the staging pass with
+     * predecessor compute; the NPU harness then consumes these views
+     * instead of re-quantizing per HLOP. The planes were produced with
+     * the exact parameters the harness would have chosen (the fixed
+     * model scales, or the whole-view dynamic range), so consuming
+     * them is bit-identical. Empty = stage per HLOP (the legacy path).
+     * The backing buffers outlive every HLOP of the VOp (the scheduler
+     * holds their leases until the VOp's functional work completes).
+     */
+    std::vector<ConstTensorView> npuPrestagedInputs;
+
     const ConstTensorView &
     input(size_t i) const
     {

@@ -96,14 +96,22 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
     }
 
     if (info.wholeInputs) {
-        for (size_t i = 0; i < args.inputs.size(); ++i) {
-            const auto &in = args.inputs[i];
-            auto lease = common::StagingPool::acquire(in.size());
-            const TensorView sv(lease.data(), in.rows(), in.cols(),
-                                in.cols());
-            fakeQuantize(in, sv, input_params(i, in), args.hostSimd);
-            staged.inputs.push_back(sv);
-            scratch.push_back(std::move(lease));
+        if (args.npuPrestagedInputs.size() == args.inputs.size()) {
+            // The graph scheduler already quantized the whole-input
+            // planes (with these exact parameters) overlapping the
+            // predecessors' compute; every HLOP of the VOp shares
+            // them.
+            staged.inputs = args.npuPrestagedInputs;
+        } else {
+            for (size_t i = 0; i < args.inputs.size(); ++i) {
+                const auto &in = args.inputs[i];
+                auto lease = common::StagingPool::acquire(in.size());
+                const TensorView sv(lease.data(), in.rows(), in.cols(),
+                                    in.cols());
+                fakeQuantize(in, sv, input_params(i, in), args.hostSimd);
+                staged.inputs.push_back(sv);
+                scratch.push_back(std::move(lease));
+            }
         }
     } else {
         // All region-relative inputs share the output coordinate space.

@@ -64,6 +64,22 @@ ExecutionTrace::writeChromeTrace(std::ostream &os) const
            << ",\"transfer_us\":" << e.transferSec * 1e6
            << ",\"compute_us\":" << e.computeSec * 1e6 << "}}";
     }
+    for (const auto &s : vopSpans_) {
+        if (!first)
+            os << ",";
+        first = false;
+        // One row for the graph scheduler: a VOp's span from release
+        // to completion, with its dataflow ready time in args — the
+        // ready->release gap is the slack the host overlap exploits.
+        os << "{\"name\":\"" << s.opcode << "@" << s.vopIndex
+           << "\",\"cat\":\"vop\",\"ph\":\"X\",\"pid\":0,"
+              "\"tid\":\"vop-graph\",\"ts\":" << s.startSec * 1e6
+           << ",\"dur\":" << (s.endSec - s.startSec) * 1e6
+           << ",\"args\":{\"vop\":" << s.vopIndex
+           << ",\"ready_us\":" << s.readySec * 1e6
+           << ",\"slack_us\":" << (s.startSec - s.readySec) * 1e6
+           << "}}";
+    }
     if (hasHostPhases_) {
         // Metadata record: the host engine's real (wall-clock) phase
         // costs, distinct from the simulated timeline above.

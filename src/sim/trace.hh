@@ -39,6 +39,22 @@ struct TraceEvent
     bool stolen = false;        //!< obtained via work stealing
 };
 
+/**
+ * One VOp's scheduling span under the graph scheduler: when its
+ * dependencies made it ready (simulated clock), when scheduling
+ * released it to the devices, and when it completed (including
+ * aggregation). Rendered as its own Chrome-trace track so inter-VOp
+ * overlap is visible next to the per-HLOP device rows.
+ */
+struct VopSpan
+{
+    size_t vopIndex = 0;
+    std::string opcode;
+    double readySec = 0.0;   //!< all graph predecessors charged
+    double startSec = 0.0;   //!< scheduling released the VOp
+    double endSec = 0.0;     //!< completion incl. aggregation
+};
+
 /** A recorded run. */
 class ExecutionTrace
 {
@@ -49,12 +65,21 @@ class ExecutionTrace
         events_.push_back(std::move(event));
     }
 
+    /** Record one VOp's ready/start/finish span (graph scheduler). */
+    void
+    recordVopSpan(VopSpan span)
+    {
+        vopSpans_.push_back(std::move(span));
+    }
+
     const std::vector<TraceEvent> &events() const { return events_; }
+    const std::vector<VopSpan> &vopSpans() const { return vopSpans_; }
     bool empty() const { return events_.empty(); }
     void
     clear()
     {
         events_.clear();
+        vopSpans_.clear();
         hostPhases_ = HostPhaseStats{};
         hasHostPhases_ = false;
         cacheHits_ = cacheMisses_ = cacheScanBytesAvoided_ = 0;
@@ -112,6 +137,7 @@ class ExecutionTrace
 
   private:
     std::vector<TraceEvent> events_;
+    std::vector<VopSpan> vopSpans_;
     HostPhaseStats hostPhases_;
     bool hasHostPhases_ = false;
     size_t cacheHits_ = 0;

@@ -105,6 +105,44 @@ TEST(ThreadPool, TasksSpawnedFromWorkersComplete)
     EXPECT_EQ(ran.load(), 32);
 }
 
+TEST(ThreadPool, StatsCountSubmissionsQueueDepthAndParks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.stats().submitted, 0u);
+    EXPECT_EQ(pool.stats().peakQueued, 0u);
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.drain();
+
+    const ThreadPool::Stats s = pool.stats();
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_EQ(s.submitted, 32u);
+    EXPECT_EQ(s.queued, 0u);        // drained
+    EXPECT_GE(s.peakQueued, 1u);
+    EXPECT_LE(s.peakQueued, 32u);
+    // Counters are lifetime-monotone.
+    pool.submit([] {});
+    pool.drain();
+    EXPECT_EQ(pool.stats().submitted, 33u);
+    EXPECT_GE(pool.stats().parked, s.parked);
+}
+
+TEST(ThreadPool, SerialPoolCountsInlineSubmissions)
+{
+    ThreadPool pool(1);
+    int ran = 0;
+    pool.submit([&] { ++ran; });
+    pool.submit([&] { ++ran; });
+    EXPECT_EQ(ran, 2);
+    const ThreadPool::Stats s = pool.stats();
+    EXPECT_EQ(s.submitted, 2u);
+    EXPECT_EQ(s.queued, 0u);
+    EXPECT_EQ(s.peakQueued, 0u);    // inline: never enqueued
+    EXPECT_EQ(s.steals, 0u);
+}
+
 TEST(ThreadPool, ExceptionPropagatesToCaller)
 {
     ThreadPool pool(4);

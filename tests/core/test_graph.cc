@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Dataflow graph execution regression tests.
+ *
+ * Two layers:
+ *
+ *  1. VopGraph unit pins: the hazard rules (RAW, WAW, WAR from tensor
+ *     identity), the degenerate chain, and the deterministic
+ *     topological order.
+ *  2. The GraphScheduler determinism contract: `graphExec` on must
+ *     reproduce the off path bit-for-bit — simulated timing, device
+ *     stats and output bytes — across benchmarks x policies x
+ *     hostThreads, for multi-chain synthetic programs, and through a
+ *     Session worker pool. The graph is allowed to change host wall
+ *     time only.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "core/runtime.hh"
+#include "core/session.hh"
+#include "core/vop_graph.hh"
+#include "kernels/workload.hh"
+
+namespace shmt::core {
+namespace {
+
+using apps::makeBenchmark;
+using apps::makePrototypeRuntime;
+
+VOp
+op(const Tensor &in, Tensor &out)
+{
+    VOp vop;
+    vop.opcode = "sobel";
+    vop.inputs = {&in};
+    vop.output = &out;
+    return vop;
+}
+
+TEST(VopGraph, RawEdgeBindsReaderToLastWriter)
+{
+    Tensor a(32, 32, 1.0f), b(32, 32), c(32, 32);
+    VopProgram p;
+    p.ops.push_back(op(a, b));   // writes b
+    p.ops.push_back(op(b, c));   // reads b
+    const VopGraph g = VopGraph::build(p);
+    EXPECT_EQ(g.edgeCount(), 1u);
+    ASSERT_EQ(g.node(1).preds, std::vector<size_t>{0});
+    ASSERT_EQ(g.node(0).succs, std::vector<size_t>{1});
+    EXPECT_TRUE(g.isChain());
+}
+
+TEST(VopGraph, WawEdgeBindsWriterToPreviousWriter)
+{
+    Tensor a(32, 32, 1.0f), b(32, 32), c(32, 32, 2.0f);
+    VopProgram p;
+    p.ops.push_back(op(a, b));   // writes b
+    p.ops.push_back(op(c, b));   // overwrites b (no shared reads)
+    const VopGraph g = VopGraph::build(p);
+    EXPECT_EQ(g.edgeCount(), 1u);
+    ASSERT_EQ(g.node(1).preds, std::vector<size_t>{0});
+}
+
+TEST(VopGraph, WarEdgeBindsWriterToEveryReaderSinceLastWrite)
+{
+    Tensor a(32, 32, 1.0f), b(32, 32), c(32, 32), d(32, 32, 2.0f);
+    VopProgram p;
+    p.ops.push_back(op(a, b));   // reads a
+    p.ops.push_back(op(a, c));   // reads a
+    p.ops.push_back(op(d, a));   // writes a: WAR on both readers
+    const VopGraph g = VopGraph::build(p);
+    EXPECT_EQ(g.node(2).preds, (std::vector<size_t>{0, 1}));
+    EXPECT_FALSE(g.isChain());
+}
+
+TEST(VopGraph, InPlaceVopGainsNoSelfEdge)
+{
+    Tensor a(32, 32, 1.0f), b(32, 32);
+    VopProgram p;
+    p.ops.push_back(op(a, a));   // in-place
+    p.ops.push_back(op(a, b));   // RAW on the in-place write
+    const VopGraph g = VopGraph::build(p);
+    EXPECT_TRUE(g.node(0).preds.empty());
+    ASSERT_EQ(g.node(1).preds, std::vector<size_t>{0});
+}
+
+TEST(VopGraph, IndependentChainsAreDisconnected)
+{
+    Tensor a(32, 32, 1.0f), b(32, 32), c(32, 32, 2.0f), d(32, 32);
+    VopProgram p;
+    p.ops.push_back(op(a, b));
+    p.ops.push_back(op(c, d));
+    p.ops.push_back(op(b, a));   // chain 1 continues
+    p.ops.push_back(op(d, c));   // chain 2 continues
+    const VopGraph g = VopGraph::build(p);
+    EXPECT_EQ(g.edgeCount(), 2u);
+    EXPECT_TRUE(g.node(0).preds.empty());
+    EXPECT_TRUE(g.node(1).preds.empty());
+    ASSERT_EQ(g.node(2).preds, std::vector<size_t>{0});
+    ASSERT_EQ(g.node(3).preds, std::vector<size_t>{1});
+    EXPECT_FALSE(g.isChain());
+}
+
+TEST(VopGraph, ChainIsTheSerialOrder)
+{
+    const VopGraph g = VopGraph::chain(4);
+    EXPECT_TRUE(g.isChain());
+    EXPECT_EQ(g.edgeCount(), 3u);
+    for (size_t i = 1; i < 4; ++i)
+        ASSERT_EQ(g.node(i).preds, std::vector<size_t>{i - 1});
+}
+
+TEST(VopGraph, TopologicalOrderIsIdentityForForwardEdges)
+{
+    // A diamond: 0 -> {1, 2} -> 3. build()'s edges always point
+    // forward in submission order, so the lowest-index-first order is
+    // the identity permutation.
+    Tensor a(32, 32, 1.0f), b(32, 32), c(32, 32), d(32, 32), e(32, 32);
+    VopProgram p;
+    p.ops.push_back(op(a, b));
+    p.ops.push_back(op(b, c));
+    p.ops.push_back(op(b, d));
+    VOp join;
+    join.opcode = "add";
+    join.inputs = {&c, &d};
+    join.output = &e;
+    p.ops.push_back(std::move(join));
+    const VopGraph g = VopGraph::build(p);
+    const std::vector<size_t> order = g.topologicalOrder();
+    ASSERT_EQ(order.size(), 4u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+    EXPECT_EQ(g.node(3).preds, (std::vector<size_t>{1, 2}));
+}
+
+/** Copy @p t's payload row-by-row (respects the view stride). */
+std::vector<float>
+tensorBytes(const Tensor &t)
+{
+    const ConstTensorView v = t.view();
+    std::vector<float> out(v.size());
+    for (size_t row = 0; row < v.rows(); ++row)
+        std::memcpy(out.data() + row * v.cols(), v.row(row),
+                    v.cols() * sizeof(float));
+    return out;
+}
+
+/** Every simulated quantity and output byte must agree to the bit. */
+void
+expectIdentical(const RunResult &off, const RunResult &on,
+                const std::vector<float> &off_out,
+                const std::vector<float> &on_out, const std::string &what)
+{
+    EXPECT_EQ(off.makespanSec, on.makespanSec) << what;
+    EXPECT_EQ(off.schedulingSec, on.schedulingSec) << what;
+    EXPECT_EQ(off.aggregationSec, on.aggregationSec) << what;
+    EXPECT_EQ(off.hlopsTotal, on.hlopsTotal) << what;
+    ASSERT_EQ(off.devices.size(), on.devices.size()) << what;
+    for (size_t d = 0; d < off.devices.size(); ++d) {
+        EXPECT_EQ(off.devices[d].hlops, on.devices[d].hlops)
+            << what << " device " << d;
+        EXPECT_EQ(off.devices[d].stolen, on.devices[d].stolen)
+            << what << " device " << d;
+        EXPECT_EQ(off.devices[d].busySec, on.devices[d].busySec)
+            << what << " device " << d;
+    }
+    ASSERT_EQ(off_out.size(), on_out.size()) << what;
+    EXPECT_EQ(std::memcmp(off_out.data(), on_out.data(),
+                          off_out.size() * sizeof(float)),
+              0)
+        << what;
+}
+
+RunResult
+runBench(const std::string &bench_name, const std::string &policy_name,
+         bool graph_exec, size_t host_threads, std::vector<float> &out)
+{
+    RuntimeConfig cfg;
+    cfg.graphExec = graph_exec;
+    cfg.hostThreads = host_threads;
+    auto rt = makePrototypeRuntime(cfg);
+    auto bench = makeBenchmark(bench_name, 192, 192);
+    auto policy = makePolicy(policy_name);
+    const RunResult r = rt.run(bench->program(), *policy);
+    out = tensorBytes(bench->output());
+    return r;
+}
+
+TEST(GraphExec, MatchesSerialPathAcrossTheMatrix)
+{
+    // blackscholes is the one benchmark whose hazard graph is a real
+    // DAG (independent primitive chains), and stealing policies place
+    // HLOPs from the live timeline state — exactly the combination
+    // where a scheduler that perturbed simulated charging would change
+    // device placement and therefore output numerics.
+    for (const char *bench_name : {"blackscholes", "srad", "sobel"}) {
+        for (const char *policy_name :
+             {"even", "work-stealing", "qaws-ts", "ira"}) {
+            for (size_t host_threads : {size_t{1}, size_t{0}}) {
+                const std::string what =
+                    std::string(bench_name) + "/" + policy_name +
+                    "/threads=" + std::to_string(host_threads);
+                std::vector<float> off_out, on_out;
+                const RunResult off =
+                    runBench(bench_name, policy_name, false,
+                             host_threads, off_out);
+                const RunResult on = runBench(
+                    bench_name, policy_name, true, host_threads, on_out);
+                expectIdentical(off, on, off_out, on_out, what);
+            }
+        }
+    }
+}
+
+/** k independent sobel chains, interleaved in submission order. */
+struct ChainProgram
+{
+    std::vector<std::unique_ptr<Tensor>> tensors;
+    VopProgram program;
+
+    ChainProgram(size_t chains, size_t length)
+    {
+        std::vector<std::vector<Tensor *>> strands(chains);
+        for (size_t c = 0; c < chains; ++c) {
+            tensors.push_back(std::make_unique<Tensor>(
+                kernels::makeImage(96, 96, c + 1)));
+            strands[c].push_back(tensors.back().get());
+            for (size_t j = 0; j < length; ++j) {
+                tensors.push_back(std::make_unique<Tensor>(96, 96));
+                strands[c].push_back(tensors.back().get());
+            }
+        }
+        for (size_t j = 0; j < length; ++j)
+            for (size_t c = 0; c < chains; ++c)
+                program.ops.push_back(op(*strands[c][j],
+                                         *strands[c][j + 1]));
+    }
+
+    std::vector<float>
+    outputs() const
+    {
+        std::vector<float> all;
+        for (const VOp &o : program.ops) {
+            const std::vector<float> one = tensorBytes(*o.output);
+            all.insert(all.end(), one.begin(), one.end());
+        }
+        return all;
+    }
+};
+
+TEST(GraphExec, MultiChainProgramIsBitIdenticalOnVsOff)
+{
+    for (const char *policy_name : {"even", "work-stealing", "qaws-ts"}) {
+        for (size_t host_threads : {size_t{1}, size_t{0}}) {
+            const std::string what =
+                std::string("kchains/") + policy_name + "/threads=" +
+                std::to_string(host_threads);
+            RunResult results[2];
+            std::vector<float> outs[2];
+            for (const bool graph_exec : {false, true}) {
+                RuntimeConfig cfg;
+                cfg.graphExec = graph_exec;
+                cfg.hostThreads = host_threads;
+                auto rt = makePrototypeRuntime(cfg);
+                ChainProgram wl(4, 3);
+                auto policy = makePolicy(policy_name);
+                results[graph_exec] = rt.run(wl.program, *policy);
+                outs[graph_exec] = wl.outputs();
+            }
+            expectIdentical(results[0], results[1], outs[0], outs[1],
+                            what);
+        }
+    }
+}
+
+TEST(GraphExec, MultiChainGraphOverlapsWhereTheChainSerializes)
+{
+    ChainProgram wl(4, 3);
+    const VopGraph g = VopGraph::build(wl.program);
+    EXPECT_FALSE(g.isChain());
+    // Each chain contributes `length` VOps linked only to each other.
+    EXPECT_EQ(g.edgeCount(), 4u * 2u);
+    const VopGraph serial = VopGraph::chain(wl.program.ops.size());
+    EXPECT_TRUE(serial.isChain());
+    EXPECT_EQ(serial.edgeCount(), wl.program.ops.size() - 1);
+}
+
+TEST(GraphExec, RepeatedRunsOnTheSameRuntimeAreStable)
+{
+    // Back-to-back graph-on runs (warm caches, reused pool) must keep
+    // producing the same bits.
+    RuntimeConfig cfg;
+    cfg.hostThreads = 0;
+    auto rt = makePrototypeRuntime(cfg);
+    auto policy = makePolicy("qaws-ts");
+    std::vector<float> first;
+    RunResult first_r;
+    for (int it = 0; it < 3; ++it) {
+        ChainProgram wl(4, 3);
+        const RunResult r = rt.run(wl.program, *policy);
+        const std::vector<float> out = wl.outputs();
+        if (it == 0) {
+            first = out;
+            first_r = r;
+            continue;
+        }
+        expectIdentical(first_r, r, first, out,
+                        "iteration " + std::to_string(it));
+    }
+}
+
+TEST(GraphExec, SessionServesGraphRunsIdenticalToSerialPath)
+{
+    // The standalone graph-off reference...
+    RuntimeConfig ref_cfg;
+    ref_cfg.graphExec = false;
+    ref_cfg.planCache = false;
+    auto ref_rt = makePrototypeRuntime(ref_cfg);
+    ChainProgram ref_wl(4, 3);
+    auto ref_policy = makePolicy("qaws-ts");
+    const RunResult ref = ref_rt.run(ref_wl.program, *ref_policy);
+    const std::vector<float> ref_out = ref_wl.outputs();
+
+    // ...must be what a graph-on Session worker pool serves.
+    RuntimeConfig cfg;
+    cfg.graphExec = true;
+    auto rt = makePrototypeRuntime(cfg);
+    SessionOptions opts;
+    opts.workers = 2;
+    Session session(rt, opts);
+    constexpr size_t kPrograms = 4;
+    std::vector<std::unique_ptr<ChainProgram>> programs;
+    std::vector<std::future<RunResult>> futures;
+    for (size_t i = 0; i < kPrograms; ++i) {
+        programs.push_back(std::make_unique<ChainProgram>(4, 3));
+        futures.push_back(session.submit(programs[i]->program,
+                                         makePolicy("qaws-ts")));
+    }
+    for (size_t i = 0; i < kPrograms; ++i) {
+        const RunResult r = futures[i].get();
+        const std::vector<float> out = programs[i]->outputs();
+        expectIdentical(ref, r, ref_out, out,
+                        "program " + std::to_string(i));
+    }
+    EXPECT_EQ(session.executedCount(), kPrograms);
+}
+
+} // namespace
+} // namespace shmt::core

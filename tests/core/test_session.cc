@@ -300,6 +300,52 @@ TEST(Session, BoundedQueueAppliesBackpressure)
         EXPECT_GT(f.get().makespanSec, 0.0);
 }
 
+TEST(Session, DrainRacingSubmittersWithWorkerPool)
+{
+    // Client threads race submissions onto a 3-worker Session while
+    // the main thread repeatedly drains: drain() must always return
+    // with the queue empty at that instant, executedCount() must be
+    // monotone under concurrency, and the final drain must account
+    // for every submission exactly once.
+    auto rt = makePrototypeRuntime();
+    SessionOptions opts;
+    opts.workers = 3;
+    Session session(rt, opts);
+
+    constexpr size_t kClients = 4;
+    constexpr size_t kPerClient = 3;
+    std::vector<std::unique_ptr<apps::Benchmark>> benches;
+    for (size_t i = 0; i < kClients * kPerClient; ++i)
+        benches.push_back(makeBenchmark("sobel", 128, 128));
+
+    std::vector<std::future<RunResult>> futures(benches.size());
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (size_t j = 0; j < kPerClient; ++j) {
+                const size_t i = c * kPerClient + j;
+                futures[i] = session.submit(benches[i]->program(),
+                                            makePolicy("even"));
+            }
+        });
+    }
+    // Interleave drains with the racing submitters; the count can
+    // only grow.
+    size_t last = 0;
+    for (int probe = 0; probe < 5; ++probe) {
+        session.drain();
+        const size_t now = session.executedCount();
+        EXPECT_GE(now, last);
+        last = now;
+    }
+    for (auto &t : clients)
+        t.join();
+    session.drain();
+    EXPECT_EQ(session.executedCount(), benches.size());
+    for (auto &f : futures)
+        EXPECT_GT(f.get().makespanSec, 0.0);
+}
+
 TEST(Session, FifoCompletionDeliversInSubmissionOrder)
 {
     // With fifoCompletion on, a resolved future implies every earlier

@@ -14,7 +14,14 @@
  * capture after, diff.
  *
  * Usage: pipeline_snapshot [--n <edge>] [--plan-cache off|on]
- *            > snapshot.txt
+ *            [--graph-exec off|on] [--host-threads <k>]
+ *            [--outputs-only] > snapshot.txt
+ *
+ * --outputs-only prints just the tag and the output-tensor hash — a
+ * smaller artifact for CI equivalence smokes. Graph execution charges
+ * the simulator in program order regardless of the graph, so full
+ * snapshots are expected byte-identical across --graph-exec and
+ * --host-threads, not just output-identical.
  */
 
 #include <cstdint>
@@ -64,10 +71,17 @@ tensorHash(const Tensor &t)
     return h;
 }
 
+bool g_outputs_only = false;
+
 void
 printResult(const std::string &tag, const core::RunResult &r,
             const Tensor &out)
 {
+    if (g_outputs_only) {
+        std::printf("%s out=%016llx\n", tag.c_str(),
+                    static_cast<unsigned long long>(tensorHash(out)));
+        return;
+    }
     std::printf("%s makespan=%016llx sched=%016llx agg=%016llx "
                 "hlops=%zu out=%016llx",
                 tag.c_str(),
@@ -104,6 +118,8 @@ main(int argc, char **argv)
 {
     size_t n = 256;
     bool plan_cache = true;
+    bool graph_exec = true;
+    size_t host_threads = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--n" && i + 1 < argc) {
@@ -115,6 +131,18 @@ main(int argc, char **argv)
             if (mode != "off" && mode != "on")
                 SHMT_FATAL("--plan-cache must be off or on");
             plan_cache = mode == "on";
+        } else if (arg == "--graph-exec" && i + 1 < argc) {
+            // Off must byte-match the pre-dataflow serial loop; on
+            // must byte-match off (simulated charging is graph-
+            // invariant by design).
+            const std::string_view mode = argv[++i];
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--graph-exec must be off or on");
+            graph_exec = mode == "on";
+        } else if (arg == "--host-threads" && i + 1 < argc) {
+            host_threads = std::stoul(argv[++i]);
+        } else if (arg == "--outputs-only") {
+            g_outputs_only = true;
         } else {
             SHMT_FATAL("unknown option '", arg, "'");
         }
@@ -124,8 +152,9 @@ main(int argc, char **argv)
         // The heterogeneous matrix, serial host path.
         for (const auto &policy_name : kPolicies) {
             core::RuntimeConfig cfg;
-            cfg.hostThreads = 1;
+            cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
+            cfg.graphExec = graph_exec;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy(policy_name);
@@ -136,8 +165,9 @@ main(int argc, char **argv)
         // Tail-splitting variant (exercises the granularity split).
         for (const char *policy_name : {"work-stealing", "qaws-ts"}) {
             core::RuntimeConfig cfg;
-            cfg.hostThreads = 1;
+            cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
+            cfg.graphExec = graph_exec;
             cfg.stealSplitting = true;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
@@ -149,8 +179,9 @@ main(int argc, char **argv)
         // SIMD-off variant (legacy scalar staging + kernels).
         {
             core::RuntimeConfig cfg;
-            cfg.hostThreads = 1;
+            cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
+            cfg.graphExec = graph_exec;
             cfg.hostSimd = core::RuntimeConfig::SimdMode::Off;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
@@ -162,8 +193,9 @@ main(int argc, char **argv)
         // GPU baseline and SW pipelining.
         {
             core::RuntimeConfig cfg;
-            cfg.hostThreads = 1;
+            cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
+            cfg.graphExec = graph_exec;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             const auto r = rt.runGpuBaseline(bench->program());
@@ -171,8 +203,9 @@ main(int argc, char **argv)
         }
         {
             core::RuntimeConfig cfg;
-            cfg.hostThreads = 1;
+            cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
+            cfg.graphExec = graph_exec;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             const auto r =
@@ -183,8 +216,9 @@ main(int argc, char **argv)
         // A timing-only run must charge identical simulated time.
         {
             core::RuntimeConfig cfg;
-            cfg.hostThreads = 1;
+            cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
+            cfg.graphExec = graph_exec;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy("qaws-ts");

@@ -25,6 +25,7 @@
 #include "apps/benchmarks.hh"
 #include "apps/harness.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "core/session.hh"
 #include "devices/backend.hh"
 #include "kernels/kernel_registry.hh"
@@ -47,6 +48,7 @@ struct Options
     bool dsp = false;
     bool cpu = false;
     bool planCache = true;
+    bool graphExec = true;
     size_t sessionWorkers = 0;  //!< 0 = standalone run (no Session)
     size_t sessionPrograms = 8;
     std::string tracePath;
@@ -68,6 +70,10 @@ usage()
         "  --plan-cache <mode>   off|on: the serving caches (plan\n"
         "                        skeletons + criticality/quant memos;\n"
         "                        bit-transparent, default: on)\n"
+        "  --graph-exec <mode>   off|on: dataflow graph execution\n"
+        "                        (hazard-DAG host overlap + NPU\n"
+        "                        prestaging; bit-transparent,\n"
+        "                        default: on)\n"
         "  --session-workers <n> serve the benchmark through a Session\n"
         "                        with n driver workers instead of a\n"
         "                        standalone run (default: 0 = off)\n"
@@ -123,6 +129,11 @@ parseArgs(int argc, char **argv)
             if (mode != "off" && mode != "on")
                 SHMT_FATAL("--plan-cache must be off or on");
             opts.planCache = mode == "on";
+        } else if (arg == "--graph-exec") {
+            const std::string mode = next();
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--graph-exec must be off or on");
+            opts.graphExec = mode == "on";
         } else if (arg == "--session-workers") {
             opts.sessionWorkers =
                 std::strtoul(next().c_str(), nullptr, 10);
@@ -218,6 +229,7 @@ main(int argc, char **argv)
                           ? core::RuntimeConfig::SimdMode::Off
                           : core::RuntimeConfig::SimdMode::Auto;
     config.planCache = opts.planCache;
+    config.graphExec = opts.graphExec;
     core::Runtime runtime(std::move(backends), cal, config);
 
     sim::ExecutionTrace trace;
@@ -230,11 +242,22 @@ main(int argc, char **argv)
     else
         benches.push_back(opts.bench);
 
+    common::ThreadPool::Stats poolPrev =
+        common::ThreadPool::global().stats();
     for (const auto &name : benches) {
         auto bench = apps::makeBenchmark(name, opts.size, opts.size);
         const auto r = apps::evaluatePolicy(runtime, *bench, opts.policy,
                                             {}, opts.quality);
         report(r, opts.quality);
+        // Host-pool counters are process-lifetime; report the delta
+        // this benchmark contributed.
+        const auto ps = common::ThreadPool::global().stats();
+        std::printf("  host pool        : %zu tasks (%zu steals, "
+                    "%zu parks), peak queue depth %zu\n",
+                    ps.submitted - poolPrev.submitted,
+                    ps.steals - poolPrev.steals,
+                    ps.parked - poolPrev.parked, ps.peakQueued);
+        poolPrev = ps;
 
         if (opts.sessionWorkers > 0) {
             // Serving mode: the same benchmark as a batch of distinct
@@ -282,8 +305,9 @@ main(int argc, char **argv)
         if (!out)
             SHMT_FATAL("cannot write trace to '", opts.tracePath, "'");
         trace.writeChromeTrace(out);
-        std::printf("\ntrace written to %s (%zu events)\n",
-                    opts.tracePath.c_str(), trace.events().size());
+        std::printf("\ntrace written to %s (%zu events, %zu vop spans)\n",
+                    opts.tracePath.c_str(), trace.events().size(),
+                    trace.vopSpans().size());
     }
     return 0;
 }
