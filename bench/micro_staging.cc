@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Staging residency micro-benchmark.
+ *
+ * Workload: repeated-input programs — the serving shape the residency
+ * cache exists for. Three benchmarks:
+ *
+ *  - sobel: k fan-out strands; each source image is read by `length`
+ *    sobel VOps, so every TPU HLOP re-stages the same INT8 planes;
+ *  - srad:  the same fan-out over speckle images with the 2-halo
+ *    srad diffusion step;
+ *  - gemm:  k chains A_{j+1} = A_j x B with a per-chain constant
+ *    n x n B and a small `--rows` x n activation A — the serving
+ *    shape where the weight plane dwarfs the activations — so every
+ *    step re-quantizes B's whole-input plane and re-packs the same
+ *    SIMD B-panels while the MAC work stays proportional to --rows.
+ *
+ * Each benchmark runs `--warmup + --repeat` iterations against one
+ * persistent Runtime (so residency persists across runs, the serving
+ * pattern) with `--residency` off vs on; reports min-of-N host wall
+ * and emits `BENCH_staging.json`.
+ *
+ * Gates (exit non-zero on violation):
+ *  - every output of every run is byte-identical across residency
+ *    off/on and across iterations (the bit-transparency contract);
+ *  - with residency on, the hit counter is positive on every
+ *    benchmark (the cache must actually serve this shape).
+ *
+ * Usage: micro_staging [--n <edge>] [--chains <k>] [--length <l>]
+ *                      [--rows <r>] [--warmup <k>] [--repeat <k>]
+ *                      [--host-threads <n>] [--policy <name>]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "kernels/workload.hh"
+#include "metrics/report.hh"
+#include "sim/wallclock.hh"
+
+namespace {
+
+using namespace shmt;
+
+struct Options
+{
+    size_t n = 256;
+    size_t chains = 2;
+    size_t length = 4;
+    size_t rows = 8;          //!< gemm-chain activation rows
+    size_t warmup = 1;
+    size_t repeat = 3;
+    size_t hostThreads = 0;   //!< 0 = all hardware threads
+    std::string policy = "qaws-ts";
+};
+
+/** A repeated-input program over owned tensors. */
+struct Workload
+{
+    std::vector<std::unique_ptr<Tensor>> tensors;
+    core::VopProgram program;
+
+    Tensor *
+    store(Tensor t)
+    {
+        tensors.push_back(std::make_unique<Tensor>(std::move(t)));
+        return tensors.back().get();
+    }
+
+    /** Concatenated payload bytes of every op output. */
+    std::vector<float>
+    outputBytes() const
+    {
+        std::vector<float> out;
+        for (const core::VOp &op : program.ops) {
+            const ConstTensorView v = op.output->view();
+            for (size_t r = 0; r < v.rows(); ++r)
+                out.insert(out.end(), v.row(r), v.row(r) + v.cols());
+        }
+        return out;
+    }
+};
+
+/**
+ * Fan-out strands: `length` VOps of @p opcode all reading strand c's
+ * source image — every VOp re-stages the identical input planes.
+ */
+Workload
+makeFanout(const Options &opts, const std::string &opcode)
+{
+    Workload wl;
+    wl.program.name = opcode + "-fanout";
+    for (size_t c = 0; c < opts.chains; ++c) {
+        const uint64_t seed = static_cast<uint64_t>(c) + 1;
+        Tensor *src = wl.store(
+            opcode == "srad"
+                ? kernels::makeSpeckleImage(opts.n, opts.n, seed)
+                : kernels::makeImage(opts.n, opts.n, seed));
+        for (size_t j = 0; j < opts.length; ++j) {
+            Tensor *out = wl.store(Tensor(opts.n, opts.n));
+            core::VOp vop;
+            vop.opcode = opcode;
+            vop.inputs = {src};
+            vop.output = out;
+            if (opcode == "srad")
+                vop.scalars = {0.05f, 0.5f};
+            wl.program.ops.push_back(std::move(vop));
+        }
+    }
+    return wl;
+}
+
+/** GEMM chains with a per-chain constant B: A_{j+1} = A_j x B.
+ *  A is --rows x n against an n x n B, so the repeated B staging
+ *  (whole-plane quantize + panel packs) dominates the MAC work. */
+Workload
+makeGemmChains(const Options &opts)
+{
+    Workload wl;
+    wl.program.name = "gemm-chains";
+    for (size_t c = 0; c < opts.chains; ++c) {
+        const uint64_t seed = static_cast<uint64_t>(c) + 1;
+        Tensor *a = wl.store(kernels::makeField(opts.rows, opts.n, seed));
+        // Near-identity B keeps the chain's values bounded across
+        // arbitrary --length (a raw random B grows ~n^length).
+        Tensor b(opts.n, opts.n);
+        const Tensor noise =
+            kernels::makeField(opts.n, opts.n, seed + 1000);
+        for (size_t r = 0; r < opts.n; ++r)
+            for (size_t k = 0; k < opts.n; ++k)
+                b.at(r, k) =
+                    (r == k ? 1.0f : 0.0f) +
+                    0.1f * noise.view().row(r)[k] /
+                        static_cast<float>(opts.n);
+        Tensor *bp = wl.store(std::move(b));
+        for (size_t j = 0; j < opts.length; ++j) {
+            Tensor *out = wl.store(Tensor(opts.rows, opts.n));
+            core::VOp vop;
+            vop.opcode = "gemm";
+            vop.inputs = {a, bp};
+            vop.output = out;
+            wl.program.ops.push_back(std::move(vop));
+            a = out;
+        }
+    }
+    return wl;
+}
+
+Workload
+makeWorkload(const Options &opts, const std::string &bench)
+{
+    return bench == "gemm" ? makeGemmChains(opts)
+                           : makeFanout(opts, bench);
+}
+
+struct Measurement
+{
+    double bestWallSec = std::numeric_limits<double>::infinity();
+    double makespanSec = 0.0;
+    size_t hits = 0;          //!< residency hits, all timed iterations
+    size_t misses = 0;
+    size_t bytesAvoided = 0;
+    std::vector<float> outputs;   //!< from the first timed iteration
+    bool stable = true;           //!< outputs identical across iters
+};
+
+Measurement
+measure(const Options &opts, const std::string &bench, bool residency)
+{
+    Measurement m;
+    core::RuntimeConfig config;
+    config.hostThreads = opts.hostThreads;
+    config.residency = residency;
+    auto rt = apps::makePrototypeRuntime(config);
+    auto policy = core::makePolicy(opts.policy);
+    Workload wl = makeWorkload(opts, bench);
+    for (size_t it = 0; it < opts.warmup + opts.repeat; ++it) {
+        const double t0 = sim::wallSeconds();
+        const core::RunResult r = rt.run(wl.program, *policy);
+        const double sec = sim::wallSeconds() - t0;
+        if (it < opts.warmup)
+            continue;
+        m.makespanSec = r.makespanSec;
+        m.hits += r.cache.residencyHits;
+        m.misses += r.cache.residencyMisses;
+        m.bytesAvoided += r.cache.residencyBytesAvoided;
+        std::vector<float> out = wl.outputBytes();
+        if (m.outputs.empty())
+            m.outputs = std::move(out);
+        else
+            m.stable = m.stable && out == m.outputs;
+        m.bestWallSec = std::min(m.bestWallSec, sec);
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                SHMT_FATAL("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--n")
+            opts.n = std::stoul(next());
+        else if (arg == "--chains")
+            opts.chains = std::stoul(next());
+        else if (arg == "--length")
+            opts.length = std::stoul(next());
+        else if (arg == "--rows")
+            opts.rows = std::stoul(next());
+        else if (arg == "--warmup")
+            opts.warmup = std::stoul(next());
+        else if (arg == "--repeat" || arg == "--iters")
+            opts.repeat = std::stoul(next());
+        else if (arg == "--host-threads")
+            opts.hostThreads = std::stoul(next());
+        else if (arg == "--policy")
+            opts.policy = next();
+        else
+            SHMT_FATAL("unknown option '", arg, "'");
+    }
+    if (opts.chains == 0 || opts.length == 0 || opts.repeat == 0)
+        SHMT_FATAL("--chains, --length and --repeat must be positive");
+
+    const size_t lanes =
+        common::ThreadPool::resolveThreads(opts.hostThreads);
+    const std::vector<std::string> benches = {"sobel", "srad", "gemm"};
+
+    bool all_identical = true;
+    bool all_hit = true;
+    double best_speedup = 0.0;
+    std::string json_rows;
+
+    metrics::Table table({"Benchmark", "Wall off (ms)", "Wall on (ms)",
+                          "Speedup", "Hits", "MiB avoided",
+                          "Outputs identical"});
+    for (const std::string &bench : benches) {
+        const Measurement off = measure(opts, bench, false);
+        const Measurement on = measure(opts, bench, true);
+        const bool identical =
+            off.stable && on.stable && off.outputs == on.outputs;
+        const double speedup =
+            on.bestWallSec > 0.0 ? off.bestWallSec / on.bestWallSec
+                                 : 0.0;
+        all_identical = all_identical && identical;
+        all_hit = all_hit && on.hits > 0;
+        best_speedup = std::max(best_speedup, speedup);
+        table.addRow({bench, metrics::Table::num(off.bestWallSec * 1e3),
+                      metrics::Table::num(on.bestWallSec * 1e3),
+                      metrics::Table::num(speedup) + "x",
+                      std::to_string(on.hits),
+                      metrics::Table::num(
+                          static_cast<double>(on.bytesAvoided) /
+                          (1024.0 * 1024.0)),
+                      identical ? "yes" : "NO"});
+
+        json_rows += std::string(json_rows.empty() ? "" : ",");
+        json_rows += "\n    {\"bench\": \"" + bench + "\"";
+        json_rows +=
+            ", \"host_wall_off_sec\": " + std::to_string(off.bestWallSec);
+        json_rows +=
+            ", \"host_wall_on_sec\": " + std::to_string(on.bestWallSec);
+        json_rows += ", \"speedup\": " + std::to_string(speedup);
+        json_rows +=
+            ", \"residency_hits\": " + std::to_string(on.hits);
+        json_rows +=
+            ", \"residency_misses\": " + std::to_string(on.misses);
+        json_rows += ", \"stage_bytes_avoided\": " +
+                     std::to_string(on.bytesAvoided);
+        json_rows += ", \"outputs_identical\": ";
+        json_rows += identical ? "true" : "false";
+        json_rows += "}";
+    }
+    table.print(
+        "Staging residency: " + std::to_string(opts.chains) +
+        " strands x " + std::to_string(opts.length) + " VOps (" +
+        opts.policy + ", " + std::to_string(opts.n) + "x" +
+        std::to_string(opts.n) + ", " + std::to_string(lanes) +
+        " host lanes, min of " + std::to_string(opts.repeat) + ")");
+    std::printf("\nBest host-wall speedup (off/on): %.2fx\n",
+                best_speedup);
+    std::printf("Outputs identical off vs on: %s\n",
+                all_identical ? "yes" : "NO");
+    std::printf("Residency hits on every benchmark: %s\n",
+                all_hit ? "yes" : "NO");
+
+    std::ofstream json("BENCH_staging.json");
+    json << "{\n  \"version\": 1"
+         << ",\n  \"edge\": " << opts.n
+         << ",\n  \"chains\": " << opts.chains
+         << ",\n  \"length\": " << opts.length
+         << ",\n  \"policy\": \"" << opts.policy << "\""
+         << ",\n  \"host_lanes\": " << lanes
+         << ",\n  \"warmup\": " << opts.warmup
+         << ",\n  \"repeat\": " << opts.repeat
+         << ",\n  \"best_speedup\": " << best_speedup
+         << ",\n  \"outputs_identical\": "
+         << (all_identical ? "true" : "false")
+         << ",\n  \"benchmarks\": [" << json_rows << "\n  ]\n}\n";
+    std::printf("Wrote BENCH_staging.json\n");
+
+    return all_identical && all_hit ? 0 : 1;
+}

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -82,10 +83,13 @@ class StagingPool
       public:
         static constexpr uint64_t kNoUser = ~uint64_t{0};
 
-        /** One buffered side: the leases backing staged planes. */
+        /** One buffered side: the leases backing staged planes, plus
+         *  opaque shared handles pinning externally owned planes
+         *  (e.g. residency-cache entries) for the same lifetime. */
         struct Slot
         {
             std::vector<Lease> planes;
+            std::vector<std::shared_ptr<const void>> pinned;
             uint64_t user = kNoUser;  //!< opaque consumer tag
         };
 
@@ -101,6 +105,7 @@ class StagingPool
             Slot &s = slots_[next_];
             next_ ^= 1;
             s.planes.clear();
+            s.pinned.clear();
             s.user = user;
             return s;
         }

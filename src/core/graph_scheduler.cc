@@ -258,15 +258,53 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                     const bool fixed = info.reduce == ReduceKind::None;
                     for (size_t k = 0; k < plan.args.inputs.size(); ++k) {
                         const ConstTensorView &in = plan.args.inputs[k];
-                        auto lease =
-                            common::StagingPool::acquire(in.size());
-                        const TensorView sv(lease.data(), in.rows(),
-                                            in.cols(), in.cols());
                         const QuantParams qp =
                             fixed && k < plan.args.npuInputQuant.size()
                                 ? plan.args.npuInputQuant[k]
                                 : chooseQuantParams(in,
                                                     plan.args.hostSimd);
+                        const kernels::InputIdentity ident =
+                            plan.args.inputId(k);
+                        if (plan.args.residency && ident.tracked()) {
+                            // A resident whole-input plane skips the
+                            // StagingPool lease and the quantize pass
+                            // entirely; the slot pins the handle until
+                            // the VOp's functional work completes
+                            // (same lifetime as the leases).
+                            kernels::ResidencyService::Key key;
+                            key.id = ident.id;
+                            key.generation = ident.generation;
+                            key.repr = kernels::ResidencyService::Repr::
+                                NpuInt8;
+                            key.simd = plan.args.hostSimd;
+                            key.region =
+                                Rect{0, 0, in.rows(), in.cols()};
+                            key.param0 = kernels::quantKeyParam(qp);
+                            auto handle =
+                                plan.args.residency->lease(key, [&] {
+                                    kernels::ResidencyService::Entry e;
+                                    e.rows = in.rows();
+                                    e.cols = in.cols();
+                                    e.data.resize(e.rows * e.cols);
+                                    const TensorView sv(e.data.data(),
+                                                        e.rows, e.cols,
+                                                        e.cols);
+                                    fakeQuantize(in, sv, qp,
+                                                 plan.args.hostSimd);
+                                    return e;
+                                });
+                            plan.args.npuPrestagedInputs.push_back(
+                                ConstTensorView(handle->data.data(),
+                                                handle->rows,
+                                                handle->cols,
+                                                handle->cols));
+                            slot.pinned.push_back(std::move(handle));
+                            continue;
+                        }
+                        auto lease =
+                            common::StagingPool::acquire(in.size());
+                        const TensorView sv(lease.data(), in.rows(),
+                                            in.cols(), in.cols());
                         fakeQuantize(in, sv, qp, plan.args.hostSimd);
                         plan.args.npuPrestagedInputs.push_back(
                             ConstTensorView(sv));

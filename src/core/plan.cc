@@ -73,12 +73,25 @@ KernelArgs
 makeKernelArgs(const VOp &vop, const KernelInfo &info,
                const RuntimeConfig &config,
                const sim::PlatformCalibration &cal, bool npu_quant,
-               CriticalityCache *quant_memo, CacheStats *cache_stats)
+               CriticalityCache *quant_memo, CacheStats *cache_stats,
+               kernels::ResidencyService *residency)
 {
     KernelArgs args;
     for (const Tensor *t : vop.inputs)
         args.inputs.push_back(t->view());
     args.scalars = vop.scalars;
+    if (residency) {
+        args.residency = residency;
+        for (const Tensor *t : vop.inputs) {
+            // An input aliasing the VOp's output mutates under
+            // execution (in-place chains): leave it untracked so no
+            // staging site caches or reuses its bytes mid-write.
+            if (t == vop.output)
+                args.inputIds.push_back({});
+            else
+                args.inputIds.push_back({t->id(), t->generation()});
+        }
+    }
     args.hostSimd = config.hostSimd == RuntimeConfig::SimdMode::Auto;
     if (const sim::KernelCalibration *rec = cal.find(vopCostKey(vop, info)))
         args.npuNoiseOverride = rec->npuNoise;
@@ -210,7 +223,8 @@ Planner::plan(const VOp &vop, size_t vop_index, uint64_t base_seed,
     p.seed = base_seed ^ hashMix(vop_index + 1);
     p.partitions = p.skel->partitions;
     p.args = makeKernelArgs(vop, info, config_, *cal_,
-                            /*npu_quant=*/true, dataCache_, cache_stats);
+                            /*npu_quant=*/true, dataCache_, cache_stats,
+                            residency_);
     return p;
 }
 
@@ -228,7 +242,8 @@ Planner::planSingleDevice(const VOp &vop, size_t vop_index, size_t device,
     p.seed = config_.seed;
     p.partitions = p.skel->partitions;
     p.args = makeKernelArgs(vop, info, config_, *cal_,
-                            /*npu_quant=*/false);
+                            /*npu_quant=*/false, nullptr, cache_stats,
+                            residency_);
     return p;
 }
 

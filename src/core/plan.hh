@@ -149,7 +149,11 @@ struct VopPlan
  * scan: its device executes at native FP32. @p quant_memo, when
  * non-null, memoizes the per-input range scans by tensor write
  * generation (counting into @p cache_stats) — identical bytes yield
- * identical QuantParams, so the memo is bit-transparent.
+ * identical QuantParams, so the memo is bit-transparent. @p residency,
+ * when non-null, attaches the staging residency service plus per-input
+ * (id, generation) snapshots (inputs aliasing the output stay
+ * untracked — their bytes mutate under execution), letting the
+ * NPU/DSP/GEMM staging sites reuse resident device-format buffers.
  */
 kernels::KernelArgs makeKernelArgs(const VOp &vop,
                                    const kernels::KernelInfo &info,
@@ -157,7 +161,9 @@ kernels::KernelArgs makeKernelArgs(const VOp &vop,
                                    const sim::PlatformCalibration &cal,
                                    bool npu_quant = true,
                                    CriticalityCache *quant_memo = nullptr,
-                                   CacheStats *cache_stats = nullptr);
+                                   CacheStats *cache_stats = nullptr,
+                                   kernels::ResidencyService *residency =
+                                       nullptr);
 
 /**
  * Builds VopPlans. Stateless apart from the construction references;
@@ -175,9 +181,11 @@ class Planner
             const RuntimeConfig &config,
             const sim::PlatformCalibration &cal,
             PlanCache *plan_cache = nullptr,
-            CriticalityCache *data_cache = nullptr)
+            CriticalityCache *data_cache = nullptr,
+            kernels::ResidencyService *residency = nullptr)
         : backends_(&backends), config_(config), cal_(&cal),
-          planCache_(plan_cache), dataCache_(data_cache)
+          planCache_(plan_cache), dataCache_(data_cache),
+          residency_(residency)
     {}
 
     /**
@@ -228,6 +236,7 @@ class Planner
     const sim::PlatformCalibration *cal_;
     PlanCache *planCache_;
     CriticalityCache *dataCache_;
+    kernels::ResidencyService *residency_;
 };
 
 } // namespace shmt::core

@@ -1,0 +1,144 @@
+#include "residency_cache.hh"
+
+#include "common/random.hh"
+
+namespace shmt::core {
+
+namespace {
+
+/** Order-dependent splitmix fold (same shape as the other caches). */
+uint64_t
+foldMix(uint64_t h, uint64_t v)
+{
+    return hashMix(h ^ hashMix(v));
+}
+
+} // namespace
+
+size_t
+ResidencyCache::KeyHash::operator()(const Key &k) const
+{
+    uint64_t h = hashMix(k.id);
+    h = foldMix(h, k.generation);
+    h = foldMix(h, static_cast<uint64_t>(k.repr));
+    h = foldMix(h, k.simd ? 1 : 2);
+    h = foldMix(h, k.region.row0);
+    h = foldMix(h, k.region.col0);
+    h = foldMix(h, k.region.rows);
+    h = foldMix(h, k.region.cols);
+    h = foldMix(h, k.param0);
+    h = foldMix(h, k.param1);
+    return static_cast<size_t>(h);
+}
+
+ResidencyCache::Handle
+ResidencyCache::lease(const Key &key,
+                      const std::function<Entry()> &materialize)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            bytesAvoided_.fetch_add(it->second.entry->bytes(),
+                                    std::memory_order_relaxed);
+            return it->second.entry;
+        }
+    }
+
+    // Miss: materialize outside the lock. Racing workers may both
+    // stage — the bytes are identical (same source generation, same
+    // params), so whichever insert wins is correct for everyone.
+    Handle entry = std::make_shared<const Entry>(materialize());
+    misses_.fetch_add(1, std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // Lost the race: adopt the winner's entry (first-wins) and let
+        // ours die with this scope.
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return it->second.entry;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Slot{entry, lru_.begin()});
+    residentBytes_ += entry->bytes();
+    size_t peak = peakBytes_.load(std::memory_order_relaxed);
+    while (residentBytes_ > peak &&
+           !peakBytes_.compare_exchange_weak(peak, residentBytes_,
+                                             std::memory_order_relaxed)) {
+    }
+    evictLocked();
+    return entry;
+}
+
+void
+ResidencyCache::evictLocked()
+{
+    // Evict least-recently-used first. In-flight readers hold their
+    // own shared_ptr, so dropping the cache reference never
+    // invalidates a buffer mid-HLOP. A single over-cap entry may evict
+    // itself — its caller's handle keeps it alive for the VOp.
+    while (residentBytes_ > byteCap_ && !lru_.empty()) {
+        auto it = map_.find(lru_.back());
+        residentBytes_ -= it->second.entry->bytes();
+        map_.erase(it);
+        lru_.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+ResidencyCache::Counters
+ResidencyCache::counters() const
+{
+    Counters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    c.bytesAvoided = bytesAvoided_.load(std::memory_order_relaxed);
+    c.peakBytes = peakBytes_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    c.residentBytes = residentBytes_;
+    return c;
+}
+
+size_t
+ResidencyCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+size_t
+ResidencyCache::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return residentBytes_;
+}
+
+size_t
+ResidencyCache::byteCap() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return byteCap_;
+}
+
+void
+ResidencyCache::setByteCap(size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    byteCap_ = bytes;
+    evictLocked();
+}
+
+void
+ResidencyCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    lru_.clear();
+    residentBytes_ = 0;
+}
+
+} // namespace shmt::core

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Generation-keyed residency cache of device-format materializations
+ * (see DESIGN.md "Staging residency").
+ *
+ * The runtime pays a data-distribution pass on every VOp: NPU
+ * partitions are INT8-quantized, the DSP stages FP16 copies, and the
+ * SIMD GEMM packs B-panels — all pure functions of (source tensor
+ * bytes, representation parameters, geometry). This cache keeps those
+ * materializations *resident* across HLOPs, VOps, runs and programs,
+ * keyed on (Tensor::id, Tensor::generation, representation, geometry,
+ * params): the generation is bumped before any mutable alias of the
+ * payload is handed out, so an unchanged generation proves unchanged
+ * source bytes, and identical parameters prove identical staged bytes
+ * — a hit is bit-identical to re-materializing by construction (the
+ * same argument that makes the criticality/quantization memos
+ * transparent). Mutating an input bumps its generation and therefore
+ * forces a re-materialization; ids are never reused, so stale keys
+ * can never alias a live tensor.
+ *
+ * Concurrency: one cache serves every staging site of every
+ * concurrent Session worker. Misses materialize outside the lock
+ * (racing workers may duplicate the work, producing identical bytes;
+ * the first insert wins). Entries are shared_ptr, so LRU eviction
+ * under the byte cap never invalidates a buffer an in-flight HLOP is
+ * still reading — eviction only drops the cache's own reference.
+ *
+ * Effectiveness counters are process-monotone atomics; the runtime
+ * snapshots them around each run to report per-run deltas (under
+ * concurrent workers a run's delta may include a neighbour's traffic;
+ * totals across runs are what the serving reports aggregate).
+ */
+
+#ifndef SHMT_CORE_RESIDENCY_CACHE_HH
+#define SHMT_CORE_RESIDENCY_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "kernels/residency.hh"
+
+namespace shmt::core {
+
+/** Byte-capped LRU cache of device-format input materializations. */
+class ResidencyCache final : public kernels::ResidencyService
+{
+  public:
+    /** Default byte cap: a few 2048^2-scale staged planes. */
+    static constexpr size_t kDefaultByteCap = size_t{256} * 1024 * 1024;
+
+    explicit ResidencyCache(size_t byte_cap = kDefaultByteCap)
+        : byteCap_(byte_cap)
+    {}
+
+    /** Monotone effectiveness counters (process lifetime). */
+    struct Counters
+    {
+        size_t hits = 0;          //!< staging passes replaced by a lookup
+        size_t misses = 0;        //!< materializations (incl. races lost)
+        size_t evictions = 0;     //!< entries dropped by the byte cap
+        size_t bytesAvoided = 0;  //!< staged bytes served resident
+        size_t residentBytes = 0; //!< bytes currently cached
+        size_t peakBytes = 0;     //!< high-water mark of residentBytes
+    };
+
+    Handle lease(const Key &key,
+                 const std::function<Entry()> &materialize) override;
+
+    /** Snapshot of the monotone counters. */
+    Counters counters() const;
+
+    /** Entries currently resident. */
+    size_t size() const;
+
+    /** Bytes currently resident. */
+    size_t residentBytes() const;
+
+    /** The eviction byte cap. */
+    size_t byteCap() const;
+
+    /** Set the byte cap; evicts immediately if exceeded. */
+    void setByteCap(size_t bytes);
+
+    /** Drop every entry (counters keep counting). */
+    void clear();
+
+  private:
+    struct KeyHash
+    {
+        size_t operator()(const Key &k) const;
+    };
+    struct Slot
+    {
+        Handle entry;
+        std::list<Key>::iterator lruIt;
+    };
+
+    /** Drop LRU-tail entries until residentBytes_ <= byteCap_.
+     *  Requires mutex_ held. */
+    void evictLocked();
+
+    mutable std::mutex mutex_;
+    size_t byteCap_;
+    size_t residentBytes_ = 0;
+    std::list<Key> lru_;  //!< front = most recently used
+    std::unordered_map<Key, Slot, KeyHash> map_;
+
+    mutable std::atomic<size_t> hits_{0};
+    mutable std::atomic<size_t> misses_{0};
+    mutable std::atomic<size_t> evictions_{0};
+    mutable std::atomic<size_t> bytesAvoided_{0};
+    mutable std::atomic<size_t> peakBytes_{0};
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_RESIDENCY_CACHE_HH

@@ -92,6 +92,20 @@ struct RuntimeConfig
      * driver loop.
      */
     bool graphExec = true;
+
+    /**
+     * Staging residency (`shmtbench --residency=off|on`): keep
+     * device-format input materializations — NPU INT8 staging planes,
+     * DSP FP16 copies, packed GEMM B-panels — resident across HLOPs,
+     * VOps, runs and programs, keyed on the source tensor's
+     * (id, write generation, representation, geometry, params). A hit
+     * is bit-identical to re-staging by construction (unchanged
+     * generation proves unchanged source bytes, identical params prove
+     * identical staged bytes), so results and simulated timing match
+     * the off path exactly; only host staging wall time changes. The
+     * pipeline snapshot pins the off/on identity.
+     */
+    bool residency = true;
 };
 
 /**
@@ -112,6 +126,12 @@ struct CacheStats
     /** Input bytes NOT re-scanned on the host thanks to the memos. */
     size_t scanBytesAvoided = 0;
 
+    size_t residencyHits = 0;    //!< staging passes served resident
+    size_t residencyMisses = 0;  //!< device-format materializations
+    size_t residencyEvictions = 0; //!< entries dropped by the byte cap
+    /** Device-format bytes NOT re-staged (quantize/copy/pack). */
+    size_t residencyBytesAvoided = 0;
+
     void
     add(const CacheStats &o)
     {
@@ -122,13 +142,21 @@ struct CacheStats
         quantHits += o.quantHits;
         quantMisses += o.quantMisses;
         scanBytesAvoided += o.scanBytesAvoided;
+        residencyHits += o.residencyHits;
+        residencyMisses += o.residencyMisses;
+        residencyEvictions += o.residencyEvictions;
+        residencyBytesAvoided += o.residencyBytesAvoided;
     }
 
-    size_t hits() const { return planHits + statsHits + quantHits; }
+    size_t
+    hits() const
+    {
+        return planHits + statsHits + quantHits + residencyHits;
+    }
     size_t
     misses() const
     {
-        return planMisses + statsMisses + quantMisses;
+        return planMisses + statsMisses + quantMisses + residencyMisses;
     }
 };
 

@@ -51,6 +51,12 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
     common::ThreadPool::configureGlobal(config_.hostThreads);
     const double host_t0 = sim::wallSeconds();
 
+    // Residency counters are process-monotone (kernel-level hits land
+    // on pool threads with no per-run plumbing); report this run's
+    // share as the before/after delta. Concurrent Session workers may
+    // cross-attribute a neighbour's traffic; totals stay exact.
+    const ResidencyCache::Counters res0 = residencyCache_.counters();
+
     // All run state is local: concurrent runs on distinct programs
     // never share timelines or producer residency.
     std::vector<sim::DeviceTimeline> timelines;
@@ -91,10 +97,22 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
                   result.schedulingSec + result.aggregationSec);
     result.energy = meter.finalize(result.makespanSec);
     result.hostWall.totalSec = sim::wallSeconds() - host_t0;
+
+    const ResidencyCache::Counters res1 = residencyCache_.counters();
+    result.cache.residencyHits = res1.hits - res0.hits;
+    result.cache.residencyMisses = res1.misses - res0.misses;
+    result.cache.residencyEvictions = res1.evictions - res0.evictions;
+    result.cache.residencyBytesAvoided =
+        res1.bytesAvoided - res0.bytesAvoided;
+
     if (trace_) {
         trace_->setHostPhases(result.hostWall);
         trace_->setCacheStats(result.cache.hits(), result.cache.misses(),
                               result.cache.scanBytesAvoided);
+        trace_->setResidencyStats(result.cache.residencyHits,
+                                  result.cache.residencyMisses,
+                                  result.cache.residencyBytesAvoided,
+                                  res1.residentBytes);
     }
     return result;
 }

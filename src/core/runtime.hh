@@ -31,6 +31,7 @@
 #include "core/dispatch_sim.hh"
 #include "core/plan.hh"
 #include "core/plan_cache.hh"
+#include "core/residency_cache.hh"
 #include "core/policy.hh"
 #include "core/run_types.hh"
 #include "core/vop.hh"
@@ -117,13 +118,16 @@ class Runtime
     {
         return Planner(backends_, config_, cal_,
                        config_.planCache ? &planCache_ : nullptr,
-                       config_.planCache ? &dataCache_ : nullptr);
+                       config_.planCache ? &dataCache_ : nullptr,
+                       config_.residency ? &residencyCache_ : nullptr);
     }
 
     /** The shared plan-skeleton cache (introspection for tests). */
     PlanCache &planCache() const { return planCache_; }
     /** The shared data-derived scan memo (introspection for tests). */
     CriticalityCache &dataCache() const { return dataCache_; }
+    /** The shared staging residency cache (introspection for tests). */
+    ResidencyCache &residencyCache() const { return residencyCache_; }
 
     const sim::CostModel &costModel() const { return costModel_; }
     const RuntimeConfig &config() const { return config_; }
@@ -144,6 +148,7 @@ class Runtime
      */
     mutable PlanCache planCache_;
     mutable CriticalityCache dataCache_;
+    mutable ResidencyCache residencyCache_;
 
     /** Optional trace sink (not owned). */
     sim::ExecutionTrace *trace_ = nullptr;

@@ -137,17 +137,48 @@ class DspBackend : public Backend
 
         std::vector<Tensor> scratch;
         scratch.reserve(args.inputs.size());
+        // Resident FP16 planes borrowed from the residency cache; the
+        // handles pin the buffers for the duration of this HLOP.
+        std::vector<kernels::ResidencyService::Handle> resident;
         KernelArgs staged;
         staged.scalars = args.scalars;
         staged.hostSimd = args.hostSimd;
-        for (const auto &in : args.inputs) {
+        for (size_t i = 0; i < args.inputs.size(); ++i) {
+            const auto &in = args.inputs[i];
+            const auto src = in.slice(er0, ec0, er1 - er0, ec1 - ec0);
+            const kernels::InputIdentity ident = args.inputId(i);
+            if (args.residency && ident.tracked()) {
+                // FP16 rounding is parameter-free: the staged bytes
+                // are a pure function of (source bytes, rectangle,
+                // simd pass), all covered by the key.
+                kernels::ResidencyService::Key key;
+                key.id = ident.id;
+                key.generation = ident.generation;
+                key.repr = kernels::ResidencyService::Repr::DspFp16;
+                key.simd = args.hostSimd;
+                key.region = Rect{er0, ec0, er1 - er0, ec1 - ec0};
+                auto handle = args.residency->lease(key, [&] {
+                    kernels::ResidencyService::Entry e;
+                    e.rows = er1 - er0;
+                    e.cols = ec1 - ec0;
+                    e.data.resize(e.rows * e.cols);
+                    fakeQuantizeFp16(src,
+                                     TensorView(e.data.data(), e.rows,
+                                                e.cols, e.cols),
+                                     args.hostSimd);
+                    return e;
+                });
+                staged.inputs.push_back(
+                    ConstTensorView(handle->data.data(), handle->rows,
+                                    handle->cols, handle->cols));
+                resident.push_back(std::move(handle));
+                continue;
+            }
             Tensor s(er1 - er0, ec1 - ec0);
-            fakeQuantizeFp16(in.slice(er0, ec0, er1 - er0, ec1 - ec0),
-                             s.view(), args.hostSimd);
+            fakeQuantizeFp16(src, s.view(), args.hostSimd);
+            staged.inputs.push_back(s.view());
             scratch.push_back(std::move(s));
         }
-        for (const auto &s : scratch)
-            staged.inputs.push_back(s.view());
 
         const Rect adj{region.row0 - er0, region.col0 - ec0, region.rows,
                        region.cols};

@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "kernels/residency.hh"
 #include "tensor/quantize.hh"
 #include "tensor/tensor.hh"
 #include "tensor/tiling.hh"
@@ -33,6 +34,35 @@ struct KernelArgs
 {
     std::vector<ConstTensorView> inputs;
     std::vector<float> scalars;
+
+    /**
+     * Identity snapshots of `inputs` (same order; may be shorter or
+     * empty). Entry i names the backing Tensor's (id, generation) as
+     * observed when the arguments were assembled — after the hazard
+     * barrier on the input's producers, so the snapshot covers the
+     * bytes every HLOP of this VOp reads. Inputs aliasing the VOp's
+     * output are left untracked (id 0): their bytes mutate under
+     * execution. Staging harnesses that rebuild KernelArgs over
+     * *staged* scratch (NPU INT8 planes, DSP FP16 copies) must not
+     * propagate these — the scratch bytes are not the tensor's.
+     */
+    std::vector<InputIdentity> inputIds;
+
+    /**
+     * Borrowed device-format residency service
+     * (core::ResidencyCache), null when `--residency=off` or for
+     * callers outside the runtime. Staging sites consult it with the
+     * matching inputIds entry; a hit replaces the quantize/copy/pack
+     * pass with a shared handle to the resident buffer.
+     */
+    ResidencyService *residency = nullptr;
+
+    /** The identity of input @p i (untracked when absent). */
+    InputIdentity
+    inputId(size_t i) const
+    {
+        return i < inputIds.size() ? inputIds[i] : InputIdentity{};
+    }
 
     /**
      * NPU model-approximation noise level for this invocation, set by

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Device-format residency service: the kernel-layer view of the
+ * staging residency engine (implemented by core::ResidencyCache, see
+ * DESIGN.md "Staging residency").
+ *
+ * Every accelerator path re-materializes a device-format copy of its
+ * inputs on each HLOP: the NPU harness quantizes INT8 staging planes,
+ * the DSP stages FP16 copies, and the SIMD GEMM re-packs B-panels —
+ * even when the source tensor bytes are unchanged. The service lets
+ * those staging sites look up a *resident* materialization keyed on
+ * (tensor id, write generation, representation, geometry, params): an
+ * unchanged generation proves unchanged source bytes, and identical
+ * params prove identical output bytes, so a hit is bit-identical to
+ * re-materializing by construction (the same transparency argument as
+ * the criticality/quantization memos).
+ *
+ * The interface lives in the kernels layer (it only needs tensor
+ * types) so the npu, devices, and kernels staging paths can consume it
+ * without a dependency on core; KernelArgs carries a borrowed pointer
+ * plus per-input identity snapshots. A null service or an untracked
+ * input (id 0) means "stage locally, the legacy path".
+ */
+
+#ifndef SHMT_KERNELS_RESIDENCY_HH
+#define SHMT_KERNELS_RESIDENCY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/quantize.hh"
+#include "tensor/tiling.hh"
+
+namespace shmt::kernels {
+
+/**
+ * Identity snapshot of one KernelArgs input: the backing Tensor's
+ * (id, write generation) observed when the arguments were assembled.
+ * id 0 = untracked (staged scratch, or an input aliasing the VOp's
+ * output, whose bytes mutate under execution).
+ */
+struct InputIdentity
+{
+    uint64_t id = 0;
+    uint64_t generation = 0;
+
+    bool tracked() const { return id != 0; }
+};
+
+/** Find-or-materialize service for device-format input copies. */
+class ResidencyService
+{
+  public:
+    /** Which device-format materialization an entry holds. */
+    enum class Repr : uint8_t {
+        NpuInt8,    //!< INT8 fake-quantized staging plane (NPU path)
+        DspFp16,    //!< FP16-rounded staged copy (DSP path)
+        GemmPanel,  //!< packed GEMM B-panel (SIMD kernel layer)
+    };
+
+    /**
+     * One resident materialization: a dense row-major float buffer.
+     * Immutable after construction; shared_ptr handles keep it alive
+     * across LRU eviction, so in-flight HLOPs never lose their buffer.
+     */
+    struct Entry
+    {
+        std::vector<float> data;
+        size_t rows = 0;
+        size_t cols = 0;
+
+        size_t bytes() const { return data.size() * sizeof(float); }
+    };
+    using Handle = std::shared_ptr<const Entry>;
+
+    /**
+     * Cache key. The (id, generation) pair names an immutable snapshot
+     * of the source tensor bytes; region is the staged sub-rectangle
+     * in source coordinates (GemmPanel reuses it as the k0/col0/kn/jn
+     * panel geometry); param0/param1 carry the representation
+     * parameters (QuantParams scale bits and zero point for NpuInt8;
+     * unused otherwise); simd records which staging pass produced the
+     * bytes (`--host-simd` must reproduce each legacy pass
+     * exactly as-compiled, so modes never share entries).
+     */
+    struct Key
+    {
+        uint64_t id = 0;
+        uint64_t generation = 0;
+        Repr repr = Repr::NpuInt8;
+        bool simd = true;
+        Rect region{0, 0, 0, 0};
+        uint64_t param0 = 0;
+        uint64_t param1 = 0;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return id == o.id && generation == o.generation &&
+                   repr == o.repr && simd == o.simd &&
+                   region.row0 == o.region.row0 &&
+                   region.col0 == o.region.col0 &&
+                   region.rows == o.region.rows &&
+                   region.cols == o.region.cols &&
+                   param0 == o.param0 && param1 == o.param1;
+        }
+    };
+
+    virtual ~ResidencyService() = default;
+
+    /**
+     * Return the resident entry for @p key, calling @p materialize
+     * outside any lock on a miss. Racing misses may both materialize
+     * identical bytes; the first insert wins and every caller gets a
+     * valid handle. Thread-safe.
+     */
+    virtual Handle lease(const Key &key,
+                         const std::function<Entry()> &materialize) = 0;
+};
+
+/**
+ * Pack QuantParams into one residency key word (NpuInt8 param0): the
+ * staged bytes are a pure function of (source bytes, scale, zero
+ * point, simd pass), so the exact float bits of the scale go into the
+ * key. Every site producing or consuming NPU planes must use this one
+ * packing so the graph scheduler's prestaged entries and the NPU
+ * harness's per-HLOP lookups address the same cache lines.
+ */
+inline uint64_t
+quantKeyParam(const QuantParams &qp)
+{
+    uint32_t scale_bits = 0;
+    std::memcpy(&scale_bits, &qp.scale, sizeof(scale_bits));
+    return (static_cast<uint64_t>(scale_bits) << 32) |
+           static_cast<uint32_t>(qp.zeroPoint);
+}
+
+} // namespace shmt::kernels
+
+#endif // SHMT_KERNELS_RESIDENCY_HH

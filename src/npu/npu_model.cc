@@ -1,6 +1,7 @@
 #include "npu_model.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/math_utils.hh"
 #include "common/random.hh"
@@ -12,6 +13,8 @@ namespace shmt::npu {
 using kernels::KernelArgs;
 using kernels::KernelInfo;
 using kernels::ReduceKind;
+using kernels::ResidencyService;
+using kernels::quantKeyParam;
 
 NpuExecutor::NpuExecutor(const kernels::KernelRegistry &registry,
                          const sim::PlatformCalibration &cal,
@@ -54,6 +57,10 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
     // serialize the parallel host engine on the allocator.
     std::vector<common::StagingPool::Lease> scratch;
     scratch.reserve(args.inputs.size());
+    // Resident INT8 planes borrowed from the residency cache; the
+    // handles pin the buffers for the duration of this HLOP (eviction
+    // only drops the cache's own reference).
+    std::vector<ResidencyService::Handle> resident;
     KernelArgs staged;
     staged.scalars = args.scalars;
     staged.npuNoiseOverride = args.npuNoiseOverride;
@@ -105,10 +112,39 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
         } else {
             for (size_t i = 0; i < args.inputs.size(); ++i) {
                 const auto &in = args.inputs[i];
+                const QuantParams qp = input_params(i, in);
+                const kernels::InputIdentity ident = args.inputId(i);
+                if (args.residency && ident.tracked()) {
+                    // Resident whole-input plane: the (id, generation,
+                    // params) key proves the staged bytes, so a hit
+                    // replaces the quantize pass with a lookup.
+                    ResidencyService::Key key;
+                    key.id = ident.id;
+                    key.generation = ident.generation;
+                    key.repr = ResidencyService::Repr::NpuInt8;
+                    key.simd = args.hostSimd;
+                    key.region = Rect{0, 0, in.rows(), in.cols()};
+                    key.param0 = quantKeyParam(qp);
+                    auto handle = args.residency->lease(key, [&] {
+                        ResidencyService::Entry e;
+                        e.rows = in.rows();
+                        e.cols = in.cols();
+                        e.data.resize(e.rows * e.cols);
+                        const TensorView sv(e.data.data(), e.rows,
+                                            e.cols, e.cols);
+                        fakeQuantize(in, sv, qp, args.hostSimd);
+                        return e;
+                    });
+                    staged.inputs.push_back(
+                        ConstTensorView(handle->data.data(), handle->rows,
+                                        handle->cols, handle->cols));
+                    resident.push_back(std::move(handle));
+                    continue;
+                }
                 auto lease = common::StagingPool::acquire(in.size());
                 const TensorView sv(lease.data(), in.rows(), in.cols(),
                                     in.cols());
-                fakeQuantize(in, sv, input_params(i, in), args.hostSimd);
+                fakeQuantize(in, sv, qp, args.hostSimd);
                 staged.inputs.push_back(sv);
                 scratch.push_back(std::move(lease));
             }
@@ -129,6 +165,41 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
             SHMT_ASSERT(in.rows() == first.rows() &&
                             in.cols() == first.cols(),
                         "NPU inputs must share the output space");
+            const kernels::InputIdentity ident = args.inputId(i);
+            if (args.residency && ident.tracked()) {
+                // Per-partition resident plane keyed on the staged
+                // sub-rectangle. The dynamic-range params come from
+                // the *strided* slice here; minmax scans per row in
+                // source order either way, so the params (and hence
+                // the staged bytes) are bit-identical to the legacy
+                // contiguous-copy scan.
+                const auto src =
+                    in.slice(er0, ec0, er1 - er0, ec1 - ec0);
+                const QuantParams qp = input_params(i, src);
+                ResidencyService::Key key;
+                key.id = ident.id;
+                key.generation = ident.generation;
+                key.repr = ResidencyService::Repr::NpuInt8;
+                key.simd = args.hostSimd;
+                key.region = Rect{er0, ec0, er1 - er0, ec1 - ec0};
+                key.param0 = quantKeyParam(qp);
+                auto handle = args.residency->lease(key, [&] {
+                    ResidencyService::Entry e;
+                    e.rows = er1 - er0;
+                    e.cols = ec1 - ec0;
+                    e.data.resize(e.rows * e.cols);
+                    const TensorView sv(e.data.data(), e.rows, e.cols,
+                                        e.cols);
+                    memcpy2d(sv, src);
+                    fakeQuantize(sv, sv, qp, args.hostSimd);
+                    return e;
+                });
+                staged.inputs.push_back(
+                    ConstTensorView(handle->data.data(), handle->rows,
+                                    handle->cols, handle->cols));
+                resident.push_back(std::move(handle));
+                continue;
+            }
             auto lease = common::StagingPool::acquire(
                 (er1 - er0) * (ec1 - ec0));
             const TensorView sv(lease.data(), er1 - er0, ec1 - ec0,

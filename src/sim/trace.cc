@@ -104,6 +104,19 @@ ExecutionTrace::writeChromeTrace(std::ostream &os) const
            << ",\"cache_misses\":" << cacheMisses_
            << ",\"scan_bytes_avoided\":" << cacheScanBytesAvoided_
            << "}}";
+        first = false;
+    }
+    if (hasResidencyStats_) {
+        // Metadata record: staging-residency effectiveness of the run.
+        if (!first)
+            os << ",";
+        os << "{\"name\":\"residency\",\"cat\":\"host\",\"ph\":"
+              "\"M\",\"pid\":0,\"tid\":\"host\",\"args\":{"
+              "\"hits\":" << residencyHits_
+           << ",\"misses\":" << residencyMisses_
+           << ",\"stage_bytes_avoided\":" << residencyBytesAvoided_
+           << ",\"resident_bytes\":" << residencyResidentBytes_
+           << "}}";
     }
     os << "]}\n";
 }

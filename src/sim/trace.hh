@@ -84,6 +84,9 @@ class ExecutionTrace
         hasHostPhases_ = false;
         cacheHits_ = cacheMisses_ = cacheScanBytesAvoided_ = 0;
         hasCacheStats_ = false;
+        residencyHits_ = residencyMisses_ = 0;
+        residencyBytesAvoided_ = residencyResidentBytes_ = 0;
+        hasResidencyStats_ = false;
     }
 
     /** Completion time of the last event. */
@@ -130,6 +133,26 @@ class ExecutionTrace
     bool hasCacheStats() const { return hasCacheStats_; }
 
     /**
+     * Staging-residency counters of the recorded run (device-format
+     * materializations served resident; set by the runtime when a
+     * trace is attached). Exported as a `residency` metadata record.
+     */
+    void
+    setResidencyStats(size_t hits, size_t misses, size_t bytes_avoided,
+                      size_t resident_bytes)
+    {
+        residencyHits_ = hits;
+        residencyMisses_ = misses;
+        residencyBytesAvoided_ = bytes_avoided;
+        residencyResidentBytes_ = resident_bytes;
+        hasResidencyStats_ = true;
+    }
+    size_t residencyHits() const { return residencyHits_; }
+    size_t residencyMisses() const { return residencyMisses_; }
+    size_t residencyBytesAvoided() const { return residencyBytesAvoided_; }
+    bool hasResidencyStats() const { return hasResidencyStats_; }
+
+    /**
      * Write the trace in Chrome tracing JSON (one row per device,
      * one duration slice per HLOP; timestamps in microseconds).
      */
@@ -144,6 +167,11 @@ class ExecutionTrace
     size_t cacheMisses_ = 0;
     size_t cacheScanBytesAvoided_ = 0;
     bool hasCacheStats_ = false;
+    size_t residencyHits_ = 0;
+    size_t residencyMisses_ = 0;
+    size_t residencyBytesAvoided_ = 0;
+    size_t residencyResidentBytes_ = 0;
+    bool hasResidencyStats_ = false;
 };
 
 } // namespace shmt::sim

@@ -145,6 +145,46 @@ TEST(TensorGeneration, CopiesAndAssignmentsMintFreshIdentity)
     EXPECT_EQ(a.generation(), a_gen);
 }
 
+TEST(TensorGeneration, MutableSliceBumpsTheParentBeforeBytesChange)
+{
+    // The residency cache's correctness argument: every mutable alias
+    // of the payload — including a sub-rectangle slice — bumps the
+    // PARENT's generation at handout, before any byte can change, so
+    // an entry keyed on the old generation can never be served for
+    // the new bytes.
+    Tensor t(8, 8, 1.0f);
+    const uint64_t g0 = t.generation();
+
+    TensorView s = t.slice(2, 2, 4, 4);
+    const uint64_t g1 = t.generation();
+    EXPECT_GT(g1, g0);  // bumped at handout, before the write
+
+    s.at(0, 0) = 42.0f;  // mutates the parent's payload through the view
+    EXPECT_EQ(std::as_const(t).at(2, 2), 42.0f);
+
+    // Read-only slices never invalidate.
+    (void)std::as_const(t).slice(0, 0, 4, 4);
+    EXPECT_EQ(t.generation(), g1);
+}
+
+TEST(TensorGeneration, MoveAssignmentMintsAFreshIdentity)
+{
+    Tensor a(4, 4, 2.0f);
+    (void)a.view();
+    const uint64_t a_id = a.id();
+    EXPECT_GT(a.generation(), 0u);
+
+    Tensor b(4, 4, 3.0f);
+    const uint64_t b_old_id = b.id();
+    b = std::move(a);
+    // The payload bytes moved, but the identity is fresh: no resident
+    // entry keyed on either old id can alias the moved-to tensor.
+    EXPECT_NE(b.id(), a_id);
+    EXPECT_NE(b.id(), b_old_id);
+    EXPECT_EQ(b.generation(), 0u);
+    EXPECT_EQ(std::as_const(b).at(0, 0), 2.0f);
+}
+
 TEST(PlanCache, RepeatedShapesHitAndShareOneSkeleton)
 {
     auto rt = apps::makePrototypeRuntime();
@@ -312,8 +352,12 @@ TEST(CriticalityCache, QuantMemoHitsAndInvalidatesOnWrite)
 
 TEST(ServingCaches, CacheOnRunsAreBitIdenticalToCacheOff)
 {
+    // The reference runtime disables every serving cache (plan
+    // skeletons, criticality memos, staging residency) so hits() — the
+    // unified CacheStats aggregate — must stay zero on its runs.
     RuntimeConfig off_cfg;
     off_cfg.planCache = false;
+    off_cfg.residency = false;
     auto off_rt = apps::makePrototypeRuntime(off_cfg);
     auto on_rt = apps::makePrototypeRuntime();  // caches on by default
 
@@ -334,8 +378,9 @@ TEST(ServingCaches, CacheOnRunsAreBitIdenticalToCacheOff)
                   0)
             << round;
         EXPECT_EQ(off.cache.hits(), 0u);
-        if (round > 0)  // rounds past the first are served from cache
+        if (round > 0) {  // rounds past the first are served from cache
             EXPECT_GT(on.cache.hits(), 0u) << round;
+        }
     }
 }
 

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Staging residency engine regression tests.
+ *
+ * The residency contract is bit-transparency: a resident hit hands
+ * back exactly the bytes the legacy staging pass would have produced,
+ * because the (id, generation) key names an immutable snapshot of the
+ * source tensor and the remaining key fields pin every parameter of
+ * the materialization. These tests pin that contract at three levels:
+ *
+ *  - unit: core::ResidencyCache lease/hit/miss accounting, LRU
+ *    eviction under a byte cap with in-flight handles, and the
+ *    racing first-wins insert (run under TSan via the tsan label);
+ *  - runtime: generation bumps invalidate, const reads do not, and
+ *    the benchmark x policy x residency {off,on} matrix is
+ *    byte-identical with identical simulated timing;
+ *  - session: programs sharing a source tensor hit each other's
+ *    residency across the submission queue, with outputs identical
+ *    to standalone residency-off references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "core/policy.hh"
+#include "core/residency_cache.hh"
+#include "core/runtime.hh"
+#include "core/session.hh"
+#include "kernels/workload.hh"
+#include "tensor/tensor.hh"
+
+namespace shmt::core {
+namespace {
+
+using apps::makeBenchmark;
+using apps::makePrototypeRuntime;
+using kernels::ResidencyService;
+
+using Key = ResidencyService::Key;
+using Entry = ResidencyService::Entry;
+using Handle = ResidencyService::Handle;
+
+/** A key naming a synthetic whole-input plane of @p floats floats. */
+Key
+planeKey(uint64_t id, uint64_t generation, size_t floats)
+{
+    Key k;
+    k.id = id;
+    k.generation = generation;
+    k.repr = ResidencyService::Repr::NpuInt8;
+    k.region = Rect{0, 0, 1, floats};
+    return k;
+}
+
+/** A materializer filling @p floats floats with @p value, counting
+ *  invocations in @p calls. */
+std::function<Entry()>
+fillPlane(size_t floats, float value, std::atomic<size_t> &calls)
+{
+    return [floats, value, &calls]() {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        Entry e;
+        e.data.assign(floats, value);
+        e.rows = 1;
+        e.cols = floats;
+        return e;
+    };
+}
+
+TEST(ResidencyCacheUnit, MissMaterializesOnceThenHits)
+{
+    ResidencyCache cache;
+    std::atomic<size_t> calls{0};
+    const Key key = planeKey(1, 0, 64);
+
+    const Handle first = cache.lease(key, fillPlane(64, 3.0f, calls));
+    ASSERT_TRUE(first);
+    EXPECT_EQ(calls.load(), 1u);
+    EXPECT_EQ(first->data.size(), 64u);
+    EXPECT_EQ(first->data[0], 3.0f);
+
+    const Handle second = cache.lease(key, fillPlane(64, 3.0f, calls));
+    EXPECT_EQ(calls.load(), 1u) << "a hit must not re-materialize";
+    EXPECT_EQ(first.get(), second.get())
+        << "a hit must share the resident entry";
+
+    const ResidencyCache::Counters c = cache.counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.bytesAvoided, first->bytes());
+    EXPECT_EQ(c.residentBytes, first->bytes());
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResidencyCacheUnit, DistinctGenerationIsADistinctEntry)
+{
+    // The generation names the snapshot of the source bytes: a bumped
+    // generation must never see the stale materialization.
+    ResidencyCache cache;
+    std::atomic<size_t> calls{0};
+
+    const Handle g0 =
+        cache.lease(planeKey(7, 0, 16), fillPlane(16, 1.0f, calls));
+    const Handle g1 =
+        cache.lease(planeKey(7, 1, 16), fillPlane(16, 2.0f, calls));
+    EXPECT_EQ(calls.load(), 2u);
+    EXPECT_NE(g0.get(), g1.get());
+    EXPECT_EQ(g0->data[0], 1.0f);
+    EXPECT_EQ(g1->data[0], 2.0f);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResidencyCacheUnit, EvictionUnderPressureKeepsInFlightHandles)
+{
+    // Cap fits two 64-float planes; the third insert evicts the LRU
+    // tail. The evicted buffer must stay valid through the handle an
+    // in-flight HLOP is still holding.
+    constexpr size_t kFloats = 64;
+    constexpr size_t kPlaneBytes = kFloats * sizeof(float);
+    ResidencyCache cache(2 * kPlaneBytes);
+    std::atomic<size_t> calls{0};
+
+    const Handle a =
+        cache.lease(planeKey(1, 0, kFloats), fillPlane(kFloats, 1.0f, calls));
+    const Handle b =
+        cache.lease(planeKey(2, 0, kFloats), fillPlane(kFloats, 2.0f, calls));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.residentBytes(), 2 * kPlaneBytes);
+
+    const Handle c =
+        cache.lease(planeKey(3, 0, kFloats), fillPlane(kFloats, 3.0f, calls));
+    EXPECT_EQ(cache.size(), 2u) << "the byte cap must hold";
+    EXPECT_LE(cache.residentBytes(), cache.byteCap());
+    EXPECT_EQ(cache.counters().evictions, 1u);
+
+    // The LRU tail (a) was dropped; its in-flight handle still reads.
+    for (float v : a->data)
+        EXPECT_EQ(v, 1.0f);
+
+    // Leasing a's key again is a miss: the cache no longer holds it.
+    const Handle a2 =
+        cache.lease(planeKey(1, 0, kFloats), fillPlane(kFloats, 1.0f, calls));
+    EXPECT_EQ(calls.load(), 4u);
+    EXPECT_NE(a.get(), a2.get());
+
+    // Shrinking the cap to zero drops everything; handles survive.
+    cache.setByteCap(0);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.residentBytes(), 0u);
+    EXPECT_EQ(b->data[0], 2.0f);
+    EXPECT_EQ(c->data[0], 3.0f);
+}
+
+TEST(ResidencyCacheUnit, HitRefreshesLruOrder)
+{
+    constexpr size_t kFloats = 64;
+    ResidencyCache cache(2 * kFloats * sizeof(float));
+    std::atomic<size_t> calls{0};
+
+    (void)cache.lease(planeKey(1, 0, kFloats),
+                      fillPlane(kFloats, 1.0f, calls));
+    (void)cache.lease(planeKey(2, 0, kFloats),
+                      fillPlane(kFloats, 2.0f, calls));
+    // Touch 1: it becomes MRU, so inserting 3 must evict 2 instead.
+    (void)cache.lease(planeKey(1, 0, kFloats),
+                      fillPlane(kFloats, 1.0f, calls));
+    (void)cache.lease(planeKey(3, 0, kFloats),
+                      fillPlane(kFloats, 3.0f, calls));
+    EXPECT_EQ(calls.load(), 3u);
+
+    (void)cache.lease(planeKey(1, 0, kFloats),
+                      fillPlane(kFloats, 1.0f, calls));
+    EXPECT_EQ(calls.load(), 3u) << "1 must still be resident";
+    (void)cache.lease(planeKey(2, 0, kFloats),
+                      fillPlane(kFloats, 2.0f, calls));
+    EXPECT_EQ(calls.load(), 4u) << "2 must have been evicted";
+}
+
+TEST(ResidencyCacheUnit, RacingLeasesAgreeOnOneEntry)
+{
+    // First-wins insert: N threads race a cold key; every caller gets
+    // a valid handle onto the single resident entry, and exactly one
+    // entry survives. Run under TSan via the tsan ctest label.
+    constexpr size_t kThreads = 8;
+    constexpr size_t kFloats = 256;
+    ResidencyCache cache;
+    std::atomic<size_t> calls{0};
+    std::atomic<size_t> ready{0};
+    std::vector<Handle> handles(kThreads);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            ready.fetch_add(1);
+            while (ready.load() < kThreads) {
+            }
+            handles[t] = cache.lease(planeKey(9, 0, kFloats),
+                                     fillPlane(kFloats, 9.0f, calls));
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_GE(calls.load(), 1u);
+    for (size_t t = 0; t < kThreads; ++t) {
+        ASSERT_TRUE(handles[t]) << "thread " << t;
+        EXPECT_EQ(handles[t].get(), handles[0].get()) << "thread " << t;
+        EXPECT_EQ(handles[t]->data[0], 9.0f) << "thread " << t;
+    }
+    const ResidencyCache::Counters c = cache.counters();
+    EXPECT_EQ(c.hits + c.misses, kThreads);
+    EXPECT_GE(c.misses, 1u);
+}
+
+/** Copy @p t's payload row-by-row (respects the view stride). */
+std::vector<float>
+tensorBytes(const Tensor &t)
+{
+    const ConstTensorView v = t.view();
+    std::vector<float> out(v.size());
+    for (size_t row = 0; row < v.rows(); ++row)
+        std::memcpy(out.data() + row * v.cols(), v.row(row),
+                    v.cols() * sizeof(float));
+    return out;
+}
+
+/** A repeated-input program over owned tensors: @p length sobel VOps
+ *  all reading one deterministic source image. */
+struct Fanout
+{
+    std::vector<std::unique_ptr<Tensor>> tensors;
+    VopProgram program;
+    Tensor *source = nullptr;
+
+    Tensor *
+    store(Tensor t)
+    {
+        tensors.push_back(std::make_unique<Tensor>(std::move(t)));
+        return tensors.back().get();
+    }
+
+    std::vector<float>
+    outputBytes() const
+    {
+        std::vector<float> out;
+        for (const VOp &op : program.ops) {
+            const std::vector<float> b = tensorBytes(*op.output);
+            out.insert(out.end(), b.begin(), b.end());
+        }
+        return out;
+    }
+};
+
+Fanout
+makeFanout(size_t edge, size_t length, uint64_t seed)
+{
+    Fanout f;
+    f.program.name = "sobel-fanout";
+    f.source = f.store(kernels::makeImage(edge, edge, seed));
+    for (size_t j = 0; j < length; ++j) {
+        Tensor *out = f.store(Tensor(edge, edge));
+        VOp vop;
+        vop.opcode = "sobel";
+        vop.inputs = {f.source};
+        vop.output = out;
+        f.program.ops.push_back(std::move(vop));
+    }
+    return f;
+}
+
+TEST(Residency, GenerationBumpInvalidatesConstReadDoesNot)
+{
+    constexpr size_t kEdge = 96;
+    constexpr uint64_t kSeed = 7;
+
+    RuntimeConfig cfg;
+    cfg.hostThreads = 1;
+    auto rt = makePrototypeRuntime(cfg);
+    auto policy = makePolicy("qaws-ts");
+    Fanout wl = makeFanout(kEdge, 3, kSeed);
+
+    const RunResult r1 = rt.run(wl.program, *policy);
+    EXPECT_GT(r1.cache.residencyMisses, 0u);
+    const std::vector<float> out1 = wl.outputBytes();
+
+    // A repeat run re-stages nothing: every plane is resident.
+    const RunResult r2 = rt.run(wl.program, *policy);
+    EXPECT_GT(r2.cache.residencyHits, 0u);
+    EXPECT_EQ(r2.cache.residencyMisses, 0u);
+    EXPECT_EQ(wl.outputBytes(), out1);
+
+    // A const read must not invalidate anything.
+    (void)std::as_const(*wl.source).view();
+    const RunResult r3 = rt.run(wl.program, *policy);
+    EXPECT_EQ(r3.cache.residencyMisses, 0u);
+
+    // A write bumps the generation: the stale planes must never be
+    // served. The mutated run must match a residency-off replay of
+    // the identical mutated workload byte for byte.
+    wl.source->at(0, 0) += 0.5f;
+    const RunResult r4 = rt.run(wl.program, *policy);
+    EXPECT_GT(r4.cache.residencyMisses, 0u);
+    const std::vector<float> out4 = wl.outputBytes();
+
+    RuntimeConfig off_cfg;
+    off_cfg.hostThreads = 1;
+    off_cfg.residency = false;
+    auto off_rt = makePrototypeRuntime(off_cfg);
+    Fanout replica = makeFanout(kEdge, 3, kSeed);
+    replica.source->at(0, 0) += 0.5f;
+    const RunResult off = off_rt.run(replica.program, *policy);
+    EXPECT_EQ(off.cache.residencyHits, 0u);
+    EXPECT_EQ(off.cache.residencyMisses, 0u);
+    EXPECT_EQ(replica.outputBytes(), out4);
+}
+
+/** Simulated timing and outputs must agree to the bit. */
+void
+expectIdentical(const RunResult &off, const RunResult &on,
+                const std::vector<float> &off_out,
+                const std::vector<float> &on_out,
+                const std::string &what)
+{
+    EXPECT_EQ(off.makespanSec, on.makespanSec) << what;
+    EXPECT_EQ(off.schedulingSec, on.schedulingSec) << what;
+    EXPECT_EQ(off.aggregationSec, on.aggregationSec) << what;
+    EXPECT_EQ(off.hlopsTotal, on.hlopsTotal) << what;
+    ASSERT_EQ(off.devices.size(), on.devices.size()) << what;
+    for (size_t d = 0; d < off.devices.size(); ++d) {
+        EXPECT_EQ(off.devices[d].hlops, on.devices[d].hlops)
+            << what << " device " << d;
+        EXPECT_EQ(off.devices[d].busySec, on.devices[d].busySec)
+            << what << " device " << d;
+    }
+    ASSERT_EQ(off_out.size(), on_out.size()) << what;
+    EXPECT_EQ(std::memcmp(off_out.data(), on_out.data(),
+                          off_out.size() * sizeof(float)),
+              0)
+        << what;
+}
+
+/** Run @p bench_name twice on one runtime (the second run exercises
+ *  cross-run residency); returns the second result. */
+RunResult
+runBench(const std::string &bench_name, const std::string &policy_name,
+         bool residency, size_t host_threads, std::vector<float> &out,
+         size_t &hits)
+{
+    RuntimeConfig cfg;
+    cfg.hostThreads = host_threads;
+    cfg.residency = residency;
+    auto rt = makePrototypeRuntime(cfg);
+    auto bench = makeBenchmark(bench_name, 192, 192);
+    auto policy = makePolicy(policy_name);
+    RunResult r = rt.run(bench->program(), *policy);
+    hits = r.cache.residencyHits;
+    r = rt.run(bench->program(), *policy);
+    hits += r.cache.residencyHits;
+    out = tensorBytes(bench->output());
+    return r;
+}
+
+TEST(Residency, OffOnByteIdentityAcrossTheMatrix)
+{
+    // benchmark x policy x hostThreads {1 (serial), 0 (hardware
+    // default)}: residency on must be invisible in results.
+    for (const char *bench : {"sobel", "srad", "blackscholes"}) {
+        for (const char *policy : {"even", "work-stealing", "qaws-ts"}) {
+            for (size_t host_threads : {size_t{1}, size_t{0}}) {
+                const std::string what =
+                    std::string(bench) + "/" + policy +
+                    "/threads=" + std::to_string(host_threads);
+                std::vector<float> off_out, on_out;
+                size_t off_hits = 0, on_hits = 0;
+                const RunResult off =
+                    runBench(bench, policy, false, host_threads,
+                             off_out, off_hits);
+                const RunResult on =
+                    runBench(bench, policy, true, host_threads,
+                             on_out, on_hits);
+                EXPECT_EQ(off_hits, 0u) << what;
+                EXPECT_GT(on_hits, 0u) << what;
+                expectIdentical(off, on, off_out, on_out, what);
+            }
+        }
+    }
+}
+
+TEST(Residency, SessionSharesResidencyAcrossPrograms)
+{
+    // Distinct programs reading one shared source tensor, driven
+    // through a two-worker Session: cross-program residency must hit,
+    // and every output must equal its standalone residency-off
+    // reference.
+    constexpr size_t kEdge = 96;
+    constexpr size_t kPrograms = 4;
+    constexpr size_t kLength = 3;
+
+    Tensor src = kernels::makeImage(kEdge, kEdge, 42);
+    struct Prog
+    {
+        std::vector<std::unique_ptr<Tensor>> outputs;
+        VopProgram program;
+    };
+    auto build = [&](size_t p) {
+        Prog prog;
+        prog.program.name = "shared-src-" + std::to_string(p);
+        for (size_t j = 0; j < kLength; ++j) {
+            prog.outputs.push_back(
+                std::make_unique<Tensor>(kEdge, kEdge));
+            VOp vop;
+            vop.opcode = "sobel";
+            vop.inputs = {&src};
+            vop.output = prog.outputs.back().get();
+            prog.program.ops.push_back(std::move(vop));
+        }
+        return prog;
+    };
+    auto outputBytes = [&](const Prog &prog) {
+        std::vector<float> out;
+        for (const auto &t : prog.outputs) {
+            const std::vector<float> b = tensorBytes(*t);
+            out.insert(out.end(), b.begin(), b.end());
+        }
+        return out;
+    };
+
+    std::vector<Prog> progs;
+    for (size_t p = 0; p < kPrograms; ++p)
+        progs.push_back(build(p));
+
+    // Standalone residency-off references, snapshotted before the
+    // session reruns overwrite the outputs.
+    std::vector<std::vector<float>> reference(kPrograms);
+    {
+        RuntimeConfig cfg;
+        cfg.residency = false;
+        auto rt = makePrototypeRuntime(cfg);
+        auto policy = makePolicy("qaws-ts");
+        for (size_t p = 0; p < kPrograms; ++p) {
+            (void)rt.run(progs[p].program, *policy);
+            reference[p] = outputBytes(progs[p]);
+        }
+    }
+
+    auto rt = makePrototypeRuntime();
+    SessionOptions opts;
+    opts.workers = 2;
+    Session session(rt, opts);
+    std::vector<std::future<RunResult>> futures;
+    for (size_t p = 0; p < kPrograms; ++p)
+        futures.push_back(
+            session.submit(progs[p].program, makePolicy("qaws-ts")));
+    for (auto &f : futures)
+        (void)f.get();
+
+    for (size_t p = 0; p < kPrograms; ++p)
+        EXPECT_EQ(outputBytes(progs[p]), reference[p])
+            << "program " << p;
+    EXPECT_GT(rt.residencyCache().counters().hits, 0u)
+        << "programs sharing a source must hit each other's residency";
+}
+
+} // namespace
+} // namespace shmt::core

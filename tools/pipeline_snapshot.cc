@@ -14,8 +14,8 @@
  * capture after, diff.
  *
  * Usage: pipeline_snapshot [--n <edge>] [--plan-cache off|on]
- *            [--graph-exec off|on] [--host-threads <k>]
- *            [--outputs-only] > snapshot.txt
+ *            [--graph-exec off|on] [--residency off|on]
+ *            [--host-threads <k>] [--outputs-only] > snapshot.txt
  *
  * --outputs-only prints just the tag and the output-tensor hash — a
  * smaller artifact for CI equivalence smokes. Graph execution charges
@@ -119,6 +119,7 @@ main(int argc, char **argv)
     size_t n = 256;
     bool plan_cache = true;
     bool graph_exec = true;
+    bool residency = true;
     size_t host_threads = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -139,6 +140,14 @@ main(int argc, char **argv)
             if (mode != "off" && mode != "on")
                 SHMT_FATAL("--graph-exec must be off or on");
             graph_exec = mode == "on";
+        } else if (arg == "--residency" && i + 1 < argc) {
+            // Resident device-format reuse must be invisible too: a
+            // hit returns the bytes the staging pass would have
+            // produced, so off and on snapshots diff empty.
+            const std::string_view mode = argv[++i];
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--residency must be off or on");
+            residency = mode == "on";
         } else if (arg == "--host-threads" && i + 1 < argc) {
             host_threads = std::stoul(argv[++i]);
         } else if (arg == "--outputs-only") {
@@ -155,6 +164,7 @@ main(int argc, char **argv)
             cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
             cfg.graphExec = graph_exec;
+            cfg.residency = residency;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy(policy_name);
@@ -168,6 +178,7 @@ main(int argc, char **argv)
             cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
             cfg.graphExec = graph_exec;
+            cfg.residency = residency;
             cfg.stealSplitting = true;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
@@ -182,6 +193,7 @@ main(int argc, char **argv)
             cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
             cfg.graphExec = graph_exec;
+            cfg.residency = residency;
             cfg.hostSimd = core::RuntimeConfig::SimdMode::Off;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
@@ -196,6 +208,7 @@ main(int argc, char **argv)
             cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
             cfg.graphExec = graph_exec;
+            cfg.residency = residency;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             const auto r = rt.runGpuBaseline(bench->program());
@@ -206,6 +219,7 @@ main(int argc, char **argv)
             cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
             cfg.graphExec = graph_exec;
+            cfg.residency = residency;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             const auto r =
@@ -219,6 +233,7 @@ main(int argc, char **argv)
             cfg.hostThreads = host_threads;
             cfg.planCache = plan_cache;
             cfg.graphExec = graph_exec;
+            cfg.residency = residency;
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy("qaws-ts");

@@ -49,6 +49,7 @@ struct Options
     bool cpu = false;
     bool planCache = true;
     bool graphExec = true;
+    bool residency = true;
     size_t sessionWorkers = 0;  //!< 0 = standalone run (no Session)
     size_t sessionPrograms = 8;
     std::string tracePath;
@@ -74,6 +75,10 @@ usage()
         "                        (hazard-DAG host overlap + NPU\n"
         "                        prestaging; bit-transparent,\n"
         "                        default: on)\n"
+        "  --residency <mode>    off|on: staging residency (resident\n"
+        "                        INT8/FP16 planes + GEMM panels keyed\n"
+        "                        on tensor write generations;\n"
+        "                        bit-transparent, default: on)\n"
         "  --session-workers <n> serve the benchmark through a Session\n"
         "                        with n driver workers instead of a\n"
         "                        standalone run (default: 0 = off)\n"
@@ -134,6 +139,11 @@ parseArgs(int argc, char **argv)
             if (mode != "off" && mode != "on")
                 SHMT_FATAL("--graph-exec must be off or on");
             opts.graphExec = mode == "on";
+        } else if (arg == "--residency") {
+            const std::string mode = next();
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--residency must be off or on");
+            opts.residency = mode == "on";
         } else if (arg == "--session-workers") {
             opts.sessionWorkers =
                 std::strtoul(next().c_str(), nullptr, 10);
@@ -191,12 +201,24 @@ report(const apps::EvalResult &r, bool quality)
                 hw.samplingSec * 1e3, hw.execSec * 1e3,
                 hw.aggregationSec * 1e3);
     const auto &cs = r.run.cache;
-    if (cs.hits() + cs.misses() > 0)
-        std::printf("  serving caches   : %zu hits / %zu misses "
+    if (cs.hits() + cs.misses() > 0) {
+        std::printf("  serving caches   : %zu hits / %zu misses\n",
+                    cs.hits(), cs.misses());
+        std::printf("    plan skeletons : %zu hits / %zu misses\n",
+                    cs.planHits, cs.planMisses);
+        std::printf("    data memos     : %zu hits / %zu misses "
                     "(%.1f MiB of scans avoided)\n",
-                    cs.hits(), cs.misses(),
+                    cs.statsHits + cs.quantHits,
+                    cs.statsMisses + cs.quantMisses,
                     static_cast<double>(cs.scanBytesAvoided) /
                         (1024.0 * 1024.0));
+        std::printf("    residency      : %zu hits / %zu misses "
+                    "(%.1f MiB of staging avoided, %zu evictions)\n",
+                    cs.residencyHits, cs.residencyMisses,
+                    static_cast<double>(cs.residencyBytesAvoided) /
+                        (1024.0 * 1024.0),
+                    cs.residencyEvictions);
+    }
     std::printf("  comm overhead    : %6.2f %%\n",
                 100.0 * r.run.commOverhead());
     std::printf("  energy           : %8.2f J (baseline %.2f J, "
@@ -230,6 +252,7 @@ main(int argc, char **argv)
                           : core::RuntimeConfig::SimdMode::Auto;
     config.planCache = opts.planCache;
     config.graphExec = opts.graphExec;
+    config.residency = opts.residency;
     core::Runtime runtime(std::move(backends), cal, config);
 
     sim::ExecutionTrace trace;
@@ -292,9 +315,13 @@ main(int argc, char **argv)
                         static_cast<double>(opts.sessionPrograms) /
                             batch);
             std::printf("    caches: %zu hits / %zu misses, %.1f MiB of"
-                        " scans avoided; serial-equivalent: %s\n",
+                        " scans + %.1f MiB of staging avoided;"
+                        " serial-equivalent: %s\n",
                         cache.hits(), cache.misses(),
                         static_cast<double>(cache.scanBytesAvoided) /
+                            (1024.0 * 1024.0),
+                        static_cast<double>(
+                            cache.residencyBytesAvoided) /
                             (1024.0 * 1024.0),
                         equivalent ? "yes" : "NO");
         }
