@@ -17,10 +17,16 @@
  *     host wall-clock per program with the caches off vs on — the
  *     single-core-measurable win of skipping repeated planning /
  *     criticality / quant scans.
+ *  3. Status-path overhead: mean host wall of a plain (unarmed)
+ *     Runtime::run vs one threaded through an armed-but-inert
+ *     deadline + cancel ExecControl. Both paths are error-free, so
+ *     the delta is pure status/cancellation plumbing; the gate is
+ *     < 2% overhead.
  *
- * Exits non-zero if any result diverges from the standalone reference
- * or if the plan cache scores zero hits on the repeated-shape workload
- * (the CI smoke gate).
+ * Exits non-zero if any result diverges from the standalone reference,
+ * if the plan cache scores zero hits on the repeated-shape workload,
+ * or if the armed status path costs >= 2% host wall (the CI smoke
+ * gates).
  *
  * Emits `BENCH_session.json` (version 2) in the working directory.
  *
@@ -40,6 +46,7 @@
 
 #include "apps/benchmarks.hh"
 #include "apps/harness.hh"
+#include "common/cancel.hh"
 #include "common/logging.hh"
 #include "core/policy.hh"
 #include "core/runtime.hh"
@@ -181,6 +188,69 @@ measureRepeatedShape(const Options &opts, bool plan_cache,
     return rs;
 }
 
+/** Status-path cost probe: plain vs armed-but-inert host wall. */
+struct StatusPath
+{
+    double plainSec = 0.0;   //!< 4-arg Runtime::run, unarmed controls
+    double armedSec = 0.0;   //!< live deadline + cancel, never firing
+    /** Best paired armed/plain ratio across repeats (>= 1.0). */
+    double ratio = 1.0;
+};
+
+/**
+ * Min-over-5-repeats of the mean host wall across @p opts.programs
+ * standalone runs: plain (4-arg Runtime::run, unarmed controls)
+ * against an armed-but-inert deadline + cancel ExecControl that never
+ * fires. Both paths execute identically, so the armed/plain ratio
+ * isolates the status-plumbing cost. The two variants alternate
+ * within every repeat (rather than running as two back-to-back
+ * phases), so frequency/cache drift hits both equally, and the gated
+ * quantity is the best *paired* per-repeat ratio — a noise spike must
+ * hit the armed half of the same repeat in all repeats to flake it.
+ */
+StatusPath
+measureStatusPath(const Options &opts)
+{
+    core::RuntimeConfig config;
+    auto rt = apps::makePrototypeRuntime(config);
+    auto bench = apps::makeBenchmark(opts.bench, opts.n, opts.n);
+    auto policy = core::makePolicy(opts.policy);
+    common::CancelSource cancel_src; //!< held live, never fired
+
+    auto run_once = [&](bool armed) -> core::RunResult {
+        if (!armed)
+            return rt.run(bench->program(), *policy);
+        core::ExecControl ctl;
+        ctl.deadline = common::Deadline::afterSeconds(3600.0);
+        ctl.cancel = cancel_src.token();
+        return rt.run(bench->program(), *policy, /*functional=*/true,
+                      rt.config().seed, ctl);
+    };
+
+    for (size_t i = 0; i < opts.warmup; ++i) {
+        (void)run_once(false);
+        (void)run_once(true);
+    }
+    StatusPath sp;
+    sp.plainSec = std::numeric_limits<double>::infinity();
+    sp.armedSec = std::numeric_limits<double>::infinity();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t it = 0; it < 7; ++it) {
+        double plain = 0.0, armed = 0.0;
+        for (size_t i = 0; i < opts.programs; ++i) {
+            plain += run_once(false).hostWall.totalSec;
+            armed += run_once(true).hostWall.totalSec;
+        }
+        const double k = static_cast<double>(opts.programs);
+        sp.plainSec = std::min(sp.plainSec, plain / k);
+        sp.armedSec = std::min(sp.armedSec, armed / k);
+        if (plain > 0.0)
+            best_ratio = std::min(best_ratio, armed / plain);
+    }
+    sp.ratio = std::max(1.0, best_ratio);
+    return sp;
+}
+
 } // namespace
 
 int
@@ -282,6 +352,12 @@ main(int argc, char **argv)
             : 0.0;
     const bool cache_effective = on.cache.planHits > 0;
 
+    // Status-path overhead: armed-but-inert controls vs plain runs.
+    const StatusPath sp = measureStatusPath(opts);
+    const double sp_plain = sp.plainSec, sp_armed = sp.armedSec;
+    const double sp_overhead_pct = (sp.ratio - 1.0) * 100.0;
+    const bool status_overhead_ok = sp_overhead_pct < 2.0;
+
     json << "\n  ],\n  \"repeated_shape\": {\n    \"programs\": "
          << opts.programs
          << ",\n    \"host_wall_off_sec\": " << off.meanHostWallSec
@@ -293,10 +369,16 @@ main(int argc, char **argv)
          << ",\n    \"quant_hits\": " << on.cache.quantHits
          << ",\n    \"scan_bytes_avoided\": "
          << on.cache.scanBytesAvoided
+         << "\n  },\n  \"status_path\": {\n"
+         << "    \"host_wall_plain_sec\": " << sp_plain
+         << ",\n    \"host_wall_armed_sec\": " << sp_armed
+         << ",\n    \"overhead_pct\": " << sp_overhead_pct
          << "\n  },\n  \"all_serial_equivalent\": "
          << (all_equivalent ? "true" : "false")
          << ",\n  \"plan_cache_effective\": "
-         << (cache_effective ? "true" : "false") << "\n}\n";
+         << (cache_effective ? "true" : "false")
+         << ",\n  \"status_overhead_ok\": "
+         << (status_overhead_ok ? "true" : "false") << "\n}\n";
 
     table.print("Session serving throughput: " + opts.bench + " x " +
                 std::to_string(opts.programs) + " programs (" +
@@ -313,6 +395,12 @@ main(int argc, char **argv)
                 all_equivalent ? "yes" : "NO");
     std::printf("Plan cache effective on repeated shapes: %s\n",
                 cache_effective ? "yes" : "NO");
+    std::printf("Status-path overhead (armed vs plain): %.3f ms vs "
+                "%.3f ms host wall, +%.2f%% (< 2%% gate: %s)\n",
+                sp_armed * 1e3, sp_plain * 1e3, sp_overhead_pct,
+                status_overhead_ok ? "yes" : "NO");
     std::printf("Wrote BENCH_session.json\n");
-    return all_equivalent && cache_effective ? 0 : 1;
+    return all_equivalent && cache_effective && status_overhead_ok
+               ? 0
+               : 1;
 }

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cooperative deadlines and cancellation.
+ *
+ * A submission may carry a Deadline (absolute wall-clock cutoff) and a
+ * CancelToken (client-held kill switch). Both are *cooperative*: the
+ * execution stack polls them at VOp boundaries — the natural point
+ * where no partial HLOP output can leak — and stops with
+ * DeadlineExceeded/Cancelled instead of tearing anything down.
+ * Sibling programs, the shared host pool, and the serving caches are
+ * never touched by a trip.
+ *
+ * Both types are cheap to copy and default to "never fires": a
+ * default-constructed Deadline is infinite and a default-constructed
+ * CancelToken is unarmed, so the error-free path pays one null check
+ * per poll and nothing else.
+ */
+
+#ifndef SHMT_COMMON_CANCEL_HH
+#define SHMT_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace shmt::common {
+
+class CancelSource;
+
+/** Read side of a cancellation flag. Default = never cancelled. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** Whether the owning CancelSource has fired. */
+    bool
+    cancelled() const
+    {
+        return flag_ && flag_->load(std::memory_order_acquire);
+    }
+
+    /** Whether this token is connected to a source at all. */
+    bool armed() const { return flag_ != nullptr; }
+
+  private:
+    friend class CancelSource;
+    explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+        : flag_(std::move(flag))
+    {}
+
+    std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/** Owner of a cancellation flag; hands out tokens. */
+class CancelSource
+{
+  public:
+    CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    /** Fire the flag; every token observes it (sticky, idempotent). */
+    void cancel() { flag_->store(true, std::memory_order_release); }
+
+    bool cancelled() const
+    {
+        return flag_->load(std::memory_order_acquire);
+    }
+
+    CancelToken token() const { return CancelToken(flag_); }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/** Absolute wall-clock cutoff. Default = infinite (never expires). */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    Deadline() = default;
+
+    static Deadline never() { return Deadline(); }
+
+    static Deadline
+    afterMillis(int64_t ms)
+    {
+        Deadline d;
+        d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+        return d;
+    }
+
+    static Deadline
+    afterSeconds(double sec)
+    {
+        Deadline d;
+        d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(sec));
+        return d;
+    }
+
+    bool infinite() const { return !at_.has_value(); }
+
+    bool expired() const { return at_ && Clock::now() >= *at_; }
+
+  private:
+    std::optional<Clock::time_point> at_;
+};
+
+} // namespace shmt::common
+
+#endif // SHMT_COMMON_CANCEL_HH

@@ -1,0 +1,33 @@
+#include "status.hh"
+
+namespace shmt::common {
+
+std::string_view
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::Cancelled: return "CANCELLED";
+      case StatusCode::BackendFailure: return "BACKEND_FAILURE";
+      case StatusCode::ResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::Internal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    std::string out(statusCodeName(code_));
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace shmt::common

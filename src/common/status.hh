@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Device-independent failure contract of the serving stack.
+ *
+ * Every fallible layer — program validation, backend execution,
+ * deadline/cancellation checks, the session queue — reports through
+ * one value type instead of asserting or throwing across layer
+ * boundaries. A Status is cheap on the success path (code Ok, no
+ * message allocation) and self-describing on failure; StatusOr<T>
+ * carries either a value or the Status explaining its absence.
+ *
+ * Codes mirror the failure domains of the stack:
+ *
+ *  - InvalidArgument:   malformed program (unknown opcode, null/empty
+ *                       tensors, bad reduce shape, aliasing) caught at
+ *                       submission before any execution.
+ *  - DeadlineExceeded:  the submission's Deadline passed; the program
+ *                       stopped cooperatively at a VOp boundary.
+ *  - Cancelled:         the submission's CancelToken fired, or the
+ *                       Session shut down with the program still
+ *                       queued.
+ *  - BackendFailure:    a device fault survived re-dispatch — no
+ *                       eligible device could execute the HLOP.
+ *  - ResourceExhausted: a resource bound (queue, memory) was exceeded.
+ *  - Internal:          an unexpected host-side failure (a throwing
+ *                       kernel body) contained to its own program.
+ */
+
+#ifndef SHMT_COMMON_STATUS_HH
+#define SHMT_COMMON_STATUS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace shmt::common {
+
+/** Failure domain of a Status. */
+enum class StatusCode : uint8_t {
+    Ok = 0,
+    InvalidArgument,
+    DeadlineExceeded,
+    Cancelled,
+    BackendFailure,
+    ResourceExhausted,
+    Internal,
+};
+
+/** Canonical upper-snake name of @p code (e.g. "DEADLINE_EXCEEDED"). */
+std::string_view statusCodeName(StatusCode code);
+
+/** One success-or-failure outcome. Default-constructed = Ok. */
+class Status
+{
+  public:
+    /** Ok: the success path never allocates. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    /** @{ Factory per failure domain. */
+    static Status invalidArgument(std::string msg)
+    {
+        return Status(StatusCode::InvalidArgument, std::move(msg));
+    }
+    static Status deadlineExceeded(std::string msg)
+    {
+        return Status(StatusCode::DeadlineExceeded, std::move(msg));
+    }
+    static Status cancelled(std::string msg)
+    {
+        return Status(StatusCode::Cancelled, std::move(msg));
+    }
+    static Status backendFailure(std::string msg)
+    {
+        return Status(StatusCode::BackendFailure, std::move(msg));
+    }
+    static Status resourceExhausted(std::string msg)
+    {
+        return Status(StatusCode::ResourceExhausted, std::move(msg));
+    }
+    static Status internal(std::string msg)
+    {
+        return Status(StatusCode::Internal, std::move(msg));
+    }
+    /** @} */
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "OK", or "CODE_NAME: message". */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/** Either a value or the Status explaining its absence. */
+template <typename T>
+class StatusOr
+{
+  public:
+    StatusOr(Status status) : status_(std::move(status)) {}
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    /** Precondition: ok(). */
+    const T &value() const & { return *value_; }
+    T &value() & { return *value_; }
+    T &&value() && { return std::move(*value_); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace shmt::common
+
+#endif // SHMT_COMMON_STATUS_HH

@@ -92,9 +92,19 @@ ThreadPool::workerLoop(size_t self)
         Task task;
         if (popTask(self, task)) {
             guard.unlock();
-            task();
+            // A throwing task must not std::terminate the worker (and
+            // with it the process): capture the first failure for
+            // takeError() and keep serving sibling tasks.
+            std::exception_ptr err;
+            try {
+                task();
+            } catch (...) {
+                err = std::current_exception();
+            }
             task = nullptr;   // release captures before re-locking
             guard.lock();
+            if (err && !taskError_)
+                taskError_ = err;
             if (--inflight_ == 0)
                 idle_.notify_all();
             continue;
@@ -144,6 +154,15 @@ ThreadPool::steals() const
 {
     std::scoped_lock guard(lock_);
     return steals_;
+}
+
+std::exception_ptr
+ThreadPool::takeError()
+{
+    std::scoped_lock guard(lock_);
+    std::exception_ptr err = taskError_;
+    taskError_ = nullptr;
+    return err;
 }
 
 ThreadPool::Stats

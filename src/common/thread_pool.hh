@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -63,11 +64,24 @@ class ThreadPool
      * Fire-and-forget task submission: to the submitting worker's own
      * deque when called from a pool thread, else to the global
      * injector. Pending tasks are drained before destruction.
+     *
+     * A task that throws does NOT take the pool down: the worker
+     * captures the first exception (siblings keep running) and holds
+     * it for takeError(). On a serial pool the task runs inline on the
+     * caller, so its exception propagates to the submitter directly.
      */
     void submit(Task task);
 
     /** Block until every submitted task has finished. */
     void drain();
+
+    /**
+     * Retrieve-and-clear the first exception a submitted task threw
+     * since the last call (nullptr when none). Deliberately pull-based:
+     * the pool is shared across programs, so an error must reach the
+     * submitter that polls for it — never a bystander's drain().
+     */
+    std::exception_ptr takeError();
 
     /**
      * Run @p body over [@p begin, @p end) in chunks of at least
@@ -150,6 +164,7 @@ class ThreadPool
     size_t parked_ = 0;                  //!< lifetime worker sleeps
     size_t peakInflight_ = 0;            //!< high-water mark of inflight_
     size_t rr_ = 0;                      //!< round-robin chunk placement
+    std::exception_ptr taskError_;       //!< first throwing submit() task
     bool stop_ = false;
 };
 

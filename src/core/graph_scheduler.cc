@@ -1,6 +1,7 @@
 #include "graph_scheduler.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -26,6 +27,23 @@ namespace {
  * completion (set under the mutex) is observed before any dependent
  * plan scan, sampling scan, prestage read, or kernel body runs.
  */
+/**
+ * One successful fault re-dispatch, with its simulated cost computed
+ * where the plan was in scope. Charges are deferred and applied in
+ * (vopIndex, hlop) order after every dispatch decision is made, so a
+ * recovery never perturbs device placement — the recovered run's
+ * outputs stay identical to the no-fault reference when the rescue
+ * device computes at the same precision.
+ */
+struct RecoveryCharge
+{
+    size_t vopIndex = 0;
+    size_t hlop = 0;
+    size_t to = 0;        //!< rescue device index
+    double prep = 0.0;    //!< staging transfer + quantize seconds
+    double compute = 0.0;
+};
+
 struct HostState
 {
     std::mutex mu;
@@ -33,7 +51,10 @@ struct HostState
     std::vector<char> funcDone;    //!< per-VOp functional completion
     size_t inFlight = 0;           //!< spawned tasks not yet finished
     sim::HostPhaseStats taskWall;  //!< wall folded in by spawned tasks
-    std::exception_ptr error;      //!< first functional failure
+    std::exception_ptr error;      //!< first thrown functional failure
+    common::Status funcStatus;     //!< first non-OK functional status
+    std::vector<RecoveryCharge> recoveries;
+    std::atomic<bool> failed{false}; //!< cheap funcStatus/error signal
 };
 
 } // namespace
@@ -47,7 +68,8 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                         ProducerMap *producers,
                         CriticalityCache *data_memo,
                         sim::ExecutionTrace *trace,
-                        std::vector<DispatchRecord> *dispatch_log) const
+                        std::vector<DispatchRecord> *dispatch_log,
+                        const ExecControl &ctl) const
 {
     const size_t n = program.ops.size();
     SHMT_ASSERT(graph.size() == n, "graph covers ", graph.size(),
@@ -88,10 +110,15 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
     // Functional execution + combine of one dispatched VOp. Runs on
     // the coordinator or inside a spawned pool task; partitions write
     // disjoint outputs and the combine is partition-ordered, so the
-    // numerics are independent of which.
-    auto run_functional = [&](VopPlan &plan,
-                              const std::vector<DispatchRecord> &records,
-                              sim::HostPhaseStats *wall) {
+    // numerics are independent of which. Fault recoveries come back
+    // as deferred charges (costed here, where the plan is in scope;
+    // applied on the coordinator after the loop). On a non-OK status
+    // the combine is skipped — the VOp's output is invalid anyway.
+    auto run_functional =
+        [&](size_t vop_index, VopPlan &plan,
+            const std::vector<DispatchRecord> &records,
+            sim::HostPhaseStats *wall,
+            std::vector<RecoveryCharge> &charges) -> common::Status {
         const KernelInfo &info = *plan.info();
         std::vector<Tensor> accumulators;
         if (info.reduce != ReduceKind::None) {
@@ -100,8 +127,41 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                 accumulators.emplace_back(info.reduceRows,
                                           info.reduceCols);
         }
-        executor.execute(plan, records, accumulators, wall);
+        ExecOutcome eo =
+            executor.execute(plan, records, accumulators, wall, ctl);
+        if (!eo.status.ok())
+            return eo.status;
+        for (const HlopRecovery &r : eo.recoveries) {
+            // Mirror DispatchSim's charging for the rescue execution:
+            // full-duplex staging of every input (conservatively — the
+            // rescue device holds no residue of the chain) plus
+            // host-side quantization on the Edge TPU, plus the
+            // calibrated compute time.
+            const devices::Backend &bk = *(*backends_)[r.to];
+            const size_t elems = r.region.size();
+            const size_t out_elems =
+                info.reduce == ReduceKind::None
+                    ? elems
+                    : info.reduceRows * info.reduceCols;
+            const size_t stage = bk.stagingBytesPerElement();
+            const size_t staged_inputs = plan.args.inputs.size();
+            RecoveryCharge rc;
+            rc.vopIndex = vop_index;
+            rc.hlop = r.hlop;
+            rc.to = r.to;
+            if (stage > 0 && staged_inputs > 0)
+                rc.prep = cost_->transferSecondsDuplex(
+                    bk.kind(), elems * staged_inputs * stage,
+                    out_elems * stage);
+            if (bk.kind() == sim::DeviceKind::EdgeTpu)
+                rc.prep += cost_->quantizeSeconds(
+                    elems * staged_inputs + out_elems);
+            rc.compute = cost_->hlopSeconds(bk.kind(), plan.costKey(),
+                                            elems, plan.costWeight());
+            charges.push_back(rc);
+        }
         aggregator.combine(plan, accumulators, wall);
+        return {};
     };
 
     common::StagingPool::DoubleBuffer staging;
@@ -116,6 +176,23 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
         for (size_t i = 0; i < n; ++i) {
             const VOp &vop = program.ops[i];
             const VopGraph::Node &node = graph.node(i);
+
+            // VOp boundary: the cooperative stop point. A tripped
+            // deadline/cancellation or an already-failed in-flight VOp
+            // stops submitting here — completed VOps keep their
+            // outputs, spawned tasks finish naturally below.
+            if (ctl.armed() ||
+                state.failed.load(std::memory_order_acquire)) {
+                common::Status stop = ctl.check();
+                if (stop.ok()) {
+                    std::lock_guard<std::mutex> lk(state.mu);
+                    stop = state.funcStatus;
+                }
+                if (!stop.ok()) {
+                    result.status = std::move(stop);
+                    break;
+                }
+            }
 
             // Hazard barrier: planning (quant scans), sampling
             // (criticality scans), prestaging and the kernel bodies
@@ -329,10 +406,25 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                                                  next_preds.end(), i);
             }
             if (inline_exec) {
-                run_functional(plan, outcome.records, &result.hostWall);
-                std::lock_guard<std::mutex> lk(state.mu);
-                state.funcDone[i] = 1;
-                state.cv.notify_all();
+                std::vector<RecoveryCharge> charges;
+                common::Status st = run_functional(
+                    i, plan, outcome.records, &result.hostWall, charges);
+                {
+                    std::lock_guard<std::mutex> lk(state.mu);
+                    // funcDone is set even on failure so successors'
+                    // hazard waits (and prestage waits) never hang;
+                    // the coordinator stops at the next VOp boundary.
+                    state.funcDone[i] = 1;
+                    state.recoveries.insert(state.recoveries.end(),
+                                            charges.begin(),
+                                            charges.end());
+                    if (!st.ok() && state.funcStatus.ok()) {
+                        state.funcStatus = std::move(st);
+                        state.failed.store(true,
+                                           std::memory_order_release);
+                    }
+                    state.cv.notify_all();
+                }
             } else {
                 auto work = std::make_shared<
                     std::pair<VopPlan, std::vector<DispatchRecord>>>(
@@ -345,12 +437,17 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                                                      &run_functional, i,
                                                      work] {
                     sim::HostPhaseStats lw;
+                    std::vector<RecoveryCharge> charges;
+                    common::Status st;
                     try {
-                        run_functional(work->first, work->second, &lw);
+                        st = run_functional(i, work->first, work->second,
+                                            &lw, charges);
                     } catch (...) {
                         std::lock_guard<std::mutex> lk(state.mu);
                         if (!state.error)
                             state.error = std::current_exception();
+                        state.failed.store(true,
+                                           std::memory_order_release);
                     }
                     std::lock_guard<std::mutex> lk(state.mu);
                     state.funcDone[i] = 1;
@@ -358,6 +455,14 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                     state.taskWall.samplingSec += lw.samplingSec;
                     state.taskWall.execSec += lw.execSec;
                     state.taskWall.aggregationSec += lw.aggregationSec;
+                    state.recoveries.insert(state.recoveries.end(),
+                                            charges.begin(),
+                                            charges.end());
+                    if (!st.ok() && state.funcStatus.ok()) {
+                        state.funcStatus = std::move(st);
+                        state.failed.store(true,
+                                           std::memory_order_release);
+                    }
                     state.cv.notify_all();
                 });
             }
@@ -375,8 +480,41 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
         result.hostWall.samplingSec += state.taskWall.samplingSec;
         result.hostWall.execSec += state.taskWall.execSec;
         result.hostWall.aggregationSec += state.taskWall.aggregationSec;
-        if (state.error)
-            std::rethrow_exception(state.error);
+        // A thrown functional failure becomes Internal; a non-OK
+        // functional status wins only if the coordinator didn't
+        // already stop for its own reason (deadline/cancel).
+        if (result.status.ok() && state.error) {
+            try {
+                std::rethrow_exception(state.error);
+            } catch (const std::exception &e) {
+                result.status = common::Status::internal(e.what());
+            } catch (...) {
+                result.status = common::Status::internal(
+                    "unknown functional execution failure");
+            }
+        }
+        if (result.status.ok() && !state.funcStatus.ok())
+            result.status = state.funcStatus;
+
+        // Apply the deferred fault-recovery charges in deterministic
+        // (vopIndex, hlop) order, now that every dispatch decision is
+        // fixed: the rescue executions extend the rescue devices'
+        // timelines (the caller folds timelines into DeviceStats after
+        // we return) and the makespan, but never move any HLOP.
+        std::sort(state.recoveries.begin(), state.recoveries.end(),
+                  [](const RecoveryCharge &a, const RecoveryCharge &b) {
+                      return a.vopIndex != b.vopIndex
+                                 ? a.vopIndex < b.vopIndex
+                                 : a.hlop < b.hlop;
+                  });
+        for (const RecoveryCharge &rc : state.recoveries) {
+            const double end =
+                timelines[rc.to].charge(rc.prep, rc.compute, clock);
+            clock = std::max(clock, end);
+            if (!mode.baseline)
+                result.devices[rc.to].hlops += 1;
+            result.recoveredHlops += 1;
+        }
     }
     return clock;
 }

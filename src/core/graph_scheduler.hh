@@ -115,8 +115,16 @@ class GraphScheduler
      * @p data_memo, @p trace and @p dispatch_log may each be null.
      * @p base_seed is the per-VOp seed-mixing base (ignored for
      * pinned single-device plans, which use the unmixed config seed).
-     * Throws the first functional failure after every in-flight host
-     * task has finished.
+     *
+     * Failure domains: @p ctl is polled at every VOp boundary; a trip
+     * stops cooperatively (in-flight host tasks finish naturally,
+     * nothing is poisoned) and lands in result.status. A functional
+     * backend fault is recovered by HLOP re-dispatch (the rescue
+     * executions are charged on the rescue devices' timelines after
+     * the dispatch schedule is fixed, so placements never shift) and
+     * degrades to BackendFailure in result.status only when no
+     * eligible device remains. A thrown functional failure becomes
+     * Internal. The coordinator itself only throws on scheduler bugs.
      */
     double execute(const VopProgram &program, const VopGraph &graph,
                    const Planner &planner, Policy &policy,
@@ -125,7 +133,8 @@ class GraphScheduler
                    std::vector<sim::DeviceTimeline> &timelines,
                    ProducerMap *producers, CriticalityCache *data_memo,
                    sim::ExecutionTrace *trace,
-                   std::vector<DispatchRecord> *dispatch_log) const;
+                   std::vector<DispatchRecord> *dispatch_log,
+                   const ExecControl &ctl = {}) const;
 
   private:
     const std::vector<std::unique_ptr<devices::Backend>> *backends_;

@@ -1,27 +1,35 @@
 #include "hlop_executor.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+
 #include "common/thread_pool.hh"
+#include "tensor/dtype.hh"
 
 namespace shmt::core {
 
 using kernels::ReduceKind;
 
-void
+ExecOutcome
 HlopExecutor::execute(const VopPlan &plan,
                       const std::vector<DispatchRecord> &records,
                       std::vector<Tensor> &accumulators,
-                      sim::HostPhaseStats *wall) const
+                      sim::HostPhaseStats *wall,
+                      const ExecControl &ctl) const
 {
     const VOp &vop = *plan.vop;
     const kernels::KernelInfo &info = *plan.info();
 
+    ExecOutcome outcome;
     std::vector<const DispatchRecord *> pending;
     pending.reserve(records.size());
     for (const DispatchRecord &rec : records)
         if (rec.kind == DispatchRecord::Kind::Exec)
             pending.push_back(&rec);
     if (pending.empty())
-        return;
+        return outcome;
 
     double discard = 0.0;
     sim::ScopedWallTimer wt(wall ? wall->execSec : discard);
@@ -31,24 +39,95 @@ HlopExecutor::execute(const VopPlan &plan,
     bool in_place = false;
     for (const Tensor *t : vop.inputs)
         in_place = in_place || t == vop.output;
-    auto run_one = [&](size_t k) {
+
+    // Recovery candidate order: most-accurate native dtype first
+    // (FP32 > FP16 > INT8), slot order as the tie-break — a
+    // re-dispatched HLOP should degrade output quality as little as
+    // the surviving devices allow.
+    std::vector<size_t> candidates(plan.eligible().begin(),
+                                   plan.eligible().end());
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](size_t a, size_t b) {
+                         return dtypeLevels(
+                                    (*backends_)[a]->nativeDtype()) >
+                                dtypeLevels(
+                                    (*backends_)[b]->nativeDtype());
+                     });
+
+    // Successful re-dispatches land here by pending index (disjoint
+    // slots, safe to fill from parallel chunks); compacted into
+    // outcome.recoveries in dispatch order afterwards.
+    std::vector<std::optional<HlopRecovery>> recovered(pending.size());
+    std::mutex error_lock;
+    common::Status first_error;   // guarded by error_lock
+    std::atomic<bool> stop{false};
+
+    // Run one Exec record; on a device fault (fail-stop, output
+    // untouched) walk the remaining eligible devices in slot order
+    // until one completes. Only when every candidate faults does the
+    // HLOP — and with it the VOp — fail with BackendFailure.
+    auto run_one = [&](size_t k) -> common::Status {
         const DispatchRecord &rec = *pending[k];
         TensorView out_view = info.reduce != ReduceKind::None
                                   ? accumulators[rec.hlop].view()
                                   : regionView(*vop.output, rec.region);
-        (*backends_)[rec.device]->execute(info, plan.args, rec.region,
-                                          out_view, plan.seed);
+        common::Status st = (*backends_)[rec.device]->execute(
+            info, plan.args, rec.region, out_view, plan.seed);
+        if (st.ok() || st.code() != common::StatusCode::BackendFailure)
+            return st;
+        for (size_t cand : candidates) {
+            if (cand == rec.device)
+                continue;
+            common::Status retry = (*backends_)[cand]->execute(
+                info, plan.args, rec.region, out_view, plan.seed);
+            if (retry.ok()) {
+                recovered[k] = HlopRecovery{rec.hlop, rec.region,
+                                            rec.device, cand};
+                return {};
+            }
+            if (retry.code() != common::StatusCode::BackendFailure)
+                return retry;
+        }
+        return common::Status::backendFailure(
+            "HLOP faulted on every eligible device (" +
+            std::string(st.message()) + ")");
     };
+    auto record_error = [&](common::Status st) {
+        std::scoped_lock guard(error_lock);
+        if (first_error.ok())
+            first_error = std::move(st);
+        stop.store(true, std::memory_order_release);
+    };
+
     if (in_place) {
-        for (size_t k = 0; k < pending.size(); ++k)
-            run_one(k);
+        for (size_t k = 0; k < pending.size(); ++k) {
+            common::Status st = ctl.check();
+            if (st.ok())
+                st = run_one(k);
+            if (!st.ok()) {
+                record_error(std::move(st));
+                break;
+            }
+        }
     } else {
         common::ThreadPool::forChunks(
             0, pending.size(), 1, [&](size_t lo, size_t hi) {
-                for (size_t k = lo; k < hi; ++k)
-                    run_one(k);
+                if (stop.load(std::memory_order_acquire))
+                    return;
+                common::Status st = ctl.check();
+                for (size_t k = lo; st.ok() && k < hi; ++k)
+                    st = run_one(k);
+                if (!st.ok())
+                    record_error(std::move(st));
             });
     }
+
+    outcome.status = std::move(first_error);
+    if (outcome.status.ok())
+        for (auto &r : recovered)
+            if (r)
+                outcome.recoveries.push_back(*r);
+    return outcome;
 }
 
 } // namespace shmt::core

@@ -18,11 +18,39 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.hh"
 #include "core/dispatch_sim.hh"
 #include "core/plan.hh"
+#include "core/run_types.hh"
 #include "sim/wallclock.hh"
 
 namespace shmt::core {
+
+/** One HLOP whose device faulted and that ran elsewhere instead. */
+struct HlopRecovery
+{
+    size_t hlop = 0;    //!< partition index within the VOp
+    Rect region;        //!< the re-executed region
+    size_t from = 0;    //!< faulting device index
+    size_t to = 0;      //!< device that completed the HLOP
+};
+
+/** Outcome of one VOp's functional execution. */
+struct ExecOutcome
+{
+    /**
+     * Ok, Cancelled/DeadlineExceeded (cooperative stop between
+     * HLOPs), or BackendFailure (an HLOP faulted on every eligible
+     * device). On non-OK the VOp's output must be treated as invalid.
+     */
+    common::Status status;
+    /**
+     * Fault re-dispatches that succeeded, in dispatch order. The
+     * caller charges each recovery on the rescue device's simulated
+     * timeline.
+     */
+    std::vector<HlopRecovery> recoveries;
+};
 
 /** Runs deferred HLOP bodies at each device's native precision. */
 class HlopExecutor
@@ -39,11 +67,19 @@ class HlopExecutor
      * (sized to the final, post-split partition count by the caller);
      * map-style kernels write their region of the plan's output.
      * @p wall, when non-null, accumulates the host wall-clock spent.
+     *
+     * A backend fault (fail-stop: nothing written) re-dispatches the
+     * HLOP to the remaining eligible devices in slot order; only when
+     * every candidate faults does the outcome degrade to
+     * BackendFailure. @p ctl is polled between HLOPs on the serial
+     * (in-place) path and per chunk on the parallel path; a trip
+     * stops cooperatively with Cancelled/DeadlineExceeded.
      */
-    void execute(const VopPlan &plan,
-                 const std::vector<DispatchRecord> &records,
-                 std::vector<Tensor> &accumulators,
-                 sim::HostPhaseStats *wall) const;
+    ExecOutcome execute(const VopPlan &plan,
+                        const std::vector<DispatchRecord> &records,
+                        std::vector<Tensor> &accumulators,
+                        sim::HostPhaseStats *wall,
+                        const ExecControl &ctl = {}) const;
 
   private:
     const std::vector<std::unique_ptr<devices::Backend>> *backends_;

@@ -17,11 +17,40 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hh"
+#include "common/status.hh"
 #include "sim/calibration.hh"
 #include "sim/power.hh"
 #include "sim/wallclock.hh"
 
 namespace shmt::core {
+
+/**
+ * Per-submission execution controls: an absolute deadline and a
+ * client-held cancellation token. Both default to "never fires" and
+ * are polled cooperatively at VOp boundaries, so an unarmed control
+ * costs one branch per VOp on the error-free path.
+ */
+struct ExecControl
+{
+    common::Deadline deadline;
+    common::CancelToken cancel;
+
+    /** Whether any control can actually fire. */
+    bool armed() const { return cancel.armed() || !deadline.infinite(); }
+
+    /** Poll: Cancelled beats DeadlineExceeded; Ok when neither fired. */
+    common::Status
+    check() const
+    {
+        if (cancel.cancelled())
+            return common::Status::cancelled("submission cancelled");
+        if (deadline.expired())
+            return common::Status::deadlineExceeded(
+                "submission deadline passed");
+        return {};
+    }
+};
 
 /** Runtime tuning knobs. */
 struct RuntimeConfig
@@ -197,6 +226,23 @@ struct RunResult
      * the miss counters, which then count the uncached computations.
      */
     CacheStats cache;
+
+    /**
+     * Outcome of the run. Ok means every VOp completed and the outputs
+     * are valid. Cancelled/DeadlineExceeded mean execution stopped
+     * cooperatively at a VOp boundary (outputs of completed VOps are
+     * valid, later ones untouched). BackendFailure means an HLOP
+     * faulted on every eligible device. Timing/stat fields cover
+     * whatever executed before the stop.
+     */
+    common::Status status;
+
+    /**
+     * HLOPs whose assigned device faulted and that were re-dispatched
+     * to another eligible device (charged in simulated time on the
+     * recovery device's timeline). 0 on fault-free runs.
+     */
+    size_t recoveredHlops = 0;
 
     /** Fraction of busy time spent stalled on data exchange
      *  (paper Table 3). */

@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.hh"
 #include "core/graph_scheduler.hh"
+#include "core/validate.hh"
 #include "core/vop_graph.hh"
 
 namespace shmt::core {
@@ -39,12 +40,34 @@ RunResult
 Runtime::run(const VopProgram &program, Policy &policy, bool functional,
              uint64_t base_seed)
 {
+    return run(program, policy, functional, base_seed, ExecControl{});
+}
+
+common::Status
+Runtime::validate(const VopProgram &program) const
+{
+    return validateProgram(program, backends_);
+}
+
+RunResult
+Runtime::run(const VopProgram &program, Policy &policy, bool functional,
+             uint64_t base_seed, const ExecControl &ctl)
+{
     RunResult result;
     result.devices.resize(backends_.size());
     for (size_t d = 0; d < backends_.size(); ++d) {
         result.devices[d].name = std::string(backends_[d]->name());
         result.devices[d].kind = backends_[d]->kind();
     }
+
+    // Entry gate: reject malformed programs (and already-tripped
+    // controls) with a resolved status before touching any pipeline
+    // state — a bad client program must not reach a planner assert.
+    result.status = validate(program);
+    if (result.status.ok() && ctl.armed())
+        result.status = ctl.check();
+    if (!result.status.ok())
+        return result;
 
     // Size the shared host pool once per run; 1 keeps the legacy
     // serial path (the pool then runs every loop inline).
@@ -82,7 +105,8 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
     result.makespanSec = scheduler.execute(
         program, graph, planner, policy, base_seed, functional, mode,
         result, timelines, &producers,
-        config_.planCache ? &dataCache_ : nullptr, trace_, dispatchLog_);
+        config_.planCache ? &dataCache_ : nullptr, trace_, dispatchLog_,
+        ctl);
     for (size_t d = 0; d < backends_.size(); ++d) {
         result.devices[d].busySec = timelines[d].busySeconds();
         result.devices[d].computeSec = timelines[d].computeSeconds();

@@ -73,6 +73,24 @@ class Runtime
                   bool functional, uint64_t base_seed);
 
     /**
+     * run() with per-submission execution controls: the program is
+     * structurally validated up front (InvalidArgument instead of a
+     * planner crash) and @p ctl's deadline/cancellation are polled at
+     * every VOp boundary. Any failure lands in RunResult::status —
+     * this overload never throws for client-input problems.
+     */
+    RunResult run(const VopProgram &program, Policy &policy,
+                  bool functional, uint64_t base_seed,
+                  const ExecControl &ctl);
+
+    /**
+     * Structurally validate @p program against the registered kernels
+     * and this runtime's devices (see validateProgram). Ok when run()
+     * would accept it.
+     */
+    common::Status validate(const VopProgram &program) const;
+
+    /**
      * Execute @p program unpartitioned on the GPU only: the paper's
      * baseline (one optimized kernel invocation per VOp, no SHMT
      * runtime involvement). Internally a degenerate one-device plan

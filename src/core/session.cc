@@ -17,33 +17,71 @@ Session::Session(Runtime &runtime, SessionOptions options)
 
 Session::~Session()
 {
+    // Claim whatever is still queued so no worker picks it up, then
+    // let in-flight programs finish and resolve normally. Orphans are
+    // resolved with Cancelled *after* the join: their tickets are the
+    // highest outstanding (workers pop FIFO), so even fifoCompletion
+    // delivery order is preserved and no promise is ever leaked.
+    std::deque<Pending> orphans;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
+        orphans.swap(queue_);
     }
     cv_.notify_all();
     spaceCv_.notify_all();
     for (std::thread &w : workers_)
         w.join();
+    for (Pending &p : orphans) {
+        RunResult cancelled;
+        cancelled.status = common::Status::cancelled(
+            "session destroyed before execution");
+        p.promise.set_value(std::move(cancelled));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    rejected_ += orphans.size();
 }
 
 std::future<RunResult>
 Session::submit(Submission submission)
 {
     SHMT_ASSERT(submission.policy, "submission without a policy");
+
+    // Reject structurally invalid programs up front with a resolved
+    // future — they never reach the queue, a worker, or the planner's
+    // asserts, and sibling submissions are unaffected.
+    common::Status valid = runtime_->validate(submission.program);
+    auto reject = [this](common::Status st) {
+        std::promise<RunResult> promise;
+        std::future<RunResult> future = promise.get_future();
+        RunResult result;
+        result.status = std::move(st);
+        promise.set_value(std::move(result));
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++rejected_;
+        return future;
+    };
+    if (!valid.ok())
+        return reject(std::move(valid));
+
     Pending pending;
     pending.submission = std::move(submission);
     std::future<RunResult> future = pending.promise.get_future();
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        SHMT_ASSERT(!stopping_, "submit on a stopping session");
-        if (options_.maxQueue > 0) {
+        if (options_.maxQueue > 0 && !stopping_) {
             // Backpressure: block the client until the queue has room
             // (workers free a slot the moment they claim a program).
             spaceCv_.wait(lock, [this] {
                 return stopping_ || queue_.size() < options_.maxQueue;
             });
-            SHMT_ASSERT(!stopping_, "submit on a stopping session");
+        }
+        if (stopping_) {
+            // Racing the destructor: resolve Cancelled instead of
+            // crashing (the historical behavior was an assert).
+            lock.unlock();
+            return reject(common::Status::cancelled(
+                "submit on a stopping session"));
         }
         pending.ticket = nextTicket_++;
         queue_.push_back(std::move(pending));
@@ -63,6 +101,13 @@ Session::submit(VopProgram program, std::unique_ptr<Policy> policy,
     s.functional = functional;
     s.seed = seed;
     return submit(std::move(s));
+}
+
+size_t
+Session::rejectedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
 }
 
 void
@@ -118,13 +163,23 @@ Session::workerLoop()
         const Submission &s = pending.submission;
         const uint64_t seed =
             s.seed.value_or(runtime_->config().seed);
+        ExecControl ctl;
+        ctl.deadline = s.deadline;
+        ctl.cancel = s.cancel;
         RunResult result;
-        std::exception_ptr error;
-        try {
-            result = runtime_->run(s.program, *s.policy, s.functional,
-                                   seed);
-        } catch (...) {
-            error = std::current_exception();
+        // A control that tripped while queued resolves without
+        // touching the pipeline at all.
+        result.status = ctl.check();
+        if (result.status.ok()) {
+            try {
+                result = runtime_->run(s.program, *s.policy,
+                                       s.functional, seed, ctl);
+            } catch (const std::exception &e) {
+                result.status = common::Status::internal(e.what());
+            } catch (...) {
+                result.status = common::Status::internal(
+                    "unknown execution failure");
+            }
         }
 
         {
@@ -144,11 +199,10 @@ Session::workerLoop()
             // delivery order strict (a later future is never observably
             // ready before an earlier one). set_value only stores and
             // notifies — it runs no client code — so this cannot
-            // deadlock.
-            if (error)
-                pending.promise.set_exception(error);
-            else
-                pending.promise.set_value(std::move(result));
+            // deadlock. Failures travel in RunResult::status, never as
+            // a stored exception: one bad program resolves its own
+            // future and nothing else.
+            pending.promise.set_value(std::move(result));
             fifoCv_.notify_all();
             if (queue_.empty() && activeWorkers_ == 0)
                 idleCv_.notify_all();

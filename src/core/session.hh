@@ -47,6 +47,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hh"
+#include "common/status.hh"
 #include "core/policy.hh"
 #include "core/runtime.hh"
 #include "core/vop.hh"
@@ -78,14 +80,24 @@ class Session
         bool functional = true;
         /** Per-program seed base; nullopt = the runtime config seed. */
         std::optional<uint64_t> seed;
+        /** Absolute latency bound; polled at VOp boundaries. Default:
+         *  none. An expired submission resolves DeadlineExceeded. */
+        common::Deadline deadline;
+        /** Client-held kill switch; polled at VOp boundaries. Default:
+         *  unarmed. A cancelled submission resolves Cancelled. */
+        common::CancelToken cancel;
     };
 
     /** Starts the worker pool over @p runtime (not owned; must
      *  outlive the session). */
     explicit Session(Runtime &runtime, SessionOptions options = {});
 
-    /** Drains the queue (every accepted submission still executes),
-     *  then joins the workers. */
+    /**
+     * Stops the workers: in-flight programs finish and resolve
+     * normally, still-queued submissions resolve with Cancelled (no
+     * promise is ever leaked). Call drain() first for the historical
+     * execute-everything shutdown.
+     */
     ~Session();
 
     Session(const Session &) = delete;
@@ -97,6 +109,12 @@ class Session
      * program's RunResult once a worker has executed it. The program's
      * tensors are owned by the caller and must stay alive until the
      * future resolves.
+     *
+     * Never crashes the driver on client input: a structurally invalid
+     * program resolves immediately with InvalidArgument (it is never
+     * enqueued), a submission racing session shutdown resolves with
+     * Cancelled, and execution failures (deadline, cancellation,
+     * unrecovered backend faults) come back in RunResult::status.
      */
     std::future<RunResult> submit(Submission submission);
 
@@ -111,6 +129,10 @@ class Session
 
     /** Programs executed since construction. */
     size_t executedCount() const;
+
+    /** Submissions rejected without execution (invalid program,
+     *  shutdown race, destructor cancellation). */
+    size_t rejectedCount() const;
 
     /** Submissions currently waiting for a worker. */
     size_t queuedCount() const;
@@ -142,6 +164,7 @@ class Session
     bool stopping_ = false;
     size_t activeWorkers_ = 0;         //!< workers mid-program
     size_t executed_ = 0;
+    size_t rejected_ = 0;              //!< resolved without execution
     size_t peakQueue_ = 0;
     uint64_t nextTicket_ = 0;          //!< next submission sequence
     uint64_t nextToComplete_ = 0;      //!< next ticket allowed to finish

@@ -1,15 +1,18 @@
 #include "threaded_executor.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <deque>
 #include <limits>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
 #include "common/thread_pool.hh"
 #include "core/sampling.hh"
 #include "core/vop_graph.hh"
+#include "tensor/dtype.hh"
 
 namespace shmt::core {
 
@@ -145,8 +148,23 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
                                           info.reduceCols);
         }
 
+        // Recovery candidate slots, most-accurate native dtype first —
+        // the same degradation-minimizing order as HlopExecutor.
+        std::vector<size_t> rescue(n_slots);
+        std::iota(rescue.begin(), rescue.end(), size_t{0});
+        std::stable_sort(
+            rescue.begin(), rescue.end(), [&](size_t a, size_t b) {
+                return dtypeLevels(runtime.backend(plan.eligible()[a])
+                                       .nativeDtype()) >
+                       dtypeLevels(runtime.backend(plan.eligible()[b])
+                                       .nativeDtype());
+            });
+
         // One worker per eligible device drains queues concurrently.
         std::vector<std::atomic<size_t>> counts(n_slots);
+        std::atomic<size_t> recovered{0};
+        std::mutex error_lock;
+        common::Status first_error;   // guarded by error_lock
         std::vector<std::thread> workers;
         workers.reserve(n_slots);
         for (size_t sl = 0; sl < n_slots; ++sl) {
@@ -157,15 +175,52 @@ runThreaded(const Runtime &runtime, const VopProgram &program,
                         info.reduce != ReduceKind::None
                             ? accumulators[h].view()
                             : regionView(*vop.output, regions[h]);
-                    runtime.backend(plan.eligible()[sl])
-                        .execute(info, plan.args, regions[h], out,
-                                 plan.seed);
+                    common::Status st =
+                        runtime.backend(plan.eligible()[sl])
+                            .execute(info, plan.args, regions[h], out,
+                                     plan.seed);
+                    // Fail-stop fault: walk the other eligible devices
+                    // before giving up on the HLOP.
+                    if (!st.ok() &&
+                        st.code() ==
+                            common::StatusCode::BackendFailure) {
+                        for (size_t oi = 0; !st.ok() && oi < n_slots;
+                             ++oi) {
+                            const size_t other = rescue[oi];
+                            if (other == sl)
+                                continue;
+                            common::Status retry =
+                                runtime.backend(plan.eligible()[other])
+                                    .execute(info, plan.args,
+                                             regions[h], out,
+                                             plan.seed);
+                            if (retry.ok() ||
+                                retry.code() !=
+                                    common::StatusCode::BackendFailure)
+                                st = std::move(retry);
+                        }
+                        if (st.ok())
+                            recovered.fetch_add(
+                                1, std::memory_order_relaxed);
+                    }
+                    if (!st.ok()) {
+                        std::scoped_lock guard(error_lock);
+                        if (first_error.ok())
+                            first_error = std::move(st);
+                        return;
+                    }
                     counts[sl].fetch_add(1, std::memory_order_relaxed);
                 }
             });
         }
         for (auto &w : workers)
             w.join();
+        result.recoveredHlops +=
+            recovered.load(std::memory_order_relaxed);
+        if (result.status.ok() && !first_error.ok()) {
+            result.status = std::move(first_error);
+            break;   // later VOps would read this VOp's invalid output
+        }
 
         // Aggregation.
         if (info.reduce != ReduceKind::None) {

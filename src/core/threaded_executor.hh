@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/status.hh"
 #include "core/policy.hh"
 #include "core/runtime.hh"
 #include "core/vop.hh"
@@ -30,6 +31,12 @@ struct ThreadedResult
     double wallSeconds = 0.0;           //!< host wall-clock time
     size_t hlopsTotal = 0;
     std::vector<size_t> hlopsPerDevice; //!< executed per worker
+    /** First execution failure (a device fault is first re-dispatched
+     *  to the other eligible workers; only an unrecoverable HLOP
+     *  degrades this to non-OK). */
+    common::Status status;
+    /** HLOPs recovered on another device after a fault. */
+    size_t recoveredHlops = 0;
 };
 
 /**

@@ -1,0 +1,86 @@
+#include "validate.hh"
+
+#include <string>
+
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::core {
+
+namespace {
+
+/** Label for error messages: "VOp #3 ('gaussian')". */
+std::string
+vopLabel(size_t index, const VOp &vop)
+{
+    return "VOp #" + std::to_string(index) + " ('" + vop.opcode + "')";
+}
+
+bool
+fitsRectRange(size_t rows, size_t cols)
+{
+    constexpr size_t kLimit = size_t{1} << 16;
+    return rows < kLimit && cols < kLimit;
+}
+
+} // namespace
+
+common::Status
+validateProgram(const VopProgram &program,
+                const std::vector<std::unique_ptr<devices::Backend>>
+                    &backends)
+{
+    using common::Status;
+    for (size_t i = 0; i < program.ops.size(); ++i) {
+        const VOp &vop = program.ops[i];
+        const kernels::KernelInfo *info =
+            kernels::KernelRegistry::instance().find(vop.opcode);
+        if (!info)
+            return Status::invalidArgument(
+                vopLabel(i, vop) + ": opcode is not registered");
+        if (!vop.output)
+            return Status::invalidArgument(vopLabel(i, vop) +
+                                           ": null output tensor");
+        if (vop.inputs.empty())
+            return Status::invalidArgument(vopLabel(i, vop) +
+                                           ": no input tensors");
+        for (const Tensor *t : vop.inputs)
+            if (!t || t->empty())
+                return Status::invalidArgument(
+                    vopLabel(i, vop) + ": null or empty input tensor");
+        if (info->reduce != kernels::ReduceKind::None) {
+            if (vop.output->rows() != info->reduceRows ||
+                vop.output->cols() != info->reduceCols)
+                return Status::invalidArgument(
+                    vopLabel(i, vop) + ": reduction output must be " +
+                    std::to_string(info->reduceRows) + "x" +
+                    std::to_string(info->reduceCols) + ", got " +
+                    std::to_string(vop.output->rows()) + "x" +
+                    std::to_string(vop.output->cols()));
+        } else if (vop.output->empty()) {
+            return Status::invalidArgument(vopLabel(i, vop) +
+                                           ": empty output tensor");
+        }
+        // The partitioning basis must fit the residency rect key's
+        // 16-bit coordinate fields (the planner asserts this later).
+        const Tensor *basis = info->reduce != kernels::ReduceKind::None
+                                  ? vop.inputs[0]
+                                  : static_cast<const Tensor *>(
+                                        vop.output);
+        if (!fitsRectRange(basis->rows(), basis->cols()))
+            return Status::invalidArgument(
+                vopLabel(i, vop) +
+                ": shape exceeds the 2^16 coordinate range");
+        bool supported = false;
+        for (const auto &bk : backends)
+            if (bk->supports(*info)) {
+                supported = true;
+                break;
+            }
+        if (!supported)
+            return Status::invalidArgument(
+                vopLabel(i, vop) + ": no device supports this opcode");
+    }
+    return {};
+}
+
+} // namespace shmt::core

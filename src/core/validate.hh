@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural program validation.
+ *
+ * Before this existed, a malformed VopProgram (null output, empty
+ * input, opcode nobody registered, reduction into a wrong-shaped
+ * tensor) died deep inside the Planner on an assert — fine for a test
+ * harness, unacceptable for a serving entry point where one bad
+ * client program must not take the process down. validateProgram runs
+ * the same structural checks the planner would hit, up front, and
+ * reports InvalidArgument so Session::submit / Runtime::run can
+ * reject the submission with a resolved error instead of crashing.
+ */
+
+#ifndef SHMT_CORE_VALIDATE_HH
+#define SHMT_CORE_VALIDATE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/status.hh"
+#include "devices/backend.hh"
+#include "core/vop.hh"
+
+namespace shmt::core {
+
+/**
+ * Check @p program's structure against the registered kernels and
+ * @p backends: every VOp must name a registered opcode, have a
+ * non-null output and at least one non-empty input, match the
+ * kernel's declared reduction shape, fit the 2^16 coordinate range,
+ * and be executable by at least one backend. Returns InvalidArgument
+ * naming the first offending VOp, Ok otherwise.
+ */
+common::Status
+validateProgram(const VopProgram &program,
+                const std::vector<std::unique_ptr<devices::Backend>>
+                    &backends);
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_VALIDATE_HH

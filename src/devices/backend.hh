@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.hh"
 #include "kernels/kernel_registry.hh"
 #include "npu/npu_model.hh"
 #include "sim/calibration.hh"
@@ -50,11 +51,17 @@ class Backend
      * Execute one HLOP: compute @p region of @p info's kernel from
      * @p args into @p out, at this device's precision. @p seed makes
      * stochastic approximation (NPU models) deterministic.
+     *
+     * Fallible: a non-OK Status means the device could not run the
+     * HLOP (unsupported opcode, injected hardware fault). The failure
+     * contract is fail-stop — on error the backend has written nothing
+     * into @p out, so the runtime may re-dispatch the same region to
+     * another eligible device.
      */
-    virtual void execute(const kernels::KernelInfo &info,
-                         const kernels::KernelArgs &args,
-                         const Rect &region, TensorView out,
-                         uint64_t seed) const = 0;
+    virtual common::Status execute(const kernels::KernelInfo &info,
+                                   const kernels::KernelArgs &args,
+                                   const Rect &region, TensorView out,
+                                   uint64_t seed) const = 0;
 
     /**
      * Bytes per element this device stages across the interconnect

@@ -29,11 +29,12 @@ class ExactBackend : public Backend
         return true;
     }
 
-    void
+    common::Status
     execute(const KernelInfo &info, const KernelArgs &args,
             const Rect &region, TensorView out, uint64_t) const override
     {
         info.body(args.hostSimd)(args, region, out);
+        return {};
     }
 
     size_t
@@ -73,11 +74,12 @@ class TpuBackend : public Backend
         return true;
     }
 
-    void
+    common::Status
     execute(const KernelInfo &info, const KernelArgs &args,
             const Rect &region, TensorView out, uint64_t seed) const override
     {
         executor_.run(info, args, region, out, seed);
+        return {};
     }
 
     size_t
@@ -118,12 +120,13 @@ class DspBackend : public Backend
         return rec && rec->dspRatio > 0.0;
     }
 
-    void
+    common::Status
     execute(const KernelInfo &info, const KernelArgs &args,
             const Rect &region, TensorView out, uint64_t) const override
     {
-        SHMT_ASSERT(supports(info), "DSP cannot execute '", info.opcode,
-                    "'");
+        if (!supports(info))
+            return common::Status::invalidArgument(
+                "DSP cannot execute '" + std::string(info.opcode) + "'");
         // Stage FP16 copies of the input region (plus halo) and run
         // the kernel on them; round the output to FP16 as well.
         const auto &first = args.input(0);
@@ -184,6 +187,7 @@ class DspBackend : public Backend
                        region.cols};
         info.body(args.hostSimd)(staged, adj, out);
         fakeQuantizeFp16(ConstTensorView(out), out, args.hostSimd);
+        return {};
     }
 
     size_t

@@ -1,0 +1,161 @@
+#include "fault_injection.hh"
+
+#include <cstdlib>
+
+#include "common/random.hh"
+
+namespace shmt::devices {
+
+namespace {
+
+/** Decorator failing a deterministic fraction of executions. */
+class FaultInjectingBackend : public Backend
+{
+  public:
+    FaultInjectingBackend(std::unique_ptr<Backend> inner, double rate,
+                          uint64_t salt)
+        : inner_(std::move(inner)), rate_(rate), salt_(salt)
+    {}
+
+    sim::DeviceKind kind() const override { return inner_->kind(); }
+    std::string_view name() const override { return inner_->name(); }
+    DType nativeDtype() const override { return inner_->nativeDtype(); }
+
+    bool
+    supports(const kernels::KernelInfo &info) const override
+    {
+        return inner_->supports(info);
+    }
+
+    common::Status
+    execute(const kernels::KernelInfo &info,
+            const kernels::KernelArgs &args, const Rect &region,
+            TensorView out, uint64_t seed) const override
+    {
+        if (shouldFault(region, seed))
+            return common::Status::backendFailure(
+                "injected fault on " + std::string(name()) + " ('" +
+                info.opcode + "')");
+        return inner_->execute(info, args, region, out, seed);
+    }
+
+    size_t
+    stagingBytesPerElement() const override
+    {
+        return inner_->stagingBytesPerElement();
+    }
+
+  private:
+    /**
+     * Deterministic per-HLOP fault decision: a pure hash of the device
+     * salt, the run seed and the HLOP's region. Re-dispatch of the
+     * same region to a *different* device (different salt) rolls an
+     * independent decision, and repeating a run reproduces the exact
+     * fault set.
+     */
+    bool
+    shouldFault(const Rect &region, uint64_t seed) const
+    {
+        if (rate_ <= 0.0)
+            return false;
+        if (rate_ >= 1.0)
+            return true;
+        uint64_t h = hashMix(salt_ ^ 0xFA01'7B0CULL);
+        h = hashMix(h ^ seed);
+        h = hashMix(h ^ (uint64_t(region.row0) << 32 | region.col0));
+        h = hashMix(h ^ (uint64_t(region.rows) << 32 | region.cols));
+        const double u = double(h >> 11) * 0x1.0p-53;
+        return u < rate_;
+    }
+
+    std::unique_ptr<Backend> inner_;
+    double rate_;
+    uint64_t salt_;
+};
+
+/** Whether @p clause names @p bk (exact name or kind alias). */
+bool
+matches(const std::string &clause, const Backend &bk)
+{
+    if (clause == bk.name())
+        return true;
+    switch (bk.kind()) {
+      case sim::DeviceKind::Gpu:
+        return clause == "gpu";
+      case sim::DeviceKind::EdgeTpu:
+        return clause == "tpu" || clause == "npu" || clause == "edgetpu";
+      case sim::DeviceKind::Cpu:
+        return clause == "cpu";
+      case sim::DeviceKind::Dsp:
+        return clause == "dsp";
+    }
+    return false;
+}
+
+} // namespace
+
+common::StatusOr<std::vector<FaultSpec>>
+parseFaultSpecs(std::string_view spec)
+{
+    std::vector<FaultSpec> out;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = spec.size();
+        const std::string_view clause = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (clause.empty())
+            continue;
+        const size_t colon = clause.rfind(':');
+        if (colon == std::string_view::npos || colon == 0 ||
+            colon + 1 >= clause.size())
+            return common::Status::invalidArgument(
+                "fault spec clause '" + std::string(clause) +
+                "' is not <backend:rate>");
+        FaultSpec fs;
+        fs.backend = std::string(clause.substr(0, colon));
+        const std::string rate_str(clause.substr(colon + 1));
+        char *end = nullptr;
+        fs.rate = std::strtod(rate_str.c_str(), &end);
+        if (end == rate_str.c_str() || *end != '\0' || fs.rate < 0.0 ||
+            fs.rate > 1.0)
+            return common::Status::invalidArgument(
+                "fault rate '" + rate_str + "' must be in [0, 1]");
+        out.push_back(std::move(fs));
+    }
+    return out;
+}
+
+std::unique_ptr<Backend>
+makeFaultInjectingBackend(std::unique_ptr<Backend> inner, double rate,
+                          uint64_t salt)
+{
+    return std::make_unique<FaultInjectingBackend>(std::move(inner),
+                                                   rate, salt);
+}
+
+common::Status
+injectFaults(std::vector<std::unique_ptr<Backend>> &backends,
+             const std::vector<FaultSpec> &specs)
+{
+    for (const FaultSpec &fs : specs) {
+        bool matched = false;
+        for (size_t i = 0; i < backends.size(); ++i) {
+            if (!matches(fs.backend, *backends[i]))
+                continue;
+            matched = true;
+            // Salt by device index so two wrapped devices make
+            // independent fault decisions for the same region.
+            backends[i] = makeFaultInjectingBackend(
+                std::move(backends[i]), fs.rate, i + 1);
+        }
+        if (!matched)
+            return common::Status::invalidArgument(
+                "fault spec backend '" + fs.backend +
+                "' matches no device");
+    }
+    return {};
+}
+
+} // namespace shmt::devices

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Configurable fail-stop fault injection for device backends.
+ *
+ * A FaultInjectingBackend wraps a real Backend and makes a
+ * deterministic per-HLOP decision to fail instead of executing
+ * (`shmtbench --inject-faults=<backend:rate>[,...]`). The decision is
+ * a pure hash of (salt, seed, region), so a given run configuration
+ * always faults the same HLOPs — recovery tests are reproducible and
+ * the no-fault reference for a recovered run is well defined.
+ *
+ * The failure model is fail-stop: a faulting execute() writes nothing
+ * into the output view and returns BackendFailure, so the runtime can
+ * re-dispatch the exact same region to another eligible device without
+ * any cleanup.
+ */
+
+#ifndef SHMT_DEVICES_FAULT_INJECTION_HH
+#define SHMT_DEVICES_FAULT_INJECTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "devices/backend.hh"
+
+namespace shmt::devices {
+
+/** One `backend:rate` clause of an --inject-faults spec. */
+struct FaultSpec
+{
+    /**
+     * Which backend to wrap: an exact device name ("gpu0", "edgetpu0",
+     * "cpu0", "dsp0") or a kind alias ("gpu", "tpu" / "npu" /
+     * "edgetpu", "cpu", "dsp") matching every device of that kind.
+     */
+    std::string backend;
+    /** Probability in [0, 1] that one HLOP execution faults. */
+    double rate = 0.0;
+};
+
+/**
+ * Parse a comma-separated "<backend:rate>[,...]" spec. Returns
+ * InvalidArgument on malformed clauses or rates outside [0, 1].
+ */
+common::StatusOr<std::vector<FaultSpec>>
+parseFaultSpecs(std::string_view spec);
+
+/**
+ * Wrap an already-constructed backend so a deterministic @p rate
+ * fraction of its HLOP executions fail with BackendFailure before
+ * touching the output. @p salt decorrelates multiple wrapped devices.
+ */
+std::unique_ptr<Backend>
+makeFaultInjectingBackend(std::unique_ptr<Backend> inner, double rate,
+                          uint64_t salt = 0);
+
+/**
+ * Apply @p specs to a device set in place, wrapping each matching
+ * backend. Returns InvalidArgument when a clause matches no device.
+ */
+common::Status
+injectFaults(std::vector<std::unique_ptr<Backend>> &backends,
+             const std::vector<FaultSpec> &specs);
+
+} // namespace shmt::devices
+
+#endif // SHMT_DEVICES_FAULT_INJECTION_HH

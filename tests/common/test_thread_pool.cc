@@ -161,6 +161,54 @@ TEST(ThreadPool, ExceptionPropagatesToCaller)
     EXPECT_EQ(total.load(), 100u);
 }
 
+TEST(ThreadPool, ThrowingSubmittedTaskSparesSiblings)
+{
+    // A throwing submit()-task must not std::terminate the process or
+    // poison sibling tasks: the pool captures the first exception and
+    // hands it to whoever asks via takeError().
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&ran, i] {
+            if (i == 5)
+                throw std::runtime_error("task 5 failed");
+            ran.fetch_add(1);
+        });
+    pool.drain();  // must NOT throw: the pool outlives any one program
+    EXPECT_EQ(ran.load(), 15);
+
+    const std::exception_ptr err = pool.takeError();
+    ASSERT_TRUE(err);
+    try {
+        std::rethrow_exception(err);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 5 failed");
+    }
+    // Retrieve-and-clear: the error is reported exactly once.
+    EXPECT_FALSE(pool.takeError());
+
+    // The pool stays fully usable afterwards.
+    std::atomic<int> again{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&again] { again.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(again.load(), 8);
+    EXPECT_FALSE(pool.takeError());
+}
+
+TEST(ThreadPool, SerialPoolStillThrowsInline)
+{
+    // Inline (single-lane) submission keeps direct propagation: the
+    // caller is on the same stack, so the exception reaches it
+    // immediately rather than via takeError().
+    ThreadPool pool(1);
+    EXPECT_THROW(
+        pool.submit([] { throw std::runtime_error("inline"); }),
+        std::runtime_error);
+    EXPECT_FALSE(pool.takeError());
+}
+
 TEST(ThreadPool, TaskSeedMatchesLegacyDerivation)
 {
     // The runtime historically derived per-partition seeds as

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Failure-domain tests: Status propagation, deadlines/cancellation,
+ * and fault-tolerant HLOP re-dispatch.
+ *
+ * The contract under test is that every client-visible failure travels
+ * as a Status in RunResult (never a crash, never a poisoned sibling):
+ *
+ *  - a structurally invalid program is rejected with InvalidArgument
+ *    at submission, before any execution;
+ *  - a fired CancelToken / expired Deadline stops the program
+ *    cooperatively at a VOp boundary with Cancelled/DeadlineExceeded;
+ *  - an injected fail-stop device fault re-dispatches the HLOP to the
+ *    most accurate surviving eligible device — GPU faults recover on
+ *    the exact-FP32 CPU, so the recovered run is byte-identical to the
+ *    no-fault reference — and degrades to BackendFailure only when no
+ *    eligible device remains;
+ *  - destroying a Session resolves still-queued submissions with
+ *    Cancelled instead of leaking their promises.
+ *
+ * Registered under the `tsan` ctest label: the cancellation and
+ * racing-destruction tests are exactly the paths a data race would
+ * corrupt silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/cancel.hh"
+#include "common/status.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "core/session.hh"
+#include "devices/backend.hh"
+#include "devices/fault_injection.hh"
+#include "kernels/kernel_registry.hh"
+
+namespace shmt::core {
+namespace {
+
+using apps::makeBenchmark;
+using apps::makePrototypeRuntime;
+using common::Status;
+using common::StatusCode;
+
+/** Copy @p t's payload row-by-row (respects the view stride). */
+std::vector<float>
+tensorBytes(const Tensor &t)
+{
+    const ConstTensorView v = t.view();
+    std::vector<float> out(v.size());
+    for (size_t row = 0; row < v.rows(); ++row)
+        std::memcpy(out.data() + row * v.cols(), v.row(row),
+                    v.cols() * sizeof(float));
+    return out;
+}
+
+/**
+ * A gpu+tpu+cpu runtime with the given --inject-faults spec applied
+ * ("" = no faults). GPU and CPU are both exact FP32, so a GPU HLOP
+ * recovered on the CPU reproduces the no-fault bytes bit-for-bit.
+ */
+Runtime
+makeFaultyRuntime(const std::string &spec, RuntimeConfig config = {})
+{
+    auto backends = devices::makePrototypeBackends(
+        kernels::KernelRegistry::instance(), sim::defaultCalibration(),
+        /*include_cpu=*/true);
+    if (!spec.empty()) {
+        auto specs = devices::parseFaultSpecs(spec);
+        EXPECT_TRUE(specs.ok()) << specs.status().toString();
+        const Status st = devices::injectFaults(backends, specs.value());
+        EXPECT_TRUE(st.ok()) << st.toString();
+    }
+    return Runtime(std::move(backends), sim::defaultCalibration(),
+                   config);
+}
+
+TEST(FaultSpecs, ParseAcceptsAndRejects)
+{
+    auto ok = devices::parseFaultSpecs("gpu:1.0,npu:0.25");
+    ASSERT_TRUE(ok.ok());
+    ASSERT_EQ(ok.value().size(), 2u);
+    EXPECT_EQ(ok.value()[0].backend, "gpu");
+    EXPECT_DOUBLE_EQ(ok.value()[0].rate, 1.0);
+    EXPECT_EQ(ok.value()[1].backend, "npu");
+    EXPECT_DOUBLE_EQ(ok.value()[1].rate, 0.25);
+
+    // Empty clauses are skipped, not errors ("gpu:0.5," round-trips).
+    auto lax = devices::parseFaultSpecs("gpu:0.5,");
+    ASSERT_TRUE(lax.ok());
+    EXPECT_EQ(lax.value().size(), 1u);
+
+    for (const char *bad :
+         {"gpu", "gpu:", ":0.5", "gpu:1.5", "gpu:-0.1"}) {
+        auto r = devices::parseFaultSpecs(bad);
+        EXPECT_FALSE(r.ok()) << "'" << bad << "' parsed";
+        EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument)
+            << bad;
+    }
+}
+
+TEST(FaultSpecs, InjectRequiresAMatchingDevice)
+{
+    auto backends = devices::makePrototypeBackends(
+        kernels::KernelRegistry::instance(), sim::defaultCalibration());
+    auto specs = devices::parseFaultSpecs("dsp:0.5");
+    ASSERT_TRUE(specs.ok());
+    // No DSP in the prototype set: the clause must be an error, not a
+    // silent no-op that would make a fault campaign vacuously green.
+    const Status st = devices::injectFaults(backends, specs.value());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+}
+
+TEST(Faults, InvalidProgramRejectedAtSubmitWithoutExecution)
+{
+    auto rt = makePrototypeRuntime();
+    Session session(rt);
+
+    Tensor in(64, 64, 1.0f);
+    VopProgram bad;
+    bad.name = "bad";
+    VOp op;
+    op.opcode = "sobel";
+    op.inputs = {&in};
+    op.output = nullptr;   // structurally invalid
+    bad.ops.push_back(std::move(op));
+
+    std::future<RunResult> f =
+        session.submit(bad, makePolicy("qaws-ts"));
+    // Rejected before enqueue: the future is already resolved.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const RunResult r = f.get();
+    EXPECT_EQ(r.status.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(r.status.message().find("null output"),
+              std::string::npos)
+        << r.status.toString();
+    EXPECT_EQ(r.hlopsTotal, 0u);
+    EXPECT_EQ(session.rejectedCount(), 1u);
+    EXPECT_EQ(session.executedCount(), 0u);
+
+    // The driver survives bad input: a valid program still serves.
+    auto bench = makeBenchmark("sobel", 128, 128);
+    const RunResult good =
+        session.submit(bench->program(), makePolicy("qaws-ts")).get();
+    EXPECT_TRUE(good.status.ok()) << good.status.toString();
+    EXPECT_GT(good.makespanSec, 0.0);
+}
+
+TEST(Faults, UnknownOpcodeRejectedViaSession)
+{
+    auto rt = makePrototypeRuntime();
+    Session session(rt);
+    Tensor in(32, 32, 1.0f), out(32, 32);
+    VopProgram bad;
+    VOp op;
+    op.opcode = "definitely-not-registered";
+    op.inputs = {&in};
+    op.output = &out;
+    bad.ops.push_back(std::move(op));
+    const RunResult r =
+        session.submit(bad, makePolicy("even")).get();
+    EXPECT_EQ(r.status.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(r.status.message().find("not registered"),
+              std::string::npos)
+        << r.status.toString();
+    EXPECT_EQ(session.rejectedCount(), 1u);
+}
+
+TEST(Faults, PreCancelledSubmissionResolvesCancelled)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("srad", 256, 256);
+    auto policy = makePolicy("qaws-ts");
+    common::CancelSource src;
+    src.cancel();
+    ExecControl ctl;
+    ctl.cancel = src.token();
+    const RunResult r = rt.run(bench->program(), *policy,
+                               /*functional=*/true,
+                               rt.config().seed, ctl);
+    EXPECT_EQ(r.status.code(), StatusCode::Cancelled);
+    EXPECT_EQ(r.hlopsTotal, 0u);   // stopped at the entry gate
+}
+
+TEST(Faults, MidGraphCancellationStopsCooperatively)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("srad", 512, 512);
+    auto policy = makePolicy("qaws-ts");
+    common::CancelSource src;
+    ExecControl ctl;
+    ctl.cancel = src.token();
+    // Fire mid-run: srad at 512^2 is far slower than 1 ms of host
+    // wall, so the coordinator is between VOp boundaries when the
+    // token trips.
+    std::thread killer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        src.cancel();
+    });
+    const RunResult r = rt.run(bench->program(), *policy,
+                               /*functional=*/true,
+                               rt.config().seed, ctl);
+    killer.join();
+    EXPECT_EQ(r.status.code(), StatusCode::Cancelled)
+        << r.status.toString();
+
+    // Cancellation poisons nothing: the same runtime still serves an
+    // error-free run afterwards.
+    auto again = makeBenchmark("srad", 256, 256);
+    const RunResult r2 = rt.run(again->program(), *policy);
+    EXPECT_TRUE(r2.status.ok()) << r2.status.toString();
+    EXPECT_GT(r2.makespanSec, 0.0);
+}
+
+TEST(Faults, DeadlineExpiryUnderWorkerSessions)
+{
+    // Expired deadlines resolve DeadlineExceeded while same-session
+    // siblings without a deadline stay byte-identical to the
+    // standalone reference, under both 2- and 4-worker sessions.
+    RuntimeConfig ref_cfg;
+    ref_cfg.planCache = false;
+    auto ref_rt = makePrototypeRuntime(ref_cfg);
+    auto ref_bench = makeBenchmark("sobel", 256, 256);
+    auto ref_policy = makePolicy("qaws-ts");
+    const RunResult ref = ref_rt.run(ref_bench->program(), *ref_policy);
+    const std::vector<float> ref_out = tensorBytes(ref_bench->output());
+
+    for (const size_t workers : {size_t{2}, size_t{4}}) {
+        auto rt = makePrototypeRuntime();
+        SessionOptions sopts;
+        sopts.workers = workers;
+        Session session(rt, sopts);
+
+        constexpr size_t kEach = 3;
+        std::vector<std::unique_ptr<apps::Benchmark>> doomed, healthy;
+        std::vector<std::future<RunResult>> doomed_f, healthy_f;
+        for (size_t i = 0; i < kEach; ++i) {
+            doomed.push_back(makeBenchmark("sobel", 256, 256));
+            Session::Submission sub;
+            sub.program = doomed.back()->program();
+            sub.policy = makePolicy("qaws-ts");
+            sub.deadline = common::Deadline::afterMillis(-1);
+            doomed_f.push_back(session.submit(std::move(sub)));
+
+            healthy.push_back(makeBenchmark("sobel", 256, 256));
+            healthy_f.push_back(session.submit(
+                healthy.back()->program(), makePolicy("qaws-ts")));
+        }
+        for (auto &f : doomed_f) {
+            const RunResult r = f.get();
+            EXPECT_EQ(r.status.code(), StatusCode::DeadlineExceeded)
+                << "workers=" << workers << ": "
+                << r.status.toString();
+        }
+        for (size_t i = 0; i < kEach; ++i) {
+            const RunResult r = healthy_f[i].get();
+            EXPECT_TRUE(r.status.ok()) << r.status.toString();
+            EXPECT_EQ(r.makespanSec, ref.makespanSec)
+                << "workers=" << workers;
+            const std::vector<float> out =
+                tensorBytes(healthy[i]->output());
+            ASSERT_EQ(out.size(), ref_out.size());
+            EXPECT_EQ(std::memcmp(out.data(), ref_out.data(),
+                                  out.size() * sizeof(float)),
+                      0)
+                << "workers=" << workers << " program " << i;
+        }
+    }
+}
+
+TEST(Faults, MidRunDeadlineStopsAtAVopBoundary)
+{
+    auto rt = makePrototypeRuntime();
+    auto bench = makeBenchmark("srad", 512, 512);
+    auto policy = makePolicy("qaws-ts");
+    ExecControl ctl;
+    // Passes the entry gate, expires while the (much slower) program
+    // is mid-graph.
+    ctl.deadline = common::Deadline::afterMillis(1);
+    const RunResult r = rt.run(bench->program(), *policy,
+                               /*functional=*/true,
+                               rt.config().seed, ctl);
+    EXPECT_EQ(r.status.code(), StatusCode::DeadlineExceeded)
+        << r.status.toString();
+}
+
+TEST(Faults, GpuFaultsRecoverBitIdenticallyOnTheCpu)
+{
+    // Every GPU HLOP faults (rate 1.0); re-dispatch prefers the most
+    // accurate surviving device — the exact-FP32 CPU — so the
+    // recovered outputs must equal the no-fault reference bytes, and
+    // the recovery compute must be charged in simulated time.
+    for (const char *bench_name : {"sobel", "srad"}) {
+        auto ref_rt = makeFaultyRuntime("");
+        auto ref_bench = makeBenchmark(bench_name, 256, 256);
+        auto ref_policy = makePolicy("qaws-ts");
+        const RunResult ref =
+            ref_rt.run(ref_bench->program(), *ref_policy);
+        ASSERT_TRUE(ref.status.ok()) << ref.status.toString();
+        const std::vector<float> ref_out =
+            tensorBytes(ref_bench->output());
+
+        auto rt = makeFaultyRuntime("gpu:1.0");
+        auto bench = makeBenchmark(bench_name, 256, 256);
+        auto policy = makePolicy("qaws-ts");
+        const RunResult r = rt.run(bench->program(), *policy);
+        EXPECT_TRUE(r.status.ok())
+            << bench_name << ": " << r.status.toString();
+        EXPECT_GT(r.recoveredHlops, 0u) << bench_name;
+        EXPECT_EQ(r.hlopsTotal, ref.hlopsTotal) << bench_name;
+        // Recoveries are charged after the fault, so the simulated
+        // makespan strictly grows versus the no-fault schedule.
+        EXPECT_GT(r.makespanSec, ref.makespanSec) << bench_name;
+
+        const std::vector<float> out = tensorBytes(bench->output());
+        ASSERT_EQ(out.size(), ref_out.size()) << bench_name;
+        EXPECT_EQ(std::memcmp(out.data(), ref_out.data(),
+                              out.size() * sizeof(float)),
+                  0)
+            << bench_name << ": recovered bytes diverge";
+    }
+}
+
+TEST(Faults, PartialNpuFaultsRecoverToCompletion)
+{
+    // A flaky NPU (50% fault rate): every faulted HLOP must land on a
+    // surviving device and the run completes OK. (Recovered HLOPs run
+    // FP32 instead of INT8, so no bit-check against the no-fault
+    // reference — only against a second identically-faulted run,
+    // pinning that the fault pattern is deterministic.)
+    auto rt = makeFaultyRuntime("npu:0.5");
+    auto bench = makeBenchmark("sobel", 256, 256);
+    auto policy = makePolicy("qaws-ts");
+    const RunResult r = rt.run(bench->program(), *policy);
+    EXPECT_TRUE(r.status.ok()) << r.status.toString();
+    EXPECT_GT(r.recoveredHlops, 0u);
+    const std::vector<float> out = tensorBytes(bench->output());
+
+    auto rt2 = makeFaultyRuntime("npu:0.5");
+    auto bench2 = makeBenchmark("sobel", 256, 256);
+    const RunResult r2 = rt2.run(bench2->program(), *policy);
+    ASSERT_TRUE(r2.status.ok()) << r2.status.toString();
+    EXPECT_EQ(r2.recoveredHlops, r.recoveredHlops);
+    const std::vector<float> out2 = tensorBytes(bench2->output());
+    ASSERT_EQ(out.size(), out2.size());
+    EXPECT_EQ(std::memcmp(out.data(), out2.data(),
+                          out.size() * sizeof(float)),
+              0);
+}
+
+TEST(Faults, AllDevicesFaultedDegradesToBackendFailure)
+{
+    auto rt = makeFaultyRuntime("gpu:1.0,npu:1.0,cpu:1.0");
+    auto bench = makeBenchmark("sobel", 256, 256);
+    auto policy = makePolicy("qaws-ts");
+    const RunResult r = rt.run(bench->program(), *policy);
+    EXPECT_EQ(r.status.code(), StatusCode::BackendFailure)
+        << r.status.toString();
+    EXPECT_NE(r.status.message().find("every eligible device"),
+              std::string::npos)
+        << r.status.toString();
+
+    // The failure is contained to the program: a healthy runtime in
+    // the same process still serves.
+    auto healthy = makeFaultyRuntime("");
+    auto bench2 = makeBenchmark("sobel", 256, 256);
+    const RunResult r2 = rt.run(bench2->program(), *policy),
+                    r3 = healthy.run(bench2->program(), *policy);
+    EXPECT_EQ(r2.status.code(), StatusCode::BackendFailure);
+    EXPECT_TRUE(r3.status.ok()) << r3.status.toString();
+}
+
+TEST(Faults, FaultedRunsThroughWorkerSessionsCarryStatuses)
+{
+    // Fault campaigns through the serving layer: 2- and 4-worker
+    // sessions over a gpu-faulted runtime — every future resolves with
+    // an OK-and-recovered result identical to the standalone faulted
+    // run; no worker dies and no promise leaks.
+    auto standalone_rt = makeFaultyRuntime("gpu:1.0");
+    auto standalone_bench = makeBenchmark("sobel", 256, 256);
+    auto standalone_policy = makePolicy("qaws-ts");
+    const RunResult standalone = standalone_rt.run(
+        standalone_bench->program(), *standalone_policy);
+    ASSERT_TRUE(standalone.status.ok()) << standalone.status.toString();
+    ASSERT_GT(standalone.recoveredHlops, 0u);
+    const std::vector<float> standalone_out =
+        tensorBytes(standalone_bench->output());
+
+    for (const size_t workers : {size_t{2}, size_t{4}}) {
+        auto rt = makeFaultyRuntime("gpu:1.0");
+        SessionOptions sopts;
+        sopts.workers = workers;
+        Session session(rt, sopts);
+        constexpr size_t kPrograms = 4;
+        std::vector<std::unique_ptr<apps::Benchmark>> benches;
+        std::vector<std::future<RunResult>> futures;
+        for (size_t i = 0; i < kPrograms; ++i) {
+            benches.push_back(makeBenchmark("sobel", 256, 256));
+            futures.push_back(session.submit(benches[i]->program(),
+                                             makePolicy("qaws-ts")));
+        }
+        for (size_t i = 0; i < kPrograms; ++i) {
+            const RunResult r = futures[i].get();
+            EXPECT_TRUE(r.status.ok())
+                << "workers=" << workers << ": "
+                << r.status.toString();
+            EXPECT_EQ(r.recoveredHlops, standalone.recoveredHlops)
+                << "workers=" << workers;
+            EXPECT_EQ(r.makespanSec, standalone.makespanSec)
+                << "workers=" << workers;
+            const std::vector<float> out =
+                tensorBytes(benches[i]->output());
+            ASSERT_EQ(out.size(), standalone_out.size());
+            EXPECT_EQ(std::memcmp(out.data(), standalone_out.data(),
+                                  out.size() * sizeof(float)),
+                      0)
+                << "workers=" << workers << " program " << i;
+        }
+        EXPECT_EQ(session.executedCount(), kPrograms);
+    }
+}
+
+TEST(Faults, SessionDestructionCancelsQueuedSubmissionsWithoutLeaks)
+{
+    // Race a prompt destructor against a deep queue on one worker:
+    // every future must resolve — executed ones normally, orphaned
+    // ones with Cancelled — and executed + rejected must account for
+    // every submission. The head submission is a long program (srad at
+    // 512^2), the tail tiny ones: queuing the tail takes far less time
+    // than the head's execution, so the destructor deterministically
+    // finds a deep queue to orphan while the head is in flight.
+    for (int round = 0; round < 3; ++round) {
+        auto rt = makePrototypeRuntime();
+        constexpr size_t kTail = 7;
+        std::vector<std::unique_ptr<apps::Benchmark>> benches;
+        std::vector<std::future<RunResult>> futures;
+        {
+            Session session(rt);   // 1 worker
+            benches.push_back(makeBenchmark("srad", 512, 512));
+            futures.push_back(session.submit(benches[0]->program(),
+                                             makePolicy("qaws-ts")));
+            for (size_t i = 0; i < kTail; ++i) {
+                benches.push_back(makeBenchmark("sobel", 64, 64));
+                futures.push_back(session.submit(
+                    benches.back()->program(), makePolicy("qaws-ts")));
+            }
+            // Wait for the worker to pop the head (the queue drops to
+            // the tail count), so destruction races a live program.
+            while (session.queuedCount() > kTail)
+                std::this_thread::yield();
+        }   // destroyed with the head still running
+        size_t ok = 0, cancelled = 0;
+        for (auto &f : futures) {
+            ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                      std::future_status::ready)
+                << "a promise leaked";
+            const RunResult r = f.get();   // must not throw
+            if (r.status.ok()) {
+                ++ok;
+                EXPECT_GT(r.makespanSec, 0.0);
+            } else {
+                EXPECT_EQ(r.status.code(), StatusCode::Cancelled)
+                    << r.status.toString();
+                ++cancelled;
+            }
+        }
+        EXPECT_EQ(ok + cancelled, kTail + 1);
+        EXPECT_GE(cancelled, 1u);
+        // The in-flight head finishes and resolves normally.
+        EXPECT_GE(ok, 1u);
+    }
+}
+
+} // namespace
+} // namespace shmt::core

@@ -284,8 +284,10 @@ TEST(Runtime, EnergyReflectsBothDevices)
     EXPECT_LT(shmt.energy.totalEnergyJ, base.energy.totalEnergyJ);
 }
 
-TEST(RuntimeDeath, MissingOutputPanics)
+TEST(Runtime, MissingOutputRejectedWithInvalidArgument)
 {
+    // A malformed program is a client error: run() reports
+    // InvalidArgument up front instead of dying in the planner.
     Runtime rt = makeRuntime();
     Tensor in(64, 64, 1.0f);
     VopProgram program;
@@ -294,10 +296,14 @@ TEST(RuntimeDeath, MissingOutputPanics)
     vop.inputs = {&in};
     program.ops.push_back(std::move(vop));
     auto policy = makeWorkStealingPolicy();
-    EXPECT_DEATH(rt.run(program, *policy), "has no output");
+    const RunResult r = rt.run(program, *policy);
+    EXPECT_EQ(r.status.code(), common::StatusCode::InvalidArgument);
+    EXPECT_NE(r.status.message().find("null output"),
+              std::string::npos);
+    EXPECT_EQ(r.hlopsTotal, 0u);
 }
 
-TEST(RuntimeDeath, WrongReductionShapePanics)
+TEST(Runtime, WrongReductionShapeRejectedWithInvalidArgument)
 {
     Runtime rt = makeRuntime();
     Tensor in(64, 64, 1.0f);
@@ -310,7 +316,28 @@ TEST(RuntimeDeath, WrongReductionShapePanics)
     vop.scalars = {0.0f, 1.0f};
     program.ops.push_back(std::move(vop));
     auto policy = makeWorkStealingPolicy();
-    EXPECT_DEATH(rt.run(program, *policy), "output must be");
+    const RunResult r = rt.run(program, *policy);
+    EXPECT_EQ(r.status.code(), common::StatusCode::InvalidArgument);
+    EXPECT_NE(r.status.message().find("reduction output"),
+              std::string::npos);
+}
+
+TEST(Runtime, UnknownOpcodeRejectedWithInvalidArgument)
+{
+    Runtime rt = makeRuntime();
+    Tensor in(64, 64, 1.0f);
+    Tensor out(64, 64);
+    VopProgram program;
+    VOp vop;
+    vop.opcode = "no-such-opcode";
+    vop.inputs = {&in};
+    vop.output = &out;
+    program.ops.push_back(std::move(vop));
+    auto policy = makeWorkStealingPolicy();
+    const RunResult r = rt.run(program, *policy);
+    EXPECT_EQ(r.status.code(), common::StatusCode::InvalidArgument);
+    EXPECT_NE(r.status.message().find("not registered"),
+              std::string::npos);
 }
 
 } // namespace

@@ -67,7 +67,8 @@ TEST(Backends, GpuExecutesExactly)
     Tensor a(64, 64), b(64, 64);
     KernelArgs args;
     args.inputs = {in.view()};
-    gpu->execute(info, args, Rect{0, 0, 64, 64}, a.view(), 1);
+    ASSERT_TRUE(
+        gpu->execute(info, args, Rect{0, 0, 64, 64}, a.view(), 1).ok());
     info.func(args, Rect{0, 0, 64, 64}, b.view());
     EXPECT_DOUBLE_EQ(metrics::maxAbsError(a.view(), b.view()), 0.0);
 }
@@ -103,7 +104,9 @@ TEST(Backends, DspFp16CloseToExact)
     Tensor approx(64, 64), exact(64, 64);
     KernelArgs args;
     args.inputs = {in.view()};
-    dsp->execute(info, args, Rect{0, 0, 64, 64}, approx.view(), 1);
+    ASSERT_TRUE(dsp->execute(info, args, Rect{0, 0, 64, 64},
+                             approx.view(), 1)
+                    .ok());
     info.func(args, Rect{0, 0, 64, 64}, exact.view());
     // FP16 on [0,255] data: relative error ~2^-11, far tighter than
     // INT8 but not exact.
@@ -122,8 +125,10 @@ TEST(Backends, DspMoreAccurateThanTpu)
     KernelArgs args;
     args.inputs = {in.view()};
     info.func(args, Rect{0, 0, 128, 128}, exact.view());
-    dsp->execute(info, args, Rect{0, 0, 128, 128}, d.view(), 1);
-    tpu->execute(info, args, Rect{0, 0, 128, 128}, t.view(), 1);
+    ASSERT_TRUE(
+        dsp->execute(info, args, Rect{0, 0, 128, 128}, d.view(), 1).ok());
+    ASSERT_TRUE(
+        tpu->execute(info, args, Rect{0, 0, 128, 128}, t.view(), 1).ok());
     EXPECT_LT(metrics::rmse(exact.view(), d.view()),
               metrics::rmse(exact.view(), t.view()));
 }
@@ -136,15 +141,23 @@ TEST(Backends, AccuracyRankOrdering)
     EXPECT_GT(dtypeLevels(DType::Float16), dtypeLevels(DType::Int8));
 }
 
-TEST(BackendsDeath, DspRejectsUnsupportedOpcode)
+TEST(Backends, DspRejectsUnsupportedOpcode)
 {
+    // An unsupported opcode is a client error, not a crash: the DSP
+    // reports InvalidArgument and writes nothing into the output.
     auto dsp = makeDspBackend(sim::defaultCalibration());
-    Tensor in(8, 8, 1.0f), out(8, 8);
+    Tensor in(8, 8, 1.0f), out(8, 8, -7.0f);
     KernelArgs args;
     args.inputs = {in.view()};
-    EXPECT_DEATH(dsp->execute(registry().get("add"), args,
-                              Rect{0, 0, 8, 8}, out.view(), 1),
-                 "DSP cannot execute");
+    const common::Status st = dsp->execute(
+        registry().get("add"), args, Rect{0, 0, 8, 8}, out.view(), 1);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), common::StatusCode::InvalidArgument);
+    EXPECT_NE(st.message().find("DSP cannot execute"),
+              std::string::npos);
+    for (size_t r = 0; r < 8; ++r)
+        for (size_t c = 0; c < 8; ++c)
+            ASSERT_EQ(out.view().row(r)[c], -7.0f);
 }
 
 } // namespace

@@ -15,13 +15,17 @@
  *
  * Usage: pipeline_snapshot [--n <edge>] [--plan-cache off|on]
  *            [--graph-exec off|on] [--residency off|on]
- *            [--host-threads <k>] [--outputs-only] > snapshot.txt
+ *            [--host-threads <k>] [--exec-control off|armed]
+ *            [--outputs-only] > snapshot.txt
  *
  * --outputs-only prints just the tag and the output-tensor hash — a
  * smaller artifact for CI equivalence smokes. Graph execution charges
  * the simulator in program order regardless of the graph, so full
  * snapshots are expected byte-identical across --graph-exec and
- * --host-threads, not just output-identical.
+ * --host-threads, not just output-identical. --exec-control=armed
+ * threads a live-but-never-firing deadline + cancel token through
+ * every run: the status plumbing must be invisible on the error-free
+ * path, so armed and off snapshots are expected byte-identical too.
  */
 
 #include <cstdint>
@@ -32,6 +36,7 @@
 
 #include "apps/benchmarks.hh"
 #include "apps/harness.hh"
+#include "common/cancel.hh"
 #include "common/logging.hh"
 #include "core/pipeline.hh"
 #include "core/policy.hh"
@@ -120,6 +125,7 @@ main(int argc, char **argv)
     bool plan_cache = true;
     bool graph_exec = true;
     bool residency = true;
+    bool exec_control = false;
     size_t host_threads = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -150,12 +156,36 @@ main(int argc, char **argv)
             residency = mode == "on";
         } else if (arg == "--host-threads" && i + 1 < argc) {
             host_threads = std::stoul(argv[++i]);
+        } else if (arg == "--exec-control" && i + 1 < argc) {
+            // Armed threads a live (but never-firing) deadline +
+            // cancel token through every heterogeneous run; the
+            // error-free path must be unaffected, so armed and off
+            // snapshots diff empty.
+            const std::string_view mode = argv[++i];
+            if (mode != "off" && mode != "armed")
+                SHMT_FATAL("--exec-control must be off or armed");
+            exec_control = mode == "armed";
         } else if (arg == "--outputs-only") {
             g_outputs_only = true;
         } else {
             SHMT_FATAL("unknown option '", arg, "'");
         }
     }
+
+    // Armed-but-inert controls: a one-hour deadline and a cancel
+    // token whose source never fires. Every poll takes the armed
+    // branch yet no VOp ever stops, so the snapshot must byte-match
+    // an --exec-control=off capture.
+    common::CancelSource cancel_src;
+    auto run_hetero = [&](core::Runtime &rt, const core::VopProgram &p,
+                          core::Policy &pol, bool functional) {
+        if (!exec_control)
+            return rt.run(p, pol, functional);
+        core::ExecControl ctl;
+        ctl.deadline = common::Deadline::afterSeconds(3600.0);
+        ctl.cancel = cancel_src.token();
+        return rt.run(p, pol, functional, rt.config().seed, ctl);
+    };
 
     for (const auto &bench_name : apps::benchmarkNames()) {
         // The heterogeneous matrix, serial host path.
@@ -168,7 +198,8 @@ main(int argc, char **argv)
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy(policy_name);
-            const auto r = rt.run(bench->program(), *policy);
+            const auto r = run_hetero(rt, bench->program(), *policy,
+                                      /*functional=*/true);
             printResult(bench_name + "/" + policy_name, r,
                         bench->output());
         }
@@ -183,7 +214,8 @@ main(int argc, char **argv)
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy(policy_name);
-            const auto r = rt.run(bench->program(), *policy);
+            const auto r = run_hetero(rt, bench->program(), *policy,
+                                      /*functional=*/true);
             printResult(bench_name + "/" + policy_name + "+split", r,
                         bench->output());
         }
@@ -198,7 +230,8 @@ main(int argc, char **argv)
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy("qaws-ts");
-            const auto r = rt.run(bench->program(), *policy);
+            const auto r = run_hetero(rt, bench->program(), *policy,
+                                      /*functional=*/true);
             printResult(bench_name + "/qaws-ts+simd-off", r,
                         bench->output());
         }
@@ -237,8 +270,8 @@ main(int argc, char **argv)
             auto rt = apps::makePrototypeRuntime(cfg);
             auto bench = apps::makeBenchmark(bench_name, n, n);
             auto policy = core::makePolicy("qaws-ts");
-            const auto r =
-                rt.run(bench->program(), *policy, /*functional=*/false);
+            const auto r = run_hetero(rt, bench->program(), *policy,
+                                      /*functional=*/false);
             printResult(bench_name + "/qaws-ts+timing-only", r,
                         bench->output());
         }

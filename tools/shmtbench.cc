@@ -24,10 +24,13 @@
 
 #include "apps/benchmarks.hh"
 #include "apps/harness.hh"
+#include "common/cancel.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "common/thread_pool.hh"
 #include "core/session.hh"
 #include "devices/backend.hh"
+#include "devices/fault_injection.hh"
 #include "kernels/kernel_registry.hh"
 #include "sim/config.hh"
 #include "sim/trace.hh"
@@ -54,6 +57,8 @@ struct Options
     size_t sessionPrograms = 8;
     std::string tracePath;
     std::string calibrationPath;
+    double deadlineMs = 0.0;    //!< 0 = no deadline
+    std::string injectFaults;   //!< "<backend:rate>[,...]", empty = off
 };
 
 void
@@ -84,6 +89,15 @@ usage()
         "                        standalone run (default: 0 = off)\n"
         "  --session-programs <k> programs per benchmark in session\n"
         "                        mode (default: 8)\n"
+        "  --deadline-ms <ms>    per-program deadline; an expired run\n"
+        "                        stops at the next VOp boundary and\n"
+        "                        reports DEADLINE_EXCEEDED (default:\n"
+        "                        0 = none)\n"
+        "  --inject-faults <spec> deterministic fail-stop faults, e.g.\n"
+        "                        gpu:0.5 or gpu:1.0,npu:0.2 — faulted\n"
+        "                        HLOPs re-dispatch to another eligible\n"
+        "                        device; BACKEND_FAILURE only when\n"
+        "                        none remains (default: off)\n"
         "  --no-quality          timing-only (skip MAPE/SSIM)\n"
         "  --dsp                 add the FP16 image DSP\n"
         "  --cpu                 add the host CPU\n"
@@ -152,6 +166,12 @@ parseArgs(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10);
             if (opts.sessionPrograms == 0)
                 SHMT_FATAL("--session-programs must be positive");
+        } else if (arg == "--deadline-ms") {
+            opts.deadlineMs = std::strtod(next().c_str(), nullptr);
+            if (opts.deadlineMs <= 0.0)
+                SHMT_FATAL("--deadline-ms must be positive");
+        } else if (arg == "--inject-faults") {
+            opts.injectFaults = next();
         } else if (arg == "--no-quality") {
             opts.quality = false;
         } else if (arg == "--dsp") {
@@ -245,6 +265,16 @@ main(int argc, char **argv)
 
     auto backends = devices::makePrototypeBackends(
         kernels::KernelRegistry::instance(), cal, opts.cpu, opts.dsp);
+    if (!opts.injectFaults.empty()) {
+        auto specs = devices::parseFaultSpecs(opts.injectFaults);
+        if (!specs.ok())
+            SHMT_FATAL("--inject-faults: ",
+                       specs.status().message());
+        const common::Status st =
+            devices::injectFaults(backends, specs.value());
+        if (!st.ok())
+            SHMT_FATAL("--inject-faults: ", st.message());
+    }
     core::RuntimeConfig config;
     config.hostThreads = opts.hostThreads;
     config.hostSimd = opts.hostSimd == "off"
@@ -265,13 +295,51 @@ main(int argc, char **argv)
     else
         benches.push_back(opts.bench);
 
+    // Failure-control mode: with a deadline or injected faults active,
+    // report per-program statuses instead of the speedup/quality
+    // harness — a faulted GPU makes the baseline and MAPE/SSIM
+    // comparisons meaningless, and an expired run has no full output.
+    const bool failureControls =
+        opts.deadlineMs > 0.0 || !opts.injectFaults.empty();
+    auto makeDeadline = [&]() {
+        return opts.deadlineMs > 0.0
+                   ? common::Deadline::afterMillis(
+                         static_cast<int64_t>(opts.deadlineMs))
+                   : common::Deadline::never();
+    };
+
     common::ThreadPool::Stats poolPrev =
         common::ThreadPool::global().stats();
     for (const auto &name : benches) {
         auto bench = apps::makeBenchmark(name, opts.size, opts.size);
-        const auto r = apps::evaluatePolicy(runtime, *bench, opts.policy,
-                                            {}, opts.quality);
-        report(r, opts.quality);
+        core::RunResult ref; //!< serial-equivalence anchor for sessions
+        bool have_ref = false;
+        if (failureControls) {
+            auto policy = core::makePolicy(opts.policy);
+            core::ExecControl ctl;
+            ctl.deadline = makeDeadline();
+            const core::RunResult rr =
+                runtime.run(bench->program(), *policy,
+                            /*functional=*/true, runtime.config().seed,
+                            ctl);
+            std::printf("\n%s under %s [failure controls on]\n",
+                        name.c_str(), opts.policy.c_str());
+            std::printf("  status           : %s\n",
+                        rr.status.toString().c_str());
+            std::printf("  recovered HLOPs  : %zu (of %zu executed)\n",
+                        rr.recoveredHlops, rr.hlopsTotal);
+            if (rr.status.ok())
+                std::printf("  SHMT latency     : %10.4f s\n",
+                            rr.makespanSec);
+            ref = rr;
+            have_ref = rr.status.ok();
+        } else {
+            const auto r = apps::evaluatePolicy(
+                runtime, *bench, opts.policy, {}, opts.quality);
+            report(r, opts.quality);
+            ref = r.run;
+            have_ref = true;
+        }
         // Host-pool counters are process-lifetime; report the delta
         // this benchmark contributed.
         const auto ps = common::ThreadPool::global().stats();
@@ -295,17 +363,25 @@ main(int argc, char **argv)
             core::Session session(runtime, sopts);
             std::vector<std::future<core::RunResult>> futures;
             const double t0 = sim::wallSeconds();
-            for (auto &inst : instances)
-                futures.push_back(session.submit(
-                    inst->program(), core::makePolicy(opts.policy)));
+            for (auto &inst : instances) {
+                core::Session::Submission sub;
+                sub.program = inst->program();
+                sub.policy = core::makePolicy(opts.policy);
+                sub.deadline = makeDeadline();
+                futures.push_back(session.submit(std::move(sub)));
+            }
             core::CacheStats cache;
             bool equivalent = true;
+            size_t ok_count = 0, failed_count = 0, recovered = 0;
             for (auto &f : futures) {
                 const core::RunResult sr = f.get();
                 cache.add(sr.cache);
-                equivalent = equivalent &&
-                             sr.makespanSec == r.run.makespanSec &&
-                             sr.schedulingSec == r.run.schedulingSec;
+                recovered += sr.recoveredHlops;
+                (sr.status.ok() ? ok_count : failed_count) += 1;
+                if (sr.status.ok() && have_ref)
+                    equivalent = equivalent &&
+                                 sr.makespanSec == ref.makespanSec &&
+                                 sr.schedulingSec == ref.schedulingSec;
             }
             const double batch = sim::wallSeconds() - t0;
             std::printf("  session          : %zu programs, %zu workers"
@@ -324,6 +400,10 @@ main(int argc, char **argv)
                             cache.residencyBytesAvoided) /
                             (1024.0 * 1024.0),
                         equivalent ? "yes" : "NO");
+            if (failureControls)
+                std::printf("    statuses: %zu ok / %zu failed, "
+                            "%zu HLOPs recovered\n",
+                            ok_count, failed_count, recovered);
         }
     }
 
