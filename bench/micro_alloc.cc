@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Memory-engine micro-benchmark.
+ *
+ * Workload: allocation-heavy serving shapes — the pattern the pooled
+ * memory engine exists for. Every timed iteration builds the program's
+ * tensors from scratch and tears them down again, the way a server
+ * materializes fresh request tensors per submission:
+ *
+ *  - gemm-chains-small: k chains A_{j+1} = A_j x B over small tensors
+ *    (--rows x --n against an --n x --n B). The per-VOp work is tiny,
+ *    so tensor construction, staging leases and pack scratch dominate
+ *    — with the pool off that is one malloc + one redundant memset
+ *    per buffer, serialized on the global allocator.
+ *  - srad-parts: fan-out srad strands driven at a high HLOP target
+ *    (--hlops), so each run leases many small per-partition staging
+ *    planes and accumulators.
+ *
+ * Each workload is measured min-of-`--repeat` (after `--warmup`
+ * untimed iterations) with the memory pool off vs on; reports host
+ * wall time and the pool's own counters, and emits `BENCH_alloc.json`.
+ *
+ * Gates (exit non-zero on violation):
+ *  - every output of every run is byte-identical across pool off/on
+ *    and across iterations (the bit-transparency contract that
+ *    licenses the uninitialized-allocation path);
+ *  - with the pool on, the free-list reuse counter is positive on
+ *    every workload (the pool must actually recycle this shape).
+ *
+ * Usage: micro_alloc [--n <edge>] [--chains <k>] [--length <l>]
+ *                    [--rows <r>] [--hlops <h>] [--warmup <k>]
+ *                    [--repeat <k>] [--host-threads <n>]
+ *                    [--policy <name>]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "common/memory_pool.hh"
+#include "common/thread_pool.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "kernels/workload.hh"
+#include "metrics/report.hh"
+#include "sim/wallclock.hh"
+
+namespace {
+
+using namespace shmt;
+
+struct Options
+{
+    size_t n = 96;            //!< small edge: alloc cost must dominate
+    size_t chains = 8;
+    size_t length = 16;
+    size_t rows = 16;         //!< gemm-chain activation rows
+    size_t hlops = 192;       //!< srad partition target
+    size_t warmup = 2;
+    size_t repeat = 5;
+    size_t hostThreads = 0;   //!< 0 = all hardware threads
+    std::string policy = "qaws-ts";
+};
+
+/** A program over owned tensors, rebuilt fresh every iteration. */
+struct Workload
+{
+    std::vector<std::unique_ptr<Tensor>> tensors;
+    core::VopProgram program;
+
+    Tensor *
+    store(Tensor t)
+    {
+        tensors.push_back(std::make_unique<Tensor>(std::move(t)));
+        return tensors.back().get();
+    }
+
+    /** Concatenated payload bytes of every op output. */
+    std::vector<float>
+    outputBytes() const
+    {
+        std::vector<float> out;
+        for (const core::VOp &op : program.ops) {
+            const ConstTensorView v = op.output->view();
+            for (size_t r = 0; r < v.rows(); ++r)
+                out.insert(out.end(), v.row(r), v.row(r) + v.cols());
+        }
+        return out;
+    }
+};
+
+/** GEMM chains with a per-chain constant B: A_{j+1} = A_j x B over
+ *  small tensors. Outputs are map-style, so their construction takes
+ *  the uninitialized path; B and the seed activation are value-filled
+ *  either way. */
+Workload
+makeGemmChains(const Options &opts)
+{
+    Workload wl;
+    wl.program.name = "gemm-chains-small";
+    for (size_t c = 0; c < opts.chains; ++c) {
+        const uint64_t seed = static_cast<uint64_t>(c) + 1;
+        Tensor *a = wl.store(kernels::makeField(opts.rows, opts.n, seed));
+        // Near-identity B keeps the chain's values bounded across
+        // arbitrary --length (a raw random B grows ~n^length).
+        Tensor b(opts.n, opts.n);
+        const Tensor noise =
+            kernels::makeField(opts.n, opts.n, seed + 1000);
+        for (size_t r = 0; r < opts.n; ++r)
+            for (size_t k = 0; k < opts.n; ++k)
+                b.at(r, k) =
+                    (r == k ? 1.0f : 0.0f) +
+                    0.1f * noise.view().row(r)[k] /
+                        static_cast<float>(opts.n);
+        Tensor *bp = wl.store(std::move(b));
+        for (size_t j = 0; j < opts.length; ++j) {
+            Tensor *out =
+                wl.store(Tensor::uninitialized(opts.rows, opts.n));
+            core::VOp vop;
+            vop.opcode = "gemm";
+            vop.inputs = {a, bp};
+            vop.output = out;
+            wl.program.ops.push_back(std::move(vop));
+            a = out;
+        }
+    }
+    return wl;
+}
+
+/** Fan-out srad strands; run with a high HLOP target so every VOp
+ *  leases many small per-partition staging planes. */
+Workload
+makeSradFanout(const Options &opts)
+{
+    Workload wl;
+    wl.program.name = "srad-parts";
+    for (size_t c = 0; c < opts.chains; ++c) {
+        const uint64_t seed = static_cast<uint64_t>(c) + 1;
+        Tensor *src = wl.store(
+            kernels::makeSpeckleImage(opts.n, opts.n, seed));
+        for (size_t j = 0; j < opts.length; ++j) {
+            Tensor *out =
+                wl.store(Tensor::uninitialized(opts.n, opts.n));
+            core::VOp vop;
+            vop.opcode = "srad";
+            vop.inputs = {src};
+            vop.output = out;
+            vop.scalars = {0.05f, 0.5f};
+            wl.program.ops.push_back(std::move(vop));
+        }
+    }
+    return wl;
+}
+
+Workload
+makeWorkload(const Options &opts, const std::string &bench)
+{
+    return bench == "gemm-chains-small" ? makeGemmChains(opts)
+                                        : makeSradFanout(opts);
+}
+
+struct Measurement
+{
+    double bestWallSec = std::numeric_limits<double>::infinity();
+    common::MemoryStats pool;     //!< counter deltas, timed iterations
+    std::vector<float> outputs;   //!< from the first timed iteration
+    bool stable = true;           //!< outputs identical across iters
+};
+
+/**
+ * Min-of-N over full iterations: build the workload's tensors, run
+ * the program, read the outputs back, tear everything down. The
+ * build + teardown are inside the timing on purpose — they are the
+ * allocation traffic being measured.
+ */
+Measurement
+measure(const Options &opts, const std::string &bench, bool pooled)
+{
+    Measurement m;
+    common::MemoryPool::setEnabled(pooled);
+    core::RuntimeConfig config;
+    config.hostThreads = opts.hostThreads;
+    config.memPool = pooled;
+    if (bench == "srad-parts")
+        config.targetHlops = opts.hlops;
+    auto rt = apps::makePrototypeRuntime(config);
+    auto policy = core::makePolicy(opts.policy);
+    const common::MemoryStats p0 = common::MemoryPool::stats();
+    for (size_t it = 0; it < opts.warmup + opts.repeat; ++it) {
+        const double t0 = sim::wallSeconds();
+        Workload wl = makeWorkload(opts, bench);
+        const core::RunResult r = rt.run(wl.program, *policy);
+        std::vector<float> out = wl.outputBytes();
+        const double sec = sim::wallSeconds() - t0;
+        SHMT_ASSERT(r.status.ok(), "run failed: ", r.status.message());
+        if (it < opts.warmup)
+            continue;
+        if (m.outputs.empty())
+            m.outputs = std::move(out);
+        else
+            m.stable = m.stable && out == m.outputs;
+        m.bestWallSec = std::min(m.bestWallSec, sec);
+    }
+    m.pool = common::MemoryStats::delta(p0, common::MemoryPool::stats());
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                SHMT_FATAL("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--n")
+            opts.n = std::stoul(next());
+        else if (arg == "--chains")
+            opts.chains = std::stoul(next());
+        else if (arg == "--length")
+            opts.length = std::stoul(next());
+        else if (arg == "--rows")
+            opts.rows = std::stoul(next());
+        else if (arg == "--hlops")
+            opts.hlops = std::stoul(next());
+        else if (arg == "--warmup")
+            opts.warmup = std::stoul(next());
+        else if (arg == "--repeat" || arg == "--iters")
+            opts.repeat = std::stoul(next());
+        else if (arg == "--host-threads")
+            opts.hostThreads = std::stoul(next());
+        else if (arg == "--policy")
+            opts.policy = next();
+        else
+            SHMT_FATAL("unknown option '", arg, "'");
+    }
+    if (opts.chains == 0 || opts.length == 0 || opts.repeat == 0)
+        SHMT_FATAL("--chains, --length and --repeat must be positive");
+
+    const size_t lanes =
+        common::ThreadPool::resolveThreads(opts.hostThreads);
+    const std::vector<std::string> benches = {"gemm-chains-small",
+                                              "srad-parts"};
+
+    bool all_identical = true;
+    bool all_reused = true;
+    double chain_speedup = 0.0;
+    std::string json_rows;
+
+    metrics::Table table({"Workload", "Wall off (ms)", "Wall on (ms)",
+                          "Speedup", "Reuse hits", "Memsets avoided",
+                          "Outputs identical"});
+    for (const std::string &bench : benches) {
+        const Measurement off = measure(opts, bench, false);
+        const Measurement on = measure(opts, bench, true);
+        const bool identical =
+            off.stable && on.stable && off.outputs == on.outputs;
+        const double speedup =
+            on.bestWallSec > 0.0 ? off.bestWallSec / on.bestWallSec
+                                 : 0.0;
+        all_identical = all_identical && identical;
+        all_reused = all_reused && on.pool.reuseHits > 0;
+        if (bench == "gemm-chains-small")
+            chain_speedup = speedup;
+        table.addRow({bench, metrics::Table::num(off.bestWallSec * 1e3),
+                      metrics::Table::num(on.bestWallSec * 1e3),
+                      metrics::Table::num(speedup) + "x",
+                      std::to_string(on.pool.reuseHits),
+                      std::to_string(on.pool.memsetsAvoided),
+                      identical ? "yes" : "NO"});
+
+        json_rows += std::string(json_rows.empty() ? "" : ",");
+        json_rows += "\n    {\"bench\": \"" + bench + "\"";
+        json_rows +=
+            ", \"host_wall_off_sec\": " + std::to_string(off.bestWallSec);
+        json_rows +=
+            ", \"host_wall_on_sec\": " + std::to_string(on.bestWallSec);
+        json_rows += ", \"speedup\": " + std::to_string(speedup);
+        json_rows +=
+            ", \"allocs\": " + std::to_string(on.pool.allocs);
+        json_rows +=
+            ", \"reuse_hits\": " + std::to_string(on.pool.reuseHits);
+        json_rows += ", \"memsets_avoided\": " +
+                     std::to_string(on.pool.memsetsAvoided);
+        json_rows += ", \"memset_bytes_avoided\": " +
+                     std::to_string(on.pool.memsetBytesAvoided);
+        json_rows += ", \"outputs_identical\": ";
+        json_rows += identical ? "true" : "false";
+        json_rows += "}";
+    }
+    table.print(
+        "Memory engine: pool off vs on, " + std::to_string(opts.chains) +
+        " strands x " + std::to_string(opts.length) + " VOps (" +
+        opts.policy + ", " + std::to_string(opts.n) + "x" +
+        std::to_string(opts.n) + ", " + std::to_string(lanes) +
+        " host lanes, min of " + std::to_string(opts.repeat) + ")");
+    std::printf("\nSmall-tensor chain host-wall speedup (off/on): "
+                "%.2fx\n",
+                chain_speedup);
+    std::printf("Outputs identical off vs on: %s\n",
+                all_identical ? "yes" : "NO");
+    std::printf("Free-list reuse on every workload: %s\n",
+                all_reused ? "yes" : "NO");
+
+    std::ofstream json("BENCH_alloc.json");
+    json << "{\n  \"version\": 1"
+         << ",\n  \"edge\": " << opts.n
+         << ",\n  \"chains\": " << opts.chains
+         << ",\n  \"length\": " << opts.length
+         << ",\n  \"rows\": " << opts.rows
+         << ",\n  \"policy\": \"" << opts.policy << "\""
+         << ",\n  \"host_lanes\": " << lanes
+         << ",\n  \"warmup\": " << opts.warmup
+         << ",\n  \"repeat\": " << opts.repeat
+         << ",\n  \"chain_speedup\": " << chain_speedup
+         << ",\n  \"outputs_identical\": "
+         << (all_identical ? "true" : "false")
+         << ",\n  \"benchmarks\": [" << json_rows << "\n  ]\n}\n";
+    std::printf("Wrote BENCH_alloc.json\n");
+
+    // Leave the process default behind for anything running after us.
+    common::MemoryPool::setEnabled(true);
+    return all_identical && all_reused ? 0 : 1;
+}

@@ -221,7 +221,9 @@ main(int argc, char **argv)
     // INT8/FP16 staging passes (the TPU/DSP harness hot loops).
     const QuantParams qp = chooseQuantParams(-2.0f, 2.0f);
     std::vector<int8_t> q8;
-    Tensor staged(n, n);
+    // Dequantize/fake-quantize targets: every pass overwrites the full
+    // extent, so the staging plane skips the zero-fill.
+    Tensor staged = Tensor::uninitialized(n, n);
     cases.push_back({"stage_quantize", true,
                      [&a, &qp, &q8](bool simd) {
                          q8 = quantize(a.view(), qp, simd);

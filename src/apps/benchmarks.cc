@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "kernels/kernel_registry.hh"
 #include "kernels/workload.hh"
 
 namespace shmt::apps {
@@ -18,6 +19,26 @@ using kernels::makeSpeckleImage;
 using kernels::makeSpotPrices;
 using kernels::makeStrikes;
 using kernels::makeTemperature;
+
+/**
+ * Output allocation for a VOp of @p opcode. Deliberately NOT
+ * `Tensor::uninitialized`, even for map-style kernels whose partitions
+ * cover the whole output: timing-only runs never execute the writes,
+ * yet their pre-write bytes are observable — pipeline_snapshot hashes
+ * the program output, and downstream VOps' sampling and
+ * quantization-range scans read intermediate inputs that were never
+ * produced, feeding content-dependent simulated charges. Both must
+ * match the legacy zero-filled allocator bit for bit (`--mem-pool
+ * off|on` snapshots diff empty), so program tensors keep the zero
+ * fill; the uninitialized path is reserved for buffers the runtime
+ * itself provably overwrites before any read (staging planes,
+ * residency entries, dequantize targets, GEMM pack scratch).
+ */
+Tensor
+outputTensor(std::string_view /*opcode*/, size_t rows, size_t cols)
+{
+    return Tensor(rows, cols);
+}
 
 /** Single-VOP benchmark over an image-like input. */
 class SingleVopBenchmark : public Benchmark
@@ -56,15 +77,15 @@ class BlackscholesBenchmark : public Benchmark
 
         Tensor &spot = store(makeSpotPrices(rows, cols, seed));
         Tensor &strike = store(makeStrikes(spot, seed));
-        Tensor &ratio = store(Tensor(rows, cols));
-        Tensor &log_ratio = store(Tensor(rows, cols));
-        Tensor &d1 = store(Tensor(rows, cols));
-        Tensor &d2 = store(Tensor(rows, cols));
-        Tensor &n1 = store(Tensor(rows, cols));
-        Tensor &n2 = store(Tensor(rows, cols));
-        Tensor &s_term = store(Tensor(rows, cols));
-        Tensor &k_term = store(Tensor(rows, cols));
-        Tensor &k_disc = store(Tensor(rows, cols));
+        Tensor &ratio = store(outputTensor("divide", rows, cols));
+        Tensor &log_ratio = store(outputTensor("log", rows, cols));
+        Tensor &d1 = store(outputTensor("axpb", rows, cols));
+        Tensor &d2 = store(outputTensor("axpb", rows, cols));
+        Tensor &n1 = store(outputTensor("ncdf", rows, cols));
+        Tensor &n2 = store(outputTensor("ncdf", rows, cols));
+        Tensor &s_term = store(outputTensor("multiply", rows, cols));
+        Tensor &k_term = store(outputTensor("multiply", rows, cols));
+        Tensor &k_disc = store(outputTensor("axpb", rows, cols));
         Tensor &call = store(Tensor(rows, cols));
 
         program_.name = name_;
@@ -104,7 +125,8 @@ class HistogramBenchmark : public Benchmark
         : Benchmark("histogram", false)
     {
         Tensor &in = store(makeField(rows, cols, seed));
-        Tensor &bins = store(Tensor(1, 256));
+        // histogram is a reduction: outputTensor keeps the zero fill.
+        Tensor &bins = store(outputTensor("histogram", 1, 256));
         auto [lo, hi] = ConstTensorView(in.view()).minmax();
         VOp vop;
         vop.opcode = "histogram";
@@ -133,7 +155,7 @@ class HotspotBenchmark : public Benchmark
 
         program_.name = name_;
         for (size_t s = 0; s < kSteps; ++s) {
-            Tensor &next = store(Tensor(rows, cols));
+            Tensor &next = store(outputTensor("hotspot", rows, cols));
             VOp vop;
             vop.opcode = "hotspot";
             vop.inputs = {temp, &power};
@@ -171,7 +193,7 @@ class SradBenchmark : public Benchmark
 
         program_.name = name_;
         for (size_t s = 0; s < kSteps; ++s) {
-            Tensor &next = store(Tensor(rows, cols));
+            Tensor &next = store(outputTensor("srad", rows, cols));
             VOp vop;
             vop.opcode = "srad";
             vop.inputs = {j};

@@ -1,0 +1,539 @@
+#include "memory_pool.hh"
+
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace shmt::common {
+
+namespace {
+
+// ---------------------------------------------------------------- layout
+
+/** Size classes: even index 2j -> 64<<j bytes, odd 2j+1 -> 96<<j. */
+constexpr size_t kNumClasses = 49; // up to 64<<24 = 1 GiB
+constexpr size_t kMaxClassBytes = size_t{64} << 24;
+/** Classes at or below this are carved from slabs. */
+constexpr size_t kSlabClassMaxBytes = 4096;
+constexpr size_t kSlabBytes = size_t{256} * 1024;
+/** Blocks handed out per slab carve (amortizes the arena lock). */
+constexpr size_t kCarveStrip = 8;
+
+constexpr uint32_t kMagic = 0x534d454du; // "SMEM"
+constexpr uint32_t kClassHuge = 0xffffffffu;
+
+/** 64-byte prefix in front of every payload. */
+struct alignas(MemoryPool::kAlignment) BlockHeader
+{
+    uint32_t magic;
+    uint32_t classIdx;  //!< size-class index, or kClassHuge
+    uint64_t bytes;     //!< payload capacity in bytes
+    uint32_t fromSlab;  //!< carved from a slab (never freed to the OS)
+    uint32_t cacheable; //!< allocated with the pool enabled
+};
+static_assert(sizeof(BlockHeader) == MemoryPool::kAlignment);
+
+BlockHeader *
+headerOf(void *payload)
+{
+    return reinterpret_cast<BlockHeader *>(
+               static_cast<char *>(payload) - sizeof(BlockHeader));
+}
+
+size_t
+classIndexFor(size_t bytes)
+{
+    if (bytes <= 64)
+        return 0;
+    // bytes in (2^(c-1), 2^c]; the candidate below the power of two is
+    // 96 << (c - 7) = 1.5 * 2^(c-1).
+    const unsigned c = std::bit_width(bytes - 1);
+    if (c >= 7 && bytes <= (size_t{96} << (c - 7)))
+        return 2 * (c - 7) + 1;
+    return 2 * (c - 6);
+}
+
+size_t
+classBytesOf(size_t idx)
+{
+    return (idx % 2 == 0 ? size_t{64} : size_t{96}) << (idx / 2);
+}
+
+// ---------------------------------------------------------------- stats
+
+struct Counters
+{
+    std::atomic<uint64_t> allocs{0};
+    std::atomic<uint64_t> reuseHits{0};
+    std::atomic<uint64_t> spillHits{0};
+    std::atomic<uint64_t> freshBytes{0};
+    std::atomic<uint64_t> memsetsAvoided{0};
+    std::atomic<uint64_t> memsetBytesAvoided{0};
+    std::atomic<uint64_t> trims{0};
+    std::atomic<uint64_t> bytesLive{0};
+    std::atomic<uint64_t> peakLive{0};
+    std::atomic<uint64_t> cachedBytes{0};
+};
+
+Counters &
+counters()
+{
+    static Counters c;
+    return c;
+}
+
+void
+notePeakLive(uint64_t live)
+{
+    auto &peak = counters().peakLive;
+    uint64_t cur = peak.load(std::memory_order_relaxed);
+    while (live > cur &&
+           !peak.compare_exchange_weak(cur, live,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+std::atomic<bool> g_enabled{true};
+
+// ---------------------------------------------------------- spill arena
+
+/** Global overflow store + slab arena. Intentionally leaked (function-
+ *  local pointer, never deleted) so exiting threads' cache flushes can
+ *  never race static destruction. LSan sees it as reachable. */
+struct Spill
+{
+    std::mutex m;
+    std::vector<void *> lists[kNumClasses];
+    size_t bytes = 0;
+    size_t cap = MemoryPool::kDefaultSpillCapBytes;
+    std::vector<void *> slabs; //!< raw slab allocations (kept forever)
+    char *slabCur = nullptr;
+    size_t slabLeft = 0;
+};
+
+Spill &
+spill()
+{
+    static Spill *s = new Spill;
+    return *s;
+}
+
+void
+freeDirect(void *payload)
+{
+    ::operator delete(headerOf(payload),
+                      std::align_val_t{MemoryPool::kAlignment});
+}
+
+/** Push an idle block to the spill arena (caller holds no locks). */
+void
+spillBlock(void *payload)
+{
+    BlockHeader *h = headerOf(payload);
+    const size_t classBytes = h->bytes;
+    Spill &s = spill();
+    {
+        std::lock_guard<std::mutex> lock(s.m);
+        if (h->fromSlab || s.bytes + classBytes <= s.cap) {
+            // Slab blocks always pool (their memory can't go back to
+            // the OS); direct blocks respect the spill cap.
+            s.lists[h->classIdx].push_back(payload);
+            s.bytes += classBytes;
+            return;
+        }
+    }
+    counters().trims.fetch_add(1, std::memory_order_relaxed);
+    counters().cachedBytes.fetch_sub(classBytes,
+                                     std::memory_order_relaxed);
+    freeDirect(payload);
+}
+
+// --------------------------------------------------------- thread cache
+
+/** Set once this thread's cache has been destroyed (trivially
+ *  destructible, so it stays readable through TLS teardown): other
+ *  thread_local pool objects (e.g. the GEMM panel scratch) may release
+ *  blocks after the cache is gone, and must bypass it. */
+thread_local bool t_cacheDead = false;
+
+struct ThreadCache
+{
+    std::vector<void *> lists[kNumClasses];
+    size_t bytes = 0;
+    size_t cap = MemoryPool::kDefaultThreadCacheBytes;
+
+    ~ThreadCache()
+    {
+        flush();
+        t_cacheDead = true;
+    }
+
+    void
+    flush()
+    {
+        for (auto &list : lists) {
+            for (void *p : list)
+                spillBlock(p);
+            list.clear();
+        }
+        bytes = 0;
+    }
+
+    /** Move blocks to the spill arena until bytes <= cap, draining
+     *  the largest classes first (small ones recycle hottest). */
+    void
+    shed()
+    {
+        for (size_t idx = kNumClasses; idx-- > 0 && bytes > cap;) {
+            auto &list = lists[idx];
+            const size_t classBytes = classBytesOf(idx);
+            while (!list.empty() && bytes > cap) {
+                spillBlock(list.back());
+                list.pop_back();
+                bytes -= classBytes;
+            }
+        }
+    }
+};
+
+ThreadCache &
+threadCache()
+{
+    thread_local ThreadCache tc;
+    return tc;
+}
+
+/** Allocate a fresh direct block for class @p idx. */
+void *
+newDirect(size_t idx, size_t classBytes, bool cacheable)
+{
+    void *raw = ::operator new(sizeof(BlockHeader) + classBytes,
+                               std::align_val_t{MemoryPool::kAlignment});
+    BlockHeader *h = static_cast<BlockHeader *>(raw);
+    h->magic = kMagic;
+    h->classIdx = static_cast<uint32_t>(idx);
+    h->bytes = classBytes;
+    h->fromSlab = 0;
+    h->cacheable = cacheable ? 1 : 0;
+    counters().freshBytes.fetch_add(classBytes,
+                                    std::memory_order_relaxed);
+    return h + 1;
+}
+
+/**
+ * Carve a strip of blocks for small class @p idx from the slab arena:
+ * one is returned, the rest land in this thread's free list.
+ */
+void *
+carveStrip(size_t idx, size_t classBytes, ThreadCache *tc)
+{
+    // Rounded up so every carved header (and thus payload) stays on
+    // an alignment boundary — 96-family classes are not multiples of
+    // the block alignment.
+    const size_t footprint =
+        (sizeof(BlockHeader) + classBytes + MemoryPool::kAlignment - 1) &
+        ~(MemoryPool::kAlignment - 1);
+    const size_t strip = tc != nullptr ? kCarveStrip : 1;
+    void *first = nullptr;
+    size_t carved = 0;
+    Spill &s = spill();
+    {
+        std::lock_guard<std::mutex> lock(s.m);
+        for (; carved < strip; ++carved) {
+            if (s.slabLeft < footprint) {
+                void *slab = ::operator new(
+                    kSlabBytes, std::align_val_t{MemoryPool::kAlignment});
+                s.slabs.push_back(slab);
+                s.slabCur = static_cast<char *>(slab);
+                s.slabLeft = kSlabBytes;
+                counters().freshBytes.fetch_add(
+                    kSlabBytes, std::memory_order_relaxed);
+            }
+            BlockHeader *h = reinterpret_cast<BlockHeader *>(s.slabCur);
+            s.slabCur += footprint;
+            s.slabLeft -= footprint;
+            h->magic = kMagic;
+            h->classIdx = static_cast<uint32_t>(idx);
+            h->bytes = classBytes;
+            h->fromSlab = 1;
+            h->cacheable = 1;
+            if (first == nullptr) {
+                first = h + 1;
+            } else {
+                tc->lists[idx].push_back(h + 1);
+                tc->bytes += classBytes;
+            }
+        }
+    }
+    if (carved > 1)
+        counters().cachedBytes.fetch_add((carved - 1) * classBytes,
+                                         std::memory_order_relaxed);
+    return first;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ MemoryPool
+
+bool
+MemoryPool::enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+MemoryPool::setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+size_t
+MemoryPool::sizeClassBytes(size_t bytes)
+{
+    if (bytes > kMaxClassBytes)
+        return (bytes + kAlignment - 1) & ~(kAlignment - 1);
+    return classBytesOf(classIndexFor(bytes));
+}
+
+void *
+MemoryPool::acquire(size_t bytes, bool zero)
+{
+    if (bytes == 0)
+        return nullptr;
+    Counters &ctr = counters();
+    ctr.allocs.fetch_add(1, std::memory_order_relaxed);
+
+    void *payload = nullptr;
+    size_t classBytes;
+    const bool pooled = enabled();
+    if (bytes > kMaxClassBytes || !pooled) {
+        // Huge or pool-off: direct block, never cached (classIdx is
+        // unused on the uncacheable release path).
+        classBytes = sizeClassBytes(bytes);
+        payload = newDirect(kClassHuge, classBytes, /*cacheable=*/false);
+    } else {
+        const size_t idx = classIndexFor(bytes);
+        classBytes = classBytesOf(idx);
+        ThreadCache *tc = t_cacheDead ? nullptr : &threadCache();
+        if (tc != nullptr && !tc->lists[idx].empty()) {
+            payload = tc->lists[idx].back();
+            tc->lists[idx].pop_back();
+            tc->bytes -= classBytes;
+            ctr.reuseHits.fetch_add(1, std::memory_order_relaxed);
+            ctr.cachedBytes.fetch_sub(classBytes,
+                                      std::memory_order_relaxed);
+        } else {
+            Spill &s = spill();
+            {
+                std::lock_guard<std::mutex> lock(s.m);
+                if (!s.lists[idx].empty()) {
+                    payload = s.lists[idx].back();
+                    s.lists[idx].pop_back();
+                    s.bytes -= classBytes;
+                }
+            }
+            if (payload != nullptr) {
+                ctr.reuseHits.fetch_add(1, std::memory_order_relaxed);
+                ctr.spillHits.fetch_add(1, std::memory_order_relaxed);
+                ctr.cachedBytes.fetch_sub(classBytes,
+                                          std::memory_order_relaxed);
+            } else if (classBytes <= kSlabClassMaxBytes &&
+                       tc != nullptr) {
+                payload = carveStrip(idx, classBytes, tc);
+            } else if (classBytes <= kSlabClassMaxBytes) {
+                payload = carveStrip(idx, classBytes, nullptr);
+            } else {
+                payload = newDirect(idx, classBytes, /*cacheable=*/true);
+            }
+        }
+    }
+
+    SHMT_ASSERT(isAligned(payload), "pool payload misaligned");
+    if (zero || !pooled) {
+        // Legacy semantics: the extent the caller asked for is zeroed
+        // (class padding past it is never read).
+        std::memset(payload, 0, bytes);
+    } else {
+        ctr.memsetsAvoided.fetch_add(1, std::memory_order_relaxed);
+        ctr.memsetBytesAvoided.fetch_add(bytes,
+                                         std::memory_order_relaxed);
+#if defined(SHMT_ASAN) || !defined(NDEBUG)
+        // Poison instead of skipping: an extent the caller fails to
+        // overwrite surfaces as a canary in bit-identity diffs.
+        uint32_t *w = static_cast<uint32_t *>(payload);
+        for (size_t i = 0; i < bytes / sizeof(uint32_t); ++i)
+            w[i] = kPoisonBits;
+#endif
+    }
+
+    const uint64_t live =
+        ctr.bytesLive.fetch_add(classBytes, std::memory_order_relaxed) +
+        classBytes;
+    notePeakLive(live);
+    return payload;
+}
+
+void
+MemoryPool::release(void *payload)
+{
+    if (payload == nullptr)
+        return;
+    BlockHeader *h = headerOf(payload);
+    SHMT_ASSERT(h->magic == kMagic, "release of a non-pool pointer");
+    const size_t classBytes = h->bytes;
+    Counters &ctr = counters();
+    ctr.bytesLive.fetch_sub(classBytes, std::memory_order_relaxed);
+
+    if (h->classIdx == kClassHuge || !h->cacheable) {
+        freeDirect(payload);
+        return;
+    }
+    if (!enabled() && !h->fromSlab) {
+        freeDirect(payload);
+        return;
+    }
+    ctr.cachedBytes.fetch_add(classBytes, std::memory_order_relaxed);
+    if (!enabled() || t_cacheDead) {
+        // Pool off (slab memory still pools — it can't go back to the
+        // OS) or this thread's cache is mid-teardown: spill directly.
+        spillBlock(payload);
+        return;
+    }
+    ThreadCache &tc = threadCache();
+    tc.lists[h->classIdx].push_back(payload);
+    tc.bytes += classBytes;
+    if (tc.bytes > tc.cap)
+        tc.shed();
+}
+
+MemoryStats
+MemoryPool::stats()
+{
+    Counters &c = counters();
+    MemoryStats s;
+    s.allocs = c.allocs.load(std::memory_order_relaxed);
+    s.reuseHits = c.reuseHits.load(std::memory_order_relaxed);
+    s.spillHits = c.spillHits.load(std::memory_order_relaxed);
+    s.freshBytes = c.freshBytes.load(std::memory_order_relaxed);
+    s.memsetsAvoided = c.memsetsAvoided.load(std::memory_order_relaxed);
+    s.memsetBytesAvoided =
+        c.memsetBytesAvoided.load(std::memory_order_relaxed);
+    s.trims = c.trims.load(std::memory_order_relaxed);
+    s.bytesLive = c.bytesLive.load(std::memory_order_relaxed);
+    s.peakLive = c.peakLive.load(std::memory_order_relaxed);
+    s.cachedBytes = c.cachedBytes.load(std::memory_order_relaxed);
+    s.enabled = enabled();
+    return s;
+}
+
+size_t
+MemoryPool::threadCacheCap()
+{
+    return threadCache().cap;
+}
+
+void
+MemoryPool::setThreadCacheCap(size_t bytes)
+{
+    ThreadCache &tc = threadCache();
+    tc.cap = bytes;
+    if (tc.bytes > tc.cap)
+        tc.shed();
+}
+
+size_t
+MemoryPool::threadCachedBytes()
+{
+    return threadCache().bytes;
+}
+
+void
+MemoryPool::flushThreadCache()
+{
+    threadCache().flush();
+}
+
+void
+MemoryPool::clearSpill()
+{
+    Spill &s = spill();
+    std::vector<void *> drop;
+    {
+        std::lock_guard<std::mutex> lock(s.m);
+        for (size_t idx = 0; idx < kNumClasses; ++idx) {
+            auto &list = s.lists[idx];
+            for (auto it = list.begin(); it != list.end();) {
+                if (headerOf(*it)->fromSlab) {
+                    ++it; // slab memory can't go back to the OS
+                } else {
+                    drop.push_back(*it);
+                    s.bytes -= classBytesOf(idx);
+                    it = list.erase(it);
+                }
+            }
+        }
+    }
+    for (void *p : drop) {
+        counters().cachedBytes.fetch_sub(headerOf(p)->bytes,
+                                         std::memory_order_relaxed);
+        counters().trims.fetch_add(1, std::memory_order_relaxed);
+        freeDirect(p);
+    }
+}
+
+// ---------------------------------------------------------------- Buffer
+
+Buffer::Buffer(size_t elems)
+{
+    if (elems == 0)
+        return;
+    ptr_ = static_cast<float *>(
+        MemoryPool::acquire(elems * sizeof(float), /*zero=*/true));
+    size_ = cap_ = elems;
+}
+
+Buffer
+Buffer::uninitialized(size_t elems)
+{
+    Buffer b;
+    if (elems == 0)
+        return b;
+    b.ptr_ = static_cast<float *>(
+        MemoryPool::acquire(elems * sizeof(float), /*zero=*/false));
+    b.size_ = b.cap_ = elems;
+    return b;
+}
+
+void
+Buffer::resizeUninit(size_t elems)
+{
+    if (elems > cap_) {
+        MemoryPool::release(ptr_);
+        ptr_ = static_cast<float *>(
+            MemoryPool::acquire(elems * sizeof(float), /*zero=*/false));
+        cap_ = elems;
+    }
+    size_ = elems;
+}
+
+void
+Buffer::fill(float v)
+{
+    for (size_t i = 0; i < size_; ++i)
+        ptr_[i] = v;
+}
+
+void
+Buffer::reset()
+{
+    if (ptr_ != nullptr)
+        MemoryPool::release(ptr_);
+    ptr_ = nullptr;
+    size_ = cap_ = 0;
+}
+
+} // namespace shmt::common

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Memory engine: 64-byte-aligned size-class slab allocator with
+ * thread-local free-lists, a global spill arena, and an explicit
+ * uninitialized allocation path.
+ *
+ * Every hot buffer in the serving stack — tensor payloads, reduction
+ * accumulators, NPU/DSP staging planes, residency-cache entries, GEMM
+ * panel scratch — is a short-lived float block of a recurring size.
+ * Pre-engine each of those was a fresh `std::vector<float>`: one
+ * malloc plus one redundant memset per allocation, serialized on the
+ * global allocator for the parallel host engine. The pool replaces
+ * that with:
+ *
+ *  - **Size classes.** Requests round up to the next class in
+ *    {64, 96, 128, 192, 256, ...} bytes (powers of two interleaved
+ *    with 1.5x, <= 50% internal fragmentation bound at 12.5% average)
+ *    so blocks of recurring shapes recycle exactly.
+ *  - **Thread-local free lists.** Release pushes onto the releasing
+ *    thread's per-class LIFO; acquire pops from it lock-free. Each
+ *    thread's idle bytes are capped (64 MiB default); overflow spills.
+ *  - **Global spill arena.** A mutex-protected per-class store (256
+ *    MiB cap) that absorbs thread-cache overflow and exiting threads'
+ *    caches, and backstops cold thread-local misses — so buffers
+ *    released on one thread can be reused from another.
+ *  - **Slab carving.** Small classes (<= 4 KiB) are carved in strips
+ *    from 256 KiB slabs, amortizing the lock and the allocator call;
+ *    slab memory is recycled through the free lists forever and never
+ *    returned to the OS (bounded by the small-block high-water mark).
+ *  - **Uninitialized allocation.** `Buffer::uninitialized` skips the
+ *    zero-fill entirely when the pool is enabled; callers must
+ *    provably overwrite the full extent. Under `SHMT_ASAN` builds the
+ *    skipped memset becomes a canary *poison* fill instead, so an
+ *    incomplete overwrite shows up as a bit-exact diff (and tests
+ *    assert no canary survives).
+ *  - **Alignment.** Every block's payload is 64-byte aligned (cache
+ *    line / widest vector), which is what lets `simd::VecF` dispatch
+ *    to aligned load/store in the row primitives.
+ *
+ * `MemoryPool::setEnabled(false)` restores legacy semantics process-
+ * wide: every allocation is a fresh aligned block, zero-filled even on
+ * the uninitialized path, freed on release. Runs with the pool off
+ * are the bit-identity reference for runs with it on.
+ *
+ * Thread-safety: all entry points are safe from any thread. Stats are
+ * process-global monotone counters plus gauges; consumers snapshot
+ * before/after a region and report `MemoryStats::delta`.
+ */
+
+#ifndef SHMT_COMMON_MEMORY_POOL_HH
+#define SHMT_COMMON_MEMORY_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace shmt::common {
+
+/** Process-global memory-engine counters (see MemoryPool::stats()).
+ *  Monotone counters unless marked gauge. */
+struct MemoryStats
+{
+    uint64_t allocs = 0;        //!< blocks leased to callers
+    uint64_t reuseHits = 0;     //!< leases served from a free list
+    uint64_t spillHits = 0;     //!<   ... of which from the spill arena
+    uint64_t freshBytes = 0;    //!< bytes newly obtained from the OS
+    uint64_t memsetsAvoided = 0; //!< uninitialized leases that skipped
+                                 //!< the legacy zero-fill
+    uint64_t memsetBytesAvoided = 0; //!< bytes those leases skipped
+    uint64_t trims = 0;         //!< cached blocks dropped by byte caps
+    uint64_t bytesLive = 0;     //!< gauge: bytes currently leased
+    uint64_t peakLive = 0;      //!< high-water mark of bytesLive
+    uint64_t cachedBytes = 0;   //!< gauge: idle bytes (thread + spill)
+    bool enabled = false;       //!< pool mode at snapshot time
+
+    /** Per-region view: monotone counters subtract; gauges, peak and
+     *  the mode flag carry the @p end snapshot. */
+    static MemoryStats
+    delta(const MemoryStats &begin, const MemoryStats &end)
+    {
+        MemoryStats d = end;
+        d.allocs -= begin.allocs;
+        d.reuseHits -= begin.reuseHits;
+        d.spillHits -= begin.spillHits;
+        d.freshBytes -= begin.freshBytes;
+        d.memsetsAvoided -= begin.memsetsAvoided;
+        d.memsetBytesAvoided -= begin.memsetBytesAvoided;
+        d.trims -= begin.trims;
+        return d;
+    }
+};
+
+/**
+ * Owning handle to one pool block, viewed as a float array.
+ *
+ * Move-only, vector-like surface: size() in floats, capacity() is the
+ * grow-without-realloc high-water for the current block. Growing past
+ * capacity swaps the block (contents are NOT preserved — every user
+ * is an overwrite-everything staging pass; see resizeUninit()).
+ * data() is 64-byte aligned whenever non-null.
+ */
+class Buffer
+{
+  public:
+    Buffer() = default;
+
+    /** Allocate @p elems floats, zero-filled (legacy semantics). */
+    explicit Buffer(size_t elems);
+
+    /**
+     * Allocate @p elems floats without the zero-fill (pool enabled;
+     * canary-poisoned under SHMT_ASAN). The caller must overwrite the
+     * full extent before any bytes are read — with the pool disabled
+     * this falls back to a zero-fill, so an off-vs-on bit-exact diff
+     * checks exactly that claim.
+     */
+    static Buffer uninitialized(size_t elems);
+
+    Buffer(Buffer &&other) noexcept
+        : ptr_(other.ptr_), size_(other.size_), cap_(other.cap_)
+    {
+        other.ptr_ = nullptr;
+        other.size_ = other.cap_ = 0;
+    }
+    Buffer &
+    operator=(Buffer &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ptr_ = other.ptr_;
+            size_ = other.size_;
+            cap_ = other.cap_;
+            other.ptr_ = nullptr;
+            other.size_ = other.cap_ = 0;
+        }
+        return *this;
+    }
+    Buffer(const Buffer &) = delete;
+    Buffer &operator=(const Buffer &) = delete;
+    ~Buffer() { reset(); }
+
+    float *data() { return ptr_; }
+    const float *data() const { return ptr_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    /** Floats this block holds without reallocating. */
+    size_t capacity() const { return cap_; }
+
+    float &operator[](size_t i) { return ptr_[i]; }
+    const float &operator[](size_t i) const { return ptr_[i]; }
+
+    float *begin() { return ptr_; }
+    float *end() { return ptr_ + size_; }
+    const float *begin() const { return ptr_; }
+    const float *end() const { return ptr_ + size_; }
+
+    /**
+     * Resize to @p elems floats with UNINITIALIZED contents: growing
+     * past capacity() swaps in a new block and does NOT preserve the
+     * old contents; shrinking keeps the block (capacity unchanged).
+     */
+    void resizeUninit(size_t elems);
+
+    /** Set every element (size() extent) to @p v. */
+    void fill(float v);
+
+    /** Vector-style: resize to @p elems, all set to @p v. */
+    void
+    assign(size_t elems, float v)
+    {
+        resizeUninit(elems);
+        fill(v);
+    }
+
+    /** Release the block back to the pool; becomes empty. */
+    void reset();
+
+  private:
+    friend class MemoryPool;
+
+    float *ptr_ = nullptr;
+    size_t size_ = 0; //!< elements
+    size_t cap_ = 0;  //!< elements the block can hold for this handle
+};
+
+/** The process-wide slab allocator behind Buffer (static-only). */
+class MemoryPool
+{
+  public:
+    /** Payload alignment of every block. */
+    static constexpr size_t kAlignment = 64;
+    /** Default cap on idle bytes cached per thread. */
+    static constexpr size_t kDefaultThreadCacheBytes =
+        size_t{64} * 1024 * 1024;
+    /** Default cap on idle bytes in the global spill arena. */
+    static constexpr size_t kDefaultSpillCapBytes =
+        size_t{256} * 1024 * 1024;
+    /** Canary float written by poisoned uninitialized allocations
+     *  (SHMT_ASAN builds): bit pattern 0xCDCDCDCD, a quiet-ish NaN
+     *  payload that no kernel ever produces. */
+    static constexpr uint32_t kPoisonBits = 0xCDCDCDCDu;
+
+    /**
+     * Pool mode (process-global, default on). Off = legacy behavior:
+     * fresh zero-filled aligned allocations, nothing recycled. Flipped
+     * by tools/tests from `--mem-pool off|on`; existing blocks remain
+     * valid across a flip and release correctly.
+     */
+    static bool enabled();
+    static void setEnabled(bool on);
+
+    /** Snapshot the process-global counters. */
+    static MemoryStats stats();
+
+    /** Size class (in bytes) a request of @p bytes is served from. */
+    static size_t sizeClassBytes(size_t bytes);
+
+    /** True when @p p satisfies the pool's alignment contract. */
+    static bool
+    isAligned(const void *p)
+    {
+        return (reinterpret_cast<uintptr_t>(p) & (kAlignment - 1)) == 0;
+    }
+
+    /** This thread's cap on idle cached bytes. */
+    static size_t threadCacheCap();
+    /** Set this thread's cap; trims immediately if exceeded. */
+    static void setThreadCacheCap(size_t bytes);
+    /** Idle bytes cached on this thread. */
+    static size_t threadCachedBytes();
+    /** Flush this thread's free lists into the spill arena. */
+    static void flushThreadCache();
+    /** Drop the spill arena's idle blocks (frees what the OS can
+     *  take back; slab-carved blocks stay pooled). */
+    static void clearSpill();
+
+  private:
+    friend class Buffer;
+
+    /** Lease a payload of at least @p bytes; @p zero selects the
+     *  legacy zero-fill, otherwise the uninitialized path. */
+    static void *acquire(size_t bytes, bool zero);
+    /** Return a payload pointer obtained from acquire(). */
+    static void release(void *payload);
+};
+
+} // namespace shmt::common
+
+#endif // SHMT_COMMON_MEMORY_POOL_HH

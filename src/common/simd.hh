@@ -66,6 +66,10 @@ struct VecF
 
     static VecF load(const float *p) { return {_mm256_loadu_ps(p)}; }
     void store(float *p) const { _mm256_storeu_ps(p, v); }
+    /** Aligned entry points (p must be kWidth*4-byte aligned): same
+     *  bits as load/store, cheaper address path on older cores. */
+    static VecF loadAligned(const float *p) { return {_mm256_load_ps(p)}; }
+    void storeAligned(float *p) const { _mm256_store_ps(p, v); }
     static VecF broadcast(float x) { return {_mm256_set1_ps(x)}; }
     static VecF zero() { return {_mm256_setzero_ps()}; }
 
@@ -184,6 +188,9 @@ struct VecF
 
     static VecF load(const float *p) { return {_mm_loadu_ps(p)}; }
     void store(float *p) const { _mm_storeu_ps(p, v); }
+    /** Aligned entry points (16-byte aligned @p p); bit-identical. */
+    static VecF loadAligned(const float *p) { return {_mm_load_ps(p)}; }
+    void storeAligned(float *p) const { _mm_store_ps(p, v); }
     static VecF broadcast(float x) { return {_mm_set1_ps(x)}; }
     static VecF zero() { return {_mm_setzero_ps()}; }
 
@@ -296,6 +303,9 @@ struct VecF
 
     static VecF load(const float *p) { return {vld1q_f32(p)}; }
     void store(float *p) const { vst1q_f32(p, v); }
+    /** NEON has no distinct aligned forms; same instruction. */
+    static VecF loadAligned(const float *p) { return {vld1q_f32(p)}; }
+    void storeAligned(float *p) const { vst1q_f32(p, v); }
     static VecF broadcast(float x) { return {vdupq_n_f32(x)}; }
     static VecF zero() { return {vdupq_n_f32(0.0f)}; }
 
@@ -401,6 +411,9 @@ struct VecF
 
     static VecF load(const float *p) { return {*p}; }
     void store(float *p) const { *p = v; }
+    /** Scalar fallback: alignment is moot; same access. */
+    static VecF loadAligned(const float *p) { return {*p}; }
+    void storeAligned(float *p) const { *p = v; }
     static VecF broadcast(float x) { return {x}; }
     static VecF zero() { return {0.0f}; }
 
@@ -604,7 +617,41 @@ vtanh(VecF x)
 
 // ---------------------------------------------------------------------------
 // Row primitives for the staging hot paths.
+//
+// Pool-leased buffers are 64-byte aligned (common::MemoryPool), so
+// the primitives dispatch to the aligned load/store entry points when
+// the operand pointers satisfy the backend's vector alignment. The
+// aligned and unaligned paths read/write the same bits — dispatch is
+// a pure address-path optimization, bit-identical by construction.
 // ---------------------------------------------------------------------------
+
+/** True when @p p is aligned for this backend's vector accesses. */
+inline bool
+vecAligned(const void *p)
+{
+    return (reinterpret_cast<uintptr_t>(p) &
+            (VecF::kWidth * sizeof(float) - 1)) == 0;
+}
+
+namespace detail {
+/** Load/store policies for the alignment dispatch below. */
+struct LoadU
+{
+    VecF operator()(const float *p) const { return VecF::load(p); }
+};
+struct LoadA
+{
+    VecF operator()(const float *p) const { return VecF::loadAligned(p); }
+};
+struct StoreU
+{
+    void operator()(float *p, VecF v) const { v.store(p); }
+};
+struct StoreA
+{
+    void operator()(float *p, VecF v) const { v.storeAligned(p); }
+};
+} // namespace detail
 
 /** Fold the min/max of p[0..n) into (lo, hi). Exact for finite data,
  *  where min/max folds are order-independent. NaN elements are NOT
@@ -619,16 +666,22 @@ rowMinMax(const float *p, size_t n, float &lo, float &hi)
     size_t i = 0;
     if constexpr (VecF::kWidth > 1) {
         if (n >= VecF::kWidth) {
-            VecF vlo = VecF::load(p);
-            VecF vhi = vlo;
-            for (i = VecF::kWidth; i + VecF::kWidth <= n;
-                 i += VecF::kWidth) {
-                const VecF v = VecF::load(p + i);
-                vlo = VecF::min(vlo, v);
-                vhi = VecF::max(vhi, v);
-            }
-            lo = std::min(lo, VecF::hmin(vlo));
-            hi = std::max(hi, VecF::hmax(vhi));
+            const auto scan = [&](auto load) {
+                VecF vlo = load(p);
+                VecF vhi = vlo;
+                for (i = VecF::kWidth; i + VecF::kWidth <= n;
+                     i += VecF::kWidth) {
+                    const VecF v = load(p + i);
+                    vlo = VecF::min(vlo, v);
+                    vhi = VecF::max(vhi, v);
+                }
+                lo = std::min(lo, VecF::hmin(vlo));
+                hi = std::max(hi, VecF::hmax(vhi));
+            };
+            if (vecAligned(p))
+                scan(detail::LoadA{});
+            else
+                scan(detail::LoadU{});
         }
     }
     for (; i < n; ++i) {
@@ -713,36 +766,56 @@ quantizeRow(const float *src, int8_t *dst, size_t n, float scale,
         VecF::broadcast(static_cast<float>(zero_point));
     size_t i = 0;
 #if SHMT_SIMD_AVX2
-    for (; i + 8 <= n; i += 8) {
-        const VecF q = VecF::round(VecF::load(src + i) / vscale + vzp);
-        const __m256i qi = _mm256_cvtps_epi32(q.v);
-        const __m128i lo = _mm256_castsi256_si128(qi);
-        const __m128i hi = _mm256_extracti128_si256(qi, 1);
-        const __m128i w = _mm_packs_epi32(lo, hi);   // saturate to i16
-        const __m128i b = _mm_packs_epi16(w, w);     // saturate to i8
-        _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + i), b);
-    }
+    const auto pass = [&](auto load) {
+        for (; i + 8 <= n; i += 8) {
+            const VecF q = VecF::round(load(src + i) / vscale + vzp);
+            const __m256i qi = _mm256_cvtps_epi32(q.v);
+            const __m128i lo = _mm256_castsi256_si128(qi);
+            const __m128i hi = _mm256_extracti128_si256(qi, 1);
+            const __m128i w = _mm_packs_epi32(lo, hi); // saturate to i16
+            const __m128i b = _mm_packs_epi16(w, w);   // saturate to i8
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + i), b);
+        }
+    };
+    if (vecAligned(src))
+        pass(detail::LoadA{});
+    else
+        pass(detail::LoadU{});
 #elif SHMT_SIMD_SSE
-    for (; i + 4 <= n; i += 4) {
-        const VecF q = VecF::round(VecF::load(src + i) / vscale + vzp);
-        const __m128i qi = _mm_cvtps_epi32(q.v);
-        const __m128i w = _mm_packs_epi32(qi, qi);
-        const __m128i b = _mm_packs_epi16(w, w);
-        const int32_t packed = _mm_cvtsi128_si32(b);
-        std::memcpy(dst + i, &packed, 4);
-    }
+    const auto pass = [&](auto load) {
+        for (; i + 4 <= n; i += 4) {
+            const VecF q = VecF::round(load(src + i) / vscale + vzp);
+            const __m128i qi = _mm_cvtps_epi32(q.v);
+            const __m128i w = _mm_packs_epi32(qi, qi);
+            const __m128i b = _mm_packs_epi16(w, w);
+            const int32_t packed = _mm_cvtsi128_si32(b);
+            std::memcpy(dst + i, &packed, 4);
+        }
+    };
+    if (vecAligned(src))
+        pass(detail::LoadA{});
+    else
+        pass(detail::LoadU{});
 #elif SHMT_SIMD_NEON
-    for (; i + 4 <= n; i += 4) {
-        const VecF q = VecF::round(VecF::load(src + i) / vscale + vzp);
-        // Clamp in float (q is integral), then narrow.
-        const VecF qc = VecF::min(VecF::max(q, VecF::broadcast(-128.0f)),
-                                  VecF::broadcast(127.0f));
-        const int32x4_t qi = vcvtq_s32_f32(qc.v);
-        const int16x4_t w = vqmovn_s32(qi);
-        const int8x8_t b = vqmovn_s16(vcombine_s16(w, w));
-        const int32_t packed = vget_lane_s32(vreinterpret_s32_s8(b), 0);
-        std::memcpy(dst + i, &packed, 4);
-    }
+    const auto pass = [&](auto load) {
+        for (; i + 4 <= n; i += 4) {
+            const VecF q = VecF::round(load(src + i) / vscale + vzp);
+            // Clamp in float (q is integral), then narrow.
+            const VecF qc =
+                VecF::min(VecF::max(q, VecF::broadcast(-128.0f)),
+                          VecF::broadcast(127.0f));
+            const int32x4_t qi = vcvtq_s32_f32(qc.v);
+            const int16x4_t w = vqmovn_s32(qi);
+            const int8x8_t b = vqmovn_s16(vcombine_s16(w, w));
+            const int32_t packed =
+                vget_lane_s32(vreinterpret_s32_s8(b), 0);
+            std::memcpy(dst + i, &packed, 4);
+        }
+    };
+    if (vecAligned(src))
+        pass(detail::LoadA{});
+    else
+        pass(detail::LoadU{});
 #endif
     for (; i < n; ++i) {
         const float q = std::nearbyintf(
@@ -764,14 +837,21 @@ dequantizeRow(const int8_t *src, float *dst, size_t n, float scale,
         VecF::broadcast(static_cast<float>(zero_point));
     size_t i = 0;
 #if SHMT_SIMD_AVX2
+    const auto pass = [&](auto store) {
     for (; i + 8 <= n; i += 8) {
         const __m128i b = _mm_loadl_epi64(
             reinterpret_cast<const __m128i *>(src + i));
         const __m256i qi = _mm256_cvtepi8_epi32(b);
         const VecF q{_mm256_cvtepi32_ps(qi)};
-        (vscale * (q - vzp)).store(dst + i);
+        store(dst + i, vscale * (q - vzp));
     }
+    };
+    if (vecAligned(dst))
+        pass(detail::StoreA{});
+    else
+        pass(detail::StoreU{});
 #elif SHMT_SIMD_SSE
+    const auto pass = [&](auto store) {
     for (; i + 4 <= n; i += 4) {
         int32_t packed;
         std::memcpy(&packed, src + i, 4);
@@ -780,9 +860,15 @@ dequantizeRow(const int8_t *src, float *dst, size_t n, float scale,
         b = _mm_unpacklo_epi16(b, b);
         b = _mm_srai_epi32(b, 24);               // sign-extend i8 -> i32
         const VecF q{_mm_cvtepi32_ps(b)};
-        (vscale * (q - vzp)).store(dst + i);
+        store(dst + i, vscale * (q - vzp));
     }
+    };
+    if (vecAligned(dst))
+        pass(detail::StoreA{});
+    else
+        pass(detail::StoreU{});
 #elif SHMT_SIMD_NEON
+    const auto pass = [&](auto store) {
     for (; i + 4 <= n; i += 4) {
         int32_t packed;
         std::memcpy(&packed, src + i, 4);
@@ -791,8 +877,13 @@ dequantizeRow(const int8_t *src, float *dst, size_t n, float scale,
         const int16x8_t w = vmovl_s8(b);
         const int32x4_t qi = vmovl_s16(vget_low_s16(w));
         const VecF q{vcvtq_f32_s32(qi)};
-        (vscale * (q - vzp)).store(dst + i);
+        store(dst + i, vscale * (q - vzp));
     }
+    };
+    if (vecAligned(dst))
+        pass(detail::StoreA{});
+    else
+        pass(detail::StoreU{});
 #endif
     for (; i < n; ++i)
         dst[i] = scale * (static_cast<float>(src[i]) -
@@ -813,11 +904,17 @@ fakeQuantizeRow(const float *src, float *dst, size_t n, float scale,
     const VecF vlo = VecF::broadcast(-128.0f);
     const VecF vhi = VecF::broadcast(127.0f);
     size_t i = 0;
-    for (; i + VecF::kWidth <= n; i += VecF::kWidth) {
-        VecF q = VecF::round(VecF::load(src + i) / vscale + vzp);
-        q = VecF::min(VecF::max(q, vlo), vhi);
-        (vscale * (q - vzp)).store(dst + i);
-    }
+    const auto pass = [&](auto load, auto store) {
+        for (; i + VecF::kWidth <= n; i += VecF::kWidth) {
+            VecF q = VecF::round(load(src + i) / vscale + vzp);
+            q = VecF::min(VecF::max(q, vlo), vhi);
+            store(dst + i, vscale * (q - vzp));
+        }
+    };
+    if (vecAligned(src) && vecAligned(dst))
+        pass(detail::LoadA{}, detail::StoreA{});
+    else
+        pass(detail::LoadU{}, detail::StoreU{});
     for (; i < n; ++i) {
         const float q = std::nearbyintf(
             src[i] / scale + static_cast<float>(zero_point));

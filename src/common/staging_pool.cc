@@ -16,7 +16,7 @@ StagingPool::acquire(size_t elems)
 {
     ThreadCache &tc = cache();
     ++tc.stats.leases;
-    std::vector<float> buf;
+    Buffer buf;
     if (!tc.buffers.empty()) {
         buf = std::move(tc.buffers.back());
         tc.buffers.pop_back();
@@ -24,9 +24,9 @@ StagingPool::acquire(size_t elems)
         tc.stats.cachedBytes = tc.cachedBytes;
         ++tc.stats.recycledHits;
     }
-    // resize() only touches memory when growing past the recycled
+    // resizeUninit() only swaps blocks when growing past the recycled
     // capacity; steady-state staging passes reuse it allocation-free.
-    buf.resize(elems);
+    buf.resizeUninit(elems);
     return Lease(std::move(buf));
 }
 
@@ -49,16 +49,18 @@ StagingPool::Lease::release()
         tc.stats.peakBytes = std::max(tc.stats.peakBytes, tc.cachedBytes);
         tc.stats.cachedBytes = tc.cachedBytes;
     } else {
+        // Dropped from the staging cache, but the block itself still
+        // recycles through the process-wide MemoryPool free lists.
         ++tc.stats.trimmed;
     }
-    buf_ = std::vector<float>();
+    buf_ = Buffer();
 }
 
 void
 StagingPool::trimLocked(ThreadCache &tc, size_t target_bytes)
 {
     std::sort(tc.buffers.begin(), tc.buffers.end(),
-              [](const std::vector<float> &a, const std::vector<float> &b) {
+              [](const Buffer &a, const Buffer &b) {
                   return a.capacity() > b.capacity();
               });
     while (!tc.buffers.empty() && tc.cachedBytes > target_bytes) {

@@ -8,7 +8,12 @@
  * parallel host engine on the allocator lock; this pool recycles the
  * buffers through thread-local free lists instead (lock-free: a
  * buffer is returned to the cache of whichever thread drops the
- * lease, which is the thread that used it).
+ * lease, which is the thread that used it). Since the memory-engine
+ * PR the buffers themselves are `common::Buffer` leases from
+ * `common::MemoryPool` — 64-byte-aligned, size-class recycled — so a
+ * buffer trimmed out of this pool's cache still lands in the process-
+ * wide free lists, and all staging bytes show up in the unified
+ * `MemoryStats` accounting.
  *
  * Each thread's cache is bounded by a byte high-water cap: releasing a
  * buffer that would push the cache past the cap trims the smallest
@@ -28,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_pool.hh"
+
 namespace shmt::common {
 
 /** Thread-local recycling pool of float scratch buffers. */
@@ -39,18 +46,14 @@ class StagingPool
     {
       public:
         Lease() = default;
-        explicit Lease(std::vector<float> buf) : buf_(std::move(buf)) {}
-        Lease(Lease &&other) noexcept : buf_(std::move(other.buf_))
-        {
-            other.buf_.clear();
-        }
+        explicit Lease(Buffer buf) : buf_(std::move(buf)) {}
+        Lease(Lease &&other) noexcept : buf_(std::move(other.buf_)) {}
         Lease &
         operator=(Lease &&other) noexcept
         {
             if (this != &other) {
                 release();
                 buf_ = std::move(other.buf_);
-                other.buf_.clear();
             }
             return *this;
         }
@@ -65,7 +68,7 @@ class StagingPool
       private:
         void release();
 
-        std::vector<float> buf_;
+        Buffer buf_;
     };
 
     /**
@@ -168,7 +171,7 @@ class StagingPool
 
     struct ThreadCache
     {
-        std::vector<std::vector<float>> buffers;
+        std::vector<Buffer> buffers;
         size_t cachedBytes = 0;
         size_t capBytes = kDefaultCacheCapBytes;
         Stats stats;

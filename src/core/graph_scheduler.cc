@@ -362,7 +362,7 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                                     kernels::ResidencyService::Entry e;
                                     e.rows = in.rows();
                                     e.cols = in.cols();
-                                    e.data.resize(e.rows * e.cols);
+                                    e.data.resizeUninit(e.rows * e.cols);
                                     const TensorView sv(e.data.data(),
                                                         e.rows, e.cols,
                                                         e.cols);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/cancel.hh"
+#include "common/memory_pool.hh"
 #include "common/status.hh"
 #include "sim/calibration.hh"
 #include "sim/power.hh"
@@ -135,6 +136,20 @@ struct RuntimeConfig
      * pipeline snapshot pins the off/on identity.
      */
     bool residency = true;
+
+    /**
+     * Pooled memory engine (`shmtbench --mem-pool=off|on`): back every
+     * tensor, staging plane, resident device-format entry and GEMM
+     * pack scratch with the 64-byte-aligned slab allocator
+     * (common/memory_pool.hh), recycling blocks through thread-local
+     * free lists and skipping the zero-fill on provably-overwritten
+     * allocations. Purely a host wall-clock knob: off falls back to
+     * direct zeroed allocations, and the pipeline snapshot pins the
+     * off/on bit-identity. This mirrors the process-global
+     * common::MemoryPool::setEnabled switch (the tensor layer cannot
+     * see this config); the tools set both together.
+     */
+    bool memPool = true;
 };
 
 /**
@@ -226,6 +241,17 @@ struct RunResult
      * the miss counters, which then count the uncached computations.
      */
     CacheStats cache;
+
+    /**
+     * Memory-engine counters of this run (pool leases, free-list
+     * reuse hits, zero-fills skipped on provably-overwritten
+     * allocations, live/peak/cached byte gauges). One surface for
+     * every byte the serving stack touches — tensors, staging planes,
+     * resident device-format entries and GEMM pack scratch all lease
+     * from the same common::MemoryPool. Monotone fields are deltas
+     * for this run; the gauges are end-of-run snapshots.
+     */
+    common::MemoryStats memory;
 
     /**
      * Outcome of the run. Ok means every VOp completed and the outputs

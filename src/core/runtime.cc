@@ -80,6 +80,11 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
     // cross-attribute a neighbour's traffic; totals stay exact.
     const ResidencyCache::Counters res0 = residencyCache_.counters();
 
+    // Memory-engine counters are likewise process-monotone (every
+    // tensor/staging/residency lease lands on the one global pool);
+    // this run's share is the before/after delta.
+    const common::MemoryStats mem0 = common::MemoryPool::stats();
+
     // All run state is local: concurrent runs on distinct programs
     // never share timelines or producer residency.
     std::vector<sim::DeviceTimeline> timelines;
@@ -128,6 +133,8 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
     result.cache.residencyEvictions = res1.evictions - res0.evictions;
     result.cache.residencyBytesAvoided =
         res1.bytesAvoided - res0.bytesAvoided;
+    result.memory =
+        common::MemoryStats::delta(mem0, common::MemoryPool::stats());
 
     if (trace_) {
         trace_->setHostPhases(result.hostWall);
@@ -137,6 +144,7 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
                                   result.cache.residencyMisses,
                                   result.cache.residencyBytesAvoided,
                                   res1.residentBytes);
+        trace_->setMemoryStats(result.memory);
     }
     return result;
 }

@@ -164,7 +164,7 @@ class DspBackend : public Backend
                     kernels::ResidencyService::Entry e;
                     e.rows = er1 - er0;
                     e.cols = ec1 - ec0;
-                    e.data.resize(e.rows * e.cols);
+                    e.data.resizeUninit(e.rows * e.cols);
                     fakeQuantizeFp16(src,
                                      TensorView(e.data.data(), e.rows,
                                                 e.cols, e.cols),
@@ -177,7 +177,8 @@ class DspBackend : public Backend
                 resident.push_back(std::move(handle));
                 continue;
             }
-            Tensor s(er1 - er0, ec1 - ec0);
+            // The FP16 pass overwrites the whole plane — no zero-fill.
+            Tensor s = Tensor::uninitialized(er1 - er0, ec1 - ec0);
             fakeQuantizeFp16(src, s.view(), args.hostSimd);
             staged.inputs.push_back(s.view());
             scratch.push_back(std::move(s));

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/memory_pool.hh"
 #include "common/simd.hh"
 
 namespace shmt::kernels {
@@ -52,10 +53,11 @@ constexpr size_t MR = 4;
  * through memory between panels, which is exact), and each step is an
  * explicit mul then add — never an FMA.
  */
-template <size_t NROWS>
+template <size_t NROWS, typename PanelLoad>
 void
 microKernel(const ConstTensorView &a, size_t row0, size_t k0, size_t kn,
-            const float *packed, size_t jn, float **crow)
+            const float *packed, size_t jn, float **crow,
+            PanelLoad pload)
 {
     const float *arow[NROWS];
     for (size_t i = 0; i < NROWS; ++i)
@@ -70,8 +72,8 @@ microKernel(const ConstTensorView &a, size_t row0, size_t k0, size_t kn,
         }
         for (size_t kk = 0; kk < kn; ++kk) {
             const float *bp = packed + kk * jn + c;
-            const VecF b0 = VecF::load(bp);
-            const VecF b1 = VecF::load(bp + W);
+            const VecF b0 = pload(bp);
+            const VecF b1 = pload(bp + W);
             for (size_t i = 0; i < NROWS; ++i) {
                 const VecF av = VecF::broadcast(arow[i][kk]);
                 acc0[i] = acc0[i] + av * b0;
@@ -88,7 +90,7 @@ microKernel(const ConstTensorView &a, size_t row0, size_t k0, size_t kn,
         for (size_t i = 0; i < NROWS; ++i)
             acc[i] = VecF::load(crow[i] + c);
         for (size_t kk = 0; kk < kn; ++kk) {
-            const VecF b0 = VecF::load(packed + kk * jn + c);
+            const VecF b0 = pload(packed + kk * jn + c);
             for (size_t i = 0; i < NROWS; ++i)
                 acc[i] = acc[i] + VecF::broadcast(arow[i][kk]) * b0;
         }
@@ -121,8 +123,10 @@ gemmSimd(const KernelArgs &args, const Rect &region, TensorView out)
             d[c] = 0.0f;
     }
 
-    thread_local std::vector<float> packed;
-    packed.resize(KC * NC);
+    // Pool-leased panel scratch: 64-byte aligned (so full panels take
+    // the aligned-load micro-kernel path) and recycled per thread.
+    thread_local common::Buffer packed;
+    packed.resizeUninit(KC * NC);
 
     // Panels are keyed on B's identity plus the absolute (k, col)
     // panel rectangle, so every partition of every HLOP — and every
@@ -150,7 +154,7 @@ gemmSimd(const KernelArgs &args, const Rect &region, TensorView out)
                     ResidencyService::Entry e;
                     e.rows = kn;
                     e.cols = jn;
-                    e.data.resize(kn * jn);
+                    e.data.resizeUninit(kn * jn);
                     for (size_t kk = 0; kk < kn; ++kk)
                         std::memcpy(e.data.data() + kk * jn,
                                     b.row(k0 + kk) + region.col0 + j0,
@@ -166,19 +170,31 @@ gemmSimd(const KernelArgs &args, const Rect &region, TensorView out)
                 panel = packed.data();
             }
 
-            float *crow[MR];
-            size_t r = 0;
-            for (; r + MR <= region.rows; r += MR) {
-                for (size_t i = 0; i < MR; ++i)
-                    crow[i] = out.row(r + i) + j0;
-                microKernel<MR>(a, region.row0 + r, k0, kn, panel, jn,
-                                crow);
-            }
-            for (; r < region.rows; ++r) {
-                crow[0] = out.row(r) + j0;
-                microKernel<1>(a, region.row0 + r, k0, kn, panel, jn,
-                               crow);
-            }
+            // Panel rows are contiguous jn-float strips off a 64-byte-
+            // aligned pool base: when jn keeps every strip aligned,
+            // the micro-kernel loads B through the aligned entry
+            // points (same bits, cheaper address path).
+            const bool panel_aligned =
+                simd::vecAligned(panel) && jn % W == 0;
+            const auto run_rows = [&](auto pload) {
+                float *crow[MR];
+                size_t r = 0;
+                for (; r + MR <= region.rows; r += MR) {
+                    for (size_t i = 0; i < MR; ++i)
+                        crow[i] = out.row(r + i) + j0;
+                    microKernel<MR>(a, region.row0 + r, k0, kn, panel,
+                                    jn, crow, pload);
+                }
+                for (; r < region.rows; ++r) {
+                    crow[0] = out.row(r) + j0;
+                    microKernel<1>(a, region.row0 + r, k0, kn, panel,
+                                   jn, crow, pload);
+                }
+            };
+            if (panel_aligned)
+                run_rows(simd::detail::LoadA{});
+            else
+                run_rows(simd::detail::LoadU{});
         }
     }
 }

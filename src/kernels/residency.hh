@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/memory_pool.hh"
 #include "tensor/quantize.hh"
 #include "tensor/tiling.hh"
 
@@ -68,7 +69,10 @@ class ResidencyService
      */
     struct Entry
     {
-        std::vector<float> data;
+        /** Pool-leased, 64-byte-aligned; recycles on eviction. Sized
+         *  with resizeUninit() — every materializer overwrites the
+         *  full extent. */
+        common::Buffer data;
         size_t rows = 0;
         size_t cols = 0;
 

@@ -129,7 +129,7 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
                         ResidencyService::Entry e;
                         e.rows = in.rows();
                         e.cols = in.cols();
-                        e.data.resize(e.rows * e.cols);
+                        e.data.resizeUninit(e.rows * e.cols);
                         const TensorView sv(e.data.data(), e.rows,
                                             e.cols, e.cols);
                         fakeQuantize(in, sv, qp, args.hostSimd);
@@ -187,11 +187,14 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
                     ResidencyService::Entry e;
                     e.rows = er1 - er0;
                     e.cols = ec1 - ec0;
-                    e.data.resize(e.rows * e.cols);
+                    e.data.resizeUninit(e.rows * e.cols);
                     const TensorView sv(e.data.data(), e.rows, e.cols,
                                         e.cols);
-                    memcpy2d(sv, src);
-                    fakeQuantize(sv, sv, qp, args.hostSimd);
+                    // One pass: quantize the strided source rows
+                    // straight into the pool-leased plane. Bit-equal
+                    // to the legacy copy-then-quantize-in-place (the
+                    // per-element math never sees the pointers).
+                    fakeQuantize(src, sv, qp, args.hostSimd);
                     return e;
                 });
                 staged.inputs.push_back(
@@ -204,8 +207,13 @@ NpuExecutor::run(const KernelInfo &info, const KernelArgs &args,
                 (er1 - er0) * (ec1 - ec0));
             const TensorView sv(lease.data(), er1 - er0, ec1 - ec0,
                                 ec1 - ec0);
-            memcpy2d(sv, in.slice(er0, ec0, er1 - er0, ec1 - ec0));
-            fakeQuantize(sv, sv, input_params(i, sv), args.hostSimd);
+            // Stage in one pass: the legacy path memcpy2d'd the slice
+            // into the plane and quantized in place — a double copy.
+            // The range scan and the quantize both walk rows in source
+            // order, so reading the strided slice directly produces
+            // bit-identical params and staged bytes.
+            const auto src = in.slice(er0, ec0, er1 - er0, ec1 - ec0);
+            fakeQuantize(src, sv, input_params(i, src), args.hostSimd);
             staged.inputs.push_back(sv);
             scratch.push_back(std::move(lease));
         }

@@ -117,6 +117,26 @@ ExecutionTrace::writeChromeTrace(std::ostream &os) const
            << ",\"stage_bytes_avoided\":" << residencyBytesAvoided_
            << ",\"resident_bytes\":" << residencyResidentBytes_
            << "}}";
+        first = false;
+    }
+    if (hasMemoryStats_) {
+        // Metadata record: memory-engine effectiveness of the run.
+        if (!first)
+            os << ",";
+        os << "{\"name\":\"memory\",\"cat\":\"host\",\"ph\":"
+              "\"M\",\"pid\":0,\"tid\":\"host\",\"args\":{"
+              "\"pool_enabled\":" << (memoryStats_.enabled ? "true"
+                                                           : "false")
+           << ",\"allocs\":" << memoryStats_.allocs
+           << ",\"reuse_hits\":" << memoryStats_.reuseHits
+           << ",\"spill_hits\":" << memoryStats_.spillHits
+           << ",\"fresh_bytes\":" << memoryStats_.freshBytes
+           << ",\"memsets_avoided\":" << memoryStats_.memsetsAvoided
+           << ",\"memset_bytes_avoided\":"
+           << memoryStats_.memsetBytesAvoided
+           << ",\"bytes_live\":" << memoryStats_.bytesLive
+           << ",\"peak_live\":" << memoryStats_.peakLive
+           << ",\"cached_bytes\":" << memoryStats_.cachedBytes << "}}";
     }
     os << "]}\n";
 }

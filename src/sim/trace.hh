@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_pool.hh"
 #include "sim/calibration.hh"
 #include "sim/wallclock.hh"
 
@@ -87,6 +88,8 @@ class ExecutionTrace
         residencyHits_ = residencyMisses_ = 0;
         residencyBytesAvoided_ = residencyResidentBytes_ = 0;
         hasResidencyStats_ = false;
+        memoryStats_ = common::MemoryStats{};
+        hasMemoryStats_ = false;
     }
 
     /** Completion time of the last event. */
@@ -153,6 +156,20 @@ class ExecutionTrace
     bool hasResidencyStats() const { return hasResidencyStats_; }
 
     /**
+     * Memory-engine counters of the recorded run (pool leases,
+     * free-list reuse, zero-fills skipped; set by the runtime when a
+     * trace is attached). Exported as a `memory` metadata record.
+     */
+    void
+    setMemoryStats(const common::MemoryStats &stats)
+    {
+        memoryStats_ = stats;
+        hasMemoryStats_ = true;
+    }
+    const common::MemoryStats &memoryStats() const { return memoryStats_; }
+    bool hasMemoryStats() const { return hasMemoryStats_; }
+
+    /**
      * Write the trace in Chrome tracing JSON (one row per device,
      * one duration slice per HLOP; timestamps in microseconds).
      */
@@ -172,6 +189,8 @@ class ExecutionTrace
     size_t residencyBytesAvoided_ = 0;
     size_t residencyResidentBytes_ = 0;
     bool hasResidencyStats_ = false;
+    common::MemoryStats memoryStats_;
+    bool hasMemoryStats_ = false;
 };
 
 } // namespace shmt::sim

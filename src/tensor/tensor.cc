@@ -55,7 +55,8 @@ memcpy2d(TensorView dst, ConstTensorView src)
 Tensor
 toTensor(ConstTensorView src)
 {
-    Tensor out(src.rows(), src.cols());
+    // memcpy2d overwrites the full extent — skip the zero-fill.
+    Tensor out = Tensor::uninitialized(src.rows(), src.cols());
     memcpy2d(out.view(), src);
     return out;
 }

@@ -15,9 +15,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/memory_pool.hh"
 
 namespace shmt {
 
@@ -172,28 +174,57 @@ class Tensor
   public:
     Tensor() = default;
 
-    /** Allocate a rows x cols tensor initialized to @p init. */
+    /** Allocate a rows x cols tensor initialized to @p init. The
+     *  payload is a pool-leased 64-byte-aligned block. */
     Tensor(size_t rows, size_t cols, float init = 0.0f)
-        : rows_(rows), cols_(cols), data_(rows * cols, init)
-    {}
+        : rows_(rows), cols_(cols), data_(rows * cols)
+    {
+        if (init != 0.0f)
+            data_.fill(init);
+    }
+
+    /**
+     * Allocate a rows x cols tensor WITHOUT initializing the payload
+     * (skips the zero-fill when the memory pool is enabled; canary-
+     * poisoned in SHMT_ASAN/debug builds). Only for call sites that
+     * provably overwrite the full extent before any read — map-style
+     * kernel outputs, staging destinations, dequantize targets, whole-
+     * view copies. Reduction outputs and accumulators must NOT use
+     * this: they rely on the zero/init semantics of the plain
+     * constructor. With the pool disabled this zero-fills, so
+     * `--mem-pool off|on` bit-identity checks the overwrite claim.
+     */
+    static Tensor
+    uninitialized(size_t rows, size_t cols)
+    {
+        Tensor t;
+        t.rows_ = rows;
+        t.cols_ = cols;
+        t.data_ = common::Buffer::uninitialized(rows * cols);
+        return t;
+    }
 
     /** Adopt existing row-major data (must be rows*cols long). */
-    Tensor(size_t rows, size_t cols, std::vector<float> data)
-        : rows_(rows), cols_(cols), data_(std::move(data))
+    Tensor(size_t rows, size_t cols, const std::vector<float> &data)
+        : rows_(rows), cols_(cols),
+          data_(common::Buffer::uninitialized(data.size()))
     {
         SHMT_ASSERT(data_.size() == rows_ * cols_, "size mismatch");
+        if (!data.empty())
+            std::memcpy(data_.data(), data.data(),
+                        data.size() * sizeof(float));
     }
 
     /** Copies and moves mint a fresh identity (generation restarts). */
     Tensor(const Tensor &other)
-        : rows_(other.rows_), cols_(other.cols_), data_(other.data_)
+        : rows_(other.rows_), cols_(other.cols_),
+          data_(clone(other.data_))
     {}
     Tensor(Tensor &&other) noexcept
         : rows_(other.rows_), cols_(other.cols_),
           data_(std::move(other.data_))
     {
         other.rows_ = other.cols_ = 0;
-        other.data_.clear();
     }
     Tensor &
     operator=(const Tensor &other)
@@ -201,7 +232,7 @@ class Tensor
         if (this != &other) {
             rows_ = other.rows_;
             cols_ = other.cols_;
-            data_ = other.data_;
+            data_ = clone(other.data_);
             id_ = nextId();
             gen_.store(0, std::memory_order_relaxed);
         }
@@ -215,7 +246,6 @@ class Tensor
             cols_ = other.cols_;
             data_ = std::move(other.data_);
             other.rows_ = other.cols_ = 0;
-            other.data_.clear();
             id_ = nextId();
             gen_.store(0, std::memory_order_relaxed);
         }
@@ -291,6 +321,18 @@ class Tensor
         return counter.fetch_add(1, std::memory_order_relaxed);
     }
 
+    /** Payload copy: uninitialized lease + memcpy of the full extent
+     *  (the legacy vector copy never zeroed either). */
+    static common::Buffer
+    clone(const common::Buffer &src)
+    {
+        common::Buffer dst = common::Buffer::uninitialized(src.size());
+        if (!src.empty())
+            std::memcpy(dst.data(), src.data(),
+                        src.size() * sizeof(float));
+        return dst;
+    }
+
     void
     bumpGeneration()
     {
@@ -299,7 +341,7 @@ class Tensor
 
     size_t rows_ = 0;
     size_t cols_ = 0;
-    std::vector<float> data_;
+    common::Buffer data_;
     uint64_t id_ = nextId();
     std::atomic<uint64_t> gen_{0};
 };

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Memory engine regression tests.
+ *
+ * The pool's contract is bit-transparency plus an alignment guarantee:
+ * with the pool off every allocation is a fresh zero-filled aligned
+ * block (the legacy semantics), and with it on the recycled,
+ * uninitialized-capable blocks must produce byte-identical program
+ * outputs. These tests pin that contract at three levels:
+ *
+ *  - unit: size-class rounding, the 64-byte alignment guarantee,
+ *    free-list reuse and stats accounting, thread-cache caps /
+ *    trim-to-spill, and racing lease/release across threads (run
+ *    under TSan via the tsan label);
+ *  - tensor: Tensor::uninitialized is canary-poisoned in debug/ASan
+ *    builds and every map-style VOp output is provably overwritten
+ *    (no canary survives a functional run);
+ *  - runtime: the benchmark x policy x hostThreads pooled-vs-legacy
+ *    matrix is byte-identical with identical simulated timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/memory_pool.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "kernels/workload.hh"
+#include "tensor/quantize.hh"
+#include "tensor/tensor.hh"
+
+namespace shmt::common {
+namespace {
+
+/** RAII guard: force the pool mode for one test, restore after. */
+struct PoolMode
+{
+    explicit PoolMode(bool on) : prev(MemoryPool::enabled())
+    {
+        MemoryPool::setEnabled(on);
+    }
+    ~PoolMode() { MemoryPool::setEnabled(prev); }
+    bool prev;
+};
+
+/** Whether uninitialized leases are canary-poisoned in this build. */
+constexpr bool kPoisonActive =
+#if defined(SHMT_ASAN) || !defined(NDEBUG)
+    true;
+#else
+    false;
+#endif
+
+bool
+isPoison(float v)
+{
+    uint32_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return u == MemoryPool::kPoisonBits;
+}
+
+// ------------------------------------------------------------- unit --
+
+TEST(MemoryPoolUnit, SizeClassRounding)
+{
+    // Powers of two interleaved with 1.5x: <= 50% overhead worst case.
+    EXPECT_EQ(MemoryPool::sizeClassBytes(1), 64u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(64), 64u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(65), 96u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(96), 96u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(97), 128u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(128), 128u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(129), 192u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(192), 192u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(193), 256u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(4096), 4096u);
+    EXPECT_EQ(MemoryPool::sizeClassBytes(4097), 6144u);
+    for (size_t bytes = 1; bytes <= 8192; bytes += 37) {
+        const size_t cls = MemoryPool::sizeClassBytes(bytes);
+        EXPECT_GE(cls, bytes);
+        EXPECT_LT(cls, 2 * bytes + 64) << bytes;
+    }
+}
+
+TEST(MemoryPoolUnit, EveryBufferIsCacheLineAligned)
+{
+    for (const bool pooled : {true, false}) {
+        PoolMode mode(pooled);
+        for (const size_t elems :
+             {size_t{1}, size_t{7}, size_t{16}, size_t{100}, size_t{1000},
+              size_t{65536}, size_t{1} << 20}) {
+            const Buffer zeroed(elems);
+            const Buffer raw = Buffer::uninitialized(elems);
+            EXPECT_TRUE(MemoryPool::isAligned(zeroed.data()))
+                << elems << " pooled=" << pooled;
+            EXPECT_TRUE(MemoryPool::isAligned(raw.data()))
+                << elems << " pooled=" << pooled;
+        }
+    }
+    // Slab strips must keep EVERY carved block aligned, not just the
+    // first — the 96-family classes are not multiples of the block
+    // alignment, so hold a deep stack of live leases per small class.
+    PoolMode pooledMode(true);
+    for (const size_t elems : {size_t{4}, size_t{17}, size_t{40},
+                               size_t{100}, size_t{500}, size_t{1000}}) {
+        std::vector<Buffer> live;
+        for (int i = 0; i < 32; ++i) {
+            live.push_back(Buffer::uninitialized(elems));
+            EXPECT_TRUE(MemoryPool::isAligned(live.back().data()))
+                << elems << " lease #" << i;
+        }
+    }
+}
+
+TEST(MemoryPoolUnit, ZeroedConstructorZeroesEitherMode)
+{
+    for (const bool pooled : {true, false}) {
+        PoolMode mode(pooled);
+        // Prime a dirty block of the same class so a pooled reuse
+        // would hand back stale bytes if the zero-fill were skipped.
+        {
+            Buffer dirty = Buffer::uninitialized(512);
+            dirty.fill(3.5f);
+        }
+        const Buffer b(512);
+        for (size_t i = 0; i < b.size(); ++i)
+            ASSERT_EQ(b[i], 0.0f) << i << " pooled=" << pooled;
+    }
+}
+
+TEST(MemoryPoolUnit, FreeListReuseCountsAndRecycles)
+{
+    PoolMode mode(true);
+    // A large class stays off the slab path, so the second acquire
+    // must pop exactly the block the first released.
+    constexpr size_t kElems = 100000; // 400 KB -> direct cacheable
+    const MemoryStats s0 = MemoryPool::stats();
+    const float *first;
+    {
+        Buffer a = Buffer::uninitialized(kElems);
+        first = a.data();
+    }
+    Buffer b = Buffer::uninitialized(kElems);
+    EXPECT_EQ(b.data(), first);
+    const MemoryStats d = MemoryStats::delta(s0, MemoryPool::stats());
+    EXPECT_EQ(d.allocs, 2u);
+    EXPECT_EQ(d.reuseHits, 1u);
+    EXPECT_EQ(d.memsetsAvoided, 2u);
+    EXPECT_EQ(d.memsetBytesAvoided, 2u * kElems * sizeof(float));
+}
+
+TEST(MemoryPoolUnit, PoolOffNeverCachesDirectBlocks)
+{
+    PoolMode mode(false);
+    const MemoryStats s0 = MemoryPool::stats();
+    for (int i = 0; i < 4; ++i)
+        Buffer dummy(100000);
+    const MemoryStats d = MemoryStats::delta(s0, MemoryPool::stats());
+    EXPECT_EQ(d.allocs, 4u);
+    EXPECT_EQ(d.reuseHits, 0u);
+    // Legacy mode zero-fills even the "uninitialized" path.
+    const Buffer raw = Buffer::uninitialized(4096);
+    for (size_t i = 0; i < raw.size(); ++i)
+        ASSERT_EQ(raw[i], 0.0f) << i;
+}
+
+TEST(MemoryPoolUnit, LiveAndPeakGaugesTrackLeases)
+{
+    PoolMode mode(true);
+    const MemoryStats s0 = MemoryPool::stats();
+    {
+        const Buffer a(1 << 16);
+        const MemoryStats s1 = MemoryPool::stats();
+        EXPECT_GE(s1.bytesLive, s0.bytesLive + (1 << 16) * sizeof(float));
+        EXPECT_GE(s1.peakLive, s1.bytesLive);
+    }
+    const MemoryStats s2 = MemoryPool::stats();
+    EXPECT_EQ(s2.bytesLive, s0.bytesLive);
+}
+
+TEST(MemoryPoolUnit, ResizeUninitKeepsCapacityHighWater)
+{
+    PoolMode mode(true);
+    Buffer b;
+    EXPECT_TRUE(b.empty());
+    b.resizeUninit(128);
+    EXPECT_EQ(b.size(), 128u);
+    EXPECT_EQ(b.capacity(), 128u);
+    const float *block = b.data();
+    // Shrink keeps the block and the capacity (exact high-water, the
+    // accounting the staging pool's cachedBytes pins).
+    b.resizeUninit(64);
+    EXPECT_EQ(b.size(), 64u);
+    EXPECT_EQ(b.capacity(), 128u);
+    EXPECT_EQ(b.data(), block);
+    // Growing past capacity swaps blocks (contents not preserved).
+    b.resizeUninit(4096);
+    EXPECT_EQ(b.size(), 4096u);
+    EXPECT_EQ(b.capacity(), 4096u);
+}
+
+TEST(MemoryPoolUnit, ThreadCacheCapShedsToSpill)
+{
+    PoolMode mode(true);
+    const size_t prev_cap = MemoryPool::threadCacheCap();
+    // Cap this thread at one 400 KB-class block's worth of idle bytes.
+    constexpr size_t kElems = 100000;
+    const size_t cls = MemoryPool::sizeClassBytes(kElems * sizeof(float));
+    MemoryPool::setThreadCacheCap(cls);
+    {
+        // Two released blocks exceed the cap: one must spill.
+        Buffer a = Buffer::uninitialized(kElems);
+        Buffer b = Buffer::uninitialized(kElems);
+    }
+    EXPECT_LE(MemoryPool::threadCachedBytes(), cls);
+    // Both blocks are still pooled (spill absorbed the overflow): two
+    // fresh leases must both be reuse hits.
+    const MemoryStats s0 = MemoryPool::stats();
+    {
+        Buffer a = Buffer::uninitialized(kElems);
+        Buffer b = Buffer::uninitialized(kElems);
+        const MemoryStats d =
+            MemoryStats::delta(s0, MemoryPool::stats());
+        EXPECT_EQ(d.reuseHits, 2u);
+        EXPECT_GE(d.spillHits, 1u);
+    }
+    MemoryPool::setThreadCacheCap(prev_cap);
+    MemoryPool::flushThreadCache();
+    MemoryPool::clearSpill();
+}
+
+TEST(MemoryPoolUnit, ClearSpillDropsDirectBlocksKeepsSlabs)
+{
+    PoolMode mode(true);
+    // A small (slab-carved) and a large (direct) block, both flushed
+    // to the spill arena.
+    {
+        Buffer small = Buffer::uninitialized(16);
+        Buffer large = Buffer::uninitialized(100000);
+    }
+    MemoryPool::flushThreadCache();
+    const MemoryStats s0 = MemoryPool::stats();
+    MemoryPool::clearSpill();
+    const MemoryStats d = MemoryStats::delta(s0, MemoryPool::stats());
+    EXPECT_GE(d.trims, 1u);          // the direct block was freed
+    const MemoryStats s1 = MemoryPool::stats();
+    EXPECT_LT(s1.cachedBytes, s0.cachedBytes);
+    // The slab block still recycles.
+    const MemoryStats s2 = MemoryPool::stats();
+    Buffer again = Buffer::uninitialized(16);
+    const MemoryStats d2 = MemoryStats::delta(s2, MemoryPool::stats());
+    EXPECT_EQ(d2.reuseHits, 1u);
+}
+
+TEST(MemoryPoolUnit, RacingLeaseReleaseAcrossThreads)
+{
+    PoolMode mode(true);
+    // Hammer the pool from several threads with mixed sizes: thread
+    // caches, the spill arena and the slab carver all race. Each
+    // buffer is stamped and verified so a double-handout of one block
+    // would be caught as a torn stamp.
+    constexpr size_t kThreads = 4;
+    constexpr size_t kIters = 400;
+    std::vector<std::thread> threads;
+    std::atomic<size_t> failures{0};
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &failures] {
+            const size_t sizes[] = {17, 256, 1024, 5000, 70000};
+            std::vector<Buffer> held;
+            for (size_t i = 0; i < kIters; ++i) {
+                const size_t elems = sizes[(t + i) % 5];
+                Buffer b = Buffer::uninitialized(elems);
+                const float stamp =
+                    static_cast<float>(t * 1000 + i % 97);
+                b.fill(stamp);
+                if (b[0] != stamp || b[elems - 1] != stamp)
+                    failures.fetch_add(1);
+                held.push_back(std::move(b));
+                if (held.size() > 8)
+                    held.erase(held.begin()); // release oldest
+            }
+            for (Buffer &b : held) {
+                if (b[0] != b[b.size() - 1])
+                    failures.fetch_add(1);
+            }
+            held.clear();
+            MemoryPool::flushThreadCache();
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0u);
+}
+
+// ----------------------------------------------------------- tensor --
+
+TEST(TensorUninitialized, PoisonedUntilOverwrittenInDebugBuilds)
+{
+    if (!kPoisonActive)
+        GTEST_SKIP() << "canary poisoning is debug/ASan-only";
+    PoolMode mode(true);
+    Tensor t = Tensor::uninitialized(64, 64);
+    for (size_t r = 0; r < t.rows(); ++r)
+        for (size_t c = 0; c < t.cols(); ++c)
+            ASSERT_TRUE(isPoison(t.at(r, c))) << r << "," << c;
+    // A full staging pass must clear every canary.
+    const Tensor src(64, 64, 1.25f);
+    fakeQuantizeFp16(src.view(), t.view(), /*simd=*/true);
+    for (size_t r = 0; r < t.rows(); ++r)
+        for (size_t c = 0; c < t.cols(); ++c)
+            ASSERT_FALSE(isPoison(t.at(r, c))) << r << "," << c;
+}
+
+TEST(TensorUninitialized, MapStyleVopOutputsAreFullyOverwritten)
+{
+    if (!kPoisonActive)
+        GTEST_SKIP() << "canary poisoning is debug/ASan-only";
+    PoolMode mode(true);
+    // Chain of map-style VOps over uninitialized outputs — the exact
+    // allocation the serving stack performs. After a functional run
+    // no canary may survive anywhere in any output.
+    const Tensor in = kernels::makeImage(96, 96, 11);
+    std::vector<std::unique_ptr<Tensor>> outs;
+    core::VopProgram program;
+    program.name = "poison-scan";
+    const Tensor *cur = &in;
+    for (const char *opcode : {"sobel", "srad", "laplacian"}) {
+        outs.push_back(std::make_unique<Tensor>(
+            Tensor::uninitialized(96, 96)));
+        core::VOp vop;
+        vop.opcode = opcode;
+        vop.inputs = {cur};
+        vop.output = outs.back().get();
+        if (std::strcmp(opcode, "srad") == 0)
+            vop.scalars = {0.05f, 0.5f};
+        program.ops.push_back(std::move(vop));
+        cur = outs.back().get();
+    }
+    core::RuntimeConfig cfg;
+    cfg.hostThreads = 0; // parallel host engine: the worst case
+    auto rt = apps::makePrototypeRuntime(cfg);
+    auto policy = core::makePolicy("qaws-ts");
+    const core::RunResult r = rt.run(program, *policy);
+    ASSERT_TRUE(r.status.ok());
+    for (const auto &t : outs)
+        for (size_t row = 0; row < t->rows(); ++row)
+            for (size_t col = 0; col < t->cols(); ++col)
+                ASSERT_FALSE(isPoison(t->at(row, col)))
+                    << row << "," << col;
+}
+
+// ---------------------------------------------------------- runtime --
+
+/** Concatenated output bytes of a benchmark's final output. */
+std::vector<float>
+outputBytes(const Tensor &t)
+{
+    std::vector<float> out;
+    const ConstTensorView v = t.view();
+    for (size_t r = 0; r < v.rows(); ++r)
+        out.insert(out.end(), v.row(r), v.row(r) + v.cols());
+    return out;
+}
+
+/** Run @p bench_name twice on one runtime (the second run exercises
+ *  recycled buffers); returns the second result. */
+core::RunResult
+runBench(const std::string &bench_name, const std::string &policy_name,
+         bool pooled, size_t host_threads, std::vector<float> &out)
+{
+    MemoryPool::setEnabled(pooled);
+    core::RuntimeConfig cfg;
+    cfg.hostThreads = host_threads;
+    cfg.memPool = pooled;
+    auto rt = apps::makePrototypeRuntime(cfg);
+    auto bench = apps::makeBenchmark(bench_name, 192, 192);
+    auto policy = core::makePolicy(policy_name);
+    core::RunResult r = rt.run(bench->program(), *policy);
+    r = rt.run(bench->program(), *policy);
+    out = outputBytes(bench->output());
+    return r;
+}
+
+/** Simulated timing and outputs must agree to the bit. */
+void
+expectIdentical(const core::RunResult &off, const core::RunResult &on,
+                const std::vector<float> &off_out,
+                const std::vector<float> &on_out,
+                const std::string &what)
+{
+    EXPECT_EQ(off.makespanSec, on.makespanSec) << what;
+    EXPECT_EQ(off.schedulingSec, on.schedulingSec) << what;
+    EXPECT_EQ(off.aggregationSec, on.aggregationSec) << what;
+    EXPECT_EQ(off.hlopsTotal, on.hlopsTotal) << what;
+    ASSERT_EQ(off.devices.size(), on.devices.size()) << what;
+    for (size_t d = 0; d < off.devices.size(); ++d) {
+        EXPECT_EQ(off.devices[d].hlops, on.devices[d].hlops)
+            << what << " device " << d;
+        EXPECT_EQ(off.devices[d].busySec, on.devices[d].busySec)
+            << what << " device " << d;
+    }
+    ASSERT_EQ(off_out.size(), on_out.size()) << what;
+    EXPECT_EQ(std::memcmp(off_out.data(), on_out.data(),
+                          off_out.size() * sizeof(float)),
+              0)
+        << what;
+}
+
+TEST(MemoryEngine, PooledVsLegacyBitIdentityAcrossTheMatrix)
+{
+    PoolMode mode(true); // restores the default when the test ends
+    // benchmark x policy x hostThreads {1 (serial), 0 (hardware
+    // default)}: the pool must be invisible in results. hotspot and
+    // blackscholes route intermediates through Tensor::uninitialized;
+    // srad at depth exercises the staging/accumulator recycling.
+    for (const char *bench : {"hotspot", "blackscholes", "srad"}) {
+        for (const char *policy : {"qaws-ts", "work-stealing"}) {
+            for (size_t host_threads : {size_t{1}, size_t{0}}) {
+                const std::string what =
+                    std::string(bench) + "/" + policy +
+                    "/threads=" + std::to_string(host_threads);
+                std::vector<float> off_out, on_out;
+                const core::RunResult off = runBench(
+                    bench, policy, false, host_threads, off_out);
+                const core::RunResult on = runBench(
+                    bench, policy, true, host_threads, on_out);
+                expectIdentical(off, on, off_out, on_out, what);
+            }
+        }
+    }
+}
+
+TEST(MemoryEngine, RunResultSurfacesPoolCounters)
+{
+    PoolMode mode(true);
+    core::RuntimeConfig cfg;
+    cfg.hostThreads = 1;
+    auto rt = apps::makePrototypeRuntime(cfg);
+    // histogram is a reduction: its per-run accumulators go back to
+    // the pool after aggregation, so a second run must lease them
+    // straight off the free lists.
+    auto bench = apps::makeBenchmark("histogram", 192, 192);
+    auto policy = core::makePolicy("qaws-ts");
+    const core::RunResult r1 = rt.run(bench->program(), *policy);
+    EXPECT_TRUE(r1.memory.enabled);
+    EXPECT_GT(r1.memory.allocs, 0u);
+    // Cold staging planes take the uninitialized path.
+    EXPECT_GT(r1.memory.memsetsAvoided, 0u);
+    const core::RunResult r2 = rt.run(bench->program(), *policy);
+    EXPECT_GT(r2.memory.reuseHits, 0u);
+}
+
+} // namespace
+} // namespace shmt::common

@@ -15,7 +15,8 @@
  *
  * Usage: pipeline_snapshot [--n <edge>] [--plan-cache off|on]
  *            [--graph-exec off|on] [--residency off|on]
- *            [--host-threads <k>] [--exec-control off|armed]
+ *            [--mem-pool off|on] [--host-threads <k>]
+ *            [--exec-control off|armed]
  *            [--outputs-only] > snapshot.txt
  *
  * --outputs-only prints just the tag and the output-tensor hash — a
@@ -38,6 +39,7 @@
 #include "apps/harness.hh"
 #include "common/cancel.hh"
 #include "common/logging.hh"
+#include "common/memory_pool.hh"
 #include "core/pipeline.hh"
 #include "core/policy.hh"
 #include "core/runtime.hh"
@@ -154,6 +156,16 @@ main(int argc, char **argv)
             if (mode != "off" && mode != "on")
                 SHMT_FATAL("--residency must be off or on");
             residency = mode == "on";
+        } else if (arg == "--mem-pool" && i + 1 < argc) {
+            // The memory engine must be invisible too: off is the
+            // legacy zero-filled direct allocator, on recycles blocks
+            // and skips provably-redundant zero-fills, and the two
+            // snapshots must diff empty (this is what licenses every
+            // Tensor::uninitialized site).
+            const std::string_view mode = argv[++i];
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--mem-pool must be off or on");
+            common::MemoryPool::setEnabled(mode == "on");
         } else if (arg == "--host-threads" && i + 1 < argc) {
             host_threads = std::stoul(argv[++i]);
         } else if (arg == "--exec-control" && i + 1 < argc) {

@@ -26,6 +26,7 @@
 #include "apps/harness.hh"
 #include "common/cancel.hh"
 #include "common/logging.hh"
+#include "common/memory_pool.hh"
 #include "common/status.hh"
 #include "common/thread_pool.hh"
 #include "core/session.hh"
@@ -53,6 +54,7 @@ struct Options
     bool planCache = true;
     bool graphExec = true;
     bool residency = true;
+    bool memPool = true;
     size_t sessionWorkers = 0;  //!< 0 = standalone run (no Session)
     size_t sessionPrograms = 8;
     std::string tracePath;
@@ -83,6 +85,10 @@ usage()
         "  --residency <mode>    off|on: staging residency (resident\n"
         "                        INT8/FP16 planes + GEMM panels keyed\n"
         "                        on tensor write generations;\n"
+        "                        bit-transparent, default: on)\n"
+        "  --mem-pool <mode>     off|on: the pooled memory engine\n"
+        "                        (aligned slab allocator, free-list\n"
+        "                        recycling, uninitialized allocation;\n"
         "                        bit-transparent, default: on)\n"
         "  --session-workers <n> serve the benchmark through a Session\n"
         "                        with n driver workers instead of a\n"
@@ -158,6 +164,11 @@ parseArgs(int argc, char **argv)
             if (mode != "off" && mode != "on")
                 SHMT_FATAL("--residency must be off or on");
             opts.residency = mode == "on";
+        } else if (arg == "--mem-pool") {
+            const std::string mode = next();
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--mem-pool must be off or on");
+            opts.memPool = mode == "on";
         } else if (arg == "--session-workers") {
             opts.sessionWorkers =
                 std::strtoul(next().c_str(), nullptr, 10);
@@ -239,6 +250,23 @@ report(const apps::EvalResult &r, bool quality)
                         (1024.0 * 1024.0),
                     cs.residencyEvictions);
     }
+    const auto &ms = r.run.memory;
+    std::printf("  memory engine    : %s, %llu leases (%llu free-list"
+                " reuses, %llu via spill)\n",
+                ms.enabled ? "pool on" : "pool off",
+                static_cast<unsigned long long>(ms.allocs),
+                static_cast<unsigned long long>(ms.reuseHits),
+                static_cast<unsigned long long>(ms.spillHits));
+    std::printf("    zero-fills avoided: %llu (%.1f MiB); fresh %.1f"
+                " MiB, live %.1f MiB (peak %.1f), cached %.1f MiB\n",
+                static_cast<unsigned long long>(ms.memsetsAvoided),
+                static_cast<double>(ms.memsetBytesAvoided) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(ms.freshBytes) / (1024.0 * 1024.0),
+                static_cast<double>(ms.bytesLive) / (1024.0 * 1024.0),
+                static_cast<double>(ms.peakLive) / (1024.0 * 1024.0),
+                static_cast<double>(ms.cachedBytes) /
+                    (1024.0 * 1024.0));
     std::printf("  comm overhead    : %6.2f %%\n",
                 100.0 * r.run.commOverhead());
     std::printf("  energy           : %8.2f J (baseline %.2f J, "
@@ -283,6 +311,10 @@ main(int argc, char **argv)
     config.planCache = opts.planCache;
     config.graphExec = opts.graphExec;
     config.residency = opts.residency;
+    config.memPool = opts.memPool;
+    // The pool switch is process-global (the tensor layer allocates
+    // long before a RuntimeConfig exists); mirror the config into it.
+    common::MemoryPool::setEnabled(opts.memPool);
     core::Runtime runtime(std::move(backends), cal, config);
 
     sim::ExecutionTrace trace;
@@ -371,11 +403,15 @@ main(int argc, char **argv)
                 futures.push_back(session.submit(std::move(sub)));
             }
             core::CacheStats cache;
+            common::MemoryStats mem;
             bool equivalent = true;
             size_t ok_count = 0, failed_count = 0, recovered = 0;
             for (auto &f : futures) {
                 const core::RunResult sr = f.get();
                 cache.add(sr.cache);
+                mem.allocs += sr.memory.allocs;
+                mem.reuseHits += sr.memory.reuseHits;
+                mem.memsetsAvoided += sr.memory.memsetsAvoided;
                 recovered += sr.recoveredHlops;
                 (sr.status.ok() ? ok_count : failed_count) += 1;
                 if (sr.status.ok() && have_ref)
@@ -400,6 +436,15 @@ main(int argc, char **argv)
                             cache.residencyBytesAvoided) /
                             (1024.0 * 1024.0),
                         equivalent ? "yes" : "NO");
+            // Serving is where the free lists earn their keep: after
+            // the first submission on each worker, recycled blocks
+            // replace fresh allocations.
+            std::printf("    memory: %llu leases, %llu free-list "
+                        "reuses, %llu zero-fills avoided\n",
+                        static_cast<unsigned long long>(mem.allocs),
+                        static_cast<unsigned long long>(mem.reuseHits),
+                        static_cast<unsigned long long>(
+                            mem.memsetsAvoided));
             if (failureControls)
                 std::printf("    statuses: %zu ok / %zu failed, "
                             "%zu HLOPs recovered\n",
