@@ -1,0 +1,189 @@
+#include "flight_recorder.hh"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "common/metrics_registry.hh"
+
+namespace shmt::common {
+
+namespace {
+
+/** One thread's event ring. All slot words are atomics so a
+ *  concurrent dump is race-free by construction; the release store
+ *  of head publishes the slot writes that preceded it. */
+struct Ring
+{
+    struct Slot
+    {
+        std::atomic<uint64_t> ts{0};
+        std::atomic<uint64_t> meta{0}; //!< kind<<56 | uint32(code)
+        std::atomic<uint64_t> a{0};
+        std::atomic<uint64_t> b{0};
+    };
+
+    std::atomic<uint64_t> head{0}; //!< events ever recorded here
+    uint32_t threadId = 0;         //!< set under the pool lock
+    std::array<Slot, FlightRecorder::kRingEvents> slots;
+
+    void
+    reset()
+    {
+        head.store(0, std::memory_order_relaxed);
+        for (Slot &s : slots) {
+            s.ts.store(0, std::memory_order_relaxed);
+            s.meta.store(0, std::memory_order_relaxed);
+            s.a.store(0, std::memory_order_relaxed);
+            s.b.store(0, std::memory_order_relaxed);
+        }
+    }
+};
+
+/** Process-wide ring pool (leaked: rings must outlive late
+ *  thread-local teardown, and dump() may run at any point). */
+struct RingPool
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<Ring>> rings;
+    std::vector<Ring *> free;
+    uint32_t nextThreadId = 0;
+};
+
+RingPool &
+pool()
+{
+    static auto *p = new RingPool();
+    return *p;
+}
+
+/** Claims a ring for the thread's lifetime, recycling exited
+ *  threads' rings (their retained events are dropped on reuse). */
+struct RingLease
+{
+    Ring *ring = nullptr;
+
+    RingLease()
+    {
+        RingPool &p = pool();
+        std::lock_guard<std::mutex> lock(p.mu);
+        if (!p.free.empty()) {
+            ring = p.free.back();
+            p.free.pop_back();
+            ring->reset();
+        } else {
+            p.rings.push_back(std::make_unique<Ring>());
+            ring = p.rings.back().get();
+        }
+        ring->threadId = p.nextThreadId++;
+    }
+
+    ~RingLease()
+    {
+        RingPool &p = pool();
+        std::lock_guard<std::mutex> lock(p.mu);
+        p.free.push_back(ring);
+    }
+};
+
+Ring &
+threadRing()
+{
+    thread_local RingLease lease;
+    return *lease.ring;
+}
+
+uint64_t
+nowNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+void
+FlightRecorder::record(Kind kind, int32_t code, uint64_t a, uint64_t b)
+{
+    if (!MetricsRegistry::armed())
+        return;
+    Ring &ring = threadRing();
+    // head is only advanced by the owning thread; the release store
+    // publishes the slot for dump()'s acquire load.
+    const uint64_t seq = ring.head.load(std::memory_order_relaxed);
+    Ring::Slot &slot = ring.slots[seq % kRingEvents];
+    slot.ts.store(nowNanos(), std::memory_order_relaxed);
+    slot.meta.store((static_cast<uint64_t>(kind) << 56) |
+                        static_cast<uint32_t>(code),
+                    std::memory_order_relaxed);
+    slot.a.store(a, std::memory_order_relaxed);
+    slot.b.store(b, std::memory_order_relaxed);
+    ring.head.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Event>
+FlightRecorder::dump()
+{
+    std::vector<Event> events;
+    RingPool &p = pool();
+    std::lock_guard<std::mutex> lock(p.mu);
+    for (const auto &ring : p.rings) {
+        const uint64_t head = ring->head.load(std::memory_order_acquire);
+        const uint64_t n = std::min<uint64_t>(head, kRingEvents);
+        for (uint64_t seq = head - n; seq < head; ++seq) {
+            const Ring::Slot &slot = ring->slots[seq % kRingEvents];
+            const uint64_t meta =
+                slot.meta.load(std::memory_order_relaxed);
+            Event e;
+            e.tsNanos = slot.ts.load(std::memory_order_relaxed);
+            e.thread = ring->threadId;
+            e.kind = static_cast<Kind>(meta >> 56);
+            e.code = static_cast<int32_t>(
+                static_cast<uint32_t>(meta & 0xffffffffull));
+            e.a = slot.a.load(std::memory_order_relaxed);
+            e.b = slot.b.load(std::memory_order_relaxed);
+            if (e.kind != Kind::None)
+                events.push_back(e);
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &x, const Event &y) {
+                  return x.tsNanos < y.tsNanos;
+              });
+    return events;
+}
+
+std::string_view
+FlightRecorder::kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::None:
+        return "none";
+    case Kind::RunStart:
+        return "run_start";
+    case Kind::RunEnd:
+        return "run_end";
+    case Kind::VopDispatch:
+        return "vop_dispatch";
+    case Kind::SchedStop:
+        return "sched_stop";
+    case Kind::FaultRecovered:
+        return "fault_recovered";
+    case Kind::SessionSubmit:
+        return "session_submit";
+    case Kind::SessionStart:
+        return "session_start";
+    case Kind::SessionDone:
+        return "session_done";
+    case Kind::SessionReject:
+        return "session_reject";
+    }
+    return "unknown";
+}
+
+} // namespace shmt::common

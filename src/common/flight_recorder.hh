@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lock-free flight recorder: the last N scheduling/fault events per
+ * thread, kept in per-thread ring buffers and dumped post-mortem.
+ *
+ * When a submission ends non-OK the interesting history is the few
+ * hundred events that led up to it — which VOps dispatched, which
+ * HLOPs were re-dispatched after faults, where the coordinator
+ * stopped, what the session workers were doing. Logging that
+ * continuously would perturb the hot path; the flight recorder keeps
+ * it in fixed-size rings instead (256 events/thread, overwriting the
+ * oldest) and only materializes anything when Runtime::run ends
+ * non-OK with a trace attached, at which point the dump lands in the
+ * Chrome trace as a `flight` instant-event track.
+ *
+ * Recording is wait-free and TSan-clean: every slot word and every
+ * ring head is a relaxed/release atomic, so a concurrent dump reads
+ * defined values (a slot being overwritten mid-dump may mix two
+ * events' fields — acceptable for post-mortem telemetry, never UB).
+ * Rings are claimed per thread from a reusable pool on first record
+ * and returned at thread exit (events of exited threads stay visible
+ * until the ring is reclaimed). The armed flag is the metrics
+ * registry's: disarming telemetry silences the recorder too.
+ */
+
+#ifndef SHMT_COMMON_FLIGHT_RECORDER_HH
+#define SHMT_COMMON_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace shmt::common {
+
+class FlightRecorder
+{
+  public:
+    /** What happened; a/b/code are kind-specific operands. */
+    enum class Kind : uint8_t {
+        None = 0,
+        RunStart,       //!< a = VOp count
+        RunEnd,         //!< code = StatusCode
+        VopDispatch,    //!< a = VOp index, b = HLOP count
+        SchedStop,      //!< coordinator stop; code = StatusCode, a = VOp
+        FaultRecovered, //!< a = VOp index, b = HLOP index
+        SessionSubmit,  //!< a = ticket
+        SessionStart,   //!< a = ticket
+        SessionDone,    //!< a = ticket, code = StatusCode
+        SessionReject,  //!< code = StatusCode
+    };
+
+    /** One recorded event (host steady-clock timestamped). */
+    struct Event
+    {
+        uint64_t tsNanos = 0;
+        uint32_t thread = 0; //!< small dense recorder thread id
+        Kind kind = Kind::None;
+        int32_t code = 0;
+        uint64_t a = 0;
+        uint64_t b = 0;
+    };
+
+    /** Events each thread's ring retains (power of two). */
+    static constexpr size_t kRingEvents = 256;
+
+    /** Record one event on the calling thread's ring (armed-gated). */
+    static void record(Kind kind, int32_t code = 0, uint64_t a = 0,
+                       uint64_t b = 0);
+
+    /** Snapshot every ring's retained events, oldest first. */
+    static std::vector<Event> dump();
+
+    /** Stable lower-snake name of @p kind (trace event names). */
+    static std::string_view kindName(Kind kind);
+};
+
+} // namespace shmt::common
+
+#endif // SHMT_COMMON_FLIGHT_RECORDER_HH

@@ -1,5 +1,6 @@
 #include "memory_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <mutex>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/metrics_registry.hh"
 
 namespace shmt::common {
 
@@ -65,36 +67,61 @@ classBytesOf(size_t idx)
 
 // ---------------------------------------------------------------- stats
 
+/**
+ * Pool telemetry lives in the process metrics registry (shmt_mempool_*
+ * instruments); these references are resolved once and only touch the
+ * registry's relaxed atomics on the hot path. None of this state feeds
+ * back into allocation decisions — caps and free-list byte accounting
+ * stay in ThreadCache/Spill — so disarming the registry can never
+ * perturb allocator behavior, only freeze the telemetry view.
+ */
 struct Counters
 {
-    std::atomic<uint64_t> allocs{0};
-    std::atomic<uint64_t> reuseHits{0};
-    std::atomic<uint64_t> spillHits{0};
-    std::atomic<uint64_t> freshBytes{0};
-    std::atomic<uint64_t> memsetsAvoided{0};
-    std::atomic<uint64_t> memsetBytesAvoided{0};
-    std::atomic<uint64_t> trims{0};
-    std::atomic<uint64_t> bytesLive{0};
-    std::atomic<uint64_t> peakLive{0};
-    std::atomic<uint64_t> cachedBytes{0};
+    Counter &allocs;
+    Counter &reuseHits;
+    Counter &spillHits;
+    Counter &freshBytes;
+    Counter &memsetsAvoided;
+    Counter &memsetBytesAvoided;
+    Counter &trims;
+    Gauge &bytesLive;
+    Gauge &peakLive;
+    Gauge &cachedBytes;
 };
 
 Counters &
 counters()
 {
-    static Counters c;
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    static Counters c{
+        reg.counter("shmt_mempool_allocs_total", {},
+                    "Buffer acquisitions served by the memory pool."),
+        reg.counter("shmt_mempool_reuse_hits_total", {},
+                    "Acquisitions satisfied from a recycled block."),
+        reg.counter("shmt_mempool_spill_hits_total", {},
+                    "Reuse hits served from the shared spill arena."),
+        reg.counter("shmt_mempool_fresh_bytes_total", {},
+                    "Bytes requested from the OS (direct blocks + slabs)."),
+        reg.counter("shmt_mempool_memsets_avoided_total", {},
+                    "Zero-fills skipped for uninitialized acquisitions."),
+        reg.counter("shmt_mempool_memset_bytes_avoided_total", {},
+                    "Bytes of zero-fill skipped."),
+        reg.counter("shmt_mempool_trims_total", {},
+                    "Blocks returned to the OS past the spill cap."),
+        reg.gauge("shmt_mempool_bytes_live", {},
+                  "Class bytes currently checked out of the pool."),
+        reg.gauge("shmt_mempool_peak_live_bytes", {},
+                  "High-water mark of live class bytes."),
+        reg.gauge("shmt_mempool_cached_bytes", {},
+                  "Idle class bytes held in thread caches + spill."),
+    };
     return c;
 }
 
 void
-notePeakLive(uint64_t live)
+notePeakLive(int64_t live)
 {
-    auto &peak = counters().peakLive;
-    uint64_t cur = peak.load(std::memory_order_relaxed);
-    while (live > cur &&
-           !peak.compare_exchange_weak(cur, live,
-                                       std::memory_order_relaxed))
-        ;
+    counters().peakLive.noteMax(live);
 }
 
 std::atomic<bool> g_enabled{true};
@@ -146,9 +173,8 @@ spillBlock(void *payload)
             return;
         }
     }
-    counters().trims.fetch_add(1, std::memory_order_relaxed);
-    counters().cachedBytes.fetch_sub(classBytes,
-                                     std::memory_order_relaxed);
+    counters().trims.add();
+    counters().cachedBytes.sub(static_cast<int64_t>(classBytes));
     freeDirect(payload);
 }
 
@@ -219,8 +245,7 @@ newDirect(size_t idx, size_t classBytes, bool cacheable)
     h->bytes = classBytes;
     h->fromSlab = 0;
     h->cacheable = cacheable ? 1 : 0;
-    counters().freshBytes.fetch_add(classBytes,
-                                    std::memory_order_relaxed);
+    counters().freshBytes.add(classBytes);
     return h + 1;
 }
 
@@ -250,8 +275,7 @@ carveStrip(size_t idx, size_t classBytes, ThreadCache *tc)
                 s.slabs.push_back(slab);
                 s.slabCur = static_cast<char *>(slab);
                 s.slabLeft = kSlabBytes;
-                counters().freshBytes.fetch_add(
-                    kSlabBytes, std::memory_order_relaxed);
+                counters().freshBytes.add(kSlabBytes);
             }
             BlockHeader *h = reinterpret_cast<BlockHeader *>(s.slabCur);
             s.slabCur += footprint;
@@ -270,8 +294,8 @@ carveStrip(size_t idx, size_t classBytes, ThreadCache *tc)
         }
     }
     if (carved > 1)
-        counters().cachedBytes.fetch_add((carved - 1) * classBytes,
-                                         std::memory_order_relaxed);
+        counters().cachedBytes.add(
+            static_cast<int64_t>((carved - 1) * classBytes));
     return first;
 }
 
@@ -305,7 +329,7 @@ MemoryPool::acquire(size_t bytes, bool zero)
     if (bytes == 0)
         return nullptr;
     Counters &ctr = counters();
-    ctr.allocs.fetch_add(1, std::memory_order_relaxed);
+    ctr.allocs.add();
 
     void *payload = nullptr;
     size_t classBytes;
@@ -323,9 +347,8 @@ MemoryPool::acquire(size_t bytes, bool zero)
             payload = tc->lists[idx].back();
             tc->lists[idx].pop_back();
             tc->bytes -= classBytes;
-            ctr.reuseHits.fetch_add(1, std::memory_order_relaxed);
-            ctr.cachedBytes.fetch_sub(classBytes,
-                                      std::memory_order_relaxed);
+            ctr.reuseHits.add();
+            ctr.cachedBytes.sub(static_cast<int64_t>(classBytes));
         } else {
             Spill &s = spill();
             {
@@ -337,10 +360,9 @@ MemoryPool::acquire(size_t bytes, bool zero)
                 }
             }
             if (payload != nullptr) {
-                ctr.reuseHits.fetch_add(1, std::memory_order_relaxed);
-                ctr.spillHits.fetch_add(1, std::memory_order_relaxed);
-                ctr.cachedBytes.fetch_sub(classBytes,
-                                          std::memory_order_relaxed);
+                ctr.reuseHits.add();
+                ctr.spillHits.add();
+                ctr.cachedBytes.sub(static_cast<int64_t>(classBytes));
             } else if (classBytes <= kSlabClassMaxBytes &&
                        tc != nullptr) {
                 payload = carveStrip(idx, classBytes, tc);
@@ -358,9 +380,8 @@ MemoryPool::acquire(size_t bytes, bool zero)
         // (class padding past it is never read).
         std::memset(payload, 0, bytes);
     } else {
-        ctr.memsetsAvoided.fetch_add(1, std::memory_order_relaxed);
-        ctr.memsetBytesAvoided.fetch_add(bytes,
-                                         std::memory_order_relaxed);
+        ctr.memsetsAvoided.add();
+        ctr.memsetBytesAvoided.add(bytes);
 #if defined(SHMT_ASAN) || !defined(NDEBUG)
         // Poison instead of skipping: an extent the caller fails to
         // overwrite surfaces as a canary in bit-identity diffs.
@@ -370,10 +391,7 @@ MemoryPool::acquire(size_t bytes, bool zero)
 #endif
     }
 
-    const uint64_t live =
-        ctr.bytesLive.fetch_add(classBytes, std::memory_order_relaxed) +
-        classBytes;
-    notePeakLive(live);
+    notePeakLive(ctr.bytesLive.addAndGet(static_cast<int64_t>(classBytes)));
     return payload;
 }
 
@@ -386,7 +404,7 @@ MemoryPool::release(void *payload)
     SHMT_ASSERT(h->magic == kMagic, "release of a non-pool pointer");
     const size_t classBytes = h->bytes;
     Counters &ctr = counters();
-    ctr.bytesLive.fetch_sub(classBytes, std::memory_order_relaxed);
+    ctr.bytesLive.sub(static_cast<int64_t>(classBytes));
 
     if (h->classIdx == kClassHuge || !h->cacheable) {
         freeDirect(payload);
@@ -396,7 +414,7 @@ MemoryPool::release(void *payload)
         freeDirect(payload);
         return;
     }
-    ctr.cachedBytes.fetch_add(classBytes, std::memory_order_relaxed);
+    ctr.cachedBytes.add(static_cast<int64_t>(classBytes));
     if (!enabled() || t_cacheDead) {
         // Pool off (slab memory still pools — it can't go back to the
         // OS) or this thread's cache is mid-teardown: spill directly.
@@ -413,19 +431,24 @@ MemoryPool::release(void *payload)
 MemoryStats
 MemoryPool::stats()
 {
+    // Gauges are clamped at zero before the unsigned cast: toggling the
+    // registry arm mid-lease can leave a transient negative balance in
+    // the telemetry view (never in the allocator's real accounting).
+    const auto gauge = [](const Gauge &g) {
+        return static_cast<uint64_t>(std::max<int64_t>(0, g.value()));
+    };
     Counters &c = counters();
     MemoryStats s;
-    s.allocs = c.allocs.load(std::memory_order_relaxed);
-    s.reuseHits = c.reuseHits.load(std::memory_order_relaxed);
-    s.spillHits = c.spillHits.load(std::memory_order_relaxed);
-    s.freshBytes = c.freshBytes.load(std::memory_order_relaxed);
-    s.memsetsAvoided = c.memsetsAvoided.load(std::memory_order_relaxed);
-    s.memsetBytesAvoided =
-        c.memsetBytesAvoided.load(std::memory_order_relaxed);
-    s.trims = c.trims.load(std::memory_order_relaxed);
-    s.bytesLive = c.bytesLive.load(std::memory_order_relaxed);
-    s.peakLive = c.peakLive.load(std::memory_order_relaxed);
-    s.cachedBytes = c.cachedBytes.load(std::memory_order_relaxed);
+    s.allocs = c.allocs.value();
+    s.reuseHits = c.reuseHits.value();
+    s.spillHits = c.spillHits.value();
+    s.freshBytes = c.freshBytes.value();
+    s.memsetsAvoided = c.memsetsAvoided.value();
+    s.memsetBytesAvoided = c.memsetBytesAvoided.value();
+    s.trims = c.trims.value();
+    s.bytesLive = gauge(c.bytesLive);
+    s.peakLive = gauge(c.peakLive);
+    s.cachedBytes = gauge(c.cachedBytes);
     s.enabled = enabled();
     return s;
 }
@@ -478,9 +501,9 @@ MemoryPool::clearSpill()
         }
     }
     for (void *p : drop) {
-        counters().cachedBytes.fetch_sub(headerOf(p)->bytes,
-                                         std::memory_order_relaxed);
-        counters().trims.fetch_add(1, std::memory_order_relaxed);
+        counters().cachedBytes.sub(
+            static_cast<int64_t>(headerOf(p)->bytes));
+        counters().trims.add();
         freeDirect(p);
     }
 }

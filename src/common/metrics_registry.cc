@@ -1,0 +1,411 @@
+#include "metrics_registry.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace shmt::common {
+
+namespace detail {
+
+std::atomic<bool> g_metricsArmed{true};
+
+size_t
+threadSlot()
+{
+    static std::atomic<size_t> next{0};
+    thread_local const size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+} // namespace detail
+
+namespace {
+
+/** Shortest round-trip-ish rendering of @p v for the expositions. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Escape @p s for a Prometheus label value / JSON string. */
+std::string
+escaped(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\' || c == '"')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** `{k="v",...}` Prometheus label block ("" when unlabeled);
+ *  @p extra, when non-empty, is appended verbatim as a last label. */
+std::string
+labelBlock(const MetricLabels &labels, const std::string &extra = {})
+{
+    if (labels.empty() && extra.empty())
+        return {};
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k + "=\"" + escaped(v) + "\"";
+    }
+    if (!extra.empty()) {
+        if (!first)
+            out += ",";
+        out += extra;
+    }
+    out += "}";
+    return out;
+}
+
+/** Registry map key of (@p name, @p labels). */
+std::string
+instrumentKey(std::string_view name, const MetricLabels &labels)
+{
+    std::string key(name);
+    for (const auto &[k, v] : labels) {
+        key += '\x01';
+        key += k;
+        key += '\x02';
+        key += v;
+    }
+    return key;
+}
+
+} // namespace
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (target == 0)
+        target = 1;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        const uint64_t b = buckets[i];
+        if (b > 0 && cum + b >= target) {
+            const double lo = Histogram::bucketLowerSec(i);
+            const double hi = Histogram::bucketUpperSec(i);
+            const double frac = static_cast<double>(target - cum) /
+                                static_cast<double>(b);
+            return lo + frac * (hi - lo);
+        }
+        cum += b;
+    }
+    return Histogram::kMaxSec;
+}
+
+HistogramSnapshot
+HistogramSnapshot::delta(const HistogramSnapshot &since) const
+{
+    HistogramSnapshot d;
+    d.count = count - since.count;
+    d.sumNanos = sumNanos - since.sumNanos;
+    for (size_t i = 0; i < buckets.size(); ++i)
+        d.buckets[i] = buckets[i] - since.buckets[i];
+    return d;
+}
+
+Histogram::Histogram() : shards_(new Shard[kShards]) {}
+
+size_t
+Histogram::bucketIndex(double seconds)
+{
+    if (!(seconds >= kMinSec)) // NaN / negative / sub-minimum
+        return 0;
+    if (seconds >= kMaxSec)
+        return kBuckets - 1;
+    const double decades = std::log10(seconds / kMinSec);
+    auto idx = static_cast<size_t>(decades * kBucketsPerDecade) + 1;
+    return std::min(idx, kFiniteBuckets);
+}
+
+double
+Histogram::bucketLowerSec(size_t i)
+{
+    if (i == 0)
+        return 0.0;
+    if (i >= kFiniteBuckets + 1)
+        return kMaxSec;
+    return kMinSec * std::pow(10.0, static_cast<double>(i - 1) /
+                                        kBucketsPerDecade);
+}
+
+double
+Histogram::bucketUpperSec(size_t i)
+{
+    if (i >= kFiniteBuckets + 1)
+        return kMaxSec;
+    return kMinSec *
+           std::pow(10.0, static_cast<double>(i) / kBucketsPerDecade);
+}
+
+void
+Histogram::record(double seconds)
+{
+    if (!detail::g_metricsArmed.load(std::memory_order_relaxed))
+        return;
+    Shard &s = shards_[detail::threadSlot() % kShards];
+    s.buckets[bucketIndex(seconds)].fetch_add(1,
+                                              std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    const double nanos = seconds > 0.0 ? seconds * 1e9 : 0.0;
+    s.sumNanos.fetch_add(static_cast<uint64_t>(nanos + 0.5),
+                         std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    for (size_t sh = 0; sh < kShards; ++sh) {
+        const Shard &s = shards_[sh];
+        snap.count += s.count.load(std::memory_order_relaxed);
+        snap.sumNanos += s.sumNanos.load(std::memory_order_relaxed);
+        for (size_t i = 0; i < kBuckets; ++i)
+            snap.buckets[i] +=
+                s.buckets[i].load(std::memory_order_relaxed);
+    }
+    return snap;
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Leaked: instruments must survive thread-local teardown (the
+    // memory pool records from exiting threads' cache destructors).
+    static auto *registry = new MetricsRegistry();
+    return *registry;
+}
+
+MetricsRegistry::Instrument &
+MetricsRegistry::findOrCreate(std::string_view name,
+                              const MetricLabels &labels, Kind kind,
+                              std::string_view help)
+{
+    const std::string key = instrumentKey(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = instruments_.find(key);
+    if (it == instruments_.end()) {
+        Instrument inst;
+        inst.name = std::string(name);
+        inst.labels = labels;
+        inst.kind = kind;
+        switch (kind) {
+        case Kind::Counter:
+            inst.counter = std::make_unique<Counter>();
+            break;
+        case Kind::Gauge:
+            inst.gauge = std::make_unique<Gauge>();
+            break;
+        case Kind::Histogram:
+            inst.histogram = std::make_unique<Histogram>();
+            break;
+        }
+        it = instruments_.emplace(key, std::move(inst)).first;
+    }
+    SHMT_ASSERT(it->second.kind == kind, "metric family '", name,
+                "' re-registered as a different instrument kind");
+    if (!help.empty() && !help_.count(it->second.name))
+        help_.emplace(it->second.name, std::string(help));
+    return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name,
+                         const MetricLabels &labels,
+                         std::string_view help)
+{
+    return *findOrCreate(name, labels, Kind::Counter, help).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name, const MetricLabels &labels,
+                       std::string_view help)
+{
+    return *findOrCreate(name, labels, Kind::Gauge, help).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name,
+                           const MetricLabels &labels,
+                           std::string_view help)
+{
+    return *findOrCreate(name, labels, Kind::Histogram, help).histogram;
+}
+
+const MetricsRegistry::Instrument *
+MetricsRegistry::find(std::string_view name,
+                      const MetricLabels &labels) const
+{
+    const std::string key = instrumentKey(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = instruments_.find(key);
+    return it == instruments_.end() ? nullptr : &it->second;
+}
+
+uint64_t
+MetricsRegistry::counterValue(std::string_view name,
+                              const MetricLabels &labels) const
+{
+    const Instrument *inst = find(name, labels);
+    return inst && inst->kind == Kind::Counter ? inst->counter->value()
+                                               : 0;
+}
+
+int64_t
+MetricsRegistry::gaugeValue(std::string_view name,
+                            const MetricLabels &labels) const
+{
+    const Instrument *inst = find(name, labels);
+    return inst && inst->kind == Kind::Gauge ? inst->gauge->value() : 0;
+}
+
+HistogramSnapshot
+MetricsRegistry::histogramSnapshot(std::string_view name,
+                                   const MetricLabels &labels) const
+{
+    const Instrument *inst = find(name, labels);
+    return inst && inst->kind == Kind::Histogram
+               ? inst->histogram->snapshot()
+               : HistogramSnapshot{};
+}
+
+std::string
+MetricsRegistry::prometheusText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    std::string family;
+    for (const auto &[key, inst] : instruments_) {
+        if (inst.name != family) {
+            family = inst.name;
+            auto help = help_.find(family);
+            if (help != help_.end())
+                out += "# HELP " + family + " " + help->second + "\n";
+            out += "# TYPE " + family + " ";
+            switch (inst.kind) {
+            case Kind::Counter:
+                out += "counter\n";
+                break;
+            case Kind::Gauge:
+                out += "gauge\n";
+                break;
+            case Kind::Histogram:
+                out += "histogram\n";
+                break;
+            }
+        }
+        switch (inst.kind) {
+        case Kind::Counter:
+            out += inst.name + labelBlock(inst.labels) + " " +
+                   std::to_string(inst.counter->value()) + "\n";
+            break;
+        case Kind::Gauge:
+            out += inst.name + labelBlock(inst.labels) + " " +
+                   std::to_string(inst.gauge->value()) + "\n";
+            break;
+        case Kind::Histogram: {
+            const HistogramSnapshot snap = inst.histogram->snapshot();
+            // Cumulative `le` buckets: the underflow bucket folds into
+            // the first finite bound, the overflow bucket into +Inf.
+            uint64_t cum = 0;
+            for (size_t i = 0; i < Histogram::kFiniteBuckets + 1; ++i) {
+                cum += snap.buckets[i];
+                out += inst.name + "_bucket" +
+                       labelBlock(inst.labels,
+                                  "le=\"" +
+                                      fmtDouble(
+                                          Histogram::bucketUpperSec(i)) +
+                                      "\"") +
+                       " " + std::to_string(cum) + "\n";
+            }
+            cum += snap.buckets[kHistogramBuckets - 1];
+            out += inst.name + "_bucket" +
+                   labelBlock(inst.labels, "le=\"+Inf\"") + " " +
+                   std::to_string(cum) + "\n";
+            out += inst.name + "_sum" + labelBlock(inst.labels) + " " +
+                   fmtDouble(static_cast<double>(snap.sumNanos) * 1e-9) +
+                   "\n";
+            out += inst.name + "_count" + labelBlock(inst.labels) + " " +
+                   std::to_string(snap.count) + "\n";
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::jsonText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string counters, gauges, histograms;
+    for (const auto &[key, inst] : instruments_) {
+        std::string jkey = "\"" + escaped(inst.name);
+        if (!inst.labels.empty()) {
+            jkey += "{";
+            bool first = true;
+            for (const auto &[k, v] : inst.labels) {
+                if (!first)
+                    jkey += ",";
+                first = false;
+                jkey += escaped(k) + "=" + escaped(v);
+            }
+            jkey += "}";
+        }
+        jkey += "\":";
+        switch (inst.kind) {
+        case Kind::Counter:
+            if (!counters.empty())
+                counters += ",";
+            counters += jkey + std::to_string(inst.counter->value());
+            break;
+        case Kind::Gauge:
+            if (!gauges.empty())
+                gauges += ",";
+            gauges += jkey + std::to_string(inst.gauge->value());
+            break;
+        case Kind::Histogram: {
+            const HistogramSnapshot snap = inst.histogram->snapshot();
+            if (!histograms.empty())
+                histograms += ",";
+            histograms +=
+                jkey + "{\"count\":" + std::to_string(snap.count) +
+                ",\"sum_seconds\":" +
+                fmtDouble(static_cast<double>(snap.sumNanos) * 1e-9) +
+                ",\"mean\":" + fmtDouble(snap.meanSeconds()) +
+                ",\"p50\":" + fmtDouble(snap.quantile(0.50)) +
+                ",\"p90\":" + fmtDouble(snap.quantile(0.90)) +
+                ",\"p99\":" + fmtDouble(snap.quantile(0.99)) +
+                ",\"p999\":" + fmtDouble(snap.quantile(0.999)) + "}";
+            break;
+        }
+        }
+    }
+    return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+           "},\"histograms\":{" + histograms + "}}";
+}
+
+} // namespace shmt::common

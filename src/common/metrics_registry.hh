@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Telemetry engine: a process-wide registry of named, labeled
+ * instruments (see DESIGN.md "Telemetry engine" and
+ * docs/observability.md for the catalog).
+ *
+ * Three instrument kinds, all safe from any thread:
+ *
+ *  - Counter: monotone relaxed-atomic uint64. Consumers snapshot
+ *    before/after a region and report the delta (the same pattern the
+ *    residency and memory counters already used).
+ *  - Gauge: signed relaxed-atomic level (bytes live, queue depth),
+ *    plus a CAS-max helper for high-water marks.
+ *  - Histogram: fixed-bucket log-scale latency distribution covering
+ *    sub-microsecond through 10 s (8 buckets per decade, relative
+ *    bucket width 10^(1/8) ~= 1.33x) with underflow/overflow buckets.
+ *    Recording lands in one of a fixed set of cache-line-padded
+ *    per-thread shards (thread slot modulo shard count), so racing
+ *    recorders never contend on one line; snapshot() merges the
+ *    shards and answers p50/p90/p99/p999 quantile queries by linear
+ *    interpolation inside the covering bucket.
+ *
+ * The armed flag (process-global, default on) gates every record
+ * path behind one relaxed load: `MetricsRegistry::setArmed(false)`
+ * freezes all instruments. Recording never feeds back into execution
+ * — outputs, simulated timing and allocator behavior are byte-
+ * identical armed or not (pinned by tests/common/test_metrics.cc and
+ * the pipeline_snapshot CI diff), and the armed hot path carries a
+ * <2% host-wall budget gated by bench/micro_metrics. Note the freeze
+ * applies to gauges too: toggling while leases are in flight can
+ * leave a gauge off its true level (telemetry only, never behavior).
+ *
+ * Instruments are created on first use (`registry.counter(name,
+ * labels)`), live forever at a stable address, and are identified by
+ * family name plus an ordered label list. Exporters:
+ *
+ *  - prometheusText(): deterministic text exposition (families
+ *    sorted, HELP/TYPE once per family, cumulative `le` histogram
+ *    buckets) — what `shmtbench --metrics-out` and
+ *    `Session::metricsText()` emit.
+ *  - jsonText(): one compact JSON object (histograms carry count,
+ *    sum and the four quantiles) — embedded as a `metrics` metadata
+ *    record in the Chrome trace.
+ *
+ * The process singleton is `MetricsRegistry::instance()` and is
+ * intentionally leaked so instruments outlive thread-local teardown
+ * (the memory pool records from exiting threads). Tests may build
+ * private registries for golden expositions.
+ */
+
+#ifndef SHMT_COMMON_METRICS_REGISTRY_HH
+#define SHMT_COMMON_METRICS_REGISTRY_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace shmt::common {
+
+namespace detail {
+/** Process-global arming flag behind every instrument record path. */
+extern std::atomic<bool> g_metricsArmed;
+/** Small dense id of the calling thread (spreads histogram shards). */
+size_t threadSlot();
+} // namespace detail
+
+/** Ordered (key, value) label list of one instrument. */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotone relaxed-atomic counter. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        if (detail::g_metricsArmed.load(std::memory_order_relaxed))
+            value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Signed level instrument with a CAS-max high-water helper. */
+class Gauge
+{
+  public:
+    void
+    add(int64_t d)
+    {
+        if (detail::g_metricsArmed.load(std::memory_order_relaxed))
+            value_.fetch_add(d, std::memory_order_relaxed);
+    }
+    void sub(int64_t d) { add(-d); }
+
+    void
+    set(int64_t v)
+    {
+        if (detail::g_metricsArmed.load(std::memory_order_relaxed))
+            value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** add(), returning the post-add level (for peak tracking). */
+    int64_t
+    addAndGet(int64_t d)
+    {
+        if (!detail::g_metricsArmed.load(std::memory_order_relaxed))
+            return value();
+        return value_.fetch_add(d, std::memory_order_relaxed) + d;
+    }
+
+    /** Raise the level to @p v if below (monotone high-water mark). */
+    void
+    noteMax(int64_t v)
+    {
+        if (!detail::g_metricsArmed.load(std::memory_order_relaxed))
+            return;
+        int64_t cur = value_.load(std::memory_order_relaxed);
+        while (cur < v && !value_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Total bucket count of every Histogram: 64 finite log-scale
+ *  buckets (8/decade over [1e-7 s, 10 s)) plus underflow (index 0)
+ *  and overflow (last). */
+inline constexpr size_t kHistogramBuckets = 66;
+
+/** One merged, immutable view of a Histogram (or a delta of two). */
+struct HistogramSnapshot
+{
+    uint64_t count = 0;
+    uint64_t sumNanos = 0;
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+
+    /**
+     * Value at quantile @p q in [0, 1] (q=0.5 is p50), interpolated
+     * linearly inside the bucket covering the rank. Resolution is one
+     * bucket (relative width 1.33x); exact-reference pins live in
+     * tests/common/test_metrics.cc. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+    double
+    meanSeconds() const
+    {
+        return count == 0 ? 0.0
+                          : (static_cast<double>(sumNanos) * 1e-9) /
+                                static_cast<double>(count);
+    }
+
+    /** This snapshot minus an earlier one (per-region view). */
+    HistogramSnapshot delta(const HistogramSnapshot &since) const;
+};
+
+/** Sharded fixed-bucket log-scale latency histogram. */
+class Histogram
+{
+  public:
+    static constexpr int kBucketsPerDecade = 8;
+    static constexpr double kMinSec = 1e-7;
+    static constexpr double kMaxSec = 10.0;
+    static constexpr size_t kFiniteBuckets = 64;
+    static constexpr size_t kBuckets = kHistogramBuckets;
+
+    Histogram();
+
+    /** Bucket covering @p seconds (0 = underflow, last = overflow;
+     *  NaN and negatives land in underflow). */
+    static size_t bucketIndex(double seconds);
+    /** Inclusive lower bound of bucket @p i in seconds (0 for the
+     *  underflow bucket, kMaxSec for overflow). */
+    static double bucketLowerSec(size_t i);
+    /** Exclusive upper bound of bucket @p i in seconds (kMaxSec for
+     *  the overflow bucket). */
+    static double bucketUpperSec(size_t i);
+
+    /** Record one latency observation (armed-gated, wait-free). */
+    void record(double seconds);
+
+    /** Merge every shard into one consistent-enough view (racing
+     *  recorders may be missed; never torn counts). */
+    HistogramSnapshot snapshot() const;
+
+  private:
+    static constexpr size_t kShards = 16;
+
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> count{0};
+        std::atomic<uint64_t> sumNanos{0};
+        std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    };
+
+    std::unique_ptr<Shard[]> shards_;
+};
+
+/** The process-wide instrument registry (see the file comment). */
+class MetricsRegistry
+{
+  public:
+    /** Constructible for test-private registries; production code
+     *  uses instance(). */
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process singleton (leaked; instruments live forever). */
+    static MetricsRegistry &instance();
+
+    /** @{ The process-global record-path gate (default armed). */
+    static bool
+    armed()
+    {
+        return detail::g_metricsArmed.load(std::memory_order_relaxed);
+    }
+    static void
+    setArmed(bool on)
+    {
+        detail::g_metricsArmed.store(on, std::memory_order_relaxed);
+    }
+    /** @} */
+
+    /**
+     * Find-or-create the instrument (@p name, @p labels). The
+     * returned reference is stable for the registry's lifetime —
+     * resolve once per hot site, record lock-free forever. @p help,
+     * when non-empty, becomes the family's HELP line (first writer
+     * wins). A family must keep one kind: re-requesting it as a
+     * different kind is a fatal error.
+     */
+    Counter &counter(std::string_view name,
+                     const MetricLabels &labels = {},
+                     std::string_view help = {});
+    Gauge &gauge(std::string_view name, const MetricLabels &labels = {},
+                 std::string_view help = {});
+    Histogram &histogram(std::string_view name,
+                         const MetricLabels &labels = {},
+                         std::string_view help = {});
+
+    /** @{ Point lookups (0 / empty when absent) for tests and
+     *  per-run delta snapshots. */
+    uint64_t counterValue(std::string_view name,
+                          const MetricLabels &labels = {}) const;
+    int64_t gaugeValue(std::string_view name,
+                       const MetricLabels &labels = {}) const;
+    HistogramSnapshot
+    histogramSnapshot(std::string_view name,
+                      const MetricLabels &labels = {}) const;
+    /** @} */
+
+    /** Prometheus text exposition (deterministic order). */
+    std::string prometheusText() const;
+
+    /** One compact JSON object of every instrument. */
+    std::string jsonText() const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Instrument
+    {
+        std::string name;
+        MetricLabels labels;
+        Kind kind = Kind::Counter;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Instrument &findOrCreate(std::string_view name,
+                             const MetricLabels &labels, Kind kind,
+                             std::string_view help);
+    const Instrument *find(std::string_view name,
+                           const MetricLabels &labels) const;
+
+    mutable std::mutex mutex_;
+    /** Keyed on name + '\\x01'-serialized labels: lexicographic map
+     *  order groups a family's instruments contiguously, which is
+     *  what makes the expositions deterministic. */
+    std::map<std::string, Instrument> instruments_;
+    std::map<std::string, std::string, std::less<>> help_;
+};
+
+} // namespace shmt::common
+
+#endif // SHMT_COMMON_METRICS_REGISTRY_HH

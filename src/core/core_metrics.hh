@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The core layer's registry instrument handles, resolved once.
+ *
+ * Every serving-cache and fault-recovery site counts into these
+ * process-wide counters (docs/observability.md catalogs them); the
+ * runtime snapshots them around each run and reports the per-run
+ * delta in RunResult::cache — replacing the historical CacheStats*
+ * out-parameter plumbing through Planner / SamplingEngine /
+ * CriticalityCache. Deltas are exact for sequential runs; concurrent
+ * Session workers may cross-attribute a neighbour's traffic while
+ * totals stay exact (the documented residency/memory caveat).
+ */
+
+#ifndef SHMT_CORE_CORE_METRICS_HH
+#define SHMT_CORE_CORE_METRICS_HH
+
+#include "common/metrics_registry.hh"
+
+namespace shmt::core {
+
+/** Stable references into the process registry (see file comment). */
+struct CoreCounters
+{
+    common::Counter &planHits;
+    common::Counter &planMisses;
+    common::Counter &statsHits;
+    common::Counter &statsMisses;
+    common::Counter &quantHits;
+    common::Counter &quantMisses;
+    common::Counter &scanBytesAvoided;
+    common::Counter &residencyHits;
+    common::Counter &residencyMisses;
+    common::Counter &residencyEvictions;
+    common::Counter &residencyBytesAvoided;
+    common::Counter &hlopsRecovered;
+
+    static const CoreCounters &
+    get()
+    {
+        auto &reg = common::MetricsRegistry::instance();
+        static const CoreCounters c{
+            reg.counter("shmt_plan_cache_hits_total", {},
+                        "Plan skeletons served from the PlanCache"),
+            reg.counter("shmt_plan_cache_misses_total", {},
+                        "Plan skeletons built from scratch"),
+            reg.counter("shmt_criticality_stats_hits_total", {},
+                        "Criticality scans served from the memo"),
+            reg.counter("shmt_criticality_stats_misses_total", {},
+                        "Criticality scans executed"),
+            reg.counter("shmt_criticality_quant_hits_total", {},
+                        "NPU quant-range scans served from the memo"),
+            reg.counter("shmt_criticality_quant_misses_total", {},
+                        "NPU quant-range scans executed"),
+            reg.counter("shmt_scan_bytes_avoided_total", {},
+                        "Host scan bytes skipped by the memo hits"),
+            reg.counter("shmt_residency_hits_total", {},
+                        "Staging passes served resident"),
+            reg.counter("shmt_residency_misses_total", {},
+                        "Device-format materializations executed"),
+            reg.counter("shmt_residency_evictions_total", {},
+                        "Residency entries dropped by the byte cap"),
+            reg.counter("shmt_residency_bytes_avoided_total", {},
+                        "Staged bytes served resident"),
+            reg.counter("shmt_hlops_recovered_total", {},
+                        "Faulted HLOPs recovered by re-dispatch"),
+        };
+        return c;
+    }
+};
+
+} // namespace shmt::core
+
+#endif // SHMT_CORE_CORE_METRICS_HH

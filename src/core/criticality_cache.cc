@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/random.hh"
+#include "core/core_metrics.hh"
 
 namespace shmt::core {
 
@@ -55,9 +56,9 @@ CriticalityCache::QuantKeyHash::operator()(const QuantKey &k) const
 std::shared_ptr<const std::vector<SampleStats>>
 CriticalityCache::stats(const Tensor &input,
                         const std::vector<Rect> &regions,
-                        const SamplingSpec &spec, uint64_t vop_seed,
-                        CacheStats *counters)
+                        const SamplingSpec &spec, uint64_t vop_seed)
 {
+    const CoreCounters &metrics = CoreCounters::get();
     StatsKey key;
     key.id = input.id();
     // Read the generation BEFORE scanning: a write racing the scan
@@ -77,12 +78,11 @@ CriticalityCache::stats(const Tensor &input,
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = stats_.find(key);
         if (it != stats_.end()) {
-            if (counters) {
-                ++counters->statsHits;
-                for (const SampleStats &s : *it->second)
-                    counters->scanBytesAvoided +=
-                        s.visited * sizeof(float);
-            }
+            metrics.statsHits.add();
+            uint64_t avoided = 0;
+            for (const SampleStats &s : *it->second)
+                avoided += s.visited * sizeof(float);
+            metrics.scanBytesAvoided.add(avoided);
             return it->second;
         }
     }
@@ -92,8 +92,7 @@ CriticalityCache::stats(const Tensor &input,
     // values — the first insert wins and both results are correct).
     auto value = std::make_shared<const std::vector<SampleStats>>(
         samplePartitions(input.view(), regions, spec, vop_seed));
-    if (counters)
-        ++counters->statsMisses;
+    metrics.statsMisses.add();
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (stats_.size() + quant_.size() >= maxEntries_ &&
@@ -104,9 +103,9 @@ CriticalityCache::stats(const Tensor &input,
 }
 
 QuantParams
-CriticalityCache::quantParams(const Tensor &t, bool simd,
-                              CacheStats *counters)
+CriticalityCache::quantParams(const Tensor &t, bool simd)
 {
+    const CoreCounters &metrics = CoreCounters::get();
     QuantKey key;
     key.id = t.id();
     key.gen = t.generation(); // before the scan; see stats()
@@ -116,17 +115,14 @@ CriticalityCache::quantParams(const Tensor &t, bool simd,
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = quant_.find(key);
         if (it != quant_.end()) {
-            if (counters) {
-                ++counters->quantHits;
-                counters->scanBytesAvoided += t.bytes();
-            }
+            metrics.quantHits.add();
+            metrics.scanBytesAvoided.add(t.bytes());
             return it->second;
         }
     }
 
     const QuantParams qp = chooseQuantParams(t.view(), simd);
-    if (counters)
-        ++counters->quantMisses;
+    metrics.quantMisses.add();
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (stats_.size() + quant_.size() >= maxEntries_ &&

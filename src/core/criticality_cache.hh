@@ -57,20 +57,18 @@ class CriticalityCache
      * geometry, and every sampler parameter; @p vop_seed enters the
      * key only for the Uniform method (the only seed-dependent
      * sampler), so striding/reduction scans hit across VOp indices
-     * and per-program seeds. @p counters, when non-null, accumulates
-     * hit/miss and bytes-of-scan-avoided.
+     * and per-program seeds. Hit/miss and bytes-of-scan-avoided count
+     * into the process metrics registry (CoreCounters).
      */
     std::shared_ptr<const std::vector<SampleStats>>
     stats(const Tensor &input, const std::vector<Rect> &regions,
-          const SamplingSpec &spec, uint64_t vop_seed,
-          CacheStats *counters);
+          const SamplingSpec &spec, uint64_t vop_seed);
 
     /**
      * Memoized `chooseQuantParams(t.view(), simd)` — the full-range
      * scan behind the NPU models' fixed input scales.
      */
-    QuantParams quantParams(const Tensor &t, bool simd,
-                            CacheStats *counters);
+    QuantParams quantParams(const Tensor &t, bool simd);
 
     /** Entries currently cached (stats + quant). */
     size_t size() const;

@@ -7,9 +7,12 @@
 #include <mutex>
 #include <utility>
 
+#include "common/flight_recorder.hh"
+#include "common/metrics_registry.hh"
 #include "common/staging_pool.hh"
 #include "common/thread_pool.hh"
 #include "core/aggregator.hh"
+#include "core/core_metrics.hh"
 #include "core/hlop_executor.hh"
 #include "core/sampling_engine.hh"
 #include "tensor/quantize.hh"
@@ -82,6 +85,30 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                                !mode.baseline && config_->stealSplitting);
     const HlopExecutor executor(*backends_);
     const Aggregator aggregator(*cal_, *cost_);
+
+    // Telemetry handles, resolved once per run: per-device simulated
+    // HLOP service and queue-wait histograms plus the dataflow
+    // ready->release slack. All record *simulated* seconds (hence the
+    // _sim_ names); the baseline stays uninstrumented — its records
+    // are the reference comparison, not serving traffic.
+    std::vector<common::Histogram *> svc_hist, wait_hist;
+    common::Histogram *slack_hist = nullptr;
+    if (!mode.baseline) {
+        auto &registry = common::MetricsRegistry::instance();
+        for (const auto &bk : *backends_) {
+            const common::MetricLabels by_device{
+                {"device", std::string(bk->name())}};
+            svc_hist.push_back(&registry.histogram(
+                "shmt_hlop_service_sim_seconds", by_device,
+                "Simulated HLOP service time (start to completion)"));
+            wait_hist.push_back(&registry.histogram(
+                "shmt_hlop_queue_wait_sim_seconds", by_device,
+                "Simulated HLOP queue wait (release to start)"));
+        }
+        slack_hist = &registry.histogram(
+            "shmt_vop_ready_slack_sim_seconds", {},
+            "Gap between a VOp's dataflow-ready time and its release");
+    }
 
     HostState state;
     state.funcDone.assign(n, 0);
@@ -189,6 +216,9 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                     stop = state.funcStatus;
                 }
                 if (!stop.ok()) {
+                    common::FlightRecorder::record(
+                        common::FlightRecorder::Kind::SchedStop,
+                        static_cast<int32_t>(stop.code()), i);
                     result.status = std::move(stop);
                     break;
                 }
@@ -213,10 +243,8 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                                             : result.hostWall.planningSec);
                 return mode.pinnedDevice != kAnyDevice
                            ? planner.planSingleDevice(vop, i,
-                                                      mode.pinnedDevice,
-                                                      &result.cache)
-                           : planner.plan(vop, i, base_seed,
-                                          &result.cache);
+                                                      mode.pinnedDevice)
+                           : planner.plan(vop, i, base_seed);
             }();
             const KernelInfo &info = *plan.info();
 
@@ -232,8 +260,7 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                 policy.beginVop(VopContext{plan.costKey(), cost_,
                                            plan.costWeight()});
                 release = sampler.charge(plan, policy, clock, pinfos,
-                                         &result.hostWall, data_memo,
-                                         &result.cache);
+                                         &result.hostWall, data_memo);
                 result.schedulingSec += release - clock;
             } else {
                 pinfos.resize(plan.partitions.size());
@@ -255,6 +282,9 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
                 if (mode.baseline)
                     continue;
                 result.devices[rec.device].hlops += 1;
+                svc_hist[rec.device]->record(rec.endSec - rec.startSec);
+                wait_hist[rec.device]->record(rec.startSec -
+                                              rec.releaseSec);
                 if (trace) {
                     const devices::Backend &bk = *(*backends_)[rec.device];
                     sim::TraceEvent ev;
@@ -290,6 +320,15 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
             }
             result.hlopsTotal +=
                 mode.baseline ? 1 : plan.partitions.size();
+            if (!mode.baseline) {
+                // release >= ready[i] by construction (the serial
+                // clock only moves forward), so the slack histogram
+                // never sees a negative gap.
+                slack_hist->record(release - ready[i]);
+                common::FlightRecorder::record(
+                    common::FlightRecorder::Kind::VopDispatch, 0, i,
+                    plan.partitions.size());
+            }
             if (trace && !mode.baseline) {
                 sim::VopSpan span;
                 span.vopIndex = i;
@@ -514,6 +553,10 @@ GraphScheduler::execute(const VopProgram &program, const VopGraph &graph,
             if (!mode.baseline)
                 result.devices[rc.to].hlops += 1;
             result.recoveredHlops += 1;
+            CoreCounters::get().hlopsRecovered.add();
+            common::FlightRecorder::record(
+                common::FlightRecorder::Kind::FaultRecovered, 0,
+                rc.vopIndex, rc.hlop);
         }
     }
     return clock;

@@ -4,6 +4,7 @@
 
 #include "common/math_utils.hh"
 #include "common/random.hh"
+#include "core/core_metrics.hh"
 #include "core/criticality_cache.hh"
 #include "core/plan_cache.hh"
 #include "tensor/quantize.hh"
@@ -73,7 +74,7 @@ KernelArgs
 makeKernelArgs(const VOp &vop, const KernelInfo &info,
                const RuntimeConfig &config,
                const sim::PlatformCalibration &cal, bool npu_quant,
-               CriticalityCache *quant_memo, CacheStats *cache_stats,
+               CriticalityCache *quant_memo,
                kernels::ResidencyService *residency)
 {
     KernelArgs args;
@@ -107,8 +108,7 @@ makeKernelArgs(const VOp &vop, const KernelInfo &info,
         for (const Tensor *t : vop.inputs)
             args.npuInputQuant.push_back(
                 quant_memo
-                    ? quant_memo->quantParams(*t, args.hostSimd,
-                                              cache_stats)
+                    ? quant_memo->quantParams(*t, args.hostSimd)
                     : chooseQuantParams(t->view(), args.hostSimd));
     }
     return args;
@@ -179,71 +179,65 @@ Planner::buildSkeleton(const VOp &vop, const KernelInfo &info,
 }
 
 std::shared_ptr<const PlanSkeleton>
-Planner::skeleton(const VOp &vop, const KernelInfo &info, size_t device,
-                  CacheStats *cache_stats) const
+Planner::skeleton(const VOp &vop, const KernelInfo &info,
+                  size_t device) const
 {
+    const CoreCounters &metrics = CoreCounters::get();
     if (!planCache_) {
-        if (cache_stats)
-            ++cache_stats->planMisses;
+        metrics.planMisses.add();
         return buildSkeleton(vop, info, device);
     }
     const PlanKey key =
         makePlanKey(vop, std::max<size_t>(1, config_.targetHlops),
                     device);
     if (auto skel = planCache_->find(key)) {
-        if (cache_stats)
-            ++cache_stats->planHits;
+        metrics.planHits.add();
         return skel;
     }
     auto skel = buildSkeleton(vop, info, device);
-    if (cache_stats)
-        ++cache_stats->planMisses;
+    metrics.planMisses.add();
     planCache_->insert(key, skel);
     return skel;
 }
 
 VopPlan
-Planner::plan(const VOp &vop, size_t vop_index,
-              CacheStats *cache_stats) const
+Planner::plan(const VOp &vop, size_t vop_index) const
 {
-    return plan(vop, vop_index, config_.seed, cache_stats);
+    return plan(vop, vop_index, config_.seed);
 }
 
 VopPlan
-Planner::plan(const VOp &vop, size_t vop_index, uint64_t base_seed,
-              CacheStats *cache_stats) const
+Planner::plan(const VOp &vop, size_t vop_index, uint64_t base_seed) const
 {
     const KernelInfo &info = KernelRegistry::instance().get(vop.opcode);
     checkVop(vop, info);
 
     VopPlan p;
     p.vop = &vop;
-    p.skel = skeleton(vop, info, kAnyPlanDevice, cache_stats);
+    p.skel = skeleton(vop, info, kAnyPlanDevice);
     p.vopIndex = vop_index;
     p.seed = base_seed ^ hashMix(vop_index + 1);
     p.partitions = p.skel->partitions;
     p.args = makeKernelArgs(vop, info, config_, *cal_,
-                            /*npu_quant=*/true, dataCache_, cache_stats,
-                            residency_);
+                            /*npu_quant=*/true, dataCache_, residency_);
     return p;
 }
 
 VopPlan
-Planner::planSingleDevice(const VOp &vop, size_t vop_index, size_t device,
-                          CacheStats *cache_stats) const
+Planner::planSingleDevice(const VOp &vop, size_t vop_index,
+                          size_t device) const
 {
     const KernelInfo &info = KernelRegistry::instance().get(vop.opcode);
     checkVop(vop, info);
 
     VopPlan p;
     p.vop = &vop;
-    p.skel = skeleton(vop, info, device, cache_stats);
+    p.skel = skeleton(vop, info, device);
     p.vopIndex = vop_index;
     p.seed = config_.seed;
     p.partitions = p.skel->partitions;
     p.args = makeKernelArgs(vop, info, config_, *cal_,
-                            /*npu_quant=*/false, nullptr, cache_stats,
-                            residency_);
+                            /*npu_quant=*/false, nullptr, residency_);
     return p;
 }
 

@@ -148,8 +148,9 @@ struct VopPlan
  * the full data range. The single-device baseline skips the quant
  * scan: its device executes at native FP32. @p quant_memo, when
  * non-null, memoizes the per-input range scans by tensor write
- * generation (counting into @p cache_stats) — identical bytes yield
- * identical QuantParams, so the memo is bit-transparent. @p residency,
+ * generation (counting into the process metrics registry) —
+ * identical bytes yield identical QuantParams, so the memo is
+ * bit-transparent. @p residency,
  * when non-null, attaches the staging residency service plus per-input
  * (id, generation) snapshots (inputs aliasing the output stay
  * untracked — their bytes mutate under execution), letting the
@@ -161,7 +162,6 @@ kernels::KernelArgs makeKernelArgs(const VOp &vop,
                                    const sim::PlatformCalibration &cal,
                                    bool npu_quant = true,
                                    CriticalityCache *quant_memo = nullptr,
-                                   CacheStats *cache_stats = nullptr,
                                    kernels::ResidencyService *residency =
                                        nullptr);
 
@@ -194,13 +194,12 @@ class Planner
      * slot per supporting device, seed mixed per VOp index, and the
      * NPU staging parameters. @p seed_override replaces the config
      * seed as the mixing base (Session uses it for per-program seeds).
-     * @p cache_stats, when non-null, accumulates plan/quant cache
-     * hit-miss counters for the run's RunResult.
+     * Plan/quant cache hit-miss counting lands in the process metrics
+     * registry (CoreCounters); the runtime derives per-run deltas.
      */
+    VopPlan plan(const VOp &vop, size_t vop_index) const;
     VopPlan plan(const VOp &vop, size_t vop_index,
-                 CacheStats *cache_stats = nullptr) const;
-    VopPlan plan(const VOp &vop, size_t vop_index, uint64_t base_seed,
-                 CacheStats *cache_stats = nullptr) const;
+                 uint64_t base_seed) const;
 
     /**
      * Degenerate single-device plan: one whole-basis partition pinned
@@ -209,8 +208,7 @@ class Planner
      * This is how runGpuBaseline becomes "a one-device plan".
      */
     VopPlan planSingleDevice(const VOp &vop, size_t vop_index,
-                             size_t device,
-                             CacheStats *cache_stats = nullptr) const;
+                             size_t device) const;
 
     /** Partition a rows x cols basis for @p info (paper §3.4). */
     std::vector<Rect> partition(const kernels::KernelInfo &info,
@@ -224,7 +222,7 @@ class Planner
      */
     std::shared_ptr<const PlanSkeleton>
     skeleton(const VOp &vop, const kernels::KernelInfo &info,
-             size_t device, CacheStats *cache_stats) const;
+             size_t device) const;
 
     /** Build a skeleton from scratch (cache miss / cache off). */
     std::shared_ptr<const PlanSkeleton>

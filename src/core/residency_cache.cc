@@ -1,6 +1,7 @@
 #include "residency_cache.hh"
 
 #include "common/random.hh"
+#include "core/core_metrics.hh"
 
 namespace shmt::core {
 
@@ -40,9 +41,15 @@ ResidencyCache::lease(const Key &key,
         auto it = map_.find(key);
         if (it != map_.end()) {
             lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            // The instance atomics keep the per-cache introspection
+            // API exact; the registry counters are the process-wide
+            // telemetry view the runtime snapshots per run.
             hits_.fetch_add(1, std::memory_order_relaxed);
             bytesAvoided_.fetch_add(it->second.entry->bytes(),
                                     std::memory_order_relaxed);
+            const CoreCounters &metrics = CoreCounters::get();
+            metrics.residencyHits.add();
+            metrics.residencyBytesAvoided.add(it->second.entry->bytes());
             return it->second.entry;
         }
     }
@@ -52,6 +59,7 @@ ResidencyCache::lease(const Key &key,
     // params), so whichever insert wins is correct for everyone.
     Handle entry = std::make_shared<const Entry>(materialize());
     misses_.fetch_add(1, std::memory_order_relaxed);
+    CoreCounters::get().residencyMisses.add();
 
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(key);
@@ -86,6 +94,7 @@ ResidencyCache::evictLocked()
         map_.erase(it);
         lru_.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        CoreCounters::get().residencyEvictions.add();
     }
 }
 

@@ -158,6 +158,12 @@ struct RuntimeConfig
  * would have produced (the plan key covers every shape/config input
  * of the skeleton; the data memos key on the tensor write
  * generation).
+ *
+ * Filled as a MetricsRegistry snapshot delta (the shmt_plan_cache_*,
+ * shmt_criticality_*, shmt_scan_bytes_* and shmt_residency_*
+ * counters before vs after the run): exact for sequential runs; with
+ * concurrent Sessions a run's delta includes overlapping runs'
+ * traffic. Registry disarmed (`--metrics off`), everything reads 0.
  */
 struct CacheStats
 {
@@ -249,7 +255,9 @@ struct RunResult
      * every byte the serving stack touches — tensors, staging planes,
      * resident device-format entries and GEMM pack scratch all lease
      * from the same common::MemoryPool. Monotone fields are deltas
-     * for this run; the gauges are end-of-run snapshots.
+     * for this run (shmt_mempool_* registry counters before vs after,
+     * with the same concurrency caveat as `cache`); the gauges are
+     * end-of-run snapshots.
      */
     common::MemoryStats memory;
 

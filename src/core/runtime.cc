@@ -3,12 +3,60 @@
 #include <algorithm>
 #include <set>
 
+#include "common/flight_recorder.hh"
+#include "common/metrics_registry.hh"
 #include "common/thread_pool.hh"
+#include "core/core_metrics.hh"
 #include "core/graph_scheduler.hh"
 #include "core/validate.hh"
 #include "core/vop_graph.hh"
 
 namespace shmt::core {
+
+namespace {
+
+/** Point snapshot of every CacheStats-backed registry counter. */
+CacheStats
+snapshotCacheCounters()
+{
+    const CoreCounters &metrics = CoreCounters::get();
+    CacheStats snap;
+    snap.planHits = metrics.planHits.value();
+    snap.planMisses = metrics.planMisses.value();
+    snap.statsHits = metrics.statsHits.value();
+    snap.statsMisses = metrics.statsMisses.value();
+    snap.quantHits = metrics.quantHits.value();
+    snap.quantMisses = metrics.quantMisses.value();
+    snap.scanBytesAvoided = metrics.scanBytesAvoided.value();
+    snap.residencyHits = metrics.residencyHits.value();
+    snap.residencyMisses = metrics.residencyMisses.value();
+    snap.residencyEvictions = metrics.residencyEvictions.value();
+    snap.residencyBytesAvoided = metrics.residencyBytesAvoided.value();
+    return snap;
+}
+
+/** end minus begin, field-wise. */
+CacheStats
+cacheDelta(const CacheStats &begin, const CacheStats &end)
+{
+    CacheStats d;
+    d.planHits = end.planHits - begin.planHits;
+    d.planMisses = end.planMisses - begin.planMisses;
+    d.statsHits = end.statsHits - begin.statsHits;
+    d.statsMisses = end.statsMisses - begin.statsMisses;
+    d.quantHits = end.quantHits - begin.quantHits;
+    d.quantMisses = end.quantMisses - begin.quantMisses;
+    d.scanBytesAvoided = end.scanBytesAvoided - begin.scanBytesAvoided;
+    d.residencyHits = end.residencyHits - begin.residencyHits;
+    d.residencyMisses = end.residencyMisses - begin.residencyMisses;
+    d.residencyEvictions =
+        end.residencyEvictions - begin.residencyEvictions;
+    d.residencyBytesAvoided =
+        end.residencyBytesAvoided - begin.residencyBytesAvoided;
+    return d;
+}
+
+} // namespace
 
 double
 RunResult::commOverhead() const
@@ -60,29 +108,48 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
         result.devices[d].kind = backends_[d]->kind();
     }
 
+    // Every run attempt logs its start — rejected ones included, so a
+    // post-mortem dump shows the attempt next to its RunEnd status.
+    common::FlightRecorder::record(
+        common::FlightRecorder::Kind::RunStart, 0, program.ops.size());
+
     // Entry gate: reject malformed programs (and already-tripped
     // controls) with a resolved status before touching any pipeline
     // state — a bad client program must not reach a planner assert.
     result.status = validate(program);
     if (result.status.ok() && ctl.armed())
         result.status = ctl.check();
-    if (!result.status.ok())
+    if (!result.status.ok()) {
+        common::MetricsRegistry::instance()
+            .counter("shmt_runs_total",
+                     {{"status", std::string(common::statusCodeName(
+                                     result.status.code()))}},
+                     "Runs completed, by final status")
+            .add();
+        common::FlightRecorder::record(
+            common::FlightRecorder::Kind::RunEnd,
+            static_cast<int32_t>(result.status.code()));
+        if (trace_) {
+            trace_->setMetricsJson(
+                common::MetricsRegistry::instance().jsonText());
+            trace_->setFlightDump(common::FlightRecorder::dump());
+        }
         return result;
+    }
 
     // Size the shared host pool once per run; 1 keeps the legacy
     // serial path (the pool then runs every loop inline).
     common::ThreadPool::configureGlobal(config_.hostThreads);
     const double host_t0 = sim::wallSeconds();
 
-    // Residency counters are process-monotone (kernel-level hits land
-    // on pool threads with no per-run plumbing); report this run's
-    // share as the before/after delta. Concurrent Session workers may
-    // cross-attribute a neighbour's traffic; totals stay exact.
-    const ResidencyCache::Counters res0 = residencyCache_.counters();
-
-    // Memory-engine counters are likewise process-monotone (every
-    // tensor/staging/residency lease lands on the one global pool);
-    // this run's share is the before/after delta.
+    // Every serving-cache and memory-engine counter is a process-
+    // monotone registry instrument (kernel-level hits land on pool
+    // threads with no per-run plumbing); report this run's share as
+    // the before/after delta. Concurrent Session workers may cross-
+    // attribute a neighbour's traffic; totals stay exact. With the
+    // registry disarmed the deltas are zero — telemetry only, the
+    // outputs and timing are byte-identical either way.
+    const CacheStats cache0 = snapshotCacheCounters();
     const common::MemoryStats mem0 = common::MemoryPool::stats();
 
     // All run state is local: concurrent runs on distinct programs
@@ -127,14 +194,19 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
     result.energy = meter.finalize(result.makespanSec);
     result.hostWall.totalSec = sim::wallSeconds() - host_t0;
 
-    const ResidencyCache::Counters res1 = residencyCache_.counters();
-    result.cache.residencyHits = res1.hits - res0.hits;
-    result.cache.residencyMisses = res1.misses - res0.misses;
-    result.cache.residencyEvictions = res1.evictions - res0.evictions;
-    result.cache.residencyBytesAvoided =
-        res1.bytesAvoided - res0.bytesAvoided;
+    result.cache = cacheDelta(cache0, snapshotCacheCounters());
     result.memory =
         common::MemoryStats::delta(mem0, common::MemoryPool::stats());
+
+    common::MetricsRegistry::instance()
+        .counter("shmt_runs_total",
+                 {{"status", std::string(common::statusCodeName(
+                                 result.status.code()))}},
+                 "Runs completed, by final status")
+        .add();
+    common::FlightRecorder::record(
+        common::FlightRecorder::Kind::RunEnd,
+        static_cast<int32_t>(result.status.code()));
 
     if (trace_) {
         trace_->setHostPhases(result.hostWall);
@@ -143,8 +215,14 @@ Runtime::run(const VopProgram &program, Policy &policy, bool functional,
         trace_->setResidencyStats(result.cache.residencyHits,
                                   result.cache.residencyMisses,
                                   result.cache.residencyBytesAvoided,
-                                  res1.residentBytes);
+                                  residencyCache_.residentBytes());
         trace_->setMemoryStats(result.memory);
+        trace_->setMetricsJson(
+            common::MetricsRegistry::instance().jsonText());
+        // Post-mortem context: a failed submission dumps the flight
+        // recorder's recent scheduling/fault history into the trace.
+        if (!result.status.ok())
+            trace_->setFlightDump(common::FlightRecorder::dump());
     }
     return result;
 }

@@ -8,8 +8,8 @@ namespace shmt::core {
 double
 SamplingEngine::charge(const VopPlan &plan, const Policy &policy,
                        double start, std::vector<PartitionInfo> &pinfos,
-                       sim::HostPhaseStats *wall, CriticalityCache *memo,
-                       CacheStats *counters) const
+                       sim::HostPhaseStats *wall,
+                       CriticalityCache *memo) const
 {
     const size_t n = plan.partitions.size();
     double cpu_clock = start;
@@ -31,7 +31,7 @@ SamplingEngine::charge(const VopPlan &plan, const Policy &policy,
             sim::ScopedWallTimer wt(wall ? wall->samplingSec : discard);
             if (memo)
                 cached = memo->stats(*vop.inputs[0], plan.partitions,
-                                     *spec, plan.seed, counters);
+                                     *spec, plan.seed);
             else
                 fresh = samplePartitions(vop.inputs[0]->view(),
                                          plan.partitions, *spec,

@@ -40,16 +40,15 @@ class SamplingEngine
      * accumulates the host wall-clock spent gathering samples.
      *
      * @p memo, when non-null, memoizes the host-side statistics scan
-     * by tensor write generation (counting into @p counters). Only the
-     * host work is skipped on a hit: the simulated sampling cost is
-     * still charged from the memoized visit counts, so the returned
-     * clock is bit-identical with or without the memo.
+     * by tensor write generation (counting into the process metrics
+     * registry). Only the host work is skipped on a hit: the simulated
+     * sampling cost is still charged from the memoized visit counts,
+     * so the returned clock is bit-identical with or without the memo.
      */
     double charge(const VopPlan &plan, const Policy &policy, double start,
                   std::vector<PartitionInfo> &pinfos,
                   sim::HostPhaseStats *wall,
-                  CriticalityCache *memo = nullptr,
-                  CacheStats *counters = nullptr) const;
+                  CriticalityCache *memo = nullptr) const;
 
   private:
     const sim::CostModel *cost_;

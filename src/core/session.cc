@@ -2,9 +2,44 @@
 
 #include <algorithm>
 
+#include "common/flight_recorder.hh"
 #include "common/logging.hh"
+#include "common/metrics_registry.hh"
 
 namespace shmt::core {
+
+namespace {
+
+/** Session-level registry counters, resolved once. */
+struct SessionCounters
+{
+    common::Counter &submissions;
+    common::Counter &rejected;
+
+    static const SessionCounters &
+    get()
+    {
+        auto &reg = common::MetricsRegistry::instance();
+        static SessionCounters c{
+            reg.counter("shmt_session_submissions_total", {},
+                        "Programs accepted onto a session queue."),
+            reg.counter("shmt_session_rejected_total", {},
+                        "Submissions resolved without execution "
+                        "(invalid program, shutdown race)."),
+        };
+        return c;
+    }
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 Session::Session(Runtime &runtime, SessionOptions options)
     : runtime_(&runtime), options_(options)
@@ -12,7 +47,7 @@ Session::Session(Runtime &runtime, SessionOptions options)
     options_.workers = std::max<size_t>(1, options_.workers);
     workers_.reserve(options_.workers);
     for (size_t w = 0; w < options_.workers; ++w)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, w] { workerLoop(w); });
 }
 
 Session::~Session()
@@ -36,8 +71,13 @@ Session::~Session()
         RunResult cancelled;
         cancelled.status = common::Status::cancelled(
             "session destroyed before execution");
+        common::FlightRecorder::record(
+            common::FlightRecorder::Kind::SessionReject,
+            static_cast<int32_t>(common::StatusCode::Cancelled),
+            p.ticket);
         p.promise.set_value(std::move(cancelled));
     }
+    SessionCounters::get().rejected.add(orphans.size());
     std::lock_guard<std::mutex> lock(mutex_);
     rejected_ += orphans.size();
 }
@@ -55,6 +95,10 @@ Session::submit(Submission submission)
         std::promise<RunResult> promise;
         std::future<RunResult> future = promise.get_future();
         RunResult result;
+        common::FlightRecorder::record(
+            common::FlightRecorder::Kind::SessionReject,
+            static_cast<int32_t>(st.code()));
+        SessionCounters::get().rejected.add();
         result.status = std::move(st);
         promise.set_value(std::move(result));
         std::lock_guard<std::mutex> lock(mutex_);
@@ -84,9 +128,14 @@ Session::submit(Submission submission)
                 "submit on a stopping session"));
         }
         pending.ticket = nextTicket_++;
+        pending.enqueued = std::chrono::steady_clock::now();
+        common::FlightRecorder::record(
+            common::FlightRecorder::Kind::SessionSubmit, 0,
+            pending.ticket);
         queue_.push_back(std::move(pending));
         peakQueue_ = std::max(peakQueue_, queue_.size());
     }
+    SessionCounters::get().submissions.add();
     cv_.notify_one();
     return future;
 }
@@ -140,9 +189,29 @@ Session::peakQueueDepth() const
     return peakQueue_;
 }
 
-void
-Session::workerLoop()
+std::string
+Session::metricsText()
 {
+    return common::MetricsRegistry::instance().prometheusText();
+}
+
+void
+Session::workerLoop(size_t worker)
+{
+    // Per-worker instruments: one histogram pair per driver worker so
+    // a slow worker (e.g. one pinned by a long program) is visible as
+    // its own exposition series instead of vanishing into a pool-wide
+    // aggregate. Both are host wall time, not simulated time.
+    auto &reg = common::MetricsRegistry::instance();
+    const common::MetricLabels labels = {
+        {"worker", std::to_string(worker)}};
+    common::Histogram &latency = reg.histogram(
+        "shmt_session_latency_seconds", labels,
+        "Submit-to-complete host latency per driver worker.");
+    common::Histogram &queueWait = reg.histogram(
+        "shmt_session_queue_wait_seconds", labels,
+        "Enqueue-to-claim host wait per driver worker.");
+
     for (;;) {
         Pending pending;
         {
@@ -157,6 +226,10 @@ Session::workerLoop()
         }
         // The pop freed a queue slot; wake one blocked submitter.
         spaceCv_.notify_one();
+        queueWait.record(secondsSince(pending.enqueued));
+        common::FlightRecorder::record(
+            common::FlightRecorder::Kind::SessionStart, 0,
+            pending.ticket);
 
         // Execute outside the lock: the run's forChunks bodies park on
         // the shared pool, and nesting under a held mutex deadlocks.
@@ -181,6 +254,11 @@ Session::workerLoop()
                     "unknown execution failure");
             }
         }
+        latency.record(secondsSince(pending.enqueued));
+        common::FlightRecorder::record(
+            common::FlightRecorder::Kind::SessionDone,
+            static_cast<int32_t>(result.status.code()),
+            pending.ticket);
 
         {
             std::unique_lock<std::mutex> lock(mutex_);

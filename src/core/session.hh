@@ -37,9 +37,11 @@
 #ifndef SHMT_CORE_SESSION_HH
 #define SHMT_CORE_SESSION_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -143,15 +145,28 @@ class Session
     /** The options this session runs under. */
     const SessionOptions &options() const { return options_; }
 
+    /**
+     * Prometheus text exposition of the process metrics registry —
+     * the same snapshot `shmtbench --metrics-out` writes. Serving
+     * stacks poll this from a scrape handler; the session only
+     * forwards to common::MetricsRegistry, so the text also covers
+     * runtime/cache/pool instruments beyond the session's own
+     * shmt_session_* family.
+     */
+    static std::string metricsText();
+
   private:
     struct Pending
     {
         Submission submission;
         std::promise<RunResult> promise;
         uint64_t ticket = 0; //!< submission sequence number
+        /** Host wall clock at enqueue; anchors the queue-wait and
+         *  submit-to-complete latency histograms. */
+        std::chrono::steady_clock::time_point enqueued;
     };
 
-    void workerLoop();
+    void workerLoop(size_t worker);
 
     Runtime *runtime_;
     SessionOptions options_;

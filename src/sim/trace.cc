@@ -137,6 +137,35 @@ ExecutionTrace::writeChromeTrace(std::ostream &os) const
            << ",\"bytes_live\":" << memoryStats_.bytesLive
            << ",\"peak_live\":" << memoryStats_.peakLive
            << ",\"cached_bytes\":" << memoryStats_.cachedBytes << "}}";
+        first = false;
+    }
+    if (hasMetricsJson()) {
+        // Metadata record: the full registry snapshot (raw JSON from
+        // MetricsRegistry::jsonText — process-cumulative values, not
+        // per-run deltas).
+        if (!first)
+            os << ",";
+        os << "{\"name\":\"metrics\",\"cat\":\"host\",\"ph\":\"M\","
+              "\"pid\":0,\"tid\":\"host\",\"args\":{\"snapshot\":"
+           << metricsJson_ << "}}";
+        first = false;
+    }
+    for (const auto &f : flightDump_) {
+        // Instant events: the flight recorder's last scheduling/fault
+        // events, one row per recorder thread. Timestamps are the
+        // recorder's own steady clock (nanoseconds since an arbitrary
+        // epoch), so rows align with each other, not with the
+        // simulated timeline above.
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\""
+           << common::FlightRecorder::kindName(f.kind)
+           << "\",\"cat\":\"flight\",\"ph\":\"i\",\"s\":\"t\","
+              "\"pid\":1,\"tid\":\"flight-" << f.thread
+           << "\",\"ts\":" << static_cast<double>(f.tsNanos) * 1e-3
+           << ",\"args\":{\"code\":" << f.code << ",\"a\":" << f.a
+           << ",\"b\":" << f.b << "}}";
     }
     os << "]}\n";
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flight_recorder.hh"
 #include "common/memory_pool.hh"
 #include "sim/calibration.hh"
 #include "sim/wallclock.hh"
@@ -90,6 +91,9 @@ class ExecutionTrace
         hasResidencyStats_ = false;
         memoryStats_ = common::MemoryStats{};
         hasMemoryStats_ = false;
+        metricsJson_.clear();
+        flightDump_.clear();
+        hasFlightDump_ = false;
     }
 
     /** Completion time of the last event. */
@@ -170,6 +174,35 @@ class ExecutionTrace
     bool hasMemoryStats() const { return hasMemoryStats_; }
 
     /**
+     * Registry snapshot of the recorded run (raw JSON from
+     * MetricsRegistry::jsonText, set by the runtime when a trace is
+     * attached). Exported as a `metrics` metadata record.
+     */
+    void setMetricsJson(std::string json)
+    {
+        metricsJson_ = std::move(json);
+    }
+    const std::string &metricsJson() const { return metricsJson_; }
+    bool hasMetricsJson() const { return !metricsJson_.empty(); }
+
+    /**
+     * Flight-recorder dump, set by the runtime when a submission ends
+     * non-OK so the last scheduling/fault events surrounding the
+     * failure land next to the timeline. Exported as `flight` instant
+     * events, one Chrome-trace row per recorder thread.
+     */
+    void setFlightDump(std::vector<common::FlightRecorder::Event> events)
+    {
+        flightDump_ = std::move(events);
+        hasFlightDump_ = true;
+    }
+    const std::vector<common::FlightRecorder::Event> &flightDump() const
+    {
+        return flightDump_;
+    }
+    bool hasFlightDump() const { return hasFlightDump_; }
+
+    /**
      * Write the trace in Chrome tracing JSON (one row per device,
      * one duration slice per HLOP; timestamps in microseconds).
      */
@@ -191,6 +224,9 @@ class ExecutionTrace
     bool hasResidencyStats_ = false;
     common::MemoryStats memoryStats_;
     bool hasMemoryStats_ = false;
+    std::string metricsJson_;
+    std::vector<common::FlightRecorder::Event> flightDump_;
+    bool hasFlightDump_ = false;
 };
 
 } // namespace shmt::sim

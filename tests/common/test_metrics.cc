@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Telemetry-engine tests: histogram bucket/percentile pins against an
+ * exact sorted reference, cross-thread shard merging under racing
+ * recorders, snapshot-delta semantics, the armed-flag freeze, the
+ * Prometheus/JSON expositions (golden), flight-recorder wraparound
+ * and dump-on-failure, and the registry-on-vs-off bit-identity matrix
+ * over benchmark x policy (telemetry must only observe).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "apps/harness.hh"
+#include "common/cancel.hh"
+#include "common/flight_recorder.hh"
+#include "common/metrics_registry.hh"
+#include "core/policy.hh"
+#include "core/runtime.hh"
+#include "core/session.hh"
+#include "sim/trace.hh"
+
+namespace shmt::common {
+namespace {
+
+/** Restores the process arming flag no matter how a test exits. */
+struct ArmedGuard
+{
+    bool saved = MetricsRegistry::armed();
+    ~ArmedGuard() { MetricsRegistry::setArmed(saved); }
+};
+
+constexpr double kBucketWidth = 1.3335214321633241; // 10^(1/8)
+
+TEST(Histogram, BucketIndexPinsEdgesUnderflowAndOverflow)
+{
+    EXPECT_EQ(Histogram::bucketIndex(0.0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(-1.0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(std::nan("")), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(Histogram::kMinSec / 2), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(Histogram::kMinSec), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(Histogram::kMaxSec),
+              kHistogramBuckets - 1);
+    EXPECT_EQ(Histogram::bucketIndex(100.0), kHistogramBuckets - 1);
+    // 1 ms is 4 decades above the floor: bucket 4*8 + 1.
+    EXPECT_EQ(Histogram::bucketIndex(1e-3), 33u);
+}
+
+TEST(Histogram, BucketBoundsAreLogUniformAndRoundTrip)
+{
+    for (size_t i = 1; i <= Histogram::kFiniteBuckets; ++i) {
+        const double lo = Histogram::bucketLowerSec(i);
+        const double hi = Histogram::bucketUpperSec(i);
+        ASSERT_LT(lo, hi);
+        EXPECT_NEAR(hi / lo, kBucketWidth, 1e-9);
+        // The geometric midpoint of every finite bucket maps back to
+        // that bucket (boundary values may tip either way in FP).
+        EXPECT_EQ(Histogram::bucketIndex(std::sqrt(lo * hi)), i);
+    }
+    EXPECT_EQ(Histogram::bucketLowerSec(0), 0.0);
+    EXPECT_NEAR(Histogram::bucketUpperSec(0), Histogram::kMinSec, 1e-18);
+    EXPECT_EQ(Histogram::bucketUpperSec(kHistogramBuckets - 1),
+              Histogram::kMaxSec);
+}
+
+TEST(Histogram, QuantilesTrackAnExactSortedReference)
+{
+    // Deterministic log-uniform latencies over ~5 decades.
+    Histogram hist;
+    std::vector<double> values;
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 2000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const double u =
+            static_cast<double>(x >> 11) / 9007199254740992.0;
+        const double v = 1e-6 * std::pow(10.0, 5.0 * u);
+        values.push_back(v);
+        hist.record(v);
+    }
+    std::sort(values.begin(), values.end());
+
+    const HistogramSnapshot snap = hist.snapshot();
+    ASSERT_EQ(snap.count, values.size());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        const size_t rank = static_cast<size_t>(
+            std::ceil(q * static_cast<double>(values.size())));
+        const double exact = values[rank - 1];
+        const double est = snap.quantile(q);
+        // The estimate interpolates inside the bucket covering the
+        // exact rank, so it can be off by at most one bucket width.
+        EXPECT_GE(est, exact / (kBucketWidth * 1.001)) << "q=" << q;
+        EXPECT_LE(est, exact * (kBucketWidth * 1.001)) << "q=" << q;
+    }
+    // The mean is exact up to per-record rounding to nanoseconds.
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    EXPECT_NEAR(snap.meanSeconds(),
+                sum / static_cast<double>(values.size()),
+                1e-9 * static_cast<double>(values.size()));
+}
+
+TEST(Histogram, RacingRecordersLoseNothingAcrossShards)
+{
+    Histogram hist;
+    constexpr size_t kThreads = 8;
+    constexpr size_t kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hist] {
+            for (size_t i = 0; i < kPerThread; ++i)
+                hist.record(1e-3);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    const HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, kThreads * kPerThread);
+    EXPECT_EQ(snap.buckets[33], kThreads * kPerThread);
+    EXPECT_EQ(snap.sumNanos, kThreads * kPerThread * uint64_t{1000000});
+}
+
+TEST(Histogram, SnapshotDeltaIsolatesARegion)
+{
+    Histogram hist;
+    hist.record(1e-3);
+    hist.record(1e-3);
+    const HistogramSnapshot before = hist.snapshot();
+    hist.record(1e-3);
+    hist.record(2e-2);
+    const HistogramSnapshot delta =
+        hist.snapshot().delta(before);
+    EXPECT_EQ(delta.count, 2u);
+    EXPECT_EQ(delta.buckets[33], 1u);
+    EXPECT_EQ(delta.buckets[Histogram::bucketIndex(2e-2)], 1u);
+    EXPECT_EQ(delta.sumNanos, uint64_t{1000000 + 20000000});
+}
+
+TEST(Registry, DisarmedFreezesEveryInstrumentKind)
+{
+    ArmedGuard guard;
+    Counter ctr;
+    Gauge gauge;
+    Histogram hist;
+
+    MetricsRegistry::setArmed(true);
+    ctr.add(2);
+    gauge.set(5);
+    hist.record(1e-3);
+
+    MetricsRegistry::setArmed(false);
+    ctr.add(100);
+    gauge.add(100);
+    gauge.set(100);
+    gauge.noteMax(100);
+    hist.record(1e-3);
+    EXPECT_EQ(ctr.value(), 2u);
+    EXPECT_EQ(gauge.value(), 5);
+    EXPECT_EQ(gauge.addAndGet(100), 5); // reports the frozen level
+    EXPECT_EQ(hist.snapshot().count, 1u);
+
+    MetricsRegistry::setArmed(true);
+    ctr.add();
+    EXPECT_EQ(ctr.value(), 3u);
+}
+
+TEST(Registry, GaugeHighWaterAndAddAndGet)
+{
+    ArmedGuard guard;
+    MetricsRegistry::setArmed(true);
+    Gauge g;
+    EXPECT_EQ(g.addAndGet(10), 10);
+    g.noteMax(7); // below: no-op
+    EXPECT_EQ(g.value(), 10);
+    g.noteMax(25);
+    EXPECT_EQ(g.value(), 25);
+    g.sub(5);
+    EXPECT_EQ(g.value(), 20);
+}
+
+TEST(Registry, LabelsDistinguishInstrumentsWithinAFamily)
+{
+    ArmedGuard guard;
+    MetricsRegistry::setArmed(true);
+    MetricsRegistry reg;
+    Counter &a = reg.counter("req_total", {{"code", "200"}});
+    Counter &b = reg.counter("req_total", {{"code", "500"}});
+    EXPECT_NE(&a, &b);
+    // Find-or-create is stable: same key, same instrument.
+    EXPECT_EQ(&a, &reg.counter("req_total", {{"code", "200"}}));
+    a.add(3);
+    b.add(1);
+    EXPECT_EQ(reg.counterValue("req_total", {{"code", "200"}}), 3u);
+    EXPECT_EQ(reg.counterValue("req_total", {{"code", "500"}}), 1u);
+    EXPECT_EQ(reg.counterValue("req_total", {{"code", "404"}}), 0u);
+    EXPECT_EQ(reg.counterValue("absent_total"), 0u);
+}
+
+TEST(Registry, PrometheusExpositionGolden)
+{
+    ArmedGuard guard;
+    MetricsRegistry::setArmed(true);
+    MetricsRegistry reg;
+    reg.gauge("test_queue_depth", {}, "Programs waiting.").set(7);
+    reg.counter("test_requests_total", {{"code", "200"}},
+                "Requests served.")
+        .add(3);
+    reg.counter("test_requests_total", {{"code", "500"}}).add(1);
+
+    EXPECT_EQ(reg.prometheusText(),
+              "# HELP test_queue_depth Programs waiting.\n"
+              "# TYPE test_queue_depth gauge\n"
+              "test_queue_depth 7\n"
+              "# HELP test_requests_total Requests served.\n"
+              "# TYPE test_requests_total counter\n"
+              "test_requests_total{code=\"200\"} 3\n"
+              "test_requests_total{code=\"500\"} 1\n");
+}
+
+TEST(Registry, PrometheusHistogramExpositionIsCumulative)
+{
+    ArmedGuard guard;
+    MetricsRegistry::setArmed(true);
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("test_lat_seconds", {{"worker", "0"}});
+    h.record(1e-9);  // underflow: folds into the first finite bound
+    h.record(1e-7);  // bucket 1
+    h.record(100.0); // overflow: folds into +Inf only
+
+    // Build the expected exposition with the same bound formatting.
+    auto fmt = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        return std::string(buf);
+    };
+    std::string expected =
+        "# TYPE test_lat_seconds histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i <= Histogram::kFiniteBuckets; ++i) {
+        cum += (i == 0) ? 1 : (i == 1 ? 1 : 0);
+        expected += "test_lat_seconds_bucket{worker=\"0\",le=\"" +
+                    fmt(Histogram::bucketUpperSec(i)) + "\"} " +
+                    std::to_string(cum) + "\n";
+    }
+    const uint64_t sum_nanos = 1 + 100 + 100000000000ull;
+    expected += "test_lat_seconds_bucket{worker=\"0\",le=\"+Inf\"} 3\n";
+    expected += "test_lat_seconds_sum{worker=\"0\"} " +
+                fmt(static_cast<double>(sum_nanos) * 1e-9) + "\n";
+    expected += "test_lat_seconds_count{worker=\"0\"} 3\n";
+    EXPECT_EQ(reg.prometheusText(), expected);
+}
+
+TEST(Registry, JsonSnapshotCarriesEveryKindAndQuantiles)
+{
+    ArmedGuard guard;
+    MetricsRegistry::setArmed(true);
+    MetricsRegistry reg;
+    reg.counter("c_total").add(4);
+    reg.gauge("g_level").set(-2);
+    reg.histogram("h_seconds", {{"dev", "gpu"}}).record(1e-3);
+
+    const std::string json = reg.jsonText();
+    EXPECT_EQ(json,
+              "{\"counters\":{\"c_total\":4},"
+              "\"gauges\":{\"g_level\":-2},"
+              "\"histograms\":{\"h_seconds{dev=gpu}\":"
+              "{\"count\":1,\"sum_seconds\":0.001,\"mean\":0.001,"
+              "\"p50\":" +
+                  json.substr(json.find("\"p50\":") + 6));
+    // Shape checks beyond the prefix: all four quantiles present and
+    // inside the covering bucket of the single 1 ms record.
+    for (const char *q : {"\"p50\":", "\"p90\":", "\"p99\":",
+                          "\"p999\":"})
+        EXPECT_NE(json.find(q), std::string::npos) << q;
+}
+
+TEST(FlightRecorder, WraparoundKeepsTheLastRingOfEvents)
+{
+    ArmedGuard guard;
+    MetricsRegistry::setArmed(true);
+    constexpr size_t kTotal = FlightRecorder::kRingEvents + 50;
+    for (size_t i = 0; i < kTotal; ++i)
+        FlightRecorder::record(FlightRecorder::Kind::VopDispatch, 4242,
+                               i);
+
+    size_t marked = 0;
+    uint64_t min_a = UINT64_MAX, max_a = 0;
+    uint64_t last_ts = 0;
+    bool sorted = true;
+    for (const FlightRecorder::Event &e : FlightRecorder::dump()) {
+        sorted = sorted && e.tsNanos >= last_ts;
+        last_ts = e.tsNanos;
+        if (e.code != 4242)
+            continue; // other tests' events share the rings
+        ++marked;
+        min_a = std::min(min_a, e.a);
+        max_a = std::max(max_a, e.a);
+    }
+    EXPECT_TRUE(sorted);
+    EXPECT_EQ(marked, FlightRecorder::kRingEvents);
+    EXPECT_EQ(min_a, kTotal - FlightRecorder::kRingEvents);
+    EXPECT_EQ(max_a, kTotal - 1);
+    EXPECT_EQ(FlightRecorder::kindName(
+                  FlightRecorder::Kind::VopDispatch),
+              "vop_dispatch");
+}
+
+TEST(FlightRecorder, DisarmedRecordsNothing)
+{
+    ArmedGuard guard;
+    MetricsRegistry::setArmed(false);
+    FlightRecorder::record(FlightRecorder::Kind::VopDispatch, 31337);
+    MetricsRegistry::setArmed(true);
+    for (const FlightRecorder::Event &e : FlightRecorder::dump())
+        EXPECT_NE(e.code, 31337);
+}
+
+} // namespace
+} // namespace shmt::common
+
+namespace shmt::core {
+namespace {
+
+/** Copy @p t's payload without taking a mutable alias. */
+std::vector<float>
+tensorBytes(const Tensor &t)
+{
+    const ConstTensorView v = t.view();
+    std::vector<float> out(v.size());
+    for (size_t row = 0; row < v.rows(); ++row)
+        std::memcpy(out.data() + row * v.cols(), v.row(row),
+                    v.cols() * sizeof(float));
+    return out;
+}
+
+TEST(FlightRecorder, FailedRunDumpsFlightEventsIntoTheTrace)
+{
+    common::ArmedGuard guard;
+    common::MetricsRegistry::setArmed(true);
+    auto rt = apps::makePrototypeRuntime();
+    sim::ExecutionTrace trace;
+    rt.attachTrace(&trace);
+    auto bench = apps::makeBenchmark("sobel", 64, 64);
+    auto policy = makePolicy("qaws-ts");
+
+    ExecControl ctl;
+    ctl.deadline = common::Deadline::afterSeconds(-1.0); // pre-expired
+    const RunResult r = rt.run(bench->program(), *policy,
+                               /*functional=*/true, rt.config().seed,
+                               ctl);
+    ASSERT_FALSE(r.status.ok());
+    ASSERT_TRUE(trace.hasFlightDump());
+
+    std::ostringstream os;
+    trace.writeChromeTrace(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"cat\":\"flight\""), std::string::npos);
+    EXPECT_NE(out.find("run_start"), std::string::npos);
+    // The registry snapshot rides along as a metadata record.
+    EXPECT_NE(out.find("\"name\":\"metrics\""), std::string::npos);
+
+    // A successful rerun (no trace reset in between would be a
+    // client bug; clear() models the fresh-trace path) leaves no
+    // stale dump behind.
+    trace.clear();
+    EXPECT_FALSE(trace.hasFlightDump());
+    const RunResult ok = rt.run(bench->program(), *policy);
+    ASSERT_TRUE(ok.status.ok());
+    EXPECT_FALSE(trace.hasFlightDump());
+}
+
+TEST(Telemetry, RegistryOnVsOffIsBitIdenticalAcrossBenchXPolicy)
+{
+    // The whole point of the telemetry engine: arming it must be
+    // invisible — byte-identical outputs, bit-identical simulated
+    // timing — across a benchmark x policy matrix.
+    common::ArmedGuard guard;
+    for (const char *bench_name : {"sobel", "fft"}) {
+        for (const char *policy_name : {"qaws-ts", "work-stealing"}) {
+            common::MetricsRegistry::setArmed(false);
+            auto off_rt = apps::makePrototypeRuntime();
+            auto off_bench = apps::makeBenchmark(bench_name, 64, 64);
+            auto off_policy = makePolicy(policy_name);
+            const RunResult off =
+                off_rt.run(off_bench->program(), *off_policy);
+
+            common::MetricsRegistry::setArmed(true);
+            auto on_rt = apps::makePrototypeRuntime();
+            auto on_bench = apps::makeBenchmark(bench_name, 64, 64);
+            auto on_policy = makePolicy(policy_name);
+            const RunResult on =
+                on_rt.run(on_bench->program(), *on_policy);
+
+            EXPECT_EQ(off.makespanSec, on.makespanSec)
+                << bench_name << "/" << policy_name;
+            EXPECT_EQ(off.schedulingSec, on.schedulingSec)
+                << bench_name << "/" << policy_name;
+            const auto off_out = tensorBytes(off_bench->output());
+            const auto on_out = tensorBytes(on_bench->output());
+            ASSERT_EQ(off_out.size(), on_out.size());
+            EXPECT_EQ(std::memcmp(off_out.data(), on_out.data(),
+                                  off_out.size() * sizeof(float)),
+                      0)
+                << bench_name << "/" << policy_name;
+
+            // Disarmed runs contribute nothing to the per-run deltas;
+            // armed runs see their own cache traffic.
+            EXPECT_EQ(off.cache.hits() + off.cache.misses(), 0u);
+            EXPECT_GT(on.cache.hits() + on.cache.misses(), 0u);
+        }
+    }
+}
+
+TEST(Telemetry, SessionMetricsTextExposesTheStack)
+{
+    common::ArmedGuard guard;
+    common::MetricsRegistry::setArmed(true);
+    auto rt = apps::makePrototypeRuntime();
+    Session session(rt);
+    auto bench = apps::makeBenchmark("sobel", 64, 64);
+    const RunResult r =
+        session.submit(bench->program(), makePolicy("qaws-ts")).get();
+    ASSERT_TRUE(r.status.ok());
+
+    const std::string text = Session::metricsText();
+    for (const char *needle :
+         {"shmt_session_submissions_total",
+          "shmt_session_latency_seconds_bucket",
+          "shmt_session_queue_wait_seconds_count",
+          "shmt_runs_total{status=\"OK\"}",
+          "shmt_hlop_service_sim_seconds", "shmt_mempool_allocs_total",
+          "shmt_plan_cache_misses_total"})
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+} // namespace
+} // namespace shmt::core

@@ -15,6 +15,7 @@
 
 #include "apps/benchmarks.hh"
 #include "apps/harness.hh"
+#include "core/core_metrics.hh"
 #include "core/criticality_cache.hh"
 #include "core/plan_cache.hh"
 #include "core/policy.hh"
@@ -70,6 +71,46 @@ stridingSpec()
     spec.rate = 1.0 / 8;
     return spec;
 }
+
+/**
+ * Criticality-memo telemetry snapshot. The caches count into the
+ * process metrics registry, so the unit tests read before/after
+ * deltas — exact here because gtest runs these bodies on one thread.
+ */
+struct MemoSnap
+{
+    uint64_t statsHits = 0;
+    uint64_t statsMisses = 0;
+    uint64_t quantHits = 0;
+    uint64_t quantMisses = 0;
+    uint64_t scanBytesAvoided = 0;
+
+    static MemoSnap
+    take()
+    {
+        const CoreCounters &m = CoreCounters::get();
+        MemoSnap s;
+        s.statsHits = m.statsHits.value();
+        s.statsMisses = m.statsMisses.value();
+        s.quantHits = m.quantHits.value();
+        s.quantMisses = m.quantMisses.value();
+        s.scanBytesAvoided = m.scanBytesAvoided.value();
+        return s;
+    }
+
+    /** Delta accumulated since @p since was taken. */
+    MemoSnap
+    since(const MemoSnap &s0) const
+    {
+        MemoSnap d;
+        d.statsHits = statsHits - s0.statsHits;
+        d.statsMisses = statsMisses - s0.statsMisses;
+        d.quantHits = quantHits - s0.quantHits;
+        d.quantMisses = quantMisses - s0.quantMisses;
+        d.scanBytesAvoided = scanBytesAvoided - s0.scanBytesAvoided;
+        return d;
+    }
+};
 
 bool
 statsEqual(const std::vector<SampleStats> &x,
@@ -253,22 +294,24 @@ TEST(CriticalityCache, StatsMemoHitsAreBitIdenticalAndCountBytes)
     const SamplingSpec spec = stridingSpec();
 
     CriticalityCache cache;
-    CacheStats counters;
-    const auto first = cache.stats(input, regions, spec, 7, &counters);
+    const MemoSnap s0 = MemoSnap::take();
+    const auto first = cache.stats(input, regions, spec, 7);
     ASSERT_NE(first, nullptr);
-    EXPECT_EQ(counters.statsMisses, 1u);
-    EXPECT_EQ(counters.statsHits, 0u);
+    MemoSnap d = MemoSnap::take().since(s0);
+    EXPECT_EQ(d.statsMisses, 1u);
+    EXPECT_EQ(d.statsHits, 0u);
 
     // The memoized scan equals the direct one, field for field.
     const auto direct = samplePartitions(std::as_const(input).view(),
                                          regions, spec, 7);
     EXPECT_TRUE(statsEqual(*first, direct));
 
-    const auto second = cache.stats(input, regions, spec, 7, &counters);
-    EXPECT_EQ(counters.statsHits, 1u);
-    EXPECT_EQ(counters.statsMisses, 1u);
+    const auto second = cache.stats(input, regions, spec, 7);
+    d = MemoSnap::take().since(s0);
+    EXPECT_EQ(d.statsHits, 1u);
+    EXPECT_EQ(d.statsMisses, 1u);
     EXPECT_EQ(second.get(), first.get());  // shared, not recomputed
-    EXPECT_GT(counters.scanBytesAvoided, 0u);
+    EXPECT_GT(d.scanBytesAvoided, 0u);
 }
 
 TEST(CriticalityCache, MutationForcesRescanThatSeesTheNewBytes)
@@ -282,14 +325,15 @@ TEST(CriticalityCache, MutationForcesRescanThatSeesTheNewBytes)
     const SamplingSpec spec = stridingSpec();
 
     CriticalityCache cache;
-    CacheStats counters;
-    const auto before = *cache.stats(input, regions, spec, 3, &counters);
+    const MemoSnap s0 = MemoSnap::take();
+    const auto before = *cache.stats(input, regions, spec, 3);
 
     fillTensor(input, 100.0f);  // mutable-view write bumps generation
 
-    const auto after = *cache.stats(input, regions, spec, 3, &counters);
-    EXPECT_EQ(counters.statsMisses, 2u);
-    EXPECT_EQ(counters.statsHits, 0u);
+    const auto after = *cache.stats(input, regions, spec, 3);
+    const MemoSnap d = MemoSnap::take().since(s0);
+    EXPECT_EQ(d.statsMisses, 2u);
+    EXPECT_EQ(d.statsHits, 0u);
 
     const auto fresh = samplePartitions(std::as_const(input).view(),
                                         regions, spec, 3);
@@ -305,22 +349,25 @@ TEST(CriticalityCache, SeedEntersTheKeyOnlyForUniformSampling)
 
     // Striding visits fixed positions: per-program seeds still hit.
     CriticalityCache cache;
-    CacheStats counters;
-    (void)cache.stats(input, regions, stridingSpec(), 1, &counters);
-    (void)cache.stats(input, regions, stridingSpec(), 2, &counters);
-    EXPECT_EQ(counters.statsHits, 1u);
-    EXPECT_EQ(counters.statsMisses, 1u);
+    const MemoSnap s0 = MemoSnap::take();
+    (void)cache.stats(input, regions, stridingSpec(), 1);
+    (void)cache.stats(input, regions, stridingSpec(), 2);
+    const MemoSnap d = MemoSnap::take().since(s0);
+    EXPECT_EQ(d.statsHits, 1u);
+    EXPECT_EQ(d.statsMisses, 1u);
 
     // Uniform draws depend on the seed: distinct seeds must re-scan.
     SamplingSpec uniform;
     uniform.method = SamplingMethod::Uniform;
-    CacheStats ucount;
-    (void)cache.stats(input, regions, uniform, 1, &ucount);
-    (void)cache.stats(input, regions, uniform, 2, &ucount);
-    EXPECT_EQ(ucount.statsHits, 0u);
-    EXPECT_EQ(ucount.statsMisses, 2u);
-    (void)cache.stats(input, regions, uniform, 1, &ucount);
-    EXPECT_EQ(ucount.statsHits, 1u);
+    const MemoSnap u0 = MemoSnap::take();
+    (void)cache.stats(input, regions, uniform, 1);
+    (void)cache.stats(input, regions, uniform, 2);
+    MemoSnap ud = MemoSnap::take().since(u0);
+    EXPECT_EQ(ud.statsHits, 0u);
+    EXPECT_EQ(ud.statsMisses, 2u);
+    (void)cache.stats(input, regions, uniform, 1);
+    ud = MemoSnap::take().since(u0);
+    EXPECT_EQ(ud.statsHits, 1u);
 }
 
 TEST(CriticalityCache, QuantMemoHitsAndInvalidatesOnWrite)
@@ -329,20 +376,23 @@ TEST(CriticalityCache, QuantMemoHitsAndInvalidatesOnWrite)
     fillTensor(t, -1.0f);
 
     CriticalityCache cache;
-    CacheStats counters;
-    const QuantParams first = cache.quantParams(t, true, &counters);
-    EXPECT_EQ(counters.quantMisses, 1u);
-    EXPECT_EQ(counters.quantHits, 0u);
+    const MemoSnap s0 = MemoSnap::take();
+    const QuantParams first = cache.quantParams(t, true);
+    MemoSnap d = MemoSnap::take().since(s0);
+    EXPECT_EQ(d.quantMisses, 1u);
+    EXPECT_EQ(d.quantHits, 0u);
 
-    const QuantParams again = cache.quantParams(t, true, &counters);
-    EXPECT_EQ(counters.quantHits, 1u);
+    const QuantParams again = cache.quantParams(t, true);
+    d = MemoSnap::take().since(s0);
+    EXPECT_EQ(d.quantHits, 1u);
     EXPECT_EQ(first.scale, again.scale);
     EXPECT_EQ(first.zeroPoint, again.zeroPoint);
-    EXPECT_GT(counters.scanBytesAvoided, 0u);
+    EXPECT_GT(d.scanBytesAvoided, 0u);
 
     fillTensor(t, 50.0f);  // new value range through a mutable view
-    const QuantParams fresh = cache.quantParams(t, true, &counters);
-    EXPECT_EQ(counters.quantMisses, 2u);
+    const QuantParams fresh = cache.quantParams(t, true);
+    d = MemoSnap::take().since(s0);
+    EXPECT_EQ(d.quantMisses, 2u);
     const QuantParams direct =
         chooseQuantParams(std::as_const(t).view(), true);
     EXPECT_EQ(fresh.scale, direct.scale);

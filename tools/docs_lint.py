@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Documentation linter: broken links and flag/config drift.
+
+Run from anywhere inside the repo; exits non-zero (failing CI) when
+
+ 1. a relative markdown link in any tracked ``*.md`` (repo root or
+    ``docs/``) points at a file that does not exist,
+ 2. a ``RuntimeConfig`` field (parsed from ``src/core/run_types.hh``)
+    is not mentioned in README.md, or
+ 3. a ``shmtbench`` flag (parsed from the ``tools/shmtbench.cc``
+    argument-dispatch chain, the same branches ``--help`` documents)
+    is not mentioned in README.md.
+
+Both drift checks parse the *source of truth* rather than the built
+binary so the lint job needs no compiler. Standard library only.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Flags that exist but are deliberately not part of the README surface.
+FLAG_ALLOWLIST = {"help"}
+# RuntimeConfig members that are not user-facing knobs.
+FIELD_ALLOWLIST = set()
+
+
+def markdown_files():
+    top = sorted(REPO.glob("*.md"))
+    docs = sorted((REPO / "docs").glob("*.md"))
+    return top + docs
+
+
+def check_links(errors):
+    """Every relative link target must exist on disk."""
+    # [text](target) — tolerate titles and anchors; skip images the
+    # same way (they are links too as far as existence goes).
+    link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+    for md in markdown_files():
+        text = md.read_text(encoding="utf-8")
+        # Links inside fenced code blocks are examples, not links.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for target in link_re.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            if target.startswith("#"):  # intra-document anchor
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(REPO)}: broken link '{target}'"
+                )
+
+
+def runtime_config_fields():
+    """Member names of struct RuntimeConfig in run_types.hh."""
+    src = (REPO / "src/core/run_types.hh").read_text(encoding="utf-8")
+    match = re.search(
+        r"struct RuntimeConfig\s*\{(.*?)\n\};", src, flags=re.S
+    )
+    if not match:
+        sys.exit("docs_lint: cannot find struct RuntimeConfig")
+    body = match.group(1)
+    fields = re.findall(
+        r"^\s*(?:bool|size_t|uint64_t|SimdMode)\s+(\w+)\s*=",
+        body,
+        flags=re.M,
+    )
+    if len(fields) < 5:
+        sys.exit("docs_lint: RuntimeConfig parse looks wrong: "
+                 f"{fields}")
+    return fields
+
+
+def shmtbench_flags():
+    """Flag names from the shmtbench argument-dispatch chain."""
+    src = (REPO / "tools/shmtbench.cc").read_text(encoding="utf-8")
+    flags = re.findall(r'arg == "--([a-z][a-z0-9-]*)"', src)
+    if len(flags) < 10:
+        sys.exit(f"docs_lint: shmtbench flag parse looks wrong: {flags}")
+    return flags
+
+
+def check_readme_coverage(errors):
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    for field in runtime_config_fields():
+        if field in FIELD_ALLOWLIST:
+            continue
+        if field not in readme:
+            errors.append(
+                f"README.md: RuntimeConfig::{field} is undocumented "
+                "(mention the field by name)"
+            )
+    for flag in shmtbench_flags():
+        if flag in FLAG_ALLOWLIST:
+            continue
+        if f"--{flag}" not in readme:
+            errors.append(
+                f"README.md: shmtbench --{flag} is undocumented"
+            )
+
+
+def main():
+    errors = []
+    check_links(errors)
+    check_readme_coverage(errors)
+    if errors:
+        for e in errors:
+            print(f"docs_lint: {e}", file=sys.stderr)
+        print(f"docs_lint: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    n_md = len(markdown_files())
+    print(f"docs_lint: OK ({n_md} markdown files, "
+          f"{len(runtime_config_fields())} RuntimeConfig fields, "
+          f"{len(shmtbench_flags())} shmtbench flags)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

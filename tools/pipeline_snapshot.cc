@@ -16,7 +16,7 @@
  * Usage: pipeline_snapshot [--n <edge>] [--plan-cache off|on]
  *            [--graph-exec off|on] [--residency off|on]
  *            [--mem-pool off|on] [--host-threads <k>]
- *            [--exec-control off|armed]
+ *            [--exec-control off|armed] [--metrics off|on]
  *            [--outputs-only] > snapshot.txt
  *
  * --outputs-only prints just the tag and the output-tensor hash — a
@@ -40,6 +40,7 @@
 #include "common/cancel.hh"
 #include "common/logging.hh"
 #include "common/memory_pool.hh"
+#include "common/metrics_registry.hh"
 #include "core/pipeline.hh"
 #include "core/policy.hh"
 #include "core/runtime.hh"
@@ -177,6 +178,14 @@ main(int argc, char **argv)
             if (mode != "off" && mode != "armed")
                 SHMT_FATAL("--exec-control must be off or armed");
             exec_control = mode == "armed";
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            // Telemetry must be invisible too: the registry only ever
+            // observes (relaxed counters, histograms, flight events),
+            // so armed and disarmed snapshots must diff empty.
+            const std::string_view mode = argv[++i];
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--metrics must be off or on");
+            common::MetricsRegistry::setArmed(mode == "on");
         } else if (arg == "--outputs-only") {
             g_outputs_only = true;
         } else {

@@ -27,6 +27,7 @@
 #include "common/cancel.hh"
 #include "common/logging.hh"
 #include "common/memory_pool.hh"
+#include "common/metrics_registry.hh"
 #include "common/status.hh"
 #include "common/thread_pool.hh"
 #include "core/session.hh"
@@ -57,6 +58,8 @@ struct Options
     bool memPool = true;
     size_t sessionWorkers = 0;  //!< 0 = standalone run (no Session)
     size_t sessionPrograms = 8;
+    bool metrics = true;
+    std::string metricsOutPath;
     std::string tracePath;
     std::string calibrationPath;
     double deadlineMs = 0.0;    //!< 0 = no deadline
@@ -104,6 +107,11 @@ usage()
         "                        HLOPs re-dispatch to another eligible\n"
         "                        device; BACKEND_FAILURE only when\n"
         "                        none remains (default: off)\n"
+        "  --metrics <mode>      off|on: the process metrics registry\n"
+        "                        (counters, latency histograms, flight\n"
+        "                        recorder; bit-transparent, default: on)\n"
+        "  --metrics-out <file>  write a Prometheus text exposition of\n"
+        "                        the metrics registry after the runs\n"
         "  --no-quality          timing-only (skip MAPE/SSIM)\n"
         "  --dsp                 add the FP16 image DSP\n"
         "  --cpu                 add the host CPU\n"
@@ -183,6 +191,13 @@ parseArgs(int argc, char **argv)
                 SHMT_FATAL("--deadline-ms must be positive");
         } else if (arg == "--inject-faults") {
             opts.injectFaults = next();
+        } else if (arg == "--metrics") {
+            const std::string mode = next();
+            if (mode != "off" && mode != "on")
+                SHMT_FATAL("--metrics must be off or on");
+            opts.metrics = mode == "on";
+        } else if (arg == "--metrics-out") {
+            opts.metricsOutPath = next();
         } else if (arg == "--no-quality") {
             opts.quality = false;
         } else if (arg == "--dsp") {
@@ -315,6 +330,7 @@ main(int argc, char **argv)
     // The pool switch is process-global (the tensor layer allocates
     // long before a RuntimeConfig exists); mirror the config into it.
     common::MemoryPool::setEnabled(opts.memPool);
+    common::MetricsRegistry::setArmed(opts.metrics);
     core::Runtime runtime(std::move(backends), cal, config);
 
     sim::ExecutionTrace trace;
@@ -460,6 +476,15 @@ main(int argc, char **argv)
         std::printf("\ntrace written to %s (%zu events, %zu vop spans)\n",
                     opts.tracePath.c_str(), trace.events().size(),
                     trace.vopSpans().size());
+    }
+    if (!opts.metricsOutPath.empty()) {
+        std::ofstream out(opts.metricsOutPath);
+        if (!out)
+            SHMT_FATAL("cannot write metrics to '", opts.metricsOutPath,
+                       "'");
+        out << common::MetricsRegistry::instance().prometheusText();
+        std::printf("\nmetrics written to %s\n",
+                    opts.metricsOutPath.c_str());
     }
     return 0;
 }
